@@ -1,0 +1,9 @@
+#!/bin/sh
+# Final artifact generation: rebuild, full tests, full bench sweep.
+set -e
+cd /root/repo
+cmake -B build -G Ninja > /dev/null
+cmake --build build 2>&1 | grep -E "error|FAILED" || true
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
+for b in build/bench/*; do echo "===== $b ====="; $b; done > /root/repo/bench_output.txt 2>&1
+echo FINALIZE_DONE

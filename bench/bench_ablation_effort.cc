@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: the VBC effort ladder (§2.2 realized). Sweeps effort 0-9
+ * on one clip at constant quality target and reports the speed /
+ * bitrate frontier, plus the per-tool search strategies.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "core/report.h"
+#include "metrics/psnr.h"
+#include "metrics/rates.h"
+#include "video/suite.h"
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vbench;
+
+    bench::printHeader("Ablation — the effort ladder",
+                       "§2.2 (effort restricts the RDO search space: "
+                       "time buys compression)");
+
+    video::ClipSpec spec{"ablate", 1280, 720, 30,
+                         video::ContentClass::Natural, 3.0, 1717};
+    const video::Video clip = video::synthesizeClip(spec, 12);
+
+    core::Table table({"effort", "search", "refs", "rdo", "entropy",
+                       "mpix_s", "bpps", "psnr_db"});
+    double prev_bpps = 1e9;
+    int regressions = 0;
+
+    for (int effort = 0; effort < codec::kNumEfforts; ++effort) {
+        codec::EncoderConfig cfg;
+        cfg.rc.mode = codec::RcMode::Cqp;
+        cfg.rc.qp = 27;
+        cfg.effort = effort;
+        cfg.gop = 30;
+        codec::Encoder encoder(cfg);
+
+        const double t0 = now();
+        const codec::EncodeResult result = encoder.encode(clip);
+        const double elapsed = now() - t0;
+        const auto decoded = codec::decode(result.stream);
+
+        const codec::ToolPreset &tools = encoder.tools();
+        const char *search =
+            tools.search == codec::SearchKind::Full ? "full"
+            : tools.search == codec::SearchKind::Hex ? "hex"
+                                                     : "dia";
+        const double bpps = metrics::bitsPerPixelPerSecond(
+            result.totalBytes(), clip.width(), clip.height(),
+            clip.frameCount(), clip.fps());
+        table.addRow(
+            {std::to_string(effort), search,
+             std::to_string(tools.refs), std::to_string(tools.rdo),
+             tools.entropy == codec::EntropyMode::Arith ? "arith" : "vlc",
+             core::fmt(metrics::megapixelsPerSecond(clip.width(),
+                                                    clip.height(),
+                                                    clip.frameCount(),
+                                                    elapsed),
+                       2),
+             core::fmt(bpps, 3),
+             core::fmt(decoded ? metrics::videoPsnr(clip, *decoded) : 0,
+                       2)});
+        if (bpps > prev_bpps * 1.02)
+            ++regressions;
+        prev_bpps = bpps;
+    }
+
+    table.print(std::cout);
+    std::printf("\nbitrate regressions along the ladder: %d (expect ~0: "
+                "each effort level\nshould compress at least as well at "
+                "iso-QP)\n", regressions);
+    return 0;
+}

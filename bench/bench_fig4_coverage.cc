@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 4: corpus coverage scatter — the (resolution, entropy) plane
+ * of the upload corpus, with the public datasets and the vbench
+ * selection overlaid. Also exercises the full §4.1 selection pipeline
+ * (weighted k-means over 3500+ categories, mode-of-cluster
+ * representatives) and prints the selected categories Table-2 style.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.h"
+#include "corpus/generator.h"
+#include "corpus/kmeans.h"
+#include "video/suite.h"
+
+int
+main()
+{
+    using namespace vbench;
+
+    std::printf("== vbench: Figure 4 — corpus coverage ==\n");
+    std::printf("reproduces: Fig. 4 (entropy vs resolution scatter) and "
+                "the §4.1 selection pipeline\n\n");
+
+    const auto corpus = corpus::generateCorpus();
+    std::printf("corpus: %zu weighted categories\n", corpus.size());
+
+    // Scatter of the corpus itself (subsampled for readability).
+    std::vector<std::pair<double, double>> cloud;
+    for (size_t i = 0; i < corpus.size(); i += 8)
+        cloud.emplace_back(corpus[i].kpixels, corpus[i].entropy);
+    core::printSeries(std::cout, "corpus_kpixels_vs_entropy", cloud);
+
+    // Dataset overlays.
+    auto overlay = [&](const char *name,
+                       const std::vector<video::ClipSpec> &suite) {
+        std::vector<std::pair<double, double>> points;
+        for (const auto &spec : suite)
+            points.emplace_back(spec.kpixels(), spec.target_entropy);
+        core::printSeries(std::cout, name, points);
+    };
+    overlay("vbench", video::vbenchSuite());
+    overlay("netflix", video::netflixSuite());
+    overlay("xiph", video::xiphSuite());
+    overlay("spec2017", video::specSuite());
+
+    // The selection pipeline itself.
+    corpus::KmeansConfig cfg;
+    cfg.k = 15;
+    const auto selected = corpus::selectBenchmarkCategories(corpus, cfg);
+    core::Table table({"kpixel", "fps", "entropy", "weight_pct"});
+    double covered = 0;
+    for (const auto &c : selected) {
+        table.addRow({std::to_string(c.kpixels), std::to_string(c.fps),
+                      core::fmt(c.entropy, 1),
+                      core::fmt(c.weight * 100, 3)});
+        covered += c.weight;
+    }
+    std::printf("\nselected categories (k-means modes, k=15):\n");
+    table.print(std::cout);
+
+    // Coverage statistics per dataset: weighted distance of every
+    // corpus category to its nearest dataset clip in feature space.
+    const auto range = corpus::featureRange(corpus);
+    auto coverageCost = [&](const std::vector<video::ClipSpec> &suite) {
+        double cost = 0;
+        for (const auto &c : corpus) {
+            const auto fc = corpus::normalize(corpus::rawFeatures(c),
+                                              range);
+            double best = 1e30;
+            for (const auto &spec : suite) {
+                corpus::VideoCategory as_cat;
+                as_cat.kpixels = spec.kpixels();
+                as_cat.fps = static_cast<int>(spec.fps);
+                as_cat.entropy = spec.target_entropy;
+                const auto fs = corpus::normalize(
+                    corpus::rawFeatures(as_cat), range);
+                best = std::min(best, corpus::distance2(fc, fs));
+            }
+            cost += c.weight * best;
+        }
+        return cost;
+    };
+
+    core::Table cov({"dataset", "clips", "weighted_coverage_cost"});
+    cov.addRow({"vbench", std::to_string(video::vbenchSuite().size()),
+                core::fmt(coverageCost(video::vbenchSuite()), 4)});
+    cov.addRow({"netflix", std::to_string(video::netflixSuite().size()),
+                core::fmt(coverageCost(video::netflixSuite()), 4)});
+    cov.addRow({"xiph", std::to_string(video::xiphSuite().size()),
+                core::fmt(coverageCost(video::xiphSuite()), 4)});
+    cov.addRow({"spec2017", std::to_string(video::specSuite().size()),
+                core::fmt(coverageCost(video::specSuite()), 4)});
+    std::printf("\n");
+    cov.print(std::cout);
+
+    std::printf("\nshape check: vbench's coverage cost is the lowest — it"
+                " was selected from\nthe corpus; Netflix (one resolution,"
+                " high entropy only) and SPEC (two\nnear-identical clips)"
+                " leave most of the corpus uncovered.\n");
+    return 0;
+}

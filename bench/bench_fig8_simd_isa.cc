@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 8: cycle breakdown of one VOD transcode as SIMD instruction
+ * sets are progressively enabled (scalar -> SSE -> ... -> AVX2),
+ * normalized to the AVX2 build; plus the §5.2 Amdahl analysis of a
+ * hypothetical 2x-wider SIMD extension.
+ *
+ * One instrumented transcode collects the per-kernel work profile; the
+ * dispatch model then re-costs it at every ISA level — exactly how the
+ * per-function SIMD dispatch of a real encoder behaves.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/report.h"
+#include "uarch/tracesim.h"
+#include "video/suite.h"
+
+int
+main()
+{
+    using namespace vbench;
+
+    bench::printHeader("Figure 8 — SIMD ISA sweep",
+                       "Fig. 8 (cycles by ISA, normalized to AVX2) and "
+                       "the §5.2 Amdahl bound");
+
+    // One representative VOD transcode (720p natural content).
+    video::ClipSpec spec{"fig8_clip", 1280, 720, 30,
+                         video::ContentClass::Natural, 2.5, 888};
+    const video::Video clip = video::synthesizeClip(spec, 8);
+    const codec::ByteBuffer universal = core::makeUniversalStream(clip);
+
+    uarch::TraceSimulator sim;
+    core::TranscodeRequest req = core::referenceRequest(
+        core::Scenario::Vod, clip.width(), clip.height(), clip.fps());
+    req.probe = &sim;
+    core::transcode(universal, clip, req);
+    const uarch::UarchReport report = sim.report();
+
+    const uarch::IsaLevel levels[] = {
+        uarch::IsaLevel::Scalar, uarch::IsaLevel::SSE,
+        uarch::IsaLevel::SSE2,   uarch::IsaLevel::SSE3,
+        uarch::IsaLevel::SSE4,   uarch::IsaLevel::AVX,
+        uarch::IsaLevel::AVX2,
+    };
+
+    const double avx2_total =
+        uarch::simdCycles(report.work, uarch::IsaLevel::AVX2).total();
+
+    core::Table table({"enabled_isa", "total_norm_avx2", "scalar",
+                       "sse", "sse2", "sse3", "sse4", "avx", "avx2"});
+    for (uarch::IsaLevel level : levels) {
+        const uarch::CycleBreakdown b =
+            uarch::simdCycles(report.work, level);
+        std::vector<std::string> row{uarch::isaName(level),
+                                     core::fmt(b.total() / avx2_total, 3)};
+        for (int i = 0; i < uarch::kNumIsaLevels; ++i)
+            row.push_back(core::fmt(b.cycles[i] / avx2_total, 3));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    // §5.2 numbers: SSE2->AVX2 gain and the hypothetical 512-bit bound.
+    const double sse2_total =
+        uarch::simdCycles(report.work, uarch::IsaLevel::SSE2).total();
+    const uarch::CycleBreakdown avx2 =
+        uarch::simdCycles(report.work, uarch::IsaLevel::AVX2);
+    const double avx2_share =
+        avx2.cycles[static_cast<int>(uarch::IsaLevel::AVX2)];
+    // Perfect 2x scaling of the AVX2-resident cycles only.
+    const double hypothetical_512 = avx2_total - avx2_share / 2.0;
+
+    std::printf("\nSSE2 -> AVX2 total speedup: %.1f%%  (paper: ~15%%)\n",
+                (sse2_total / avx2_total - 1.0) * 100);
+    std::printf("scalar share at AVX2: %.1f%%  (paper: ~60%%)\n",
+                avx2.scalarFraction() * 100);
+    std::printf("AVX2-resident share: %.1f%%  (paper: ~15%%)\n",
+                avx2_share / avx2_total * 100);
+    std::printf("Amdahl bound of a 2x-wider SIMD: %.1f%% speedup "
+                "(paper: <10%%)\n",
+                (avx2_total / hypothetical_512 - 1.0) * 100);
+    return 0;
+}

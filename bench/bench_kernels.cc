@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Kernel micro-benchmarks (google-benchmark): the hot loops of the
+ * transcoding pipeline. Useful for platform comparisons and for
+ * sanity-checking the SIMD-model assumptions about which kernels
+ * dominate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/deblock.h"
+#include "codec/interp.h"
+#include "codec/intra.h"
+#include "codec/me.h"
+#include "codec/rangecoder.h"
+#include "codec/refplane.h"
+#include "codec/transform.h"
+#include "ngc/transform8.h"
+#include "video/rng.h"
+
+namespace {
+
+using namespace vbench;
+using codec::RefPlane;
+using video::Plane;
+
+Plane
+randomPlane(int w, int h, uint64_t seed)
+{
+    video::Rng rng(seed);
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = static_cast<uint8_t>(rng.below(256));
+    return p;
+}
+
+void
+BM_Sad16x16(benchmark::State &state)
+{
+    const Plane a = randomPlane(640, 360, 1);
+    const Plane b = randomPlane(640, 360, 2);
+    int x = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::sadBlock(
+            a.row(64) + (x & 255), 640, b.row(80) + ((x + 7) & 255), 640,
+            16, 16));
+        ++x;
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Sad16x16);
+
+void
+BM_ForwardTransform4x4(benchmark::State &state)
+{
+    video::Rng rng(3);
+    int16_t in[16];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-255, 255));
+    int32_t out[16];
+    for (auto _ : state) {
+        codec::forwardTransform4x4(in, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ForwardTransform4x4);
+
+void
+BM_QuantDequant4x4(benchmark::State &state)
+{
+    video::Rng rng(4);
+    int16_t in[16];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-255, 255));
+    int32_t coefs[16];
+    codec::forwardTransform4x4(in, coefs);
+    int16_t levels[16];
+    int32_t deq[16];
+    for (auto _ : state) {
+        codec::quantize4x4(coefs, levels, 26, false);
+        codec::dequantize4x4(levels, deq, 26);
+        benchmark::DoNotOptimize(deq);
+    }
+}
+BENCHMARK(BM_QuantDequant4x4);
+
+void
+BM_HierarchicalTransform8x8(benchmark::State &state)
+{
+    video::Rng rng(5);
+    int16_t in[64];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-255, 255));
+    int16_t dc[4];
+    int16_t ac[64];
+    for (auto _ : state) {
+        ngc::forwardTransform8x8(in, dc, ac, 26, false);
+        benchmark::DoNotOptimize(ac);
+    }
+}
+BENCHMARK(BM_HierarchicalTransform8x8);
+
+void
+BM_HalfPelInterp16x16(benchmark::State &state)
+{
+    const Plane src = randomPlane(640, 360, 6);
+    const RefPlane ref(src);
+    uint8_t out[256];
+    for (auto _ : state) {
+        codec::motionCompensate(ref, 100, 100, codec::MotionVector{5, 3},
+                                16, 16, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_HalfPelInterp16x16);
+
+void
+BM_IntraPredictPlanar16(benchmark::State &state)
+{
+    const Plane recon = randomPlane(256, 256, 7);
+    uint8_t pred[256];
+    for (auto _ : state) {
+        codec::intraPredict(codec::IntraMode::Planar, recon, 64, 64, 16,
+                            pred);
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_IntraPredictPlanar16);
+
+void
+BM_MotionSearch(benchmark::State &state)
+{
+    const auto kind = static_cast<codec::SearchKind>(state.range(0));
+    const Plane cur = randomPlane(640, 360, 8);
+    const Plane prev = randomPlane(640, 360, 9);
+    const RefPlane ref(prev);
+    codec::MeContext me;
+    me.src = &cur;
+    me.ref = &ref;
+    me.block_x = 320;
+    me.block_y = 160;
+    me.lambda = 4.0;
+    me.kind = kind;
+    me.range = kind == codec::SearchKind::Full ? 8 : 16;
+    me.subpel = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::motionSearch(me));
+    }
+}
+BENCHMARK(BM_MotionSearch)
+    ->Arg(static_cast<int>(codec::SearchKind::Diamond))
+    ->Arg(static_cast<int>(codec::SearchKind::Hex))
+    ->Arg(static_cast<int>(codec::SearchKind::Full));
+
+void
+BM_RangeCoderEncode(benchmark::State &state)
+{
+    video::Rng rng(10);
+    std::vector<int> bits(4096);
+    for (auto &b : bits)
+        b = rng.below(100) < 20;
+    for (auto _ : state) {
+        codec::ByteBuffer out;
+        out.reserve(1024);
+        codec::RangeEncoder enc(out);
+        codec::BitContext ctx;
+        for (int b : bits)
+            enc.encode(b, ctx);
+        enc.flush();
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_RangeCoderEncode);
+
+void
+BM_DeblockFrame(benchmark::State &state)
+{
+    video::Frame frame(320, 192);
+    video::Rng rng(11);
+    for (int y = 0; y < 192; ++y)
+        for (int x = 0; x < 320; ++x)
+            frame.y().at(x, y) = static_cast<uint8_t>(rng.below(256));
+    codec::MbGrid grid(20, 12);
+    for (int mby = 0; mby < 12; ++mby) {
+        for (int mbx = 0; mbx < 20; ++mbx) {
+            codec::MbInfo &info = grid.at(mbx, mby);
+            info.mode = codec::MbMode::Inter16;
+            info.qp = 32;
+            info.coded = true;
+        }
+    }
+    for (auto _ : state) {
+        video::Frame work = frame;
+        codec::deblockFrame(work, grid);
+        benchmark::DoNotOptimize(work);
+    }
+    state.SetItemsProcessed(state.iterations() * 320 * 192);
+}
+BENCHMARK(BM_DeblockFrame);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Table 4 (and the Live half of Figure 9): hardware encoders on the
+ * Live scenario. The reference is the real-time-constrained software
+ * encode (effort inversely proportional to resolution); the hardware
+ * encodes at reference quality (bisection) and reports Q, B, and the
+ * Live score, subject to the real-time constraint.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "codec/decoder.h"
+#include "core/report.h"
+#include "core/scoring.h"
+#include "hwenc/hwenc.h"
+#include "metrics/rates.h"
+#include "video/suite.h"
+
+namespace {
+
+using namespace vbench;
+
+struct LiveRow {
+    core::Ratios ratios;
+    core::ScoreResult score;
+    bool real_time = false;
+};
+
+LiveRow
+runHw(const hwenc::HwEncoderSpec &spec, const bench::PreparedClip &clip,
+      const core::TranscodeOutcome &reference)
+{
+    const auto decoded_input = codec::decode(clip.universal);
+    // Maintain reference quality, minimize bitrate (§6.1's choice).
+    const hwenc::HwEncodeResult hw = hwenc::encodeAtQuality(
+        spec, *decoded_input, reference.m.psnr_db, 7,
+        &clip.original);
+
+    const auto decoded = codec::decode(hw.encoded.stream);
+    const core::Measurement m = core::measure(
+        clip.original, *decoded, hw.encoded.totalBytes(),
+        hw.seconds + clip.original.totalPixels() / 1600e6);
+
+    LiveRow row;
+    row.ratios = core::computeRatios(reference.m, m);
+    const double output_rate = metrics::outputMegapixelsPerSecond(
+        clip.original.width(), clip.original.height(),
+        clip.original.fps());
+    row.real_time = m.speed_mpix_s >= output_rate;
+    row.score = core::scoreScenario(core::Scenario::Live, row.ratios, m,
+                                    output_rate);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table 4 — hardware encoders on Live",
+                       "Table 4 and Fig. 9 bottom (Q, B, Live score; "
+                       "real-time constraint)");
+
+    core::Table table({"video", "kpix", "entropy", "nv_Q", "nv_B",
+                       "nv_Live", "qsv_Q", "qsv_B", "qsv_Live"});
+    std::vector<std::pair<double, double>> nv_scatter, qsv_scatter;
+    int low_entropy_b_losses = 0;
+    int wins = 0, rows = 0;
+
+    for (const video::ClipSpec &spec : video::vbenchSuite()) {
+        const bench::PreparedClip clip = bench::prepare(spec);
+        core::ReferenceStore refs;
+        const core::TranscodeOutcome &ref = refs.get(
+            spec.name, core::Scenario::Live, clip.universal,
+            clip.original);
+        if (!ref.ok) {
+            std::printf("reference failed for %s\n", spec.name.c_str());
+            continue;
+        }
+
+        const LiveRow nv = runHw(hwenc::nvencLikeSpec(), clip, ref);
+        const LiveRow qs = runHw(hwenc::qsvLikeSpec(), clip, ref);
+
+        auto cell = [](const LiveRow &row) {
+            if (!row.real_time)
+                return std::string("not-RT");
+            return row.score.valid ? core::fmt(row.score.score, 2)
+                                   : std::string("--");
+        };
+        table.addRow({spec.name, std::to_string(spec.kpixels()),
+                      core::fmt(spec.target_entropy, 1),
+                      core::fmt(nv.ratios.q, 2), core::fmt(nv.ratios.b, 2),
+                      cell(nv), core::fmt(qs.ratios.q, 2),
+                      core::fmt(qs.ratios.b, 2), cell(qs)});
+        nv_scatter.emplace_back(nv.ratios.b, nv.ratios.q);
+        qsv_scatter.emplace_back(qs.ratios.b, qs.ratios.q);
+
+        ++rows;
+        if (nv.ratios.b >= 1.0 && qs.ratios.b >= 1.0)
+            ++wins;
+        if (spec.target_entropy < 1.0 &&
+            (nv.ratios.b < 1.0 || qs.ratios.b < 1.0)) {
+            ++low_entropy_b_losses;
+        }
+    }
+
+    table.print(std::cout);
+    std::printf("\n");
+    core::printSeries(std::cout, "fig9_live_nvenc_B_vs_Q", nv_scatter);
+    core::printSeries(std::cout, "fig9_live_qsv_B_vs_Q", qsv_scatter);
+
+    std::printf("hardware wins both B and Q on %d/%d videos; low-entropy"
+                " exceptions: %d\n", wins, rows, low_entropy_b_losses);
+    std::printf("shape check: for Live, hardware achieves reference"
+                " quality at equal or\nlower bitrate while easily real"
+                " time — an unqualified win except for the\nlow-entropy"
+                " clips, where it degrades less gracefully (§6.1).\n");
+    return 0;
+}

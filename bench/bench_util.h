@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: clip length
+ * scaling (all reported metrics are duration-normalized, so benches
+ * render short clips), and common run patterns.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/measure.h"
+#include "core/reference.h"
+#include "core/transcoder.h"
+#include "video/suite.h"
+
+namespace vbench::bench {
+
+/**
+ * Frames to render for a spec when reproducing experiments: scaled
+ * down with resolution so each bench finishes in minutes. Every
+ * vbench metric (Mpix/s, bits/pix/s, PSNR) is normalized by duration
+ * and geometry, so short renders change noise, not meaning.
+ */
+inline int
+benchFrames(const video::ClipSpec &spec)
+{
+    const double pixels = static_cast<double>(spec.width) * spec.height;
+    if (pixels <= 0.5e6)
+        return 20;  // <= 480p
+    if (pixels <= 1.0e6)
+        return 14;  // 720p
+    if (pixels <= 2.2e6)
+        return 8;   // 1080p
+    return 6;       // 4K
+}
+
+/** Heading printed by every bench binary. */
+inline void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("== vbench: %s ==\n", title.c_str());
+    std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/** Clip synthesis + upload stream, the common experiment prologue. */
+struct PreparedClip {
+    video::Video original;
+    codec::ByteBuffer universal;
+};
+
+inline PreparedClip
+prepare(const video::ClipSpec &spec, int frames = 0)
+{
+    PreparedClip p;
+    p.original = video::synthesizeClip(
+        spec, frames > 0 ? frames : benchFrames(spec));
+    p.universal = core::makeUniversalStream(p.original);
+    return p;
+}
+
+} // namespace vbench::bench

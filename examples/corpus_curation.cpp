@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Corpus curation walk-through: run the paper's §4.1 selection
+ * methodology end to end — generate a weighted upload corpus, cluster
+ * it with weighted k-means over (log resolution, framerate, log
+ * entropy), pick cluster modes, and synthesize one benchmark clip from
+ * a selected category.
+ *
+ *   $ ./examples/corpus_curation [k]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "codec/encoder.h"
+#include "core/report.h"
+#include "corpus/generator.h"
+#include "corpus/kmeans.h"
+#include "metrics/rates.h"
+#include "video/suite.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vbench;
+
+    const int k = argc > 1 ? std::atoi(argv[1]) : 15;
+
+    // 1. The corpus: thousands of weighted categories.
+    const auto corpus = corpus::generateCorpus();
+    std::printf("corpus: %zu categories\n", corpus.size());
+
+    // 2. Weighted k-means in normalized feature space.
+    corpus::KmeansConfig cfg;
+    cfg.k = k;
+    const corpus::FeatureRange range = corpus::featureRange(corpus);
+    const corpus::KmeansResult clusters =
+        corpus::weightedKmeans(corpus, range, cfg);
+    std::printf("k-means: k=%d, %d iterations, inertia %.5f\n", k,
+                clusters.iterations, clusters.inertia);
+
+    // 3. Representatives: the mode (heaviest member) of each cluster.
+    const auto selected = corpus::selectBenchmarkCategories(corpus, cfg);
+    core::Table table({"kpixel", "fps", "entropy", "cluster_weight_pct"});
+    for (size_t c = 0; c < selected.size(); ++c) {
+        table.addRow({std::to_string(selected[c].kpixels),
+                      std::to_string(selected[c].fps),
+                      core::fmt(selected[c].entropy, 1),
+                      core::fmt(selected[c].weight * 100, 3)});
+    }
+    table.print(std::cout);
+
+    // 4. Turn the heaviest selected category into an actual clip and
+    // verify its measured entropy (bits/pix/s at CRF 18).
+    const corpus::VideoCategory &heaviest = *std::max_element(
+        selected.begin(), selected.end(),
+        [](const auto &a, const auto &b) { return a.weight < b.weight; });
+
+    video::ClipSpec spec;
+    spec.name = "selected";
+    // Map Kpixels back onto a 16:9-ish geometry.
+    spec.height = static_cast<int>(
+        std::lround(std::sqrt(heaviest.kpixels * 1000.0 * 9 / 16) / 2) *
+        2);
+    spec.width = static_cast<int>(
+        std::lround(heaviest.kpixels * 1000.0 / spec.height / 2) * 2);
+    spec.fps = heaviest.fps;
+    spec.content = heaviest.entropy < 1 ? video::ContentClass::Screencast
+        : heaviest.entropy < 4 ? video::ContentClass::Natural
+                               : video::ContentClass::Sports;
+    spec.target_entropy = heaviest.entropy;
+    spec.seed = 99;
+    const video::Video clip = video::synthesizeClip(spec, 10);
+
+    codec::EncoderConfig ecfg;
+    ecfg.rc.mode = codec::RcMode::Crf;
+    ecfg.rc.crf = 18;
+    ecfg.effort = 5;
+    codec::Encoder encoder(ecfg);
+    const codec::EncodeResult result = encoder.encode(clip);
+    const double measured = metrics::bitsPerPixelPerSecond(
+        result.totalBytes(), clip.width(), clip.height(),
+        clip.frameCount(), clip.fps());
+    std::printf("\nheaviest selected category: %d Kpixel @ %d fps, "
+                "entropy %.1f\n", heaviest.kpixels, heaviest.fps,
+                heaviest.entropy);
+    std::printf("synthesized %dx%d clip measures %.2f bits/pix/s at "
+                "CRF 18\n", clip.width(), clip.height(), measured);
+    return 0;
+}

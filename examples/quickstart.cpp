@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: synthesize a clip, encode it with the VBC software
+ * encoder, decode it back, and report the three vbench metrics.
+ *
+ *   $ ./examples/quickstart [qp]
+ *
+ * This is the 60-second tour of the public API: video synthesis,
+ * encoding, decoding, and measurement.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "metrics/psnr.h"
+#include "metrics/rates.h"
+#include "video/synth.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vbench;
+
+    const int qp = argc > 1 ? std::atoi(argv[1]) : 26;
+
+    // 1. Make a clip (or read one with video::readY4m).
+    const video::SynthParams params = video::presetFor(
+        video::ContentClass::Natural, 640, 360, 30.0, 30, /*seed=*/42);
+    const video::Video clip = video::synthesize(params, "quickstart");
+    std::printf("clip: %dx%d, %d frames @ %.0f fps\n", clip.width(),
+                clip.height(), clip.frameCount(), clip.fps());
+
+    // 2. Encode.
+    codec::EncoderConfig cfg;
+    cfg.rc.mode = codec::RcMode::Cqp;
+    cfg.rc.qp = qp;
+    cfg.effort = 5;
+    cfg.gop = 30;
+    codec::Encoder encoder(cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const codec::EncodeResult result = encoder.encode(clip);
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    // 3. Decode and measure.
+    const auto decoded = codec::decode(result.stream);
+    if (!decoded) {
+        std::fprintf(stderr, "decode failed\n");
+        return 1;
+    }
+
+    std::printf("qp %d, effort %d:\n", qp, cfg.effort);
+    std::printf("  compressed: %zu bytes (%d frames)\n",
+                result.totalBytes(), clip.frameCount());
+    std::printf("  speed:   %.2f Mpixel/s\n",
+                metrics::megapixelsPerSecond(clip.width(), clip.height(),
+                                             clip.frameCount(), elapsed));
+    std::printf("  bitrate: %.3f bits/pixel/s\n",
+                metrics::bitsPerPixelPerSecond(
+                    result.totalBytes(), clip.width(), clip.height(),
+                    clip.frameCount(), clip.fps()));
+    std::printf("  quality: %.2f dB (average YCbCr PSNR)\n",
+                metrics::videoPsnr(clip, *decoded));
+
+    int skips = 0;
+    for (const codec::FrameStats &f : result.frames)
+        skips += static_cast<int>(f.skip_mbs);
+    std::printf("  skip macroblocks: %d\n", skips);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microarchitectural profiling walk-through: attach the trace
+ * simulator to a transcode and read out cache/branch/Top-Down/SIMD
+ * behaviour — the §5.1-5.2 methodology as a library.
+ *
+ *   $ ./examples/uarch_profile [entropy_scale]
+ */
+
+#include <algorithm>
+#include <vector>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/reference.h"
+#include "core/report.h"
+#include "core/transcoder.h"
+#include "uarch/tracesim.h"
+#include "video/synth.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vbench;
+
+    const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    const video::SynthParams params = video::presetFor(
+        video::ContentClass::Natural, 640, 360, 30.0, 8, 17, scale);
+    const video::Video clip = video::synthesize(params, "profiled");
+    const codec::ByteBuffer universal = core::makeUniversalStream(clip);
+
+    // Attach the simulator to a VOD transcode.
+    uarch::TraceSimulator sim;
+    core::TranscodeRequest req = core::referenceRequest(
+        core::Scenario::Vod, clip.width(), clip.height(), clip.fps());
+    req.probe = &sim;
+    const core::TranscodeOutcome outcome =
+        core::transcode(universal, clip, req);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "transcode failed: %s\n",
+                     outcome.error.c_str());
+        return 1;
+    }
+
+    const uarch::UarchReport rep = sim.report();
+    std::printf("VOD transcode of a %dx%d clip (entropy scale %.1f):\n\n",
+                clip.width(), clip.height(), scale);
+    std::printf("cache / branch behaviour:\n");
+    std::printf("  L1I MPKI:    %6.2f\n", rep.l1i_mpki);
+    std::printf("  branch MPKI: %6.2f\n", rep.branch_mpki);
+    std::printf("  L2 MPKI:     %6.2f\n", rep.l2_mpki);
+    std::printf("  LLC MPKI:    %6.2f\n", rep.l3_mpki);
+
+    std::printf("\nTop-Down slot breakdown:\n");
+    std::printf("  frontend        %5.1f%%\n", rep.topdown.frontend * 100);
+    std::printf("  bad speculation %5.1f%%\n",
+                rep.topdown.bad_speculation * 100);
+    std::printf("  backend/memory  %5.1f%%\n",
+                rep.topdown.backend_memory * 100);
+    std::printf("  backend/core    %5.1f%%\n",
+                rep.topdown.backend_core * 100);
+    std::printf("  retiring        %5.1f%%\n", rep.topdown.retiring * 100);
+
+    std::printf("\ncycles by SIMD class: scalar %.1f%%, AVX2 %.1f%%\n",
+                rep.cycles.scalarFraction() * 100,
+                rep.cycles.fraction(uarch::IsaLevel::AVX2) * 100);
+
+    std::printf("\nhottest kernels (work units):\n");
+    std::vector<std::pair<double, int>> ranked;
+    for (int k = 0; k < uarch::kNumKernels; ++k)
+        ranked.emplace_back(rep.work.units[k], k);
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (int i = 0; i < 5; ++i) {
+        std::printf("  %-14s %12.0f\n",
+                    uarch::kernelName(
+                        static_cast<uarch::KernelId>(ranked[i].second)),
+                    ranked[i].first);
+    }
+    std::printf("\ntry ./examples/uarch_profile 0.1 (slideshow-like) vs"
+                " 3.0 (noisy):\nI$ and branch MPKI rise with entropy, LLC"
+                " MPKI falls (Fig. 5).\n");
+    return 0;
+}

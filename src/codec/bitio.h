@@ -1,0 +1,148 @@
+#pragma once
+
+/**
+ * @file
+ * MSB-first bit writer/reader with Exp-Golomb codes, the VLC entropy
+ * backend and the container header format.
+ */
+
+#include <cassert>
+#include <cstdint>
+
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/** MSB-first bit sink appending to a ByteBuffer. */
+class BitWriter
+{
+  public:
+    explicit BitWriter(ByteBuffer &out) : out_(out) {}
+
+    void
+    putBit(int bit)
+    {
+        accum_ = (accum_ << 1) | (bit & 1);
+        if (++fill_ == 8) {
+            out_.push_back(static_cast<uint8_t>(accum_));
+            accum_ = 0;
+            fill_ = 0;
+        }
+    }
+
+    /** Write the low `bits` bits of value, MSB first. */
+    void
+    putBits(uint32_t value, int bits)
+    {
+        assert(bits >= 0 && bits <= 32);
+        for (int i = bits - 1; i >= 0; --i)
+            putBit((value >> i) & 1);
+    }
+
+    /** Unsigned Exp-Golomb. */
+    void
+    putUe(uint32_t value)
+    {
+        const uint64_t v = static_cast<uint64_t>(value) + 1;
+        int bits = 0;
+        while ((v >> bits) > 1)
+            ++bits;
+        for (int i = 0; i < bits; ++i)
+            putBit(0);
+        for (int i = bits; i >= 0; --i)
+            putBit((v >> i) & 1);
+    }
+
+    /** Signed Exp-Golomb: 0, 1, -1, 2, -2, ... */
+    void
+    putSe(int32_t value)
+    {
+        const uint32_t mapped = value > 0
+            ? static_cast<uint32_t>(value) * 2 - 1
+            : static_cast<uint32_t>(-value) * 2;
+        putUe(mapped);
+    }
+
+    /** Pad with zero bits to the next byte boundary. */
+    void
+    align()
+    {
+        while (fill_ != 0)
+            putBit(0);
+    }
+
+    /** Bits written so far (including unflushed). */
+    size_t bitCount() const { return out_.size() * 8 + fill_; }
+
+  private:
+    ByteBuffer &out_;
+    uint32_t accum_ = 0;
+    int fill_ = 0;
+};
+
+/** MSB-first bit source over a byte range. Reads past the end yield 0. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    int
+    getBit()
+    {
+        if (pos_ >= size_ * 8) {
+            overflowed_ = true;
+            return 0;
+        }
+        const int bit = (data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1;
+        ++pos_;
+        return bit;
+    }
+
+    uint32_t
+    getBits(int bits)
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < bits; ++i)
+            v = (v << 1) | getBit();
+        return v;
+    }
+
+    uint32_t
+    getUe()
+    {
+        int zeros = 0;
+        while (getBit() == 0 && zeros < 32)
+            ++zeros;
+        uint32_t v = 1;
+        for (int i = 0; i < zeros; ++i)
+            v = (v << 1) | getBit();
+        return v - 1;
+    }
+
+    int32_t
+    getSe()
+    {
+        const uint32_t mapped = getUe();
+        if (mapped == 0)
+            return 0;
+        const int32_t mag = static_cast<int32_t>((mapped + 1) / 2);
+        return (mapped & 1) ? mag : -mag;
+    }
+
+    void
+    align()
+    {
+        pos_ = (pos_ + 7) & ~static_cast<size_t>(7);
+    }
+
+    size_t bitPos() const { return pos_; }
+    bool overflowed() const { return overflowed_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    bool overflowed_ = false;
+};
+
+} // namespace vbench::codec

@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * VBC container format: a byte-oriented stream header followed by
+ * length-prefixed frame records.
+ *
+ * Layout:
+ *   magic "VBC1" (4 bytes)
+ *   header bits (BitWriter, byte-aligned at the end):
+ *     version ue, width ue, height ue, fps_num ue, fps_den ue,
+ *     frame_count ue, entropy bit, deblock bit, aq bit, num_refs ue
+ *   per frame:
+ *     payload length u32 little-endian (includes the 1-byte header)
+ *     frame byte: bit 0 = type (0 I / 1 P), bits 2..7 = base QP
+ *     entropy payload (VLC bits or range-coded blob)
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "codec/bitio.h"
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/** Sequence-level parameters carried in the stream header. */
+struct StreamHeader {
+    int width = 0;
+    int height = 0;
+    uint32_t fps_num = 30;
+    uint32_t fps_den = 1;
+    uint32_t frame_count = 0;
+    EntropyMode entropy = EntropyMode::Vlc;
+    bool deblock = true;
+    bool adaptive_quant = false;
+    uint32_t num_refs = 1;
+
+    double fps() const { return static_cast<double>(fps_num) / fps_den; }
+};
+
+inline constexpr char kMagic[4] = {'V', 'B', 'C', '1'};
+inline constexpr uint32_t kVersion = 1;
+
+/** Serialize the stream header onto a buffer. */
+inline void
+writeStreamHeader(ByteBuffer &out, const StreamHeader &header)
+{
+    out.insert(out.end(), kMagic, kMagic + 4);
+    BitWriter bits(out);
+    bits.putUe(kVersion);
+    bits.putUe(static_cast<uint32_t>(header.width));
+    bits.putUe(static_cast<uint32_t>(header.height));
+    bits.putUe(header.fps_num);
+    bits.putUe(header.fps_den);
+    bits.putUe(header.frame_count);
+    bits.putBit(header.entropy == EntropyMode::Arith);
+    bits.putBit(header.deblock);
+    bits.putBit(header.adaptive_quant);
+    bits.putUe(header.num_refs);
+    bits.align();
+}
+
+/**
+ * Parse the stream header.
+ * @param[out] consumed bytes consumed from `data`.
+ * @return header, or nullopt if malformed.
+ */
+inline std::optional<StreamHeader>
+parseStreamHeader(const uint8_t *data, size_t size, size_t &consumed)
+{
+    if (size < 8 || std::memcmp(data, kMagic, 4) != 0)
+        return std::nullopt;
+    BitReader bits(data + 4, size - 4);
+    StreamHeader header;
+    const uint32_t version = bits.getUe();
+    if (version != kVersion)
+        return std::nullopt;
+    header.width = static_cast<int>(bits.getUe());
+    header.height = static_cast<int>(bits.getUe());
+    header.fps_num = bits.getUe();
+    header.fps_den = bits.getUe();
+    header.frame_count = bits.getUe();
+    header.entropy = bits.getBit() ? EntropyMode::Arith : EntropyMode::Vlc;
+    header.deblock = bits.getBit();
+    header.adaptive_quant = bits.getBit();
+    header.num_refs = bits.getUe();
+    if (bits.overflowed() || header.width <= 0 || header.height <= 0 ||
+        header.fps_num == 0 || header.fps_den == 0 ||
+        header.num_refs == 0 || header.num_refs > 8) {
+        return std::nullopt;
+    }
+    consumed = 4 + (bits.bitPos() + 7) / 8;
+    return header;
+}
+
+/** Append a little-endian u32 (frame payload length). */
+inline void
+appendU32(ByteBuffer &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v & 0xFF));
+    out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+    out.push_back(static_cast<uint8_t>((v >> 24) & 0xFF));
+}
+
+inline uint32_t
+readU32(const uint8_t *data)
+{
+    return static_cast<uint32_t>(data[0]) |
+        (static_cast<uint32_t>(data[1]) << 8) |
+        (static_cast<uint32_t>(data[2]) << 16) |
+        (static_cast<uint32_t>(data[3]) << 24);
+}
+
+/** Pack / unpack the 1-byte frame header. */
+inline uint8_t
+packFrameByte(FrameType type, int qp)
+{
+    return static_cast<uint8_t>((type == FrameType::P ? 1 : 0) |
+                                ((qp & 0x3F) << 2));
+}
+
+inline FrameType
+frameTypeFromByte(uint8_t b)
+{
+    return (b & 1) ? FrameType::P : FrameType::I;
+}
+
+inline int
+frameQpFromByte(uint8_t b)
+{
+    return (b >> 2) & 0x3F;
+}
+
+} // namespace vbench::codec

@@ -1,0 +1,146 @@
+#include "codec/deblock.h"
+
+#include <cstdlib>
+
+namespace vbench::codec {
+
+namespace {
+
+/** H.264 alpha threshold table indexed by QP. */
+const uint8_t kAlpha[52] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    4, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 17, 20, 22, 25, 28,
+    32, 36, 40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144, 162, 182,
+    203, 226, 255, 255,
+};
+
+/** H.264 beta threshold table indexed by QP. */
+const uint8_t kBeta[52] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8, 8,
+    9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16,
+    17, 17, 18, 18,
+};
+
+/**
+ * Boundary strength between the macroblocks containing the two sides
+ * of an edge: 2 across intra, 1 if residual was coded or motion
+ * differs by a pixel or more, 0 (no filtering) otherwise.
+ */
+int
+boundaryStrength(const MbInfo &p, const MbInfo &q)
+{
+    if (p.mode == MbMode::Intra || q.mode == MbMode::Intra)
+        return 2;
+    if (p.coded || q.coded)
+        return 1;
+    if (p.ref != q.ref || std::abs(p.mv.x - q.mv.x) >= 2 ||
+        std::abs(p.mv.y - q.mv.y) >= 2) {
+        return 1;
+    }
+    return 0;
+}
+
+/** Clip limit: grows with QP and strength. */
+inline int
+clipLimit(int qp, int bs)
+{
+    return 1 + (qp >> 3) + bs;
+}
+
+/**
+ * Filter one 1-sample-wide edge segment. p1/p0 sit before the edge,
+ * q0/q1 after, `step` apart in memory.
+ */
+inline bool
+filterSample(uint8_t *q0_ptr, int step, int qp, int bs)
+{
+    const int p1 = q0_ptr[-2 * step];
+    const int p0 = q0_ptr[-step];
+    const int q0 = q0_ptr[0];
+    const int q1 = q0_ptr[step];
+    if (std::abs(p0 - q0) >= kAlpha[qp] || std::abs(p1 - p0) >= kBeta[qp] ||
+        std::abs(q1 - q0) >= kBeta[qp]) {
+        return false;
+    }
+    const int tc = clipLimit(qp, bs);
+    int delta = ((q0 - p0) * 4 + (p1 - q1) + 4) >> 3;
+    delta = clampInt(delta, -tc, tc);
+    q0_ptr[-step] = clampPixel(p0 + delta);
+    q0_ptr[0] = clampPixel(q0 - delta);
+    return true;
+}
+
+/**
+ * Deblock one plane. `shift` converts sample coordinates to luma
+ * macroblock coordinates (4 for luma, 3 for chroma).
+ */
+void
+deblockPlane(video::Plane &plane, const MbGrid &grid, int shift,
+             uint64_t &edges, uint64_t &decisions, int &n_decisions)
+{
+    const int w = plane.width();
+    const int h = plane.height();
+
+    // Vertical edges (filter across columns).
+    for (int x = 4; x < w; x += 4) {
+        const int mbx_q = x >> shift;
+        const int mbx_p = (x - 1) >> shift;
+        for (int y = 0; y < h; ++y) {
+            const int mby = y >> shift;
+            const MbInfo &p = grid.at(mbx_p, mby);
+            const MbInfo &q = grid.at(mbx_q, mby);
+            const int bs = boundaryStrength(p, q);
+            if (bs == 0)
+                continue;
+            const int qp = (p.qp + q.qp + 1) / 2;
+            const bool filtered = filterSample(&plane.at(x, y), 1, qp, bs);
+            ++edges;
+            if (n_decisions < 64) {
+                decisions |= static_cast<uint64_t>(filtered) << n_decisions;
+                ++n_decisions;
+            }
+        }
+    }
+    // Horizontal edges (filter across rows).
+    const int stride = plane.width();
+    for (int y = 4; y < h; y += 4) {
+        const int mby_q = y >> shift;
+        const int mby_p = (y - 1) >> shift;
+        for (int x = 0; x < w; ++x) {
+            const int mbx = x >> shift;
+            const MbInfo &p = grid.at(mbx, mby_p);
+            const MbInfo &q = grid.at(mbx, mby_q);
+            const int bs = boundaryStrength(p, q);
+            if (bs == 0)
+                continue;
+            const int qp = (p.qp + q.qp + 1) / 2;
+            filterSample(&plane.at(x, y), stride, qp, bs);
+            ++edges;
+        }
+    }
+}
+
+} // namespace
+
+void
+deblockFrame(video::Frame &recon, const MbGrid &grid,
+             uarch::UarchProbe *probe)
+{
+    uint64_t edges = 0;
+    uint64_t decisions = 0;
+    int n_decisions = 0;
+    deblockPlane(recon.y(), grid, 4, edges, decisions, n_decisions);
+    deblockPlane(recon.u(), grid, 3, edges, decisions, n_decisions);
+    deblockPlane(recon.v(), grid, 3, edges, decisions, n_decisions);
+    if (probe && edges > 0) {
+        probe->record(uarch::KernelId::Deblock,
+                      (edges + 15) / 16, decisions, n_decisions,
+                      {uarch::MemRegion{recon.y().data(),
+                                        static_cast<uint32_t>(
+                                            recon.y().size()),
+                                        1, 0, true}});
+    }
+}
+
+} // namespace vbench::codec

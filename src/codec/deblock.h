@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * @file
+ * In-loop deblocking filter (H.264-style edge conditions with a
+ * simplified clip schedule). Runs on the reconstructed frame before it
+ * becomes a reference, identically in encoder and decoder.
+ */
+
+#include "codec/mbinfo.h"
+#include "uarch/probe.h"
+#include "video/frame.h"
+
+namespace vbench::codec {
+
+/**
+ * Filter all 4x4-grid edges of a reconstructed frame in place.
+ * Vertical edges are filtered before horizontal ones.
+ *
+ * @param recon reconstructed frame (modified in place).
+ * @param grid per-macroblock mode/MV/coded info for boundary strength.
+ * @param probe optional instrumentation.
+ */
+void deblockFrame(video::Frame &recon, const MbGrid &grid,
+                  uarch::UarchProbe *probe = nullptr);
+
+} // namespace vbench::codec

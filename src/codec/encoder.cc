@@ -1,0 +1,916 @@
+#include "codec/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "codec/bitstream.h"
+#include "codec/deblock.h"
+#include "codec/interp.h"
+#include "codec/intra.h"
+#include "codec/mbinfo.h"
+#include "codec/me.h"
+#include "codec/recon.h"
+#include "codec/refplane.h"
+#include "codec/residual.h"
+#include "codec/syntax.h"
+#include "codec/transform.h"
+
+namespace vbench::codec {
+
+namespace {
+
+using uarch::KernelId;
+using uarch::MemRegion;
+using video::Frame;
+using video::Plane;
+using video::Video;
+
+/** Pad a frame to macroblock-aligned dimensions by edge replication. */
+Frame
+padFrame(const Frame &src, int padded_w, int padded_h,
+         uarch::UarchProbe *probe)
+{
+    Frame out(padded_w, padded_h);
+    auto padPlane = [](const Plane &in, Plane &dst) {
+        for (int y = 0; y < dst.height(); ++y) {
+            const int sy = std::min(y, in.height() - 1);
+            const uint8_t *src_row = in.row(sy);
+            uint8_t *dst_row = dst.row(y);
+            const int copy = std::min(in.width(), dst.width());
+            for (int x = 0; x < copy; ++x)
+                dst_row[x] = src_row[x];
+            for (int x = copy; x < dst.width(); ++x)
+                dst_row[x] = src_row[in.width() - 1];
+        }
+    };
+    padPlane(src.y(), out.y());
+    padPlane(src.u(), out.u());
+    padPlane(src.v(), out.v());
+    if (probe) {
+        probe->record(KernelId::FrameCopy, out.pixelCount() / 64, 0, 0,
+                      {MemRegion{src.y().data(),
+                                 static_cast<uint32_t>(src.y().size()), 1,
+                                 0, false}});
+    }
+    return out;
+}
+
+/**
+ * Cheap scene-change detector: subsampled mean absolute luma
+ * difference between consecutive source frames. Runs on the source, so
+ * both two-pass passes and any instrumented re-run make the identical
+ * decision.
+ */
+bool
+isSceneCut(const Frame &current, const Frame &previous)
+{
+    const Plane &a = current.y();
+    const Plane &b = previous.y();
+    int64_t sum = 0;
+    int64_t count = 0;
+    for (int y = 0; y < a.height(); y += 4) {
+        const uint8_t *ra = a.row(y);
+        const uint8_t *rb = b.row(y);
+        for (int x = 0; x < a.width(); x += 4) {
+            sum += std::abs(ra[x] - rb[x]);
+            ++count;
+        }
+    }
+    // A hard cut replaces essentially every pixel; gradual motion
+    // rarely exceeds a mean difference of ~20.
+    return count > 0 && sum > 28 * count;
+}
+
+/** Fixed-capacity candidate description for one macroblock mode. */
+struct ModeCandidate {
+    MbMode mode = MbMode::Intra;
+    MotionVector mv[4];     ///< partition MVs (1 used for Inter16)
+    int ref = 0;
+    IntraMode luma_mode = IntraMode::Dc;
+    uint32_t est_cost = UINT32_MAX;  ///< SAD + lambda * bit estimate
+    bool is_skip_seed = false;       ///< the predictor/skip candidate
+};
+
+/** Variance of a 16x16 luma block (adaptive quantization energy). */
+double
+mbVariance(const Plane &plane, int x, int y)
+{
+    int64_t sum = 0;
+    int64_t sum2 = 0;
+    for (int r = 0; r < kMbSize; ++r) {
+        const uint8_t *row = plane.row(y + r) + x;
+        for (int c = 0; c < kMbSize; ++c) {
+            sum += row[c];
+            sum2 += row[c] * row[c];
+        }
+    }
+    const double n = kMbSize * kMbSize;
+    const double mean = sum / n;
+    return std::max(0.0, sum2 / n - mean * mean);
+}
+
+/**
+ * The per-sequence encoder state machine. A fresh instance runs each
+ * pass, so two-pass encoding is two Sequencer runs.
+ */
+class Sequencer
+{
+  public:
+    Sequencer(const EncoderConfig &config, const ToolPreset &tools,
+              const Video &source, RateController &rate)
+        : config_(config), tools_(tools), source_(source), rate_(rate),
+          probe_(config.probe),
+          padded_w_((source.width() + kMbSize - 1) & ~(kMbSize - 1)),
+          padded_h_((source.height() + kMbSize - 1) & ~(kMbSize - 1)),
+          mb_cols_(padded_w_ / kMbSize), mb_rows_(padded_h_ / kMbSize)
+    {
+    }
+
+    EncodeResult
+    run()
+    {
+        EncodeResult result;
+        StreamHeader header;
+        header.width = source_.width();
+        header.height = source_.height();
+        toRational(source_.fps(), header.fps_num, header.fps_den);
+        header.frame_count = static_cast<uint32_t>(source_.frameCount());
+        header.entropy = tools_.entropy;
+        header.deblock = tools_.deblock;
+        header.adaptive_quant = tools_.adaptive_quant;
+        header.num_refs = static_cast<uint32_t>(tools_.refs);
+        writeStreamHeader(result.stream, header);
+
+        for (int i = 0; i < source_.frameCount(); ++i) {
+            FrameType type = frameTypeFor(i);
+            if (type == FrameType::P && tools_.scenecut &&
+                isSceneCut(source_.frame(i), source_.frame(i - 1))) {
+                type = FrameType::I;
+            }
+            const int qp = rate_.frameQp(type, i);
+            FrameStats stats;
+            const ByteBuffer payload =
+                encodeFrame(source_.frame(i), type, qp, stats);
+            appendU32(result.stream,
+                      static_cast<uint32_t>(payload.size() + 1));
+            result.stream.push_back(packFrameByte(type, qp));
+            result.stream.insert(result.stream.end(), payload.begin(),
+                                 payload.end());
+            stats.type = type;
+            stats.qp = qp;
+            stats.bytes = payload.size() + 5;
+            result.frames.push_back(stats);
+            rate_.frameDone(type, (payload.size() + 5) * 8.0);
+        }
+        return result;
+    }
+
+  private:
+    static void
+    toRational(double fps, uint32_t &num, uint32_t &den)
+    {
+        if (std::abs(fps - std::round(fps)) < 1e-9) {
+            num = static_cast<uint32_t>(std::lround(fps));
+            den = 1;
+        } else {
+            num = static_cast<uint32_t>(std::lround(fps * 1000));
+            den = 1000;
+        }
+    }
+
+    FrameType
+    frameTypeFor(int index) const
+    {
+        if (index == 0)
+            return FrameType::I;
+        if (config_.gop > 0 && index % config_.gop == 0)
+            return FrameType::I;
+        return FrameType::P;
+    }
+
+    /** Encode one frame and return its entropy payload. */
+    ByteBuffer
+    encodeFrame(const Frame &original, FrameType type, int frame_qp,
+                FrameStats &stats)
+    {
+        const Frame src = padFrame(original, padded_w_, padded_h_, probe_);
+        if (type == FrameType::I)
+            refs_.clear();
+
+        recon_ = Frame(padded_w_, padded_h_);
+        grid_ = MbGrid(mb_cols_, mb_rows_);
+
+        // Adaptive-quant pre-pass: per-MB activity vs frame average.
+        if (tools_.adaptive_quant)
+            computeAqOffsets(src, frame_qp);
+
+        ByteBuffer payload;
+        std::unique_ptr<SyntaxWriter> writer;
+        if (tools_.entropy == EntropyMode::Arith)
+            writer = std::make_unique<ArithSyntaxWriter>(payload);
+        else
+            writer = std::make_unique<VlcSyntaxWriter>(payload);
+
+        last_qp_ = frame_qp;
+        const KernelId entropy_kernel =
+            tools_.entropy == EntropyMode::Arith ? KernelId::EntropyArith
+                                                 : KernelId::EntropyVlc;
+        double bits_done = 0;
+        for (int mby = 0; mby < mb_rows_; ++mby) {
+            for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                encodeMacroblock(src, type, frame_qp, mbx, mby, *writer,
+                                 stats);
+                if (probe_) {
+                    // Entropy coding interleaves with every macroblock,
+                    // which is exactly what pressures the I-cache on
+                    // complex content; record it at MB granularity.
+                    const double bits = writer->bitsWritten();
+                    probe_->record(
+                        entropy_kernel,
+                        std::max<uint64_t>(
+                            1, static_cast<uint64_t>(bits - bits_done)),
+                        entropy_hash_, 64);
+                    bits_done = bits;
+                }
+            }
+        }
+        writer->finish();
+
+        if (probe_) {
+            probe_->record(KernelId::RateControl,
+                           static_cast<uint64_t>(mb_cols_) * mb_rows_);
+        }
+
+        if (tools_.deblock)
+            deblockFrame(recon_, grid_, probe_);
+
+        refs_.push_front(RefFrame{RefPlane(recon_.y()), RefPlane(recon_.u()),
+                                  RefPlane(recon_.v())});
+        while (static_cast<int>(refs_.size()) >
+               std::max(1, tools_.refs)) {
+            refs_.pop_back();
+        }
+        return payload;
+    }
+
+    void
+    computeAqOffsets(const Frame &src, int frame_qp)
+    {
+        aq_offsets_.assign(static_cast<size_t>(mb_cols_) * mb_rows_, 0);
+        std::vector<double> log_var(aq_offsets_.size());
+        double avg = 0;
+        for (int mby = 0; mby < mb_rows_; ++mby) {
+            for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                const double v =
+                    mbVariance(src.y(), mbx * kMbSize, mby * kMbSize);
+                log_var[mby * mb_cols_ + mbx] = std::log2(v + 1.0);
+                avg += log_var[mby * mb_cols_ + mbx];
+            }
+        }
+        avg /= log_var.size();
+        for (size_t i = 0; i < log_var.size(); ++i) {
+            const double strength = 0.8;
+            int off = static_cast<int>(
+                std::lround(strength * (log_var[i] - avg)));
+            off = clampInt(off, -4, 4);
+            // Keep the offset inside the QP range.
+            off = clampInt(off, kMinQp - frame_qp, kMaxQp - frame_qp);
+            aq_offsets_[i] = static_cast<int8_t>(off);
+        }
+    }
+
+    // ----- Macroblock encoding -------------------------------------
+
+    void
+    encodeMacroblock(const Frame &src, FrameType type, int frame_qp,
+                     int mbx, int mby, SyntaxWriter &writer,
+                     FrameStats &stats)
+    {
+        const int x = mbx * kMbSize;
+        const int y = mby * kMbSize;
+        int qp_mb = frame_qp;
+        if (tools_.adaptive_quant)
+            qp_mb = clampInt(frame_qp + aq_offsets_[mby * mb_cols_ + mbx],
+                             kMinQp, kMaxQp);
+        const double lambda = sadLambda(qp_mb);
+
+        if (probe_)
+            probe_->record(KernelId::Dispatch, 1);
+
+        const MotionVector pred_mv = mvPredictor(grid_, mbx, mby);
+
+        // The MV any skip-flavored candidate may use: the predictor,
+        // clamped into the legal compensation range for this block
+        // (identity in the overwhelmingly common case).
+        const MotionVector skip_mv = clampMvForBlock(
+            pred_mv, x, y, kMbSize, kMbSize, padded_w_, padded_h_);
+
+        // --- Early skip: static content drops out immediately. ---
+        if (type == FrameType::P && !refs_.empty()) {
+            uint8_t skip_pred[kMbSize * kMbSize];
+            motionCompensate(refs_[0].y, x, y, skip_mv, kMbSize, kMbSize,
+                             skip_pred);
+            const uint32_t skip_sad =
+                sadBlock(src.y().row(y) + x, padded_w_, skip_pred, kMbSize,
+                         kMbSize, kMbSize);
+            const uint32_t threshold = static_cast<uint32_t>(
+                (160 + 24 * qp_mb) * tools_.early_skip_scale);
+            if (skip_sad < threshold) {
+                ModeCandidate cand;
+                cand.mode = MbMode::Inter16;
+                cand.mv[0] = skip_mv;
+                cand.ref = 0;
+                emitMacroblock(src, type, cand, qp_mb, mbx, mby, writer,
+                               stats, pred_mv);
+                return;
+            }
+        }
+
+        // --- Candidate generation. ---
+        ModeCandidate candidates[4];
+        int n_candidates = 0;
+
+        if (type == FrameType::P && !refs_.empty()) {
+            // The skip/predictor candidate always competes: without it
+            // a searched MV with marginal residual wins on SAD but
+            // loses on rate, bloating high-effort encodes.
+            {
+                uint8_t skip_pred[kMbSize * kMbSize];
+                motionCompensate(refs_[0].y, x, y, skip_mv, kMbSize,
+                                 kMbSize, skip_pred);
+                // Same distortion metric as the motion search's final
+                // scoring, or the candidates are not comparable.
+                const uint32_t sad = tools_.satd_subpel
+                    ? satdBlock(src.y().row(y) + x, padded_w_, skip_pred,
+                                kMbSize, kMbSize, kMbSize)
+                    : sadBlock(src.y().row(y) + x, padded_w_, skip_pred,
+                               kMbSize, kMbSize, kMbSize);
+                ModeCandidate skip_cand;
+                skip_cand.mode = MbMode::Inter16;
+                skip_cand.mv[0] = skip_mv;
+                skip_cand.ref = 0;
+                skip_cand.est_cost =
+                    sad + static_cast<uint32_t>(lambda * 1);
+                skip_cand.is_skip_seed = true;
+                candidates[n_candidates++] = skip_cand;
+            }
+            // INTER16: search every allowed reference.
+            ModeCandidate inter16;
+            inter16.mode = MbMode::Inter16;
+            for (int r = 0;
+                 r < static_cast<int>(refs_.size()) && r < tools_.refs;
+                 ++r) {
+                MeContext me;
+                me.src = &src.y();
+                me.ref = &refs_[r].y;
+                me.block_x = x;
+                me.block_y = y;
+                me.pred = pred_mv;
+                me.lambda = lambda;
+                me.kind = tools_.search;
+                me.range = tools_.range;
+                me.subpel = tools_.subpel;
+                me.subpel_iters = tools_.subpel_iters;
+                me.satd_subpel = tools_.satd_subpel;
+                me.probe = probe_;
+                const MeResult res = motionSearch(me);
+                const uint32_t ref_bits = r == 0 ? 1 : 3;
+                const uint32_t cost = res.cost +
+                    static_cast<uint32_t>(lambda * ref_bits);
+                if (cost < inter16.est_cost) {
+                    inter16.est_cost = cost;
+                    inter16.mv[0] = res.mv;
+                    inter16.ref = r;
+                }
+            }
+            candidates[n_candidates++] = inter16;
+
+            // INTER8: four 8x8 partitions on the winning reference.
+            if (tools_.inter8) {
+                ModeCandidate inter8;
+                inter8.mode = MbMode::Inter8;
+                inter8.ref = inter16.ref;
+                uint32_t total = 0;
+                for (int part = 0; part < 4; ++part) {
+                    MeContext me;
+                    me.src = &src.y();
+                    me.ref = &refs_[inter8.ref].y;
+                    me.block_x = x + (part & 1) * 8;
+                    me.block_y = y + (part >> 1) * 8;
+                    me.block_w = 8;
+                    me.block_h = 8;
+                    me.pred = pred_mv;
+                    me.lambda = lambda;
+                    me.kind = tools_.search;
+                    me.range = std::max(4, tools_.range / 2);
+                    me.subpel = tools_.subpel;
+                    me.subpel_iters = tools_.subpel_iters;
+                    me.satd_subpel = tools_.satd_subpel;
+                    me.probe = probe_;
+                    const MeResult res = motionSearch(me);
+                    inter8.mv[part] = res.mv;
+                    total += res.cost;
+                }
+                inter8.est_cost =
+                    total + static_cast<uint32_t>(lambda * 4);
+                candidates[n_candidates++] = inter8;
+            }
+        }
+
+        // INTRA: evaluate the enabled predictors on the luma block.
+        {
+            ModeCandidate intra;
+            intra.mode = MbMode::Intra;
+            uint8_t pred_buf[kMbSize * kMbSize];
+            uint32_t tried = 0;
+            for (int m = 0; m < tools_.intra_modes; ++m) {
+                const IntraMode mode = static_cast<IntraMode>(m);
+                if (!intraModeAvailable(mode, x, y))
+                    continue;
+                intraPredict(mode, recon_.y(), x, y, kMbSize, pred_buf);
+                ++tried;
+                const uint32_t sad = tools_.satd_subpel
+                    ? satdBlock(src.y().row(y) + x, padded_w_, pred_buf,
+                                kMbSize, kMbSize, kMbSize)
+                    : sadBlock(src.y().row(y) + x, padded_w_, pred_buf,
+                               kMbSize, kMbSize, kMbSize);
+                // Intra residuals cost more bits than inter at equal
+                // SAD; bias keeps P frames from going intra-happy.
+                const uint32_t cost = sad +
+                    static_cast<uint32_t>(lambda * 6) +
+                    (type == FrameType::P ? sad / 4 : 0);
+                if (cost < intra.est_cost) {
+                    intra.est_cost = cost;
+                    intra.luma_mode = mode;
+                }
+            }
+            if (probe_ && tried > 0)
+                probe_->record(KernelId::IntraPredict, tried);
+            candidates[n_candidates++] = intra;
+        }
+
+        // --- Selection: heuristic or RD trial on the leaders. ---
+        std::sort(candidates, candidates + n_candidates,
+                  [](const ModeCandidate &a, const ModeCandidate &b) {
+                      return a.est_cost < b.est_cost;
+                  });
+        int chosen = 0;
+        if (tools_.rdo > 0 && n_candidates > 1) {
+            // The skip seed always earns a trial: its rate advantage is
+            // invisible to the SAD-based pre-sort.
+            int trials =
+                std::min(n_candidates, tools_.rdo >= 2 ? 3 : 2);
+            for (int i = trials; i < n_candidates; ++i) {
+                if (candidates[i].is_skip_seed) {
+                    std::swap(candidates[trials - 1], candidates[i]);
+                    break;
+                }
+            }
+            double best_rd = 1e30;
+            uint64_t decisions = 0;
+            for (int i = 0; i < trials; ++i) {
+                const double rd = rdCostLuma(
+                    src, candidates[i], qp_mb, x, y,
+                    candidateOverheadBits(candidates[i], pred_mv, type));
+                decisions |= static_cast<uint64_t>(rd < best_rd) << i;
+                if (rd < best_rd) {
+                    best_rd = rd;
+                    chosen = i;
+                }
+            }
+            if (probe_)
+                probe_->record(KernelId::ModeDecision, trials, decisions,
+                               trials);
+        } else if (probe_) {
+            probe_->record(KernelId::ModeDecision, n_candidates,
+                           chosen == 0 ? 1 : 0, n_candidates);
+        }
+
+        emitMacroblock(src, type, candidates[chosen], qp_mb, mbx, mby,
+                       writer, stats, pred_mv);
+    }
+
+    /** Syntax bits a candidate pays before any residual is coded. */
+    static uint32_t
+    candidateOverheadBits(const ModeCandidate &cand, MotionVector pred_mv,
+                          FrameType type)
+    {
+        if (type == FrameType::P && cand.is_skip_seed)
+            return 1;  // likely collapses to the skip flag
+        uint32_t bits = type == FrameType::P ? 2 : 0;  // skip + mode
+        switch (cand.mode) {
+          case MbMode::Skip:
+            return 1;
+          case MbMode::Inter16:
+            bits += mvBits(cand.mv[0], pred_mv) + (cand.ref != 0 ? 3 : 1);
+            break;
+          case MbMode::Inter8:
+            for (int part = 0; part < 4; ++part)
+                bits += mvBits(cand.mv[part], pred_mv);
+            bits += 1 + (cand.ref != 0 ? 3 : 1);
+            break;
+          case MbMode::Intra:
+            bits += 4;  // luma + chroma mode bits
+            break;
+        }
+        return bits;
+    }
+
+    /** Luma-only rate-distortion trial of a candidate. */
+    double
+    rdCostLuma(const Frame &src, const ModeCandidate &cand, int qp, int x,
+               int y, uint32_t overhead_bits)
+    {
+        uint8_t pred[kMbSize * kMbSize];
+        buildLumaPrediction(cand, x, y, pred);
+        int16_t levels[16 * 16];
+        quantizeLumaResidual(src, pred, x, y, qp,
+                             cand.mode == MbMode::Intra, levels);
+
+        CountingSyntaxWriter counter;
+        for (int b = 0; b < 16; ++b)
+            writeResidualBlock(counter, levels + b * 16, true);
+
+        // Distortion of the true reconstruction.
+        Plane scratch(kMbSize, kMbSize);
+        for (int r = 0; r < kMbSize; ++r)
+            for (int c = 0; c < kMbSize; ++c)
+                scratch.at(c, r) = 0;
+        reconstructBlockInto(scratch, pred, levels, qp);
+        double ssd = 0;
+        for (int r = 0; r < kMbSize; ++r) {
+            const uint8_t *s = src.y().row(y + r) + x;
+            for (int c = 0; c < kMbSize; ++c) {
+                const double d = static_cast<double>(s[c]) -
+                    scratch.at(c, r);
+                ssd += d * d;
+            }
+        }
+        // Slightly inflated lambda keeps high-effort RDO from buying
+        // PSNR with bits (it must *compress* better at iso-QP, which
+        // is what the effort ladder promises).
+        return ssd + 1.8 * rdLambda(qp) *
+            (counter.bitsWritten() + overhead_bits);
+    }
+
+    /** Reconstruct a 16x16 luma trial block into a scratch plane. */
+    void
+    reconstructBlockInto(Plane &scratch, const uint8_t *pred,
+                         const int16_t *levels, int qp)
+    {
+        reconstructBlock(scratch, 0, 0, kMbSize, pred, levels, qp);
+    }
+
+    void
+    buildLumaPrediction(const ModeCandidate &cand, int x, int y,
+                        uint8_t *pred)
+    {
+        switch (cand.mode) {
+          case MbMode::Intra:
+            intraPredict(cand.luma_mode, recon_.y(), x, y, kMbSize, pred);
+            break;
+          case MbMode::Skip:
+          case MbMode::Inter16:
+            motionCompensate(refs_[cand.ref].y, x, y, cand.mv[0], kMbSize,
+                             kMbSize, pred);
+            break;
+          case MbMode::Inter8:
+            for (int part = 0; part < 4; ++part) {
+                uint8_t temp[8 * 8];
+                motionCompensate(refs_[cand.ref].y, x + (part & 1) * 8,
+                                 y + (part >> 1) * 8, cand.mv[part], 8, 8,
+                                 temp);
+                for (int r = 0; r < 8; ++r)
+                    for (int c = 0; c < 8; ++c)
+                        pred[((part >> 1) * 8 + r) * kMbSize +
+                             (part & 1) * 8 + c] = temp[r * 8 + c];
+            }
+            break;
+        }
+    }
+
+    /** Chroma prediction for one plane (8x8). */
+    void
+    buildChromaPrediction(const ModeCandidate &cand, IntraMode chroma_mode,
+                          bool u_plane, int cx, int cy, uint8_t *pred)
+    {
+        if (cand.mode == MbMode::Intra) {
+            const Plane &recon_plane = u_plane ? recon_.u() : recon_.v();
+            intraPredict(chroma_mode, recon_plane, cx, cy, 8, pred);
+            return;
+        }
+        const RefPlane &ref_plane =
+            u_plane ? refs_[cand.ref].u : refs_[cand.ref].v;
+        switch (cand.mode) {
+          case MbMode::Intra:
+            break;  // handled above
+          case MbMode::Skip:
+          case MbMode::Inter16: {
+            const MotionVector cmv{static_cast<int16_t>(cand.mv[0].x >> 1),
+                                   static_cast<int16_t>(cand.mv[0].y >> 1)};
+            motionCompensate(ref_plane, cx, cy, cmv, 8, 8, pred);
+            break;
+          }
+          case MbMode::Inter8:
+            for (int part = 0; part < 4; ++part) {
+                uint8_t temp[4 * 4];
+                const MotionVector cmv{
+                    static_cast<int16_t>(cand.mv[part].x >> 1),
+                    static_cast<int16_t>(cand.mv[part].y >> 1)};
+                motionCompensate(ref_plane, cx + (part & 1) * 4,
+                                 cy + (part >> 1) * 4, cmv, 4, 4, temp);
+                for (int r = 0; r < 4; ++r)
+                    for (int c = 0; c < 4; ++c)
+                        pred[((part >> 1) * 4 + r) * 8 + (part & 1) * 4 +
+                             c] = temp[r * 4 + c];
+            }
+            break;
+        }
+    }
+
+    /** Transform+quantize a 16x16 luma residual into 16 level blocks. */
+    int
+    quantizeLumaResidual(const Frame &src, const uint8_t *pred, int x,
+                         int y, int qp, bool intra, int16_t *levels)
+    {
+        int nonzero = 0;
+        for (int by = 0; by < 4; ++by) {
+            for (int bx = 0; bx < 4; ++bx) {
+                int16_t residual[16];
+                for (int r = 0; r < 4; ++r) {
+                    const uint8_t *s = src.y().row(y + by * 4 + r) + x +
+                        bx * 4;
+                    const uint8_t *p = pred + (by * 4 + r) * kMbSize +
+                        bx * 4;
+                    for (int c = 0; c < 4; ++c)
+                        residual[r * 4 + c] =
+                            static_cast<int16_t>(s[c] - p[c]);
+                }
+                int32_t coefs[16];
+                forwardTransform4x4(residual, coefs);
+                nonzero += quantize4x4(coefs,
+                                       levels + (by * 4 + bx) * 16, qp,
+                                       intra);
+            }
+        }
+        if (probe_) {
+            probe_->record(KernelId::TransformFwd, 16);
+            probe_->record(KernelId::Quant, 16,
+                           static_cast<uint64_t>(nonzero != 0), 1);
+        }
+        return nonzero;
+    }
+
+    /** Transform+quantize one 8x8 chroma plane residual (4 blocks). */
+    int
+    quantizeChromaResidual(const Plane &src_plane, const uint8_t *pred,
+                           int cx, int cy, int qp, bool intra,
+                           int16_t *levels)
+    {
+        int nonzero = 0;
+        for (int by = 0; by < 2; ++by) {
+            for (int bx = 0; bx < 2; ++bx) {
+                int16_t residual[16];
+                for (int r = 0; r < 4; ++r) {
+                    const uint8_t *s =
+                        src_plane.row(cy + by * 4 + r) + cx + bx * 4;
+                    const uint8_t *p = pred + (by * 4 + r) * 8 + bx * 4;
+                    for (int c = 0; c < 4; ++c)
+                        residual[r * 4 + c] =
+                            static_cast<int16_t>(s[c] - p[c]);
+                }
+                int32_t coefs[16];
+                forwardTransform4x4(residual, coefs);
+                nonzero += quantize4x4(coefs,
+                                       levels + (by * 2 + bx) * 16, qp,
+                                       intra);
+            }
+        }
+        if (probe_) {
+            probe_->record(KernelId::TransformFwd, 4);
+            probe_->record(KernelId::Quant, 4,
+                           static_cast<uint64_t>(nonzero != 0), 1);
+        }
+        return nonzero;
+    }
+
+    /**
+     * Final encode of the chosen candidate: compute residuals, decide
+     * skip, emit syntax, reconstruct.
+     */
+    void
+    emitMacroblock(const Frame &src, FrameType type, ModeCandidate cand,
+                   int qp_mb, int mbx, int mby, SyntaxWriter &writer,
+                   FrameStats &stats, MotionVector pred_mv)
+    {
+        const int x = mbx * kMbSize;
+        const int y = mby * kMbSize;
+        const int cx = mbx * 8;
+        const int cy = mby * 8;
+        const bool intra = cand.mode == MbMode::Intra;
+
+        // Chroma intra mode: best summed SAD over U and V.
+        IntraMode chroma_mode = IntraMode::Dc;
+        if (intra) {
+            uint32_t best = UINT32_MAX;
+            uint8_t pu[64], pv[64];
+            for (int m = 0; m < tools_.intra_modes; ++m) {
+                const IntraMode mode = static_cast<IntraMode>(m);
+                if (!intraModeAvailable(mode, cx, cy))
+                    continue;
+                intraPredict(mode, recon_.u(), cx, cy, 8, pu);
+                intraPredict(mode, recon_.v(), cx, cy, 8, pv);
+                const uint32_t sad =
+                    sadBlock(src.u().row(cy) + cx, padded_w_ / 2, pu, 8, 8,
+                             8) +
+                    sadBlock(src.v().row(cy) + cx, padded_w_ / 2, pv, 8, 8,
+                             8);
+                if (sad < best) {
+                    best = sad;
+                    chroma_mode = mode;
+                }
+            }
+        }
+
+        // Predictions and residuals for all planes.
+        uint8_t pred_y[kMbSize * kMbSize];
+        uint8_t pred_u[64];
+        uint8_t pred_v[64];
+        buildLumaPrediction(cand, x, y, pred_y);
+        buildChromaPrediction(cand, chroma_mode, true, cx, cy, pred_u);
+        buildChromaPrediction(cand, chroma_mode, false, cx, cy, pred_v);
+
+        int16_t levels_y[16 * 16];
+        int16_t levels_u[4 * 16];
+        int16_t levels_v[4 * 16];
+        int nonzero =
+            quantizeLumaResidual(src, pred_y, x, y, qp_mb, intra, levels_y);
+        nonzero += quantizeChromaResidual(src.u(), pred_u, cx, cy, qp_mb,
+                                          intra, levels_u);
+        nonzero += quantizeChromaResidual(src.v(), pred_v, cx, cy, qp_mb,
+                                          intra, levels_v);
+        const bool coded = nonzero != 0;
+
+        // Skip conversion: inter16, reference 0, predictor MV, no
+        // residual -> one bit on the wire.
+        const bool skip = type == FrameType::P &&
+            cand.mode == MbMode::Inter16 && cand.ref == 0 &&
+            cand.mv[0] == pred_mv && !coded;
+
+        MbInfo &info = grid_.at(mbx, mby);
+        if (skip) {
+            writer.bit(1, ctx::kMbSkip);
+            info.mode = MbMode::Skip;
+            info.mv = cand.mv[0];
+            info.ref = 0;
+            info.qp = static_cast<uint8_t>(last_qp_);
+            info.coded = false;
+            ++stats.skip_mbs;
+            copyPrediction(recon_.y(), x, y, kMbSize, pred_y);
+            copyPrediction(recon_.u(), cx, cy, 8, pred_u);
+            copyPrediction(recon_.v(), cx, cy, 8, pred_v);
+            return;
+        }
+
+        if (type == FrameType::P) {
+            writer.bit(0, ctx::kMbSkip);
+            // Mode tree: 1 -> Inter16; 01 -> Inter8; 00 -> Intra.
+            writer.bit(cand.mode == MbMode::Inter16 ? 1 : 0,
+                       ctx::kMbMode0);
+            if (cand.mode != MbMode::Inter16)
+                writer.bit(cand.mode == MbMode::Inter8 ? 1 : 0,
+                           ctx::kMbMode1);
+        }
+
+        if (intra) {
+            writer.bit(static_cast<int>(cand.luma_mode) & 1,
+                       ctx::kIntraLuma);
+            writer.bit((static_cast<int>(cand.luma_mode) >> 1) & 1,
+                       ctx::kIntraLuma + 1);
+            writer.bit(static_cast<int>(chroma_mode) & 1,
+                       ctx::kIntraChroma);
+            writer.bit((static_cast<int>(chroma_mode) >> 1) & 1,
+                       ctx::kIntraChroma + 1);
+            ++stats.intra_mbs;
+        } else {
+            if (tools_.refs > 1)
+                writer.ue(static_cast<uint32_t>(cand.ref), ctx::kRefIdx, 2);
+            const int parts = cand.mode == MbMode::Inter8 ? 4 : 1;
+            for (int part = 0; part < parts; ++part) {
+                writer.se(cand.mv[part].x - pred_mv.x, ctx::kMvX, 4);
+                writer.se(cand.mv[part].y - pred_mv.y, ctx::kMvY, 4);
+            }
+        }
+
+        if (tools_.adaptive_quant) {
+            writer.se(qp_mb - last_qp_, ctx::kQpDelta, 2);
+            last_qp_ = qp_mb;
+        }
+
+        for (int b = 0; b < 16; ++b)
+            writeResidualBlock(writer, levels_y + b * 16, true);
+        for (int b = 0; b < 4; ++b)
+            writeResidualBlock(writer, levels_u + b * 16, false);
+        for (int b = 0; b < 4; ++b)
+            writeResidualBlock(writer, levels_v + b * 16, false);
+
+        // Reconstruct via the exact decoder path.
+        int coded_blocks =
+            reconstructBlock(recon_.y(), x, y, kMbSize, pred_y, levels_y,
+                             qp_mb);
+        coded_blocks += reconstructBlock(recon_.u(), cx, cy, 8, pred_u,
+                                         levels_u, qp_mb);
+        coded_blocks += reconstructBlock(recon_.v(), cx, cy, 8, pred_v,
+                                         levels_v, qp_mb);
+        if (probe_ && coded_blocks > 0) {
+            probe_->record(KernelId::Dequant, coded_blocks);
+            probe_->record(KernelId::TransformInv, coded_blocks);
+            probe_->record(
+                KernelId::Reconstruct, 24,
+                static_cast<uint64_t>(coded_blocks), 6,
+                {MemRegion{recon_.y().row(y) + x, kMbSize, kMbSize,
+                           static_cast<uint32_t>(padded_w_), true}});
+        }
+
+        info.mode = cand.mode;
+        info.mv = cand.mv[0];
+        info.ref = static_cast<int8_t>(cand.ref);
+        info.qp = static_cast<uint8_t>(qp_mb);
+        info.coded = coded;
+
+        // Mix real coefficient data into the entropy decision hash.
+        entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
+            static_cast<uint64_t>(nonzero);
+    }
+
+    const EncoderConfig &config_;
+    const ToolPreset &tools_;
+    const Video &source_;
+    RateController &rate_;
+    uarch::UarchProbe *probe_;
+    int padded_w_;
+    int padded_h_;
+    int mb_cols_;
+    int mb_rows_;
+
+    Frame recon_;
+    MbGrid grid_;
+    std::deque<RefFrame> refs_;
+    std::vector<int8_t> aq_offsets_;
+    int last_qp_ = 26;
+    uint64_t entropy_hash_ = 0;
+};
+
+} // namespace
+
+Encoder::Encoder(const EncoderConfig &config)
+    : config_(config),
+      tools_(config.tools_override ? *config.tools_override
+                                   : presetForEffort(config.effort))
+{
+    if (config.entropy_override >= 0)
+        tools_.entropy = static_cast<EntropyMode>(config.entropy_override);
+    if (config.deblock_override >= 0)
+        tools_.deblock = config.deblock_override != 0;
+}
+
+EncodeResult
+Encoder::encode(const video::Video &source)
+{
+    RateControlConfig rc = config_.rc;
+    rc.fps = source.fps();
+    rc.pixels_per_frame = static_cast<double>(source.pixelsPerFrame());
+
+    if (rc.mode == RcMode::TwoPass) {
+        // First pass: fast tools, fixed quantizer, gather complexity.
+        EncoderConfig pass1_cfg = config_;
+        pass1_cfg.effort = std::min(config_.effort, 3);
+        pass1_cfg.rc.mode = RcMode::Cqp;
+        pass1_cfg.rc.qp = 30;
+        ToolPreset pass1_tools = presetForEffort(pass1_cfg.effort);
+        RateControlConfig pass1_rc = pass1_cfg.rc;
+        pass1_rc.fps = source.fps();
+        pass1_rc.pixels_per_frame = rc.pixels_per_frame;
+        RateController pass1_rate(pass1_rc);
+        Sequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
+        const EncodeResult first = pass1.run();
+
+        PassOneStats stats;
+        stats.pass_qp = 30;
+        for (const FrameStats &f : first.frames)
+            stats.frame_bits.push_back(f.bytes * 8.0);
+
+        RateController rate(rc);
+        rate.setPassOneStats(stats);
+        Sequencer pass2(config_, tools_, source, rate);
+        return pass2.run();
+    }
+
+    RateController rate(rc);
+    Sequencer seq(config_, tools_, source, rate);
+    return seq.run();
+}
+
+} // namespace vbench::codec

@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * VBC encoder: the software transcoder core (libx264 analogue).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/preset.h"
+#include "codec/ratecontrol.h"
+#include "codec/types.h"
+#include "uarch/probe.h"
+#include "video/video.h"
+
+namespace vbench::codec {
+
+/** Full encoder configuration. */
+struct EncoderConfig {
+    RateControlConfig rc;
+    int gop = 30;            ///< I-frame interval; <= 0 means first only
+    int effort = 5;          ///< 0..9 preset dial (paper §2.2)
+    int entropy_override = -1;  ///< -1 auto, else EntropyMode value
+    int deblock_override = -1;  ///< -1 auto, else 0/1
+    /// Explicit tool set, bypassing the effort dial (used by the
+    /// fixed-function hardware encoder models, whose tools are frozen
+    /// in silicon rather than selected by a preset).
+    std::optional<ToolPreset> tools_override;
+    uarch::UarchProbe *probe = nullptr;
+};
+
+/** Per-frame outcome. */
+struct FrameStats {
+    FrameType type = FrameType::I;
+    int qp = 0;
+    size_t bytes = 0;       ///< frame record size incl. headers
+    uint32_t intra_mbs = 0;
+    uint32_t skip_mbs = 0;
+};
+
+/** Encode outcome: the bitstream plus statistics. */
+struct EncodeResult {
+    ByteBuffer stream;
+    std::vector<FrameStats> frames;
+
+    size_t totalBytes() const { return stream.size(); }
+};
+
+/**
+ * The encoder. One instance encodes one clip (stateless between
+ * encode() calls apart from configuration).
+ */
+class Encoder
+{
+  public:
+    explicit Encoder(const EncoderConfig &config);
+
+    /**
+     * Encode a clip. Two-pass rate control runs both passes
+     * internally (wall-clock cost is visible to the caller, exactly
+     * as the paper's speed metric requires).
+     */
+    EncodeResult encode(const video::Video &source);
+
+    /** The tool preset the configured effort resolves to. */
+    const ToolPreset &tools() const { return tools_; }
+
+  private:
+    EncoderConfig config_;
+    ToolPreset tools_;
+};
+
+} // namespace vbench::codec

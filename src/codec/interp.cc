@@ -1,0 +1,50 @@
+#include "codec/interp.h"
+
+namespace vbench::codec {
+
+void
+motionCompensate(const RefPlane &ref, int x, int y, MotionVector mv,
+                 int w, int h, uint8_t *out)
+{
+    const int ix = x + (mv.x >> 1);
+    const int iy = y + (mv.y >> 1);
+    const int fx = mv.x & 1;
+    const int fy = mv.y & 1;
+    const int stride = ref.stride();
+    const uint8_t *src = ref.ptr(ix, iy);
+
+    if (fx == 0 && fy == 0) {
+        for (int r = 0; r < h; ++r) {
+            const uint8_t *s = src + r * stride;
+            uint8_t *d = out + r * w;
+            for (int c = 0; c < w; ++c)
+                d[c] = s[c];
+        }
+    } else if (fx == 1 && fy == 0) {
+        for (int r = 0; r < h; ++r) {
+            const uint8_t *s = src + r * stride;
+            uint8_t *d = out + r * w;
+            for (int c = 0; c < w; ++c)
+                d[c] = static_cast<uint8_t>((s[c] + s[c + 1] + 1) >> 1);
+        }
+    } else if (fx == 0 && fy == 1) {
+        for (int r = 0; r < h; ++r) {
+            const uint8_t *s = src + r * stride;
+            uint8_t *d = out + r * w;
+            for (int c = 0; c < w; ++c)
+                d[c] = static_cast<uint8_t>((s[c] + s[c + stride] + 1) >> 1);
+        }
+    } else {
+        for (int r = 0; r < h; ++r) {
+            const uint8_t *s = src + r * stride;
+            uint8_t *d = out + r * w;
+            for (int c = 0; c < w; ++c) {
+                d[c] = static_cast<uint8_t>(
+                    (s[c] + s[c + 1] + s[c + stride] + s[c + stride + 1] +
+                     2) >> 2);
+            }
+        }
+    }
+}
+
+} // namespace vbench::codec

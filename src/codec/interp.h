@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Half-pel motion compensation (bilinear interpolation) against padded
+ * reference planes. Shared verbatim by encoder and decoder.
+ */
+
+#include <cstdint>
+
+#include "codec/refplane.h"
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/**
+ * Fetch a motion-compensated w x h block.
+ *
+ * @param ref padded reference plane.
+ * @param x, y block position in the current frame (full-pel).
+ * @param mv motion vector in half-pel units.
+ * @param w, h block size.
+ * @param out destination, row-major w x h.
+ *
+ * The caller must keep x + (mv.x >> 1) within [-kRefPad + 1,
+ * width + kRefPad - w - 1] (the search clamps guarantee this).
+ */
+void motionCompensate(const RefPlane &ref, int x, int y, MotionVector mv,
+                      int w, int h, uint8_t *out);
+
+/**
+ * Clamp a motion vector so that a w x h compensation at (x, y) —
+ * including the +1 sample half-pel filters read — stays inside the
+ * reference padding. Identity for any in-range vector, so applying it
+ * on both encoder and decoder skip paths preserves bit-exactness while
+ * making hostile predictor chains safe.
+ */
+inline MotionVector
+clampMvForBlock(MotionVector mv, int x, int y, int w, int h, int frame_w,
+                int frame_h)
+{
+    const int min_x = 2 * (-kRefPad + 1 - x);
+    const int max_x = 2 * (frame_w + kRefPad - w - 1 - x);
+    const int min_y = 2 * (-kRefPad + 1 - y);
+    const int max_y = 2 * (frame_h + kRefPad - h - 1 - y);
+    mv.x = static_cast<int16_t>(clampInt(mv.x, min_x, max_x));
+    mv.y = static_cast<int16_t>(clampInt(mv.y, min_y, max_y));
+    return mv;
+}
+
+} // namespace vbench::codec

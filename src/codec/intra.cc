@@ -1,0 +1,74 @@
+#include "codec/intra.h"
+
+namespace vbench::codec {
+
+bool
+intraModeAvailable(IntraMode mode, int x, int y)
+{
+    switch (mode) {
+      case IntraMode::Dc: return true;
+      case IntraMode::Vertical: return y > 0;
+      case IntraMode::Horizontal: return x > 0;
+      case IntraMode::Planar: return x > 0 && y > 0;
+    }
+    return false;
+}
+
+void
+intraPredict(IntraMode mode, const video::Plane &recon, int x, int y,
+             int n, uint8_t *out)
+{
+    const bool has_top = y > 0;
+    const bool has_left = x > 0;
+
+    switch (mode) {
+      case IntraMode::Dc: {
+        int sum = 0;
+        int count = 0;
+        if (has_top) {
+            for (int i = 0; i < n; ++i)
+                sum += recon.at(x + i, y - 1);
+            count += n;
+        }
+        if (has_left) {
+            for (int i = 0; i < n; ++i)
+                sum += recon.at(x - 1, y + i);
+            count += n;
+        }
+        const uint8_t dc = count > 0
+            ? static_cast<uint8_t>((sum + count / 2) / count)
+            : 128;
+        for (int i = 0; i < n * n; ++i)
+            out[i] = dc;
+        break;
+      }
+      case IntraMode::Vertical: {
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                out[r * n + c] = recon.at(x + c, y - 1);
+        break;
+      }
+      case IntraMode::Horizontal: {
+        for (int r = 0; r < n; ++r) {
+            const uint8_t v = recon.at(x - 1, y + r);
+            for (int c = 0; c < n; ++c)
+                out[r * n + c] = v;
+        }
+        break;
+      }
+      case IntraMode::Planar: {
+        const int corner = recon.at(x - 1, y - 1);
+        for (int r = 0; r < n; ++r) {
+            const int left = recon.at(x - 1, y + r);
+            const int base = left - corner;
+            for (int c = 0; c < n; ++c) {
+                out[r * n + c] =
+                    clampPixel(base + recon.at(x + c, y - 1));
+            }
+        }
+        break;
+      }
+    }
+}
+
+} // namespace vbench::codec

@@ -1,0 +1,37 @@
+#pragma once
+
+/**
+ * @file
+ * Intra prediction for luma 16x16 and chroma 8x8 blocks.
+ *
+ * Predictors read *reconstructed* neighbor samples, so encoder and
+ * decoder predictions match exactly. Planar is the TrueMotion-style
+ * gradient predictor (left + top - corner).
+ */
+
+#include <cstdint>
+
+#include "codec/types.h"
+#include "video/plane.h"
+
+namespace vbench::codec {
+
+/**
+ * Generate an n x n intra prediction into out (row-major).
+ *
+ * @param mode predictor.
+ * @param recon reconstructed plane (neighbors are read from it).
+ * @param x, y block position.
+ * @param n block edge (16 luma, 8 chroma).
+ * @param out destination buffer of n*n samples.
+ */
+void intraPredict(IntraMode mode, const video::Plane &recon, int x, int y,
+                  int n, uint8_t *out);
+
+/**
+ * Which modes are usable at this position (Vertical needs a top
+ * neighbor, Horizontal a left one, Planar both). DC always works.
+ */
+bool intraModeAvailable(IntraMode mode, int x, int y);
+
+} // namespace vbench::codec

@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Per-macroblock side information shared by the encoder, decoder, and
+ * deblocking filter (both sides reconstruct this identically from the
+ * bitstream, so in-loop filtering stays bit-exact).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/** Decoded state of one macroblock. */
+struct MbInfo {
+    MbMode mode = MbMode::Intra;
+    MotionVector mv;    ///< partition-0 MV (used for prediction)
+    int8_t ref = 0;     ///< reference index
+    uint8_t qp = 26;
+    bool coded = false; ///< any nonzero residual in the MB
+};
+
+/** Frame-sized grid of MbInfo. */
+class MbGrid
+{
+  public:
+    MbGrid() = default;
+
+    MbGrid(int mb_cols, int mb_rows)
+        : cols_(mb_cols), rows_(mb_rows),
+          mbs_(static_cast<size_t>(mb_cols) * mb_rows)
+    {
+    }
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+
+    MbInfo &at(int mbx, int mby) { return mbs_[mby * cols_ + mbx]; }
+    const MbInfo &
+    at(int mbx, int mby) const
+    {
+        return mbs_[mby * cols_ + mbx];
+    }
+
+  private:
+    int cols_ = 0;
+    int rows_ = 0;
+    std::vector<MbInfo> mbs_;
+};
+
+/**
+ * Motion vector predictor: component-wise median of the left, top,
+ * and top-right neighbors (top-left when top-right is outside),
+ * substituting (0,0) for neighbors that are missing or intra. Encoder
+ * and decoder must call this with identically-filled grids.
+ */
+inline MotionVector
+mvPredictor(const MbGrid &grid, int mbx, int mby)
+{
+    auto neighbor = [&](int nx, int ny) -> MotionVector {
+        if (nx < 0 || ny < 0 || nx >= grid.cols() || ny >= grid.rows())
+            return MotionVector{};
+        const MbInfo &info = grid.at(nx, ny);
+        if (info.mode == MbMode::Intra)
+            return MotionVector{};
+        return info.mv;
+    };
+    const MotionVector a = neighbor(mbx - 1, mby);
+    const MotionVector b = neighbor(mbx, mby - 1);
+    const MotionVector c = (mbx + 1 < grid.cols())
+        ? neighbor(mbx + 1, mby - 1)
+        : neighbor(mbx - 1, mby - 1);
+    MotionVector pred;
+    pred.x = static_cast<int16_t>(median3(a.x, b.x, c.x));
+    pred.y = static_cast<int16_t>(median3(a.y, b.y, c.y));
+    return pred;
+}
+
+} // namespace vbench::codec

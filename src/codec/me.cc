@@ -1,0 +1,339 @@
+#include "codec/me.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/interp.h"
+
+namespace vbench::codec {
+
+namespace {
+
+/** Bits of ue(v): 2 * exponent + 1. */
+inline uint32_t
+ueBits(uint32_t v)
+{
+    const uint64_t value = static_cast<uint64_t>(v) + 1;
+    uint32_t exponent = 0;
+    while ((value >> exponent) > 1)
+        ++exponent;
+    return 2 * exponent + 1;
+}
+
+inline uint32_t
+seBits(int32_t v)
+{
+    const uint32_t mag = v < 0 ? -v : v;
+    return ueBits(mag) + (mag != 0 ? 1 : 0);
+}
+
+/** Search state shared by the strategies. */
+struct SearchState {
+    const MeContext &ctx;
+    int min_mx, max_mx, min_my, max_my;  ///< full-pel MV bounds
+    const uint8_t *src_ptr;
+    int src_stride;
+    MotionVector best;      ///< half-pel
+    uint32_t best_cost = UINT32_MAX;
+    uint32_t best_sad = 0;
+    uint32_t candidates = 0;
+    uint64_t decisions = 0; ///< improvement bits for the branch model
+    int n_decisions = 0;
+
+    explicit
+    SearchState(const MeContext &c)
+        : ctx(c),
+          src_ptr(c.src->row(c.block_y) + c.block_x),
+          src_stride(c.src->width())
+    {
+        // Keep every read (including +1 for half-pel) inside the pad.
+        const int margin = kRefPad - 2;
+        min_mx = -(c.block_x + margin);
+        max_mx = c.ref->width() + margin - c.block_w - c.block_x;
+        min_my = -(c.block_y + margin);
+        max_my = c.ref->height() + margin - c.block_h - c.block_y;
+    }
+
+    /** Cost of a full-pel candidate; updates best. */
+    void
+    tryFullPel(int mx, int my)
+    {
+        mx = clampInt(mx, min_mx, max_mx);
+        my = clampInt(my, min_my, max_my);
+        const MotionVector mv{static_cast<int16_t>(mx * 2),
+                              static_cast<int16_t>(my * 2)};
+        if (candidates > 0 && mv == best)
+            return;
+        const uint8_t *ref_ptr =
+            ctx.ref->ptr(ctx.block_x + mx, ctx.block_y + my);
+        const uint32_t sad = sadBlock(src_ptr, src_stride, ref_ptr,
+                                      ctx.ref->stride(), ctx.block_w,
+                                      ctx.block_h);
+        finish(mv, sad);
+    }
+
+    /** Cost of a half-pel candidate (interpolating); updates best. */
+    void
+    tryHalfPel(MotionVector mv)
+    {
+        mv.x = static_cast<int16_t>(
+            clampInt(mv.x, min_mx * 2, max_mx * 2));
+        mv.y = static_cast<int16_t>(
+            clampInt(mv.y, min_my * 2, max_my * 2));
+        if (mv == best)
+            return;
+        uint8_t temp[32 * 32];  // max block any codec searches
+        motionCompensate(*ctx.ref, ctx.block_x, ctx.block_y, mv,
+                         ctx.block_w, ctx.block_h, temp);
+        const uint32_t distortion = ctx.satd_subpel
+            ? satdBlock(src_ptr, src_stride, temp, ctx.block_w,
+                        ctx.block_w, ctx.block_h)
+            : sadBlock(src_ptr, src_stride, temp, ctx.block_w,
+                       ctx.block_w, ctx.block_h);
+        finish(mv, distortion);
+    }
+
+    /**
+     * Re-score the current best with SATD so integer and sub-pel
+     * candidates compete in the same metric.
+     */
+    void
+    rescoreWithSatd()
+    {
+        uint8_t temp[32 * 32];
+        motionCompensate(*ctx.ref, ctx.block_x, ctx.block_y, best,
+                         ctx.block_w, ctx.block_h, temp);
+        best_sad = satdBlock(src_ptr, src_stride, temp, ctx.block_w,
+                             ctx.block_w, ctx.block_h);
+        best_cost = best_sad +
+            static_cast<uint32_t>(ctx.lambda * mvBits(best, ctx.pred) +
+                                  0.5);
+    }
+
+    void
+    finish(MotionVector mv, uint32_t sad)
+    {
+        ++candidates;
+        const uint32_t bits = mvBits(mv, ctx.pred);
+        const uint32_t cost =
+            sad + static_cast<uint32_t>(ctx.lambda * bits + 0.5);
+        const bool improved = cost < best_cost;
+        if (n_decisions < 64) {
+            decisions |= static_cast<uint64_t>(improved) << n_decisions;
+            ++n_decisions;
+        }
+        if (improved) {
+            best_cost = cost;
+            best_sad = sad;
+            best = mv;
+        }
+    }
+};
+
+const int kSmallDiamond[4][2] = {{0, -1}, {-1, 0}, {1, 0}, {0, 1}};
+const int kHexagon[6][2] = {
+    {-2, 0}, {-1, -2}, {1, -2}, {2, 0}, {1, 2}, {-1, 2},
+};
+
+/**
+ * Final 3x3 square refinement. Axis-only patterns stall when the best
+ * position is diagonally adjacent; the square pass fixes that, as in
+ * x264's SQUARE/UMH endgames.
+ */
+void
+squareRefine(SearchState &state, int max_iters)
+{
+    for (int iter = 0; iter < max_iters; ++iter) {
+        const MotionVector center = state.best;
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                state.tryFullPel(center.x / 2 + dx, center.y / 2 + dy);
+            }
+        }
+        if (state.best == center)
+            break;
+    }
+}
+
+void
+diamondSearch(SearchState &state, int max_iters)
+{
+    for (int iter = 0; iter < max_iters; ++iter) {
+        const MotionVector center = state.best;
+        for (const auto &d : kSmallDiamond) {
+            state.tryFullPel(center.x / 2 + d[0], center.y / 2 + d[1]);
+        }
+        if (state.best == center)
+            break;
+    }
+    squareRefine(state, 2);
+}
+
+void
+hexSearch(SearchState &state, int max_iters)
+{
+    for (int iter = 0; iter < max_iters; ++iter) {
+        const MotionVector center = state.best;
+        for (const auto &d : kHexagon) {
+            state.tryFullPel(center.x / 2 + d[0], center.y / 2 + d[1]);
+        }
+        if (state.best == center)
+            break;
+    }
+    squareRefine(state, 2);
+}
+
+} // namespace
+
+uint32_t
+sadBlock(const uint8_t *a, int a_stride, const uint8_t *b, int b_stride,
+         int w, int h)
+{
+    uint32_t sum = 0;
+    for (int r = 0; r < h; ++r) {
+        const uint8_t *pa = a + r * a_stride;
+        const uint8_t *pb = b + r * b_stride;
+        uint32_t row = 0;
+        for (int c = 0; c < w; ++c)
+            row += static_cast<uint32_t>(std::abs(pa[c] - pb[c]));
+        sum += row;
+    }
+    return sum;
+}
+
+uint32_t
+satdBlock(const uint8_t *a, int a_stride, const uint8_t *b, int b_stride,
+          int w, int h)
+{
+    uint32_t total = 0;
+    for (int by = 0; by < h; by += 4) {
+        for (int bx = 0; bx < w; bx += 4) {
+            int32_t d[16];
+            for (int r = 0; r < 4; ++r) {
+                const uint8_t *pa = a + (by + r) * a_stride + bx;
+                const uint8_t *pb = b + (by + r) * b_stride + bx;
+                for (int c = 0; c < 4; ++c)
+                    d[r * 4 + c] = pa[c] - pb[c];
+            }
+            // 4x4 Hadamard: rows then columns of butterflies.
+            for (int r = 0; r < 4; ++r) {
+                int32_t *row = d + r * 4;
+                const int32_t s0 = row[0] + row[2];
+                const int32_t s1 = row[1] + row[3];
+                const int32_t s2 = row[0] - row[2];
+                const int32_t s3 = row[1] - row[3];
+                row[0] = s0 + s1;
+                row[1] = s0 - s1;
+                row[2] = s2 + s3;
+                row[3] = s2 - s3;
+            }
+            uint32_t sum = 0;
+            for (int c = 0; c < 4; ++c) {
+                const int32_t s0 = d[c] + d[8 + c];
+                const int32_t s1 = d[4 + c] + d[12 + c];
+                const int32_t s2 = d[c] - d[8 + c];
+                const int32_t s3 = d[4 + c] - d[12 + c];
+                sum += std::abs(s0 + s1) + std::abs(s0 - s1) +
+                    std::abs(s2 + s3) + std::abs(s2 - s3);
+            }
+            total += sum / 2;  // Hadamard gain normalization
+        }
+    }
+    return total;
+}
+
+uint32_t
+mvBits(MotionVector mv, MotionVector pred)
+{
+    return seBits(mv.x - pred.x) + seBits(mv.y - pred.y);
+}
+
+MeResult
+motionSearch(const MeContext &ctx)
+{
+    SearchState state(ctx);
+
+    // Seed candidates: zero MV and the predictor.
+    state.tryFullPel(0, 0);
+    state.tryFullPel((ctx.pred.x + 1) / 2, (ctx.pred.y + 1) / 2);
+
+    switch (ctx.kind) {
+      case SearchKind::Diamond:
+        diamondSearch(state, ctx.range);
+        break;
+      case SearchKind::Hex:
+        hexSearch(state, ctx.range);
+        break;
+      case SearchKind::Full: {
+        const int cx = clampInt((ctx.pred.x + 1) / 2, state.min_mx,
+                                state.max_mx);
+        const int cy = clampInt((ctx.pred.y + 1) / 2, state.min_my,
+                                state.max_my);
+        for (int my = -ctx.range; my <= ctx.range; ++my)
+            for (int mx = -ctx.range; mx <= ctx.range; ++mx)
+                state.tryFullPel(cx + mx, cy + my);
+        break;
+      }
+    }
+
+    uint32_t subpel_evals = 0;
+    if (ctx.subpel) {
+        if (ctx.satd_subpel)
+            state.rescoreWithSatd();
+        for (int iter = 0; iter < ctx.subpel_iters; ++iter) {
+            const MotionVector center = state.best;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    if (dx == 0 && dy == 0)
+                        continue;
+                    state.tryHalfPel(
+                        MotionVector{static_cast<int16_t>(center.x + dx),
+                                     static_cast<int16_t>(center.y + dy)});
+                    ++subpel_evals;
+                }
+            }
+            if (state.best == center)
+                break;
+        }
+    }
+
+    if (ctx.probe) {
+        const uint64_t area = static_cast<uint64_t>(ctx.block_w) *
+            ctx.block_h;
+        const uint64_t sad_units =
+            std::max<uint64_t>(1, state.candidates * area / 256);
+        ctx.probe->record(
+            uarch::KernelId::Sad, sad_units, state.decisions,
+            state.n_decisions,
+            {uarch::MemRegion{state.src_ptr,
+                              static_cast<uint32_t>(ctx.block_w),
+                              static_cast<uint32_t>(ctx.block_h),
+                              static_cast<uint32_t>(state.src_stride),
+                              false},
+             uarch::MemRegion{
+                 ctx.ref->ptr(ctx.block_x - ctx.range,
+                              ctx.block_y - ctx.range / 2),
+                 static_cast<uint32_t>(ctx.block_w + 2 * ctx.range),
+                 static_cast<uint32_t>(ctx.block_h + ctx.range),
+                 static_cast<uint32_t>(ctx.ref->stride()), false}});
+        ctx.probe->record(uarch::KernelId::MotionSearchCtl,
+                          state.candidates, state.decisions,
+                          state.n_decisions);
+        if (subpel_evals > 0) {
+            ctx.probe->record(uarch::KernelId::SubpelInterp,
+                              std::max<uint64_t>(1,
+                                                 subpel_evals * area / 256));
+        }
+    }
+
+    MeResult result;
+    result.mv = state.best;
+    result.cost = state.best_cost;
+    result.sad = state.best_sad;
+    result.candidates = state.candidates;
+    return result;
+}
+
+} // namespace vbench::codec

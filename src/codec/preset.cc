@@ -1,0 +1,65 @@
+#include "codec/preset.h"
+
+#include <algorithm>
+
+namespace vbench::codec {
+
+ToolPreset
+presetForEffort(int effort)
+{
+    effort = std::clamp(effort, 0, kNumEfforts - 1);
+    ToolPreset p;
+    switch (effort) {
+      case 0:
+        p = {SearchKind::Diamond, 8, false, 0, false, 1, 0, false,
+             EntropyMode::Vlc, false, 2};
+        break;
+      case 1:
+        p = {SearchKind::Diamond, 12, false, 0, false, 1, 0, false,
+             EntropyMode::Vlc, true, 2};
+        break;
+      case 2:
+        p = {SearchKind::Hex, 12, false, 0, false, 1, 0, false,
+             EntropyMode::Vlc, true, 3};
+        break;
+      case 3:
+        p = {SearchKind::Hex, 16, true, 1, false, 1, 0, false,
+             EntropyMode::Vlc, true, 4};
+        break;
+      case 4:
+        p = {SearchKind::Hex, 16, true, 1, true, 1, 1, false,
+             EntropyMode::Vlc, true, 4};
+        break;
+      case 5:
+        p = {SearchKind::Hex, 24, true, 2, true, 2, 1, true,
+             EntropyMode::Arith, true, 4};
+        break;
+      case 6:
+        p = {SearchKind::Hex, 32, true, 2, true, 2, 1, true,
+             EntropyMode::Arith, true, 4};
+        break;
+      case 7:
+        p = {SearchKind::Hex, 32, true, 3, true, 3, 2, true,
+             EntropyMode::Arith, true, 4};
+        break;
+      case 8:
+        p = {SearchKind::Full, 8, true, 3, true, 3, 2, true,
+             EntropyMode::Arith, true, 4};
+        break;
+      case 9:
+        p = {SearchKind::Full, 12, true, 3, true, 4, 2, true,
+             EntropyMode::Arith, true, 4};
+        break;
+    }
+    // Fast presets prune static macroblocks eagerly; slow presets run
+    // the full decision almost everywhere.
+    static const double skip_scale[kNumEfforts] = {
+        1.6, 1.4, 1.2, 1.0, 0.8, 0.5, 0.4, 0.25, 0.15, 0.1,
+    };
+    p.early_skip_scale = skip_scale[effort];
+    p.scenecut = effort >= 1;
+    p.satd_subpel = effort >= 5;
+    return p;
+}
+
+} // namespace vbench::codec

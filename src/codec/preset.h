@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Effort presets: the single dial that trades encoding time for
+ * compression, restricting the RDO search space exactly as the paper
+ * describes (§2.2). Higher effort enables more search, more tools,
+ * and stronger entropy coding.
+ */
+
+#include "codec/me.h"
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/** Tool set enabled at one effort level. */
+struct ToolPreset {
+    SearchKind search = SearchKind::Hex;
+    int range = 16;          ///< search radius / iteration budget
+    bool subpel = true;      ///< half-pel refinement
+    int subpel_iters = 1;
+    bool inter8 = false;     ///< 8x8 partitions
+    int refs = 1;            ///< reference frames searched
+    int rdo = 0;             ///< 0 heuristic, 1 residual trial, 2 full
+    bool adaptive_quant = false;
+    EntropyMode entropy = EntropyMode::Vlc;
+    bool deblock = true;
+    int intra_modes = 4;     ///< how many intra predictors to try
+    /// Early-skip SAD threshold multiplier: fast presets skip static
+    /// macroblocks aggressively, slow presets insist on the full mode
+    /// decision (x264's analogous --no-fast-pskip behaviour).
+    double early_skip_scale = 1.0;
+    /// Insert an I frame on detected scene changes (x264 scenecut).
+    bool scenecut = true;
+    /// SATD-scored sub-pel refinement (x264 subme >= 2).
+    bool satd_subpel = false;
+};
+
+/** Number of effort levels (0..9). */
+inline constexpr int kNumEfforts = 10;
+
+/** Map an effort level (clamped to 0..9) onto its tool set. */
+ToolPreset presetForEffort(int effort);
+
+} // namespace vbench::codec

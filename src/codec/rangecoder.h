@@ -1,0 +1,203 @@
+#pragma once
+
+/**
+ * @file
+ * Adaptive binary range coder (boolean arithmetic coder in the VP8 /
+ * CABAC family), the Arith entropy backend. The renormalization and
+ * carry handling follow the libvpx boolean-coder construction, which
+ * is compact and well understood.
+ */
+
+#include <cstdint>
+
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/**
+ * Adaptive probability state for one context: an 8-bit estimate of
+ * P(bit == 0) scaled to [1, 254], updated with an exponential moving
+ * average after each coded bit.
+ */
+class BitContext
+{
+  public:
+    uint8_t prob() const { return prob_; }
+
+    void
+    update(int bit)
+    {
+        // Adaptation rate 1/16: fast enough to track coefficient
+        // statistics within a frame, slow enough not to thrash.
+        int p = prob_;
+        if (bit == 0)
+            p += (255 - p) >> 4;
+        else
+            p -= p >> 4;
+        if (p < 1)
+            p = 1;
+        if (p > 254)
+            p = 254;
+        prob_ = static_cast<uint8_t>(p);
+    }
+
+    void reset(uint8_t p = 128) { prob_ = p; }
+
+  private:
+    uint8_t prob_ = 128;
+};
+
+namespace detail {
+
+/** Left shifts needed to renormalize a range value into [128, 255]. */
+inline int
+rangeNorm(uint32_t range)
+{
+    // range is always in [1, 255] here.
+    return __builtin_clz(range) - 24;
+}
+
+} // namespace detail
+
+/**
+ * Range encoder appending to a byte buffer.
+ */
+class RangeEncoder
+{
+  public:
+    explicit RangeEncoder(ByteBuffer &out) : out_(out), start_(out.size()) {}
+
+    /** Encode one bit with P(bit==0) = prob/256. */
+    void
+    encode(int bit, uint8_t prob)
+    {
+        uint32_t split = 1 + (((range_ - 1) * prob) >> 8);
+        if (bit) {
+            low_ += split;
+            range_ -= split;
+        } else {
+            range_ = split;
+        }
+
+        int shift = detail::rangeNorm(range_);
+        range_ <<= shift;
+        count_ += shift;
+
+        if (count_ >= 0) {
+            const int offset = shift - count_;
+            if ((low_ << (offset - 1)) & 0x80000000u) {
+                // Carry into the bytes already emitted.
+                size_t x = out_.size();
+                while (x > start_ && out_[x - 1] == 0xFF) {
+                    out_[x - 1] = 0;
+                    --x;
+                }
+                if (x > start_)
+                    ++out_[x - 1];
+            }
+            out_.push_back(static_cast<uint8_t>(low_ >> (24 - offset)));
+            low_ <<= offset;
+            shift = count_;
+            low_ &= 0xFFFFFF;
+            count_ -= 8;
+        }
+        low_ <<= shift;
+    }
+
+    /** Encode with a 50/50 probability (sign bits etc.). */
+    void encodeBypass(int bit) { encode(bit, 128); }
+
+    /** Encode and adapt a context. */
+    void
+    encode(int bit, BitContext &ctx)
+    {
+        encode(bit, ctx.prob());
+        ctx.update(bit);
+    }
+
+    /** Flush remaining state; call exactly once, then discard. */
+    void
+    flush()
+    {
+        for (int i = 0; i < 32; ++i)
+            encode(0, 128);
+    }
+
+    /** Bytes emitted so far by this encoder instance. */
+    size_t bytesWritten() const { return out_.size() - start_; }
+
+  private:
+    ByteBuffer &out_;
+    size_t start_;
+    uint32_t low_ = 0;
+    uint32_t range_ = 255;
+    int count_ = -24;
+};
+
+/** Matching decoder. Reads past the end behave as zero bytes. */
+class RangeDecoder
+{
+  public:
+    RangeDecoder(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+        fill();
+    }
+
+    int
+    decode(uint8_t prob)
+    {
+        const uint32_t split = 1 + (((range_ - 1) * prob) >> 8);
+        const uint64_t big_split = static_cast<uint64_t>(split) << 56;
+        int bit = 0;
+        if (value_ >= big_split) {
+            bit = 1;
+            value_ -= big_split;
+            range_ -= split;
+        } else {
+            range_ = split;
+        }
+        const int shift = detail::rangeNorm(range_);
+        range_ <<= shift;
+        value_ <<= shift;
+        count_ -= shift;
+        if (count_ < 0)
+            fill();
+        return bit;
+    }
+
+    int decodeBypass() { return decode(128); }
+
+    int
+    decode(BitContext &ctx)
+    {
+        const int bit = decode(ctx.prob());
+        ctx.update(bit);
+        return bit;
+    }
+
+    /** Bytes consumed from the input so far. */
+    size_t bytesConsumed() const { return pos_; }
+
+  private:
+    void
+    fill()
+    {
+        int shift = 48 - count_;
+        while (shift >= 0) {
+            const uint64_t byte = pos_ < size_ ? data_[pos_++] : 0;
+            value_ |= byte << shift;
+            count_ += 8;
+            shift -= 8;
+        }
+    }
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    uint64_t value_ = 0;  ///< current byte occupies bits 63..56
+    uint32_t range_ = 255;
+    int count_ = -8;
+};
+
+} // namespace vbench::codec

@@ -1,0 +1,143 @@
+#include "codec/ratecontrol.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbench::codec {
+
+namespace {
+
+/**
+ * Initial QP guess from bits-per-pixel: the codec spends roughly half
+ * the bits for every +6 QP, anchored empirically at ~0.5 bpp ≈ QP 26.
+ */
+int
+qpFromBpp(double bpp)
+{
+    if (bpp <= 0)
+        return 32;
+    const int qp =
+        static_cast<int>(std::lround(26.0 - 6.0 * std::log2(bpp / 0.5)));
+    return std::clamp(qp, kMinQp + 4, kMaxQp - 3);
+}
+
+} // namespace
+
+RateController::RateController(const RateControlConfig &config)
+    : config_(config)
+{
+    switch (config_.mode) {
+      case RcMode::Cqp:
+        base_qp_ = std::clamp(config_.qp, kMinQp, kMaxQp);
+        break;
+      case RcMode::Crf:
+        base_qp_ = std::clamp(static_cast<int>(std::lround(config_.crf)),
+                              kMinQp, kMaxQp);
+        break;
+      case RcMode::Abr:
+      case RcMode::TwoPass: {
+        const double bpp = config_.pixels_per_frame > 0
+            ? config_.bitrate_bps /
+                (config_.fps * config_.pixels_per_frame)
+            : 0;
+        base_qp_ = qpFromBpp(bpp);
+        break;
+      }
+    }
+}
+
+int
+RateController::abrQp(FrameType type) const
+{
+    int qp = base_qp_;
+    if (planned_bits_ > 0 && spent_bits_ > 0) {
+        // Bits halve per +6 QP, so the log2 of the overshoot ratio is
+        // exactly the QP correction needed to converge.
+        const double correction =
+            6.0 * std::log2(spent_bits_ / planned_bits_);
+        qp += static_cast<int>(
+            std::lround(std::clamp(correction, -10.0, 10.0)));
+    }
+    if (type == FrameType::I)
+        qp -= config_.ip_qp_offset;
+    return std::clamp(qp, config_.min_qp, kMaxQp);
+}
+
+int
+RateController::frameQp(FrameType type, int frame_index) const
+{
+    switch (config_.mode) {
+      case RcMode::Cqp:
+      case RcMode::Crf: {
+        int qp = base_qp_;
+        if (type == FrameType::I)
+            qp -= config_.ip_qp_offset;
+        return std::clamp(qp, kMinQp, kMaxQp);
+      }
+      case RcMode::Abr:
+        return abrQp(type);
+      case RcMode::TwoPass: {
+        if (budgets_.empty() ||
+            frame_index >= static_cast<int>(budgets_.size())) {
+            return abrQp(type);
+        }
+        // Translate the budget for this frame into a QP via the
+        // half-bits-per-6-QP model around the pass-1 measurement.
+        const double pass1_bits = std::max(
+            1.0, pass_one_.frame_bits[frame_index]);
+        const double ratio = budgets_[frame_index] / pass1_bits;
+        double qp = pass_one_.pass_qp - 6.0 * std::log2(ratio);
+        // Online correction for model error accumulated so far.
+        if (planned_bits_ > 0 && spent_bits_ > 0) {
+            qp += std::clamp(6.0 * std::log2(spent_bits_ / planned_bits_),
+                             -6.0, 6.0);
+        }
+        return std::clamp(static_cast<int>(std::lround(qp)),
+                          config_.min_qp, kMaxQp);
+      }
+    }
+    return base_qp_;
+}
+
+void
+RateController::frameDone(FrameType, double bits)
+{
+    spent_bits_ += bits;
+    planned_bits_ += targetBits(frames_done_);
+    ++frames_done_;
+}
+
+double
+RateController::targetBits(int frame_index) const
+{
+    if (config_.mode == RcMode::TwoPass && !budgets_.empty() &&
+        frame_index < static_cast<int>(budgets_.size())) {
+        return budgets_[frame_index];
+    }
+    if (config_.mode == RcMode::Abr || config_.mode == RcMode::TwoPass)
+        return config_.bitrate_bps / config_.fps;
+    return 0;
+}
+
+void
+RateController::setPassOneStats(const PassOneStats &stats)
+{
+    pass_one_ = stats;
+    const int n = static_cast<int>(stats.frame_bits.size());
+    if (n == 0 || config_.bitrate_bps <= 0)
+        return;
+    // x264-style budget: allocate proportionally to complexity^0.6 so
+    // hard frames get more bits without starving easy ones.
+    const double total = config_.bitrate_bps * n / config_.fps;
+    double sum = 0;
+    std::vector<double> weight(n);
+    for (int i = 0; i < n; ++i) {
+        weight[i] = std::pow(std::max(1.0, stats.frame_bits[i]), 0.6);
+        sum += weight[i];
+    }
+    budgets_.resize(n);
+    for (int i = 0; i < n; ++i)
+        budgets_[i] = total * weight[i] / sum;
+}
+
+} // namespace vbench::codec

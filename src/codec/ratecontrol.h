@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * Rate control: constant QP, CRF, single-pass ABR, and two-pass ABR
+ * (paper §2.2). The controller picks a frame QP before encoding and is
+ * told the spent bits afterwards.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/**
+ * Finest quantizer bitrate-driven modes will use. Below this QP extra
+ * bits buy nothing visible, so ABR/two-pass saturate instead of
+ * spending the whole budget on trivially-compressible content (the
+ * qpmin behaviour of production encoders).
+ */
+inline constexpr int kMinRateControlQp = 12;
+
+/** Rate control modes. */
+enum class RcMode : uint8_t {
+    Cqp,      ///< fixed quantizer
+    Crf,      ///< constant rate factor: fixed quality, free bitrate
+    Abr,      ///< single-pass average bitrate with feedback
+    TwoPass,  ///< bitrate with per-frame budgets from a first pass
+};
+
+/** Controller configuration. */
+struct RateControlConfig {
+    RcMode mode = RcMode::Crf;
+    int qp = 26;               ///< for Cqp
+    double crf = 23.0;         ///< for Crf (QP-scaled, as in libx264)
+    double bitrate_bps = 0.0;  ///< for Abr / TwoPass
+    double fps = 30.0;
+    double pixels_per_frame = 0;  ///< for the initial-QP model
+    /// Finest QP bitrate-driven modes may pick. Production software
+    /// saturates at kMinRateControlQp; fixed-function hardware rate
+    /// control keeps spending (its low-entropy failure mode).
+    int min_qp = kMinRateControlQp;
+    int ip_qp_offset = 3;      ///< I frames run this much finer
+};
+
+/** First-pass per-frame complexity record. */
+struct PassOneStats {
+    std::vector<double> frame_bits;  ///< bits each frame took in pass 1
+    int pass_qp = 30;                ///< QP pass 1 ran at
+};
+
+/**
+ * Frame-level rate controller. For TwoPass, feed setPassOneStats()
+ * before the second pass.
+ */
+class RateController
+{
+  public:
+    explicit RateController(const RateControlConfig &config);
+
+    /** QP to encode the next frame at. */
+    int frameQp(FrameType type, int frame_index) const;
+
+    /** Report the bits the frame actually consumed. */
+    void frameDone(FrameType type, double bits);
+
+    /** Install first-pass statistics (switches budgeting on). */
+    void setPassOneStats(const PassOneStats &stats);
+
+    /** Target bits for a frame (0 when not bitrate-constrained). */
+    double targetBits(int frame_index) const;
+
+  private:
+    int abrQp(FrameType type) const;
+
+    RateControlConfig config_;
+    PassOneStats pass_one_;
+    std::vector<double> budgets_;  ///< per-frame bit budgets (two-pass)
+    double spent_bits_ = 0;
+    double planned_bits_ = 0;
+    int frames_done_ = 0;
+    int base_qp_ = 26;
+};
+
+} // namespace vbench::codec

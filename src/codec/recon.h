@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Block reconstruction shared by encoder and decoder: dequantize,
+ * inverse-transform, add to prediction, clamp.
+ */
+
+#include <cstdint>
+
+#include "codec/transform.h"
+#include "codec/types.h"
+#include "video/plane.h"
+
+namespace vbench::codec {
+
+/**
+ * Reconstruct an n x n block region of `recon` at (x, y) from a
+ * prediction buffer and the quantized levels of its (n/4)^2 transform
+ * blocks (raster order of 4x4 blocks; each block raster layout).
+ *
+ * @param recon destination plane.
+ * @param x, y block origin.
+ * @param n block edge (16 luma, 8 chroma).
+ * @param pred n*n prediction samples, row-major.
+ * @param levels (n/4)*(n/4) blocks of 16 levels each.
+ * @param qp quantizer the levels were produced at.
+ * @return number of transform blocks that had residual.
+ */
+inline int
+reconstructBlock(video::Plane &recon, int x, int y, int n,
+                 const uint8_t *pred, const int16_t *levels, int qp)
+{
+    const int blocks_per_side = n / 4;
+    int coded_blocks = 0;
+    for (int by = 0; by < blocks_per_side; ++by) {
+        for (int bx = 0; bx < blocks_per_side; ++bx) {
+            const int16_t *block_levels =
+                levels + (by * blocks_per_side + bx) * 16;
+            bool any = false;
+            for (int i = 0; i < 16; ++i) {
+                if (block_levels[i] != 0) {
+                    any = true;
+                    break;
+                }
+            }
+            const int ox = bx * 4;
+            const int oy = by * 4;
+            if (!any) {
+                for (int r = 0; r < 4; ++r)
+                    for (int c = 0; c < 4; ++c)
+                        recon.at(x + ox + c, y + oy + r) =
+                            pred[(oy + r) * n + ox + c];
+                continue;
+            }
+            ++coded_blocks;
+            int32_t coefs[16];
+            int16_t residual[16];
+            dequantize4x4(block_levels, coefs, qp);
+            inverseTransform4x4(coefs, residual);
+            for (int r = 0; r < 4; ++r) {
+                for (int c = 0; c < 4; ++c) {
+                    const int p = pred[(oy + r) * n + ox + c];
+                    recon.at(x + ox + c, y + oy + r) =
+                        clampPixel(p + residual[r * 4 + c]);
+                }
+            }
+        }
+    }
+    return coded_blocks;
+}
+
+/** Copy a prediction buffer straight into the reconstruction plane. */
+inline void
+copyPrediction(video::Plane &recon, int x, int y, int n,
+               const uint8_t *pred)
+{
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            recon.at(x + c, y + r) = pred[r * n + c];
+}
+
+} // namespace vbench::codec

@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Edge-padded reference plane for motion compensation and search.
+ *
+ * Both the encoder and decoder build RefPlanes from reconstructed
+ * frames; all motion arithmetic reads through them, so the two sides
+ * are bit-identical by construction and the hot loops need no bounds
+ * checks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "video/plane.h"
+
+namespace vbench::codec {
+
+/** Pad width in samples; bounds the legal motion range. */
+inline constexpr int kRefPad = 48;
+
+class RefPlane
+{
+  public:
+    RefPlane() = default;
+
+    /** Build by copying and edge-extending a reconstructed plane. */
+    explicit
+    RefPlane(const video::Plane &src)
+        : width_(src.width()), height_(src.height()),
+          stride_(src.width() + 2 * kRefPad),
+          buf_((src.width() + 2 * kRefPad) *
+               (src.height() + 2 * kRefPad))
+    {
+        uint8_t *origin = buf_.data() + kRefPad * stride_ + kRefPad;
+        // Interior.
+        for (int y = 0; y < height_; ++y) {
+            const uint8_t *in = src.row(y);
+            uint8_t *out = origin + y * stride_;
+            for (int x = 0; x < width_; ++x)
+                out[x] = in[x];
+            // Horizontal extension.
+            for (int x = 1; x <= kRefPad; ++x) {
+                out[-x] = in[0];
+                out[width_ - 1 + x] = in[width_ - 1];
+            }
+        }
+        // Vertical extension (rows already horizontally extended).
+        const uint8_t *top = origin - kRefPad;
+        const uint8_t *bottom = origin + (height_ - 1) * stride_ - kRefPad;
+        for (int y = 1; y <= kRefPad; ++y) {
+            uint8_t *above = buf_.data() + (kRefPad - y) * stride_;
+            uint8_t *below =
+                buf_.data() + (kRefPad + height_ - 1 + y) * stride_;
+            for (int x = 0; x < stride_; ++x) {
+                above[x] = top[x];
+                below[x] = bottom[x];
+            }
+        }
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int stride() const { return stride_; }
+    bool empty() const { return buf_.empty(); }
+
+    /**
+     * Pointer to sample (x, y); coordinates may range over
+     * [-kRefPad, width + kRefPad) and likewise vertically.
+     */
+    const uint8_t *
+    ptr(int x, int y) const
+    {
+        return buf_.data() + (y + kRefPad) * stride_ + (x + kRefPad);
+    }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    int stride_ = 0;
+    std::vector<uint8_t> buf_;
+};
+
+/** One reference picture: padded planes for Y, U, V. */
+struct RefFrame {
+    RefPlane y;
+    RefPlane u;
+    RefPlane v;
+
+    bool empty() const { return y.empty(); }
+};
+
+} // namespace vbench::codec

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Residual coefficient syntax, shared by encoder and decoder: nonzero
+ * count, then (run, level) pairs in zigzag order.
+ */
+
+#include <cstdint>
+
+#include "codec/syntax.h"
+#include "codec/transform.h"
+#include "codec/types.h"
+
+namespace vbench::codec {
+
+/**
+ * Write one 4x4 block of quantized levels (raster layout).
+ * @return number of nonzero levels written.
+ */
+inline int
+writeResidualBlock(SyntaxWriter &writer, const int16_t levels[16],
+                   bool luma)
+{
+    int zigzag_pos[16];
+    int16_t zigzag_level[16];
+    int count = 0;
+    for (int i = 0; i < 16; ++i) {
+        const int16_t level = levels[kZigzag4x4[i]];
+        if (level != 0) {
+            zigzag_pos[count] = i;
+            zigzag_level[count] = level;
+            ++count;
+        }
+    }
+    writer.ue(count, luma ? ctx::kCoefCountY : ctx::kCoefCountC, 4);
+    int prev = -1;
+    for (int i = 0; i < count; ++i) {
+        const int run = zigzag_pos[i] - prev - 1;
+        writer.ue(run, ctx::kRun, 3);
+        const int16_t level = zigzag_level[i];
+        const uint32_t mag = level < 0 ? -level : level;
+        writer.ue(mag - 1, ctx::kLevel, 4);
+        writer.bypass(level < 0);
+        prev = zigzag_pos[i];
+    }
+    return count;
+}
+
+/**
+ * Parse one 4x4 block into raster-layout levels.
+ * @return number of nonzero levels, or -1 on corrupt syntax.
+ */
+inline int
+readResidualBlock(SyntaxReader &reader, int16_t levels[16], bool luma)
+{
+    for (int i = 0; i < 16; ++i)
+        levels[i] = 0;
+    const uint32_t count =
+        reader.ue(luma ? ctx::kCoefCountY : ctx::kCoefCountC, 4);
+    if (count > 16)
+        return -1;
+    int pos = -1;
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint32_t run = reader.ue(ctx::kRun, 3);
+        pos += static_cast<int>(run) + 1;
+        if (pos > 15)
+            return -1;
+        const uint32_t mag = reader.ue(ctx::kLevel, 4) + 1;
+        if (mag > 32767)
+            return -1;
+        const int16_t level = reader.bypass()
+            ? -static_cast<int16_t>(mag)
+            : static_cast<int16_t>(mag);
+        levels[kZigzag4x4[pos]] = level;
+    }
+    return static_cast<int>(count);
+}
+
+} // namespace vbench::codec

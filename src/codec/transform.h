@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * 4x4 integer transform, quantization, and scan order (H.264 core
+ * transform construction: exact integer arithmetic, so encoder
+ * reconstruction and decoder output are bit-identical).
+ */
+
+#include <cstdint>
+
+namespace vbench::codec {
+
+/** Zigzag scan order for 4x4 blocks (index into row-major layout). */
+extern const uint8_t kZigzag4x4[16];
+
+/**
+ * Forward 4x4 integer transform (rows then columns of the H.264 core
+ * matrix). Input residuals in [-255, 255]; output fits in int16.
+ */
+void forwardTransform4x4(const int16_t in[16], int32_t out[16]);
+
+/**
+ * Inverse 4x4 integer transform including the final (x + 32) >> 6
+ * rounding. Input is dequantized coefficients; output is the decoded
+ * residual.
+ */
+void inverseTransform4x4(const int32_t in[16], int16_t out[16]);
+
+/**
+ * Quantize transformed coefficients at the given QP.
+ *
+ * @param coefs forward-transform output.
+ * @param[out] levels quantized levels in scan (raster) layout.
+ * @param qp quantizer, 0..51 (H.264 step-size schedule).
+ * @param intra rounds more aggressively toward nonzero for intra.
+ * @return number of nonzero levels.
+ */
+int quantize4x4(const int32_t coefs[16], int16_t levels[16], int qp,
+                bool intra);
+
+/** Dequantize levels back to transform coefficients. */
+void dequantize4x4(const int16_t levels[16], int32_t coefs[16], int qp);
+
+/**
+ * DC-position (class a) quantization multiplier / rescale factor for
+ * qp % 6. Exposed for codecs that quantize second-level DC transforms
+ * (e.g. NGC's hierarchical 8x8).
+ */
+int quantMfDc(int qp_rem);
+int dequantVDc(int qp_rem);
+
+/**
+ * Rate-distortion lambda for mode decisions at a QP (H.264-style
+ * exponential schedule).
+ */
+double rdLambda(int qp);
+
+/** Lambda for SAD-domain motion costs (sqrt of the mode lambda). */
+double sadLambda(int qp);
+
+} // namespace vbench::codec

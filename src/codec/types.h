@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Shared primitive types for the VBC codec.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vbench::codec {
+
+/** Macroblock edge length in luma samples. */
+inline constexpr int kMbSize = 16;
+/** Transform block edge length. */
+inline constexpr int kTbSize = 4;
+/** QP range follows the H.264 convention. */
+inline constexpr int kMinQp = 0;
+inline constexpr int kMaxQp = 51;
+
+/** Motion vector in half-pel luma units. */
+struct MotionVector {
+    int16_t x = 0;
+    int16_t y = 0;
+
+    bool
+    operator==(const MotionVector &other) const
+    {
+        return x == other.x && y == other.y;
+    }
+};
+
+/** Macroblock coding modes. */
+enum class MbMode : uint8_t {
+    Skip = 0,     ///< predicted MV, no residual
+    Inter16 = 1,  ///< one MV for the whole macroblock
+    Inter8 = 2,   ///< four MVs, one per 8x8 partition
+    Intra = 3,    ///< spatially predicted
+};
+
+/** Intra prediction modes (luma 16x16 and chroma 8x8). */
+enum class IntraMode : uint8_t {
+    Dc = 0,
+    Vertical = 1,
+    Horizontal = 2,
+    Planar = 3,
+};
+
+inline constexpr int kNumIntraModes = 4;
+
+/** Frame coding types. */
+enum class FrameType : uint8_t { I = 0, P = 1 };
+
+/** Entropy coding backends. */
+enum class EntropyMode : uint8_t {
+    Vlc = 0,    ///< Exp-Golomb run/level coding (CAVLC analogue)
+    Arith = 1,  ///< adaptive binary range coder (CABAC analogue)
+};
+
+/** Clamp an int to the 8-bit sample range. */
+inline uint8_t
+clampPixel(int v)
+{
+    return static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+/** Generic clamp. */
+inline int
+clampInt(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Median of three, used for motion vector prediction. */
+inline int
+median3(int a, int b, int c)
+{
+    if (a > b)
+        std::swap(a, b);
+    if (b > c)
+        b = c;
+    return a > b ? a : b;
+}
+
+/** Compressed stream byte buffer. */
+using ByteBuffer = std::vector<uint8_t>;
+
+} // namespace vbench::codec

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * The three normalized measurements every vbench transcode reports
+ * (paper §2.3): speed (Mpixel/s), bitrate (bits/pixel/s), and quality
+ * (average YCbCr PSNR, dB).
+ */
+
+#include <cstddef>
+
+#include "metrics/psnr.h"
+#include "metrics/rates.h"
+#include "video/video.h"
+
+namespace vbench::core {
+
+/** One transcode's normalized measurements. */
+struct Measurement {
+    double speed_mpix_s = 0;
+    double bitrate_bpps = 0;
+    double psnr_db = 0;
+};
+
+/**
+ * Assemble a Measurement from raw observations.
+ *
+ * @param original pristine frames (quality baseline).
+ * @param decoded decoded output of the transcode under test.
+ * @param compressed_bytes size of the produced stream.
+ * @param elapsed_seconds wall-clock (or modeled) transcode time.
+ */
+inline Measurement
+measure(const video::Video &original, const video::Video &decoded,
+        size_t compressed_bytes, double elapsed_seconds)
+{
+    Measurement m;
+    m.speed_mpix_s = metrics::megapixelsPerSecond(
+        original.width(), original.height(), original.frameCount(),
+        elapsed_seconds);
+    m.bitrate_bpps = metrics::bitsPerPixelPerSecond(
+        compressed_bytes, original.width(), original.height(),
+        original.frameCount(), original.fps());
+    m.psnr_db = metrics::videoPsnr(original, decoded);
+    return m;
+}
+
+} // namespace vbench::core

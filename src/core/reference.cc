@@ -1,0 +1,102 @@
+#include "core/reference.h"
+
+namespace vbench::core {
+
+double
+ladderBitsPerPixel(int width, int height)
+{
+    const double pixels = static_cast<double>(width) * height;
+    if (pixels <= 430e3)
+        return 0.045;  // <= 480p
+    if (pixels <= 1.0e6)
+        return 0.035;  // 720p
+    if (pixels <= 2.2e6)
+        return 0.028;  // 1080p
+    if (pixels <= 4.0e6)
+        return 0.022;  // 1440p
+    return 0.018;      // 4K
+}
+
+double
+ladderBitrateBps(int width, int height, double fps)
+{
+    return ladderBitsPerPixel(width, height) *
+        static_cast<double>(width) * height * fps;
+}
+
+int
+liveReferenceEffort(int width, int height)
+{
+    // Calibrated to what this machine's single-pass encoder sustains
+    // at each output pixel rate, mirroring the paper's "effort
+    // inversely proportional to resolution" rule.
+    const double pixels = static_cast<double>(width) * height;
+    if (pixels <= 430e3)
+        return 5;  // <= 480p
+    if (pixels <= 1.0e6)
+        return 5;  // 720p
+    if (pixels <= 2.2e6)
+        return 3;  // 1080p
+    return 0;      // 4K: everything off to keep up
+}
+
+TranscodeRequest
+referenceRequest(Scenario scenario, int width, int height, double fps)
+{
+    TranscodeRequest req;
+    req.kind = EncoderKind::Vbc;
+    req.gop = 30;
+    switch (scenario) {
+      case Scenario::Upload:
+        req.rc.mode = codec::RcMode::Crf;
+        req.rc.crf = 18;
+        req.effort = 4;
+        break;
+      case Scenario::Live:
+        req.rc.mode = codec::RcMode::Abr;
+        req.rc.bitrate_bps = ladderBitrateBps(width, height, fps);
+        req.effort = liveReferenceEffort(width, height);
+        // HD and below leave headroom for CABAC-class entropy
+        // coding; only the 4K real-time bound forces the cheap VLC
+        // coder, like x264's ultrafast tier.
+        if (req.effort >= 3) {
+            req.entropy_override =
+                static_cast<int>(codec::EntropyMode::Arith);
+        }
+        // Live streams keyframe frequently so viewers can join; the
+        // software reference pays the same I-frame tax the hardware
+        // pipelines do.
+        req.gop = 6;
+        break;
+      case Scenario::Vod:
+      case Scenario::Platform:
+        req.rc.mode = codec::RcMode::TwoPass;
+        req.rc.bitrate_bps = ladderBitrateBps(width, height, fps);
+        req.effort = 5;
+        break;
+      case Scenario::Popular:
+        req.rc.mode = codec::RcMode::TwoPass;
+        req.rc.bitrate_bps = ladderBitrateBps(width, height, fps);
+        req.effort = 9;
+        break;
+    }
+    return req;
+}
+
+const TranscodeOutcome &
+ReferenceStore::get(const std::string &clip_name, Scenario scenario,
+                    const codec::ByteBuffer &universal,
+                    const video::Video &original)
+{
+    const auto key = std::make_pair(clip_name, scenario);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    const TranscodeRequest req = referenceRequest(
+        scenario, original.width(), original.height(), original.fps());
+    TranscodeOutcome outcome = transcode(universal, original, req);
+    return cache_.emplace(key, std::move(outcome)).first->second;
+}
+
+} // namespace vbench::core

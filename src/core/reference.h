@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Reference transcode operations (§4.2): for each scenario, the
+ * baseline VBC configuration "comparable with operations performed at
+ * providers like YouTube". Reference measurements are the measuring
+ * stick every candidate is scored against.
+ *
+ *   Upload  - single-pass, constant quality (CRF 18).
+ *   Live    - single-pass ABR at the resolution's ladder bitrate, with
+ *             effort *inversely proportional to resolution* so the
+ *             real-time bound holds.
+ *   Vod     - two-pass ABR at the ladder bitrate, default effort.
+ *   Popular - two-pass at the ladder bitrate, maximum effort.
+ *   Platform- identical to Vod (only the machine changes).
+ */
+
+#include <map>
+#include <string>
+
+#include "core/scenario.h"
+#include "core/transcoder.h"
+#include "video/video.h"
+
+namespace vbench::core {
+
+/**
+ * The per-resolution target bitrate ladder, expressed in bits per
+ * pixel per frame (multiply by the pixel rate for bits/second).
+ * Smaller frames get relatively more bits, as real ladders do.
+ */
+double ladderBitsPerPixel(int width, int height);
+
+/** Ladder target in bits/second for a clip's geometry. */
+double ladderBitrateBps(int width, int height, double fps);
+
+/**
+ * Live-reference effort: inversely proportional to resolution so the
+ * software reference meets its latency bound (§4.2).
+ */
+int liveReferenceEffort(int width, int height);
+
+/** Build the reference TranscodeRequest for a scenario and geometry. */
+TranscodeRequest referenceRequest(Scenario scenario, int width, int height,
+                                  double fps);
+
+/**
+ * Computes and caches reference transcodes per (clip name, scenario).
+ * References are always VBC software encodes measured on this machine,
+ * exactly as the vbench reference data was measured on the paper's
+ * i7-6700K.
+ */
+class ReferenceStore
+{
+  public:
+    /**
+     * Reference outcome for a clip + scenario. The universal input
+     * stream must already be the clip's upload (see
+     * makeUniversalStream); it is reused across scenarios.
+     */
+    const TranscodeOutcome &get(const std::string &clip_name,
+                                Scenario scenario,
+                                const codec::ByteBuffer &universal,
+                                const video::Video &original);
+
+  private:
+    std::map<std::pair<std::string, Scenario>, TranscodeOutcome> cache_;
+};
+
+} // namespace vbench::core

@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace vbench::core {
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return ss.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << row[c];
+        }
+        out << "\n";
+    };
+
+    printRow(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+printSeries(std::ostream &out, const std::string &name,
+            const std::vector<std::pair<double, double>> &points)
+{
+    out << "# series: " << name << "\n";
+    for (const auto &[x, y] : points)
+        out << x << " " << y << "\n";
+    out << "\n";
+}
+
+} // namespace vbench::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-width table / series formatting for benchmark output, so each
+ * bench binary prints rows shaped like the paper's tables and figure
+ * series.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vbench::core {
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 2);
+
+/** Simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column auto-sizing and a header rule. */
+    void print(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Print a named data series (figure reproduction format): one
+ * "# series: <name>" line then "x y" pairs, easily gnuplot-able.
+ */
+void printSeries(std::ostream &out, const std::string &name,
+                 const std::vector<std::pair<double, double>> &points);
+
+} // namespace vbench::core

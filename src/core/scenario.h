@@ -1,0 +1,36 @@
+#pragma once
+
+/**
+ * @file
+ * The five vbench scoring scenarios (paper §4.2, Table 1). Each
+ * reflects one real transcoding pipeline of a video sharing service:
+ *
+ *   Upload   - first-touch transcode to the universal format; needs
+ *              speed and fidelity, bitrate nearly free (B > 0.2),
+ *              score S x Q.
+ *   Live     - real-time constraint (speed >= output pixel rate),
+ *              score B x Q.
+ *   Vod      - the average two-pass archival transcode; quality must
+ *              hold (Q >= 1 or visually lossless), score S x B.
+ *   Popular  - high-effort re-transcode of head content; must improve
+ *              both size and quality (B, Q >= 1, S >= 0.1),
+ *              score B x Q.
+ *   Platform - same software, different machine; B = Q = 1 required,
+ *              score S.
+ */
+
+namespace vbench::core {
+
+enum class Scenario {
+    Upload = 0,
+    Live,
+    Vod,
+    Popular,
+    Platform,
+};
+
+inline constexpr int kNumScenarios = 5;
+
+const char *toString(Scenario scenario);
+
+} // namespace vbench::core

@@ -1,0 +1,100 @@
+#include "core/scoring.h"
+
+#include <cmath>
+
+namespace vbench::core {
+
+const char *
+toString(Scenario scenario)
+{
+    switch (scenario) {
+      case Scenario::Upload: return "upload";
+      case Scenario::Live: return "live";
+      case Scenario::Vod: return "vod";
+      case Scenario::Popular: return "popular";
+      case Scenario::Platform: return "platform";
+    }
+    return "unknown";
+}
+
+Ratios
+computeRatios(const Measurement &reference, const Measurement &candidate)
+{
+    Ratios r;
+    if (reference.speed_mpix_s > 0)
+        r.s = candidate.speed_mpix_s / reference.speed_mpix_s;
+    if (candidate.bitrate_bpps > 0)
+        r.b = reference.bitrate_bpps / candidate.bitrate_bpps;
+    if (reference.psnr_db > 0)
+        r.q = candidate.psnr_db / reference.psnr_db;
+    return r;
+}
+
+ScoreResult
+scoreScenario(Scenario scenario, const Ratios &r,
+              const Measurement &candidate, double output_mpix_s)
+{
+    ScoreResult result;
+    switch (scenario) {
+      case Scenario::Upload:
+        // Temporary file: bitrate nearly free, but bounded at 5x.
+        if (r.b <= 0.2) {
+            result.reason = "bitrate more than 5x reference (B <= 0.2)";
+            return result;
+        }
+        result.valid = true;
+        result.score = r.s * r.q;
+        return result;
+
+      case Scenario::Live:
+        // Must not lag behind the output pixel rate.
+        if (candidate.speed_mpix_s < output_mpix_s) {
+            result.reason = "slower than real time";
+            return result;
+        }
+        result.valid = true;
+        result.score = r.b * r.q;
+        return result;
+
+      case Scenario::Vod:
+        // Quality must hold unless visually lossless anyway.
+        if (r.q < 1.0 && candidate.psnr_db < kVisuallyLosslessDb) {
+            result.reason = "quality below reference (Q < 1)";
+            return result;
+        }
+        result.valid = true;
+        result.score = r.s * r.b;
+        return result;
+
+      case Scenario::Popular:
+        if (r.b < 1.0) {
+            result.reason = "bitrate above reference (B < 1)";
+            return result;
+        }
+        if (r.q < 1.0) {
+            result.reason = "quality below reference (Q < 1)";
+            return result;
+        }
+        if (r.s < 0.1) {
+            result.reason = "more than 10x slower (S < 0.1)";
+            return result;
+        }
+        result.valid = true;
+        result.score = r.b * r.q;
+        return result;
+
+      case Scenario::Platform:
+        if (std::abs(r.b - 1.0) > kPlatformTolerance ||
+            std::abs(r.q - 1.0) > kPlatformTolerance) {
+            result.reason = "bitstream not identical (B, Q != 1)";
+            return result;
+        }
+        result.valid = true;
+        result.score = r.s;
+        return result;
+    }
+    result.reason = "unknown scenario";
+    return result;
+}
+
+} // namespace vbench::core

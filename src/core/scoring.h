@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * vbench scoring functions and constraints (paper Table 1).
+ */
+
+#include <optional>
+#include <string>
+
+#include "core/measure.h"
+#include "core/scenario.h"
+
+namespace vbench::core {
+
+/**
+ * Improvement ratios against a reference transcode. Values above 1
+ * mean the new solution is better in that dimension:
+ *   S = speed_new / speed_ref
+ *   B = bitrate_ref / bitrate_new
+ *   Q = quality_new / quality_ref   (PSNR in dB)
+ */
+struct Ratios {
+    double s = 0;
+    double b = 0;
+    double q = 0;
+};
+
+/** Compute S/B/Q ratios from two measurements. */
+Ratios computeRatios(const Measurement &reference,
+                     const Measurement &candidate);
+
+/** Outcome of scoring: either a score or the violated constraint. */
+struct ScoreResult {
+    bool valid = false;
+    double score = 0;
+    std::string reason;  ///< violated constraint when !valid
+};
+
+/** PSNR above which a transcode is considered visually lossless. */
+inline constexpr double kVisuallyLosslessDb = 50.0;
+
+/** Tolerance band for the Platform scenario's B = Q = 1 requirement. */
+inline constexpr double kPlatformTolerance = 0.02;
+
+/**
+ * Apply a scenario's constraint and scoring function (Table 1).
+ *
+ * @param scenario which pipeline is being scored.
+ * @param ratios S/B/Q against the scenario reference.
+ * @param candidate the candidate's raw measurement (for the Live
+ *        real-time test and the VOD visually-lossless escape hatch).
+ * @param output_mpix_s the output video's pixel rate, i.e. the
+ *        real-time bar a Live transcode must clear.
+ */
+ScoreResult scoreScenario(Scenario scenario, const Ratios &ratios,
+                          const Measurement &candidate,
+                          double output_mpix_s);
+
+} // namespace vbench::core

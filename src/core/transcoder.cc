@@ -1,0 +1,135 @@
+#include "core/transcoder.h"
+
+#include <chrono>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "hwenc/hwenc.h"
+#include "ngc/ngc_decoder.h"
+#include "ngc/ngc_encoder.h"
+
+namespace vbench::core {
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Modeled fixed-function decode throughput, Mpixels/second. */
+constexpr double kHwDecodeMpixS = 1600.0;
+
+} // namespace
+
+const char *
+toString(EncoderKind kind)
+{
+    switch (kind) {
+      case EncoderKind::Vbc: return "vbc";
+      case EncoderKind::NgcHevc: return "ngc-hevc";
+      case EncoderKind::NgcVp9: return "ngc-vp9";
+      case EncoderKind::NvencLike: return "nvenc-like";
+      case EncoderKind::QsvLike: return "qsv-like";
+    }
+    return "unknown";
+}
+
+codec::ByteBuffer
+makeUniversalStream(const video::Video &original)
+{
+    // High-quality single-pass intermediate: fast effort, fine
+    // quantizer, so downstream transcodes see a faithful master.
+    codec::EncoderConfig cfg;
+    cfg.rc.mode = codec::RcMode::Crf;
+    cfg.rc.crf = 14;
+    cfg.effort = 3;
+    cfg.gop = 30;
+    codec::Encoder encoder(cfg);
+    return encoder.encode(original).stream;
+}
+
+TranscodeOutcome
+transcode(const codec::ByteBuffer &input, const video::Video &original,
+          const TranscodeRequest &request)
+{
+    TranscodeOutcome outcome;
+    const double start = now();
+
+    codec::DecoderConfig dec_cfg;
+    dec_cfg.probe = request.probe;
+    const auto decoded_input = codec::decode(input, dec_cfg);
+    if (!decoded_input) {
+        outcome.error = "input stream undecodable";
+        return outcome;
+    }
+
+    switch (request.kind) {
+      case EncoderKind::Vbc: {
+        codec::EncoderConfig cfg;
+        cfg.rc = request.rc;
+        cfg.effort = request.effort;
+        cfg.gop = request.gop;
+        cfg.entropy_override = request.entropy_override;
+        cfg.probe = request.probe;
+        codec::Encoder encoder(cfg);
+        outcome.stream = encoder.encode(*decoded_input).stream;
+        outcome.seconds = now() - start;
+        break;
+      }
+      case EncoderKind::NgcHevc:
+      case EncoderKind::NgcVp9: {
+        ngc::NgcConfig cfg;
+        cfg.rc = request.rc;
+        cfg.profile = request.kind == EncoderKind::NgcHevc
+            ? ngc::NgcProfile::HevcLike
+            : ngc::NgcProfile::Vp9Like;
+        cfg.speed = request.ngc_speed;
+        cfg.gop = request.gop;
+        cfg.probe = request.probe;
+        ngc::NgcEncoder encoder(cfg);
+        outcome.stream = encoder.encode(*decoded_input).stream;
+        outcome.seconds = now() - start;
+        break;
+      }
+      case EncoderKind::NvencLike:
+      case EncoderKind::QsvLike: {
+        const hwenc::HwEncoderSpec spec =
+            request.kind == EncoderKind::NvencLike
+            ? hwenc::nvencLikeSpec()
+            : hwenc::qsvLikeSpec();
+        const hwenc::HwEncodeResult hw =
+            hwenc::hwEncode(spec, *decoded_input, request.rc);
+        outcome.stream = hw.encoded.stream;
+        // Hardware time is the pipeline model's, not the simulation's
+        // wall clock: modeled decode plus modeled encode.
+        outcome.seconds = hw.seconds +
+            static_cast<double>(decoded_input->totalPixels()) /
+                (kHwDecodeMpixS * 1e6);
+        break;
+      }
+    }
+
+    // Decode our own output to measure true quality.
+    std::optional<video::Video> decoded_output;
+    if (request.kind == EncoderKind::NgcHevc ||
+        request.kind == EncoderKind::NgcVp9) {
+        decoded_output = ngc::ngcDecode(outcome.stream);
+    } else {
+        decoded_output = codec::decode(outcome.stream);
+    }
+    if (!decoded_output) {
+        outcome.error = "produced stream undecodable";
+        return outcome;
+    }
+
+    outcome.m = measure(original, *decoded_output, outcome.stream.size(),
+                        outcome.seconds);
+    outcome.ok = true;
+    return outcome;
+}
+
+} // namespace vbench::core

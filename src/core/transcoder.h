@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * The unified transcoder driver: decode a VBC "universal format"
+ * stream and re-encode it with any of the encoders vbench evaluates —
+ * the VBC software encoder at an effort level, the two NGC
+ * next-generation profiles, or a fixed-function hardware model.
+ * Software paths report wall-clock time; hardware paths report the
+ * pipeline model's time.
+ */
+
+#include <string>
+
+#include "codec/ratecontrol.h"
+#include "codec/types.h"
+#include "core/measure.h"
+#include "uarch/probe.h"
+#include "video/video.h"
+
+namespace vbench::core {
+
+/** The encoder back-ends a transcode can target. */
+enum class EncoderKind {
+    Vbc = 0,      ///< the reference software encoder (libx264 analogue)
+    NgcHevc,      ///< next-gen codec, HEVC-like profile
+    NgcVp9,       ///< next-gen codec, VP9-like profile
+    NvencLike,    ///< fixed-function hardware model
+    QsvLike,      ///< fixed-function hardware model
+};
+
+const char *toString(EncoderKind kind);
+
+/** What to run. */
+struct TranscodeRequest {
+    EncoderKind kind = EncoderKind::Vbc;
+    codec::RateControlConfig rc;
+    int effort = 5;     ///< VBC effort dial
+    int ngc_speed = 0;  ///< NGC speed dial
+    int gop = 30;
+    /// VBC entropy backend override (-1 auto): the Live reference
+    /// forces the arithmetic coder even at fast efforts, as real fast
+    /// presets keep CABAC.
+    int entropy_override = -1;
+    uarch::UarchProbe *probe = nullptr;
+};
+
+/** What happened. */
+struct TranscodeOutcome {
+    Measurement m;
+    codec::ByteBuffer stream;
+    double seconds = 0;
+    bool ok = false;
+    std::string error;
+};
+
+/**
+ * Run one transcode.
+ *
+ * @param input a VBC universal-format stream (decoded as the first
+ *        half of the transcode; its time is part of the measurement).
+ * @param original pristine frames for the quality measurement.
+ */
+TranscodeOutcome transcode(const codec::ByteBuffer &input,
+                           const video::Video &original,
+                           const TranscodeRequest &request);
+
+/**
+ * Produce the "universal format" upload stream for a clip: the
+ * high-quality single-pass intermediate every later transcode decodes
+ * (§2.5's first pipeline stage).
+ */
+codec::ByteBuffer makeUniversalStream(const video::Video &original);
+
+} // namespace vbench::core

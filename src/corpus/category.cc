@@ -1,0 +1,54 @@
+#include "corpus/category.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vbench::corpus {
+
+FeatureRange
+featureRange(const std::vector<VideoCategory> &corpus)
+{
+    assert(!corpus.empty());
+    FeatureRange range;
+    range.lo = range.hi = rawFeatures(corpus.front());
+    for (const VideoCategory &c : corpus) {
+        const Features f = rawFeatures(c);
+        range.lo.log_kpixels = std::min(range.lo.log_kpixels,
+                                        f.log_kpixels);
+        range.hi.log_kpixels = std::max(range.hi.log_kpixels,
+                                        f.log_kpixels);
+        range.lo.fps = std::min(range.lo.fps, f.fps);
+        range.hi.fps = std::max(range.hi.fps, f.fps);
+        range.lo.log_entropy = std::min(range.lo.log_entropy,
+                                        f.log_entropy);
+        range.hi.log_entropy = std::max(range.hi.log_entropy,
+                                        f.log_entropy);
+    }
+    return range;
+}
+
+namespace {
+
+double
+scaleTo(double v, double lo, double hi)
+{
+    if (hi <= lo)
+        return 0.0;
+    return 2.0 * (v - lo) / (hi - lo) - 1.0;
+}
+
+} // namespace
+
+Features
+normalize(const Features &f, const FeatureRange &range)
+{
+    Features out;
+    out.log_kpixels = scaleTo(f.log_kpixels, range.lo.log_kpixels,
+                              range.hi.log_kpixels);
+    out.fps = scaleTo(f.fps, range.lo.fps, range.hi.fps);
+    out.log_entropy = scaleTo(f.log_entropy, range.lo.log_entropy,
+                              range.hi.log_entropy);
+    return out;
+}
+
+} // namespace vbench::corpus

@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Video categories, the unit of the paper's selection methodology
+ * (§4.1): a (resolution, framerate, entropy) triplet weighted by the
+ * transcoding time the service spends on it.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace vbench::corpus {
+
+/** One video category with its workload weight. */
+struct VideoCategory {
+    int kpixels = 0;       ///< resolution, Kpixels/frame (rounded)
+    int fps = 30;          ///< frames/second (rounded)
+    double entropy = 1.0;  ///< bits/pixel/s at CRF 18 (1 decimal)
+    double weight = 0.0;   ///< share of fleet transcoding time
+};
+
+/**
+ * Feature vector used for clustering: resolution and entropy are
+ * log2-linearized ("videos of entropy 1 and 2 are much more different
+ * than videos of entropy 20 and 21"), then every dimension is
+ * normalized to [-1, +1] over the corpus ranges.
+ */
+struct Features {
+    double log_kpixels = 0;
+    double fps = 0;
+    double log_entropy = 0;
+};
+
+inline Features
+rawFeatures(const VideoCategory &c)
+{
+    Features f;
+    f.log_kpixels = std::log2(static_cast<double>(c.kpixels));
+    f.fps = static_cast<double>(c.fps);
+    f.log_entropy = std::log2(c.entropy);
+    return f;
+}
+
+/** Min/max of each feature over a corpus, for normalization. */
+struct FeatureRange {
+    Features lo;
+    Features hi;
+};
+
+FeatureRange featureRange(const std::vector<VideoCategory> &corpus);
+
+/** Normalize features into [-1, 1] given a range. */
+Features normalize(const Features &f, const FeatureRange &range);
+
+/** Squared Euclidean distance between normalized feature vectors. */
+inline double
+distance2(const Features &a, const Features &b)
+{
+    const double dk = a.log_kpixels - b.log_kpixels;
+    const double df = a.fps - b.fps;
+    const double de = a.log_entropy - b.log_entropy;
+    return dk * dk + df * df + de * de;
+}
+
+} // namespace vbench::corpus

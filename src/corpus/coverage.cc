@@ -1,0 +1,106 @@
+#include "corpus/coverage.h"
+
+#include <cmath>
+
+namespace vbench::corpus {
+
+namespace {
+
+using video::ClipSpec;
+using video::ContentClass;
+
+/** The top-6 resolutions of the upload mix. */
+const int kTopResolutions[6][2] = {
+    {426, 240}, {640, 360}, {854, 480},
+    {1280, 720}, {1920, 1080}, {3840, 2160},
+};
+
+/** The top-8 framerates. */
+const int kTopFramerates[8] = {12, 15, 24, 25, 30, 48, 50, 60};
+
+/** Pick the content family that naturally produces a target entropy. */
+ContentClass
+classForEntropy(double entropy)
+{
+    if (entropy < 0.3)
+        return ContentClass::Slideshow;
+    if (entropy < 0.8)
+        return ContentClass::Screencast;
+    if (entropy < 1.6)
+        return ContentClass::Animation;
+    if (entropy < 4.0)
+        return ContentClass::Natural;
+    if (entropy < 7.0)
+        return ContentClass::Sports;
+    return ContentClass::Noisy;
+}
+
+ClipSpec
+makeSpec(int width, int height, int fps, double entropy, uint64_t seed)
+{
+    ClipSpec spec;
+    spec.name = "cov_" + std::to_string(width) + "x" +
+        std::to_string(height) + "_f" + std::to_string(fps) + "_e" +
+        std::to_string(static_cast<int>(std::lround(entropy * 100)));
+    spec.width = width;
+    spec.height = height;
+    spec.fps = fps;
+    spec.content = classForEntropy(entropy);
+    spec.target_entropy = entropy;
+    spec.seed = seed;
+    return spec;
+}
+
+} // namespace
+
+std::vector<ClipSpec>
+coverageSet(const CoverageConfig &config)
+{
+    std::vector<ClipSpec> specs;
+    uint64_t seed = config.seed;
+    const double log_lo = std::log2(config.entropy_min);
+    const double log_hi = std::log2(config.entropy_max);
+    for (const auto &res : kTopResolutions) {
+        for (int fps : kTopFramerates) {
+            for (int s = 0; s < config.entropy_samples; ++s) {
+                const double t = config.entropy_samples > 1
+                    ? static_cast<double>(s) /
+                        (config.entropy_samples - 1)
+                    : 0.5;
+                const double entropy =
+                    std::pow(2.0, log_lo + t * (log_hi - log_lo));
+                specs.push_back(makeSpec(res[0], res[1], fps, entropy,
+                                         seed++));
+            }
+        }
+    }
+    return specs;
+}
+
+std::vector<ClipSpec>
+coverageSetReduced(const CoverageConfig &config)
+{
+    // One representative framerate per resolution keeps the
+    // instrumented-simulation budget tractable while spanning the full
+    // entropy range.
+    const int fps_for_res[6] = {25, 30, 30, 30, 30, 60};
+    std::vector<ClipSpec> specs;
+    uint64_t seed = config.seed + 100000;
+    const double log_lo = std::log2(config.entropy_min);
+    const double log_hi = std::log2(config.entropy_max);
+    for (int r = 0; r < 6; ++r) {
+        for (int s = 0; s < config.entropy_samples; ++s) {
+            const double t = config.entropy_samples > 1
+                ? static_cast<double>(s) / (config.entropy_samples - 1)
+                : 0.5;
+            const double entropy =
+                std::pow(2.0, log_lo + t * (log_hi - log_lo));
+            specs.push_back(makeSpec(kTopResolutions[r][0],
+                                     kTopResolutions[r][1],
+                                     fps_for_res[r], entropy, seed++));
+        }
+    }
+    return specs;
+}
+
+} // namespace vbench::corpus

@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * The YouTube "coverage set" (§4.1): 11 uniformly-spaced entropy
+ * samples for each of the top-6-resolution x top-8-framerate
+ * combinations, used as the golden reference the microarchitectural
+ * study compares datasets against (§5.1). Rendered here as
+ * synthesizable clip specs.
+ */
+
+#include <vector>
+
+#include "corpus/category.h"
+#include "video/suite.h"
+
+namespace vbench::corpus {
+
+/** Coverage-set generation knobs. */
+struct CoverageConfig {
+    int entropy_samples = 11;
+    double entropy_min = 0.02;  ///< bits/pixel/s
+    double entropy_max = 20.0;
+    uint64_t seed = 5001;
+};
+
+/**
+ * Build the coverage set as clip specs (content class chosen by
+ * entropy band so the synthesizer hits the target).
+ */
+std::vector<video::ClipSpec>
+coverageSet(const CoverageConfig &config = {});
+
+/**
+ * A reduced coverage set for simulation-budgeted studies: one
+ * framerate per resolution, full entropy sweep. Used by the Fig. 5-7
+ * benches, where every point costs an instrumented transcode.
+ */
+std::vector<video::ClipSpec>
+coverageSetReduced(const CoverageConfig &config = {});
+
+} // namespace vbench::corpus

@@ -1,0 +1,145 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "video/rng.h"
+
+namespace vbench::corpus {
+
+const std::vector<ResolutionStep> &
+resolutionLadder()
+{
+    // Shares reflect a UGC service: SD/HD dominates, 4K is a sliver
+    // but matters because its transcode time per video is enormous.
+    static const std::vector<ResolutionStep> ladder = {
+        {256, 144, 0.04},
+        {426, 240, 0.07},
+        {640, 360, 0.22},
+        {854, 480, 0.20},
+        {1280, 720, 0.25},
+        {1920, 1080, 0.18},
+        {2560, 1440, 0.025},
+        {3840, 2160, 0.015},
+    };
+    return ladder;
+}
+
+const std::vector<FramerateStep> &
+framerateMix()
+{
+    static const std::vector<FramerateStep> mix = {
+        {12, 0.02}, {15, 0.04}, {24, 0.16}, {25, 0.17},
+        {30, 0.42}, {48, 0.02}, {50, 0.07}, {60, 0.10},
+    };
+    return mix;
+}
+
+std::vector<VideoCategory>
+generateCorpus(const CorpusConfig &config)
+{
+    video::Rng rng(config.seed);
+
+    // Accumulate weights into the (kpixels, fps, entropy-1-decimal)
+    // category map exactly as the paper's log aggregation would.
+    struct Key {
+        int kpixels;
+        int fps;
+        int entropy_tenths;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (kpixels != o.kpixels)
+                return kpixels < o.kpixels;
+            if (fps != o.fps)
+                return fps < o.fps;
+            return entropy_tenths < o.entropy_tenths;
+        }
+    };
+    std::map<Key, double> accum;
+
+    // Sample "uploads" until the category population is rich enough.
+    const int samples = config.target_categories * 40;
+    for (int i = 0; i < samples; ++i) {
+        // Resolution.
+        double u = rng.uniform();
+        const ResolutionStep *res = &resolutionLadder().back();
+        for (const ResolutionStep &step : resolutionLadder()) {
+            if (u < step.share) {
+                res = &step;
+                break;
+            }
+            u -= step.share;
+        }
+        // Framerate.
+        double v = rng.uniform();
+        const FramerateStep *fr = &framerateMix().back();
+        for (const FramerateStep &step : framerateMix()) {
+            if (v < step.share) {
+                fr = &step;
+                break;
+            }
+            v -= step.share;
+        }
+        // Entropy: log-normal around a resolution-dependent median
+        // (large uploads skew toward camera content; tiny ones toward
+        // slideshows and thumbnails), clipped to the observed four
+        // orders of magnitude.
+        const double median =
+            0.9 + 0.25 * std::log2(res->width * res->height / 1e5);
+        const double entropy = std::clamp(
+            median * std::exp(config.entropy_sigma * rng.gaussian() * 0.6),
+            0.01, 60.0);
+
+        // Weight: transcode time grows with pixels and entropy, and a
+        // heavy-tailed popularity factor models re-transcoding load.
+        const double pixels = res->width * static_cast<double>(res->height);
+        const double pareto = std::pow(rng.uniform(), -0.45);
+        const double weight =
+            pixels / 1e6 * fr->fps / 30.0 * (0.5 + entropy / 4.0) *
+            std::min(pareto, 50.0);
+
+        Key key;
+        key.kpixels = static_cast<int>(
+            (pixels + 500.0) / 1000.0);
+        key.fps = fr->fps;
+        key.entropy_tenths = std::max(
+            1, static_cast<int>(std::lround(entropy * 10)));
+        accum[key] += weight;
+    }
+
+    std::vector<VideoCategory> corpus;
+    double total = 0;
+    for (const auto &[key, weight] : accum) {
+        VideoCategory c;
+        c.kpixels = key.kpixels;
+        c.fps = key.fps;
+        c.entropy = key.entropy_tenths / 10.0;
+        c.weight = weight;
+        corpus.push_back(c);
+        total += weight;
+    }
+    for (VideoCategory &c : corpus)
+        c.weight /= total;
+
+    // Keep the heaviest categories ("3500 video categories with
+    // significant weights").
+    std::sort(corpus.begin(), corpus.end(),
+              [](const VideoCategory &a, const VideoCategory &b) {
+                  return a.weight > b.weight;
+              });
+    if (static_cast<int>(corpus.size()) > config.target_categories)
+        corpus.resize(config.target_categories);
+
+    // Renormalize after the cut.
+    total = 0;
+    for (const VideoCategory &c : corpus)
+        total += c.weight;
+    for (VideoCategory &c : corpus)
+        c.weight /= total;
+    return corpus;
+}
+
+} // namespace vbench::corpus

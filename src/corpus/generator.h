@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Synthetic upload-corpus model. The paper accumulates six months of
+ * YouTube transcoding logs into 3500+ weighted (resolution, framerate,
+ * entropy) categories; this generator reproduces that population's
+ * published shape: a standard resolution ladder dominated by 360p-1080p,
+ * a framerate mix dominated by 24/25/30 with a 50/60 tail, entropy
+ * spanning four orders of magnitude (log-normal per resolution), and a
+ * heavy-tailed weight distribution.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/category.h"
+
+namespace vbench::corpus {
+
+/** Generation knobs. */
+struct CorpusConfig {
+    uint64_t seed = 2017;       ///< Jan-Jun 2017, per the paper
+    int target_categories = 3600;
+    double entropy_sigma = 1.4; ///< log-normal spread of entropy
+};
+
+/**
+ * Generate the weighted category population. Weights sum to 1.
+ * Deterministic in the seed.
+ */
+std::vector<VideoCategory> generateCorpus(const CorpusConfig &config = {});
+
+/** The standard upload resolution ladder (width, height, share). */
+struct ResolutionStep {
+    int width;
+    int height;
+    double share;  ///< fraction of uploads at this resolution
+};
+
+const std::vector<ResolutionStep> &resolutionLadder();
+
+/** Upload framerates and their shares. */
+struct FramerateStep {
+    int fps;
+    double share;
+};
+
+const std::vector<FramerateStep> &framerateMix();
+
+} // namespace vbench::corpus

@@ -1,0 +1,161 @@
+#include "corpus/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "video/rng.h"
+
+namespace vbench::corpus {
+
+namespace {
+
+/**
+ * k-means++ seeding: first centroid by weighted draw, subsequent ones
+ * proportional to weight x squared distance from the nearest chosen
+ * centroid.
+ */
+std::vector<Features>
+seedCentroids(const std::vector<Features> &points,
+              const std::vector<double> &weights, int k, uint64_t seed)
+{
+    video::Rng rng(seed);
+    std::vector<Features> centroids;
+    std::vector<double> dist2(points.size(),
+                              std::numeric_limits<double>::max());
+
+    auto weightedDraw = [&](const std::vector<double> &mass) {
+        double total = 0;
+        for (double m : mass)
+            total += m;
+        double target = rng.uniform() * total;
+        for (size_t i = 0; i < mass.size(); ++i) {
+            target -= mass[i];
+            if (target <= 0)
+                return i;
+        }
+        return mass.size() - 1;
+    };
+
+    centroids.push_back(points[weightedDraw(weights)]);
+    while (static_cast<int>(centroids.size()) < k) {
+        std::vector<double> mass(points.size());
+        for (size_t i = 0; i < points.size(); ++i) {
+            dist2[i] = std::min(dist2[i],
+                                distance2(points[i], centroids.back()));
+            mass[i] = weights[i] * dist2[i];
+        }
+        centroids.push_back(points[weightedDraw(mass)]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KmeansResult
+weightedKmeans(const std::vector<VideoCategory> &corpus,
+               const FeatureRange &range, const KmeansConfig &config)
+{
+    assert(!corpus.empty());
+    assert(config.k > 0);
+    const int k = std::min<int>(config.k, corpus.size());
+
+    std::vector<Features> points(corpus.size());
+    std::vector<double> weights(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        points[i] = normalize(rawFeatures(corpus[i]), range);
+        weights[i] = corpus[i].weight;
+    }
+
+    KmeansResult result;
+    result.centroids = seedCentroids(points, weights, k, config.seed);
+    result.assignment.assign(points.size(), 0);
+
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+        ++result.iterations;
+        // Assign.
+        for (size_t i = 0; i < points.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            int best_c = 0;
+            for (int c = 0; c < k; ++c) {
+                const double d = distance2(points[i],
+                                           result.centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            result.assignment[i] = best_c;
+        }
+        // Update.
+        std::vector<Features> next(k);
+        std::vector<double> mass(k, 0.0);
+        for (size_t i = 0; i < points.size(); ++i) {
+            const int c = result.assignment[i];
+            next[c].log_kpixels += weights[i] * points[i].log_kpixels;
+            next[c].fps += weights[i] * points[i].fps;
+            next[c].log_entropy += weights[i] * points[i].log_entropy;
+            mass[c] += weights[i];
+        }
+        double movement = 0;
+        for (int c = 0; c < k; ++c) {
+            if (mass[c] <= 0)
+                continue;  // empty cluster keeps its centroid
+            next[c].log_kpixels /= mass[c];
+            next[c].fps /= mass[c];
+            next[c].log_entropy /= mass[c];
+            movement += distance2(next[c], result.centroids[c]);
+            result.centroids[c] = next[c];
+        }
+        if (movement < config.convergence_eps)
+            break;
+    }
+
+    // Final statistics.
+    result.cluster_weight.assign(k, 0.0);
+    result.inertia = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const int c = result.assignment[i];
+        result.cluster_weight[c] += weights[i];
+        result.inertia +=
+            weights[i] * distance2(points[i], result.centroids[c]);
+    }
+    return result;
+}
+
+std::vector<int>
+clusterModes(const std::vector<VideoCategory> &corpus,
+             const KmeansResult &result)
+{
+    const int k = static_cast<int>(result.centroids.size());
+    std::vector<int> modes(k, -1);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        const int c = result.assignment[i];
+        if (modes[c] < 0 || corpus[i].weight > corpus[modes[c]].weight)
+            modes[c] = static_cast<int>(i);
+    }
+    return modes;
+}
+
+std::vector<VideoCategory>
+selectBenchmarkCategories(const std::vector<VideoCategory> &corpus,
+                          const KmeansConfig &config)
+{
+    const FeatureRange range = featureRange(corpus);
+    const KmeansResult result = weightedKmeans(corpus, range, config);
+    const std::vector<int> modes = clusterModes(corpus, result);
+    std::vector<VideoCategory> selected;
+    for (int idx : modes) {
+        if (idx >= 0)
+            selected.push_back(corpus[idx]);
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const VideoCategory &a, const VideoCategory &b) {
+                  if (a.kpixels != b.kpixels)
+                      return a.kpixels < b.kpixels;
+                  return a.entropy < b.entropy;
+              });
+    return selected;
+}
+
+} // namespace vbench::corpus

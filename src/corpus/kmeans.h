@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Weighted k-means clustering over normalized category features, and
+ * the mode-of-cluster representative selection (§4.1).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/category.h"
+
+namespace vbench::corpus {
+
+/** Clustering parameters. */
+struct KmeansConfig {
+    int k = 15;
+    int max_iterations = 100;
+    double convergence_eps = 1e-7;  ///< centroid movement threshold
+    uint64_t seed = 7;              ///< k-means++ style seeding
+};
+
+/** Clustering outcome. */
+struct KmeansResult {
+    std::vector<Features> centroids;       ///< normalized space
+    std::vector<int> assignment;           ///< cluster per category
+    std::vector<double> cluster_weight;    ///< summed member weight
+    int iterations = 0;
+    double inertia = 0;  ///< weighted within-cluster squared distance
+};
+
+/**
+ * Weighted k-means over the normalized feature space.
+ *
+ * @param corpus the weighted categories.
+ * @param range normalization range (usually featureRange(corpus)).
+ */
+KmeansResult weightedKmeans(const std::vector<VideoCategory> &corpus,
+                            const FeatureRange &range,
+                            const KmeansConfig &config = {});
+
+/**
+ * Representative of each cluster: the member with the highest weight
+ * (the *mode*, which keeps representatives real categories rather than
+ * synthetic centroids).
+ *
+ * @return index into corpus for each cluster (-1 for empty clusters).
+ */
+std::vector<int> clusterModes(const std::vector<VideoCategory> &corpus,
+                              const KmeansResult &result);
+
+/**
+ * The whole §4.1 pipeline: cluster and pick modes.
+ * @return the k selected categories, sorted by resolution then entropy.
+ */
+std::vector<VideoCategory>
+selectBenchmarkCategories(const std::vector<VideoCategory> &corpus,
+                          const KmeansConfig &config = {});
+
+} // namespace vbench::corpus

@@ -1,0 +1,134 @@
+#include "hwenc/hwenc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/decoder.h"
+#include "metrics/psnr.h"
+
+namespace vbench::hwenc {
+
+namespace {
+
+using codec::EncoderConfig;
+using codec::EntropyMode;
+using codec::RcMode;
+using codec::SearchKind;
+using codec::ToolPreset;
+
+} // namespace
+
+HwEncoderSpec
+nvencLikeSpec()
+{
+    HwEncoderSpec spec;
+    spec.name = "nvenc-like";
+    spec.throughput_mpix_s = 1100.0;
+    spec.per_frame_overhead_ms = 3.0;
+    spec.min_bpps = 0.9;
+    // Silicon tool set: modest diamond search, half-pel, single
+    // reference, no partition splits, no RDO, hardware CABAC.
+    spec.tools = ToolPreset{SearchKind::Diamond, 10, true, 1, false, 1, 0,
+                            false, EntropyMode::Arith, true, 3};
+    return spec;
+}
+
+HwEncoderSpec
+qsvLikeSpec()
+{
+    HwEncoderSpec spec;
+    spec.name = "qsv-like";
+    // QSV posts the higher speed ratios in Table 3 (integrated engine,
+    // no PCIe hop) with a comparable compression tool set but a
+    // coarser rate-control floor (its Table 4 low-entropy failures).
+    spec.throughput_mpix_s = 1400.0;
+    spec.per_frame_overhead_ms = 2.0;
+    spec.min_bpps = 1.2;
+    spec.tools = ToolPreset{SearchKind::Hex, 12, true, 1, false, 1, 0,
+                            false, EntropyMode::Arith, true, 4};
+    return spec;
+}
+
+HwEncodeResult
+hwEncode(const HwEncoderSpec &spec, const video::Video &source,
+         codec::RateControlConfig rc)
+{
+    // Fixed-function encoders are single-pass devices.
+    if (rc.mode == RcMode::TwoPass)
+        rc.mode = RcMode::Abr;
+    // ... with a bitrate floor below which their rate control cannot
+    // operate.
+    if (rc.mode == RcMode::Abr) {
+        const double floor_bps =
+            spec.min_bpps * static_cast<double>(source.pixelsPerFrame());
+        rc.bitrate_bps = std::max(rc.bitrate_bps, floor_bps);
+    }
+    // Hardware rate control chases its target all the way down the QP
+    // range instead of saturating like tuned software does.
+    rc.min_qp = 4;
+
+    EncoderConfig cfg;
+    cfg.rc = rc;
+    cfg.gop = spec.gop;
+    cfg.tools_override = spec.tools;
+    codec::Encoder encoder(cfg);
+
+    HwEncodeResult result;
+    result.encoded = encoder.encode(source);
+
+    const double pixels = static_cast<double>(source.totalPixels());
+    result.seconds = source.frameCount() *
+        spec.per_frame_overhead_ms / 1000.0 +
+        pixels / (spec.throughput_mpix_s * 1e6);
+    result.mpix_per_s = pixels / result.seconds / 1e6;
+    return result;
+}
+
+HwEncodeResult
+encodeAtQuality(const HwEncoderSpec &spec, const video::Video &source,
+                double target_psnr, int iterations,
+                const video::Video *quality_baseline)
+{
+    // Quality can be judged against a cleaner master than the frames
+    // being encoded (the transcode-pipeline case: encode the decoded
+    // universal stream, score against the original upload).
+    const video::Video &baseline =
+        quality_baseline ? *quality_baseline : source;
+    // Bracket in bits/pixel/second, then bisect. bits/s follows as
+    // bpps x pixels-per-frame (the duration normalization cancels).
+    const double pix_rate =
+        static_cast<double>(source.pixelsPerFrame());
+    double lo_bpps = spec.min_bpps;  // hardware rate-control floor
+    double hi_bpps = 40.0;
+
+    HwEncodeResult best;
+    bool have_satisfying = false;
+    for (int i = 0; i < iterations; ++i) {
+        const double bpps = std::sqrt(lo_bpps * hi_bpps);  // log midpoint
+        codec::RateControlConfig rc;
+        rc.mode = RcMode::Abr;
+        rc.bitrate_bps = bpps * pix_rate;
+        HwEncodeResult attempt = hwEncode(spec, source, rc);
+        const auto decoded = codec::decode(attempt.encoded.stream);
+        const double psnr =
+            decoded ? metrics::videoPsnr(baseline, *decoded) : 0.0;
+        if (psnr >= target_psnr) {
+            best = std::move(attempt);
+            have_satisfying = true;
+            hi_bpps = bpps;  // try smaller
+        } else {
+            lo_bpps = bpps;  // need more bits
+        }
+    }
+    if (!have_satisfying) {
+        // Return the max-bitrate attempt so callers can observe the
+        // miss (its PSNR will be below target).
+        codec::RateControlConfig rc;
+        rc.mode = RcMode::Abr;
+        rc.bitrate_bps = hi_bpps * pix_rate;
+        best = hwEncode(spec, source, rc);
+    }
+    return best;
+}
+
+} // namespace vbench::hwenc

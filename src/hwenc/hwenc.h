@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-function hardware encoder models (NVIDIA NVENC and Intel
+ * QuickSync analogues, paper §5.3).
+ *
+ * Hardware encoders are selective about which compression tools they
+ * implement: small search ranges, no trellis/RDO, a single reference.
+ * The models here *really encode* — they run the VBC pipeline with a
+ * frozen hardware tool set, so bitrate and quality are measured, not
+ * assumed. Only the *time* is modeled analytically: a pipelined
+ * macroblock engine with a per-frame launch/transfer overhead, which
+ * is why hardware speedups grow with resolution (Table 3) — large
+ * frames amortize the fixed costs.
+ */
+
+#include <string>
+
+#include "codec/encoder.h"
+#include "codec/ratecontrol.h"
+#include "video/video.h"
+
+namespace vbench::hwenc {
+
+/** Description of one fixed-function encoder. */
+struct HwEncoderSpec {
+    std::string name;
+    /// Steady-state macroblock-engine throughput, Mpixels/second.
+    double throughput_mpix_s = 1100.0;
+    /// Per-frame launch + PCIe transfer overhead, milliseconds.
+    double per_frame_overhead_ms = 3.0;
+    /// Lowest bitrate the hardware rate control can produce, in
+    /// bits/pixel/second. Fixed-function encoders cannot degrade
+    /// gracefully below this — the §6.1 low-entropy failure mode.
+    double min_bpps = 0.9;
+    /// Keyframe interval. Hardware pipelines run short GOPs for
+    /// latency and error resilience, which is what costs them bitrate
+    /// on static content (Table 3's low-entropy rows).
+    int gop = 6;
+    /// The tool set frozen into the hardware.
+    codec::ToolPreset tools;
+};
+
+/** NVENC-like configuration (GTX 1060 generation). */
+HwEncoderSpec nvencLikeSpec();
+
+/** QuickSync-like configuration (Skylake generation). */
+HwEncoderSpec qsvLikeSpec();
+
+/** Outcome of a hardware encode. */
+struct HwEncodeResult {
+    codec::EncodeResult encoded;
+    /// Modeled wall-clock seconds for the whole clip.
+    double seconds = 0;
+    /// Modeled throughput, Mpixels/second.
+    double mpix_per_s = 0;
+};
+
+/**
+ * Encode a clip on the modeled hardware.
+ *
+ * @param spec which encoder.
+ * @param source the clip.
+ * @param rc rate control (hardware supports CQP and single-pass ABR;
+ *        TwoPass is rejected — fixed-function encoders are one-pass
+ *        devices — by falling back to Abr).
+ */
+HwEncodeResult hwEncode(const HwEncoderSpec &spec,
+                        const video::Video &source,
+                        codec::RateControlConfig rc);
+
+/**
+ * Bisection over the target bitrate until the encode's quality is just
+ * above `target_psnr` (the paper's Table 3/4 methodology: "varied the
+ * target bitrate using a bisection algorithm until results satisfy the
+ * quality constraints by a small margin").
+ *
+ * @param iterations bisection steps (each runs a full encode).
+ * @return the result of the final (satisfying) encode.
+ */
+HwEncodeResult encodeAtQuality(const HwEncoderSpec &spec,
+                               const video::Video &source,
+                               double target_psnr, int iterations = 7,
+                               const video::Video *quality_baseline =
+                                   nullptr);
+
+} // namespace vbench::hwenc

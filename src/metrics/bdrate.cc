@@ -1,0 +1,66 @@
+#include "metrics/bdrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbench::metrics {
+
+namespace {
+
+/**
+ * log2(bitrate) at a given PSNR by piecewise-linear interpolation of a
+ * curve sorted by PSNR. The query is inside the curve's PSNR range.
+ */
+double
+logRateAt(const std::vector<RdPoint> &curve, double psnr)
+{
+    for (size_t i = 1; i < curve.size(); ++i) {
+        if (psnr <= curve[i].psnr_db) {
+            const RdPoint &a = curve[i - 1];
+            const RdPoint &b = curve[i];
+            const double t = b.psnr_db > a.psnr_db
+                ? (psnr - a.psnr_db) / (b.psnr_db - a.psnr_db)
+                : 0.0;
+            return std::log2(a.bitrate) +
+                t * (std::log2(b.bitrate) - std::log2(a.bitrate));
+        }
+    }
+    return std::log2(curve.back().bitrate);
+}
+
+} // namespace
+
+double
+bdRate(std::vector<RdPoint> anchor, std::vector<RdPoint> test)
+{
+    if (anchor.size() < 2 || test.size() < 2)
+        return 0.0;
+    auto by_psnr = [](const RdPoint &a, const RdPoint &b) {
+        return a.psnr_db < b.psnr_db;
+    };
+    std::sort(anchor.begin(), anchor.end(), by_psnr);
+    std::sort(test.begin(), test.end(), by_psnr);
+
+    const double lo =
+        std::max(anchor.front().psnr_db, test.front().psnr_db);
+    const double hi =
+        std::min(anchor.back().psnr_db, test.back().psnr_db);
+    if (hi <= lo)
+        return 0.0;
+
+    // Trapezoidal integration of the log-rate gap over [lo, hi].
+    const int steps = 256;
+    double integral = 0;
+    double prev_gap = logRateAt(test, lo) - logRateAt(anchor, lo);
+    for (int i = 1; i <= steps; ++i) {
+        const double psnr = lo + (hi - lo) * i / steps;
+        const double gap =
+            logRateAt(test, psnr) - logRateAt(anchor, psnr);
+        integral += 0.5 * (prev_gap + gap);
+        prev_gap = gap;
+    }
+    const double mean_log_gap = integral / steps;
+    return std::pow(2.0, mean_log_gap) - 1.0;
+}
+
+} // namespace vbench::metrics

@@ -1,0 +1,34 @@
+#pragma once
+
+/**
+ * @file
+ * Bjontegaard-delta bitrate (BD-rate): the average bitrate difference
+ * between two rate-distortion curves at equal quality, the standard
+ * codec-comparison summary behind statements like "libvpx-vp9 saves
+ * 30% over x264" (§2.4 / Fig. 2 analysis).
+ */
+
+#include <vector>
+
+namespace vbench::metrics {
+
+/** One point of a rate-distortion curve. */
+struct RdPoint {
+    double bitrate = 0;  ///< any consistent rate unit (e.g. bits/pix/s)
+    double psnr_db = 0;
+};
+
+/**
+ * BD-rate of `test` against `anchor`: the mean relative bitrate
+ * difference over the PSNR interval both curves cover, integrating
+ * log-bitrate as a piecewise-linear function of PSNR (the classic
+ * method fits a cubic; piecewise-linear is within tenths of a percent
+ * on monotone curves and has no fitting pathologies).
+ *
+ * @return e.g. -0.30 when `test` needs 30% fewer bits at equal
+ *         quality; +0.5 when it needs 50% more. 0 if the curves do
+ *         not overlap or have fewer than two points each.
+ */
+double bdRate(std::vector<RdPoint> anchor, std::vector<RdPoint> test);
+
+} // namespace vbench::metrics

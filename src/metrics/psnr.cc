@@ -1,0 +1,67 @@
+#include "metrics/psnr.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vbench::metrics {
+
+namespace {
+
+/** Sum of squared sample differences over one plane. */
+double
+squaredError(const video::Plane &ref, const video::Plane &test)
+{
+    assert(ref.width() == test.width() && ref.height() == test.height());
+    const uint8_t *a = ref.data();
+    const uint8_t *b = test.data();
+    const size_t n = ref.size();
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace
+
+double
+mse(const video::Plane &ref, const video::Plane &test)
+{
+    return squaredError(ref, test) / static_cast<double>(ref.size());
+}
+
+double
+psnrFromMse(double mse_value)
+{
+    if (mse_value <= 0.0)
+        return kLosslessPsnr;
+    return 10.0 * std::log10(255.0 * 255.0 / mse_value);
+}
+
+double
+framePsnr(const video::Frame &ref, const video::Frame &test)
+{
+    const double err = squaredError(ref.y(), test.y()) +
+        squaredError(ref.u(), test.u()) +
+        squaredError(ref.v(), test.v());
+    return psnrFromMse(err / static_cast<double>(ref.sampleCount()));
+}
+
+double
+videoPsnr(const video::Video &ref, const video::Video &test)
+{
+    assert(ref.frameCount() == test.frameCount());
+    double err = 0.0;
+    double samples = 0.0;
+    for (int i = 0; i < ref.frameCount(); ++i) {
+        const video::Frame &rf = ref.frame(i);
+        const video::Frame &tf = test.frame(i);
+        err += squaredError(rf.y(), tf.y()) + squaredError(rf.u(), tf.u()) +
+            squaredError(rf.v(), tf.v());
+        samples += static_cast<double>(rf.sampleCount());
+    }
+    return psnrFromMse(err / samples);
+}
+
+} // namespace vbench::metrics

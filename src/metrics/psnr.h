@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Mean squared error and PSNR, the paper's quality metric (§2.3).
+ */
+
+#include "video/frame.h"
+#include "video/video.h"
+
+namespace vbench::metrics {
+
+/**
+ * Mean squared error between two planes of equal geometry.
+ */
+double mse(const video::Plane &ref, const video::Plane &test);
+
+/**
+ * PSNR in dB from an MSE, for 8-bit samples (peak 255). A zero MSE
+ * (identical content) is reported as kLosslessPsnr so downstream
+ * arithmetic stays finite, matching common encoder-reporting practice.
+ */
+double psnrFromMse(double mse_value);
+
+/** PSNR ceiling reported for bit-exact content. */
+inline constexpr double kLosslessPsnr = 100.0;
+
+/**
+ * Average YCbCr PSNR between two frames: MSE is accumulated over all
+ * three planes (luma and both chromas) and converted once, i.e. the
+ * "average YCbCr PSNR" the paper uses throughout.
+ */
+double framePsnr(const video::Frame &ref, const video::Frame &test);
+
+/**
+ * Average YCbCr PSNR across a whole clip: per-plane squared error is
+ * summed over every frame before the single dB conversion.
+ *
+ * @pre both videos have identical geometry and frame count.
+ */
+double videoPsnr(const video::Video &ref, const video::Video &test);
+
+} // namespace vbench::metrics

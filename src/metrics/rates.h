@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * The paper's normalized size and speed metrics (§2.3): bitrate in
+ * bits/pixel/second and transcoding speed in Mpixels/second.
+ */
+
+#include <cstddef>
+
+namespace vbench::metrics {
+
+/**
+ * Bitrate normalized by frame geometry: bits per pixel per second.
+ *
+ * @param compressed_bytes total size of the compressed stream.
+ * @param width frame width in pixels.
+ * @param height frame height in pixels.
+ * @param frames number of frames in the stream.
+ *
+ * The clip bitstream carries bits for `frames` frames of width*height
+ * pixels; dividing total bits by total pixels and multiplying by the
+ * frame rate would give bits/pixel/s, which reduces to the expression
+ * below (duration cancels).
+ */
+inline double
+bitsPerPixelPerSecond(size_t compressed_bytes, int width, int height,
+                      int frames, double fps)
+{
+    const double total_bits = 8.0 * static_cast<double>(compressed_bytes);
+    const double pixels_per_frame = static_cast<double>(width) * height;
+    const double duration = frames / fps;
+    return total_bits / pixels_per_frame / duration;
+}
+
+/**
+ * Transcoding speed normalized by geometry: megapixels processed per
+ * second of wall-clock time.
+ */
+inline double
+megapixelsPerSecond(int width, int height, int frames, double elapsed_sec)
+{
+    const double pixels =
+        static_cast<double>(width) * height * static_cast<double>(frames);
+    return pixels / elapsed_sec / 1e6;
+}
+
+/**
+ * The real-time output rate a Live transcode must sustain:
+ * Mpixels/second of the output video (§4.2, Live constraint).
+ */
+inline double
+outputMegapixelsPerSecond(int width, int height, double fps)
+{
+    return static_cast<double>(width) * height * fps / 1e6;
+}
+
+} // namespace vbench::metrics

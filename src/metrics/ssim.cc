@@ -1,0 +1,73 @@
+#include "metrics/ssim.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vbench::metrics {
+
+namespace {
+
+constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+constexpr int kWin = 8;
+
+/** SSIM of one aligned 8x8 window. */
+double
+windowSsim(const video::Plane &ref, const video::Plane &test, int x0, int y0)
+{
+    double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+    for (int y = 0; y < kWin; ++y) {
+        for (int x = 0; x < kWin; ++x) {
+            const double a = ref.at(x0 + x, y0 + y);
+            const double b = test.at(x0 + x, y0 + y);
+            sum_a += a;
+            sum_b += b;
+            sum_aa += a * a;
+            sum_bb += b * b;
+            sum_ab += a * b;
+        }
+    }
+    const double n = kWin * kWin;
+    const double mu_a = sum_a / n;
+    const double mu_b = sum_b / n;
+    const double var_a = sum_aa / n - mu_a * mu_a;
+    const double var_b = sum_bb / n - mu_b * mu_b;
+    const double cov = sum_ab / n - mu_a * mu_b;
+    return ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+        ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
+}
+
+} // namespace
+
+double
+ssimPlane(const video::Plane &ref, const video::Plane &test)
+{
+    assert(ref.width() == test.width() && ref.height() == test.height());
+    double sum = 0.0;
+    int count = 0;
+    for (int y = 0; y + kWin <= ref.height(); y += kWin) {
+        for (int x = 0; x + kWin <= ref.width(); x += kWin) {
+            sum += windowSsim(ref, test, x, y);
+            ++count;
+        }
+    }
+    return count > 0 ? sum / count : 1.0;
+}
+
+double
+frameSsim(const video::Frame &ref, const video::Frame &test)
+{
+    return ssimPlane(ref.y(), test.y());
+}
+
+double
+videoSsim(const video::Video &ref, const video::Video &test)
+{
+    assert(ref.frameCount() == test.frameCount());
+    double sum = 0.0;
+    for (int i = 0; i < ref.frameCount(); ++i)
+        sum += frameSsim(ref.frame(i), test.frame(i));
+    return ref.frameCount() > 0 ? sum / ref.frameCount() : 1.0;
+}
+
+} // namespace vbench::metrics

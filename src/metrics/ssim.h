@@ -1,0 +1,26 @@
+#pragma once
+
+/**
+ * @file
+ * Structural similarity (SSIM), the perceptual alternative the paper
+ * discusses in §2.3. Provided for completeness; scoring uses PSNR.
+ */
+
+#include "video/frame.h"
+#include "video/video.h"
+
+namespace vbench::metrics {
+
+/**
+ * Mean SSIM over 8x8 windows of a plane, following Wang et al. 2004
+ * with the standard K1=0.01 / K2=0.03 stabilizers.
+ */
+double ssimPlane(const video::Plane &ref, const video::Plane &test);
+
+/** Luma-only SSIM of one frame. */
+double frameSsim(const video::Frame &ref, const video::Frame &test);
+
+/** Mean luma SSIM across a clip. */
+double videoSsim(const video::Video &ref, const video::Video &test);
+
+} // namespace vbench::metrics

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * NGC container format. Same framing discipline as VBC (magic, header
+ * bits, length-prefixed frame records) with an NGC magic and tool set.
+ */
+
+#include <cstring>
+#include <optional>
+
+#include "codec/bitio.h"
+#include "codec/bitstream.h"
+#include "ngc/ngc_types.h"
+
+namespace vbench::ngc {
+
+/** Sequence-level parameters. */
+struct NgcStreamHeader {
+    int width = 0;
+    int height = 0;
+    uint32_t fps_num = 30;
+    uint32_t fps_den = 1;
+    uint32_t frame_count = 0;
+    NgcProfile profile = NgcProfile::HevcLike;
+    uint32_t num_refs = 1;
+    bool deblock = true;
+
+    double fps() const { return static_cast<double>(fps_num) / fps_den; }
+};
+
+inline constexpr char kNgcMagic[4] = {'N', 'G', 'C', '1'};
+
+inline void
+writeNgcHeader(codec::ByteBuffer &out, const NgcStreamHeader &header)
+{
+    out.insert(out.end(), kNgcMagic, kNgcMagic + 4);
+    codec::BitWriter bits(out);
+    bits.putUe(1);  // version
+    bits.putUe(static_cast<uint32_t>(header.width));
+    bits.putUe(static_cast<uint32_t>(header.height));
+    bits.putUe(header.fps_num);
+    bits.putUe(header.fps_den);
+    bits.putUe(header.frame_count);
+    bits.putBit(header.profile == NgcProfile::Vp9Like);
+    bits.putBit(header.deblock);
+    bits.putUe(header.num_refs);
+    bits.align();
+}
+
+inline std::optional<NgcStreamHeader>
+parseNgcHeader(const uint8_t *data, size_t size, size_t &consumed)
+{
+    if (size < 8 || std::memcmp(data, kNgcMagic, 4) != 0)
+        return std::nullopt;
+    codec::BitReader bits(data + 4, size - 4);
+    NgcStreamHeader header;
+    if (bits.getUe() != 1)
+        return std::nullopt;
+    header.width = static_cast<int>(bits.getUe());
+    header.height = static_cast<int>(bits.getUe());
+    header.fps_num = bits.getUe();
+    header.fps_den = bits.getUe();
+    header.frame_count = bits.getUe();
+    header.profile =
+        bits.getBit() ? NgcProfile::Vp9Like : NgcProfile::HevcLike;
+    header.deblock = bits.getBit();
+    header.num_refs = bits.getUe();
+    if (bits.overflowed() || header.width <= 0 || header.height <= 0 ||
+        header.fps_num == 0 || header.fps_den == 0 ||
+        header.num_refs == 0 || header.num_refs > 8) {
+        return std::nullopt;
+    }
+    consumed = 4 + (bits.bitPos() + 7) / 8;
+    return header;
+}
+
+} // namespace vbench::ngc

@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * NGC decoder.
+ */
+
+#include <optional>
+
+#include "codec/types.h"
+#include "uarch/probe.h"
+#include "video/video.h"
+
+namespace vbench::ngc {
+
+/** Decoder configuration. */
+struct NgcDecoderConfig {
+    uarch::UarchProbe *probe = nullptr;
+};
+
+/**
+ * Decode an NGC stream.
+ * @return the clip, or nullopt on malformed input.
+ */
+std::optional<video::Video> ngcDecode(const uint8_t *data, size_t size,
+                                      const NgcDecoderConfig &config = {});
+
+inline std::optional<video::Video>
+ngcDecode(const codec::ByteBuffer &stream,
+          const NgcDecoderConfig &config = {})
+{
+    return ngcDecode(stream.data(), stream.size(), config);
+}
+
+} // namespace vbench::ngc

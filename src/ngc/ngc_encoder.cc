@@ -1,0 +1,760 @@
+#include "ngc/ngc_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "codec/deblock.h"
+#include "codec/interp.h"
+#include "codec/me.h"
+#include "codec/refplane.h"
+#include "codec/syntax.h"
+#include "codec/transform.h"
+#include "ngc/ngc_bitstream.h"
+#include "ngc/ngc_intra.h"
+#include "ngc/ngc_residual.h"
+#include "ngc/transform8.h"
+
+namespace vbench::ngc {
+
+namespace {
+
+using codec::ByteBuffer;
+using codec::EncodeResult;
+using codec::FrameStats;
+using codec::FrameType;
+using codec::MbGrid;
+using codec::MeContext;
+using codec::MeResult;
+using codec::MotionVector;
+using codec::RateController;
+using codec::RefFrame;
+using codec::RefPlane;
+using codec::SearchKind;
+using codec::SyntaxWriter;
+using uarch::KernelId;
+using video::Frame;
+using video::Plane;
+using video::Video;
+
+namespace ctx = codec::ctx;
+
+/** Search/tool parameters resolved from (profile, speed). */
+struct NgcTools {
+    SearchKind search = SearchKind::Hex;
+    int range = 16;
+    bool subpel = true;
+    int subpel_iters = 2;
+    int refs = 2;
+    int max_depth = 2;       ///< 0: SB only, 1: +16, 2: +8
+    double lambda_scale = 1.0;
+};
+
+NgcTools
+toolsFor(NgcProfile profile, int speed)
+{
+    NgcTools t;
+    switch (std::clamp(speed, 0, 2)) {
+      case 0:
+        t.range = 32;
+        t.subpel_iters = 3;
+        t.refs = 3;
+        t.max_depth = 2;
+        break;
+      case 1:
+        t.range = 16;
+        t.subpel_iters = 2;
+        t.refs = 2;
+        t.max_depth = 2;
+        break;
+      case 2:
+        t.range = 8;
+        t.subpel_iters = 1;
+        t.refs = 1;
+        t.max_depth = 1;
+        break;
+    }
+    if (profile == NgcProfile::Vp9Like) {
+        // VP9-like: even deeper search, slightly lower lambda (spends
+        // bits for quality), exhaustive at the slowest speed.
+        t.lambda_scale = 0.9;
+        if (speed == 0) {
+            t.search = SearchKind::Full;
+            t.range = 8;
+            t.refs = 3;
+        }
+    }
+    return t;
+}
+
+/** One node of the partition plan. */
+struct CuPlan {
+    bool split = false;
+    uint32_t cost = UINT32_MAX;
+    MeResult me;
+    int ref = 0;
+    uint32_t inter_cost = UINT32_MAX;
+    NgcIntraMode intra_mode = NgcIntraMode::Dc;
+    uint32_t intra_cost = UINT32_MAX;
+    int child[4] = {-1, -1, -1, -1};
+};
+
+/** Sequence encoder for one pass. */
+class NgcSequencer
+{
+  public:
+    NgcSequencer(const NgcConfig &config, const NgcTools &tools,
+                 const Video &source, RateController &rate)
+        : config_(config), tools_(tools), source_(source), rate_(rate),
+          probe_(config.probe),
+          padded_w_((source.width() + kSbSize - 1) & ~(kSbSize - 1)),
+          padded_h_((source.height() + kSbSize - 1) & ~(kSbSize - 1)),
+          sb_cols_(padded_w_ / kSbSize), sb_rows_(padded_h_ / kSbSize)
+    {
+    }
+
+    EncodeResult
+    run()
+    {
+        EncodeResult result;
+        NgcStreamHeader header;
+        header.width = source_.width();
+        header.height = source_.height();
+        toRational(source_.fps(), header.fps_num, header.fps_den);
+        header.frame_count = static_cast<uint32_t>(source_.frameCount());
+        header.profile = config_.profile;
+        header.num_refs = static_cast<uint32_t>(tools_.refs);
+        writeNgcHeader(result.stream, header);
+
+        for (int i = 0; i < source_.frameCount(); ++i) {
+            const FrameType type = frameTypeFor(i);
+            const int qp = rate_.frameQp(type, i);
+            FrameStats stats;
+            const ByteBuffer payload =
+                encodeFrame(source_.frame(i), type, qp, stats);
+            codec::appendU32(result.stream,
+                             static_cast<uint32_t>(payload.size() + 1));
+            result.stream.push_back(codec::packFrameByte(type, qp));
+            result.stream.insert(result.stream.end(), payload.begin(),
+                                 payload.end());
+            stats.type = type;
+            stats.qp = qp;
+            stats.bytes = payload.size() + 5;
+            result.frames.push_back(stats);
+            rate_.frameDone(type, (payload.size() + 5) * 8.0);
+        }
+        return result;
+    }
+
+  private:
+    static void
+    toRational(double fps, uint32_t &num, uint32_t &den)
+    {
+        if (std::abs(fps - std::round(fps)) < 1e-9) {
+            num = static_cast<uint32_t>(std::lround(fps));
+            den = 1;
+        } else {
+            num = static_cast<uint32_t>(std::lround(fps * 1000));
+            den = 1000;
+        }
+    }
+
+    FrameType
+    frameTypeFor(int index) const
+    {
+        if (index == 0)
+            return FrameType::I;
+        if (config_.gop > 0 && index % config_.gop == 0)
+            return FrameType::I;
+        return FrameType::P;
+    }
+
+    ByteBuffer
+    encodeFrame(const Frame &original, FrameType type, int qp,
+                FrameStats &stats)
+    {
+        src_ = padFrame(original);
+        if (type == FrameType::I)
+            refs_.clear();
+        recon_ = Frame(padded_w_, padded_h_);
+        cells_ = CellGrid(padded_w_ / 8, padded_h_ / 8);
+        qp_ = qp;
+        lambda_sad_ = codec::sadLambda(qp) * tools_.lambda_scale;
+
+        ByteBuffer payload;
+        codec::ArithSyntaxWriter writer(payload, nctx::kNumContexts);
+
+        double bits_done = 0;
+        for (int sby = 0; sby < sb_rows_; ++sby) {
+            for (int sbx = 0; sbx < sb_cols_; ++sbx) {
+                arena_.clear();
+                const int root = planCu(sbx * kSbSize, sby * kSbSize,
+                                        kSbSize, 0, type);
+                encodeTree(root, sbx * kSbSize, sby * kSbSize, kSbSize, 0,
+                           type, writer, stats);
+                if (probe_) {
+                    const double bits = writer.bitsWritten();
+                    probe_->record(
+                        KernelId::EntropyArith,
+                        std::max<uint64_t>(
+                            1, static_cast<uint64_t>(bits - bits_done)),
+                        entropy_hash_, 64);
+                    bits_done = bits;
+                }
+            }
+        }
+        writer.finish();
+
+        if (probe_) {
+            probe_->record(KernelId::RateControl,
+                           static_cast<uint64_t>(sb_cols_) * sb_rows_ * 4);
+        }
+
+        deblockMapped();
+
+        refs_.push_front(RefFrame{RefPlane(recon_.y()),
+                                  RefPlane(recon_.u()),
+                                  RefPlane(recon_.v())});
+        while (static_cast<int>(refs_.size()) > std::max(1, tools_.refs))
+            refs_.pop_back();
+        return payload;
+    }
+
+    Frame
+    padFrame(const Frame &src) const
+    {
+        Frame out(padded_w_, padded_h_);
+        auto padPlane = [](const Plane &in, Plane &dst) {
+            for (int y = 0; y < dst.height(); ++y) {
+                const int sy = std::min(y, in.height() - 1);
+                const uint8_t *src_row = in.row(sy);
+                uint8_t *dst_row = dst.row(y);
+                const int copy = std::min(in.width(), dst.width());
+                for (int x = 0; x < copy; ++x)
+                    dst_row[x] = src_row[x];
+                for (int x = copy; x < dst.width(); ++x)
+                    dst_row[x] = src_row[in.width() - 1];
+            }
+        };
+        padPlane(src.y(), out.y());
+        padPlane(src.u(), out.u());
+        padPlane(src.v(), out.v());
+        if (probe_) {
+            probe_->record(KernelId::FrameCopy, out.pixelCount() / 64);
+        }
+        return out;
+    }
+
+    /** Map 8x8 cell info onto the 16x16 deblock grid and filter. */
+    void
+    deblockMapped()
+    {
+        MbGrid grid(padded_w_ / 16, padded_h_ / 16);
+        for (int mby = 0; mby < grid.rows(); ++mby) {
+            for (int mbx = 0; mbx < grid.cols(); ++mbx) {
+                codec::MbInfo &info = grid.at(mbx, mby);
+                bool any_intra = false;
+                bool any_coded = false;
+                for (int dy = 0; dy < 2; ++dy) {
+                    for (int dx = 0; dx < 2; ++dx) {
+                        const CellInfo &cell =
+                            cells_.at(mbx * 2 + dx, mby * 2 + dy);
+                        any_intra |= cell.mode == CuMode::Intra;
+                        any_coded |= cell.coded;
+                    }
+                }
+                const CellInfo &cell = cells_.at(mbx * 2, mby * 2);
+                info.mode = any_intra ? codec::MbMode::Intra
+                                      : codec::MbMode::Inter16;
+                info.mv = cell.mv;
+                info.ref = cell.ref;
+                info.qp = static_cast<uint8_t>(qp_);
+                info.coded = any_coded;
+            }
+        }
+        codec::deblockFrame(recon_, grid, probe_);
+    }
+
+    // ----- Partition planning ---------------------------------------
+
+    /** Plan a CU; returns the arena index. Costs are SAD-domain. */
+    int
+    planCu(int x, int y, int size, int depth, FrameType type)
+    {
+        const int idx = static_cast<int>(arena_.size());
+        arena_.emplace_back();
+
+        uint32_t intra_tried = 0;
+        {
+            // Intra estimate on the current reconstruction state.
+            uint8_t pred[kSbSize * kSbSize];
+            CuPlan &node = arena_[idx];
+            for (int m = 0; m < kNgcIntraModes; ++m) {
+                const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
+                if (!ngcIntraAvailable(mode, x, y))
+                    continue;
+                ngcIntraPredict(mode, recon_.y(), x, y, size, pred);
+                ++intra_tried;
+                const uint32_t sad = codec::satdBlock(
+                    src_.y().row(y) + x, padded_w_, pred, size, size,
+                    size);
+                const uint32_t cost = sad +
+                    static_cast<uint32_t>(lambda_sad_ * 8) +
+                    (type == FrameType::P ? sad / 4 : 0);
+                if (cost < node.intra_cost) {
+                    node.intra_cost = cost;
+                    node.intra_mode = mode;
+                }
+            }
+        }
+        if (probe_ && intra_tried > 0)
+            probe_->record(KernelId::IntraPredict,
+                           intra_tried * size * size / 256 + 1);
+
+        if (type == FrameType::P && !refs_.empty()) {
+            const MotionVector pred_mv =
+                cellMvPredictor(cells_, x / 8, y / 8);
+            for (int r = 0;
+                 r < static_cast<int>(refs_.size()) && r < tools_.refs;
+                 ++r) {
+                MeContext me;
+                me.src = &src_.y();
+                me.ref = &refs_[r].y;
+                me.block_x = x;
+                me.block_y = y;
+                me.block_w = size;
+                me.block_h = size;
+                me.pred = pred_mv;
+                me.lambda = lambda_sad_;
+                me.kind = tools_.search;
+                me.range = tools_.range;
+                me.subpel = tools_.subpel;
+                me.subpel_iters = tools_.subpel_iters;
+                me.satd_subpel = true;  // next-gen: always SATD subpel
+                me.probe = probe_;
+                const MeResult res = codec::motionSearch(me);
+                CuPlan &node = arena_[idx];
+                const uint32_t cost = res.cost +
+                    static_cast<uint32_t>(lambda_sad_ * (r == 0 ? 1 : 3));
+                if (cost < node.inter_cost) {
+                    node.inter_cost = cost;
+                    node.me = res;
+                    node.ref = r;
+                }
+            }
+        }
+
+        {
+            CuPlan &node = arena_[idx];
+            node.cost = std::min(node.intra_cost, node.inter_cost);
+        }
+
+        const int max_size_for_depth =
+            kSbSize >> tools_.max_depth;  // smallest allowed leaf
+        if (size > kMinCu && size > max_size_for_depth) {
+            const int half = size / 2;
+            int children[4];
+            uint32_t split_cost =
+                static_cast<uint32_t>(lambda_sad_ * 6);  // tree overhead
+            for (int q = 0; q < 4; ++q) {
+                children[q] = planCu(x + (q & 1) * half,
+                                     y + (q >> 1) * half, half, depth + 1,
+                                     type);
+                split_cost += arena_[children[q]].cost;
+            }
+            CuPlan &node = arena_[idx];
+            if (split_cost < node.cost) {
+                node.split = true;
+                node.cost = split_cost;
+                for (int q = 0; q < 4; ++q)
+                    node.child[q] = children[q];
+            }
+            if (probe_)
+                probe_->record(KernelId::ModeDecision, 2,
+                               node.split ? 1 : 0, 1);
+        }
+        return idx;
+    }
+
+    // ----- Encoding -------------------------------------------------
+
+    void
+    encodeTree(int idx, int x, int y, int size, int depth, FrameType type,
+               SyntaxWriter &writer, FrameStats &stats)
+    {
+        const CuPlan &node = arena_[idx];
+        if (size > kMinCu) {
+            writer.bit(node.split ? 1 : 0,
+                       nctx::kSplit + std::min(depth, 1));
+        }
+        if (node.split) {
+            const int half = size / 2;
+            for (int q = 0; q < 4; ++q) {
+                encodeTree(node.child[q], x + (q & 1) * half,
+                           y + (q >> 1) * half, half, depth + 1, type,
+                           writer, stats);
+            }
+            return;
+        }
+        encodeLeaf(node, x, y, size, type, writer, stats);
+    }
+
+    void
+    encodeLeaf(const CuPlan &node, int x, int y, int size, FrameType type,
+               SyntaxWriter &writer, FrameStats &stats)
+    {
+        if (probe_)
+            probe_->record(KernelId::Dispatch, size * size / 256 + 1);
+
+        const MotionVector pred_mv = cellMvPredictor(cells_, x / 8, y / 8);
+        const bool inter_valid =
+            type == FrameType::P && node.inter_cost != UINT32_MAX;
+
+        // Re-evaluate intra against the true reconstruction (the plan
+        // estimate may have used stale in-SB neighbors).
+        NgcIntraMode intra_mode = NgcIntraMode::Dc;
+        uint32_t intra_cost = UINT32_MAX;
+        {
+            uint8_t pred[kSbSize * kSbSize];
+            for (int m = 0; m < kNgcIntraModes; ++m) {
+                const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
+                if (!ngcIntraAvailable(mode, x, y))
+                    continue;
+                ngcIntraPredict(mode, recon_.y(), x, y, size, pred);
+                const uint32_t sad = codec::satdBlock(
+                    src_.y().row(y) + x, padded_w_, pred, size, size,
+                    size);
+                const uint32_t cost = sad +
+                    static_cast<uint32_t>(lambda_sad_ * 8) +
+                    (type == FrameType::P ? sad / 4 : 0);
+                if (cost < intra_cost) {
+                    intra_cost = cost;
+                    intra_mode = mode;
+                }
+            }
+        }
+
+        const bool use_inter =
+            inter_valid && node.inter_cost <= intra_cost;
+        if (probe_)
+            probe_->record(KernelId::ModeDecision, 2, use_inter ? 1 : 0,
+                           1);
+
+        // Predictions.
+        uint8_t pred_y[kSbSize * kSbSize];
+        uint8_t pred_u[16 * 16];
+        uint8_t pred_v[16 * 16];
+        const int csize = size / 2;
+        const int cx = x / 2;
+        const int cy = y / 2;
+        MotionVector mv{};
+        int ref = 0;
+        if (use_inter) {
+            mv = node.me.mv;
+            ref = node.ref;
+            codec::motionCompensate(refs_[ref].y, x, y, mv, size, size,
+                                    pred_y);
+            const MotionVector cmv{static_cast<int16_t>(mv.x >> 1),
+                                   static_cast<int16_t>(mv.y >> 1)};
+            codec::motionCompensate(refs_[ref].u, cx, cy, cmv, csize,
+                                    csize, pred_u);
+            codec::motionCompensate(refs_[ref].v, cx, cy, cmv, csize,
+                                    csize, pred_v);
+        } else {
+            ngcIntraPredict(intra_mode, recon_.y(), x, y, size, pred_y);
+            const NgcIntraMode cmode =
+                ngcIntraAvailable(intra_mode, cx, cy) ? intra_mode
+                                                      : NgcIntraMode::Dc;
+            ngcIntraPredict(cmode, recon_.u(), cx, cy, csize, pred_u);
+            ngcIntraPredict(cmode, recon_.v(), cx, cy, csize, pred_v);
+            ++stats.intra_mbs;
+        }
+
+        // Residuals.
+        const bool intra = !use_inter;
+        const int tus = size / 8;
+        int16_t dc_y[16][4];
+        int16_t ac_y[16][64];
+        int nonzero = 0;
+        for (int ty = 0; ty < tus; ++ty) {
+            for (int tx = 0; tx < tus; ++tx) {
+                int16_t residual[64];
+                for (int r = 0; r < 8; ++r) {
+                    const uint8_t *s =
+                        src_.y().row(y + ty * 8 + r) + x + tx * 8;
+                    const uint8_t *p =
+                        pred_y + (ty * 8 + r) * size + tx * 8;
+                    for (int c = 0; c < 8; ++c)
+                        residual[r * 8 + c] =
+                            static_cast<int16_t>(s[c] - p[c]);
+                }
+                nonzero += forwardTransform8x8(residual,
+                                               dc_y[ty * tus + tx],
+                                               ac_y[ty * tus + tx], qp_,
+                                               intra);
+            }
+        }
+
+        // Chroma residuals: hierarchical TUs when the chroma CU is at
+        // least 8 wide, plain 4x4 otherwise.
+        const int ctus = csize >= 8 ? csize / 8 : 0;
+        int16_t dc_c[2][4][4];
+        int16_t ac_c[2][4][64];
+        int16_t levels4_c[2][16];
+        for (int plane = 0; plane < 2; ++plane) {
+            const Plane &splane = plane == 0 ? src_.u() : src_.v();
+            const uint8_t *pred_c = plane == 0 ? pred_u : pred_v;
+            if (ctus > 0) {
+                for (int ty = 0; ty < ctus; ++ty) {
+                    for (int tx = 0; tx < ctus; ++tx) {
+                        int16_t residual[64];
+                        for (int r = 0; r < 8; ++r) {
+                            const uint8_t *s =
+                                splane.row(cy + ty * 8 + r) + cx + tx * 8;
+                            const uint8_t *p =
+                                pred_c + (ty * 8 + r) * csize + tx * 8;
+                            for (int c = 0; c < 8; ++c)
+                                residual[r * 8 + c] =
+                                    static_cast<int16_t>(s[c] - p[c]);
+                        }
+                        nonzero += forwardTransform8x8(
+                            residual, dc_c[plane][ty * ctus + tx],
+                            ac_c[plane][ty * ctus + tx], qp_, intra);
+                    }
+                }
+            } else {
+                int16_t residual[16];
+                for (int r = 0; r < 4; ++r) {
+                    const uint8_t *s = splane.row(cy + r) + cx;
+                    const uint8_t *p = pred_c + r * 4;
+                    for (int c = 0; c < 4; ++c)
+                        residual[r * 4 + c] =
+                            static_cast<int16_t>(s[c] - p[c]);
+                }
+                int32_t coefs[16];
+                codec::forwardTransform4x4(residual, coefs);
+                nonzero += codec::quantize4x4(coefs, levels4_c[plane],
+                                              qp_, intra);
+            }
+        }
+        if (probe_) {
+            probe_->record(KernelId::TransformFwd,
+                           static_cast<uint64_t>(size) * size / 16 + 8);
+            probe_->record(KernelId::Quant,
+                           static_cast<uint64_t>(size) * size / 16 + 8,
+                           nonzero != 0, 1);
+        }
+
+        const bool coded = nonzero != 0;
+        const bool skip = use_inter && ref == 0 && mv == pred_mv && !coded;
+
+        // --- Syntax. ---
+        if (type == FrameType::P)
+            writer.bit(skip ? 1 : 0, nctx::kSkip);
+        if (!skip) {
+            if (type == FrameType::P)
+                writer.bit(use_inter ? 1 : 0, nctx::kIsInter);
+            if (use_inter) {
+                if (tools_.refs > 1)
+                    writer.ue(static_cast<uint32_t>(ref), ctx::kRefIdx,
+                              2);
+                writer.se(mv.x - pred_mv.x, ctx::kMvX, 4);
+                writer.se(mv.y - pred_mv.y, ctx::kMvY, 4);
+            } else {
+                writer.ue(static_cast<int>(intra_mode), nctx::kIntraMode,
+                          3);
+            }
+            for (int t = 0; t < tus * tus; ++t)
+                writeTu8(writer, dc_y[t], ac_y[t], true);
+            for (int plane = 0; plane < 2; ++plane) {
+                if (ctus > 0) {
+                    for (int t = 0; t < ctus * ctus; ++t)
+                        writeTu8(writer, dc_c[plane][t], ac_c[plane][t],
+                                 false);
+                } else {
+                    codec::writeResidualBlock(writer, levels4_c[plane],
+                                              false);
+                }
+            }
+        } else {
+            ++stats.skip_mbs;
+        }
+
+        // --- Reconstruction. ---
+        reconstructLeaf(x, y, size, pred_y, pred_u, pred_v, skip, tus,
+                        dc_y, ac_y, ctus, dc_c, ac_c, levels4_c);
+
+        // --- Cell state. ---
+        for (int dy = 0; dy < size / 8; ++dy) {
+            for (int dx = 0; dx < size / 8; ++dx) {
+                CellInfo &cell = cells_.at(x / 8 + dx, y / 8 + dy);
+                cell.mode = skip ? CuMode::Skip
+                                 : (use_inter ? CuMode::Inter
+                                              : CuMode::Intra);
+                cell.mv = use_inter ? mv : MotionVector{};
+                cell.ref = static_cast<int8_t>(ref);
+                cell.coded = coded;
+            }
+        }
+
+        entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
+            static_cast<uint64_t>(nonzero);
+    }
+
+    void
+    reconstructLeaf(int x, int y, int size, const uint8_t *pred_y,
+                    const uint8_t *pred_u, const uint8_t *pred_v,
+                    bool skip, int tus, const int16_t (*dc_y)[4],
+                    const int16_t (*ac_y)[64], int ctus,
+                    const int16_t (*dc_c)[4][4],
+                    const int16_t (*ac_c)[4][64],
+                    const int16_t (*levels4_c)[16])
+    {
+        const int csize = size / 2;
+        const int cx = x / 2;
+        const int cy = y / 2;
+        int inv_blocks = 0;
+        if (skip) {
+            copyBlock(recon_.y(), x, y, size, pred_y, size);
+            copyBlock(recon_.u(), cx, cy, csize, pred_u, csize);
+            copyBlock(recon_.v(), cx, cy, csize, pred_v, csize);
+        } else {
+            for (int ty = 0; ty < tus; ++ty) {
+                for (int tx = 0; tx < tus; ++tx) {
+                    int16_t residual[64];
+                    inverseTransform8x8(dc_y[ty * tus + tx],
+                                        ac_y[ty * tus + tx], qp_,
+                                        residual);
+                    addBlock(recon_.y(), x + tx * 8, y + ty * 8, 8,
+                             pred_y + ty * 8 * size + tx * 8, size,
+                             residual, 8);
+                    ++inv_blocks;
+                }
+            }
+            for (int plane = 0; plane < 2; ++plane) {
+                Plane &rplane = plane == 0 ? recon_.u() : recon_.v();
+                const uint8_t *pred_c = plane == 0 ? pred_u : pred_v;
+                if (ctus > 0) {
+                    for (int ty = 0; ty < ctus; ++ty) {
+                        for (int tx = 0; tx < ctus; ++tx) {
+                            int16_t residual[64];
+                            inverseTransform8x8(
+                                dc_c[plane][ty * ctus + tx],
+                                ac_c[plane][ty * ctus + tx], qp_,
+                                residual);
+                            addBlock(rplane, cx + tx * 8, cy + ty * 8, 8,
+                                     pred_c + ty * 8 * csize + tx * 8,
+                                     csize, residual, 8);
+                            ++inv_blocks;
+                        }
+                    }
+                } else {
+                    int32_t coefs[16];
+                    int16_t residual[16];
+                    codec::dequantize4x4(levels4_c[plane], coefs, qp_);
+                    codec::inverseTransform4x4(coefs, residual);
+                    addBlock(rplane, cx, cy, 4, pred_c, 4, residual, 4);
+                    ++inv_blocks;
+                }
+            }
+        }
+        if (probe_ && inv_blocks > 0) {
+            probe_->record(KernelId::Dequant, inv_blocks * 4);
+            probe_->record(KernelId::TransformInv, inv_blocks * 4);
+            probe_->record(
+                KernelId::Reconstruct,
+                static_cast<uint64_t>(size) * size / 16,
+                static_cast<uint64_t>(inv_blocks), 6,
+                {uarch::MemRegion{recon_.y().row(y) + x,
+                                  static_cast<uint32_t>(size),
+                                  static_cast<uint32_t>(size),
+                                  static_cast<uint32_t>(padded_w_),
+                                  true}});
+        }
+    }
+
+    static void
+    copyBlock(Plane &dst, int x, int y, int n, const uint8_t *src,
+              int stride)
+    {
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                dst.at(x + c, y + r) = src[r * stride + c];
+    }
+
+    /** recon = clamp(pred + residual) over an n x n block. */
+    static void
+    addBlock(Plane &dst, int x, int y, int n, const uint8_t *pred,
+             int pred_stride, const int16_t *residual, int res_stride)
+    {
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                dst.at(x + c, y + r) = codec::clampPixel(
+                    pred[r * pred_stride + c] +
+                    residual[r * res_stride + c]);
+    }
+
+    const NgcConfig &config_;
+    const NgcTools &tools_;
+    const Video &source_;
+    RateController &rate_;
+    uarch::UarchProbe *probe_;
+    int padded_w_;
+    int padded_h_;
+    int sb_cols_;
+    int sb_rows_;
+
+    Frame src_;
+    Frame recon_;
+    CellGrid cells_;
+    std::deque<RefFrame> refs_;
+    std::vector<CuPlan> arena_;
+    int qp_ = 26;
+    double lambda_sad_ = 1.0;
+    uint64_t entropy_hash_ = 0;
+};
+
+} // namespace
+
+NgcEncoder::NgcEncoder(const NgcConfig &config) : config_(config) {}
+
+EncodeResult
+NgcEncoder::encode(const video::Video &source)
+{
+    codec::RateControlConfig rc = config_.rc;
+    rc.fps = source.fps();
+    rc.pixels_per_frame = static_cast<double>(source.pixelsPerFrame());
+
+    const NgcTools tools = toolsFor(config_.profile, config_.speed);
+
+    if (rc.mode == codec::RcMode::TwoPass) {
+        NgcConfig pass1_cfg = config_;
+        pass1_cfg.speed = 2;
+        pass1_cfg.rc.mode = codec::RcMode::Cqp;
+        pass1_cfg.rc.qp = 30;
+        codec::RateControlConfig pass1_rc = pass1_cfg.rc;
+        pass1_rc.fps = source.fps();
+        pass1_rc.pixels_per_frame = rc.pixels_per_frame;
+        RateController pass1_rate(pass1_rc);
+        const NgcTools pass1_tools = toolsFor(config_.profile, 2);
+        NgcSequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
+        const EncodeResult first = pass1.run();
+
+        codec::PassOneStats stats;
+        stats.pass_qp = 30;
+        for (const FrameStats &f : first.frames)
+            stats.frame_bits.push_back(f.bytes * 8.0);
+
+        RateController rate(rc);
+        rate.setPassOneStats(stats);
+        NgcSequencer pass2(config_, tools, source, rate);
+        return pass2.run();
+    }
+
+    RateController rate(rc);
+    NgcSequencer seq(config_, tools, source, rate);
+    return seq.run();
+}
+
+} // namespace vbench::ngc

@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * NGC encoder: the next-generation software encoder (libx265 /
+ * libvpx-vp9 analogue). Same public shape as codec::Encoder so the
+ * benchmark harness can drive either interchangeably.
+ */
+
+#include "codec/encoder.h"
+#include "codec/ratecontrol.h"
+#include "ngc/ngc_types.h"
+#include "uarch/probe.h"
+#include "video/video.h"
+
+namespace vbench::ngc {
+
+/** NGC encoder configuration. */
+struct NgcConfig {
+    codec::RateControlConfig rc;
+    NgcProfile profile = NgcProfile::HevcLike;
+    /// 0 = slowest / best (Popular-grade), 1 = balanced, 2 = fast.
+    int speed = 1;
+    int gop = 30;
+    uarch::UarchProbe *probe = nullptr;
+};
+
+/**
+ * Encode a clip with NGC. Reuses codec::EncodeResult so downstream
+ * metrics code is codec-agnostic.
+ */
+class NgcEncoder
+{
+  public:
+    explicit NgcEncoder(const NgcConfig &config);
+
+    codec::EncodeResult encode(const video::Video &source);
+
+  private:
+    NgcConfig config_;
+};
+
+} // namespace vbench::ngc

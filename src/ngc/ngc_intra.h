@@ -1,0 +1,29 @@
+#pragma once
+
+/**
+ * @file
+ * NGC intra prediction: six predictors over arbitrary power-of-two
+ * block sizes (8..32), including two 45-degree angular modes that VBC
+ * lacks. Neighbors are read from the reconstructed plane with
+ * availability-aware clamping, identically on both sides.
+ */
+
+#include <cstdint>
+
+#include "ngc/ngc_types.h"
+#include "video/plane.h"
+
+namespace vbench::ngc {
+
+/**
+ * Generate an n x n prediction for the block at (x, y).
+ *
+ * @param mode predictor; must satisfy ngcIntraAvailable(mode, x, y).
+ */
+void ngcIntraPredict(NgcIntraMode mode, const video::Plane &recon, int x,
+                     int y, int n, uint8_t *out);
+
+/** Availability of a predictor at a block position. */
+bool ngcIntraAvailable(NgcIntraMode mode, int x, int y);
+
+} // namespace vbench::ngc

@@ -1,0 +1,15 @@
+#include "ngc/ngc_types.h"
+
+namespace vbench::ngc {
+
+const char *
+toString(NgcProfile profile)
+{
+    switch (profile) {
+      case NgcProfile::HevcLike: return "ngc-hevc";
+      case NgcProfile::Vp9Like: return "ngc-vp9";
+    }
+    return "unknown";
+}
+
+} // namespace vbench::ngc

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * NGC transform-unit syntax, shared by encoder and decoder: the 2x2
+ * Hadamard DC mini-block followed by four 4x4 AC blocks (whose
+ * position 0 is structurally zero).
+ */
+
+#include <cstdint>
+
+#include "codec/residual.h"
+#include "codec/syntax.h"
+#include "ngc/ngc_types.h"
+
+namespace vbench::ngc {
+
+/** Write one hierarchical 8x8 TU. */
+inline void
+writeTu8(codec::SyntaxWriter &writer, const int16_t dc_levels[4],
+         const int16_t ac_levels[64], bool luma)
+{
+    int count = 0;
+    for (int i = 0; i < 4; ++i)
+        count += dc_levels[i] != 0;
+    writer.ue(count, nctx::kDcCount, 3);
+    int prev = -1;
+    for (int i = 0; i < 4; ++i) {
+        if (dc_levels[i] == 0)
+            continue;
+        writer.ue(static_cast<uint32_t>(i - prev - 1), codec::ctx::kRun,
+                  3);
+        const int16_t level = dc_levels[i];
+        const uint32_t mag = level < 0 ? -level : level;
+        writer.ue(mag - 1, codec::ctx::kLevel, 4);
+        writer.bypass(level < 0);
+        prev = i;
+    }
+    for (int sb = 0; sb < 4; ++sb)
+        codec::writeResidualBlock(writer, ac_levels + sb * 16, luma);
+}
+
+/**
+ * Parse one hierarchical 8x8 TU.
+ * @return total nonzero levels, or -1 on corrupt syntax.
+ */
+inline int
+readTu8(codec::SyntaxReader &reader, int16_t dc_levels[4],
+        int16_t ac_levels[64], bool luma)
+{
+    for (int i = 0; i < 4; ++i)
+        dc_levels[i] = 0;
+    const uint32_t count = reader.ue(nctx::kDcCount, 3);
+    if (count > 4)
+        return -1;
+    int pos = -1;
+    for (uint32_t i = 0; i < count; ++i) {
+        pos += static_cast<int>(reader.ue(codec::ctx::kRun, 3)) + 1;
+        if (pos > 3)
+            return -1;
+        const uint32_t mag = reader.ue(codec::ctx::kLevel, 4) + 1;
+        if (mag > 32767)
+            return -1;
+        dc_levels[pos] = reader.bypass() ? -static_cast<int16_t>(mag)
+                                         : static_cast<int16_t>(mag);
+    }
+    int nonzero = static_cast<int>(count);
+    for (int sb = 0; sb < 4; ++sb) {
+        const int n =
+            codec::readResidualBlock(reader, ac_levels + sb * 16, luma);
+        if (n < 0 || ac_levels[sb * 16] != 0)
+            return -1;  // position 0 must stay structural zero
+        nonzero += n;
+    }
+    return nonzero;
+}
+
+} // namespace vbench::ngc

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * NGC's hierarchical 8x8 transform: four 4x4 core transforms whose DC
+ * coefficients are further decorrelated by a 2x2 Hadamard transform
+ * (the construction H.264 uses for Intra-16x16 DC, applied here as the
+ * standard transform unit). Larger effective support than a flat 4x4
+ * improves energy compaction on smooth content while keeping all
+ * arithmetic exactly integral.
+ */
+
+#include <cstdint>
+
+namespace vbench::ngc {
+
+/**
+ * Forward transform + quantization of one 8x8 residual block.
+ *
+ * @param residual 64 residual samples, row-major.
+ * @param[out] dc_levels 4 quantized Hadamard-domain DC levels (in
+ *        sub-block raster order).
+ * @param[out] ac_levels 4 sub-blocks x 16 levels; position 0 of each
+ *        sub-block is always zero (its energy lives in dc_levels).
+ * @param qp quantizer.
+ * @param intra rounding mode.
+ * @return number of nonzero levels across DC and AC.
+ */
+int forwardTransform8x8(const int16_t residual[64], int16_t dc_levels[4],
+                        int16_t ac_levels[64], int qp, bool intra);
+
+/**
+ * Dequantize + inverse transform back to a residual block.
+ */
+void inverseTransform8x8(const int16_t dc_levels[4],
+                         const int16_t ac_levels[64], int qp,
+                         int16_t residual[64]);
+
+} // namespace vbench::ngc

@@ -1,0 +1,51 @@
+#include "uarch/branch.h"
+
+namespace vbench::uarch {
+
+namespace {
+
+/** 2-bit saturating counter update; >= 2 predicts taken. */
+bool
+updateCounter(uint8_t &counter, bool taken)
+{
+    const bool prediction = counter >= 2;
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+    return prediction == taken;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(int table_bits)
+    : counters_(1ull << table_bits, 1),
+      mask_((1ull << table_bits) - 1)
+{
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc, bool taken)
+{
+    uint8_t &counter = counters_[(pc >> 2) & mask_];
+    return tally(updateCounter(counter, taken));
+}
+
+GsharePredictor::GsharePredictor(int table_bits, int history_bits)
+    : counters_(1ull << table_bits, 1),
+      table_mask_((1ull << table_bits) - 1),
+      history_mask_((1ull << history_bits) - 1)
+{
+}
+
+bool
+GsharePredictor::predict(uint64_t pc, bool taken)
+{
+    const uint64_t index = ((pc >> 2) ^ history_) & table_mask_;
+    uint8_t &counter = counters_[index];
+    const bool correct = updateCounter(counter, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+    return tally(correct);
+}
+
+} // namespace vbench::uarch

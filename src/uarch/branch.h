@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Branch predictor models: bimodal and gshare.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace vbench::uarch {
+
+/** Common statistics interface for branch predictors. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict-and-update for one conditional branch.
+     * @param pc branch address.
+     * @param taken actual outcome.
+     * @return true if the prediction was correct.
+     */
+    virtual bool predict(uint64_t pc, bool taken) = 0;
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    void resetStats() { lookups_ = mispredicts_ = 0; }
+
+  protected:
+    /** Record one outcome into the stats. */
+    bool
+    tally(bool correct)
+    {
+        ++lookups_;
+        if (!correct)
+            ++mispredicts_;
+        return correct;
+    }
+
+  private:
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+/** Classic 2-bit saturating counter table indexed by PC. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(int table_bits = 12);
+
+    bool predict(uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<uint8_t> counters_;
+    uint64_t mask_;
+};
+
+/**
+ * gshare: 2-bit counters indexed by PC XOR global history. The model
+ * the MPKI analysis uses; long enough history to learn loop trip
+ * patterns, small enough to alias under heavy data-dependent branching.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(int table_bits = 14, int history_bits = 12);
+
+    bool predict(uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<uint8_t> counters_;
+    uint64_t table_mask_;
+    uint64_t history_mask_;
+    uint64_t history_ = 0;
+};
+
+} // namespace vbench::uarch

@@ -1,0 +1,133 @@
+#include "uarch/cache.h"
+
+#include <cassert>
+
+namespace vbench::uarch {
+
+namespace {
+
+int
+log2OfPow2(uint64_t v)
+{
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : config_(config)
+{
+    assert(config.line_bytes > 0 &&
+           (config.line_bytes & (config.line_bytes - 1)) == 0);
+    assert(config.ways > 0);
+    const uint64_t lines = config.size_bytes / config.line_bytes;
+    assert(lines % config.ways == 0);
+    num_sets_ = static_cast<int>(lines / config.ways);
+    assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+    line_shift_ = log2OfPow2(config.line_bytes);
+    lines_.resize(lines);
+}
+
+bool
+CacheModel::access(uint64_t address)
+{
+    const uint64_t line_addr = address >> line_shift_;
+    const uint64_t set = line_addr & (num_sets_ - 1);
+    const uint64_t tag = line_addr >> log2OfPow2(num_sets_);
+    Line *set_base = &lines_[set * config_.ways];
+    ++tick_;
+
+    Line *victim = set_base;
+    for (int w = 0; w < config_.ways; ++w) {
+        Line &line = set_base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    ++misses_;
+    return false;
+}
+
+void
+CacheModel::accessRange(uint64_t address, uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const uint64_t first = address >> line_shift_;
+    const uint64_t last = (address + bytes - 1) >> line_shift_;
+    for (uint64_t line = first; line <= last; ++line)
+        access(line << line_shift_);
+}
+
+void
+CacheModel::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+CacheHierarchy::CacheHierarchy(const Config &config)
+    : l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2), l3_(config.l3)
+{
+}
+
+void
+CacheHierarchy::accessLine(uint64_t address, bool instruction)
+{
+    CacheModel &l1 = instruction ? l1i_ : l1d_;
+    if (l1.access(address))
+        return;
+    if (l2_.access(address))
+        return;
+    l3_.access(address);
+}
+
+void
+CacheHierarchy::fetch(uint64_t address, uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const int line = l1i_.lineBytes();
+    const uint64_t first = address / line;
+    const uint64_t last = (address + bytes - 1) / line;
+    for (uint64_t l = first; l <= last; ++l)
+        accessLine(l * line, true);
+}
+
+void
+CacheHierarchy::touch(uint64_t address, uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const int line = l1d_.lineBytes();
+    const uint64_t first = address / line;
+    const uint64_t last = (address + bytes - 1) / line;
+    for (uint64_t l = first; l <= last; ++l)
+        accessLine(l * line, false);
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+    l3_.resetStats();
+}
+
+} // namespace vbench::uarch

@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * Set-associative LRU cache model and a three-level hierarchy.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace vbench::uarch {
+
+/** Cache geometry. All sizes in bytes; line size must be a power of 2. */
+struct CacheConfig {
+    uint64_t size_bytes = 32 * 1024;
+    int ways = 8;
+    int line_bytes = 64;
+};
+
+/**
+ * A single set-associative cache with true-LRU replacement. Access is
+ * by byte address; the model tracks hits and misses only (no data, no
+ * latency), which is all the MPKI analysis needs.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config);
+
+    /**
+     * Access one address.
+     * @return true on hit, false on miss (the line is then filled).
+     */
+    bool access(uint64_t address);
+
+    /** Touch every line covered by [address, address + bytes). */
+    void accessRange(uint64_t address, uint64_t bytes);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+
+    int numSets() const { return num_sets_; }
+    int ways() const { return config_.ways; }
+    int lineBytes() const { return config_.line_bytes; }
+
+    void resetStats() { hits_ = misses_ = 0; }
+
+    /** Invalidate all contents (stats retained). */
+    void flush();
+
+  private:
+    struct Line {
+        uint64_t tag = 0;
+        uint64_t lru = 0;   ///< larger is more recent
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    int num_sets_;
+    int line_shift_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    std::vector<Line> lines_;  ///< num_sets_ * ways, set-major
+};
+
+/**
+ * The L1I / L1D / shared L2 / shared L3 hierarchy the MPKI analysis
+ * simulates. Instruction fetches go through L1I; data accesses through
+ * L1D; both miss paths feed L2 then L3 (inclusive, no prefetchers --
+ * a deliberately simple model, the paper's trends are about working
+ * sets, not prefetch heuristics).
+ */
+class CacheHierarchy
+{
+  public:
+    struct Config {
+        CacheConfig l1i{32 * 1024, 8, 64};
+        CacheConfig l1d{32 * 1024, 8, 64};
+        CacheConfig l2{256 * 1024, 8, 64};
+        CacheConfig l3{8 * 1024 * 1024, 16, 64};
+    };
+
+    CacheHierarchy() : CacheHierarchy(Config{}) {}
+    explicit CacheHierarchy(const Config &config);
+
+    /** Instruction fetch of one line-aligned region. */
+    void fetch(uint64_t address, uint64_t bytes);
+
+    /** Data access over a region. */
+    void touch(uint64_t address, uint64_t bytes);
+
+    const CacheModel &l1i() const { return l1i_; }
+    const CacheModel &l1d() const { return l1d_; }
+    const CacheModel &l2() const { return l2_; }
+    const CacheModel &l3() const { return l3_; }
+
+    void resetStats();
+
+  private:
+    void accessLine(uint64_t address, bool instruction);
+
+    CacheModel l1i_;
+    CacheModel l1d_;
+    CacheModel l2_;
+    CacheModel l3_;
+};
+
+} // namespace vbench::uarch

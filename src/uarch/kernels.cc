@@ -1,0 +1,91 @@
+#include "uarch/kernels.h"
+
+#include <array>
+#include <cassert>
+
+namespace vbench::uarch {
+
+namespace {
+
+/**
+ * The static kernel table. Layout notes:
+ *
+ *  - code_base offsets are assigned so that kernels used by *every*
+ *    transcode (dispatch, copy, SAD, transform, quant, VLC) are packed
+ *    together near the start of the text segment; advanced tools that
+ *    only high-effort / high-entropy encodes exercise (sub-pel, many
+ *    intra modes, RDO, arithmetic coding, deblocking) extend the
+ *    working set beyond a 32 KiB L1I, which is the mechanism behind
+ *    the paper's "complex videos exercise more code => more icache
+ *    misses" observation (Fig. 5).
+ *
+ *  - vec/ctl op counts are per work unit (unit in the comment).
+ *    They are calibrated so that a VOD transcode lands near the
+ *    paper's instruction mix: ~60% scalar cycles, ~15% AVX2 (Fig. 7).
+ */
+constexpr std::array<KernelModel, kNumKernels> kModels = {{
+    // id                        base    size   vec    ctl   cap  loopB dataB bytes
+    {KernelId::Dispatch,            0, 16384,   0.0,  30.0,    0,  4.0,  3.0,   64},   // unit: one macroblock orchestrated
+    {KernelId::FrameCopy,       16384,  1024, 180.0,   4.0,  256,  1.0,  0.0,   64},   // unit: 64 pixels moved
+    {KernelId::MotionSearchCtl, 17408,  6144,   2.0,  24.0,    0,  2.0,  2.0,   16},   // unit: one candidate considered
+    {KernelId::Sad,             23552,  2048, 750.0,  20.0,  256, 17.0,  1.0,  512},   // unit: one 16x16 SAD
+    {KernelId::SubpelInterp,    25600,  3072, 420.0,  40.0,  128, 17.0,  1.0,  768},   // unit: one 16x16 half-pel interp
+    {KernelId::IntraPredict,    28672,  8192, 180.0,  40.0,  128,  9.0,  2.0,  320},   // unit: one 16x16 predictor
+    {KernelId::ModeDecision,    36864, 12288,  30.0, 120.0,  128,  4.0,  5.0,  128},   // unit: one RDO candidate
+    {KernelId::TransformFwd,    49152,  2048,  64.0,  10.0,  128,  4.0,  0.0,   32},   // unit: one 4x4 block
+    {KernelId::TransformInv,    51200,  2048,  64.0,  10.0,  128,  4.0,  0.0,   32},   // unit: one 4x4 block
+    {KernelId::Quant,           53248,  1536, 120.0,   8.0,  256,  2.0,  1.0,   32},   // unit: one 4x4 block
+    {KernelId::Dequant,         54784,  1536, 108.0,   6.0,  256,  2.0,  0.0,   32},   // unit: one 4x4 block
+    {KernelId::EntropyVlc,      56320, 10240,   0.0,   9.0,    0,  1.0,  0.22,   4},   // unit: one coded symbol
+    {KernelId::EntropyArith,    66560,  8192,   0.0,   7.0,    0,  1.0,  0.15,   2},   // unit: one coded bin
+    {KernelId::Deblock,         74752,  6144, 150.0,  45.0,  128,  8.0,  3.0,  256},   // unit: one 16-sample edge
+    {KernelId::Reconstruct,     80896,  2048,  36.0,   6.0,  128,  2.0,  0.0,   64},   // unit: one 4x4 block
+    {KernelId::RateControl,     82944,  4096,   4.0,  60.0,    0,  2.0,  3.0,   16},   // unit: one macroblock budgeted
+    {KernelId::DecodeParse,     87040,  8192,   0.0,   6.0,    0,  1.0,  0.20,   4},   // unit: one parsed symbol
+}};
+
+} // namespace
+
+const char *
+kernelName(KernelId id)
+{
+    switch (id) {
+      case KernelId::Dispatch: return "dispatch";
+      case KernelId::FrameCopy: return "frame_copy";
+      case KernelId::MotionSearchCtl: return "me_control";
+      case KernelId::Sad: return "sad";
+      case KernelId::SubpelInterp: return "subpel_interp";
+      case KernelId::IntraPredict: return "intra_predict";
+      case KernelId::ModeDecision: return "mode_decision";
+      case KernelId::TransformFwd: return "transform_fwd";
+      case KernelId::TransformInv: return "transform_inv";
+      case KernelId::Quant: return "quant";
+      case KernelId::Dequant: return "dequant";
+      case KernelId::EntropyVlc: return "entropy_vlc";
+      case KernelId::EntropyArith: return "entropy_arith";
+      case KernelId::Deblock: return "deblock";
+      case KernelId::Reconstruct: return "reconstruct";
+      case KernelId::RateControl: return "rate_control";
+      case KernelId::DecodeParse: return "decode_parse";
+      case KernelId::NumKernels: break;
+    }
+    return "unknown";
+}
+
+const KernelModel &
+kernelModel(KernelId id)
+{
+    const int idx = static_cast<int>(id);
+    assert(idx >= 0 && idx < kNumKernels);
+    assert(kModels[idx].id == id && "kernel table order mismatch");
+    return kModels[idx];
+}
+
+uint32_t
+textSegmentSize()
+{
+    const KernelModel &last = kModels[kNumKernels - 1];
+    return last.code_base + last.code_size;
+}
+
+} // namespace vbench::uarch

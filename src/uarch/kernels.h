@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * The kernel taxonomy shared between the instrumented codecs and the
+ * microarchitecture simulators.
+ *
+ * Every computational kernel in the transcoding pipeline is described
+ * by a static KernelModel: its synthetic code footprint (placement in
+ * a virtual text segment), its instruction cost per unit of work split
+ * into vectorizable and control portions, and its branch behaviour.
+ * The codecs report *dynamic* facts per invocation (work units and
+ * data-derived decision bits); the models supply the static facts a
+ * real binary would carry. Together they drive the cache, branch
+ * predictor, top-down, and SIMD analyses of paper §5.1-5.2.
+ */
+
+#include <cstdint>
+
+namespace vbench::uarch {
+
+/** Transcoding pipeline kernels, encoder and decoder side. */
+enum class KernelId {
+    Dispatch = 0,       ///< shared control/orchestration code
+    FrameCopy,          ///< plane copies, padding, format shuffles
+    MotionSearchCtl,    ///< search loop control and candidate pruning
+    Sad,                ///< block sum-of-absolute-differences
+    SubpelInterp,       ///< half-pel interpolation filters
+    IntraPredict,       ///< intra predictor generation
+    ModeDecision,       ///< RDO candidate evaluation and selection
+    TransformFwd,       ///< forward integer transform
+    TransformInv,       ///< inverse integer transform
+    Quant,              ///< quantization
+    Dequant,            ///< dequantization
+    EntropyVlc,         ///< Exp-Golomb / run-level coding
+    EntropyArith,       ///< adaptive binary range coder
+    Deblock,            ///< in-loop deblocking filter
+    Reconstruct,        ///< residual add + clamp
+    RateControl,        ///< QP adaptation, pass bookkeeping
+    DecodeParse,        ///< decoder-side bitstream parsing
+    NumKernels,
+};
+
+inline constexpr int kNumKernels = static_cast<int>(KernelId::NumKernels);
+
+/** Human-readable kernel name for reports. */
+const char *kernelName(KernelId id);
+
+/**
+ * Static per-kernel microarchitectural description.
+ *
+ * Instruction costs are per *unit of work*, where the unit is the
+ * kernel's natural work item (documented per kernel in kernels.cc):
+ * a 16x16 SAD evaluation, a 4x4 transform block, one coded symbol...
+ * The split into vec_ops and ctl_ops feeds the SIMD model: vec_ops
+ * shrink with wider SIMD (up to width_cap_bits), ctl_ops never do.
+ */
+struct KernelModel {
+    KernelId id;
+    /// Byte offset of this kernel's code in the virtual text segment.
+    uint32_t code_base;
+    /// Code footprint in bytes (drives the I-cache working set).
+    uint32_t code_size;
+    /// Data-parallel (vectorizable) operations per work unit.
+    double vec_ops;
+    /// Control/sequential operations per work unit; never vectorizes.
+    double ctl_ops;
+    /// Widest SIMD register this kernel can fill, in bits. Kernels on
+    /// narrow blocks cap below 256, which is why AVX2 only partially
+    /// replaces AVX in Fig. 8.
+    int width_cap_bits;
+    /// Predictable loop-control branches per work unit.
+    double loop_branches;
+    /// Data-dependent branches per work unit (outcomes supplied by
+    /// the codec as decision bits).
+    double data_branches;
+    /// Approximate bytes of pixel/coefficient data read per unit.
+    double bytes_per_unit;
+};
+
+/** Model lookup. Never fails: every KernelId has an entry. */
+const KernelModel &kernelModel(KernelId id);
+
+/** Total size of the virtual text segment covered by all kernels. */
+uint32_t textSegmentSize();
+
+} // namespace vbench::uarch

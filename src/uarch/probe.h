@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * The instrumentation interface the codecs report kernel activity
+ * through. A null probe costs one predictable branch per kernel call.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+#include "uarch/kernels.h"
+
+namespace vbench::uarch {
+
+/**
+ * A (possibly strided) data region a kernel invocation touched: `rows`
+ * runs of `row_bytes` starting `stride` bytes apart. Video kernels work
+ * on 2-D pixel blocks, so a strided description reproduces the actual
+ * cache-line touch pattern of e.g. a 16x16 SAD against a full-width
+ * reference plane.
+ */
+struct MemRegion {
+    const void *base = nullptr;
+    uint32_t row_bytes = 0;
+    uint32_t rows = 1;
+    uint32_t stride = 0;    ///< byte distance between row starts
+    bool write = false;
+};
+
+/**
+ * Receiver for dynamic kernel events. The codecs call record() once
+ * per kernel invocation (or once per batched group of invocations)
+ * with the amount of work done and up to 64 *data-derived* decision
+ * bits -- real values computed from the pixels (significance flags,
+ * sign bits, early-exit outcomes) that the branch-predictor simulation
+ * replays as data-dependent branch outcomes. This is what makes the
+ * branch MPKI of a noisy clip genuinely higher than a slideshow's.
+ */
+class UarchProbe
+{
+  public:
+    virtual ~UarchProbe() = default;
+
+    /**
+     * Report kernel work.
+     *
+     * @param id which kernel ran.
+     * @param units work units completed (kernel-specific; see
+     *        kernels.cc for each kernel's unit).
+     * @param decision_bits packed data-dependent branch outcomes.
+     * @param n_decisions number of valid bits in decision_bits (0-64).
+     * @param regions data regions touched, for the cache hierarchy.
+     */
+    virtual void record(KernelId id, uint64_t units, uint64_t decision_bits,
+                        int n_decisions,
+                        std::initializer_list<MemRegion> regions) = 0;
+
+    /** Convenience overload for kernels with no data regions. */
+    void
+    record(KernelId id, uint64_t units, uint64_t decision_bits = 0,
+           int n_decisions = 0)
+    {
+        record(id, units, decision_bits, n_decisions, {});
+    }
+};
+
+} // namespace vbench::uarch

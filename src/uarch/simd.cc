@@ -1,0 +1,105 @@
+#include "uarch/simd.h"
+
+#include <algorithm>
+
+namespace vbench::uarch {
+
+const char *
+isaName(IsaLevel level)
+{
+    switch (level) {
+      case IsaLevel::Scalar: return "scalar";
+      case IsaLevel::SSE: return "sse";
+      case IsaLevel::SSE2: return "sse2";
+      case IsaLevel::SSE3: return "sse3";
+      case IsaLevel::SSE4: return "sse4";
+      case IsaLevel::AVX: return "avx";
+      case IsaLevel::AVX2: return "avx2";
+    }
+    return "unknown";
+}
+
+double
+elementsPerVectorInstr(IsaLevel level, int width_cap_bits)
+{
+    if (width_cap_bits <= 0)
+        return 1.0;
+    // (integer elements per instr at full width, efficiency factor)
+    // Efficiency < 1 accounts for loads, shuffles, reductions, and
+    // masked tails that dilute raw lane counts in real kernels.
+    double width_elems;
+    double efficiency;
+    switch (level) {
+      case IsaLevel::Scalar: return 1.0;
+      case IsaLevel::SSE: width_elems = 8; efficiency = 0.35; break;
+      case IsaLevel::SSE2: width_elems = 16; efficiency = 0.50; break;
+      case IsaLevel::SSE3: width_elems = 16; efficiency = 0.53; break;
+      case IsaLevel::SSE4: width_elems = 16; efficiency = 0.58; break;
+      case IsaLevel::AVX: width_elems = 16; efficiency = 0.61; break;
+      case IsaLevel::AVX2: width_elems = 32; efficiency = 0.61; break;
+      default: width_elems = 1; efficiency = 1.0; break;
+    }
+    const double cap_elems = width_cap_bits / 8.0;
+    return std::min(width_elems, cap_elems) * efficiency;
+}
+
+IsaLevel
+encodingBucket(IsaLevel enabled, int width_cap_bits)
+{
+    if (enabled == IsaLevel::AVX2 && width_cap_bits < 256)
+        return IsaLevel::AVX;
+    return enabled;
+}
+
+InstrCounts
+instructionCount(const KernelWork &work, IsaLevel enabled)
+{
+    InstrCounts counts;
+    for (int k = 0; k < kNumKernels; ++k) {
+        const KernelModel &model = kernelModel(static_cast<KernelId>(k));
+        const double units = work.units[k];
+        if (units <= 0)
+            continue;
+        counts.scalar += model.ctl_ops * units;
+        if (model.vec_ops > 0) {
+            const double elems =
+                elementsPerVectorInstr(enabled, model.width_cap_bits);
+            if (enabled == IsaLevel::Scalar || model.width_cap_bits <= 0) {
+                counts.scalar += model.vec_ops * units;
+            } else {
+                counts.vector += model.vec_ops * units / elems;
+            }
+        }
+    }
+    return counts;
+}
+
+CycleBreakdown
+simdCycles(const KernelWork &work, IsaLevel enabled)
+{
+    CycleBreakdown breakdown;
+    for (int k = 0; k < kNumKernels; ++k) {
+        const KernelModel &model = kernelModel(static_cast<KernelId>(k));
+        const double units = work.units[k];
+        if (units <= 0)
+            continue;
+        breakdown.cycles[static_cast<int>(IsaLevel::Scalar)] +=
+            model.ctl_ops * units * kScalarCpi;
+        if (model.vec_ops <= 0)
+            continue;
+        if (enabled == IsaLevel::Scalar || model.width_cap_bits <= 0) {
+            breakdown.cycles[static_cast<int>(IsaLevel::Scalar)] +=
+                model.vec_ops * units * kScalarCpi;
+        } else {
+            const double elems =
+                elementsPerVectorInstr(enabled, model.width_cap_bits);
+            const IsaLevel bucket =
+                encodingBucket(enabled, model.width_cap_bits);
+            breakdown.cycles[static_cast<int>(bucket)] +=
+                model.vec_ops * units / elems * kVectorCpi;
+        }
+    }
+    return breakdown;
+}
+
+} // namespace vbench::uarch

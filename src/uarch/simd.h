@@ -1,0 +1,107 @@
+#pragma once
+
+/**
+ * @file
+ * SIMD/ISA dispatch model (paper §5.2, Figs. 7-8).
+ *
+ * Models how the transcoding kernels dispatch onto progressively wider
+ * SIMD instruction sets, mirroring libx264's per-function runtime
+ * dispatch: each kernel uses the widest ISA it can fill, capped by its
+ * block geometry (a 4x4 transform never fills a 256-bit register).
+ * Control/sequential code never vectorizes, which is the Amdahl limit
+ * the paper quantifies.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "uarch/kernels.h"
+
+namespace vbench::uarch {
+
+/** x86 SIMD generations the dispatch model distinguishes. */
+enum class IsaLevel { Scalar = 0, SSE, SSE2, SSE3, SSE4, AVX, AVX2 };
+
+inline constexpr int kNumIsaLevels = 7;
+
+const char *isaName(IsaLevel level);
+
+/**
+ * 8-bit elements processed per vector instruction at a given ISA
+ * level, for a kernel whose widest usable register is width_cap_bits.
+ * Encodes the historical ISA properties: SSE is float-oriented (small
+ * win for 8-bit video math), SSE2 brings 128-bit integer ops (the big
+ * jump), SSE3/SSE4/AVX refine throughput at the same integer width,
+ * AVX2 doubles integer width to 256 bits -- but only kernels with
+ * width_cap_bits >= 256 benefit.
+ */
+double elementsPerVectorInstr(IsaLevel level, int width_cap_bits);
+
+/**
+ * The ISA bucket a kernel's vector instructions are *encoded* in when
+ * `enabled` is the widest available level (e.g. on an AVX2 machine a
+ * 128-bit-capped kernel executes VEX-encoded AVX, not AVX2).
+ */
+IsaLevel encodingBucket(IsaLevel enabled, int width_cap_bits);
+
+/** Accumulated work units per kernel (filled by the trace simulator). */
+struct KernelWork {
+    std::array<double, kNumKernels> units{};
+
+    double &operator[](KernelId id) { return units[static_cast<int>(id)]; }
+    double
+    operator[](KernelId id) const
+    {
+        return units[static_cast<int>(id)];
+    }
+};
+
+/** Cycles attributed to each ISA bucket plus derived totals. */
+struct CycleBreakdown {
+    std::array<double, kNumIsaLevels> cycles{};
+
+    double
+    total() const
+    {
+        double sum = 0;
+        for (double c : cycles)
+            sum += c;
+        return sum;
+    }
+
+    double scalarFraction() const { return fraction(IsaLevel::Scalar); }
+
+    double
+    fraction(IsaLevel level) const
+    {
+        const double t = total();
+        return t > 0 ? cycles[static_cast<int>(level)] / t : 0.0;
+    }
+};
+
+/** Instruction counts split by scalar/vector for the MPKI denominators. */
+struct InstrCounts {
+    double scalar = 0;
+    double vector = 0;
+
+    double total() const { return scalar + vector; }
+};
+
+/**
+ * Instruction counts for a work profile executed with `enabled` as the
+ * widest available ISA.
+ */
+InstrCounts instructionCount(const KernelWork &work, IsaLevel enabled);
+
+/**
+ * Cycle breakdown by ISA bucket for a work profile. Scalar
+ * instructions cost kScalarCpi cycles, vector instructions kVectorCpi;
+ * the trends (not absolute time) are what Figs. 7-8 report.
+ */
+CycleBreakdown simdCycles(const KernelWork &work, IsaLevel enabled);
+
+/** Scalar and vector per-instruction cycle costs used by the model. */
+inline constexpr double kScalarCpi = 0.40;
+inline constexpr double kVectorCpi = 0.55;
+
+} // namespace vbench::uarch

@@ -1,0 +1,61 @@
+#include "uarch/topdown.h"
+
+namespace vbench::uarch {
+
+namespace {
+
+/** Per-category stall cycles; the breakdown and the total share it. */
+struct CycleTerms {
+    double fe = 0, bad = 0, mem = 0, core = 0, ret = 0;
+
+    double total() const { return fe + bad + mem + core + ret; }
+};
+
+CycleTerms
+cycleTerms(const TopDownInputs &in, const TopDownParams &p)
+{
+    CycleTerms t;
+    // Stall cycles per category. All are converted to issue slots by
+    // the common issue width, so the conversion cancels in the
+    // fractions and plain cycles can be summed directly.
+    t.fe = in.l1i_misses * p.l1i_miss_penalty +
+        in.instructions * p.fetch_overhead;
+    t.bad = in.branch_mispredicts * p.branch_miss_penalty;
+    t.mem = p.mlp_factor *
+        (in.l1d_misses * p.l1d_hit_l2_latency +
+         in.l2_misses * p.l2_hit_l3_latency +
+         in.l3_misses * p.dram_latency);
+    const double scalar_instr = in.instructions - in.vector_instructions;
+    t.core = scalar_instr * p.core_scalar_cost +
+        in.vector_instructions * p.core_vector_cost;
+    t.ret = in.instructions / p.issue_width;
+    return t;
+}
+
+} // namespace
+
+TopDownBreakdown
+topDown(const TopDownInputs &in, const TopDownParams &p)
+{
+    TopDownBreakdown out;
+    if (in.instructions <= 0) {
+        out.retiring = 1.0;
+        return out;
+    }
+    const CycleTerms t = cycleTerms(in, p);
+    const double total = t.total();
+    out.frontend = t.fe / total;
+    out.bad_speculation = t.bad / total;
+    out.backend_memory = t.mem / total;
+    out.backend_core = t.core / total;
+    out.retiring = t.ret / total;
+    return out;
+}
+
+double
+modeledCycles(const TopDownInputs &in, const TopDownParams &p)
+{
+    return cycleTerms(in, p).total();
+}
+
+} // namespace vbench::uarch

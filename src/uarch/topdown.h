@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Top-Down cycle accounting (Yasin 2014), the methodology Figure 6 of
+ * the paper uses to attribute pipeline slots.
+ */
+
+namespace vbench::uarch {
+
+/** Raw event counts the accounting consumes. */
+struct TopDownInputs {
+    double instructions = 0;       ///< total retired instructions
+    double vector_instructions = 0;///< subset executing on SIMD ports
+    double l1i_misses = 0;
+    double branch_mispredicts = 0;
+    double l1d_misses = 0;         ///< L1D misses that hit L2
+    double l2_misses = 0;          ///< L2 misses that hit L3
+    double l3_misses = 0;          ///< LLC misses to DRAM
+};
+
+/** Fractions of pipeline slots per Top-Down category; sums to 1. */
+struct TopDownBreakdown {
+    double frontend = 0;   ///< FE: fetch starvation (I$ misses, decode)
+    double bad_speculation = 0;  ///< BAD: wrong-path work
+    double backend_memory = 0;   ///< BE/Mem: data-cache stalls
+    double backend_core = 0;     ///< BE/Core: execution port pressure
+    double retiring = 0;         ///< RET: useful work
+
+    double
+    total() const
+    {
+        return frontend + bad_speculation + backend_memory + backend_core +
+            retiring;
+    }
+};
+
+/**
+ * Penalty model. Latencies are in cycles; the memory-level-parallelism
+ * factor discounts cache-miss latency for overlap. Defaults calibrated
+ * so a VOD transcode lands near the paper's profile: ~15% FE, ~10%
+ * BAD, ~15% BE/Mem, ~60% BE/Core + RET.
+ */
+struct TopDownParams {
+    double issue_width = 4.0;
+    double l1i_miss_penalty = 12.0;
+    double branch_miss_penalty = 16.0;
+    double l1d_hit_l2_latency = 10.0;
+    double l2_hit_l3_latency = 35.0;
+    double dram_latency = 180.0;
+    double mlp_factor = 0.25;      ///< fraction of miss latency exposed
+    double fetch_overhead = 0.06;  ///< baseline FE bubbles per instr
+    double core_scalar_cost = 0.10; ///< BE/Core stall cycles per scalar op
+    double core_vector_cost = 0.30; ///< BE/Core stall cycles per vector op
+};
+
+/** Compute the slot breakdown from event counts. */
+TopDownBreakdown topDown(const TopDownInputs &inputs,
+                         const TopDownParams &params = TopDownParams{});
+
+/**
+ * Total modeled execution cycles for the event counts (the sum the
+ * breakdown normalizes by). Comparing the same workload's cycle totals
+ * under two machine models is exactly the Platform scenario: identical
+ * bitstream, different hardware, score = cycle ratio.
+ */
+double modeledCycles(const TopDownInputs &inputs,
+                     const TopDownParams &params = TopDownParams{});
+
+} // namespace vbench::uarch

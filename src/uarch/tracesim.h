@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * The trace-driven microarchitecture simulator: a UarchProbe that
+ * replays the codec's kernel events through cache and branch models
+ * and produces the paper's §5.1-5.2 statistics.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "uarch/branch.h"
+#include "uarch/cache.h"
+#include "uarch/probe.h"
+#include "uarch/simd.h"
+#include "uarch/topdown.h"
+
+namespace vbench::uarch {
+
+/** Everything Figures 5-8 need, for one instrumented transcode. */
+struct UarchReport {
+    double l1i_mpki = 0;
+    double branch_mpki = 0;
+    double l2_mpki = 0;
+    double l3_mpki = 0;
+    TopDownBreakdown topdown;
+    /// Raw event counts behind the breakdown, for cycle modeling
+    /// (Platform-scenario machine comparisons).
+    TopDownInputs topdown_inputs;
+    KernelWork work;                 ///< accumulated units per kernel
+    double instructions = 0;         ///< traced instruction estimate
+    double vector_instructions = 0;
+    CycleBreakdown cycles;           ///< ISA bucket attribution
+};
+
+/** Simulator knobs. */
+struct TraceSimConfig {
+    /// Only 1 in 2^sample_shift invocations are traced through the
+    /// cache/branch models (instruction accounting sees all of them);
+    /// the MPKI denominators use the traced subset so ratios stay
+    /// unbiased.
+    int sample_shift = 0;
+    /// Widest SIMD generation "available" on the modeled machine.
+    IsaLevel isa = IsaLevel::AVX2;
+    CacheHierarchy::Config caches;
+    int gshare_table_bits = 14;
+    int gshare_history_bits = 12;
+};
+
+/**
+ * UarchProbe implementation. Feed it to an encoder/decoder, run a
+ * transcode, then call report().
+ */
+class TraceSimulator : public UarchProbe
+{
+  public:
+    explicit TraceSimulator(const TraceSimConfig &config = TraceSimConfig{});
+
+    void record(KernelId id, uint64_t units, uint64_t decision_bits,
+                int n_decisions,
+                std::initializer_list<MemRegion> regions) override;
+    using UarchProbe::record;
+
+    /** Compute the report for everything recorded so far. */
+    UarchReport report() const;
+
+    const CacheHierarchy &caches() const { return caches_; }
+
+  private:
+    TraceSimConfig config_;
+    CacheHierarchy caches_;
+    GsharePredictor branches_;
+    KernelWork traced_work_;      ///< work from traced invocations only
+    KernelWork all_work_;         ///< all work (for the SIMD figures)
+    uint64_t invocation_count_ = 0;
+    double branch_events_ = 0;    ///< weighted simulated branch count
+    double branch_misses_ = 0;    ///< weighted mispredicts
+};
+
+} // namespace vbench::uarch

@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * YUV 4:2:0 video frame.
+ */
+
+#include <cassert>
+#include <cstdint>
+
+#include "video/plane.h"
+
+namespace vbench::video {
+
+/** Plane indices within a Frame. */
+enum class PlaneId { Y = 0, U = 1, V = 2 };
+
+/**
+ * A YUV 4:2:0 frame: full-resolution luma plus two half-resolution
+ * chroma planes. Dimensions must be even so the chroma subsampling is
+ * exact; callers pad odd sizes before constructing frames.
+ */
+class Frame
+{
+  public:
+    Frame() = default;
+
+    Frame(int width, int height)
+        : y_(width, height, 16),
+          u_(width / 2, height / 2, 128),
+          v_(width / 2, height / 2, 128)
+    {
+        assert(width % 2 == 0 && height % 2 == 0);
+    }
+
+    int width() const { return y_.width(); }
+    int height() const { return y_.height(); }
+
+    bool empty() const { return y_.empty(); }
+
+    /** Total sample count across all three planes (1.5 samples/pixel). */
+    size_t
+    sampleCount() const
+    {
+        return y_.size() + u_.size() + v_.size();
+    }
+
+    /** Luma pixel count (the "pixels" used for all normalized metrics). */
+    size_t pixelCount() const { return y_.size(); }
+
+    Plane &y() { return y_; }
+    const Plane &y() const { return y_; }
+    Plane &u() { return u_; }
+    const Plane &u() const { return u_; }
+    Plane &v() { return v_; }
+    const Plane &v() const { return v_; }
+
+    Plane &
+    plane(PlaneId id)
+    {
+        switch (id) {
+          case PlaneId::Y: return y_;
+          case PlaneId::U: return u_;
+          default: return v_;
+        }
+    }
+
+    const Plane &
+    plane(PlaneId id) const
+    {
+        switch (id) {
+          case PlaneId::Y: return y_;
+          case PlaneId::U: return u_;
+          default: return v_;
+        }
+    }
+
+    bool
+    operator==(const Frame &other) const
+    {
+        return y_ == other.y_ && u_ == other.u_ && v_ == other.v_;
+    }
+
+  private:
+    Plane y_;
+    Plane u_;
+    Plane v_;
+};
+
+} // namespace vbench::video

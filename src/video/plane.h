@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * A single image plane (luma or chroma) of 8-bit samples.
+ */
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace vbench::video {
+
+/**
+ * A rectangular array of 8-bit samples with edge-clamped access.
+ *
+ * Planes are the fundamental pixel container used by the synthesizer,
+ * the codecs, and the quality metrics. Out-of-bounds reads through
+ * atClamped() replicate the border sample, matching the edge-extension
+ * rule video codecs use for motion compensation near frame boundaries.
+ */
+class Plane
+{
+  public:
+    Plane() = default;
+
+    Plane(int width, int height, uint8_t fill_value = 0)
+        : width_(width), height_(height),
+          samples_(static_cast<size_t>(width) * height, fill_value)
+    {
+        assert(width > 0 && height > 0);
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Number of samples in the plane. */
+    size_t size() const { return samples_.size(); }
+
+    bool empty() const { return samples_.empty(); }
+
+    uint8_t *data() { return samples_.data(); }
+    const uint8_t *data() const { return samples_.data(); }
+
+    /** Unchecked sample access; (x, y) must be inside the plane. */
+    uint8_t
+    at(int x, int y) const
+    {
+        assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+        return samples_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    uint8_t &
+    at(int x, int y)
+    {
+        assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+        return samples_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    /** Edge-clamped access: out-of-bounds coordinates replicate the border. */
+    uint8_t
+    atClamped(int x, int y) const
+    {
+        x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+        y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+        return samples_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    /** Pointer to the first sample of row y. */
+    const uint8_t *row(int y) const { return data() + static_cast<size_t>(y) * width_; }
+    uint8_t *row(int y) { return data() + static_cast<size_t>(y) * width_; }
+
+    void
+    fill(uint8_t value)
+    {
+        std::memset(samples_.data(), value, samples_.size());
+    }
+
+    bool
+    operator==(const Plane &other) const
+    {
+        return width_ == other.width_ && height_ == other.height_ &&
+            samples_ == other.samples_;
+    }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<uint8_t> samples_;
+};
+
+} // namespace vbench::video

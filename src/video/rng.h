@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * Small deterministic PRNG (xoshiro256**) used everywhere randomness is
+ * needed, so every synthetic video, corpus, and experiment is exactly
+ * reproducible from a seed.
+ */
+
+#include <cstdint>
+
+namespace vbench::video {
+
+/**
+ * xoshiro256** by Blackman & Vigna, seeded via splitmix64. Chosen over
+ * std::mt19937 because its output is specified independent of the
+ * standard library implementation and it is cheap enough to call per
+ * pixel.
+ */
+class Rng
+{
+  public:
+    explicit
+    Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 expansion of the seed into the four lanes.
+        uint64_t x = seed;
+        for (auto &lane : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + uniform() * (hi - lo);
+    }
+
+    /** Approximate standard normal via sum of uniforms (Irwin-Hall). */
+    double
+    gaussian()
+    {
+        double s = 0.0;
+        for (int i = 0; i < 12; ++i)
+            s += uniform();
+        return s - 6.0;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace vbench::video

@@ -1,0 +1,150 @@
+#include "video/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbench::video {
+
+namespace {
+
+/**
+ * Measured entropy (bits/pix/s at VBC CRF 18) of each content class at
+ * entropy_scale = 1.0 on a 720p30 render. Measured on this codec (see
+ * bench_table2_suite); these anchor the target-entropy -> scale
+ * mapping. The calibration test checks the mapping stays monotone and
+ * lands within a factor-of-two band.
+ */
+double
+measuredAnchor(ContentClass c)
+{
+    switch (c) {
+      case ContentClass::Slideshow: return 0.90;
+      case ContentClass::Screencast: return 0.85;
+      case ContentClass::Animation: return 3.4;
+      case ContentClass::Natural: return 5.2;
+      case ContentClass::Sports: return 7.5;
+      case ContentClass::Gaming: return 9.0;
+      case ContentClass::Noisy: return 42.0;
+    }
+    return 4.0;
+}
+
+/**
+ * Dial response: measured entropy ~ anchor * scale^gamma. The response
+ * is sublinear for most classes because spatial detail (which barely
+ * scales) floors the bitrate; for Noisy content the linear temporal
+ * noise dominates and the response is closer to linear.
+ */
+double
+dialGamma(ContentClass c)
+{
+    return c == ContentClass::Noisy ? 0.75 : 0.42;
+}
+
+} // namespace
+
+double
+entropyScaleFor(ContentClass c, double target_entropy, double fps)
+{
+    const double anchor = measuredAnchor(c) * (fps / 30.0);
+    const double ratio = std::max(target_entropy, 1e-3) / anchor;
+    const double scale = std::pow(ratio, 1.0 / dialGamma(c));
+    return std::clamp(scale, 0.01, 8.0);
+}
+
+const std::vector<ClipSpec> &
+vbenchSuite()
+{
+    using CC = ContentClass;
+    // Resolution / name / entropy straight from Table 2; fps and
+    // content class are our assignment.
+    static const std::vector<ClipSpec> suite = {
+        {"cat",          854,  480, 30, CC::Natural,    6.8, 101},
+        {"holi",         854,  480, 25, CC::Sports,     7.0, 102},
+        {"desktop",     1280,  720, 30, CC::Screencast, 0.2, 103},
+        {"bike",        1280,  720, 30, CC::Natural,    0.9, 104},
+        {"cricket",     1280,  720, 50, CC::Sports,     3.4, 105},
+        {"game2",       1280,  720, 30, CC::Gaming,     4.9, 106},
+        {"girl",        1280,  720, 30, CC::Natural,    5.9, 107},
+        {"game3",       1280,  720, 60, CC::Gaming,     6.1, 108},
+        {"presentation",1920, 1080, 25, CC::Slideshow,  0.2, 109},
+        {"funny",       1920, 1080, 30, CC::Natural,    2.5, 110},
+        {"house",       1920, 1080, 24, CC::Natural,    3.6, 111},
+        {"game1",       1920, 1080, 60, CC::Gaming,     4.6, 112},
+        {"landscape",   1920, 1080, 30, CC::Noisy,      7.2, 113},
+        {"hall",        1920, 1080, 25, CC::Noisy,      7.7, 114},
+        {"chicken",     3840, 2160, 60, CC::Natural,    5.9, 115},
+    };
+    return suite;
+}
+
+const std::vector<ClipSpec> &
+netflixSuite()
+{
+    using CC = ContentClass;
+    // 9 clips of popular TV/movie content: single resolution (1080p),
+    // all entropy >= 1 -- the bias Figure 4/5 exposes.
+    static const std::vector<ClipSpec> suite = {
+        {"nf_drama",    1920, 1080, 24, CC::Natural, 1.8, 201},
+        {"nf_action",   1920, 1080, 24, CC::Sports,  6.2, 202},
+        {"nf_crowd",    1920, 1080, 30, CC::Sports,  5.0, 203},
+        {"nf_foliage",  1920, 1080, 24, CC::Noisy,   7.5, 204},
+        {"nf_dialogue", 1920, 1080, 24, CC::Natural, 1.2, 205},
+        {"nf_sport",    1920, 1080, 30, CC::Sports,  4.4, 206},
+        {"nf_night",    1920, 1080, 24, CC::Noisy,   6.8, 207},
+        {"nf_anim",     1920, 1080, 24, CC::Animation, 1.5, 208},
+        {"nf_chase",    1920, 1080, 24, CC::Sports,  5.6, 209},
+    };
+    return suite;
+}
+
+const std::vector<ClipSpec> &
+xiphSuite()
+{
+    using CC = ContentClass;
+    // Derf collection analogue: multiple resolutions but only
+    // high-entropy camera content.
+    static const std::vector<ClipSpec> suite = {
+        {"xiph_akiyo",     704,  480, 30, CC::Natural, 1.0, 301},
+        {"xiph_bus",       704,  480, 30, CC::Sports,  4.8, 302},
+        {"xiph_crew",     1280,  720, 60, CC::Sports,  3.8, 303},
+        {"xiph_city",     1280,  720, 60, CC::Natural, 2.6, 304},
+        {"xiph_parkrun",  1280,  720, 50, CC::Noisy,   7.8, 305},
+        {"xiph_shields",  1280,  720, 50, CC::Natural, 3.2, 306},
+        {"xiph_station",  1920, 1080, 25, CC::Natural, 1.9, 307},
+        {"xiph_crowdrun", 1920, 1080, 50, CC::Sports,  6.6, 308},
+        {"xiph_pedestrian",1920,1080, 25, CC::Natural, 2.2, 309},
+        {"xiph_riverbed", 1920, 1080, 25, CC::Noisy,   9.0, 310},
+        {"xiph_ducks",    3840, 2160, 50, CC::Noisy,   8.2, 311},
+        {"xiph_aspen",    1920, 1080, 30, CC::Natural, 2.9, 312},
+    };
+    return suite;
+}
+
+const std::vector<ClipSpec> &
+specSuite()
+{
+    using CC = ContentClass;
+    // SPEC 2017 uses two segments of the same HD animation (Big Buck
+    // Bunny): nearly identical entropy, one resolution.
+    static const std::vector<ClipSpec> suite = {
+        {"spec_bbb_a", 1280, 720, 24, CC::Animation, 1.1, 401},
+        {"spec_bbb_b", 1280, 720, 24, CC::Animation, 1.3, 402},
+    };
+    return suite;
+}
+
+Video
+synthesizeClip(const ClipSpec &spec, int frames)
+{
+    if (frames <= 0)
+        frames = static_cast<int>(std::lround(spec.fps * 5.0));
+    SynthParams p = presetFor(spec.content, spec.width, spec.height,
+                              spec.fps, frames, spec.seed,
+                              entropyScaleFor(spec.content,
+                                              spec.target_entropy,
+                                              spec.fps));
+    return synthesize(p, spec.name);
+}
+
+} // namespace vbench::video

@@ -1,0 +1,404 @@
+#include "video/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "video/rng.h"
+
+namespace vbench::video {
+
+namespace {
+
+/** splitmix64-style integer mix used for per-scene salts. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * A 256x256 tiled random lattice sampled bilinearly. Summing a few
+ * octaves gives the organic texture field; sampling it in *world*
+ * coordinates (screen + pan offset) makes camera motion coherent and
+ * therefore inter-predictable, which is what lets low-noise content
+ * compress well.
+ */
+class NoiseField
+{
+  public:
+    explicit
+    NoiseField(uint64_t salt)
+        : lattice_(kSize * kSize)
+    {
+        Rng rng(salt);
+        for (auto &v : lattice_)
+            v = static_cast<uint8_t>(rng.next() & 0xFF);
+    }
+
+    /** Bilinear sample, result in [-1, 1). Coordinates in lattice units. */
+    double
+    sample(double x, double y) const
+    {
+        int ix = static_cast<int>(std::floor(x));
+        int iy = static_cast<int>(std::floor(y));
+        double fx = x - ix;
+        double fy = y - iy;
+        double v00 = at(ix, iy), v10 = at(ix + 1, iy);
+        double v01 = at(ix, iy + 1), v11 = at(ix + 1, iy + 1);
+        double top = v00 + (v10 - v00) * fx;
+        double bot = v01 + (v11 - v01) * fx;
+        return (top + (bot - top) * fy) * (2.0 / 255.0) - 1.0;
+    }
+
+    /** Multi-octave fractal sum, result roughly in [-1, 1]. */
+    double
+    fractal(double x, double y, int octaves) const
+    {
+        double sum = 0.0, amp = 0.5, freq = 1.0;
+        for (int o = 0; o < octaves; ++o) {
+            sum += amp * sample(x * freq + o * 37.0, y * freq + o * 91.0);
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        return sum;
+    }
+
+  private:
+    static constexpr int kSize = 256;
+
+    double
+    at(int ix, int iy) const
+    {
+        return lattice_[(static_cast<unsigned>(iy) & (kSize - 1)) * kSize +
+                        (static_cast<unsigned>(ix) & (kSize - 1))];
+    }
+
+    std::vector<uint8_t> lattice_;
+};
+
+/** One moving foreground element (disc with a chroma tint). */
+struct MovingObject {
+    double x0, y0;      ///< scene-start position
+    double vx, vy;      ///< velocity, px/frame
+    double radius;
+    int luma_delta;     ///< added to Y inside the disc
+    int cb_delta;       ///< chroma tint
+    int cr_delta;
+};
+
+/** Per-scene state regenerated at every hard cut. */
+struct Scene {
+    uint64_t salt;
+    int base_luma;
+    double pan_dx, pan_dy;  ///< pan direction (unit-ish vector)
+    std::vector<MovingObject> objects;
+    NoiseField texture;
+    NoiseField chroma_field;
+
+    Scene(uint64_t salt_in, const SynthParams &p)
+        : salt(salt_in), texture(mix(salt_in ^ 0x1111)),
+          chroma_field(mix(salt_in ^ 0x2222))
+    {
+        Rng rng(salt);
+        base_luma = 56 + static_cast<int>(rng.below(120));
+        double angle = rng.uniform(0.0, 2.0 * M_PI);
+        pan_dx = std::cos(angle);
+        pan_dy = std::sin(angle);
+
+        double mpix = p.width * static_cast<double>(p.height) / 1e6;
+        int count = static_cast<int>(std::lround(p.object_density * mpix));
+        for (int i = 0; i < count; ++i) {
+            MovingObject obj;
+            obj.x0 = rng.uniform(0.0, p.width);
+            obj.y0 = rng.uniform(0.0, p.height);
+            double oa = rng.uniform(0.0, 2.0 * M_PI);
+            double speed = p.object_speed * rng.uniform(0.5, 1.5);
+            obj.vx = std::cos(oa) * speed;
+            obj.vy = std::sin(oa) * speed;
+            obj.radius = rng.uniform(p.width / 40.0, p.width / 10.0);
+            obj.luma_delta = static_cast<int>(rng.range(-80, 80));
+            obj.cb_delta = static_cast<int>(rng.range(-48, 48));
+            obj.cr_delta = static_cast<int>(rng.range(-48, 48));
+            objects.push_back(obj);
+        }
+    }
+};
+
+int
+clampByte(int v)
+{
+    return v < 0 ? 0 : (v > 255 ? 255 : v);
+}
+
+} // namespace
+
+const char *
+toString(ContentClass c)
+{
+    switch (c) {
+      case ContentClass::Slideshow: return "slideshow";
+      case ContentClass::Screencast: return "screencast";
+      case ContentClass::Animation: return "animation";
+      case ContentClass::Natural: return "natural";
+      case ContentClass::Sports: return "sports";
+      case ContentClass::Gaming: return "gaming";
+      case ContentClass::Noisy: return "noisy";
+    }
+    return "unknown";
+}
+
+SynthParams
+presetFor(ContentClass c, int width, int height, double fps, int frames,
+          uint64_t seed, double entropy_scale)
+{
+    SynthParams p;
+    p.width = width;
+    p.height = height;
+    p.fps = fps;
+    p.frames = frames;
+    p.seed = seed;
+
+    switch (c) {
+      case ContentClass::Slideshow:
+        p.detail = 20; p.texture_scale = 96; p.scene_cut_interval = 2.5;
+        break;
+      case ContentClass::Screencast:
+        p.detail = 12; p.texture_scale = 72; p.posterize = true;
+        p.object_density = 1.0; p.object_speed = 3.0;
+        p.scene_cut_interval = 4.0; p.chroma_strength = 0.4;
+        break;
+      case ContentClass::Animation:
+        p.detail = 18; p.texture_scale = 64; p.posterize = true;
+        p.pan_speed = 1.0; p.object_density = 3.0; p.object_speed = 3.0;
+        p.scene_cut_interval = 3.0; p.noise = 0.4;
+        break;
+      case ContentClass::Natural:
+        p.detail = 28; p.texture_scale = 48; p.pan_speed = 1.5;
+        p.object_density = 2.0; p.object_speed = 2.0; p.noise = 1.5;
+        break;
+      case ContentClass::Sports:
+        p.detail = 30; p.texture_scale = 32; p.pan_speed = 4.0;
+        p.object_density = 6.0; p.object_speed = 6.0; p.noise = 2.5;
+        p.scene_cut_interval = 1.5;
+        break;
+      case ContentClass::Gaming:
+        p.detail = 24; p.texture_scale = 40; p.pan_speed = 2.0;
+        p.object_density = 8.0; p.object_speed = 8.0; p.noise = 2.0;
+        p.flicker = 6.0; p.hud_overlay = true; p.scene_cut_interval = 2.0;
+        break;
+      case ContentClass::Noisy:
+        p.detail = 32; p.texture_scale = 24; p.pan_speed = 2.0;
+        p.object_density = 4.0; p.object_speed = 4.0; p.noise = 8.0;
+        break;
+    }
+
+    // One dial sweeps the entropy range: temporal noise scales
+    // linearly (it is incompressible by construction), motion and
+    // flicker scale with sqrt so trajectories stay plausible, and
+    // spatial detail scales sublinearly (it floors the bitrate).
+    double s = std::max(entropy_scale, 0.0);
+    p.noise *= s;
+    double ms = std::sqrt(s);
+    p.pan_speed *= ms;
+    p.object_speed *= ms;
+    p.flicker *= std::min(ms, 2.0);
+    p.detail *= std::min(std::pow(s, 0.45), 1.8);
+    if (p.scene_cut_interval > 0) {
+        // More cuts above scale 1, sparser cuts below it.
+        p.scene_cut_interval /= std::clamp(ms, 0.5, 2.0);
+    }
+    return p;
+}
+
+Video
+synthesize(const SynthParams &p, const std::string &name)
+{
+    Video video(p.width, p.height, p.fps, name);
+
+    const int cut_frames = p.scene_cut_interval > 0
+        ? std::max(1, static_cast<int>(std::lround(p.scene_cut_interval * p.fps)))
+        : 0;
+
+    std::vector<Scene> scenes;
+    auto sceneFor = [&](int frame_idx) -> const Scene & {
+        size_t idx = cut_frames > 0 ? frame_idx / cut_frames : 0;
+        while (scenes.size() <= idx)
+            scenes.emplace_back(mix(p.seed ^ (scenes.size() * 0x9E37ull + 1)),
+                                p);
+        return scenes[idx];
+    };
+
+    const double inv_scale = 1.0 / std::max(p.texture_scale, 1.0);
+    Rng noise_rng(mix(p.seed ^ 0xABCDEF));
+
+    for (int t = 0; t < p.frames; ++t) {
+        const Scene &scene = sceneFor(t);
+        const int scene_t = cut_frames > 0 ? t % cut_frames : t;
+        Frame frame(p.width, p.height);
+
+        const double pan_x = p.pan_speed * scene.pan_dx * scene_t;
+        const double pan_y = p.pan_speed * scene.pan_dy * scene_t;
+
+        int flicker_offset = 0;
+        if (p.flicker > 0) {
+            Rng fr(mix(scene.salt ^ (0x77ull + scene_t)));
+            flicker_offset =
+                static_cast<int>(fr.range(-static_cast<int>(p.flicker),
+                                          static_cast<int>(p.flicker)));
+        }
+
+        // --- Luma: textured background in world coordinates. ---
+        Plane &y = frame.y();
+        for (int py = 0; py < p.height; ++py) {
+            uint8_t *row = y.row(py);
+            const double wy = (py + pan_y) * inv_scale;
+            for (int px = 0; px < p.width; ++px) {
+                const double wx = (px + pan_x) * inv_scale;
+                double f = scene.texture.fractal(wx, wy, 3);
+                int v = scene.base_luma + flicker_offset +
+                    static_cast<int>(f * p.detail * 2.0);
+                if (p.posterize)
+                    v = (v & ~15) + 8;
+                row[px] = static_cast<uint8_t>(clampByte(v));
+            }
+        }
+
+        // --- Moving objects (luma part). ---
+        for (const MovingObject &obj : scene.objects) {
+            const double span_x = p.width + 2 * obj.radius;
+            const double span_y = p.height + 2 * obj.radius;
+            double cx = std::fmod(obj.x0 + obj.vx * scene_t + obj.radius,
+                                  span_x);
+            double cy = std::fmod(obj.y0 + obj.vy * scene_t + obj.radius,
+                                  span_y);
+            if (cx < 0)
+                cx += span_x;
+            if (cy < 0)
+                cy += span_y;
+            cx -= obj.radius;
+            cy -= obj.radius;
+            const int r = static_cast<int>(obj.radius);
+            const int x_lo = std::max(0, static_cast<int>(cx) - r);
+            const int x_hi = std::min(p.width - 1, static_cast<int>(cx) + r);
+            const int y_lo = std::max(0, static_cast<int>(cy) - r);
+            const int y_hi = std::min(p.height - 1, static_cast<int>(cy) + r);
+            const double r2 = obj.radius * obj.radius;
+            for (int py = y_lo; py <= y_hi; ++py) {
+                uint8_t *row = y.row(py);
+                const double dy2 = (py - cy) * (py - cy);
+                for (int px = x_lo; px <= x_hi; ++px) {
+                    const double d2 = (px - cx) * (px - cx) + dy2;
+                    if (d2 <= r2)
+                        row[px] = static_cast<uint8_t>(
+                            clampByte(row[px] + obj.luma_delta));
+                }
+            }
+        }
+
+        // --- Static HUD overlay drawn in screen coordinates. ---
+        if (p.hud_overlay) {
+            NoiseField hud(mix(p.seed ^ 0x4444));
+            const int bar = std::max(8, p.height / 12);
+            for (int py = 0; py < bar; ++py) {
+                uint8_t *row = y.row(p.height - 1 - py);
+                for (int px = 0; px < p.width; ++px) {
+                    double f = hud.sample(px * 0.05, py * 0.05);
+                    row[px] = static_cast<uint8_t>(
+                        clampByte(200 + static_cast<int>(f * 30)));
+                }
+            }
+        }
+
+        // --- Chroma: slow tint field plus object tints. ---
+        Plane &u = frame.u();
+        Plane &v = frame.v();
+        const int cw = u.width(), ch = u.height();
+        for (int py = 0; py < ch; ++py) {
+            uint8_t *urow = u.row(py);
+            uint8_t *vrow = v.row(py);
+            const double wy = (py * 2 + pan_y) * inv_scale * 0.5;
+            for (int px = 0; px < cw; ++px) {
+                const double wx = (px * 2 + pan_x) * inv_scale * 0.5;
+                double f = scene.chroma_field.sample(wx, wy);
+                double g = scene.chroma_field.sample(wx + 71.0, wy + 13.0);
+                urow[px] = static_cast<uint8_t>(
+                    clampByte(128 + static_cast<int>(f * 24 *
+                                                     p.chroma_strength)));
+                vrow[px] = static_cast<uint8_t>(
+                    clampByte(128 + static_cast<int>(g * 24 *
+                                                     p.chroma_strength)));
+            }
+        }
+        for (const MovingObject &obj : scene.objects) {
+            const double span_x = p.width + 2 * obj.radius;
+            const double span_y = p.height + 2 * obj.radius;
+            double cx = std::fmod(obj.x0 + obj.vx * scene_t + obj.radius,
+                                  span_x);
+            double cy = std::fmod(obj.y0 + obj.vy * scene_t + obj.radius,
+                                  span_y);
+            if (cx < 0)
+                cx += span_x;
+            if (cy < 0)
+                cy += span_y;
+            cx = (cx - obj.radius) * 0.5;
+            cy = (cy - obj.radius) * 0.5;
+            const double cr = obj.radius * 0.5;
+            const int r = static_cast<int>(cr);
+            const int x_lo = std::max(0, static_cast<int>(cx) - r);
+            const int x_hi = std::min(cw - 1, static_cast<int>(cx) + r);
+            const int y_lo = std::max(0, static_cast<int>(cy) - r);
+            const int y_hi = std::min(ch - 1, static_cast<int>(cy) + r);
+            const double r2 = cr * cr;
+            for (int py = y_lo; py <= y_hi; ++py) {
+                uint8_t *urow = u.row(py);
+                uint8_t *vrow = v.row(py);
+                const double dy2 = (py - cy) * (py - cy);
+                for (int px = x_lo; px <= x_hi; ++px) {
+                    if ((px - cx) * (px - cx) + dy2 <= r2) {
+                        urow[px] = static_cast<uint8_t>(
+                            clampByte(urow[px] + obj.cb_delta));
+                        vrow[px] = static_cast<uint8_t>(
+                            clampByte(vrow[px] + obj.cr_delta));
+                    }
+                }
+            }
+        }
+
+        // --- Temporal noise last: uncorrelated across frames. ---
+        if (p.noise > 0) {
+            const int amp = std::max(1, static_cast<int>(p.noise));
+            for (int py = 0; py < p.height; ++py) {
+                uint8_t *row = y.row(py);
+                for (int px = 0; px < p.width; ++px) {
+                    uint64_t r = noise_rng.next();
+                    // Triangular distribution in [-amp, amp].
+                    int n = static_cast<int>((r & 0xFF) % (amp + 1)) -
+                        static_cast<int>(((r >> 8) & 0xFF) % (amp + 1));
+                    row[px] = static_cast<uint8_t>(clampByte(row[px] + n));
+                }
+            }
+            const int camp = std::max(1, amp / 2);
+            for (Plane *plane : {&u, &v}) {
+                for (int py = 0; py < plane->height(); ++py) {
+                    uint8_t *row = plane->row(py);
+                    for (int px = 0; px < plane->width(); ++px) {
+                        uint64_t r = noise_rng.next();
+                        int n = static_cast<int>((r & 0xFF) % (camp + 1)) -
+                            static_cast<int>(((r >> 8) & 0xFF) % (camp + 1));
+                        row[px] =
+                            static_cast<uint8_t>(clampByte(row[px] + n));
+                    }
+                }
+            }
+        }
+
+        video.append(std::move(frame));
+    }
+    return video;
+}
+
+} // namespace vbench::video

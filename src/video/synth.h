@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Procedural YUV420 video synthesizer.
+ *
+ * vbench's published clips are CC-BY excerpts of YouTube uploads that
+ * we cannot ship here, so the suite is regenerated procedurally. The
+ * synthesizer produces clips whose *measured* entropy (bits/pixel/s at
+ * VBC CRF 18, the paper's definition) is controlled by a small set of
+ * content knobs, spanning the same four orders of magnitude the
+ * YouTube coverage corpus spans: static slideshows (entropy < 1) up to
+ * high-motion noisy sports footage (entropy > 10).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "video/video.h"
+
+namespace vbench::video {
+
+/**
+ * Broad content families mirroring what a sharing service ingests.
+ * Each maps to a knob preset in presetFor().
+ */
+enum class ContentClass {
+    Slideshow,   ///< still images with hard cuts; near-zero motion
+    Screencast,  ///< desktop capture: static UI, small cursor motion
+    Animation,   ///< flat shaded regions, sharp edges, moderate motion
+    Natural,     ///< camera footage: pan, organic texture, mild noise
+    Sports,      ///< fast pan, many moving objects, frequent cuts
+    Gaming,      ///< fast sprites, flicker, static HUD overlay
+    Noisy,       ///< sensor-noise dominated content; worst case entropy
+};
+
+/** Parse/print helpers for CLI surfaces and reports. */
+const char *toString(ContentClass c);
+
+/**
+ * Full knob set for one synthetic clip. Everything is deterministic
+ * given the seed: two calls with equal params return identical pixels.
+ */
+struct SynthParams {
+    int width = 640;
+    int height = 360;
+    double fps = 30.0;
+    int frames = 30;
+    uint64_t seed = 1;
+
+    /// Global camera pan in luma pixels per frame.
+    double pan_speed = 0.0;
+    /// Moving foreground objects per megapixel of frame area.
+    double object_density = 0.0;
+    /// Object velocity in pixels per frame.
+    double object_speed = 0.0;
+    /// Amplitude of the static multi-octave texture field (0..64).
+    double detail = 8.0;
+    /// Base texture wavelength in pixels; smaller means busier frames.
+    double texture_scale = 64.0;
+    /// Temporal (uncorrelated) noise amplitude; the strongest entropy knob.
+    double noise = 0.0;
+    /// Seconds between hard scene cuts; <= 0 disables cuts.
+    double scene_cut_interval = 0.0;
+    /// Global luma flicker amplitude (gaming/strobe content).
+    double flicker = 0.0;
+    /// Quantize luma into flat bands with sharp edges (animation/screen).
+    bool posterize = false;
+    /// Keep a static HUD frame overlay (gaming).
+    bool hud_overlay = false;
+    /// Chroma saturation scale (0 = grayscale, 1 = default).
+    double chroma_strength = 1.0;
+};
+
+/**
+ * Knob presets for a content class at a given geometry. The entropy
+ * scale factor multiplies the motion/noise/detail knobs together so a
+ * single dial spans the corpus entropy range; 1.0 is the class default.
+ */
+SynthParams presetFor(ContentClass c, int width, int height, double fps,
+                      int frames, uint64_t seed, double entropy_scale = 1.0);
+
+/**
+ * Render a clip. Deterministic in params.seed.
+ */
+Video synthesize(const SynthParams &params, const std::string &name = "");
+
+} // namespace vbench::video

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * A video clip: a frame sequence plus timing metadata.
+ */
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace vbench::video {
+
+/**
+ * An uncompressed video clip. Frames all share one resolution; the
+ * frame rate is carried so that normalized metrics (bits/pixel/second,
+ * Mpixel/second) can be computed without side channels.
+ */
+class Video
+{
+  public:
+    Video() = default;
+
+    Video(int width, int height, double fps, std::string name = "")
+        : width_(width), height_(height), fps_(fps), name_(std::move(name))
+    {
+        assert(fps > 0.0);
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    double fps() const { return fps_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    int frameCount() const { return static_cast<int>(frames_.size()); }
+    bool empty() const { return frames_.empty(); }
+
+    /** Duration in seconds implied by frame count and rate. */
+    double duration() const { return frameCount() / fps_; }
+
+    /** Luma pixels per frame. */
+    size_t pixelsPerFrame() const { return static_cast<size_t>(width_) * height_; }
+
+    /** Total luma pixels across the clip. */
+    size_t
+    totalPixels() const
+    {
+        return pixelsPerFrame() * frames_.size();
+    }
+
+    /** Resolution in Kpixels, rounded, as vbench categorizes videos. */
+    int
+    kpixels() const
+    {
+        return static_cast<int>((pixelsPerFrame() + 500) / 1000);
+    }
+
+    void
+    append(Frame frame)
+    {
+        assert(frame.width() == width_ && frame.height() == height_);
+        frames_.push_back(std::move(frame));
+    }
+
+    Frame &frame(int i) { return frames_.at(i); }
+    const Frame &frame(int i) const { return frames_.at(i); }
+
+    std::vector<Frame> &frames() { return frames_; }
+    const std::vector<Frame> &frames() const { return frames_; }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    double fps_ = 30.0;
+    std::string name_;
+    std::vector<Frame> frames_;
+};
+
+} // namespace vbench::video

@@ -1,0 +1,124 @@
+#include "video/y4m.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vbench::video {
+
+namespace {
+
+/** Render fps as the rational N:D that Y4M headers require. */
+std::string
+fpsToRational(double fps)
+{
+    // Common NTSC rates need the 1001 denominators to round-trip.
+    const double ntsc_bases[] = {24000.0 / 1001, 30000.0 / 1001, 60000.0 / 1001};
+    const int ntsc_nums[] = {24000, 30000, 60000};
+    for (int i = 0; i < 3; ++i) {
+        if (std::abs(fps - ntsc_bases[i]) < 1e-6) {
+            return std::to_string(ntsc_nums[i]) + ":1001";
+        }
+    }
+    if (std::abs(fps - std::round(fps)) < 1e-9) {
+        return std::to_string(static_cast<int>(std::round(fps))) + ":1";
+    }
+    return std::to_string(static_cast<int>(std::round(fps * 1000))) + ":1000";
+}
+
+} // namespace
+
+bool
+writeY4m(const Video &video, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+
+    out << "YUV4MPEG2 W" << video.width() << " H" << video.height()
+        << " F" << fpsToRational(video.fps()) << " Ip A1:1 C420\n";
+
+    for (const Frame &frame : video.frames()) {
+        out << "FRAME\n";
+        out.write(reinterpret_cast<const char *>(frame.y().data()),
+                  static_cast<std::streamsize>(frame.y().size()));
+        out.write(reinterpret_cast<const char *>(frame.u().data()),
+                  static_cast<std::streamsize>(frame.u().size()));
+        out.write(reinterpret_cast<const char *>(frame.v().data()),
+                  static_cast<std::streamsize>(frame.v().size()));
+    }
+    return static_cast<bool>(out);
+}
+
+Video
+readY4m(const std::string &path, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return Video();
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail("cannot open " + path);
+
+    std::string header;
+    if (!std::getline(in, header))
+        return fail("missing Y4M header");
+    if (header.rfind("YUV4MPEG2", 0) != 0)
+        return fail("not a YUV4MPEG2 file");
+
+    int width = 0, height = 0;
+    double fps = 0.0;
+    std::istringstream tokens(header.substr(9));
+    std::string tok;
+    while (tokens >> tok) {
+        switch (tok[0]) {
+          case 'W': width = std::stoi(tok.substr(1)); break;
+          case 'H': height = std::stoi(tok.substr(1)); break;
+          case 'F': {
+            auto colon = tok.find(':');
+            if (colon == std::string::npos)
+                return fail("malformed frame rate: " + tok);
+            double num = std::stod(tok.substr(1, colon - 1));
+            double den = std::stod(tok.substr(colon + 1));
+            if (den <= 0)
+                return fail("malformed frame rate: " + tok);
+            fps = num / den;
+            break;
+          }
+          case 'C':
+            if (tok.rfind("C420", 0) != 0)
+                return fail("unsupported chroma layout: " + tok);
+            break;
+          default:
+            break; // interlacing / aspect tokens are ignored
+        }
+    }
+    if (width <= 0 || height <= 0 || fps <= 0)
+        return fail("incomplete Y4M header");
+    if (width % 2 != 0 || height % 2 != 0)
+        return fail("odd dimensions unsupported for 4:2:0");
+
+    Video video(width, height, fps);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("FRAME", 0) != 0)
+            return fail("expected FRAME marker");
+        Frame frame(width, height);
+        in.read(reinterpret_cast<char *>(frame.y().data()),
+                static_cast<std::streamsize>(frame.y().size()));
+        in.read(reinterpret_cast<char *>(frame.u().data()),
+                static_cast<std::streamsize>(frame.u().size()));
+        in.read(reinterpret_cast<char *>(frame.v().data()),
+                static_cast<std::streamsize>(frame.v().size()));
+        if (!in)
+            return fail("truncated frame data");
+        video.append(std::move(frame));
+    }
+    return video;
+}
+
+} // namespace vbench::video

@@ -1,0 +1,37 @@
+#pragma once
+
+/**
+ * @file
+ * YUV4MPEG2 (.y4m) reader and writer.
+ *
+ * Y4M is the uncompressed interchange format ffmpeg and the reference
+ * encoders consume; supporting it lets vbench clips round-trip to and
+ * from external tools.
+ */
+
+#include <string>
+
+#include "video/video.h"
+
+namespace vbench::video {
+
+/**
+ * Write a video to a YUV4MPEG2 file (C420 layout).
+ *
+ * @param video the clip to serialize.
+ * @param path destination file path.
+ * @return true on success, false on I/O failure.
+ */
+bool writeY4m(const Video &video, const std::string &path);
+
+/**
+ * Read a YUV4MPEG2 file. Only the C420/C420jpeg/C420mpeg2 chroma
+ * layouts are supported (all are stored identically).
+ *
+ * @param path source file path.
+ * @param[out] error optional human-readable failure reason.
+ * @return the parsed video; empty() on failure.
+ */
+Video readY4m(const std::string &path, std::string *error = nullptr);
+
+} // namespace vbench::video

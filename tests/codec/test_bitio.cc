@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bit writer/reader and Exp-Golomb round-trip tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/bitio.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+TEST(BitIo, SingleBitsRoundTrip)
+{
+    ByteBuffer buf;
+    BitWriter w(buf);
+    const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+    for (int b : pattern)
+        w.putBit(b);
+    w.align();
+
+    BitReader r(buf.data(), buf.size());
+    for (int b : pattern)
+        EXPECT_EQ(r.getBit(), b);
+}
+
+TEST(BitIo, FixedWidthFields)
+{
+    ByteBuffer buf;
+    BitWriter w(buf);
+    w.putBits(0xAB, 8);
+    w.putBits(0x3, 2);
+    w.putBits(0x12345, 20);
+    w.align();
+
+    BitReader r(buf.data(), buf.size());
+    EXPECT_EQ(r.getBits(8), 0xABu);
+    EXPECT_EQ(r.getBits(2), 0x3u);
+    EXPECT_EQ(r.getBits(20), 0x12345u);
+}
+
+TEST(BitIo, UeSmallValues)
+{
+    ByteBuffer buf;
+    BitWriter w(buf);
+    for (uint32_t v = 0; v < 100; ++v)
+        w.putUe(v);
+    w.align();
+
+    BitReader r(buf.data(), buf.size());
+    for (uint32_t v = 0; v < 100; ++v)
+        EXPECT_EQ(r.getUe(), v) << "value " << v;
+}
+
+TEST(BitIo, UeKnownEncodings)
+{
+    // ue(0) = "1" (1 bit), ue(1) = "010", ue(2) = "011".
+    ByteBuffer buf;
+    BitWriter w(buf);
+    w.putUe(0);
+    EXPECT_EQ(w.bitCount(), 1u);
+    w.putUe(1);
+    EXPECT_EQ(w.bitCount(), 4u);
+    w.putUe(2);
+    EXPECT_EQ(w.bitCount(), 7u);
+}
+
+TEST(BitIo, SeRoundTrip)
+{
+    ByteBuffer buf;
+    BitWriter w(buf);
+    for (int32_t v = -50; v <= 50; ++v)
+        w.putSe(v);
+    w.align();
+
+    BitReader r(buf.data(), buf.size());
+    for (int32_t v = -50; v <= 50; ++v)
+        EXPECT_EQ(r.getSe(), v) << "value " << v;
+}
+
+TEST(BitIo, RandomizedUeRoundTrip)
+{
+    video::Rng rng(7);
+    std::vector<uint32_t> values;
+    ByteBuffer buf;
+    BitWriter w(buf);
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t v = static_cast<uint32_t>(
+            rng.below(1u << (1 + rng.below(24))));
+        values.push_back(v);
+        w.putUe(v);
+    }
+    w.align();
+
+    BitReader r(buf.data(), buf.size());
+    for (uint32_t v : values)
+        ASSERT_EQ(r.getUe(), v);
+    EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitIo, ReaderPastEndReturnsZeroAndFlags)
+{
+    ByteBuffer buf = {0xFF};
+    BitReader r(buf.data(), buf.size());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(r.getBit(), 1);
+    EXPECT_FALSE(r.overflowed());
+    EXPECT_EQ(r.getBit(), 0);
+    EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitIo, AlignPadsWithZeros)
+{
+    ByteBuffer buf;
+    BitWriter w(buf);
+    w.putBit(1);
+    w.align();
+    ASSERT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf[0], 0x80);
+}
+
+} // namespace
+} // namespace vbench::codec

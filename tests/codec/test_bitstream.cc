@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Container format tests: stream header round-trip, frame byte
+ * packing, malformed-header rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/bitstream.h"
+#include "ngc/ngc_bitstream.h"
+
+namespace vbench::codec {
+namespace {
+
+TEST(Bitstream, HeaderRoundTrip)
+{
+    StreamHeader header;
+    header.width = 1280;
+    header.height = 720;
+    header.fps_num = 30000;
+    header.fps_den = 1001;
+    header.frame_count = 150;
+    header.entropy = EntropyMode::Arith;
+    header.deblock = false;
+    header.adaptive_quant = true;
+    header.num_refs = 3;
+
+    ByteBuffer buf;
+    writeStreamHeader(buf, header);
+    size_t consumed = 0;
+    const auto parsed = parseStreamHeader(buf.data(), buf.size(),
+                                          consumed);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(consumed, buf.size());
+    EXPECT_EQ(parsed->width, 1280);
+    EXPECT_EQ(parsed->height, 720);
+    EXPECT_EQ(parsed->fps_num, 30000u);
+    EXPECT_EQ(parsed->fps_den, 1001u);
+    EXPECT_NEAR(parsed->fps(), 29.97, 0.001);
+    EXPECT_EQ(parsed->frame_count, 150u);
+    EXPECT_EQ(parsed->entropy, EntropyMode::Arith);
+    EXPECT_FALSE(parsed->deblock);
+    EXPECT_TRUE(parsed->adaptive_quant);
+    EXPECT_EQ(parsed->num_refs, 3u);
+}
+
+TEST(Bitstream, RejectsWrongMagic)
+{
+    ByteBuffer buf;
+    StreamHeader header;
+    header.width = 64;
+    header.height = 64;
+    writeStreamHeader(buf, header);
+    buf[0] = 'X';
+    size_t consumed = 0;
+    EXPECT_FALSE(
+        parseStreamHeader(buf.data(), buf.size(), consumed).has_value());
+}
+
+TEST(Bitstream, RejectsShortBuffers)
+{
+    ByteBuffer buf = {'V', 'B', 'C', '1'};
+    size_t consumed = 0;
+    EXPECT_FALSE(
+        parseStreamHeader(buf.data(), buf.size(), consumed).has_value());
+}
+
+TEST(Bitstream, RejectsAbsurdRefCount)
+{
+    StreamHeader header;
+    header.width = 64;
+    header.height = 64;
+    header.num_refs = 100;
+    ByteBuffer buf;
+    writeStreamHeader(buf, header);
+    size_t consumed = 0;
+    EXPECT_FALSE(
+        parseStreamHeader(buf.data(), buf.size(), consumed).has_value());
+}
+
+TEST(Bitstream, FrameBytePacking)
+{
+    for (int qp : {0, 1, 26, 51}) {
+        for (FrameType type : {FrameType::I, FrameType::P}) {
+            const uint8_t b = packFrameByte(type, qp);
+            EXPECT_EQ(frameTypeFromByte(b), type);
+            EXPECT_EQ(frameQpFromByte(b), qp);
+        }
+    }
+}
+
+TEST(Bitstream, U32RoundTrip)
+{
+    ByteBuffer buf;
+    appendU32(buf, 0xDEADBEEF);
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(readU32(buf.data()), 0xDEADBEEFu);
+    // Little-endian layout.
+    EXPECT_EQ(buf[0], 0xEF);
+    EXPECT_EQ(buf[3], 0xDE);
+}
+
+TEST(NgcBitstream, HeaderRoundTrip)
+{
+    ngc::NgcStreamHeader header;
+    header.width = 1920;
+    header.height = 1080;
+    header.fps_num = 60;
+    header.fps_den = 1;
+    header.frame_count = 10;
+    header.profile = ngc::NgcProfile::Vp9Like;
+    header.num_refs = 2;
+
+    ByteBuffer buf;
+    ngc::writeNgcHeader(buf, header);
+    size_t consumed = 0;
+    const auto parsed =
+        ngc::parseNgcHeader(buf.data(), buf.size(), consumed);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->width, 1920);
+    EXPECT_EQ(parsed->profile, ngc::NgcProfile::Vp9Like);
+    EXPECT_EQ(parsed->num_refs, 2u);
+}
+
+TEST(NgcBitstream, VbcMagicRejected)
+{
+    StreamHeader vbc_header;
+    vbc_header.width = 64;
+    vbc_header.height = 64;
+    ByteBuffer buf;
+    writeStreamHeader(buf, vbc_header);
+    size_t consumed = 0;
+    EXPECT_FALSE(
+        ngc::parseNgcHeader(buf.data(), buf.size(), consumed)
+            .has_value());
+}
+
+} // namespace
+} // namespace vbench::codec

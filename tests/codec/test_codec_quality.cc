@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Codec quality properties: the behaviours the benchmark's scoring
+ * scenarios depend on (effort ladder, deblocking benefit, entropy vs
+ * bitrate relationships).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "metrics/psnr.h"
+#include "metrics/rates.h"
+#include "video/synth.h"
+
+namespace vbench::codec {
+namespace {
+
+video::Video
+clip(video::ContentClass content, double scale = 1.0, uint64_t seed = 7,
+     int w = 192, int h = 160, int frames = 10)
+{
+    const video::SynthParams p =
+        video::presetFor(content, w, h, 30.0, frames, seed, scale);
+    return video::synthesize(p, "q");
+}
+
+struct Outcome {
+    double psnr;
+    double bitrate;  // bits/pixel/s
+    size_t bytes;
+};
+
+Outcome
+run(const video::Video &v, const EncoderConfig &cfg)
+{
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(v);
+    const auto decoded = decode(result.stream);
+    EXPECT_TRUE(decoded.has_value());
+    Outcome o;
+    o.psnr = metrics::videoPsnr(v, *decoded);
+    o.bytes = result.totalBytes();
+    o.bitrate = metrics::bitsPerPixelPerSecond(
+        result.totalBytes(), v.width(), v.height(), v.frameCount(),
+        v.fps());
+    return o;
+}
+
+EncoderConfig
+cqp(int qp, int effort)
+{
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = qp;
+    cfg.effort = effort;
+    cfg.gop = 0;
+    return cfg;
+}
+
+TEST(CodecQuality, HigherEffortCompressesBetterAtIsoQp)
+{
+    // At the same QP (≈ same quality) higher effort must shrink the
+    // stream: this is the paper's §2.2 claim realized by our encoder.
+    const video::Video v = clip(video::ContentClass::Natural);
+    const Outcome low = run(v, cqp(28, 0));
+    const Outcome high = run(v, cqp(28, 7));
+    EXPECT_LT(high.bytes, low.bytes);
+    EXPECT_GT(high.psnr, low.psnr - 0.8);  // quality roughly held
+}
+
+TEST(CodecQuality, NoisyContentCostsMoreBitsThanSlideshow)
+{
+    // The entropy definition itself: constant quality, bits reflect
+    // content complexity.
+    const video::Video quiet = clip(video::ContentClass::Slideshow);
+    const video::Video noisy = clip(video::ContentClass::Noisy);
+    const Outcome a = run(quiet, cqp(18, 3));
+    const Outcome b = run(noisy, cqp(18, 3));
+    EXPECT_GT(b.bitrate, 4.0 * a.bitrate);
+}
+
+TEST(CodecQuality, DeblockingHelpsAtLowBitrate)
+{
+    const video::Video v = clip(video::ContentClass::Natural);
+    EncoderConfig off = cqp(40, 4);
+    off.deblock_override = 0;
+    EncoderConfig on = cqp(40, 4);
+    on.deblock_override = 1;
+    const Outcome no_filter = run(v, off);
+    const Outcome filtered = run(v, on);
+    EXPECT_GT(filtered.psnr, no_filter.psnr - 0.05);
+}
+
+TEST(CodecQuality, InterFramesBeatIntraOnStaticContent)
+{
+    const video::Video v = clip(video::ContentClass::Slideshow);
+    EncoderConfig all_intra = cqp(26, 3);
+    all_intra.gop = 1;
+    EncoderConfig normal = cqp(26, 3);
+    normal.gop = 0;
+    const Outcome intra = run(v, all_intra);
+    const Outcome inter = run(v, normal);
+    EXPECT_LT(inter.bytes, intra.bytes / 2);
+}
+
+TEST(CodecQuality, MotionSearchPaysOffOnPanningContent)
+{
+    // Panning content: real motion compensation (effort 3, hex +
+    // subpel) must beat a zero-range search dramatically.
+    const video::Video v = clip(video::ContentClass::Sports);
+    const Outcome weak = run(v, cqp(30, 0));
+    const Outcome strong = run(v, cqp(30, 5));
+    EXPECT_LT(strong.bytes, weak.bytes);
+}
+
+TEST(CodecQuality, EntropyScaleDialRaisesMeasuredBitrate)
+{
+    // The synthesizer's entropy dial must move measured entropy
+    // monotonically — the suite calibration depends on it.
+    double prev = 0;
+    for (double scale : {0.3, 1.0, 2.5}) {
+        const video::Video v =
+            clip(video::ContentClass::Natural, scale, 21);
+        const Outcome o = run(v, cqp(18, 3));
+        EXPECT_GT(o.bitrate, prev) << "scale " << scale;
+        prev = o.bitrate;
+    }
+}
+
+TEST(CodecQuality, CrfTracksQualityAcrossContent)
+{
+    // CRF 18 must land in a similar PSNR band for easy and hard
+    // content (bits float instead).
+    const Outcome easy =
+        run(clip(video::ContentClass::Slideshow), cqp(18, 4));
+    const Outcome hard = run(clip(video::ContentClass::Noisy), cqp(18, 4));
+    EXPECT_GT(easy.psnr, 36.0);
+    EXPECT_GT(hard.psnr, 33.0);
+    EXPECT_GT(hard.bitrate, easy.bitrate);
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * In-loop deblocking filter unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/deblock.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+using video::Frame;
+using video::Plane;
+
+/** Frame with a hard vertical step at x = 8 in every plane. */
+Frame
+stepFrame(int w, int h, int left, int right)
+{
+    Frame f(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            f.y().at(x, y) = static_cast<uint8_t>(x < 8 ? left : right);
+    return f;
+}
+
+MbGrid
+uniformGrid(int cols, int rows, MbMode mode, bool coded, int qp)
+{
+    MbGrid grid(cols, rows);
+    for (int mby = 0; mby < rows; ++mby) {
+        for (int mbx = 0; mbx < cols; ++mbx) {
+            MbInfo &info = grid.at(mbx, mby);
+            info.mode = mode;
+            info.coded = coded;
+            info.qp = static_cast<uint8_t>(qp);
+        }
+    }
+    return grid;
+}
+
+double
+stepHeight(const Plane &p, int x, int y)
+{
+    return std::abs(p.at(x, y) - p.at(x - 1, y));
+}
+
+TEST(Deblock, SmoothsModerateBlockEdges)
+{
+    // A step of 24 at QP 36 is inside the alpha threshold: filtered.
+    Frame f = stepFrame(32, 32, 100, 124);
+    const double before = stepHeight(f.y(), 8, 10);
+    MbGrid grid = uniformGrid(2, 2, MbMode::Intra, true, 36);
+    deblockFrame(f, grid);
+    EXPECT_LT(stepHeight(f.y(), 8, 10), before);
+}
+
+TEST(Deblock, PreservesRealEdges)
+{
+    // A step of 200 exceeds alpha at QP 30: a real image edge, not a
+    // blocking artifact — must pass through untouched.
+    Frame f = stepFrame(32, 32, 20, 220);
+    MbGrid grid = uniformGrid(2, 2, MbMode::Intra, true, 30);
+    deblockFrame(f, grid);
+    EXPECT_EQ(stepHeight(f.y(), 8, 10), 200);
+}
+
+TEST(Deblock, SkipsUncodedStationaryBlocks)
+{
+    // Neither side coded, same MV, inter mode: boundary strength 0.
+    Frame f = stepFrame(32, 32, 100, 124);
+    MbGrid grid = uniformGrid(2, 2, MbMode::Skip, false, 36);
+    deblockFrame(f, grid);
+    EXPECT_EQ(stepHeight(f.y(), 8, 10), 24);
+}
+
+TEST(Deblock, MotionDifferenceTriggersFiltering)
+{
+    Frame f = stepFrame(32, 32, 100, 124);
+    MbGrid grid = uniformGrid(2, 2, MbMode::Inter16, false, 36);
+    // Give the right-hand macroblocks a different MV (>= 1 pixel).
+    grid.at(1, 0).mv = MotionVector{4, 0};
+    grid.at(1, 1).mv = MotionVector{4, 0};
+    deblockFrame(f, grid);
+    // Only the x = 16 macroblock boundary sees the MV difference; the
+    // step at x = 8 is inside MB 0 and stays (uncoded).
+    EXPECT_EQ(stepHeight(f.y(), 8, 10), 24);
+}
+
+TEST(Deblock, LowQpFiltersLess)
+{
+    Frame a = stepFrame(32, 32, 100, 112);
+    Frame b = stepFrame(32, 32, 100, 112);
+    MbGrid strong = uniformGrid(2, 2, MbMode::Intra, true, 44);
+    MbGrid weak = uniformGrid(2, 2, MbMode::Intra, true, 16);
+    deblockFrame(a, strong);
+    deblockFrame(b, weak);
+    // At QP 16 the thresholds are small: barely any change.
+    EXPECT_LE(stepHeight(a.y(), 8, 10), stepHeight(b.y(), 8, 10));
+}
+
+TEST(Deblock, FiltersChromaPlanesToo)
+{
+    Frame f(32, 32);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            f.u().at(x, y) = static_cast<uint8_t>(x < 4 ? 100 : 120);
+    MbGrid grid = uniformGrid(2, 2, MbMode::Intra, true, 36);
+    deblockFrame(f, grid);
+    EXPECT_LT(std::abs(f.u().at(4, 8) - f.u().at(3, 8)), 20);
+}
+
+TEST(Deblock, DeterministicAndIdempotentShape)
+{
+    video::Rng rng(8);
+    Frame f(48, 48);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 48; ++x)
+            f.y().at(x, y) = static_cast<uint8_t>(rng.below(256));
+    Frame g = f;
+    MbGrid grid = uniformGrid(3, 3, MbMode::Intra, true, 32);
+    deblockFrame(f, grid);
+    deblockFrame(g, grid);
+    EXPECT_TRUE(f == g);
+}
+
+} // namespace
+} // namespace vbench::codec

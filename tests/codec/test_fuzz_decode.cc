@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Decoder robustness: random and mutated streams must be rejected or
+ * decoded, never crash, hang, or read out of bounds. Both codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "ngc/ngc_decoder.h"
+#include "ngc/ngc_encoder.h"
+#include "video/rng.h"
+#include "video/synth.h"
+
+namespace vbench::codec {
+namespace {
+
+video::Video
+clip()
+{
+    return video::synthesize(
+        video::presetFor(video::ContentClass::Gaming, 96, 80, 30.0, 4,
+                         3131),
+        "fuzz");
+}
+
+TEST(FuzzDecode, RandomBytesNeverCrashVbc)
+{
+    video::Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        ByteBuffer junk(rng.below(4096));
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.below(256));
+        decode(junk);  // must terminate without UB
+    }
+    SUCCEED();
+}
+
+TEST(FuzzDecode, RandomBytesWithValidMagicNeverCrashVbc)
+{
+    video::Rng rng(2);
+    for (int trial = 0; trial < 200; ++trial) {
+        ByteBuffer junk(64 + rng.below(2048));
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.below(256));
+        junk[0] = 'V';
+        junk[1] = 'B';
+        junk[2] = 'C';
+        junk[3] = '1';
+        decode(junk);
+    }
+    SUCCEED();
+}
+
+TEST(FuzzDecode, BitFlippedStreamsNeverCrashVbc)
+{
+    const video::Video v = clip();
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.effort = 4;
+    Encoder encoder(cfg);
+    const ByteBuffer good = encoder.encode(v).stream;
+
+    video::Rng rng(3);
+    int decodable = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        ByteBuffer mutated = good;
+        const int flips = 1 + static_cast<int>(rng.below(8));
+        for (int i = 0; i < flips; ++i) {
+            const size_t pos = rng.below(mutated.size());
+            mutated[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+        }
+        if (decode(mutated).has_value())
+            ++decodable;
+    }
+    // Many mutations survive (coefficients just change); the point is
+    // that none crash. Some must be rejected (length fields break).
+    EXPECT_GT(decodable, 0);
+    EXPECT_LT(decodable, 300);
+}
+
+TEST(FuzzDecode, TruncationSweepNeverCrashesVbc)
+{
+    const video::Video v = clip();
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = 30;
+    Encoder encoder(cfg);
+    const ByteBuffer good = encoder.encode(v).stream;
+    for (size_t keep = 0; keep < good.size(); keep += 7) {
+        const auto decoded = decode(good.data(), keep);
+        // A truncated container can never yield the full clip.
+        if (decoded)
+            EXPECT_LT(decoded->frameCount(), v.frameCount());
+    }
+}
+
+TEST(FuzzDecode, BitFlippedStreamsNeverCrashNgc)
+{
+    const video::Video v = clip();
+    ngc::NgcConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.speed = 2;
+    ngc::NgcEncoder encoder(cfg);
+    const ByteBuffer good = encoder.encode(v).stream;
+
+    video::Rng rng(4);
+    for (int trial = 0; trial < 300; ++trial) {
+        ByteBuffer mutated = good;
+        const int flips = 1 + static_cast<int>(rng.below(8));
+        for (int i = 0; i < flips; ++i) {
+            const size_t pos = rng.below(mutated.size());
+            mutated[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+        }
+        ngc::ngcDecode(mutated);
+    }
+    SUCCEED();
+}
+
+TEST(FuzzDecode, RandomBytesNeverCrashNgc)
+{
+    video::Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        ByteBuffer junk(32 + rng.below(2048));
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.below(256));
+        junk[0] = 'N';
+        junk[1] = 'G';
+        junk[2] = 'C';
+        junk[3] = '1';
+        ngc::ngcDecode(junk);
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * RefPlane padding and half-pel motion compensation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/interp.h"
+#include "codec/refplane.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+using video::Plane;
+
+Plane
+randomPlane(int w, int h, uint64_t seed)
+{
+    video::Rng rng(seed);
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = static_cast<uint8_t>(rng.below(256));
+    return p;
+}
+
+TEST(RefPlane, InteriorMatchesSource)
+{
+    const Plane src = randomPlane(40, 24, 1);
+    const RefPlane ref(src);
+    for (int y = 0; y < 24; ++y)
+        for (int x = 0; x < 40; ++x)
+            ASSERT_EQ(*ref.ptr(x, y), src.at(x, y));
+}
+
+TEST(RefPlane, EdgeExtension)
+{
+    const Plane src = randomPlane(40, 24, 2);
+    const RefPlane ref(src);
+    // Left/right replication.
+    for (int y = 0; y < 24; ++y) {
+        EXPECT_EQ(*ref.ptr(-kRefPad, y), src.at(0, y));
+        EXPECT_EQ(*ref.ptr(40 + kRefPad - 1, y), src.at(39, y));
+    }
+    // Top/bottom replication.
+    for (int x = 0; x < 40; ++x) {
+        EXPECT_EQ(*ref.ptr(x, -kRefPad), src.at(x, 0));
+        EXPECT_EQ(*ref.ptr(x, 24 + kRefPad - 1), src.at(x, 23));
+    }
+    // Corners replicate the corner pixel.
+    EXPECT_EQ(*ref.ptr(-kRefPad, -kRefPad), src.at(0, 0));
+    EXPECT_EQ(*ref.ptr(40 + kRefPad - 1, 24 + kRefPad - 1),
+              src.at(39, 23));
+}
+
+TEST(MotionCompensate, IntegerVectorCopies)
+{
+    const Plane src = randomPlane(64, 48, 3);
+    const RefPlane ref(src);
+    uint8_t out[16 * 16];
+    motionCompensate(ref, 16, 16, MotionVector{-8, 4}, 16, 16, out);
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            ASSERT_EQ(out[r * 16 + c], src.at(16 + c - 4, 16 + r + 2));
+}
+
+TEST(MotionCompensate, HalfPelHorizontalAverages)
+{
+    const Plane src = randomPlane(64, 48, 4);
+    const RefPlane ref(src);
+    uint8_t out[8 * 8];
+    motionCompensate(ref, 16, 16, MotionVector{1, 0}, 8, 8, out);
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+            const int expect =
+                (src.at(16 + c, 16 + r) + src.at(17 + c, 16 + r) + 1) >> 1;
+            ASSERT_EQ(out[r * 8 + c], expect);
+        }
+    }
+}
+
+TEST(MotionCompensate, HalfPelVerticalAverages)
+{
+    const Plane src = randomPlane(64, 48, 5);
+    const RefPlane ref(src);
+    uint8_t out[8 * 8];
+    motionCompensate(ref, 8, 8, MotionVector{0, 1}, 8, 8, out);
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+            const int expect =
+                (src.at(8 + c, 8 + r) + src.at(8 + c, 9 + r) + 1) >> 1;
+            ASSERT_EQ(out[r * 8 + c], expect);
+        }
+    }
+}
+
+TEST(MotionCompensate, HalfPelDiagonalAveragesFour)
+{
+    const Plane src = randomPlane(64, 48, 6);
+    const RefPlane ref(src);
+    uint8_t out[4 * 4];
+    motionCompensate(ref, 4, 4, MotionVector{3, 5}, 4, 4, out);
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            const int x = 4 + c + 1;
+            const int y = 4 + r + 2;
+            const int expect = (src.at(x, y) + src.at(x + 1, y) +
+                                src.at(x, y + 1) + src.at(x + 1, y + 1) +
+                                2) >> 2;
+            ASSERT_EQ(out[r * 4 + c], expect);
+        }
+    }
+}
+
+TEST(MotionCompensate, NegativeHalfPelUsesFloorConvention)
+{
+    // mv = -1 (half-pel): integer part is -1, fraction 1, so samples
+    // at x-1 and x are averaged. Both encoder and decoder rely on
+    // arithmetic-shift flooring here.
+    const Plane src = randomPlane(32, 32, 7);
+    const RefPlane ref(src);
+    uint8_t out[4 * 4];
+    motionCompensate(ref, 8, 8, MotionVector{-1, 0}, 4, 4, out);
+    for (int c = 0; c < 4; ++c) {
+        const int expect =
+            (src.at(7 + c, 8) + src.at(8 + c, 8) + 1) >> 1;
+        ASSERT_EQ(out[c], expect);
+    }
+}
+
+TEST(MotionCompensate, OutOfFrameReadsUseReplicatedEdge)
+{
+    const Plane src = randomPlane(32, 32, 8);
+    const RefPlane ref(src);
+    uint8_t out[8 * 8];
+    // Block at origin, vector pointing 10 px off the top-left corner.
+    motionCompensate(ref, 0, 0, MotionVector{-20, -20}, 8, 8, out);
+    ASSERT_EQ(out[0], src.at(0, 0));
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Intra predictor unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/intra.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+using video::Plane;
+
+Plane
+gradientPlane(int w, int h)
+{
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = static_cast<uint8_t>((x * 3 + y * 5) & 0xFF);
+    return p;
+}
+
+TEST(Intra, DcWithoutNeighborsIsMidGray)
+{
+    Plane p(32, 32, 77);
+    uint8_t pred[256];
+    intraPredict(IntraMode::Dc, p, 0, 0, 16, pred);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(pred[i], 128);
+}
+
+TEST(Intra, DcAveragesNeighbors)
+{
+    Plane p(64, 64, 0);
+    // Top row 100, left column 50.
+    for (int i = 0; i < 16; ++i) {
+        p.at(16 + i, 15) = 100;
+        p.at(15, 16 + i) = 50;
+    }
+    uint8_t pred[256];
+    intraPredict(IntraMode::Dc, p, 16, 16, 16, pred);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(pred[i], 75);
+}
+
+TEST(Intra, VerticalCopiesTopRow)
+{
+    Plane p = gradientPlane(64, 64);
+    uint8_t pred[256];
+    intraPredict(IntraMode::Vertical, p, 16, 16, 16, pred);
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            EXPECT_EQ(pred[r * 16 + c], p.at(16 + c, 15));
+}
+
+TEST(Intra, HorizontalCopiesLeftColumn)
+{
+    Plane p = gradientPlane(64, 64);
+    uint8_t pred[256];
+    intraPredict(IntraMode::Horizontal, p, 16, 16, 16, pred);
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            EXPECT_EQ(pred[r * 16 + c], p.at(15, 16 + r));
+}
+
+TEST(Intra, PlanarReproducesLinearRamp)
+{
+    // On a plane with pixel = a + b*x + c*y, TM prediction is exact.
+    Plane p(64, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            p.at(x, y) = static_cast<uint8_t>(10 + 2 * x + y);
+    uint8_t pred[256];
+    intraPredict(IntraMode::Planar, p, 16, 16, 16, pred);
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            EXPECT_EQ(pred[r * 16 + c], p.at(16 + c, 16 + r));
+}
+
+TEST(Intra, ChromaBlockSizeEight)
+{
+    Plane p = gradientPlane(32, 32);
+    uint8_t pred[64];
+    intraPredict(IntraMode::Vertical, p, 8, 8, 8, pred);
+    for (int c = 0; c < 8; ++c)
+        EXPECT_EQ(pred[c], p.at(8 + c, 7));
+}
+
+TEST(Intra, AvailabilityRules)
+{
+    EXPECT_TRUE(intraModeAvailable(IntraMode::Dc, 0, 0));
+    EXPECT_FALSE(intraModeAvailable(IntraMode::Vertical, 10, 0));
+    EXPECT_TRUE(intraModeAvailable(IntraMode::Vertical, 10, 16));
+    EXPECT_FALSE(intraModeAvailable(IntraMode::Horizontal, 0, 10));
+    EXPECT_TRUE(intraModeAvailable(IntraMode::Horizontal, 16, 10));
+    EXPECT_FALSE(intraModeAvailable(IntraMode::Planar, 16, 0));
+    EXPECT_FALSE(intraModeAvailable(IntraMode::Planar, 0, 16));
+    EXPECT_TRUE(intraModeAvailable(IntraMode::Planar, 16, 16));
+}
+
+TEST(Intra, PlanarClampsToPixelRange)
+{
+    Plane p(32, 32, 0);
+    for (int i = 0; i < 32; ++i) {
+        p.at(i, 15) = 255;  // bright top
+        p.at(15, i) = 255;  // bright left
+    }
+    p.at(15, 15) = 0;  // dark corner drives prediction above 255
+    uint8_t pred[256];
+    intraPredict(IntraMode::Planar, p, 16, 16, 16, pred);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_LE(pred[i], 255);
+    EXPECT_EQ(pred[0], 255);  // saturated, not wrapped
+}
+
+} // namespace
+} // namespace vbench::codec

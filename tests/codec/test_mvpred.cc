@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Motion-vector predictor tests for both codecs' neighbor rules
+ * (encoder/decoder symmetry depends on these exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/mbinfo.h"
+#include "ngc/ngc_types.h"
+
+namespace vbench::codec {
+namespace {
+
+MbGrid
+gridWith(int cols, int rows)
+{
+    MbGrid grid(cols, rows);
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            grid.at(x, y).mode = MbMode::Inter16;
+            grid.at(x, y).mv = MotionVector{0, 0};
+        }
+    }
+    return grid;
+}
+
+TEST(MvPredictor, ZeroAtOrigin)
+{
+    MbGrid grid = gridWith(4, 4);
+    const MotionVector pred = mvPredictor(grid, 0, 0);
+    EXPECT_EQ(pred.x, 0);
+    EXPECT_EQ(pred.y, 0);
+}
+
+TEST(MvPredictor, MedianOfThreeNeighbors)
+{
+    MbGrid grid = gridWith(4, 4);
+    grid.at(0, 1).mv = MotionVector{2, 10};   // left
+    grid.at(1, 0).mv = MotionVector{6, -4};   // top
+    grid.at(2, 0).mv = MotionVector{4, 2};    // top-right
+    const MotionVector pred = mvPredictor(grid, 1, 1);
+    EXPECT_EQ(pred.x, 4);  // median(2, 6, 4)
+    EXPECT_EQ(pred.y, 2);  // median(10, -4, 2)
+}
+
+TEST(MvPredictor, IntraNeighborsCountAsZero)
+{
+    MbGrid grid = gridWith(4, 4);
+    grid.at(0, 1).mv = MotionVector{8, 8};
+    grid.at(0, 1).mode = MbMode::Intra;  // ignored
+    grid.at(1, 0).mv = MotionVector{6, 6};
+    grid.at(2, 0).mv = MotionVector{4, 4};
+    const MotionVector pred = mvPredictor(grid, 1, 1);
+    EXPECT_EQ(pred.x, 4);  // median(0, 6, 4)
+    EXPECT_EQ(pred.y, 4);
+}
+
+TEST(MvPredictor, RightEdgeFallsBackToTopLeft)
+{
+    MbGrid grid = gridWith(3, 3);
+    grid.at(1, 1).mv = MotionVector{10, 0};   // left of (2,1)
+    grid.at(2, 0).mv = MotionVector{10, 0};   // top
+    grid.at(1, 0).mv = MotionVector{10, 0};   // top-left (C substitute)
+    const MotionVector pred = mvPredictor(grid, 2, 1);
+    EXPECT_EQ(pred.x, 10);
+}
+
+TEST(MvPredictor, SkipNeighborsContribute)
+{
+    MbGrid grid = gridWith(4, 4);
+    grid.at(0, 1).mode = MbMode::Skip;
+    grid.at(0, 1).mv = MotionVector{6, 6};
+    grid.at(1, 0).mv = MotionVector{6, 6};
+    grid.at(2, 0).mv = MotionVector{6, 6};
+    const MotionVector pred = mvPredictor(grid, 1, 1);
+    EXPECT_EQ(pred.x, 6);
+    EXPECT_EQ(pred.y, 6);
+}
+
+} // namespace
+} // namespace vbench::codec
+
+namespace vbench::ngc {
+namespace {
+
+using codec::MotionVector;
+
+CellGrid
+cellsWith(int cols, int rows, CuMode mode)
+{
+    CellGrid grid(cols, rows);
+    for (int y = 0; y < rows; ++y)
+        for (int x = 0; x < cols; ++x)
+            grid.at(x, y).mode = mode;
+    return grid;
+}
+
+TEST(CellMvPredictor, ZeroAtOrigin)
+{
+    CellGrid grid = cellsWith(4, 4, CuMode::Inter);
+    const MotionVector pred = cellMvPredictor(grid, 0, 0);
+    EXPECT_EQ(pred.x, 0);
+    EXPECT_EQ(pred.y, 0);
+}
+
+TEST(CellMvPredictor, MedianOfLeftTopTopLeft)
+{
+    CellGrid grid = cellsWith(4, 4, CuMode::Inter);
+    grid.at(0, 1).mv = MotionVector{2, 0};   // left
+    grid.at(1, 0).mv = MotionVector{8, 0};   // top
+    grid.at(0, 0).mv = MotionVector{4, 0};   // top-left
+    const MotionVector pred = cellMvPredictor(grid, 1, 1);
+    EXPECT_EQ(pred.x, 4);
+}
+
+TEST(CellMvPredictor, IntraCellsAreZero)
+{
+    CellGrid grid = cellsWith(4, 4, CuMode::Intra);
+    grid.at(0, 1).mv = MotionVector{8, 8};
+    const MotionVector pred = cellMvPredictor(grid, 1, 1);
+    EXPECT_EQ(pred.x, 0);
+    EXPECT_EQ(pred.y, 0);
+}
+
+} // namespace
+} // namespace vbench::ngc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Effort preset monotonicity: higher effort must never remove search
+ * capability (the ladder is what the benchmark's speed/quality
+ * trade-off rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/preset.h"
+
+namespace vbench::codec {
+namespace {
+
+TEST(Preset, ClampsOutOfRangeEfforts)
+{
+    EXPECT_EQ(presetForEffort(-5).range, presetForEffort(0).range);
+    EXPECT_EQ(presetForEffort(99).refs, presetForEffort(9).refs);
+}
+
+TEST(Preset, ReferenceCountNeverDecreases)
+{
+    int prev = 0;
+    for (int e = 0; e < kNumEfforts; ++e) {
+        EXPECT_GE(presetForEffort(e).refs, prev) << "effort " << e;
+        prev = presetForEffort(e).refs;
+    }
+}
+
+TEST(Preset, RdoLevelNeverDecreases)
+{
+    int prev = 0;
+    for (int e = 0; e < kNumEfforts; ++e) {
+        EXPECT_GE(presetForEffort(e).rdo, prev) << "effort " << e;
+        prev = presetForEffort(e).rdo;
+    }
+}
+
+TEST(Preset, SubpelTurnsOnAndStaysOn)
+{
+    bool seen = false;
+    for (int e = 0; e < kNumEfforts; ++e) {
+        const bool subpel = presetForEffort(e).subpel;
+        if (seen)
+            EXPECT_TRUE(subpel) << "effort " << e;
+        seen = seen || subpel;
+    }
+    EXPECT_TRUE(seen);
+}
+
+TEST(Preset, IntraModesNeverDecrease)
+{
+    int prev = 0;
+    for (int e = 0; e < kNumEfforts; ++e) {
+        EXPECT_GE(presetForEffort(e).intra_modes, prev);
+        prev = presetForEffort(e).intra_modes;
+    }
+}
+
+TEST(Preset, LowEffortUsesVlcHighEffortUsesArith)
+{
+    EXPECT_EQ(presetForEffort(0).entropy, EntropyMode::Vlc);
+    EXPECT_EQ(presetForEffort(9).entropy, EntropyMode::Arith);
+}
+
+TEST(Preset, TopEffortEnablesEverything)
+{
+    const ToolPreset p = presetForEffort(9);
+    EXPECT_EQ(p.search, SearchKind::Full);
+    EXPECT_TRUE(p.subpel);
+    EXPECT_TRUE(p.inter8);
+    EXPECT_TRUE(p.adaptive_quant);
+    EXPECT_TRUE(p.deblock);
+    EXPECT_GE(p.refs, 4);
+    EXPECT_EQ(p.rdo, 2);
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Range coder round-trip and compression sanity tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/rangecoder.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+TEST(RangeCoder, FixedProbabilityRoundTrip)
+{
+    video::Rng rng(11);
+    std::vector<int> bits;
+    for (int i = 0; i < 20000; ++i)
+        bits.push_back(rng.below(100) < 30 ? 1 : 0);
+
+    ByteBuffer buf;
+    RangeEncoder enc(buf);
+    for (int b : bits)
+        enc.encode(b, 180);  // biased toward zero
+    enc.flush();
+
+    RangeDecoder dec(buf.data(), buf.size());
+    for (size_t i = 0; i < bits.size(); ++i)
+        ASSERT_EQ(dec.decode(180), bits[i]) << "bit " << i;
+}
+
+TEST(RangeCoder, BypassRoundTrip)
+{
+    video::Rng rng(13);
+    std::vector<int> bits;
+    for (int i = 0; i < 10000; ++i)
+        bits.push_back(static_cast<int>(rng.below(2)));
+
+    ByteBuffer buf;
+    RangeEncoder enc(buf);
+    for (int b : bits)
+        enc.encodeBypass(b);
+    enc.flush();
+
+    RangeDecoder dec(buf.data(), buf.size());
+    for (size_t i = 0; i < bits.size(); ++i)
+        ASSERT_EQ(dec.decodeBypass(), bits[i]);
+}
+
+TEST(RangeCoder, AdaptiveContextRoundTrip)
+{
+    video::Rng rng(17);
+    std::vector<int> bits;
+    for (int i = 0; i < 30000; ++i) {
+        // Phase-dependent bias exercises the adaptation.
+        const int bias = (i / 5000) % 2 == 0 ? 10 : 85;
+        bits.push_back(rng.below(100) < static_cast<uint64_t>(bias) ? 1
+                                                                    : 0);
+    }
+
+    ByteBuffer buf;
+    {
+        RangeEncoder enc(buf);
+        BitContext ctx;
+        for (int b : bits)
+            enc.encode(b, ctx);
+        enc.flush();
+    }
+    {
+        RangeDecoder dec(buf.data(), buf.size());
+        BitContext ctx;
+        for (size_t i = 0; i < bits.size(); ++i)
+            ASSERT_EQ(dec.decode(ctx), bits[i]);
+    }
+}
+
+TEST(RangeCoder, SkewedInputCompresses)
+{
+    // 5% ones under an adapting context must land well under 1
+    // bit/symbol.
+    video::Rng rng(19);
+    const int n = 50000;
+    ByteBuffer buf;
+    RangeEncoder enc(buf);
+    BitContext ctx;
+    for (int i = 0; i < n; ++i)
+        enc.encode(rng.below(100) < 5 ? 1 : 0, ctx);
+    enc.flush();
+    EXPECT_LT(buf.size() * 8.0, 0.55 * n);
+}
+
+TEST(RangeCoder, EquiprobableCostsAboutOneBit)
+{
+    video::Rng rng(23);
+    const int n = 50000;
+    ByteBuffer buf;
+    RangeEncoder enc(buf);
+    for (int i = 0; i < n; ++i)
+        enc.encodeBypass(static_cast<int>(rng.below(2)));
+    enc.flush();
+    EXPECT_NEAR(buf.size() * 8.0 / n, 1.0, 0.02);
+}
+
+TEST(RangeCoder, MixedContextsAndBypassRoundTrip)
+{
+    video::Rng rng(29);
+    std::vector<std::pair<int, int>> events;  // (kind, bit)
+    for (int i = 0; i < 20000; ++i) {
+        const int kind = static_cast<int>(rng.below(3));
+        int bit;
+        if (kind == 2) {
+            bit = static_cast<int>(rng.below(2));
+        } else if (kind == 1) {
+            bit = rng.below(100) < 80 ? 1 : 0;
+        } else {
+            bit = rng.below(100) < 15 ? 1 : 0;
+        }
+        events.emplace_back(kind, bit);
+    }
+
+    ByteBuffer buf;
+    {
+        RangeEncoder enc(buf);
+        BitContext c0, c1;
+        for (auto [kind, bit] : events) {
+            if (kind == 2)
+                enc.encodeBypass(bit);
+            else if (kind == 1)
+                enc.encode(bit, c1);
+            else
+                enc.encode(bit, c0);
+        }
+        enc.flush();
+    }
+    {
+        RangeDecoder dec(buf.data(), buf.size());
+        BitContext c0, c1;
+        for (size_t i = 0; i < events.size(); ++i) {
+            auto [kind, bit] = events[i];
+            int got;
+            if (kind == 2)
+                got = dec.decodeBypass();
+            else if (kind == 1)
+                got = dec.decode(c1);
+            else
+                got = dec.decode(c0);
+            ASSERT_EQ(got, bit) << "event " << i;
+        }
+    }
+}
+
+TEST(RangeCoder, ExtremeProbabilitiesRoundTrip)
+{
+    // Long runs at the probability bounds stress carry propagation.
+    ByteBuffer buf;
+    {
+        RangeEncoder enc(buf);
+        for (int i = 0; i < 5000; ++i)
+            enc.encode(0, 254);
+        for (int i = 0; i < 100; ++i)
+            enc.encode(1, 254);
+        for (int i = 0; i < 5000; ++i)
+            enc.encode(1, 1);
+        enc.flush();
+    }
+    {
+        RangeDecoder dec(buf.data(), buf.size());
+        for (int i = 0; i < 5000; ++i)
+            ASSERT_EQ(dec.decode(254), 0);
+        for (int i = 0; i < 100; ++i)
+            ASSERT_EQ(dec.decode(254), 1);
+        for (int i = 0; i < 5000; ++i)
+            ASSERT_EQ(dec.decode(1), 1);
+    }
+}
+
+TEST(BitContextTest, AdaptsTowardObservedBit)
+{
+    BitContext ctx;
+    const uint8_t initial = ctx.prob();
+    for (int i = 0; i < 50; ++i)
+        ctx.update(0);
+    EXPECT_GT(ctx.prob(), initial);  // prob of zero grows
+    for (int i = 0; i < 200; ++i)
+        ctx.update(1);
+    EXPECT_LT(ctx.prob(), initial);
+    EXPECT_GE(ctx.prob(), 1);
+}
+
+} // namespace
+} // namespace vbench::codec

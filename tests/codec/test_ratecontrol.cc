@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Rate controller unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/ratecontrol.h"
+
+namespace vbench::codec {
+namespace {
+
+TEST(RateControl, CqpIsConstant)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::Cqp;
+    cfg.qp = 30;
+    RateController rc(cfg);
+    EXPECT_EQ(rc.frameQp(FrameType::P, 0), 30);
+    rc.frameDone(FrameType::P, 1e6);
+    EXPECT_EQ(rc.frameQp(FrameType::P, 1), 30);
+}
+
+TEST(RateControl, IFramesRunFiner)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::Crf;
+    cfg.crf = 23;
+    cfg.ip_qp_offset = 3;
+    RateController rc(cfg);
+    EXPECT_EQ(rc.frameQp(FrameType::I, 0), 20);
+    EXPECT_EQ(rc.frameQp(FrameType::P, 1), 23);
+}
+
+TEST(RateControl, QpStaysInRange)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::Cqp;
+    cfg.qp = 1;
+    cfg.ip_qp_offset = 5;
+    RateController rc(cfg);
+    EXPECT_GE(rc.frameQp(FrameType::I, 0), kMinQp);
+
+    cfg.qp = 99;
+    RateController rc2(cfg);
+    EXPECT_LE(rc2.frameQp(FrameType::P, 0), kMaxQp);
+}
+
+TEST(RateControl, AbrRaisesQpWhenOvershooting)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::Abr;
+    cfg.bitrate_bps = 1e6;
+    cfg.fps = 30;
+    cfg.pixels_per_frame = 1280 * 720;
+    RateController rc(cfg);
+    const int qp0 = rc.frameQp(FrameType::P, 0);
+    // Report 4x the per-frame budget for several frames.
+    for (int i = 0; i < 5; ++i)
+        rc.frameDone(FrameType::P, 4e6 / 30);
+    EXPECT_GT(rc.frameQp(FrameType::P, 5), qp0);
+}
+
+TEST(RateControl, AbrLowersQpWhenUndershooting)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::Abr;
+    cfg.bitrate_bps = 1e6;
+    cfg.fps = 30;
+    cfg.pixels_per_frame = 1280 * 720;
+    RateController rc(cfg);
+    const int qp0 = rc.frameQp(FrameType::P, 0);
+    for (int i = 0; i < 5; ++i)
+        rc.frameDone(FrameType::P, 0.2e6 / 30);
+    EXPECT_LT(rc.frameQp(FrameType::P, 5), qp0);
+}
+
+TEST(RateControl, InitialQpScalesWithBitsPerPixel)
+{
+    RateControlConfig generous;
+    generous.mode = RcMode::Abr;
+    generous.bitrate_bps = 20e6;
+    generous.fps = 30;
+    generous.pixels_per_frame = 1280 * 720;
+
+    RateControlConfig starved = generous;
+    starved.bitrate_bps = 0.5e6;
+
+    EXPECT_LT(RateController(generous).frameQp(FrameType::P, 0),
+              RateController(starved).frameQp(FrameType::P, 0));
+}
+
+TEST(RateControl, TwoPassBudgetsFavorComplexFrames)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::TwoPass;
+    cfg.bitrate_bps = 1e6;
+    cfg.fps = 10;
+    cfg.pixels_per_frame = 640 * 480;
+    RateController rc(cfg);
+
+    PassOneStats stats;
+    stats.pass_qp = 30;
+    stats.frame_bits = {1000, 1000, 8000, 1000, 1000};
+    rc.setPassOneStats(stats);
+
+    // Total allocation matches the target.
+    double total = 0;
+    for (int i = 0; i < 5; ++i)
+        total += rc.targetBits(i);
+    EXPECT_NEAR(total, 1e6 * 5 / 10, 1.0);
+
+    // The complex frame gets the largest budget but less than
+    // proportional (the 0.6 exponent flattens allocation).
+    EXPECT_GT(rc.targetBits(2), rc.targetBits(0));
+    EXPECT_LT(rc.targetBits(2) / rc.targetBits(0), 8.0);
+}
+
+TEST(RateControl, TwoPassQpTracksBudgetDirection)
+{
+    RateControlConfig cfg;
+    cfg.mode = RcMode::TwoPass;
+    cfg.bitrate_bps = 2e6;
+    cfg.fps = 10;
+    cfg.pixels_per_frame = 640 * 480;
+    RateController rc(cfg);
+
+    PassOneStats stats;
+    stats.pass_qp = 30;
+    stats.frame_bits = {50000, 50000, 50000, 50000};
+    rc.setPassOneStats(stats);
+
+    // Budget per frame is 200k bits vs 50k measured: QP must drop
+    // well below the pass-1 QP (about 6 per doubling).
+    const int qp = rc.frameQp(FrameType::P, 0);
+    EXPECT_LT(qp, 30 - 6);
+    EXPECT_GE(qp, kMinQp);
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Encoder/decoder round-trip: every tool combination must produce a
+ * stream the decoder reconstructs at the expected quality. This is the
+ * codec's core correctness suite — any encoder/decoder mismatch shows
+ * up here as a PSNR collapse or a decode failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/bitstream.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "metrics/psnr.h"
+#include "video/synth.h"
+
+namespace vbench::codec {
+namespace {
+
+video::Video
+testClip(int width = 128, int height = 96, int frames = 8,
+         video::ContentClass content = video::ContentClass::Natural,
+         uint64_t seed = 99)
+{
+    const video::SynthParams p =
+        video::presetFor(content, width, height, 30.0, frames, seed);
+    return video::synthesize(p, "test");
+}
+
+EncoderConfig
+cqpConfig(int qp, int effort)
+{
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = qp;
+    cfg.effort = effort;
+    cfg.gop = 4;
+    return cfg;
+}
+
+TEST(RoundTrip, DecodeRestoresGeometryAndTiming)
+{
+    const video::Video clip = testClip(130, 98, 5);  // non-MB-aligned
+    Encoder encoder(cqpConfig(28, 2));
+    const EncodeResult result = encoder.encode(clip);
+    ASSERT_FALSE(result.stream.empty());
+
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->width(), 130);
+    EXPECT_EQ(decoded->height(), 98);
+    EXPECT_EQ(decoded->frameCount(), 5);
+    EXPECT_NEAR(decoded->fps(), 30.0, 1e-6);
+}
+
+TEST(RoundTrip, LowQpIsNearLossless)
+{
+    const video::Video clip = testClip();
+    Encoder encoder(cqpConfig(4, 3));
+    const EncodeResult result = encoder.encode(clip);
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 46.0);
+}
+
+TEST(RoundTrip, QualityFallsWithQp)
+{
+    const video::Video clip = testClip();
+    double prev = 1e9;
+    size_t prev_bytes = SIZE_MAX;
+    for (int qp : {8, 20, 32, 44}) {
+        Encoder encoder(cqpConfig(qp, 3));
+        const EncodeResult result = encoder.encode(clip);
+        const auto decoded = decode(result.stream);
+        ASSERT_TRUE(decoded.has_value()) << "qp " << qp;
+        const double psnr = metrics::videoPsnr(clip, *decoded);
+        EXPECT_LT(psnr, prev) << "qp " << qp;
+        EXPECT_LT(result.totalBytes(), prev_bytes) << "qp " << qp;
+        prev = psnr;
+        prev_bytes = result.totalBytes();
+    }
+}
+
+TEST(RoundTrip, TruncatedStreamFailsCleanly)
+{
+    const video::Video clip = testClip(64, 64, 3);
+    Encoder encoder(cqpConfig(30, 1));
+    const EncodeResult result = encoder.encode(clip);
+    for (size_t keep :
+         {size_t{0}, size_t{3}, size_t{9}, result.stream.size() / 2}) {
+        const auto decoded =
+            decode(result.stream.data(), keep);
+        EXPECT_FALSE(decoded.has_value()) << "kept " << keep;
+    }
+}
+
+TEST(RoundTrip, GarbageInputRejected)
+{
+    ByteBuffer garbage(256, 0xA5);
+    EXPECT_FALSE(decode(garbage).has_value());
+}
+
+TEST(RoundTrip, DeterministicStream)
+{
+    const video::Video clip = testClip();
+    Encoder a(cqpConfig(26, 5));
+    Encoder b(cqpConfig(26, 5));
+    EXPECT_EQ(a.encode(clip).stream, b.encode(clip).stream);
+}
+
+TEST(RoundTrip, IntraOnlyGop)
+{
+    const video::Video clip = testClip(96, 80, 6);
+    EncoderConfig cfg = cqpConfig(24, 3);
+    cfg.gop = 1;  // every frame I
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+    for (const FrameStats &f : result.frames)
+        EXPECT_EQ(f.type, FrameType::I);
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 30.0);
+}
+
+TEST(RoundTrip, SingleIFrameGop)
+{
+    const video::Video clip = testClip(96, 80, 6);
+    EncoderConfig cfg = cqpConfig(24, 3);
+    cfg.gop = 0;  // only the first frame is I
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+    EXPECT_EQ(result.frames[0].type, FrameType::I);
+    for (size_t i = 1; i < result.frames.size(); ++i)
+        EXPECT_EQ(result.frames[i].type, FrameType::P);
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 30.0);
+}
+
+TEST(RoundTrip, SceneCutInsertsKeyframes)
+{
+    // Slideshow content with hard cuts inside the clip: the encoder
+    // must promote the cut frames to I even mid-GOP.
+    video::SynthParams p = video::presetFor(
+        video::ContentClass::Slideshow, 128, 96, 30.0, 12, 404);
+    p.scene_cut_interval = 0.2;  // cuts at frames 6 and 12
+    const video::Video clip = video::synthesize(p);
+
+    EncoderConfig cfg = cqpConfig(26, 5);
+    cfg.gop = 0;  // no periodic I frames: only scenecut can insert them
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+
+    ASSERT_EQ(result.frames.size(), 12u);
+    EXPECT_EQ(result.frames[0].type, FrameType::I);
+    EXPECT_EQ(result.frames[6].type, FrameType::I) << "missed scene cut";
+    int i_frames = 0;
+    for (const FrameStats &f : result.frames)
+        i_frames += f.type == FrameType::I;
+    EXPECT_LE(i_frames, 3) << "scenecut fired on static frames";
+
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 32.0);
+}
+
+TEST(RoundTrip, SceneCutOffAtEffortZero)
+{
+    video::SynthParams p = video::presetFor(
+        video::ContentClass::Slideshow, 128, 96, 30.0, 12, 404);
+    p.scene_cut_interval = 0.2;
+    const video::Video clip = video::synthesize(p);
+    EncoderConfig cfg = cqpConfig(26, 0);
+    cfg.gop = 0;
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+    for (size_t i = 1; i < result.frames.size(); ++i)
+        EXPECT_EQ(result.frames[i].type, FrameType::P);
+    ASSERT_TRUE(decode(result.stream).has_value());
+}
+
+TEST(RoundTrip, StaticContentUsesSkip)
+{
+    const video::Video clip =
+        testClip(128, 96, 6, video::ContentClass::Slideshow);
+    EncoderConfig cfg = cqpConfig(30, 3);
+    cfg.gop = 0;
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+    uint32_t skips = 0;
+    for (size_t i = 1; i < result.frames.size(); ++i)
+        skips += result.frames[i].skip_mbs;
+    EXPECT_GT(skips, 0u);
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+}
+
+/** Every effort level must round-trip on every content family. */
+class EffortSweep
+    : public ::testing::TestWithParam<std::tuple<int, video::ContentClass>>
+{
+};
+
+TEST_P(EffortSweep, RoundTripsAtReasonableQuality)
+{
+    const auto [effort, content] = GetParam();
+    const video::Video clip = testClip(112, 96, 5, content);
+    Encoder encoder(cqpConfig(22, effort));
+    const EncodeResult result = encoder.encode(clip);
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 28.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEffortsAndContents, EffortSweep,
+    ::testing::Combine(::testing::Range(0, kNumEfforts),
+                       ::testing::Values(video::ContentClass::Slideshow,
+                                         video::ContentClass::Natural,
+                                         video::ContentClass::Gaming,
+                                         video::ContentClass::Noisy)));
+
+/** Entropy backends must round-trip independently of effort. */
+class EntropySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EntropySweep, BothBackendsRoundTrip)
+{
+    const video::Video clip = testClip();
+    for (int qp : {12, 28, 40}) {
+        EncoderConfig cfg = cqpConfig(qp, 4);
+        cfg.entropy_override = GetParam();
+        Encoder encoder(cfg);
+        const EncodeResult result = encoder.encode(clip);
+        const auto decoded = decode(result.stream);
+        ASSERT_TRUE(decoded.has_value())
+            << "entropy " << GetParam() << " qp " << qp;
+        EXPECT_GT(metrics::videoPsnr(clip, *decoded), 22.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EntropySweep, ::testing::Values(0, 1));
+
+TEST(RoundTrip, MultiReferenceHeaderAndDecode)
+{
+    // Effort 9 carries four reference frames: the header must say so
+    // and the decoder must track the same list.
+    const video::Video clip = testClip(128, 96, 10);
+    EncoderConfig cfg = cqpConfig(24, 9);
+    cfg.gop = 0;
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+
+    size_t consumed = 0;
+    const auto header = parseStreamHeader(result.stream.data(),
+                                          result.stream.size(), consumed);
+    ASSERT_TRUE(header.has_value());
+    EXPECT_EQ(header->num_refs, 4u);
+    EXPECT_EQ(header->entropy, EntropyMode::Arith);
+
+    const auto decoded = decode(result.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 34.0);
+}
+
+TEST(RoundTrip, ArithmeticBeatsVlcOnBitrate)
+{
+    const video::Video clip = testClip(160, 128, 6);
+    EncoderConfig vlc_cfg = cqpConfig(26, 5);
+    vlc_cfg.entropy_override = static_cast<int>(EntropyMode::Vlc);
+    EncoderConfig arith_cfg = cqpConfig(26, 5);
+    arith_cfg.entropy_override = static_cast<int>(EntropyMode::Arith);
+    const size_t vlc_bytes = Encoder(vlc_cfg).encode(clip).totalBytes();
+    const size_t arith_bytes =
+        Encoder(arith_cfg).encode(clip).totalBytes();
+    EXPECT_LT(arith_bytes, vlc_bytes);
+}
+
+TEST(RoundTrip, DeblockOverrideRoundTrips)
+{
+    const video::Video clip = testClip();
+    for (int deblock : {0, 1}) {
+        EncoderConfig cfg = cqpConfig(36, 4);
+        cfg.deblock_override = deblock;
+        Encoder encoder(cfg);
+        const auto decoded = decode(encoder.encode(clip).stream);
+        ASSERT_TRUE(decoded.has_value()) << "deblock " << deblock;
+        EXPECT_GT(metrics::videoPsnr(clip, *decoded), 24.0);
+    }
+}
+
+TEST(RoundTrip, AbrHitsBitrateTarget)
+{
+    const video::Video clip = testClip(176, 144, 12);
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Abr;
+    cfg.rc.bitrate_bps = 400e3;
+    cfg.effort = 3;
+    cfg.gop = 0;
+    Encoder encoder(cfg);
+    const EncodeResult result = encoder.encode(clip);
+    const double actual_bps =
+        result.totalBytes() * 8.0 / clip.duration();
+    EXPECT_GT(actual_bps, 0.4 * cfg.rc.bitrate_bps);
+    EXPECT_LT(actual_bps, 2.5 * cfg.rc.bitrate_bps);
+    ASSERT_TRUE(decode(result.stream).has_value());
+}
+
+TEST(RoundTrip, TwoPassHitsBitrateTighterThanAbr)
+{
+    const video::Video clip = testClip(176, 144, 12,
+                                       video::ContentClass::Sports);
+    const double target = 600e3;
+
+    EncoderConfig abr;
+    abr.rc.mode = RcMode::Abr;
+    abr.rc.bitrate_bps = target;
+    abr.effort = 3;
+    abr.gop = 0;
+    const double abr_bps =
+        Encoder(abr).encode(clip).totalBytes() * 8.0 / clip.duration();
+
+    EncoderConfig two = abr;
+    two.rc.mode = RcMode::TwoPass;
+    const EncodeResult two_result = Encoder(two).encode(clip);
+    const double two_bps =
+        two_result.totalBytes() * 8.0 / clip.duration();
+
+    EXPECT_LE(std::abs(two_bps - target) / target,
+              std::abs(abr_bps - target) / target + 0.10);
+    ASSERT_TRUE(decode(two_result.stream).has_value());
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Syntax layer round-trips: both backends must decode exactly what was
+ * written, and the residual block syntax must be lossless.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/residual.h"
+#include "codec/syntax.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+struct Event {
+    enum Kind { Bit, Bypass, Ue, Se } kind;
+    int context;
+    int n_contexts;
+    int64_t value;
+};
+
+std::vector<Event>
+randomEvents(uint64_t seed, int count)
+{
+    video::Rng rng(seed);
+    std::vector<Event> events;
+    for (int i = 0; i < count; ++i) {
+        Event e;
+        e.kind = static_cast<Event::Kind>(rng.below(4));
+        e.context = static_cast<int>(rng.below(ctx::kNumContexts - 4));
+        e.n_contexts = 1 + static_cast<int>(rng.below(4));
+        switch (e.kind) {
+          case Event::Bit:
+          case Event::Bypass:
+            e.value = static_cast<int64_t>(rng.below(2));
+            break;
+          case Event::Ue:
+            e.value = static_cast<int64_t>(
+                rng.below(1ull << rng.below(16)));
+            break;
+          case Event::Se:
+            e.value = rng.range(-5000, 5000);
+            break;
+        }
+        events.push_back(e);
+    }
+    return events;
+}
+
+void
+roundTrip(bool arith, uint64_t seed)
+{
+    const auto events = randomEvents(seed, 5000);
+    ByteBuffer buf;
+    std::unique_ptr<SyntaxWriter> writer;
+    if (arith)
+        writer = std::make_unique<ArithSyntaxWriter>(buf);
+    else
+        writer = std::make_unique<VlcSyntaxWriter>(buf);
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case Event::Bit:
+            writer->bit(static_cast<int>(e.value), e.context);
+            break;
+          case Event::Bypass:
+            writer->bypass(static_cast<int>(e.value));
+            break;
+          case Event::Ue:
+            writer->ue(static_cast<uint32_t>(e.value), e.context,
+                       e.n_contexts);
+            break;
+          case Event::Se:
+            writer->se(static_cast<int32_t>(e.value), e.context,
+                       e.n_contexts);
+            break;
+        }
+    }
+    writer->finish();
+
+    std::unique_ptr<SyntaxReader> reader;
+    if (arith)
+        reader = std::make_unique<ArithSyntaxReader>(buf.data(),
+                                                     buf.size());
+    else
+        reader = std::make_unique<VlcSyntaxReader>(buf.data(), buf.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        int64_t got = 0;
+        switch (e.kind) {
+          case Event::Bit:
+            got = reader->bit(e.context);
+            break;
+          case Event::Bypass:
+            got = reader->bypass();
+            break;
+          case Event::Ue:
+            got = reader->ue(e.context, e.n_contexts);
+            break;
+          case Event::Se:
+            got = reader->se(e.context, e.n_contexts);
+            break;
+        }
+        ASSERT_EQ(got, e.value) << "event " << i << " kind " << e.kind;
+    }
+}
+
+TEST(Syntax, VlcRoundTrip)
+{
+    roundTrip(false, 101);
+    roundTrip(false, 102);
+}
+
+TEST(Syntax, ArithRoundTrip)
+{
+    roundTrip(true, 201);
+    roundTrip(true, 202);
+}
+
+TEST(Syntax, CountingWriterMatchesVlcBits)
+{
+    const auto events = randomEvents(303, 2000);
+    ByteBuffer buf;
+    VlcSyntaxWriter vlc(buf);
+    CountingSyntaxWriter counter;
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case Event::Bit:
+            vlc.bit(static_cast<int>(e.value), e.context);
+            counter.bit(static_cast<int>(e.value), e.context);
+            break;
+          case Event::Bypass:
+            vlc.bypass(static_cast<int>(e.value));
+            counter.bypass(static_cast<int>(e.value));
+            break;
+          case Event::Ue:
+            vlc.ue(static_cast<uint32_t>(e.value), e.context,
+                   e.n_contexts);
+            counter.ue(static_cast<uint32_t>(e.value), e.context,
+                       e.n_contexts);
+            break;
+          case Event::Se:
+            vlc.se(static_cast<int32_t>(e.value), e.context,
+                   e.n_contexts);
+            counter.se(static_cast<int32_t>(e.value), e.context,
+                       e.n_contexts);
+            break;
+        }
+    }
+    EXPECT_DOUBLE_EQ(counter.bitsWritten(), vlc.bitsWritten());
+}
+
+/** Residual block syntax is exactly lossless on random levels. */
+class ResidualSweep : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ResidualSweep, BlocksRoundTrip)
+{
+    const bool arith = GetParam();
+    video::Rng rng(404);
+    std::vector<std::array<int16_t, 16>> blocks;
+    for (int t = 0; t < 500; ++t) {
+        std::array<int16_t, 16> block{};
+        const int n = static_cast<int>(rng.below(17));
+        for (int i = 0; i < n; ++i) {
+            block[rng.below(16)] =
+                static_cast<int16_t>(rng.range(-500, 500));
+        }
+        blocks.push_back(block);
+    }
+
+    ByteBuffer buf;
+    std::unique_ptr<SyntaxWriter> writer;
+    if (arith)
+        writer = std::make_unique<ArithSyntaxWriter>(buf);
+    else
+        writer = std::make_unique<VlcSyntaxWriter>(buf);
+    for (size_t i = 0; i < blocks.size(); ++i)
+        writeResidualBlock(*writer, blocks[i].data(), i % 2 == 0);
+    writer->finish();
+
+    std::unique_ptr<SyntaxReader> reader;
+    if (arith)
+        reader = std::make_unique<ArithSyntaxReader>(buf.data(),
+                                                     buf.size());
+    else
+        reader = std::make_unique<VlcSyntaxReader>(buf.data(), buf.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        int16_t decoded[16];
+        ASSERT_GE(readResidualBlock(*reader, decoded, i % 2 == 0), 0);
+        for (int j = 0; j < 16; ++j)
+            ASSERT_EQ(decoded[j], blocks[i][j])
+                << "block " << i << " pos " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ResidualSweep,
+                         ::testing::Values(false, true));
+
+TEST(Residual, EmptyBlockCostsOneSymbol)
+{
+    int16_t levels[16] = {};
+    CountingSyntaxWriter counter;
+    writeResidualBlock(counter, levels, true);
+    EXPECT_EQ(counter.bitsWritten(), 1.0);  // ue(0) is one bit
+}
+
+TEST(Residual, RejectsCorruptCount)
+{
+    // A ue count > 16 must be rejected, not trusted.
+    ByteBuffer buf;
+    VlcSyntaxWriter writer(buf);
+    writer.ue(25, ctx::kCoefCountY, 4);
+    writer.finish();
+    VlcSyntaxReader reader(buf.data(), buf.size());
+    int16_t levels[16];
+    EXPECT_EQ(readResidualBlock(reader, levels, true), -1);
+}
+
+} // namespace
+} // namespace vbench::codec

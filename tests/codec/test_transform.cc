@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Integer transform / quantization invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/transform.h"
+#include "video/rng.h"
+
+namespace vbench::codec {
+namespace {
+
+/** Full pipeline: fwd -> quant -> dequant -> inv. */
+void
+pipeline(const int16_t in[16], int16_t out[16], int qp, bool intra)
+{
+    int32_t coefs[16];
+    int16_t levels[16];
+    int32_t deq[16];
+    forwardTransform4x4(in, coefs);
+    quantize4x4(coefs, levels, qp, intra);
+    dequantize4x4(levels, deq, qp);
+    inverseTransform4x4(deq, out);
+}
+
+double
+pipelineRmse(int qp, uint64_t seed)
+{
+    video::Rng rng(seed);
+    double err = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        int16_t in[16], out[16];
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.range(-255, 255));
+        pipeline(in, out, qp, false);
+        for (int i = 0; i < 16; ++i) {
+            const double d = in[i] - out[i];
+            err += d * d;
+        }
+    }
+    return std::sqrt(err / (trials * 16));
+}
+
+TEST(Transform, ZeroInputStaysZero)
+{
+    int16_t in[16] = {};
+    int16_t out[16];
+    pipeline(in, out, 26, false);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], 0);
+}
+
+TEST(Transform, LowQpNearLossless)
+{
+    // At QP 0 the reconstruction error per sample must be tiny.
+    EXPECT_LT(pipelineRmse(0, 42), 1.0);
+}
+
+TEST(Transform, ErrorGrowsMonotonicallyWithQp)
+{
+    double prev = 0;
+    for (int qp = 0; qp <= 48; qp += 8) {
+        const double rmse = pipelineRmse(qp, 123);
+        EXPECT_GE(rmse, prev * 0.8)
+            << "rmse regressed severely at qp " << qp;
+        if (qp >= 8) {
+            EXPECT_GT(rmse, prev) << "no monotone growth at qp " << qp;
+        }
+        prev = rmse;
+    }
+}
+
+TEST(Transform, DcOnlyBlockReconstructsFlat)
+{
+    int16_t in[16];
+    for (auto &v : in)
+        v = 100;
+    int16_t out[16];
+    pipeline(in, out, 10, false);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_NEAR(out[i], 100, 3);
+}
+
+TEST(Transform, HighQpZerosSmallResiduals)
+{
+    int16_t in[16];
+    for (auto &v : in)
+        v = 2;  // tiny residual
+    int32_t coefs[16];
+    int16_t levels[16];
+    forwardTransform4x4(in, coefs);
+    const int nz = quantize4x4(coefs, levels, 48, false);
+    EXPECT_EQ(nz, 0);
+}
+
+TEST(Transform, QuantizeReturnsNonzeroCount)
+{
+    video::Rng rng(5);
+    int16_t in[16];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-200, 200));
+    int32_t coefs[16];
+    int16_t levels[16];
+    forwardTransform4x4(in, coefs);
+    const int nz = quantize4x4(coefs, levels, 20, false);
+    int count = 0;
+    for (auto l : levels)
+        count += l != 0;
+    EXPECT_EQ(nz, count);
+    EXPECT_GT(nz, 0);
+}
+
+TEST(Transform, IntraRoundingNeverBelowInter)
+{
+    // Intra's larger rounding offset can only keep or raise levels.
+    video::Rng rng(6);
+    for (int t = 0; t < 100; ++t) {
+        int16_t in[16];
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.range(-255, 255));
+        int32_t coefs[16];
+        int16_t intra_levels[16], inter_levels[16];
+        forwardTransform4x4(in, coefs);
+        quantize4x4(coefs, intra_levels, 28, true);
+        quantize4x4(coefs, inter_levels, 28, false);
+        for (int i = 0; i < 16; ++i)
+            EXPECT_GE(std::abs(intra_levels[i]),
+                      std::abs(inter_levels[i]));
+    }
+}
+
+TEST(Transform, ZigzagIsAPermutation)
+{
+    bool seen[16] = {};
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_LT(kZigzag4x4[i], 16);
+        EXPECT_FALSE(seen[kZigzag4x4[i]]);
+        seen[kZigzag4x4[i]] = true;
+    }
+}
+
+TEST(Transform, ZigzagVisitsLowFrequenciesFirst)
+{
+    // The first four scan positions must stay in the top-left 3x3.
+    for (int i = 0; i < 4; ++i) {
+        const int r = kZigzag4x4[i] / 4;
+        const int c = kZigzag4x4[i] % 4;
+        EXPECT_LE(r + c, 2);
+    }
+    EXPECT_EQ(kZigzag4x4[0], 0);
+    EXPECT_EQ(kZigzag4x4[15], 15);
+}
+
+TEST(Transform, LambdaGrowsWithQp)
+{
+    double prev = 0;
+    for (int qp = 0; qp <= 51; qp += 3) {
+        EXPECT_GT(rdLambda(qp), prev);
+        prev = rdLambda(qp);
+    }
+    EXPECT_NEAR(sadLambda(30), std::sqrt(rdLambda(30)), 1e-9);
+}
+
+/** Parameterized sweep: the pipeline must round-trip at every QP. */
+class TransformQpSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TransformQpSweep, PipelineBoundedError)
+{
+    const int qp = GetParam();
+    video::Rng rng(1000 + qp);
+    for (int t = 0; t < 50; ++t) {
+        int16_t in[16], out[16];
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.range(-255, 255));
+        pipeline(in, out, qp, t % 2 == 0);
+        // Error bound: quantization error in the transform domain can
+        // constructively combine across basis functions, so allow a
+        // small multiple of the step size plus rounding slack.
+        const double step = std::pow(2.0, (qp - 4) / 6.0);
+        for (int i = 0; i < 16; ++i)
+            ASSERT_LE(std::abs(in[i] - out[i]), 2.5 * step + 4.0)
+                << "qp " << qp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQps, TransformQpSweep,
+                         ::testing::Range(0, 52, 3));
+
+} // namespace
+} // namespace vbench::codec

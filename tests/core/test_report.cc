@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Report formatting tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+
+namespace vbench::core {
+namespace {
+
+TEST(Report, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.0, 0), "3");
+    EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table table({"name", "S", "B"});
+    table.addRow({"longvideoname", "1.00", "2"});
+    table.addRow({"x", "10.55", "0.3"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longvideoname"), std::string::npos);
+    EXPECT_NE(text.find("10.55"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // Header row and rule plus two data rows.
+    int lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(Report, ShortRowsArePadded)
+{
+    Table table({"a", "b", "c"});
+    table.addRow({"only"});
+    std::ostringstream out;
+    table.print(out);
+    EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(Report, SeriesFormat)
+{
+    std::ostringstream out;
+    printSeries(out, "psnr", {{0.1, 30.0}, {1.0, 40.0}});
+    const std::string text = out.str();
+    EXPECT_NE(text.find("# series: psnr"), std::string::npos);
+    EXPECT_NE(text.find("0.1 30"), std::string::npos);
+    EXPECT_NE(text.find("1 40"), std::string::npos);
+}
+
+} // namespace
+} // namespace vbench::core

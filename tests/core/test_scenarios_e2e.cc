@@ -1,0 +1,128 @@
+/**
+ * @file
+ * End-to-end scenario pipeline: for one clip, every scenario's
+ * reference must score 1.0 against itself, and the full
+ * reference-vs-candidate flow must behave per Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "core/scoring.h"
+#include "core/transcoder.h"
+#include "metrics/rates.h"
+#include "video/synth.h"
+
+namespace vbench::core {
+namespace {
+
+struct Pipeline {
+    video::Video clip;
+    codec::ByteBuffer universal;
+    ReferenceStore refs;
+
+    Pipeline()
+    {
+        clip = video::synthesize(
+            video::presetFor(video::ContentClass::Natural, 160, 128,
+                             30.0, 8, 1212),
+            "e2e");
+        universal = makeUniversalStream(clip);
+    }
+
+    double
+    outputRate() const
+    {
+        return metrics::outputMegapixelsPerSecond(
+            clip.width(), clip.height(), clip.fps());
+    }
+};
+
+TEST(ScenarioPipeline, ReferencesScoreOneAgainstThemselves)
+{
+    Pipeline p;
+    for (Scenario scenario :
+         {Scenario::Upload, Scenario::Vod, Scenario::Popular}) {
+        const TranscodeOutcome &ref =
+            p.refs.get("clip", scenario, p.universal, p.clip);
+        ASSERT_TRUE(ref.ok) << toString(scenario);
+        const Ratios r = computeRatios(ref.m, ref.m);
+        EXPECT_DOUBLE_EQ(r.s, 1.0);
+        EXPECT_DOUBLE_EQ(r.b, 1.0);
+        EXPECT_DOUBLE_EQ(r.q, 1.0);
+        const ScoreResult score =
+            scoreScenario(scenario, r, ref.m, p.outputRate());
+        // Upload/VOD/Popular self-scores are exactly 1 by Table 1.
+        ASSERT_TRUE(score.valid)
+            << toString(scenario) << ": " << score.reason;
+        EXPECT_NEAR(score.score, 1.0, 1e-12) << toString(scenario);
+    }
+}
+
+TEST(ScenarioPipeline, PlatformSelfScoreIsOne)
+{
+    Pipeline p;
+    const TranscodeOutcome &ref =
+        p.refs.get("clip", Scenario::Platform, p.universal, p.clip);
+    ASSERT_TRUE(ref.ok);
+    const Ratios r = computeRatios(ref.m, ref.m);
+    const ScoreResult score =
+        scoreScenario(Scenario::Platform, r, ref.m, p.outputRate());
+    ASSERT_TRUE(score.valid);
+    EXPECT_DOUBLE_EQ(score.score, 1.0);
+}
+
+TEST(ScenarioPipeline, UploadFavorsFastEncoders)
+{
+    // A faster effort at similar CRF quality must outscore a slower
+    // one on Upload (score = S x Q).
+    Pipeline p;
+    const TranscodeOutcome &ref =
+        p.refs.get("clip", Scenario::Upload, p.universal, p.clip);
+    ASSERT_TRUE(ref.ok);
+
+    auto uploadScore = [&](int effort) {
+        TranscodeRequest req = referenceRequest(
+            Scenario::Upload, p.clip.width(), p.clip.height(),
+            p.clip.fps());
+        req.effort = effort;
+        const TranscodeOutcome out =
+            transcode(p.universal, p.clip, req);
+        EXPECT_TRUE(out.ok);
+        const Ratios r = computeRatios(ref.m, out.m);
+        const ScoreResult s =
+            scoreScenario(Scenario::Upload, r, out.m, p.outputRate());
+        return s.valid ? s.score : 0.0;
+    };
+    const double fast = uploadScore(1);
+    const double slow = uploadScore(8);
+    EXPECT_GT(fast, slow);
+}
+
+TEST(ScenarioPipeline, VodScoreRewardsHardwareStyleSpeed)
+{
+    Pipeline p;
+    const TranscodeOutcome &ref =
+        p.refs.get("clip", Scenario::Vod, p.universal, p.clip);
+    ASSERT_TRUE(ref.ok);
+
+    // The hardware path: much faster, somewhat bigger. Its VOD score
+    // must reflect S x B per Table 1 when quality holds.
+    TranscodeRequest req = referenceRequest(
+        Scenario::Vod, p.clip.width(), p.clip.height(), p.clip.fps());
+    req.kind = EncoderKind::QsvLike;
+    const TranscodeOutcome hw = transcode(p.universal, p.clip, req);
+    ASSERT_TRUE(hw.ok);
+    const Ratios r = computeRatios(ref.m, hw.m);
+    // (On postage-stamp test clips the hardware's per-frame overhead
+    // dominates, so S itself can be < 1 here; the bench suite covers
+    // realistic geometries. The contract under test is the formula.)
+    EXPECT_GT(r.s, 0.0);
+    const ScoreResult score =
+        scoreScenario(Scenario::Vod, r, hw.m, p.outputRate());
+    if (score.valid)
+        EXPECT_NEAR(score.score, r.s * r.b, 1e-12);
+}
+
+} // namespace
+} // namespace vbench::core

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Table 1 scoring function and constraint tests, hand-computed cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scoring.h"
+
+namespace vbench::core {
+namespace {
+
+Measurement
+m(double speed, double bitrate, double psnr)
+{
+    Measurement out;
+    out.speed_mpix_s = speed;
+    out.bitrate_bpps = bitrate;
+    out.psnr_db = psnr;
+    return out;
+}
+
+TEST(Ratios, Definition)
+{
+    const Measurement ref = m(10, 2.0, 40);
+    const Measurement cand = m(20, 1.0, 42);
+    const Ratios r = computeRatios(ref, cand);
+    EXPECT_DOUBLE_EQ(r.s, 2.0);   // twice as fast
+    EXPECT_DOUBLE_EQ(r.b, 2.0);   // half the bits
+    EXPECT_DOUBLE_EQ(r.q, 42.0 / 40.0);
+}
+
+TEST(Ratios, GreaterThanOneMeansBetter)
+{
+    const Measurement ref = m(10, 2.0, 40);
+    const Measurement worse = m(5, 4.0, 36);
+    const Ratios r = computeRatios(ref, worse);
+    EXPECT_LT(r.s, 1.0);
+    EXPECT_LT(r.b, 1.0);
+    EXPECT_LT(r.q, 1.0);
+}
+
+TEST(Scoring, UploadScoreIsSxQ)
+{
+    Ratios r{2.0, 0.5, 1.1};
+    const ScoreResult result =
+        scoreScenario(Scenario::Upload, r, m(20, 4, 44), 30);
+    ASSERT_TRUE(result.valid);
+    EXPECT_DOUBLE_EQ(result.score, 2.2);
+}
+
+TEST(Scoring, UploadRejectsHugeBitrate)
+{
+    Ratios r{5.0, 0.15, 1.2};  // more than 5x the reference size
+    const ScoreResult result =
+        scoreScenario(Scenario::Upload, r, m(50, 14, 48), 30);
+    EXPECT_FALSE(result.valid);
+    EXPECT_NE(result.reason.find("bitrate"), std::string::npos);
+}
+
+TEST(Scoring, LiveRequiresRealTime)
+{
+    Ratios r{0.5, 1.3, 1.0};
+    // Output needs 27.6 Mpix/s; candidate manages 20.
+    const ScoreResult slow =
+        scoreScenario(Scenario::Live, r, m(20, 1, 40), 27.6);
+    EXPECT_FALSE(slow.valid);
+
+    const ScoreResult fast =
+        scoreScenario(Scenario::Live, r, m(30, 1, 40), 27.6);
+    ASSERT_TRUE(fast.valid);
+    EXPECT_DOUBLE_EQ(fast.score, 1.3);
+}
+
+TEST(Scoring, VodScoreIsSxB)
+{
+    Ratios r{8.0, 0.8, 1.01};
+    const ScoreResult result =
+        scoreScenario(Scenario::Vod, r, m(80, 2, 41), 30);
+    ASSERT_TRUE(result.valid);
+    EXPECT_DOUBLE_EQ(result.score, 8.0 * 0.8);
+}
+
+TEST(Scoring, VodRejectsQualityLoss)
+{
+    Ratios r{10.0, 1.5, 0.97};
+    const ScoreResult result =
+        scoreScenario(Scenario::Vod, r, m(100, 1, 38), 30);
+    EXPECT_FALSE(result.valid);
+}
+
+TEST(Scoring, VodVisuallyLosslessEscapesQualityConstraint)
+{
+    // Q < 1 but the transcode is above 50 dB: still valid (Table 1).
+    Ratios r{4.0, 1.2, 0.98};
+    const ScoreResult result =
+        scoreScenario(Scenario::Vod, r, m(40, 1, 51.0), 30);
+    ASSERT_TRUE(result.valid);
+    EXPECT_DOUBLE_EQ(result.score, 4.8);
+}
+
+TEST(Scoring, PopularRequiresWinningBothDimensions)
+{
+    const Measurement cand = m(2, 1, 42);
+    EXPECT_TRUE(scoreScenario(Scenario::Popular,
+                              Ratios{0.5, 1.2, 1.05}, cand, 30)
+                    .valid);
+    EXPECT_FALSE(scoreScenario(Scenario::Popular,
+                               Ratios{0.5, 0.95, 1.05}, cand, 30)
+                     .valid);
+    EXPECT_FALSE(scoreScenario(Scenario::Popular,
+                               Ratios{0.5, 1.2, 0.99}, cand, 30)
+                     .valid);
+    // Slower than 10x is out even if B and Q win.
+    EXPECT_FALSE(scoreScenario(Scenario::Popular,
+                               Ratios{0.05, 1.2, 1.05}, cand, 30)
+                     .valid);
+}
+
+TEST(Scoring, PopularScoreIsBxQ)
+{
+    const ScoreResult result = scoreScenario(
+        Scenario::Popular, Ratios{0.4, 1.5, 1.02}, m(4, 1, 43), 30);
+    ASSERT_TRUE(result.valid);
+    EXPECT_DOUBLE_EQ(result.score, 1.5 * 1.02);
+}
+
+TEST(Scoring, PlatformRequiresIdenticalOutput)
+{
+    EXPECT_TRUE(scoreScenario(Scenario::Platform,
+                              Ratios{1.3, 1.0, 1.0}, m(13, 1, 40), 30)
+                    .valid);
+    EXPECT_FALSE(scoreScenario(Scenario::Platform,
+                               Ratios{1.3, 1.1, 1.0}, m(13, 1, 40), 30)
+                     .valid);
+    const ScoreResult result = scoreScenario(
+        Scenario::Platform, Ratios{1.3, 1.0, 1.0}, m(13, 1, 40), 30);
+    EXPECT_DOUBLE_EQ(result.score, 1.3);
+}
+
+TEST(Scoring, ScenarioNames)
+{
+    EXPECT_STREQ(toString(Scenario::Upload), "upload");
+    EXPECT_STREQ(toString(Scenario::Popular), "popular");
+}
+
+} // namespace
+} // namespace vbench::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unified transcoder driver and reference-store integration tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "core/reference.h"
+#include "core/scoring.h"
+#include "core/transcoder.h"
+#include "metrics/rates.h"
+#include "video/synth.h"
+
+namespace vbench::core {
+namespace {
+
+video::Video
+clip(int w = 160, int h = 128, int frames = 6,
+     video::ContentClass content = video::ContentClass::Natural)
+{
+    return video::synthesize(
+        video::presetFor(content, w, h, 30.0, frames, 808), "t");
+}
+
+TEST(Transcoder, UniversalStreamIsHighQuality)
+{
+    const video::Video v = clip();
+    const codec::ByteBuffer universal = makeUniversalStream(v);
+    ASSERT_FALSE(universal.empty());
+    const auto decoded = codec::decode(universal);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(v, *decoded), 38.0);
+}
+
+TEST(Transcoder, EveryEncoderKindRuns)
+{
+    const video::Video v = clip();
+    const codec::ByteBuffer universal = makeUniversalStream(v);
+    for (EncoderKind kind :
+         {EncoderKind::Vbc, EncoderKind::NgcHevc, EncoderKind::NgcVp9,
+          EncoderKind::NvencLike, EncoderKind::QsvLike}) {
+        TranscodeRequest req;
+        req.kind = kind;
+        req.rc.mode = codec::RcMode::Abr;
+        req.rc.bitrate_bps = 800e3;
+        req.effort = 3;
+        req.ngc_speed = 2;
+        const TranscodeOutcome outcome = transcode(universal, v, req);
+        ASSERT_TRUE(outcome.ok) << toString(kind) << ": "
+                                << outcome.error;
+        EXPECT_GT(outcome.m.psnr_db, 20.0) << toString(kind);
+        EXPECT_GT(outcome.m.speed_mpix_s, 0.0) << toString(kind);
+        EXPECT_GT(outcome.m.bitrate_bpps, 0.0) << toString(kind);
+    }
+}
+
+TEST(Transcoder, BadInputReported)
+{
+    const video::Video v = clip(96, 96, 2);
+    codec::ByteBuffer garbage(64, 0x55);
+    TranscodeRequest req;
+    const TranscodeOutcome outcome = transcode(garbage, v, req);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_FALSE(outcome.error.empty());
+}
+
+TEST(Transcoder, HardwareSpeedComesFromModel)
+{
+    const video::Video v = clip();
+    const codec::ByteBuffer universal = makeUniversalStream(v);
+    TranscodeRequest req;
+    req.kind = EncoderKind::QsvLike;
+    req.rc.mode = codec::RcMode::Abr;
+    req.rc.bitrate_bps = 800e3;
+    const TranscodeOutcome a = transcode(universal, v, req);
+    const TranscodeOutcome b = transcode(universal, v, req);
+    ASSERT_TRUE(a.ok && b.ok);
+    // Modeled time is deterministic; wall clock would jitter.
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(Reference, LadderBitrateScalesWithGeometry)
+{
+    const double sd = ladderBitrateBps(854, 480, 30);
+    const double hd = ladderBitrateBps(1920, 1080, 30);
+    const double uhd = ladderBitrateBps(3840, 2160, 60);
+    EXPECT_LT(sd, hd);
+    EXPECT_LT(hd, uhd);
+    // bits/pixel falls as resolution grows.
+    EXPECT_GT(ladderBitsPerPixel(854, 480),
+              ladderBitsPerPixel(3840, 2160));
+}
+
+TEST(Reference, LiveEffortFallsWithResolution)
+{
+    EXPECT_GT(liveReferenceEffort(854, 480),
+              liveReferenceEffort(1920, 1080));
+    EXPECT_EQ(liveReferenceEffort(3840, 2160), 0);
+}
+
+TEST(Reference, RequestsMatchScenarioDefinitions)
+{
+    const TranscodeRequest upload =
+        referenceRequest(Scenario::Upload, 1280, 720, 30);
+    EXPECT_EQ(upload.rc.mode, codec::RcMode::Crf);
+    EXPECT_DOUBLE_EQ(upload.rc.crf, 18);
+
+    const TranscodeRequest live =
+        referenceRequest(Scenario::Live, 1280, 720, 30);
+    EXPECT_EQ(live.rc.mode, codec::RcMode::Abr);
+
+    const TranscodeRequest vod =
+        referenceRequest(Scenario::Vod, 1280, 720, 30);
+    EXPECT_EQ(vod.rc.mode, codec::RcMode::TwoPass);
+    EXPECT_EQ(vod.effort, 5);
+
+    const TranscodeRequest popular =
+        referenceRequest(Scenario::Popular, 1280, 720, 30);
+    EXPECT_EQ(popular.rc.mode, codec::RcMode::TwoPass);
+    EXPECT_EQ(popular.effort, 9);
+
+    // Platform reference equals the VOD reference (§4.2).
+    const TranscodeRequest platform =
+        referenceRequest(Scenario::Platform, 1280, 720, 30);
+    EXPECT_EQ(platform.effort, vod.effort);
+    EXPECT_EQ(platform.rc.mode, vod.rc.mode);
+}
+
+TEST(Reference, StoreCachesResults)
+{
+    const video::Video v = clip(128, 96, 4);
+    const codec::ByteBuffer universal = makeUniversalStream(v);
+    ReferenceStore store;
+    const TranscodeOutcome &first =
+        store.get("clip", Scenario::Upload, universal, v);
+    ASSERT_TRUE(first.ok);
+    const TranscodeOutcome &second =
+        store.get("clip", Scenario::Upload, universal, v);
+    EXPECT_EQ(&first, &second);  // same cached object
+}
+
+TEST(EndToEnd, PopularEffortBeatsVodEffortAtEqualBitrate)
+{
+    // "The reference quality of the Popular scenario is higher than
+    // VOD" (§6.2): the Popular reference effort (9) must land above
+    // the VOD reference effort (5) in rate-distortion terms when both
+    // encode the same source at the same two-pass bitrate target. (On
+    // multi-second clips the reference-store path shows the same
+    // ordering; short test clips make the direct comparison the
+    // stable one.)
+    const video::Video v =
+        clip(192, 160, 8, video::ContentClass::Natural);
+    const TranscodeRequest vod_req =
+        referenceRequest(Scenario::Vod, v.width(), v.height(), v.fps());
+    const TranscodeRequest pop_req = referenceRequest(
+        Scenario::Popular, v.width(), v.height(), v.fps());
+    ASSERT_EQ(vod_req.rc.bitrate_bps, pop_req.rc.bitrate_bps);
+
+    auto run = [&](int effort) {
+        codec::EncoderConfig cfg;
+        cfg.rc = vod_req.rc;
+        cfg.effort = effort;
+        cfg.gop = 30;
+        codec::Encoder encoder(cfg);
+        const codec::EncodeResult result = encoder.encode(v);
+        const auto decoded = codec::decode(result.stream);
+        EXPECT_TRUE(decoded.has_value());
+        return measure(v, *decoded, result.totalBytes(), 1.0);
+    };
+    const Measurement vod = run(vod_req.effort);
+    const Measurement popular = run(pop_req.effort);
+    // RD dominance with a small tolerance for rate-control wiggle.
+    const double rate_adjusted_quality_gain =
+        (popular.psnr_db - vod.psnr_db) -
+        6.0 * std::log2(popular.bitrate_bpps / vod.bitrate_bpps);
+    EXPECT_GT(rate_adjusted_quality_gain, -0.15)
+        << "popular: " << popular.psnr_db << " dB @ "
+        << popular.bitrate_bpps << " bpps, vod: " << vod.psnr_db
+        << " dB @ " << vod.bitrate_bpps << " bpps";
+}
+
+} // namespace
+} // namespace vbench::core

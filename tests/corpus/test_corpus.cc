@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Corpus generator and feature normalization tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "corpus/generator.h"
+
+namespace vbench::corpus {
+namespace {
+
+TEST(Corpus, GeneratesRequestedPopulation)
+{
+    CorpusConfig cfg;
+    cfg.target_categories = 1000;
+    const auto corpus = generateCorpus(cfg);
+    EXPECT_EQ(corpus.size(), 1000u);
+}
+
+TEST(Corpus, WeightsAreNormalized)
+{
+    const auto corpus = generateCorpus();
+    double total = 0;
+    for (const auto &c : corpus) {
+        EXPECT_GT(c.weight, 0);
+        total += c.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Corpus, DeterministicInSeed)
+{
+    const auto a = generateCorpus();
+    const auto b = generateCorpus();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].kpixels, b[i].kpixels);
+        EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    }
+}
+
+TEST(Corpus, CoversManyResolutionsAndFramerates)
+{
+    const auto corpus = generateCorpus();
+    std::set<int> resolutions;
+    std::set<int> framerates;
+    for (const auto &c : corpus) {
+        resolutions.insert(c.kpixels);
+        framerates.insert(c.fps);
+    }
+    EXPECT_GE(resolutions.size(), 6u);
+    EXPECT_GE(framerates.size(), 6u);
+}
+
+TEST(Corpus, EntropySpansOrdersOfMagnitude)
+{
+    const auto corpus = generateCorpus();
+    double lo = 1e9, hi = 0;
+    for (const auto &c : corpus) {
+        lo = std::min(lo, c.entropy);
+        hi = std::max(hi, c.entropy);
+    }
+    EXPECT_LT(lo, 0.3);
+    EXPECT_GT(hi, 10.0);
+    EXPECT_GT(hi / lo, 100.0);  // multiple decades
+}
+
+TEST(Corpus, LadderSharesSumToOne)
+{
+    double res_total = 0;
+    for (const auto &step : resolutionLadder())
+        res_total += step.share;
+    EXPECT_NEAR(res_total, 1.0, 1e-9);
+    double fps_total = 0;
+    for (const auto &step : framerateMix())
+        fps_total += step.share;
+    EXPECT_NEAR(fps_total, 1.0, 1e-9);
+}
+
+TEST(Features, LogLinearization)
+{
+    VideoCategory c;
+    c.kpixels = 2048;
+    c.fps = 30;
+    c.entropy = 8.0;
+    const Features f = rawFeatures(c);
+    EXPECT_DOUBLE_EQ(f.log_kpixels, 11.0);
+    EXPECT_DOUBLE_EQ(f.log_entropy, 3.0);
+}
+
+TEST(Features, NormalizationMapsToUnitBox)
+{
+    const auto corpus = generateCorpus();
+    const FeatureRange range = featureRange(corpus);
+    for (const auto &c : corpus) {
+        const Features f = normalize(rawFeatures(c), range);
+        EXPECT_GE(f.log_kpixels, -1.0 - 1e-9);
+        EXPECT_LE(f.log_kpixels, 1.0 + 1e-9);
+        EXPECT_GE(f.fps, -1.0 - 1e-9);
+        EXPECT_LE(f.fps, 1.0 + 1e-9);
+        EXPECT_GE(f.log_entropy, -1.0 - 1e-9);
+        EXPECT_LE(f.log_entropy, 1.0 + 1e-9);
+    }
+}
+
+TEST(Features, Distance)
+{
+    Features a{0, 0, 0};
+    Features b{1, 2, 2};
+    EXPECT_DOUBLE_EQ(distance2(a, b), 9.0);
+    EXPECT_DOUBLE_EQ(distance2(a, a), 0.0);
+}
+
+} // namespace
+} // namespace vbench::corpus

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Weighted k-means and benchmark-category selection tests (§4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "corpus/coverage.h"
+#include "corpus/generator.h"
+#include "corpus/kmeans.h"
+
+namespace vbench::corpus {
+namespace {
+
+std::vector<VideoCategory>
+tinyCorpus()
+{
+    // Two well-separated blobs in feature space.
+    std::vector<VideoCategory> corpus;
+    for (int i = 0; i < 10; ++i) {
+        VideoCategory a;
+        a.kpixels = 100 + i;
+        a.fps = 24;
+        a.entropy = 0.2 + 0.01 * i;
+        a.weight = 1.0;
+        corpus.push_back(a);
+        VideoCategory b;
+        b.kpixels = 8000 + i;
+        b.fps = 60;
+        b.entropy = 8.0 + 0.1 * i;
+        b.weight = 1.0;
+        corpus.push_back(b);
+    }
+    return corpus;
+}
+
+TEST(Kmeans, SeparatesObviousBlobs)
+{
+    const auto corpus = tinyCorpus();
+    KmeansConfig cfg;
+    cfg.k = 2;
+    const KmeansResult result =
+        weightedKmeans(corpus, featureRange(corpus), cfg);
+    // Members of the same blob share an assignment.
+    for (size_t i = 2; i < corpus.size(); i += 2)
+        EXPECT_EQ(result.assignment[i], result.assignment[0]);
+    for (size_t i = 3; i < corpus.size(); i += 2)
+        EXPECT_EQ(result.assignment[i], result.assignment[1]);
+    EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(Kmeans, ConvergesAndReportsInertia)
+{
+    const auto corpus = generateCorpus();
+    KmeansConfig cfg;
+    cfg.k = 15;
+    const KmeansResult result =
+        weightedKmeans(corpus, featureRange(corpus), cfg);
+    EXPECT_LE(result.iterations, cfg.max_iterations);
+    EXPECT_GT(result.inertia, 0);
+    EXPECT_EQ(result.centroids.size(), 15u);
+    double mass = 0;
+    for (double w : result.cluster_weight)
+        mass += w;
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Kmeans, MoreClustersNeverRaiseInertia)
+{
+    const auto corpus = generateCorpus(
+        CorpusConfig{.seed = 11, .target_categories = 800,
+                     .entropy_sigma = 1.4});
+    const FeatureRange range = featureRange(corpus);
+    double prev = 1e30;
+    for (int k : {2, 8, 15, 30}) {
+        KmeansConfig cfg;
+        cfg.k = k;
+        const double inertia = weightedKmeans(corpus, range, cfg).inertia;
+        EXPECT_LE(inertia, prev * 1.05) << "k " << k;
+        prev = inertia;
+    }
+}
+
+TEST(Kmeans, DeterministicInSeed)
+{
+    const auto corpus = generateCorpus();
+    const FeatureRange range = featureRange(corpus);
+    const KmeansResult a = weightedKmeans(corpus, range);
+    const KmeansResult b = weightedKmeans(corpus, range);
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Kmeans, WeightPullsCentroids)
+{
+    // Two points; all the weight on one of them. The single centroid
+    // must sit essentially on the heavy point.
+    std::vector<VideoCategory> corpus(2);
+    corpus[0] = {400, 30, 1.0, 0.999};
+    corpus[1] = {4000, 60, 10.0, 0.001};
+    KmeansConfig cfg;
+    cfg.k = 1;
+    const FeatureRange range = featureRange(corpus);
+    const KmeansResult result = weightedKmeans(corpus, range, cfg);
+    const Features heavy = normalize(rawFeatures(corpus[0]), range);
+    EXPECT_LT(distance2(result.centroids[0], heavy), 0.01);
+}
+
+TEST(Selection, ModeIsHeaviestMember)
+{
+    const auto corpus = tinyCorpus();
+    KmeansConfig cfg;
+    cfg.k = 2;
+    KmeansResult result = weightedKmeans(corpus, featureRange(corpus),
+                                         cfg);
+    const auto modes = clusterModes(corpus, result);
+    ASSERT_EQ(modes.size(), 2u);
+    for (int m : modes) {
+        ASSERT_GE(m, 0);
+        // No member of the same cluster may outweigh the mode.
+        for (size_t i = 0; i < corpus.size(); ++i) {
+            if (result.assignment[i] == result.assignment[m])
+                EXPECT_LE(corpus[i].weight, corpus[m].weight);
+        }
+    }
+}
+
+TEST(Selection, FifteenRepresentativeCategories)
+{
+    const auto corpus = generateCorpus();
+    const auto selected = selectBenchmarkCategories(corpus);
+    EXPECT_EQ(selected.size(), 15u);
+    // Representativeness: selected categories span resolutions and
+    // entropy, like Table 2.
+    std::set<int> resolutions;
+    double lo = 1e9, hi = 0;
+    for (const auto &c : selected) {
+        resolutions.insert(c.kpixels);
+        lo = std::min(lo, c.entropy);
+        hi = std::max(hi, c.entropy);
+    }
+    EXPECT_GE(resolutions.size(), 3u);
+    EXPECT_GT(hi / lo, 4.0);
+}
+
+TEST(Coverage, FullSetShape)
+{
+    const auto set = coverageSet();
+    // 6 resolutions x 8 framerates x 11 entropy samples.
+    EXPECT_EQ(set.size(), 6u * 8 * 11);
+    std::set<std::string> names;
+    for (const auto &spec : set)
+        EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+}
+
+TEST(Coverage, ReducedSetSpansEntropyDecades)
+{
+    const auto set = coverageSetReduced();
+    EXPECT_EQ(set.size(), 6u * 11);
+    double lo = 1e9, hi = 0;
+    for (const auto &spec : set) {
+        lo = std::min(lo, spec.target_entropy);
+        hi = std::max(hi, spec.target_entropy);
+    }
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 15.0);
+}
+
+} // namespace
+} // namespace vbench::corpus

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Hardware encoder model tests (§5.3 behaviours).
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "hwenc/hwenc.h"
+#include "metrics/psnr.h"
+#include "video/synth.h"
+
+namespace vbench::hwenc {
+namespace {
+
+video::Video
+clip(int w = 160, int h = 128, int frames = 6,
+     video::ContentClass content = video::ContentClass::Natural)
+{
+    return video::synthesize(
+        video::presetFor(content, w, h, 30.0, frames, 404), "hw");
+}
+
+codec::RateControlConfig
+abr(double bps)
+{
+    codec::RateControlConfig rc;
+    rc.mode = codec::RcMode::Abr;
+    rc.bitrate_bps = bps;
+    return rc;
+}
+
+TEST(HwEnc, ProducesDecodableStream)
+{
+    const video::Video v = clip();
+    for (const HwEncoderSpec &spec : {nvencLikeSpec(), qsvLikeSpec()}) {
+        const HwEncodeResult result = hwEncode(spec, v, abr(600e3));
+        const auto decoded = codec::decode(result.encoded.stream);
+        ASSERT_TRUE(decoded.has_value()) << spec.name;
+        EXPECT_GT(metrics::videoPsnr(v, *decoded), 22.0) << spec.name;
+    }
+}
+
+TEST(HwEnc, ModeledTimeNotWallClock)
+{
+    // The modeled throughput must reflect the spec, not the host CPU.
+    const video::Video v = clip();
+    const HwEncodeResult result =
+        hwEncode(nvencLikeSpec(), v, abr(600e3));
+    EXPECT_GT(result.mpix_per_s, 1.0);
+    const double expected = v.frameCount() *
+            nvencLikeSpec().per_frame_overhead_ms / 1000.0 +
+        v.totalPixels() / (nvencLikeSpec().throughput_mpix_s * 1e6);
+    EXPECT_NEAR(result.seconds, expected, 1e-9);
+}
+
+TEST(HwEnc, ThroughputGrowsWithResolution)
+{
+    // The per-frame overhead amortizes with frame size: effective
+    // Mpix/s must rise from small to large frames (Table 3 mechanism).
+    const video::Video small = clip(128, 96, 4);
+    const video::Video large = clip(512, 384, 4);
+    const double s_small =
+        hwEncode(qsvLikeSpec(), small, abr(400e3)).mpix_per_s;
+    const double s_large =
+        hwEncode(qsvLikeSpec(), large, abr(2e6)).mpix_per_s;
+    EXPECT_GT(s_large, 2.0 * s_small);
+}
+
+TEST(HwEnc, QsvIsFasterThanNvenc)
+{
+    const video::Video v = clip();
+    const double nv = hwEncode(nvencLikeSpec(), v, abr(600e3)).mpix_per_s;
+    const double qs = hwEncode(qsvLikeSpec(), v, abr(600e3)).mpix_per_s;
+    EXPECT_GT(qs, nv);
+}
+
+TEST(HwEnc, TwoPassDowngradesToSinglePass)
+{
+    // Fixed-function encoders cannot do two-pass; the model must not
+    // silently run one.
+    const video::Video v = clip();
+    codec::RateControlConfig rc;
+    rc.mode = codec::RcMode::TwoPass;
+    rc.bitrate_bps = 500e3;
+    const HwEncodeResult result = hwEncode(nvencLikeSpec(), v, rc);
+    ASSERT_TRUE(codec::decode(result.encoded.stream).has_value());
+}
+
+TEST(HwEnc, BisectionMeetsQualityTarget)
+{
+    const video::Video v = clip();
+    const double target = 34.0;
+    const HwEncodeResult result =
+        encodeAtQuality(qsvLikeSpec(), v, target, 6);
+    const auto decoded = codec::decode(result.encoded.stream);
+    ASSERT_TRUE(decoded.has_value());
+    const double psnr = metrics::videoPsnr(v, *decoded);
+    EXPECT_GE(psnr, target);
+    // "by a small margin": within a couple of dB, not 4x the bits.
+    EXPECT_LT(psnr, target + 6.0);
+}
+
+TEST(HwEnc, BisectionUsesFewerBitsForLowerTargets)
+{
+    const video::Video v = clip();
+    const size_t low =
+        encodeAtQuality(nvencLikeSpec(), v, 30.0, 6).encoded.totalBytes();
+    const size_t high =
+        encodeAtQuality(nvencLikeSpec(), v, 38.0, 6).encoded.totalBytes();
+    EXPECT_LT(low, high);
+}
+
+TEST(HwEnc, UnreachableQualityTargetReturnsMaxEffortAttempt)
+{
+    // A target no encoder can reach: the bisection must still return
+    // a decodable stream (the caller observes the miss via PSNR).
+    const video::Video v = clip(96, 80, 3, video::ContentClass::Noisy);
+    const HwEncodeResult result =
+        encodeAtQuality(nvencLikeSpec(), v, 99.0, 4);
+    const auto decoded = codec::decode(result.encoded.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_LT(metrics::videoPsnr(v, *decoded), 99.0);
+    EXPECT_GT(result.encoded.totalBytes(), 0u);
+}
+
+TEST(HwEnc, SeparateQualityBaselineIsHonored)
+{
+    // Encoding a degraded source while scoring against the pristine
+    // master: the bisection must meet the target against the master.
+    const video::Video master = clip(128, 96, 4);
+    codec::EncoderConfig cfg;
+    cfg.rc.mode = codec::RcMode::Crf;
+    cfg.rc.crf = 16;
+    cfg.effort = 3;
+    codec::Encoder encoder(cfg);
+    const auto degraded = codec::decode(encoder.encode(master).stream);
+    ASSERT_TRUE(degraded.has_value());
+
+    const double target = 32.0;
+    const HwEncodeResult result =
+        encodeAtQuality(qsvLikeSpec(), *degraded, target, 6, &master);
+    const auto decoded = codec::decode(result.encoded.stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GE(metrics::videoPsnr(master, *decoded), target);
+}
+
+TEST(HwEnc, BitrateFloorBindsOnTrivialContent)
+{
+    // Ask the hardware for far fewer bits than its floor on static
+    // content: the floor must clamp the request.
+    const video::Video v =
+        clip(160, 128, 6, video::ContentClass::Slideshow);
+    codec::RateControlConfig rc;
+    rc.mode = codec::RcMode::Abr;
+    rc.bitrate_bps = 1000;  // absurdly low
+    const HwEncodeResult result = hwEncode(qsvLikeSpec(), v, rc);
+    ASSERT_TRUE(codec::decode(result.encoded.stream).has_value());
+    // The produced stream reflects the clamped (floored) request, not
+    // the 1 kbps ask: well above it.
+    EXPECT_GT(result.encoded.totalBytes() * 8.0,
+              rc.bitrate_bps * v.duration() * 3);
+}
+
+TEST(HwEnc, HardwareCompressesWorseThanHighEffortSoftware)
+{
+    // The §5.3 trade: at matched quality the frozen hardware tool set
+    // needs more bits than a high-effort software encode.
+    const video::Video v = clip(192, 160, 6);
+
+    codec::EncoderConfig sw_cfg;
+    sw_cfg.rc.mode = codec::RcMode::Cqp;
+    sw_cfg.rc.qp = 30;
+    sw_cfg.effort = 7;
+    sw_cfg.gop = 30;
+    codec::Encoder sw(sw_cfg);
+    const codec::EncodeResult sw_result = sw.encode(v);
+    const auto sw_decoded = codec::decode(sw_result.stream);
+    ASSERT_TRUE(sw_decoded.has_value());
+    const double sw_psnr = metrics::videoPsnr(v, *sw_decoded);
+
+    const HwEncodeResult hw =
+        encodeAtQuality(nvencLikeSpec(), v, sw_psnr, 7);
+    EXPECT_GT(hw.encoded.totalBytes(), sw_result.totalBytes());
+}
+
+} // namespace
+} // namespace vbench::hwenc

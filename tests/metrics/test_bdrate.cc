@@ -1,0 +1,84 @@
+/**
+ * @file
+ * BD-rate metric tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/bdrate.h"
+
+namespace vbench::metrics {
+namespace {
+
+std::vector<RdPoint>
+curve(std::initializer_list<std::pair<double, double>> pts)
+{
+    std::vector<RdPoint> out;
+    for (auto [rate, psnr] : pts)
+        out.push_back({rate, psnr});
+    return out;
+}
+
+TEST(BdRate, IdenticalCurvesScoreZero)
+{
+    const auto c = curve({{0.5, 36}, {1.0, 40}, {2.0, 44}, {4.0, 47}});
+    EXPECT_NEAR(bdRate(c, c), 0.0, 1e-9);
+}
+
+TEST(BdRate, UniformlyHalvedBitrateIsMinusFiftyPercent)
+{
+    const auto anchor =
+        curve({{1.0, 36}, {2.0, 40}, {4.0, 44}, {8.0, 47}});
+    const auto test =
+        curve({{0.5, 36}, {1.0, 40}, {2.0, 44}, {4.0, 47}});
+    EXPECT_NEAR(bdRate(anchor, test), -0.5, 1e-6);
+}
+
+TEST(BdRate, UniformlyDoubledBitrateIsPlusHundredPercent)
+{
+    const auto anchor = curve({{1.0, 36}, {2.0, 40}, {4.0, 44}});
+    const auto test = curve({{2.0, 36}, {4.0, 40}, {8.0, 44}});
+    EXPECT_NEAR(bdRate(anchor, test), 1.0, 1e-6);
+}
+
+TEST(BdRate, AntisymmetricInLogDomain)
+{
+    const auto a = curve({{0.8, 35}, {1.7, 39}, {3.1, 43}, {6.5, 46}});
+    const auto b = curve({{0.6, 35}, {1.2, 39}, {2.6, 43}, {5.9, 46}});
+    const double ab = bdRate(a, b);
+    const double ba = bdRate(b, a);
+    // (1+ab)*(1+ba) == 1 when integration intervals match.
+    EXPECT_NEAR((1 + ab) * (1 + ba), 1.0, 1e-3);
+}
+
+TEST(BdRate, UsesOnlyOverlappingQualityRange)
+{
+    // The test curve only overlaps [40, 44]; points outside must not
+    // contribute.
+    const auto anchor = curve({{1.0, 36}, {2.0, 40}, {4.0, 44}});
+    const auto test = curve({{1.0, 40}, {2.0, 44}, {4.0, 48}});
+    const double bd = bdRate(anchor, test);
+    // Inside the overlap, test needs half the bits.
+    EXPECT_NEAR(bd, -0.5, 1e-6);
+}
+
+TEST(BdRate, DegenerateInputsScoreZero)
+{
+    const auto c = curve({{1.0, 36}, {2.0, 40}});
+    EXPECT_EQ(bdRate({}, c), 0.0);
+    EXPECT_EQ(bdRate(c, curve({{1.0, 36}})), 0.0);
+    // Disjoint quality ranges.
+    EXPECT_EQ(bdRate(curve({{1, 30}, {2, 33}}),
+                     curve({{1, 40}, {2, 44}})),
+              0.0);
+}
+
+TEST(BdRate, UnsortedInputHandled)
+{
+    const auto anchor = curve({{4.0, 44}, {1.0, 36}, {2.0, 40}});
+    const auto test = curve({{1.0, 40}, {0.5, 36}, {2.0, 44}});
+    EXPECT_NEAR(bdRate(anchor, test), -0.5, 1e-6);
+}
+
+} // namespace
+} // namespace vbench::metrics

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PSNR metric tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/psnr.h"
+#include "video/rng.h"
+#include "video/synth.h"
+
+namespace vbench::metrics {
+namespace {
+
+using video::Frame;
+using video::Plane;
+using video::Video;
+
+TEST(Psnr, IdenticalPlanesAreLossless)
+{
+    Plane a(16, 16, 100);
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(psnrFromMse(0.0), kLosslessPsnr);
+}
+
+TEST(Psnr, KnownMse)
+{
+    Plane a(4, 4, 100);
+    Plane b(4, 4, 110);  // every sample off by 10
+    EXPECT_DOUBLE_EQ(mse(a, b), 100.0);
+    EXPECT_NEAR(psnrFromMse(100.0), 10 * std::log10(255.0 * 255.0 / 100),
+                1e-9);
+    EXPECT_NEAR(psnrFromMse(100.0), 28.13, 0.01);
+}
+
+TEST(Psnr, FramePsnrWeightsAllPlanes)
+{
+    Frame ref(16, 16);
+    Frame test = ref;
+    // Corrupt only chroma: frame PSNR must drop below lossless.
+    test.u().fill(200);
+    const double p = framePsnr(ref, test);
+    EXPECT_LT(p, kLosslessPsnr);
+    // Identical luma alone isn't enough, but it keeps PSNR finite.
+    EXPECT_GT(p, 15.0);
+}
+
+TEST(Psnr, MoreNoiseMeansLowerPsnr)
+{
+    video::Rng rng(1);
+    Frame ref(32, 32);
+    Frame small = ref;
+    Frame large = ref;
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            small.y().at(x, y) = static_cast<uint8_t>(
+                ref.y().at(x, y) + rng.range(-2, 2));
+            large.y().at(x, y) = static_cast<uint8_t>(
+                ref.y().at(x, y) + rng.range(-20, 20));
+        }
+    }
+    EXPECT_GT(framePsnr(ref, small), framePsnr(ref, large));
+}
+
+TEST(Psnr, VideoPsnrAggregatesBeforeConversion)
+{
+    // One clean frame and one noisy frame: video PSNR must sit between
+    // the per-frame values and closer to the noisy one than a dB
+    // average would put it (MSE averaging, not dB averaging).
+    video::SynthParams p = video::presetFor(
+        video::ContentClass::Natural, 32, 32, 30.0, 2, 3);
+    Video ref = video::synthesize(p);
+    Video test = ref;
+    test.frame(1).y().fill(0);
+
+    const double f0 = framePsnr(ref.frame(0), test.frame(0));
+    const double f1 = framePsnr(ref.frame(1), test.frame(1));
+    const double v = videoPsnr(ref, test);
+    EXPECT_DOUBLE_EQ(f0, kLosslessPsnr);
+    // Halving the squared error is exactly +10*log10(2) dB.
+    EXPECT_NEAR(v, f1 + 10 * std::log10(2.0), 1e-6);
+}
+
+TEST(Psnr, SymmetricInArguments)
+{
+    video::SynthParams p = video::presetFor(
+        video::ContentClass::Noisy, 32, 32, 30.0, 1, 5);
+    video::SynthParams q = p;
+    q.seed = 6;
+    const Video a = video::synthesize(p);
+    const Video b = video::synthesize(q);
+    EXPECT_DOUBLE_EQ(videoPsnr(a, b), videoPsnr(b, a));
+}
+
+} // namespace
+} // namespace vbench::metrics

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Normalized bitrate/speed metric tests (paper §2.3 definitions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/rates.h"
+
+namespace vbench::metrics {
+namespace {
+
+TEST(Rates, BitsPerPixelPerSecond)
+{
+    // 1 MB over 30 frames of 1280x720 at 30 fps: duration 1 s,
+    // so bits / pixels-per-frame.
+    const double bpps =
+        bitsPerPixelPerSecond(1000000, 1280, 720, 30, 30.0);
+    EXPECT_NEAR(bpps, 8e6 / (1280.0 * 720.0), 1e-9);
+}
+
+TEST(Rates, BitrateIsDurationNormalized)
+{
+    // Same bytes spread over twice the frames (twice the duration)
+    // halves the rate.
+    const double one_sec = bitsPerPixelPerSecond(500000, 640, 480, 30, 30);
+    const double two_sec = bitsPerPixelPerSecond(500000, 640, 480, 60, 30);
+    EXPECT_NEAR(one_sec, 2 * two_sec, 1e-12);
+}
+
+TEST(Rates, MegapixelsPerSecond)
+{
+    // 60 frames of 1920x1080 in 2 seconds.
+    const double speed = megapixelsPerSecond(1920, 1080, 60, 2.0);
+    EXPECT_NEAR(speed, 1920.0 * 1080 * 60 / 2 / 1e6, 1e-9);
+    EXPECT_NEAR(speed, 62.2, 0.1);
+}
+
+TEST(Rates, OutputRateMatchesRealTimeRequirement)
+{
+    // A 720p30 output must be produced at >= 27.6 Mpixel/s to be live.
+    EXPECT_NEAR(outputMegapixelsPerSecond(1280, 720, 30), 27.648, 1e-3);
+    EXPECT_NEAR(outputMegapixelsPerSecond(3840, 2160, 60), 497.664, 1e-3);
+}
+
+} // namespace
+} // namespace vbench::metrics

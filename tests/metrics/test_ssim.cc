@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SSIM metric tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/ssim.h"
+#include "video/rng.h"
+#include "video/synth.h"
+
+namespace vbench::metrics {
+namespace {
+
+using video::Plane;
+
+Plane
+textured(int w, int h, uint64_t seed)
+{
+    video::Rng rng(seed);
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) =
+                static_cast<uint8_t>(128 + rng.range(-60, 60));
+    return p;
+}
+
+TEST(Ssim, IdenticalIsOne)
+{
+    const Plane p = textured(32, 32, 1);
+    EXPECT_NEAR(ssimPlane(p, p), 1.0, 1e-9);
+}
+
+TEST(Ssim, BoundedAboveByOne)
+{
+    const Plane a = textured(32, 32, 2);
+    const Plane b = textured(32, 32, 3);
+    EXPECT_LE(ssimPlane(a, b), 1.0);
+}
+
+TEST(Ssim, DegradesWithNoise)
+{
+    const Plane ref = textured(64, 64, 4);
+    video::Rng rng(5);
+    Plane mild(64, 64), harsh(64, 64);
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            mild.at(x, y) = static_cast<uint8_t>(
+                std::clamp<int>(ref.at(x, y) + rng.range(-4, 4), 0, 255));
+            harsh.at(x, y) = static_cast<uint8_t>(
+                std::clamp<int>(ref.at(x, y) + rng.range(-60, 60), 0,
+                                255));
+        }
+    }
+    EXPECT_GT(ssimPlane(ref, mild), ssimPlane(ref, harsh));
+    EXPECT_GT(ssimPlane(ref, mild), 0.8);
+}
+
+TEST(Ssim, ConstantOffsetBarelyHurtsStructure)
+{
+    // SSIM is less sensitive to a uniform luma shift than PSNR is.
+    const Plane ref = textured(64, 64, 7);
+    Plane shifted(64, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            shifted.at(x, y) = static_cast<uint8_t>(
+                std::clamp<int>(ref.at(x, y) + 10, 0, 255));
+    EXPECT_GT(ssimPlane(ref, shifted), 0.85);
+}
+
+TEST(Ssim, VideoAveragesFrames)
+{
+    video::SynthParams p = video::presetFor(
+        video::ContentClass::Natural, 32, 32, 30.0, 3, 8);
+    const video::Video ref = video::synthesize(p);
+    video::Video test = ref;
+    test.frame(2).y().fill(0);
+    const double v = videoSsim(ref, test);
+    EXPECT_LT(v, 1.0);
+    EXPECT_GT(v, 0.5);  // two of three frames are perfect
+}
+
+} // namespace
+} // namespace vbench::metrics

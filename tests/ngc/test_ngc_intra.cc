@@ -1,0 +1,108 @@
+/**
+ * @file
+ * NGC intra predictor tests (including the angular modes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ngc/ngc_intra.h"
+#include "video/rng.h"
+
+namespace vbench::ngc {
+namespace {
+
+using video::Plane;
+
+Plane
+gradientPlane(int w, int h)
+{
+    Plane p(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = static_cast<uint8_t>((x * 2 + y * 3) & 0xFF);
+    return p;
+}
+
+TEST(NgcIntra, AvailabilityRules)
+{
+    EXPECT_TRUE(ngcIntraAvailable(NgcIntraMode::Dc, 0, 0));
+    EXPECT_FALSE(ngcIntraAvailable(NgcIntraMode::DiagDownLeft, 8, 0));
+    EXPECT_TRUE(ngcIntraAvailable(NgcIntraMode::DiagDownLeft, 0, 8));
+    EXPECT_FALSE(ngcIntraAvailable(NgcIntraMode::DiagDownRight, 0, 8));
+    EXPECT_TRUE(ngcIntraAvailable(NgcIntraMode::DiagDownRight, 8, 8));
+    EXPECT_FALSE(ngcIntraAvailable(NgcIntraMode::TrueMotion, 8, 0));
+}
+
+TEST(NgcIntra, VerticalWorksAtAllSizes)
+{
+    const Plane p = gradientPlane(96, 96);
+    for (int n : {8, 16, 32}) {
+        std::vector<uint8_t> pred(n * n);
+        ngcIntraPredict(NgcIntraMode::Vertical, p, 32, 32, n,
+                        pred.data());
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                ASSERT_EQ(pred[r * n + c], p.at(32 + c, 31))
+                    << "size " << n;
+    }
+}
+
+TEST(NgcIntra, DiagDownLeftFollowsDiagonal)
+{
+    // With a top row that ramps linearly, DDL prediction at (r, c)
+    // equals the smoothed sample at column c + r + 1.
+    Plane p(64, 64, 0);
+    for (int x = 0; x < 64; ++x)
+        p.at(x, 15) = static_cast<uint8_t>(2 * x);
+    std::vector<uint8_t> pred(8 * 8);
+    ngcIntraPredict(NgcIntraMode::DiagDownLeft, p, 16, 16, 8, pred.data());
+    for (int r = 0; r < 7; ++r)
+        for (int c = 0; c < 7; ++c)
+            ASSERT_EQ(pred[r * 8 + c],
+                      static_cast<uint8_t>(2 * (16 + c + r + 1)));
+}
+
+TEST(NgcIntra, DiagDownRightPropagatesCorner)
+{
+    // Distinct corner, top, and left values: the main diagonal of the
+    // prediction takes its value from the corner neighborhood.
+    Plane p(64, 64, 0);
+    for (int x = 0; x < 64; ++x)
+        p.at(x, 15) = 200;
+    for (int y = 0; y < 64; ++y)
+        p.at(15, y) = 100;
+    p.at(15, 15) = 150;
+    std::vector<uint8_t> pred(8 * 8);
+    ngcIntraPredict(NgcIntraMode::DiagDownRight, p, 16, 16, 8,
+                    pred.data());
+    // d == 0 smooths (top(16,15)=200, corner=150, left(15,16)=100).
+    EXPECT_EQ(pred[0], (200 + 2 * 150 + 100 + 2) >> 2);
+    // Deeper along the diagonal the same value propagates.
+    EXPECT_EQ(pred[9 * 1], pred[0]);   // (1,1)
+    EXPECT_EQ(pred[9 * 5], pred[0]);   // (5,5)
+}
+
+TEST(NgcIntra, TrueMotionReproducesLinearRamp)
+{
+    Plane p(64, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            p.at(x, y) = static_cast<uint8_t>(5 + 2 * x + 3 * y);
+    std::vector<uint8_t> pred(16 * 16);
+    ngcIntraPredict(NgcIntraMode::TrueMotion, p, 16, 16, 16, pred.data());
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            ASSERT_EQ(pred[r * 16 + c], p.at(16 + c, 16 + r));
+}
+
+TEST(NgcIntra, DcNoNeighborsIsMidGray)
+{
+    Plane p(32, 32, 9);
+    std::vector<uint8_t> pred(8 * 8);
+    ngcIntraPredict(NgcIntraMode::Dc, p, 0, 0, 8, pred.data());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(pred[i], 128);
+}
+
+} // namespace
+} // namespace vbench::ngc

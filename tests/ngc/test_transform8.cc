@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Hierarchical 8x8 transform tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ngc/transform8.h"
+#include "video/rng.h"
+
+namespace vbench::ngc {
+namespace {
+
+void
+pipeline(const int16_t in[64], int16_t out[64], int qp, bool intra)
+{
+    int16_t dc[4];
+    int16_t ac[64];
+    forwardTransform8x8(in, dc, ac, qp, intra);
+    inverseTransform8x8(dc, ac, qp, out);
+}
+
+TEST(Transform8, ZeroStaysZero)
+{
+    int16_t in[64] = {};
+    int16_t out[64];
+    pipeline(in, out, 26, false);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], 0);
+}
+
+TEST(Transform8, FlatBlockSurvivesLowQp)
+{
+    int16_t in[64];
+    for (auto &v : in)
+        v = 120;
+    int16_t out[64];
+    pipeline(in, out, 8, false);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NEAR(out[i], 120, 4);
+}
+
+TEST(Transform8, RandomRoundTripBounded)
+{
+    video::Rng rng(3);
+    for (int qp : {0, 12, 24, 36}) {
+        const double step = std::pow(2.0, (qp - 4) / 6.0);
+        for (int t = 0; t < 50; ++t) {
+            int16_t in[64], out[64];
+            for (auto &v : in)
+                v = static_cast<int16_t>(rng.range(-255, 255));
+            pipeline(in, out, qp, t % 2 == 0);
+            for (int i = 0; i < 64; ++i)
+                ASSERT_LE(std::abs(in[i] - out[i]), 3.0 * step + 6.0)
+                    << "qp " << qp;
+        }
+    }
+}
+
+TEST(Transform8, ErrorGrowsWithQp)
+{
+    video::Rng rng(5);
+    double prev = -1;
+    for (int qp : {4, 16, 28, 40}) {
+        double err = 0;
+        for (int t = 0; t < 100; ++t) {
+            int16_t in[64], out[64];
+            for (auto &v : in)
+                v = static_cast<int16_t>(rng.range(-200, 200));
+            pipeline(in, out, qp, false);
+            for (int i = 0; i < 64; ++i)
+                err += std::abs(in[i] - out[i]);
+        }
+        EXPECT_GT(err, prev) << "qp " << qp;
+        prev = err;
+    }
+}
+
+TEST(Transform8, AcPositionZeroIsStructurallyZero)
+{
+    video::Rng rng(7);
+    int16_t in[64];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-255, 255));
+    int16_t dc[4];
+    int16_t ac[64];
+    forwardTransform8x8(in, dc, ac, 16, true);
+    for (int sb = 0; sb < 4; ++sb)
+        EXPECT_EQ(ac[sb * 16], 0);
+}
+
+TEST(Transform8, SmoothGradientCompactsIntoDc)
+{
+    // A smooth ramp across the whole 8x8 block should concentrate its
+    // energy in the hierarchical DC levels, which is the entire point
+    // of the second-level transform.
+    int16_t in[64];
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            in[r * 8 + c] = static_cast<int16_t>(40 + 3 * c + 2 * r);
+    int16_t dc[4];
+    int16_t ac[64];
+    const int total = forwardTransform8x8(in, dc, ac, 24, false);
+    int dc_nonzero = 0;
+    for (int i = 0; i < 4; ++i)
+        dc_nonzero += dc[i] != 0;
+    int ac_nonzero = total - dc_nonzero;
+    EXPECT_GT(dc_nonzero, 0);
+    // Each 4x4 sub-block keeps its two first-order slope coefficients;
+    // everything else must fold into the DC transform.
+    EXPECT_LE(ac_nonzero, 8);
+}
+
+TEST(Transform8, NonzeroCountMatchesLevels)
+{
+    video::Rng rng(9);
+    int16_t in[64];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-128, 128));
+    int16_t dc[4];
+    int16_t ac[64];
+    const int reported = forwardTransform8x8(in, dc, ac, 20, false);
+    int counted = 0;
+    for (int i = 0; i < 4; ++i)
+        counted += dc[i] != 0;
+    for (int i = 0; i < 64; ++i)
+        counted += ac[i] != 0;
+    EXPECT_EQ(reported, counted);
+}
+
+} // namespace
+} // namespace vbench::ngc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parameterized QP sweep for the hierarchical 8x8 transform, mirroring
+ * the 4x4 sweep in tests/codec/test_transform.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ngc/transform8.h"
+#include "video/rng.h"
+
+namespace vbench::ngc {
+namespace {
+
+class Transform8QpSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Transform8QpSweep, PipelineBoundedError)
+{
+    const int qp = GetParam();
+    video::Rng rng(5000 + qp);
+    const double step = std::pow(2.0, (qp - 4) / 6.0);
+    for (int t = 0; t < 40; ++t) {
+        int16_t in[64], out[64];
+        for (auto &v : in)
+            v = static_cast<int16_t>(rng.range(-255, 255));
+        int16_t dc[4];
+        int16_t ac[64];
+        forwardTransform8x8(in, dc, ac, qp, t % 2 == 0);
+        inverseTransform8x8(dc, ac, qp, out);
+        // The two-level transform adds the Hadamard stage's rounding
+        // to the 4x4 bound.
+        for (int i = 0; i < 64; ++i)
+            ASSERT_LE(std::abs(in[i] - out[i]), 3.0 * step + 6.0)
+                << "qp " << qp << " pos " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQps, Transform8QpSweep,
+                         ::testing::Range(0, 52, 4));
+
+class Transform8SparsitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Transform8SparsitySweep, HigherQpNeverIncreasesNonzeros)
+{
+    // Coefficient counts must fall monotonically with QP for any
+    // fixed residual: the rate-control QP model depends on it.
+    const int seed = GetParam();
+    video::Rng rng(seed);
+    int16_t in[64];
+    for (auto &v : in)
+        v = static_cast<int16_t>(rng.range(-200, 200));
+    int prev = 1000;
+    for (int qp = 4; qp <= 48; qp += 4) {
+        int16_t dc[4];
+        int16_t ac[64];
+        const int nz = forwardTransform8x8(in, dc, ac, qp, false);
+        EXPECT_LE(nz, prev) << "seed " << seed << " qp " << qp;
+        prev = nz;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Transform8SparsitySweep,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace vbench::ngc

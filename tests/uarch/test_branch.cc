@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Branch predictor model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/branch.h"
+#include "video/rng.h"
+
+namespace vbench::uarch {
+namespace {
+
+double
+mispredictRate(BranchPredictor &bp)
+{
+    return static_cast<double>(bp.mispredicts()) /
+        static_cast<double>(bp.lookups());
+}
+
+TEST(Bimodal, LearnsAlwaysTaken)
+{
+    BimodalPredictor bp;
+    for (int i = 0; i < 1000; ++i)
+        bp.predict(0x400, true);
+    EXPECT_LT(mispredictRate(bp), 0.01);
+}
+
+TEST(Bimodal, RandomOutcomesNearFiftyPercent)
+{
+    BimodalPredictor bp;
+    video::Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        bp.predict(0x400, rng.below(2) == 1);
+    EXPECT_NEAR(mispredictRate(bp), 0.5, 0.05);
+}
+
+TEST(Gshare, LearnsShortLoopPattern)
+{
+    // Loop of trip count 4: pattern T T T N. History-based
+    // prediction learns it almost perfectly; bimodal cannot.
+    GsharePredictor gshare;
+    BimodalPredictor bimodal;
+    for (int i = 0; i < 40000; ++i) {
+        const bool taken = (i % 4) != 3;
+        gshare.predict(0x400, taken);
+        bimodal.predict(0x400, taken);
+    }
+    EXPECT_LT(mispredictRate(gshare), 0.02);
+    EXPECT_GT(mispredictRate(bimodal), 0.15);
+}
+
+TEST(Gshare, DistinguishesBranchesByPc)
+{
+    GsharePredictor bp;
+    for (int i = 0; i < 10000; ++i) {
+        bp.predict(0x100, true);
+        bp.predict(0x200, false);
+    }
+    EXPECT_LT(mispredictRate(bp), 0.02);
+}
+
+TEST(Gshare, RandomOutcomesStayHard)
+{
+    GsharePredictor bp;
+    video::Rng rng(9);
+    for (int i = 0; i < 20000; ++i)
+        bp.predict(0x400, rng.below(2) == 1);
+    EXPECT_GT(mispredictRate(bp), 0.4);
+}
+
+TEST(Gshare, BiasedStreamBeatsCoinFlip)
+{
+    GsharePredictor bp;
+    video::Rng rng(10);
+    for (int i = 0; i < 20000; ++i)
+        bp.predict(0x400, rng.below(100) < 85);
+    EXPECT_LT(mispredictRate(bp), 0.30);
+}
+
+TEST(Predictor, StatsReset)
+{
+    GsharePredictor bp;
+    bp.predict(0x1, true);
+    bp.predict(0x1, true);
+    bp.resetStats();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+}
+
+} // namespace
+} // namespace vbench::uarch

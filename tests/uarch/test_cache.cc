@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cache model tests against hand-traced sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.h"
+
+namespace vbench::uarch {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel cache({1024, 2, 64});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1030));  // same line
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    CacheModel cache({32 * 1024, 8, 64});
+    EXPECT_EQ(cache.numSets(), 64);
+    EXPECT_EQ(cache.ways(), 8);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 8 sets of 64B lines => addresses 0, 1024, 2048 map to
+    // set 0 (line address mod 8).
+    CacheModel cache({1024, 2, 64});
+    cache.access(0);        // miss, set 0 way 0
+    cache.access(512);      // miss, set 0 way 1 (line 8 -> set 0)
+    cache.access(0);        // hit: 0 becomes MRU
+    cache.access(1024);     // miss: evicts 512 (LRU)
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(512));  // was evicted
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    CacheModel cache({4096, 4, 64});  // 64 lines
+    // Stream 128 distinct lines twice: no reuse survives.
+    for (int pass = 0; pass < 2; ++pass)
+        for (int line = 0; line < 128; ++line)
+            cache.access(static_cast<uint64_t>(line) * 64);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 256u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHitsOnSecondPass)
+{
+    CacheModel cache({4096, 4, 64});
+    for (int pass = 0; pass < 2; ++pass)
+        for (int line = 0; line < 32; ++line)
+            cache.access(static_cast<uint64_t>(line) * 64);
+    EXPECT_EQ(cache.misses(), 32u);
+    EXPECT_EQ(cache.hits(), 32u);
+}
+
+TEST(Cache, AccessRangeTouchesEveryLine)
+{
+    CacheModel cache({8192, 8, 64});
+    cache.accessRange(100, 300);  // spans lines 1..6 inclusive
+    EXPECT_EQ(cache.accesses(), 6u);
+}
+
+TEST(Cache, FlushInvalidatesContents)
+{
+    CacheModel cache({1024, 2, 64});
+    cache.access(0);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Hierarchy, MissPathFillsAllLevels)
+{
+    CacheHierarchy h;
+    h.touch(0x5000, 64);
+    EXPECT_EQ(h.l1d().misses(), 1u);
+    EXPECT_EQ(h.l2().misses(), 1u);
+    EXPECT_EQ(h.l3().misses(), 1u);
+    // Second touch hits in L1D; lower levels see nothing.
+    h.touch(0x5000, 64);
+    EXPECT_EQ(h.l1d().hits(), 1u);
+    EXPECT_EQ(h.l2().accesses(), 1u);
+}
+
+TEST(Hierarchy, InstructionAndDataPathsAreSeparateAtL1)
+{
+    CacheHierarchy h;
+    h.fetch(0x8000, 64);
+    h.touch(0x8000, 64);
+    EXPECT_EQ(h.l1i().misses(), 1u);
+    EXPECT_EQ(h.l1d().misses(), 1u);
+    // Both L1 misses went to L2: second one hits there.
+    EXPECT_EQ(h.l2().misses(), 1u);
+    EXPECT_EQ(h.l2().hits(), 1u);
+}
+
+TEST(Hierarchy, L1EvictionStillHitsInL2)
+{
+    CacheHierarchy::Config cfg;
+    cfg.l1d = {1024, 2, 64};  // tiny L1D: 16 lines
+    CacheHierarchy h(cfg);
+    for (int line = 0; line < 64; ++line)
+        h.touch(static_cast<uint64_t>(line) * 64, 1);
+    h.resetStats();
+    for (int line = 0; line < 64; ++line)
+        h.touch(static_cast<uint64_t>(line) * 64, 1);
+    EXPECT_GT(h.l1d().misses(), 0u);   // thrashes tiny L1
+    EXPECT_EQ(h.l2().misses(), 0u);    // but L2 kept everything
+    EXPECT_GT(h.l2().hits(), 0u);
+}
+
+} // namespace
+} // namespace vbench::uarch

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SIMD/ISA dispatch model tests (the Fig. 7-8 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/simd.h"
+
+namespace vbench::uarch {
+namespace {
+
+KernelWork
+sampleWork()
+{
+    KernelWork work;
+    work[KernelId::Sad] = 1000;
+    work[KernelId::TransformFwd] = 4000;
+    work[KernelId::Quant] = 4000;
+    work[KernelId::EntropyVlc] = 20000;
+    work[KernelId::Dispatch] = 500;
+    work[KernelId::MotionSearchCtl] = 8000;
+    return work;
+}
+
+TEST(Simd, ScalarBaselineHasNoVectorInstructions)
+{
+    const InstrCounts counts =
+        instructionCount(sampleWork(), IsaLevel::Scalar);
+    EXPECT_EQ(counts.vector, 0);
+    EXPECT_GT(counts.scalar, 0);
+}
+
+TEST(Simd, WiderIsaReducesVectorInstructionCount)
+{
+    const KernelWork work = sampleWork();
+    double prev = 1e30;
+    for (IsaLevel level : {IsaLevel::SSE, IsaLevel::SSE2, IsaLevel::SSE4,
+                           IsaLevel::AVX2}) {
+        const InstrCounts counts = instructionCount(work, level);
+        EXPECT_LT(counts.vector, prev) << isaName(level);
+        prev = counts.vector;
+    }
+}
+
+TEST(Simd, ScalarInstructionCountInvariantToIsa)
+{
+    const KernelWork work = sampleWork();
+    const double base = instructionCount(work, IsaLevel::SSE2).scalar;
+    EXPECT_DOUBLE_EQ(instructionCount(work, IsaLevel::AVX2).scalar, base);
+    EXPECT_DOUBLE_EQ(instructionCount(work, IsaLevel::SSE4).scalar, base);
+}
+
+TEST(Simd, Sse2IsTheBigIntegerJump)
+{
+    // SSE -> SSE2 must shrink total cycles more than SSE2 -> SSE3
+    // (128-bit integer ops arrive with SSE2).
+    const KernelWork work = sampleWork();
+    const double sse = simdCycles(work, IsaLevel::SSE).total();
+    const double sse2 = simdCycles(work, IsaLevel::SSE2).total();
+    const double sse3 = simdCycles(work, IsaLevel::SSE3).total();
+    EXPECT_GT(sse - sse2, sse2 - sse3);
+    EXPECT_LT(sse2, sse);
+    EXPECT_LE(sse3, sse2);
+}
+
+TEST(Simd, WidthCapLimitsAvx2Benefit)
+{
+    // A 128-bit-capped kernel gains nothing from AVX2 over AVX and is
+    // attributed to the AVX bucket on an AVX2 machine.
+    EXPECT_DOUBLE_EQ(elementsPerVectorInstr(IsaLevel::AVX2, 128),
+                     elementsPerVectorInstr(IsaLevel::AVX, 128));
+    EXPECT_GT(elementsPerVectorInstr(IsaLevel::AVX2, 256),
+              elementsPerVectorInstr(IsaLevel::AVX, 256));
+    EXPECT_EQ(encodingBucket(IsaLevel::AVX2, 128), IsaLevel::AVX);
+    EXPECT_EQ(encodingBucket(IsaLevel::AVX2, 256), IsaLevel::AVX2);
+    EXPECT_EQ(encodingBucket(IsaLevel::SSE2, 128), IsaLevel::SSE2);
+}
+
+TEST(Simd, EntropyKernelsNeverVectorize)
+{
+    KernelWork work;
+    work[KernelId::EntropyArith] = 10000;
+    const CycleBreakdown cycles = simdCycles(work, IsaLevel::AVX2);
+    EXPECT_DOUBLE_EQ(cycles.total(),
+                     cycles.cycles[static_cast<int>(IsaLevel::Scalar)]);
+}
+
+TEST(Simd, CycleBucketsSumToTotal)
+{
+    const CycleBreakdown b = simdCycles(sampleWork(), IsaLevel::AVX2);
+    double sum = 0;
+    for (int i = 0; i < kNumIsaLevels; ++i)
+        sum += b.cycles[i];
+    EXPECT_DOUBLE_EQ(sum, b.total());
+    EXPECT_NEAR(b.fraction(IsaLevel::Scalar) +
+                    b.fraction(IsaLevel::AVX) +
+                    b.fraction(IsaLevel::AVX2) +
+                    b.fraction(IsaLevel::SSE) + b.fraction(IsaLevel::SSE2) +
+                    b.fraction(IsaLevel::SSE3) + b.fraction(IsaLevel::SSE4),
+                1.0, 1e-9);
+}
+
+TEST(Simd, KernelTableIsConsistent)
+{
+    // Footprints must tile the text segment without overlap.
+    uint32_t expected_base = 0;
+    for (int k = 0; k < kNumKernels; ++k) {
+        const KernelModel &m = kernelModel(static_cast<KernelId>(k));
+        EXPECT_EQ(m.code_base, expected_base) << kernelName(m.id);
+        EXPECT_GT(m.code_size, 0u);
+        expected_base += m.code_size;
+    }
+    EXPECT_EQ(textSegmentSize(), expected_base);
+    // The full tool set must exceed a 32 KiB L1I.
+    EXPECT_GT(textSegmentSize(), 64u * 1024);
+}
+
+TEST(Simd, IsaNames)
+{
+    EXPECT_STREQ(isaName(IsaLevel::Scalar), "scalar");
+    EXPECT_STREQ(isaName(IsaLevel::AVX2), "avx2");
+}
+
+} // namespace
+} // namespace vbench::uarch

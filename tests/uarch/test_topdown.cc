@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Top-Down cycle accounting tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/topdown.h"
+
+namespace vbench::uarch {
+namespace {
+
+TopDownInputs
+cleanRun()
+{
+    TopDownInputs in;
+    in.instructions = 1e9;
+    in.vector_instructions = 1e8;
+    in.l1i_misses = 1e6;
+    in.branch_mispredicts = 2e6;
+    in.l1d_misses = 5e6;
+    in.l2_misses = 1e6;
+    in.l3_misses = 2e5;
+    return in;
+}
+
+TEST(TopDown, FractionsSumToOne)
+{
+    const TopDownBreakdown b = topDown(cleanRun());
+    EXPECT_NEAR(b.total(), 1.0, 1e-12);
+    EXPECT_GT(b.retiring, 0);
+    EXPECT_GT(b.frontend, 0);
+}
+
+TEST(TopDown, ZeroInstructionsDegradesGracefully)
+{
+    const TopDownBreakdown b = topDown(TopDownInputs{});
+    EXPECT_DOUBLE_EQ(b.retiring, 1.0);
+}
+
+TEST(TopDown, MoreIcacheMissesRaiseFrontend)
+{
+    TopDownInputs a = cleanRun();
+    TopDownInputs b = cleanRun();
+    b.l1i_misses *= 10;
+    EXPECT_GT(topDown(b).frontend, topDown(a).frontend);
+}
+
+TEST(TopDown, MoreMispredictsRaiseBadSpeculation)
+{
+    TopDownInputs a = cleanRun();
+    TopDownInputs b = cleanRun();
+    b.branch_mispredicts *= 10;
+    EXPECT_GT(topDown(b).bad_speculation, topDown(a).bad_speculation);
+}
+
+TEST(TopDown, MoreLlcMissesRaiseMemoryBound)
+{
+    TopDownInputs a = cleanRun();
+    TopDownInputs b = cleanRun();
+    b.l3_misses *= 20;
+    EXPECT_GT(topDown(b).backend_memory, topDown(a).backend_memory);
+    // And the retiring share shrinks correspondingly.
+    EXPECT_LT(topDown(b).retiring, topDown(a).retiring);
+}
+
+TEST(TopDown, ModeledCyclesMatchBreakdownNormalization)
+{
+    const TopDownInputs in = cleanRun();
+    const TopDownBreakdown b = topDown(in);
+    const double cycles = modeledCycles(in);
+    // retiring fraction x total cycles = ideal retire cycles.
+    EXPECT_NEAR(b.retiring * cycles,
+                in.instructions / TopDownParams{}.issue_width,
+                cycles * 1e-9);
+}
+
+TEST(TopDown, ModeledCyclesRespondToMachineParameters)
+{
+    const TopDownInputs in = cleanRun();
+    TopDownParams slow;
+    slow.dram_latency = 400;
+    TopDownParams wide;
+    wide.issue_width = 8;
+    EXPECT_GT(modeledCycles(in, slow), modeledCycles(in));
+    EXPECT_LT(modeledCycles(in, wide), modeledCycles(in));
+}
+
+TEST(TopDown, PerfectRunIsRetireDominated)
+{
+    TopDownInputs in;
+    in.instructions = 1e9;
+    const TopDownBreakdown b = topDown(in);
+    EXPECT_GT(b.retiring, 0.6);
+}
+
+TEST(TopDown, DefaultsLandNearPaperProfile)
+{
+    // With event rates typical of our instrumented VOD transcodes
+    // (see bench_fig6_topdown) the calibrated defaults should land in
+    // the paper's bands: FE ~15%, BAD ~10%, Mem ~15%, Core+RET ~60%.
+    TopDownInputs in;
+    in.instructions = 1e9;
+    in.vector_instructions = 1.2e8;
+    in.l1i_misses = 3.0e6;      // ~3 MPKI
+    in.branch_mispredicts = 2.5e6;
+    in.l1d_misses = 12e6;
+    in.l2_misses = 4e6;
+    in.l3_misses = 1.2e6;
+    const TopDownBreakdown b = topDown(in);
+    EXPECT_NEAR(b.frontend, 0.15, 0.08);
+    EXPECT_NEAR(b.bad_speculation, 0.10, 0.06);
+    EXPECT_NEAR(b.backend_memory, 0.15, 0.09);
+    EXPECT_GT(b.backend_core + b.retiring, 0.45);
+}
+
+} // namespace
+} // namespace vbench::uarch

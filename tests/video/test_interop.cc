@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cross-module interop: Y4M round trips composed with the codecs (the
+ * path an external user takes to feed real clips into the benchmark).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "metrics/psnr.h"
+#include "ngc/ngc_decoder.h"
+#include "ngc/ngc_encoder.h"
+#include "video/synth.h"
+#include "video/y4m.h"
+
+namespace vbench::video {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Interop, Y4mThenEncodeMatchesDirectEncode)
+{
+    // Writing a clip to Y4M and reading it back must not change a
+    // single bit of the encode (Y4M is lossless).
+    const Video original = synthesize(
+        presetFor(ContentClass::Natural, 96, 80, 30.0, 4, 2024), "io");
+    const std::string path = tempPath("interop.y4m");
+    ASSERT_TRUE(writeY4m(original, path));
+    const Video loaded = readY4m(path);
+    ASSERT_FALSE(loaded.empty());
+
+    codec::EncoderConfig cfg;
+    cfg.rc.mode = codec::RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.effort = 4;
+    EXPECT_EQ(codec::Encoder(cfg).encode(original).stream,
+              codec::Encoder(cfg).encode(loaded).stream);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, DecodedOutputSurvivesY4mRoundTrip)
+{
+    const Video original = synthesize(
+        presetFor(ContentClass::Gaming, 96, 80, 30.0, 4, 2025), "io2");
+    codec::EncoderConfig cfg;
+    cfg.rc.mode = codec::RcMode::Cqp;
+    cfg.rc.qp = 24;
+    cfg.effort = 3;
+    const auto decoded =
+        codec::decode(codec::Encoder(cfg).encode(original).stream);
+    ASSERT_TRUE(decoded.has_value());
+
+    const std::string path = tempPath("decoded.y4m");
+    ASSERT_TRUE(writeY4m(*decoded, path));
+    const Video loaded = readY4m(path);
+    ASSERT_FALSE(loaded.empty());
+    for (int i = 0; i < decoded->frameCount(); ++i)
+        ASSERT_TRUE(loaded.frame(i) == decoded->frame(i));
+    std::remove(path.c_str());
+}
+
+TEST(Interop, NgcHandlesSub32Dimensions)
+{
+    // Frames smaller than one superblock exercise the padding and
+    // cropping corners of the quadtree codec.
+    const Video tiny = synthesize(
+        presetFor(ContentClass::Natural, 24, 20, 30.0, 3, 2026), "tiny");
+    ngc::NgcConfig cfg;
+    cfg.rc.mode = codec::RcMode::Cqp;
+    cfg.rc.qp = 20;
+    cfg.speed = 0;
+    ngc::NgcEncoder encoder(cfg);
+    const auto decoded = ngc::ngcDecode(encoder.encode(tiny).stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->width(), 24);
+    EXPECT_EQ(decoded->height(), 20);
+    EXPECT_GT(metrics::videoPsnr(tiny, *decoded), 32.0);
+}
+
+TEST(Interop, NgcDeepSplitPathRoundTrips)
+{
+    // Noisy high-detail content at slow speed forces quadtree splits
+    // down to 8x8 CUs, covering the CU8 chroma-4x4 transform path.
+    SynthParams p = presetFor(ContentClass::Noisy, 64, 64, 30.0, 3,
+                              2027, 1.2);
+    const Video clip = synthesize(p, "deep");
+    ngc::NgcConfig cfg;
+    cfg.rc.mode = codec::RcMode::Cqp;
+    cfg.rc.qp = 16;
+    cfg.speed = 0;
+    ngc::NgcEncoder encoder(cfg);
+    const auto decoded = ngc::ngcDecode(encoder.encode(clip).stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *decoded), 34.0);
+}
+
+TEST(Interop, BothCodecsAgreeOnSourcePixels)
+{
+    // Sanity across the whole stack: at fine quantizers both codecs
+    // converge to the source.
+    const Video clip = synthesize(
+        presetFor(ContentClass::Animation, 96, 96, 30.0, 3, 2028), "agree");
+
+    codec::EncoderConfig vcfg;
+    vcfg.rc.mode = codec::RcMode::Cqp;
+    vcfg.rc.qp = 6;
+    vcfg.effort = 5;
+    const auto vbc = codec::decode(codec::Encoder(vcfg).encode(clip).stream);
+
+    ngc::NgcConfig ncfg;
+    ncfg.rc.mode = codec::RcMode::Cqp;
+    ncfg.rc.qp = 6;
+    ncfg.speed = 1;
+    const auto ngcv = ngc::ngcDecode(ngc::NgcEncoder(ncfg).encode(clip).stream);
+
+    ASSERT_TRUE(vbc.has_value() && ngcv.has_value());
+    EXPECT_GT(metrics::videoPsnr(clip, *vbc), 44.0);
+    EXPECT_GT(metrics::videoPsnr(clip, *ngcv), 44.0);
+    EXPECT_GT(metrics::videoPsnr(*vbc, *ngcv), 40.0);
+}
+
+} // namespace
+} // namespace vbench::video

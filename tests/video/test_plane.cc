@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Plane / Frame / Video container tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "video/frame.h"
+#include "video/plane.h"
+#include "video/video.h"
+
+namespace vbench::video {
+namespace {
+
+TEST(Plane, ConstructionAndFill)
+{
+    Plane p(8, 4, 42);
+    EXPECT_EQ(p.width(), 8);
+    EXPECT_EQ(p.height(), 4);
+    EXPECT_EQ(p.size(), 32u);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 8; ++x)
+            EXPECT_EQ(p.at(x, y), 42);
+    p.fill(7);
+    EXPECT_EQ(p.at(3, 2), 7);
+}
+
+TEST(Plane, ClampedAccessReplicatesBorder)
+{
+    Plane p(4, 4);
+    p.at(0, 0) = 1;
+    p.at(3, 0) = 2;
+    p.at(0, 3) = 3;
+    p.at(3, 3) = 4;
+    EXPECT_EQ(p.atClamped(-5, -5), 1);
+    EXPECT_EQ(p.atClamped(10, -1), 2);
+    EXPECT_EQ(p.atClamped(-1, 10), 3);
+    EXPECT_EQ(p.atClamped(9, 9), 4);
+}
+
+TEST(Plane, RowPointersAreContiguous)
+{
+    Plane p(16, 3);
+    EXPECT_EQ(p.row(1), p.data() + 16);
+    EXPECT_EQ(p.row(2), p.data() + 32);
+}
+
+TEST(Plane, EqualityIsDeep)
+{
+    Plane a(4, 4, 9);
+    Plane b(4, 4, 9);
+    EXPECT_TRUE(a == b);
+    b.at(2, 2) = 10;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Frame, ChromaIsHalfResolution)
+{
+    Frame f(64, 48);
+    EXPECT_EQ(f.y().width(), 64);
+    EXPECT_EQ(f.u().width(), 32);
+    EXPECT_EQ(f.v().height(), 24);
+    EXPECT_EQ(f.sampleCount(), 64u * 48 + 2u * 32 * 24);
+    EXPECT_EQ(f.pixelCount(), 64u * 48);
+}
+
+TEST(Frame, DefaultIsBlackWithNeutralChroma)
+{
+    Frame f(16, 16);
+    EXPECT_EQ(f.y().at(0, 0), 16);
+    EXPECT_EQ(f.u().at(0, 0), 128);
+    EXPECT_EQ(f.v().at(0, 0), 128);
+}
+
+TEST(Frame, PlaneAccessorById)
+{
+    Frame f(16, 16);
+    f.plane(PlaneId::U).at(1, 1) = 77;
+    EXPECT_EQ(f.u().at(1, 1), 77);
+}
+
+TEST(Video, TimingDerivedQuantities)
+{
+    Video v(1280, 720, 25.0, "clip");
+    for (int i = 0; i < 50; ++i)
+        v.append(Frame(1280, 720));
+    EXPECT_EQ(v.frameCount(), 50);
+    EXPECT_DOUBLE_EQ(v.duration(), 2.0);
+    EXPECT_EQ(v.pixelsPerFrame(), 1280u * 720);
+    EXPECT_EQ(v.totalPixels(), 50u * 1280 * 720);
+    EXPECT_EQ(v.kpixels(), 922);
+    EXPECT_EQ(v.name(), "clip");
+}
+
+TEST(Video, KpixelsMatchesPaperCategories)
+{
+    EXPECT_EQ(Video(854, 480, 30).kpixels(), 410);
+    EXPECT_EQ(Video(1920, 1080, 30).kpixels(), 2074);
+    EXPECT_EQ(Video(3840, 2160, 30).kpixels(), 8294);
+}
+
+} // namespace
+} // namespace vbench::video

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * vbench suite (Table 2) and comparison dataset descriptor tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "video/suite.h"
+
+namespace vbench::video {
+namespace {
+
+TEST(Suite, HasFifteenVideos)
+{
+    EXPECT_EQ(vbenchSuite().size(), 15u);
+}
+
+TEST(Suite, Table2NamesAndEntropies)
+{
+    const auto &suite = vbenchSuite();
+    auto find = [&](const std::string &name) -> const ClipSpec & {
+        for (const auto &s : suite)
+            if (s.name == name)
+                return s;
+        static ClipSpec missing;
+        ADD_FAILURE() << "missing clip " << name;
+        return missing;
+    };
+    EXPECT_DOUBLE_EQ(find("cat").target_entropy, 6.8);
+    EXPECT_DOUBLE_EQ(find("desktop").target_entropy, 0.2);
+    EXPECT_DOUBLE_EQ(find("presentation").target_entropy, 0.2);
+    EXPECT_DOUBLE_EQ(find("hall").target_entropy, 7.7);
+    EXPECT_DOUBLE_EQ(find("chicken").target_entropy, 5.9);
+    EXPECT_EQ(find("chicken").width, 3840);
+    EXPECT_EQ(find("cat").kpixels(), 410);
+    EXPECT_EQ(find("presentation").kpixels(), 2074);
+}
+
+TEST(Suite, CoversFourResolutions)
+{
+    std::set<int> resolutions;
+    for (const auto &s : vbenchSuite())
+        resolutions.insert(s.width * s.height);
+    EXPECT_EQ(resolutions.size(), 4u);
+}
+
+TEST(Suite, CoversWideEntropyRange)
+{
+    double lo = 1e9, hi = 0;
+    for (const auto &s : vbenchSuite()) {
+        lo = std::min(lo, s.target_entropy);
+        hi = std::max(hi, s.target_entropy);
+    }
+    EXPECT_LE(lo, 0.2);
+    EXPECT_GE(hi, 7.0);
+}
+
+TEST(Suite, NetflixIsAllHdHighEntropy)
+{
+    for (const auto &s : netflixSuite()) {
+        EXPECT_EQ(s.width, 1920) << s.name;
+        EXPECT_EQ(s.height, 1080) << s.name;
+        EXPECT_GE(s.target_entropy, 1.0) << s.name;
+    }
+}
+
+TEST(Suite, XiphIsHighEntropyOnly)
+{
+    for (const auto &s : xiphSuite())
+        EXPECT_GE(s.target_entropy, 1.0) << s.name;
+}
+
+TEST(Suite, SpecIsTwoNearIdenticalAnimations)
+{
+    const auto &spec = specSuite();
+    ASSERT_EQ(spec.size(), 2u);
+    EXPECT_EQ(spec[0].content, ContentClass::Animation);
+    EXPECT_EQ(spec[1].content, ContentClass::Animation);
+    EXPECT_LT(std::abs(spec[0].target_entropy - spec[1].target_entropy),
+              0.5);
+}
+
+TEST(Suite, UniqueSeedsAndNames)
+{
+    std::set<uint64_t> seeds;
+    std::set<std::string> names;
+    for (const auto *suite :
+         {&vbenchSuite(), &netflixSuite(), &xiphSuite(), &specSuite()}) {
+        for (const auto &s : *suite) {
+            EXPECT_TRUE(seeds.insert(s.seed).second)
+                << "duplicate seed " << s.seed;
+            EXPECT_TRUE(names.insert(s.name).second)
+                << "duplicate name " << s.name;
+        }
+    }
+}
+
+TEST(Suite, SynthesizeClipHonorsFrameCount)
+{
+    const ClipSpec &desktop = vbenchSuite()[2];
+    const Video v = synthesizeClip(desktop, 4);
+    EXPECT_EQ(v.frameCount(), 4);
+    EXPECT_EQ(v.width(), desktop.width);
+    EXPECT_EQ(v.name(), desktop.name);
+}
+
+TEST(Suite, DefaultDurationIsFiveSeconds)
+{
+    ClipSpec tiny = vbenchSuite()[0];
+    tiny.width = 64;
+    tiny.height = 48;
+    tiny.fps = 10;
+    const Video v = synthesizeClip(tiny);
+    EXPECT_EQ(v.frameCount(), 50);
+}
+
+TEST(Suite, EntropyScaleMonotoneInTarget)
+{
+    const double lo = entropyScaleFor(ContentClass::Natural, 1.0);
+    const double hi = entropyScaleFor(ContentClass::Natural, 6.0);
+    EXPECT_LT(lo, hi);
+}
+
+TEST(Suite, EntropyScaleCorrectsForFrameRate)
+{
+    // Entropy is per second: hitting the same bits/pix/s target at
+    // 60 fps needs easier per-frame content than at 30 fps.
+    const double at30 =
+        entropyScaleFor(ContentClass::Gaming, 5.0, 30.0);
+    const double at60 =
+        entropyScaleFor(ContentClass::Gaming, 5.0, 60.0);
+    EXPECT_LT(at60, at30);
+}
+
+TEST(Suite, EntropyScaleStaysInDialRange)
+{
+    for (double target : {0.01, 0.2, 2.0, 20.0, 500.0}) {
+        for (ContentClass c :
+             {ContentClass::Slideshow, ContentClass::Noisy}) {
+            const double s = entropyScaleFor(c, target);
+            EXPECT_GE(s, 0.01);
+            EXPECT_LE(s, 8.0);
+        }
+    }
+}
+
+} // namespace
+} // namespace vbench::video

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Synthetic video generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "video/synth.h"
+
+namespace vbench::video {
+namespace {
+
+double
+planeMeanAbsDiff(const Plane &a, const Plane &b)
+{
+    double sum = 0;
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x)
+            sum += std::abs(a.at(x, y) - b.at(x, y));
+    return sum / a.size();
+}
+
+TEST(Synth, GeometryAndCount)
+{
+    SynthParams p = presetFor(ContentClass::Natural, 320, 240, 24.0, 7, 5);
+    const Video v = synthesize(p, "n");
+    EXPECT_EQ(v.width(), 320);
+    EXPECT_EQ(v.height(), 240);
+    EXPECT_EQ(v.frameCount(), 7);
+    EXPECT_DOUBLE_EQ(v.fps(), 24.0);
+    EXPECT_EQ(v.name(), "n");
+}
+
+TEST(Synth, DeterministicForSeed)
+{
+    SynthParams p = presetFor(ContentClass::Gaming, 160, 128, 30.0, 4, 42);
+    const Video a = synthesize(p);
+    const Video b = synthesize(p);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(a.frame(i) == b.frame(i)) << "frame " << i;
+}
+
+TEST(Synth, SeedChangesContent)
+{
+    SynthParams p1 = presetFor(ContentClass::Natural, 160, 128, 30.0, 2, 1);
+    SynthParams p2 = p1;
+    p2.seed = 2;
+    EXPECT_FALSE(synthesize(p1).frame(0) == synthesize(p2).frame(0));
+}
+
+TEST(Synth, SlideshowIsTemporallyStaticBetweenCuts)
+{
+    SynthParams p =
+        presetFor(ContentClass::Slideshow, 160, 128, 30.0, 10, 3);
+    p.scene_cut_interval = 10.0;  // no cut inside the clip
+    const Video v = synthesize(p);
+    EXPECT_LT(planeMeanAbsDiff(v.frame(0).y(), v.frame(9).y()), 0.01);
+}
+
+TEST(Synth, SceneCutChangesContent)
+{
+    SynthParams p =
+        presetFor(ContentClass::Slideshow, 160, 128, 30.0, 12, 3);
+    p.scene_cut_interval = 0.2;  // cut at frame 6
+    const Video v = synthesize(p);
+    EXPECT_LT(planeMeanAbsDiff(v.frame(0).y(), v.frame(5).y()), 0.01);
+    EXPECT_GT(planeMeanAbsDiff(v.frame(5).y(), v.frame(6).y()), 4.0);
+}
+
+TEST(Synth, NoiseCreatesTemporalDifference)
+{
+    SynthParams quiet =
+        presetFor(ContentClass::Slideshow, 160, 128, 30.0, 2, 9);
+    SynthParams noisy = quiet;
+    noisy.noise = 8.0;
+    const Video vq = synthesize(quiet);
+    const Video vn = synthesize(noisy);
+    EXPECT_LT(planeMeanAbsDiff(vq.frame(0).y(), vq.frame(1).y()), 0.01);
+    EXPECT_GT(planeMeanAbsDiff(vn.frame(0).y(), vn.frame(1).y()), 1.0);
+}
+
+TEST(Synth, PanMovesContentCoherently)
+{
+    SynthParams p = presetFor(ContentClass::Natural, 256, 128, 30.0, 6, 11);
+    p.noise = 0;
+    p.object_density = 0;
+    p.pan_speed = 4.0;
+    const Video v = synthesize(p);
+    // Frames differ (motion) ...
+    EXPECT_GT(planeMeanAbsDiff(v.frame(0).y(), v.frame(5).y()), 1.0);
+    // ... but consecutive frames differ less than distant ones
+    // (coherent drift, not noise).
+    EXPECT_LT(planeMeanAbsDiff(v.frame(0).y(), v.frame(1).y()),
+              planeMeanAbsDiff(v.frame(0).y(), v.frame(5).y()));
+}
+
+TEST(Synth, PosterizeProducesFlatBands)
+{
+    SynthParams p =
+        presetFor(ContentClass::Screencast, 160, 128, 30.0, 1, 13);
+    p.noise = 0;
+    p.object_density = 0;
+    const Video v = synthesize(p);
+    // Count distinct luma values: posterization keeps it small.
+    bool seen[256] = {};
+    int distinct = 0;
+    const Plane &y = v.frame(0).y();
+    for (int r = 0; r < y.height(); ++r)
+        for (int c = 0; c < y.width(); ++c)
+            if (!seen[y.at(c, r)]) {
+                seen[y.at(c, r)] = true;
+                ++distinct;
+            }
+    EXPECT_LT(distinct, 40);
+}
+
+TEST(Synth, EntropyScaleIncreasesNoise)
+{
+    const SynthParams base =
+        presetFor(ContentClass::Natural, 64, 64, 30, 1, 1, 1.0);
+    const SynthParams scaled =
+        presetFor(ContentClass::Natural, 64, 64, 30, 1, 1, 4.0);
+    EXPECT_GT(scaled.noise, base.noise);
+    EXPECT_GT(scaled.pan_speed, base.pan_speed);
+}
+
+TEST(Synth, HudOverlayIsStaticAcrossMotion)
+{
+    // The gaming HUD renders in screen coordinates: identical pixels
+    // every frame even while the world pans underneath — which is why
+    // it inter-predicts for free.
+    SynthParams p = presetFor(ContentClass::Gaming, 160, 128, 30.0, 6, 19);
+    p.noise = 0;
+    p.flicker = 0;
+    p.scene_cut_interval = 0;
+    const Video v = synthesize(p);
+    const int bar = std::max(8, p.height / 12);
+    for (int t = 1; t < v.frameCount(); ++t) {
+        for (int y = p.height - bar; y < p.height; ++y) {
+            for (int x = 0; x < p.width; x += 7) {
+                ASSERT_EQ(v.frame(t).y().at(x, y),
+                          v.frame(0).y().at(x, y))
+                    << "frame " << t << " (" << x << "," << y << ")";
+            }
+        }
+    }
+}
+
+TEST(Synth, FlickerChangesGlobalLuma)
+{
+    SynthParams p = presetFor(ContentClass::Gaming, 96, 96, 30.0, 4, 23);
+    p.noise = 0;
+    p.object_density = 0;
+    p.pan_speed = 0;
+    p.scene_cut_interval = 0;
+    p.hud_overlay = false;
+    p.flicker = 10;
+    const Video v = synthesize(p);
+    // Some pair of frames must differ in mean luma (the flicker).
+    auto mean = [&](int t) {
+        const Plane &y = v.frame(t).y();
+        long sum = 0;
+        for (int r = 0; r < y.height(); ++r)
+            for (int c = 0; c < y.width(); ++c)
+                sum += y.at(c, r);
+        return static_cast<double>(sum) / y.size();
+    };
+    double lo = 1e9, hi = -1e9;
+    for (int t = 0; t < v.frameCount(); ++t) {
+        lo = std::min(lo, mean(t));
+        hi = std::max(hi, mean(t));
+    }
+    EXPECT_GT(hi - lo, 1.0);
+}
+
+TEST(Synth, ContentClassNames)
+{
+    EXPECT_STREQ(toString(ContentClass::Slideshow), "slideshow");
+    EXPECT_STREQ(toString(ContentClass::Noisy), "noisy");
+}
+
+} // namespace
+} // namespace vbench::video

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Y4M reader/writer round-trip tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "video/synth.h"
+#include "video/y4m.h"
+
+namespace vbench::video {
+namespace {
+
+class Y4mTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const std::string &name)
+    {
+        return ::testing::TempDir() + "/" + name;
+    }
+};
+
+TEST_F(Y4mTest, RoundTripPreservesPixels)
+{
+    SynthParams p = presetFor(ContentClass::Natural, 96, 64, 30.0, 3, 77);
+    const Video original = synthesize(p, "clip");
+    const std::string path = tempPath("roundtrip.y4m");
+    ASSERT_TRUE(writeY4m(original, path));
+
+    std::string error;
+    const Video loaded = readY4m(path, &error);
+    ASSERT_FALSE(loaded.empty()) << error;
+    EXPECT_EQ(loaded.width(), 96);
+    EXPECT_EQ(loaded.height(), 64);
+    EXPECT_EQ(loaded.frameCount(), 3);
+    EXPECT_NEAR(loaded.fps(), 30.0, 1e-9);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(loaded.frame(i) == original.frame(i));
+    std::remove(path.c_str());
+}
+
+TEST_F(Y4mTest, NtscRatesSurviveRoundTrip)
+{
+    Video v(32, 32, 30000.0 / 1001);
+    v.append(Frame(32, 32));
+    const std::string path = tempPath("ntsc.y4m");
+    ASSERT_TRUE(writeY4m(v, path));
+    const Video loaded = readY4m(path);
+    EXPECT_NEAR(loaded.fps(), 30000.0 / 1001, 1e-9);
+    std::remove(path.c_str());
+}
+
+TEST_F(Y4mTest, MissingFileFails)
+{
+    std::string error;
+    EXPECT_TRUE(readY4m("/nonexistent/clip.y4m", &error).empty());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(Y4mTest, WrongMagicFails)
+{
+    const std::string path = tempPath("bad.y4m");
+    std::ofstream(path) << "NOTAY4MFILE W2 H2\n";
+    std::string error;
+    EXPECT_TRUE(readY4m(path, &error).empty());
+    std::remove(path.c_str());
+}
+
+TEST_F(Y4mTest, TruncatedFrameFails)
+{
+    SynthParams p = presetFor(ContentClass::Natural, 32, 32, 30.0, 2, 7);
+    const Video original = synthesize(p);
+    const std::string path = tempPath("trunc.y4m");
+    ASSERT_TRUE(writeY4m(original, path));
+
+    // Rewrite with the last 100 bytes chopped off.
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() - 100));
+    out.close();
+
+    std::string error;
+    EXPECT_TRUE(readY4m(path, &error).empty());
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+TEST_F(Y4mTest, UnsupportedChromaFails)
+{
+    const std::string path = tempPath("c444.y4m");
+    std::ofstream(path) << "YUV4MPEG2 W4 H4 F30:1 C444\nFRAME\n";
+    std::string error;
+    EXPECT_TRUE(readY4m(path, &error).empty());
+    EXPECT_NE(error.find("chroma"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vbench::video
