@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_effort.dir/bench_ablation_effort.cc.o"
+  "CMakeFiles/bench_ablation_effort.dir/bench_ablation_effort.cc.o.d"
+  "bench_ablation_effort"
+  "bench_ablation_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

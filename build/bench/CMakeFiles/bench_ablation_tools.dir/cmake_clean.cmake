@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tools.dir/bench_ablation_tools.cc.o"
+  "CMakeFiles/bench_ablation_tools.dir/bench_ablation_tools.cc.o.d"
+  "bench_ablation_tools"
+  "bench_ablation_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_coverage.dir/bench_fig4_coverage.cc.o"
+  "CMakeFiles/bench_fig4_coverage.dir/bench_fig4_coverage.cc.o.d"
+  "bench_fig4_coverage"
+  "bench_fig4_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

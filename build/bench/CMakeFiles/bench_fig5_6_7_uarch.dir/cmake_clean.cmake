@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_7_uarch.dir/bench_fig5_6_7_uarch.cc.o"
+  "CMakeFiles/bench_fig5_6_7_uarch.dir/bench_fig5_6_7_uarch.cc.o.d"
+  "bench_fig5_6_7_uarch"
+  "bench_fig5_6_7_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_7_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

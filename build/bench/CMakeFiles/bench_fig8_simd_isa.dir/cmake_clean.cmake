@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_simd_isa.dir/bench_fig8_simd_isa.cc.o"
+  "CMakeFiles/bench_fig8_simd_isa.dir/bench_fig8_simd_isa.cc.o.d"
+  "bench_fig8_simd_isa"
+  "bench_fig8_simd_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_simd_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

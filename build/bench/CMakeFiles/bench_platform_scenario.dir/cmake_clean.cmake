@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_platform_scenario.dir/bench_platform_scenario.cc.o"
+  "CMakeFiles/bench_platform_scenario.dir/bench_platform_scenario.cc.o.d"
+  "bench_platform_scenario"
+  "bench_platform_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_platform_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_curation.dir/corpus_curation.cpp.o"
+  "CMakeFiles/corpus_curation.dir/corpus_curation.cpp.o.d"
+  "corpus_curation"
+  "corpus_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

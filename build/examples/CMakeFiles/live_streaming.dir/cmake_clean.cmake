@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_streaming.dir/live_streaming.cpp.o"
+  "CMakeFiles/live_streaming.dir/live_streaming.cpp.o.d"
+  "live_streaming"
+  "live_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

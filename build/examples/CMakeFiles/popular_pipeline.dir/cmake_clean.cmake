@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popular_pipeline.dir/popular_pipeline.cpp.o"
+  "CMakeFiles/popular_pipeline.dir/popular_pipeline.cpp.o.d"
+  "popular_pipeline"
+  "popular_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popular_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_profile.dir/uarch_profile.cpp.o"
+  "CMakeFiles/uarch_profile.dir/uarch_profile.cpp.o.d"
+  "uarch_profile"
+  "uarch_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/deblock.cc" "src/codec/CMakeFiles/vbench_codec.dir/deblock.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/deblock.cc.o.d"
+  "/root/repo/src/codec/decoder.cc" "src/codec/CMakeFiles/vbench_codec.dir/decoder.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/decoder.cc.o.d"
+  "/root/repo/src/codec/encoder.cc" "src/codec/CMakeFiles/vbench_codec.dir/encoder.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/encoder.cc.o.d"
+  "/root/repo/src/codec/interp.cc" "src/codec/CMakeFiles/vbench_codec.dir/interp.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/interp.cc.o.d"
+  "/root/repo/src/codec/intra.cc" "src/codec/CMakeFiles/vbench_codec.dir/intra.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/intra.cc.o.d"
+  "/root/repo/src/codec/me.cc" "src/codec/CMakeFiles/vbench_codec.dir/me.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/me.cc.o.d"
+  "/root/repo/src/codec/preset.cc" "src/codec/CMakeFiles/vbench_codec.dir/preset.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/preset.cc.o.d"
+  "/root/repo/src/codec/ratecontrol.cc" "src/codec/CMakeFiles/vbench_codec.dir/ratecontrol.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/ratecontrol.cc.o.d"
+  "/root/repo/src/codec/transform.cc" "src/codec/CMakeFiles/vbench_codec.dir/transform.cc.o" "gcc" "src/codec/CMakeFiles/vbench_codec.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vbench_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/vbench_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_codec.dir/deblock.cc.o"
+  "CMakeFiles/vbench_codec.dir/deblock.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/decoder.cc.o"
+  "CMakeFiles/vbench_codec.dir/decoder.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/encoder.cc.o"
+  "CMakeFiles/vbench_codec.dir/encoder.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/interp.cc.o"
+  "CMakeFiles/vbench_codec.dir/interp.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/intra.cc.o"
+  "CMakeFiles/vbench_codec.dir/intra.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/me.cc.o"
+  "CMakeFiles/vbench_codec.dir/me.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/preset.cc.o"
+  "CMakeFiles/vbench_codec.dir/preset.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/ratecontrol.cc.o"
+  "CMakeFiles/vbench_codec.dir/ratecontrol.cc.o.d"
+  "CMakeFiles/vbench_codec.dir/transform.cc.o"
+  "CMakeFiles/vbench_codec.dir/transform.cc.o.d"
+  "libvbench_codec.a"
+  "libvbench_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

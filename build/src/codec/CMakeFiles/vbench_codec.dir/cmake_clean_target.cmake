@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvbench_codec.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_core.dir/reference.cc.o"
+  "CMakeFiles/vbench_core.dir/reference.cc.o.d"
+  "CMakeFiles/vbench_core.dir/report.cc.o"
+  "CMakeFiles/vbench_core.dir/report.cc.o.d"
+  "CMakeFiles/vbench_core.dir/scoring.cc.o"
+  "CMakeFiles/vbench_core.dir/scoring.cc.o.d"
+  "CMakeFiles/vbench_core.dir/transcoder.cc.o"
+  "CMakeFiles/vbench_core.dir/transcoder.cc.o.d"
+  "libvbench_core.a"
+  "libvbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/category.cc" "src/corpus/CMakeFiles/vbench_corpus.dir/category.cc.o" "gcc" "src/corpus/CMakeFiles/vbench_corpus.dir/category.cc.o.d"
+  "/root/repo/src/corpus/coverage.cc" "src/corpus/CMakeFiles/vbench_corpus.dir/coverage.cc.o" "gcc" "src/corpus/CMakeFiles/vbench_corpus.dir/coverage.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/vbench_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/vbench_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/kmeans.cc" "src/corpus/CMakeFiles/vbench_corpus.dir/kmeans.cc.o" "gcc" "src/corpus/CMakeFiles/vbench_corpus.dir/kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vbench_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_corpus.dir/category.cc.o"
+  "CMakeFiles/vbench_corpus.dir/category.cc.o.d"
+  "CMakeFiles/vbench_corpus.dir/coverage.cc.o"
+  "CMakeFiles/vbench_corpus.dir/coverage.cc.o.d"
+  "CMakeFiles/vbench_corpus.dir/generator.cc.o"
+  "CMakeFiles/vbench_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/vbench_corpus.dir/kmeans.cc.o"
+  "CMakeFiles/vbench_corpus.dir/kmeans.cc.o.d"
+  "libvbench_corpus.a"
+  "libvbench_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_hwenc.dir/hwenc.cc.o"
+  "CMakeFiles/vbench_hwenc.dir/hwenc.cc.o.d"
+  "libvbench_hwenc.a"
+  "libvbench_hwenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_hwenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vbench_hwenc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_metrics.dir/bdrate.cc.o"
+  "CMakeFiles/vbench_metrics.dir/bdrate.cc.o.d"
+  "CMakeFiles/vbench_metrics.dir/psnr.cc.o"
+  "CMakeFiles/vbench_metrics.dir/psnr.cc.o.d"
+  "CMakeFiles/vbench_metrics.dir/ssim.cc.o"
+  "CMakeFiles/vbench_metrics.dir/ssim.cc.o.d"
+  "libvbench_metrics.a"
+  "libvbench_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

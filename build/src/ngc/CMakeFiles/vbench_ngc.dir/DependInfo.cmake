@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ngc/ngc_decoder.cc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_decoder.cc.o" "gcc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_decoder.cc.o.d"
+  "/root/repo/src/ngc/ngc_encoder.cc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_encoder.cc.o" "gcc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_encoder.cc.o.d"
+  "/root/repo/src/ngc/ngc_intra.cc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_intra.cc.o" "gcc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_intra.cc.o.d"
+  "/root/repo/src/ngc/ngc_profile.cc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_profile.cc.o" "gcc" "src/ngc/CMakeFiles/vbench_ngc.dir/ngc_profile.cc.o.d"
+  "/root/repo/src/ngc/transform8.cc" "src/ngc/CMakeFiles/vbench_ngc.dir/transform8.cc.o" "gcc" "src/ngc/CMakeFiles/vbench_ngc.dir/transform8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/vbench_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vbench_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/vbench_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

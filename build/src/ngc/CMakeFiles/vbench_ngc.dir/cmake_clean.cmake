@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_ngc.dir/ngc_decoder.cc.o"
+  "CMakeFiles/vbench_ngc.dir/ngc_decoder.cc.o.d"
+  "CMakeFiles/vbench_ngc.dir/ngc_encoder.cc.o"
+  "CMakeFiles/vbench_ngc.dir/ngc_encoder.cc.o.d"
+  "CMakeFiles/vbench_ngc.dir/ngc_intra.cc.o"
+  "CMakeFiles/vbench_ngc.dir/ngc_intra.cc.o.d"
+  "CMakeFiles/vbench_ngc.dir/ngc_profile.cc.o"
+  "CMakeFiles/vbench_ngc.dir/ngc_profile.cc.o.d"
+  "CMakeFiles/vbench_ngc.dir/transform8.cc.o"
+  "CMakeFiles/vbench_ngc.dir/transform8.cc.o.d"
+  "libvbench_ngc.a"
+  "libvbench_ngc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_ngc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch.cc" "src/uarch/CMakeFiles/vbench_uarch.dir/branch.cc.o" "gcc" "src/uarch/CMakeFiles/vbench_uarch.dir/branch.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/vbench_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/vbench_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/kernels.cc" "src/uarch/CMakeFiles/vbench_uarch.dir/kernels.cc.o" "gcc" "src/uarch/CMakeFiles/vbench_uarch.dir/kernels.cc.o.d"
+  "/root/repo/src/uarch/simd.cc" "src/uarch/CMakeFiles/vbench_uarch.dir/simd.cc.o" "gcc" "src/uarch/CMakeFiles/vbench_uarch.dir/simd.cc.o.d"
+  "/root/repo/src/uarch/topdown.cc" "src/uarch/CMakeFiles/vbench_uarch.dir/topdown.cc.o" "gcc" "src/uarch/CMakeFiles/vbench_uarch.dir/topdown.cc.o.d"
+  "/root/repo/src/uarch/tracesim.cc" "src/uarch/CMakeFiles/vbench_uarch.dir/tracesim.cc.o" "gcc" "src/uarch/CMakeFiles/vbench_uarch.dir/tracesim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_uarch.dir/branch.cc.o"
+  "CMakeFiles/vbench_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/vbench_uarch.dir/cache.cc.o"
+  "CMakeFiles/vbench_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/vbench_uarch.dir/kernels.cc.o"
+  "CMakeFiles/vbench_uarch.dir/kernels.cc.o.d"
+  "CMakeFiles/vbench_uarch.dir/simd.cc.o"
+  "CMakeFiles/vbench_uarch.dir/simd.cc.o.d"
+  "CMakeFiles/vbench_uarch.dir/topdown.cc.o"
+  "CMakeFiles/vbench_uarch.dir/topdown.cc.o.d"
+  "CMakeFiles/vbench_uarch.dir/tracesim.cc.o"
+  "CMakeFiles/vbench_uarch.dir/tracesim.cc.o.d"
+  "libvbench_uarch.a"
+  "libvbench_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

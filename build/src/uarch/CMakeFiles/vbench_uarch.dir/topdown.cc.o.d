@@ -1,0 +1,3 @@
+src/uarch/CMakeFiles/vbench_uarch.dir/topdown.cc.o: \
+ /root/repo/src/uarch/topdown.cc /usr/include/stdc-predef.h \
+ /root/repo/src/uarch/topdown.h

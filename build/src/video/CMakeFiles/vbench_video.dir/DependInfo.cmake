@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/suite.cc" "src/video/CMakeFiles/vbench_video.dir/suite.cc.o" "gcc" "src/video/CMakeFiles/vbench_video.dir/suite.cc.o.d"
+  "/root/repo/src/video/synth.cc" "src/video/CMakeFiles/vbench_video.dir/synth.cc.o" "gcc" "src/video/CMakeFiles/vbench_video.dir/synth.cc.o.d"
+  "/root/repo/src/video/y4m.cc" "src/video/CMakeFiles/vbench_video.dir/y4m.cc.o" "gcc" "src/video/CMakeFiles/vbench_video.dir/y4m.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbench_video.dir/suite.cc.o"
+  "CMakeFiles/vbench_video.dir/suite.cc.o.d"
+  "CMakeFiles/vbench_video.dir/synth.cc.o"
+  "CMakeFiles/vbench_video.dir/synth.cc.o.d"
+  "CMakeFiles/vbench_video.dir/y4m.cc.o"
+  "CMakeFiles/vbench_video.dir/y4m.cc.o.d"
+  "libvbench_video.a"
+  "libvbench_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbench_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdrate.dir/metrics/test_bdrate.cc.o"
+  "CMakeFiles/test_bdrate.dir/metrics/test_bdrate.cc.o.d"
+  "test_bdrate"
+  "test_bdrate.pdb"
+  "test_bdrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_quality.dir/codec/test_codec_quality.cc.o"
+  "CMakeFiles/test_codec_quality.dir/codec/test_codec_quality.cc.o.d"
+  "test_codec_quality"
+  "test_codec_quality.pdb"
+  "test_codec_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

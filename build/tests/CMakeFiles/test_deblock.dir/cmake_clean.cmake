@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deblock.dir/codec/test_deblock.cc.o"
+  "CMakeFiles/test_deblock.dir/codec/test_deblock.cc.o.d"
+  "test_deblock"
+  "test_deblock.pdb"
+  "test_deblock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwenc.dir/hwenc/test_hwenc.cc.o"
+  "CMakeFiles/test_hwenc.dir/hwenc/test_hwenc.cc.o.d"
+  "test_hwenc"
+  "test_hwenc.pdb"
+  "test_hwenc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

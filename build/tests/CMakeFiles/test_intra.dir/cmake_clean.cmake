@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intra.dir/codec/test_intra.cc.o"
+  "CMakeFiles/test_intra.dir/codec/test_intra.cc.o.d"
+  "test_intra"
+  "test_intra.pdb"
+  "test_intra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

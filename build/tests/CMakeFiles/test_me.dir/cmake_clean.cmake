@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_me.dir/codec/test_me.cc.o"
+  "CMakeFiles/test_me.dir/codec/test_me.cc.o.d"
+  "test_me"
+  "test_me.pdb"
+  "test_me[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_me.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

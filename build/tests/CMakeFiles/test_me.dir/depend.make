@@ -1,0 +1,2 @@
+# Empty dependencies file for test_me.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mvpred.dir/codec/test_mvpred.cc.o"
+  "CMakeFiles/test_mvpred.dir/codec/test_mvpred.cc.o.d"
+  "test_mvpred"
+  "test_mvpred.pdb"
+  "test_mvpred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mvpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ngc_intra.dir/ngc/test_ngc_intra.cc.o"
+  "CMakeFiles/test_ngc_intra.dir/ngc/test_ngc_intra.cc.o.d"
+  "test_ngc_intra"
+  "test_ngc_intra.pdb"
+  "test_ngc_intra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ngc_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

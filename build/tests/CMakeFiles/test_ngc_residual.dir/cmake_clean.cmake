@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ngc_residual.dir/ngc/test_ngc_residual.cc.o"
+  "CMakeFiles/test_ngc_residual.dir/ngc/test_ngc_residual.cc.o.d"
+  "test_ngc_residual"
+  "test_ngc_residual.pdb"
+  "test_ngc_residual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ngc_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ngc_roundtrip.dir/ngc/test_ngc_roundtrip.cc.o"
+  "CMakeFiles/test_ngc_roundtrip.dir/ngc/test_ngc_roundtrip.cc.o.d"
+  "test_ngc_roundtrip"
+  "test_ngc_roundtrip.pdb"
+  "test_ngc_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ngc_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preset.dir/codec/test_preset.cc.o"
+  "CMakeFiles/test_preset.dir/codec/test_preset.cc.o.d"
+  "test_preset"
+  "test_preset.pdb"
+  "test_preset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psnr.dir/metrics/test_psnr.cc.o"
+  "CMakeFiles/test_psnr.dir/metrics/test_psnr.cc.o.d"
+  "test_psnr"
+  "test_psnr.pdb"
+  "test_psnr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rangecoder.dir/codec/test_rangecoder.cc.o"
+  "CMakeFiles/test_rangecoder.dir/codec/test_rangecoder.cc.o.d"
+  "test_rangecoder"
+  "test_rangecoder.pdb"
+  "test_rangecoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rangecoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratecontrol.dir/codec/test_ratecontrol.cc.o"
+  "CMakeFiles/test_ratecontrol.dir/codec/test_ratecontrol.cc.o.d"
+  "test_ratecontrol"
+  "test_ratecontrol.pdb"
+  "test_ratecontrol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratecontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rates.dir/metrics/test_rates.cc.o"
+  "CMakeFiles/test_rates.dir/metrics/test_rates.cc.o.d"
+  "test_rates"
+  "test_rates.pdb"
+  "test_rates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_convergence.dir/codec/test_rc_convergence.cc.o"
+  "CMakeFiles/test_rc_convergence.dir/codec/test_rc_convergence.cc.o.d"
+  "test_rc_convergence"
+  "test_rc_convergence.pdb"
+  "test_rc_convergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracesim.dir/uarch/test_tracesim.cc.o"
+  "CMakeFiles/test_tracesim.dir/uarch/test_tracesim.cc.o.d"
+  "test_tracesim"
+  "test_tracesim.pdb"
+  "test_tracesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

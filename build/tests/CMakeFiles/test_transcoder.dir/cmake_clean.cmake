@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transcoder.dir/core/test_transcoder.cc.o"
+  "CMakeFiles/test_transcoder.dir/core/test_transcoder.cc.o.d"
+  "test_transcoder"
+  "test_transcoder.pdb"
+  "test_transcoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transcoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

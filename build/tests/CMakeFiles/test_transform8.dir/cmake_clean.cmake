@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform8.dir/ngc/test_transform8.cc.o"
+  "CMakeFiles/test_transform8.dir/ngc/test_transform8.cc.o.d"
+  "test_transform8"
+  "test_transform8.pdb"
+  "test_transform8[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

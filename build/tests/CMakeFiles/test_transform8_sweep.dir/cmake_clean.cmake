@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform8_sweep.dir/ngc/test_transform8_sweep.cc.o"
+  "CMakeFiles/test_transform8_sweep.dir/ngc/test_transform8_sweep.cc.o.d"
+  "test_transform8_sweep"
+  "test_transform8_sweep.pdb"
+  "test_transform8_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform8_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

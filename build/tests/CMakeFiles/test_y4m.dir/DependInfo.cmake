@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/video/test_y4m.cc" "tests/CMakeFiles/test_y4m.dir/video/test_y4m.cc.o" "gcc" "tests/CMakeFiles/test_y4m.dir/video/test_y4m.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vbench_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vbench_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/vbench_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/vbench_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ngc/CMakeFiles/vbench_ngc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwenc/CMakeFiles/vbench_hwenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/vbench_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vbench_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

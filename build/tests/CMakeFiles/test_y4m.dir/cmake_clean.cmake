@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_y4m.dir/video/test_y4m.cc.o"
+  "CMakeFiles/test_y4m.dir/video/test_y4m.cc.o.d"
+  "test_y4m"
+  "test_y4m.pdb"
+  "test_y4m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_y4m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
