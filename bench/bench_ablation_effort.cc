@@ -5,7 +5,6 @@
  * bitrate frontier, plus the per-tool search strategies.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -16,18 +15,6 @@
 #include "metrics/psnr.h"
 #include "metrics/rates.h"
 #include "video/suite.h"
-
-namespace {
-
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
-} // namespace
 
 int
 main()
@@ -55,9 +42,9 @@ main()
         cfg.gop = 30;
         codec::Encoder encoder(cfg);
 
-        const double t0 = now();
+        const double t0 = obs::nowSeconds();
         const codec::EncodeResult result = encoder.encode(clip);
-        const double elapsed = now() - t0;
+        const double elapsed = obs::nowSeconds() - t0;
         const auto decoded = codec::decode(result.stream);
 
         const codec::ToolPreset &tools = encoder.tools();

@@ -5,7 +5,6 @@
  * search strategy — each toggled in isolation.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -21,14 +20,6 @@ namespace {
 
 using namespace vbench;
 
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
 struct RunResult {
     double mpix_s;
     double bpps;
@@ -39,9 +30,9 @@ RunResult
 run(const video::Video &clip, const codec::EncoderConfig &cfg)
 {
     codec::Encoder encoder(cfg);
-    const double t0 = now();
+    const double t0 = obs::nowSeconds();
     const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = now() - t0;
+    const double elapsed = obs::nowSeconds() - t0;
     const auto decoded = codec::decode(result.stream);
     RunResult r;
     r.mpix_s = metrics::megapixelsPerSecond(

@@ -11,7 +11,6 @@
  * scoring.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -29,20 +28,13 @@
 namespace {
 
 using namespace vbench;
+using obs::nowSeconds;
 
 struct RdPoint {
     double bpps;
     double psnr;
     double mpix_s;
 };
-
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
 
 RdPoint
 runVbc(const video::Video &clip, double bitrate_bps)
@@ -53,9 +45,9 @@ runVbc(const video::Video &clip, double bitrate_bps)
     cfg.effort = 6;
     cfg.gop = 0;
     codec::Encoder encoder(cfg);
-    const double t0 = now();
+    const double t0 = nowSeconds();
     const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = now() - t0;
+    const double elapsed = nowSeconds() - t0;
     const auto decoded = codec::decode(result.stream);
     RdPoint p;
     p.bpps = metrics::bitsPerPixelPerSecond(result.totalBytes(),
@@ -64,6 +56,9 @@ runVbc(const video::Video &clip, double bitrate_bps)
     p.psnr = decoded ? metrics::videoPsnr(clip, *decoded) : 0;
     p.mpix_s = metrics::megapixelsPerSecond(clip.width(), clip.height(),
                                             clip.frameCount(), elapsed);
+    bench::reportRun("fig2", "vbc",
+                     core::Measurement{p.mpix_s, p.bpps, p.psnr}, elapsed,
+                     result.totalBytes());
     return p;
 }
 
@@ -77,9 +72,9 @@ runNgc(const video::Video &clip, double bitrate_bps, ngc::NgcProfile prof)
     cfg.speed = 1;
     cfg.gop = 0;
     ngc::NgcEncoder encoder(cfg);
-    const double t0 = now();
+    const double t0 = nowSeconds();
     const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = now() - t0;
+    const double elapsed = nowSeconds() - t0;
     const auto decoded = ngc::ngcDecode(result.stream);
     RdPoint p;
     p.bpps = metrics::bitsPerPixelPerSecond(result.totalBytes(),
@@ -88,6 +83,11 @@ runNgc(const video::Video &clip, double bitrate_bps, ngc::NgcProfile prof)
     p.psnr = decoded ? metrics::videoPsnr(clip, *decoded) : 0;
     p.mpix_s = metrics::megapixelsPerSecond(clip.width(), clip.height(),
                                             clip.frameCount(), elapsed);
+    bench::reportRun("fig2",
+                     prof == ngc::NgcProfile::HevcLike ? "ngc-hevc"
+                                                       : "ngc-vp9",
+                     core::Measurement{p.mpix_s, p.bpps, p.psnr}, elapsed,
+                     result.totalBytes());
     return p;
 }
 

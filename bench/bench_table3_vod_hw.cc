@@ -16,6 +16,7 @@
 #include "core/scoring.h"
 #include "hwenc/hwenc.h"
 #include "metrics/rates.h"
+#include "obs/obs.h"
 #include "video/suite.h"
 
 namespace {
@@ -35,13 +36,16 @@ runHw(const hwenc::HwEncoderSpec &spec, const bench::PreparedClip &clip,
     const auto decoded_input = codec::decode(clip.universal);
     const hwenc::HwEncodeResult hw = hwenc::encodeAtQuality(
         spec, *decoded_input, reference.m.psnr_db, 7,
-        &clip.original);
+        &clip.original, obs::globalTracer());
 
     const auto decoded = codec::decode(hw.encoded.stream);
-    core::Measurement m = core::measure(
-        clip.original, *decoded, hw.encoded.totalBytes(),
-        hw.seconds +
-            clip.original.totalPixels() / 1600e6 /* modeled hw decode */);
+    const double modeled_seconds = hw.seconds +
+        clip.original.totalPixels() / 1600e6 /* modeled hw decode */;
+    core::Measurement m = core::measure(clip.original, *decoded,
+                                        hw.encoded.totalBytes(),
+                                        modeled_seconds);
+    bench::reportRun("table3", spec.name, m, modeled_seconds,
+                     hw.encoded.totalBytes());
 
     HwRow row;
     row.ratios = core::computeRatios(reference.m, m);

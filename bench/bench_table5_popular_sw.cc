@@ -54,6 +54,7 @@ runNgc(core::EncoderKind kind, const bench::PreparedClip &clip,
         req.gop = 30;
         const core::TranscodeOutcome outcome =
             core::transcode(clip.universal, clip.original, req);
+        bench::reportRun("table5", req, outcome);
         if (!outcome.ok)
             continue;
         core::Ratios r = core::computeRatios(reference.m, outcome.m);

@@ -14,6 +14,7 @@
 #include "core/measure.h"
 #include "core/reference.h"
 #include "core/transcoder.h"
+#include "obs/clock.h"
 #include "video/suite.h"
 
 namespace vbench::bench {
@@ -59,6 +60,31 @@ prepare(const video::ClipSpec &spec, int frames = 0)
         spec, frames > 0 ? frames : benchFrames(spec));
     p.universal = core::makeUniversalStream(p.original);
     return p;
+}
+
+/**
+ * Emit the machine-readable record of a finished transcode (one JSON
+ * line on VBENCH_METRICS_OUT; no-op when reporting is disabled).
+ */
+inline void
+reportRun(const std::string &label, const core::TranscodeRequest &request,
+          const core::TranscodeOutcome &outcome)
+{
+    core::emitRunReport(core::makeRunReport(label, request, outcome));
+}
+
+/** Same for measurements that did not come from core::transcode(). */
+inline void
+reportRun(const std::string &label, const std::string &backend,
+          const core::Measurement &m, double seconds, size_t stream_bytes)
+{
+    core::RunReport report;
+    report.label = label;
+    report.backend = backend;
+    report.m = m;
+    report.seconds = seconds;
+    report.stream_bytes = stream_bytes;
+    core::emitRunReport(report);
 }
 
 } // namespace vbench::bench

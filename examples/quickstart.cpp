@@ -9,7 +9,6 @@
  * encoding, decoding, and measurement.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,6 +16,7 @@
 #include "codec/encoder.h"
 #include "metrics/psnr.h"
 #include "metrics/rates.h"
+#include "obs/clock.h"
 #include "video/synth.h"
 
 int
@@ -41,11 +41,9 @@ main(int argc, char **argv)
     cfg.gop = 30;
     codec::Encoder encoder(cfg);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = obs::nowSeconds();
     const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
+    const double elapsed = obs::nowSeconds() - t0;
 
     // 3. Decode and measure.
     const auto decoded = codec::decode(result.stream);

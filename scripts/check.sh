@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure with warnings-as-errors, build everything, run
+# the full test suite, then run the sanitizer-labeled tests (the obs
+# subsystem rebuilt under ASan+UBSan). Usage:
+#
+#   scripts/check.sh [build-dir]
+#
+# The build directory defaults to build-check/ so a plain dev build/ is
+# never clobbered by the -Werror configuration.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-check}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure ($build, -Wall -Wextra -Werror) =="
+cmake -S "$repo" -B "$build" -DVBENCH_WERROR=ON >/dev/null
+
+echo "== build =="
+cmake --build "$build" -j "$jobs"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== sanitizer tests (ctest -L sanitize) =="
+ctest --test-dir "$build" --output-on-failure -L sanitize -j "$jobs"
+
+echo "== all checks passed =="

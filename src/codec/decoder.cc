@@ -345,8 +345,13 @@ decode(const uint8_t *data, size_t size, const DecoderConfig &config)
         offset += 4;
         if (payload_len == 0 || offset + payload_len > size)
             return std::nullopt;
-        if (!state.decodeFrame(data + offset, payload_len, out))
-            return std::nullopt;
+        {
+            obs::ScopedSpan span(config.tracer, obs::Track::Decode,
+                                 obs::Stage::DecodeFrame,
+                                 static_cast<int32_t>(i));
+            if (!state.decodeFrame(data + offset, payload_len, out))
+                return std::nullopt;
+        }
         offset += payload_len;
     }
     return out;

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "codec/types.h"
+#include "obs/trace.h"
 #include "uarch/probe.h"
 #include "video/video.h"
 
@@ -16,6 +17,8 @@ namespace vbench::codec {
 /** Decoder configuration. */
 struct DecoderConfig {
     uarch::UarchProbe *probe = nullptr;
+    /// Stage tracer; null (the default) costs one branch per frame.
+    obs::Tracer *tracer = nullptr;
 };
 
 /**

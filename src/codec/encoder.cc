@@ -16,6 +16,9 @@
 #include "codec/residual.h"
 #include "codec/syntax.h"
 #include "codec/transform.h"
+#include "obs/clock.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace vbench::codec {
 
@@ -122,6 +125,8 @@ class Sequencer
               const Video &source, RateController &rate)
         : config_(config), tools_(tools), source_(source), rate_(rate),
           probe_(config.probe),
+          tracer_(config.tracer ? config.tracer : obs::globalTracer()),
+          acc_(tracer_ ? &accum_ : nullptr),
           padded_w_((source.width() + kMbSize - 1) & ~(kMbSize - 1)),
           padded_h_((source.height() + kMbSize - 1) & ~(kMbSize - 1)),
           mb_cols_(padded_w_ / kMbSize), mb_rows_(padded_h_ / kMbSize)
@@ -144,12 +149,19 @@ class Sequencer
         writeStreamHeader(result.stream, header);
 
         for (int i = 0; i < source_.frameCount(); ++i) {
+            const uint64_t frame_start = tracer_ ? obs::nowNs() : 0;
+            if (acc_)
+                accum_.reset();
             FrameType type = frameTypeFor(i);
             if (type == FrameType::P && tools_.scenecut &&
                 isSceneCut(source_.frame(i), source_.frame(i - 1))) {
                 type = FrameType::I;
             }
-            const int qp = rate_.frameQp(type, i);
+            int qp;
+            {
+                obs::ScopedStage rc(acc_, obs::Stage::RateControl);
+                qp = rate_.frameQp(type, i);
+            }
             FrameStats stats;
             const ByteBuffer payload =
                 encodeFrame(source_.frame(i), type, qp, stats);
@@ -162,7 +174,13 @@ class Sequencer
             stats.qp = qp;
             stats.bytes = payload.size() + 5;
             result.frames.push_back(stats);
-            rate_.frameDone(type, (payload.size() + 5) * 8.0);
+            {
+                obs::ScopedStage rc(acc_, obs::Stage::RateControl);
+                rate_.frameDone(type, (payload.size() + 5) * 8.0);
+            }
+            if (tracer_)
+                tracer_->addFrame(config_.track, i, frame_start,
+                                  obs::nowNs(), accum_);
         }
         return result;
     }
@@ -195,23 +213,27 @@ class Sequencer
     encodeFrame(const Frame &original, FrameType type, int frame_qp,
                 FrameStats &stats)
     {
-        const Frame src = padFrame(original, padded_w_, padded_h_, probe_);
-        if (type == FrameType::I)
-            refs_.clear();
-
-        recon_ = Frame(padded_w_, padded_h_);
-        grid_ = MbGrid(mb_cols_, mb_rows_);
-
-        // Adaptive-quant pre-pass: per-MB activity vs frame average.
-        if (tools_.adaptive_quant)
-            computeAqOffsets(src, frame_qp);
-
+        Frame src;
         ByteBuffer payload;
         std::unique_ptr<SyntaxWriter> writer;
-        if (tools_.entropy == EntropyMode::Arith)
-            writer = std::make_unique<ArithSyntaxWriter>(payload);
-        else
-            writer = std::make_unique<VlcSyntaxWriter>(payload);
+        {
+            obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
+            src = padFrame(original, padded_w_, padded_h_, probe_);
+            if (type == FrameType::I)
+                refs_.clear();
+
+            recon_ = Frame(padded_w_, padded_h_);
+            grid_ = MbGrid(mb_cols_, mb_rows_);
+
+            // Adaptive-quant pre-pass: per-MB activity vs average.
+            if (tools_.adaptive_quant)
+                computeAqOffsets(src, frame_qp);
+
+            if (tools_.entropy == EntropyMode::Arith)
+                writer = std::make_unique<ArithSyntaxWriter>(payload);
+            else
+                writer = std::make_unique<VlcSyntaxWriter>(payload);
+        }
 
         last_qp_ = frame_qp;
         const KernelId entropy_kernel =
@@ -236,21 +258,30 @@ class Sequencer
                 }
             }
         }
-        writer->finish();
+        {
+            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+            writer->finish();
+        }
 
         if (probe_) {
             probe_->record(KernelId::RateControl,
                            static_cast<uint64_t>(mb_cols_) * mb_rows_);
         }
 
-        if (tools_.deblock)
+        if (tools_.deblock) {
+            obs::ScopedStage db(acc_, obs::Stage::Deblock);
             deblockFrame(recon_, grid_, probe_);
+        }
 
-        refs_.push_front(RefFrame{RefPlane(recon_.y()), RefPlane(recon_.u()),
-                                  RefPlane(recon_.v())});
-        while (static_cast<int>(refs_.size()) >
-               std::max(1, tools_.refs)) {
-            refs_.pop_back();
+        {
+            obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
+            refs_.push_front(RefFrame{RefPlane(recon_.y()),
+                                      RefPlane(recon_.u()),
+                                      RefPlane(recon_.v())});
+            while (static_cast<int>(refs_.size()) >
+                   std::max(1, tools_.refs)) {
+                refs_.pop_back();
+            }
         }
         return payload;
     }
@@ -309,15 +340,21 @@ class Sequencer
 
         // --- Early skip: static content drops out immediately. ---
         if (type == FrameType::P && !refs_.empty()) {
-            uint8_t skip_pred[kMbSize * kMbSize];
-            motionCompensate(refs_[0].y, x, y, skip_mv, kMbSize, kMbSize,
-                             skip_pred);
-            const uint32_t skip_sad =
-                sadBlock(src.y().row(y) + x, padded_w_, skip_pred, kMbSize,
-                         kMbSize, kMbSize);
-            const uint32_t threshold = static_cast<uint32_t>(
-                (160 + 24 * qp_mb) * tools_.early_skip_scale);
-            if (skip_sad < threshold) {
+            bool early_skip;
+            {
+                obs::ScopedStage me_stage(acc_,
+                                          obs::Stage::MotionEstimation);
+                uint8_t skip_pred[kMbSize * kMbSize];
+                motionCompensate(refs_[0].y, x, y, skip_mv, kMbSize,
+                                 kMbSize, skip_pred);
+                const uint32_t skip_sad =
+                    sadBlock(src.y().row(y) + x, padded_w_, skip_pred,
+                             kMbSize, kMbSize, kMbSize);
+                const uint32_t threshold = static_cast<uint32_t>(
+                    (160 + 24 * qp_mb) * tools_.early_skip_scale);
+                early_skip = skip_sad < threshold;
+            }
+            if (early_skip) {
                 ModeCandidate cand;
                 cand.mode = MbMode::Inter16;
                 cand.mv[0] = skip_mv;
@@ -333,6 +370,7 @@ class Sequencer
         int n_candidates = 0;
 
         if (type == FrameType::P && !refs_.empty()) {
+            obs::ScopedStage me_stage(acc_, obs::Stage::MotionEstimation);
             // The skip/predictor candidate always competes: without it
             // a searched MV with marginal residual wins on SAD but
             // loses on rate, bloating high-effort encodes.
@@ -421,6 +459,7 @@ class Sequencer
 
         // INTRA: evaluate the enabled predictors on the luma block.
         {
+            obs::ScopedStage intra_stage(acc_, obs::Stage::IntraDecision);
             ModeCandidate intra;
             intra.mode = MbMode::Intra;
             uint8_t pred_buf[kMbSize * kMbSize];
@@ -452,40 +491,44 @@ class Sequencer
         }
 
         // --- Selection: heuristic or RD trial on the leaders. ---
-        std::sort(candidates, candidates + n_candidates,
-                  [](const ModeCandidate &a, const ModeCandidate &b) {
-                      return a.est_cost < b.est_cost;
-                  });
         int chosen = 0;
-        if (tools_.rdo > 0 && n_candidates > 1) {
-            // The skip seed always earns a trial: its rate advantage is
-            // invisible to the SAD-based pre-sort.
-            int trials =
-                std::min(n_candidates, tools_.rdo >= 2 ? 3 : 2);
-            for (int i = trials; i < n_candidates; ++i) {
-                if (candidates[i].is_skip_seed) {
-                    std::swap(candidates[trials - 1], candidates[i]);
-                    break;
+        {
+            obs::ScopedStage md_stage(acc_, obs::Stage::ModeDecision);
+            std::sort(candidates, candidates + n_candidates,
+                      [](const ModeCandidate &a, const ModeCandidate &b) {
+                          return a.est_cost < b.est_cost;
+                      });
+            if (tools_.rdo > 0 && n_candidates > 1) {
+                // The skip seed always earns a trial: its rate advantage
+                // is invisible to the SAD-based pre-sort.
+                int trials =
+                    std::min(n_candidates, tools_.rdo >= 2 ? 3 : 2);
+                for (int i = trials; i < n_candidates; ++i) {
+                    if (candidates[i].is_skip_seed) {
+                        std::swap(candidates[trials - 1], candidates[i]);
+                        break;
+                    }
                 }
-            }
-            double best_rd = 1e30;
-            uint64_t decisions = 0;
-            for (int i = 0; i < trials; ++i) {
-                const double rd = rdCostLuma(
-                    src, candidates[i], qp_mb, x, y,
-                    candidateOverheadBits(candidates[i], pred_mv, type));
-                decisions |= static_cast<uint64_t>(rd < best_rd) << i;
-                if (rd < best_rd) {
-                    best_rd = rd;
-                    chosen = i;
+                double best_rd = 1e30;
+                uint64_t decisions = 0;
+                for (int i = 0; i < trials; ++i) {
+                    const double rd = rdCostLuma(
+                        src, candidates[i], qp_mb, x, y,
+                        candidateOverheadBits(candidates[i], pred_mv,
+                                              type));
+                    decisions |= static_cast<uint64_t>(rd < best_rd) << i;
+                    if (rd < best_rd) {
+                        best_rd = rd;
+                        chosen = i;
+                    }
                 }
+                if (probe_)
+                    probe_->record(KernelId::ModeDecision, trials,
+                                   decisions, trials);
+            } else if (probe_) {
+                probe_->record(KernelId::ModeDecision, n_candidates,
+                               chosen == 0 ? 1 : 0, n_candidates);
             }
-            if (probe_)
-                probe_->record(KernelId::ModeDecision, trials, decisions,
-                               trials);
-        } else if (probe_) {
-            probe_->record(KernelId::ModeDecision, n_candidates,
-                           chosen == 0 ? 1 : 0, n_candidates);
         }
 
         emitMacroblock(src, type, candidates[chosen], qp_mb, mbx, mby,
@@ -714,6 +757,7 @@ class Sequencer
         // Chroma intra mode: best summed SAD over U and V.
         IntraMode chroma_mode = IntraMode::Dc;
         if (intra) {
+            obs::ScopedStage intra_stage(acc_, obs::Stage::IntraDecision);
             uint32_t best = UINT32_MAX;
             uint8_t pu[64], pv[64];
             for (int m = 0; m < tools_.intra_modes; ++m) {
@@ -738,19 +782,23 @@ class Sequencer
         uint8_t pred_y[kMbSize * kMbSize];
         uint8_t pred_u[64];
         uint8_t pred_v[64];
-        buildLumaPrediction(cand, x, y, pred_y);
-        buildChromaPrediction(cand, chroma_mode, true, cx, cy, pred_u);
-        buildChromaPrediction(cand, chroma_mode, false, cx, cy, pred_v);
-
         int16_t levels_y[16 * 16];
         int16_t levels_u[4 * 16];
         int16_t levels_v[4 * 16];
-        int nonzero =
-            quantizeLumaResidual(src, pred_y, x, y, qp_mb, intra, levels_y);
-        nonzero += quantizeChromaResidual(src.u(), pred_u, cx, cy, qp_mb,
-                                          intra, levels_u);
-        nonzero += quantizeChromaResidual(src.v(), pred_v, cx, cy, qp_mb,
-                                          intra, levels_v);
+        int nonzero = 0;
+        {
+            obs::ScopedStage tq(acc_, obs::Stage::TransformQuant);
+            buildLumaPrediction(cand, x, y, pred_y);
+            buildChromaPrediction(cand, chroma_mode, true, cx, cy, pred_u);
+            buildChromaPrediction(cand, chroma_mode, false, cx, cy,
+                                  pred_v);
+            nonzero = quantizeLumaResidual(src, pred_y, x, y, qp_mb, intra,
+                                           levels_y);
+            nonzero += quantizeChromaResidual(src.u(), pred_u, cx, cy,
+                                              qp_mb, intra, levels_u);
+            nonzero += quantizeChromaResidual(src.v(), pred_v, cx, cy,
+                                              qp_mb, intra, levels_v);
+        }
         const bool coded = nonzero != 0;
 
         // Skip conversion: inter16, reference 0, predictor MV, no
@@ -768,55 +816,61 @@ class Sequencer
             info.qp = static_cast<uint8_t>(last_qp_);
             info.coded = false;
             ++stats.skip_mbs;
+            obs::ScopedStage rec(acc_, obs::Stage::Reconstruct);
             copyPrediction(recon_.y(), x, y, kMbSize, pred_y);
             copyPrediction(recon_.u(), cx, cy, 8, pred_u);
             copyPrediction(recon_.v(), cx, cy, 8, pred_v);
             return;
         }
 
-        if (type == FrameType::P) {
-            writer.bit(0, ctx::kMbSkip);
-            // Mode tree: 1 -> Inter16; 01 -> Inter8; 00 -> Intra.
-            writer.bit(cand.mode == MbMode::Inter16 ? 1 : 0,
-                       ctx::kMbMode0);
-            if (cand.mode != MbMode::Inter16)
-                writer.bit(cand.mode == MbMode::Inter8 ? 1 : 0,
-                           ctx::kMbMode1);
-        }
-
-        if (intra) {
-            writer.bit(static_cast<int>(cand.luma_mode) & 1,
-                       ctx::kIntraLuma);
-            writer.bit((static_cast<int>(cand.luma_mode) >> 1) & 1,
-                       ctx::kIntraLuma + 1);
-            writer.bit(static_cast<int>(chroma_mode) & 1,
-                       ctx::kIntraChroma);
-            writer.bit((static_cast<int>(chroma_mode) >> 1) & 1,
-                       ctx::kIntraChroma + 1);
-            ++stats.intra_mbs;
-        } else {
-            if (tools_.refs > 1)
-                writer.ue(static_cast<uint32_t>(cand.ref), ctx::kRefIdx, 2);
-            const int parts = cand.mode == MbMode::Inter8 ? 4 : 1;
-            for (int part = 0; part < parts; ++part) {
-                writer.se(cand.mv[part].x - pred_mv.x, ctx::kMvX, 4);
-                writer.se(cand.mv[part].y - pred_mv.y, ctx::kMvY, 4);
+        {
+            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+            if (type == FrameType::P) {
+                writer.bit(0, ctx::kMbSkip);
+                // Mode tree: 1 -> Inter16; 01 -> Inter8; 00 -> Intra.
+                writer.bit(cand.mode == MbMode::Inter16 ? 1 : 0,
+                           ctx::kMbMode0);
+                if (cand.mode != MbMode::Inter16)
+                    writer.bit(cand.mode == MbMode::Inter8 ? 1 : 0,
+                               ctx::kMbMode1);
             }
-        }
 
-        if (tools_.adaptive_quant) {
-            writer.se(qp_mb - last_qp_, ctx::kQpDelta, 2);
-            last_qp_ = qp_mb;
-        }
+            if (intra) {
+                writer.bit(static_cast<int>(cand.luma_mode) & 1,
+                           ctx::kIntraLuma);
+                writer.bit((static_cast<int>(cand.luma_mode) >> 1) & 1,
+                           ctx::kIntraLuma + 1);
+                writer.bit(static_cast<int>(chroma_mode) & 1,
+                           ctx::kIntraChroma);
+                writer.bit((static_cast<int>(chroma_mode) >> 1) & 1,
+                           ctx::kIntraChroma + 1);
+                ++stats.intra_mbs;
+            } else {
+                if (tools_.refs > 1)
+                    writer.ue(static_cast<uint32_t>(cand.ref),
+                              ctx::kRefIdx, 2);
+                const int parts = cand.mode == MbMode::Inter8 ? 4 : 1;
+                for (int part = 0; part < parts; ++part) {
+                    writer.se(cand.mv[part].x - pred_mv.x, ctx::kMvX, 4);
+                    writer.se(cand.mv[part].y - pred_mv.y, ctx::kMvY, 4);
+                }
+            }
 
-        for (int b = 0; b < 16; ++b)
-            writeResidualBlock(writer, levels_y + b * 16, true);
-        for (int b = 0; b < 4; ++b)
-            writeResidualBlock(writer, levels_u + b * 16, false);
-        for (int b = 0; b < 4; ++b)
-            writeResidualBlock(writer, levels_v + b * 16, false);
+            if (tools_.adaptive_quant) {
+                writer.se(qp_mb - last_qp_, ctx::kQpDelta, 2);
+                last_qp_ = qp_mb;
+            }
+
+            for (int b = 0; b < 16; ++b)
+                writeResidualBlock(writer, levels_y + b * 16, true);
+            for (int b = 0; b < 4; ++b)
+                writeResidualBlock(writer, levels_u + b * 16, false);
+            for (int b = 0; b < 4; ++b)
+                writeResidualBlock(writer, levels_v + b * 16, false);
+        }
 
         // Reconstruct via the exact decoder path.
+        obs::ScopedStage rec(acc_, obs::Stage::Reconstruct);
         int coded_blocks =
             reconstructBlock(recon_.y(), x, y, kMbSize, pred_y, levels_y,
                              qp_mb);
@@ -850,6 +904,9 @@ class Sequencer
     const Video &source_;
     RateController &rate_;
     uarch::UarchProbe *probe_;
+    obs::Tracer *tracer_;
+    obs::StageAccum accum_;
+    obs::StageAccum *acc_;
     int padded_w_;
     int padded_h_;
     int mb_cols_;

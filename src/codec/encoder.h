@@ -12,6 +12,7 @@
 #include "codec/preset.h"
 #include "codec/ratecontrol.h"
 #include "codec/types.h"
+#include "obs/trace.h"
 #include "uarch/probe.h"
 #include "video/video.h"
 
@@ -29,6 +30,14 @@ struct EncoderConfig {
     /// in silicon rather than selected by a preset).
     std::optional<ToolPreset> tools_override;
     uarch::UarchProbe *probe = nullptr;
+    /// Stage tracer; null (the default) falls back to the
+    /// env-configured obs::globalTracer(), and with neither attached
+    /// every instrumentation point costs one branch, same contract as
+    /// the null probe.
+    obs::Tracer *tracer = nullptr;
+    /// Trace track frames are committed to (the hardware models run
+    /// this encoder with frozen tools and relabel their timeline).
+    obs::Track track = obs::Track::VbcEncode;
 };
 
 /** Per-frame outcome. */

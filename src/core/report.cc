@@ -1,9 +1,14 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <ostream>
 #include <sstream>
+
+#include "obs/json.h"
+#include "obs/obs.h"
 
 namespace vbench::core {
 
@@ -62,6 +67,76 @@ printSeries(std::ostream &out, const std::string &name,
     for (const auto &[x, y] : points)
         out << x << " " << y << "\n";
     out << "\n";
+}
+
+std::string
+toJson(const RunReport &report, const obs::MetricsRegistry *metrics)
+{
+    std::ostringstream ss;
+    ss << "{" << obs::jsonString("label") << ":"
+       << obs::jsonString(report.label) << ","
+       << obs::jsonString("backend") << ":"
+       << obs::jsonString(report.backend) << ","
+       << obs::jsonString("seconds") << ":"
+       << obs::jsonNumber(report.seconds) << ","
+       << obs::jsonString("stream_bytes") << ":" << report.stream_bytes
+       << "," << obs::jsonString("speed_mpix_s") << ":"
+       << obs::jsonNumber(report.m.speed_mpix_s) << ","
+       << obs::jsonString("bitrate_bpps") << ":"
+       << obs::jsonNumber(report.m.bitrate_bpps) << ","
+       << obs::jsonString("psnr_db") << ":"
+       << obs::jsonNumber(report.m.psnr_db);
+
+    ss << "," << obs::jsonString("stages") << ":{";
+    bool first = true;
+    for (int i = 0; i < obs::kNumStages; ++i) {
+        const auto stage = static_cast<obs::Stage>(i);
+        if (report.stages.get(stage) == 0.0)
+            continue;
+        if (!first)
+            ss << ",";
+        first = false;
+        ss << obs::jsonString(obs::toString(stage)) << ":"
+           << obs::jsonNumber(report.stages.get(stage));
+    }
+    ss << "}";
+
+    if (!report.extra.empty()) {
+        ss << "," << obs::jsonString("extra") << ":{";
+        first = true;
+        for (const auto &[key, value] : report.extra) {
+            if (!first)
+                ss << ",";
+            first = false;
+            ss << obs::jsonString(key) << ":" << obs::jsonNumber(value);
+        }
+        ss << "}";
+    }
+
+    if (metrics) {
+        ss << "," << obs::jsonString("metrics") << ":";
+        metrics->writeJson(ss);
+    }
+    ss << "}";
+    return ss.str();
+}
+
+bool
+emitRunReport(const RunReport &report)
+{
+    if (!obs::metricsEnabled())
+        return false;
+    const std::string &path = obs::config().metrics_path;
+    const std::string line = toJson(report);
+    if (path == "-") {
+        std::cout << line << "\n";
+        return true;
+    }
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return false;
+    out << line << "\n";
+    return static_cast<bool>(out);
 }
 
 } // namespace vbench::core

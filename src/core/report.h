@@ -4,12 +4,19 @@
  * @file
  * Fixed-width table / series formatting for benchmark output, so each
  * bench binary prints rows shaped like the paper's tables and figure
- * series.
+ * series — plus the machine-readable RunReport every transcode / bench
+ * run can emit as one JSON document per line (VBENCH_METRICS_OUT).
  */
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "core/measure.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
 
 namespace vbench::core {
 
@@ -38,5 +45,35 @@ class Table
  */
 void printSeries(std::ostream &out, const std::string &name,
                  const std::vector<std::pair<double, double>> &points);
+
+/**
+ * One machine-readable record of a transcode or bench run: the
+ * measurement triple, wall-clock / modeled seconds, output size, the
+ * per-stage time breakdown, and free-form extra numbers.
+ */
+struct RunReport {
+    std::string label;    ///< clip / row identifier, caller-chosen
+    std::string backend;  ///< encoder name (toString(EncoderKind), ...)
+    Measurement m;
+    double seconds = 0;
+    size_t stream_bytes = 0;
+    obs::StageTotals stages;
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/**
+ * Serialize a report as a single-line JSON object. Only nonzero stage
+ * entries are included. When `metrics` is given, its full dump is
+ * embedded under a "metrics" key.
+ */
+std::string toJson(const RunReport &report,
+                   const obs::MetricsRegistry *metrics = nullptr);
+
+/**
+ * Append `toJson(report)` as one line to the VBENCH_METRICS_OUT
+ * destination ("-" for stdout). Returns false (and writes nothing)
+ * when run reporting is disabled or the file cannot be opened.
+ */
+bool emitRunReport(const RunReport &report);
 
 } // namespace vbench::core

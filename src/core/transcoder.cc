@@ -1,24 +1,16 @@
 #include "core/transcoder.h"
 
-#include <chrono>
-
 #include "codec/decoder.h"
 #include "codec/encoder.h"
 #include "hwenc/hwenc.h"
 #include "ngc/ngc_decoder.h"
 #include "ngc/ngc_encoder.h"
+#include "obs/clock.h"
+#include "obs/obs.h"
 
 namespace vbench::core {
 
 namespace {
-
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
 
 /** Modeled fixed-function decode throughput, Mpixels/second. */
 constexpr double kHwDecodeMpixS = 1600.0;
@@ -57,79 +49,185 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
           const TranscodeRequest &request)
 {
     TranscodeOutcome outcome;
-    const double start = now();
+    // Explicit sinks win; otherwise the env-configured globals apply.
+    obs::Tracer *tracer =
+        request.tracer ? request.tracer : obs::globalTracer();
+    obs::MetricsRegistry *metrics = request.metrics
+        ? request.metrics
+        : (obs::metricsEnabled() ? &obs::globalMetrics() : nullptr);
+    const obs::StageTotals leaf_before =
+        tracer ? tracer->stageTotals() : obs::StageTotals{};
+
+    const double start = obs::nowSeconds();
 
     codec::DecoderConfig dec_cfg;
     dec_cfg.probe = request.probe;
-    const auto decoded_input = codec::decode(input, dec_cfg);
+    dec_cfg.tracer = tracer;
+    std::optional<video::Video> decoded_input;
+    {
+        obs::ScopedSpan span(tracer, obs::Track::Transcode,
+                             obs::Stage::DecodeInput);
+        decoded_input = codec::decode(input, dec_cfg);
+    }
+    outcome.stages.set(obs::Stage::DecodeInput,
+                       obs::nowSeconds() - start);
     if (!decoded_input) {
         outcome.error = "input stream undecodable";
         return outcome;
     }
 
-    switch (request.kind) {
-      case EncoderKind::Vbc: {
-        codec::EncoderConfig cfg;
-        cfg.rc = request.rc;
-        cfg.effort = request.effort;
-        cfg.gop = request.gop;
-        cfg.entropy_override = request.entropy_override;
-        cfg.probe = request.probe;
-        codec::Encoder encoder(cfg);
-        outcome.stream = encoder.encode(*decoded_input).stream;
-        outcome.seconds = now() - start;
-        break;
-      }
-      case EncoderKind::NgcHevc:
-      case EncoderKind::NgcVp9: {
-        ngc::NgcConfig cfg;
-        cfg.rc = request.rc;
-        cfg.profile = request.kind == EncoderKind::NgcHevc
-            ? ngc::NgcProfile::HevcLike
-            : ngc::NgcProfile::Vp9Like;
-        cfg.speed = request.ngc_speed;
-        cfg.gop = request.gop;
-        cfg.probe = request.probe;
-        ngc::NgcEncoder encoder(cfg);
-        outcome.stream = encoder.encode(*decoded_input).stream;
-        outcome.seconds = now() - start;
-        break;
-      }
-      case EncoderKind::NvencLike:
-      case EncoderKind::QsvLike: {
-        const hwenc::HwEncoderSpec spec =
-            request.kind == EncoderKind::NvencLike
-            ? hwenc::nvencLikeSpec()
-            : hwenc::qsvLikeSpec();
-        const hwenc::HwEncodeResult hw =
-            hwenc::hwEncode(spec, *decoded_input, request.rc);
-        outcome.stream = hw.encoded.stream;
-        // Hardware time is the pipeline model's, not the simulation's
-        // wall clock: modeled decode plus modeled encode.
-        outcome.seconds = hw.seconds +
-            static_cast<double>(decoded_input->totalPixels()) /
-                (kHwDecodeMpixS * 1e6);
-        break;
-      }
+    // Frame statistics survive the encode for the metrics sink.
+    std::vector<codec::FrameStats> frame_stats;
+    const double encode_start = obs::nowSeconds();
+    {
+        obs::ScopedSpan span(tracer, obs::Track::Transcode,
+                             obs::Stage::Encode);
+        switch (request.kind) {
+          case EncoderKind::Vbc: {
+            codec::EncoderConfig cfg;
+            cfg.rc = request.rc;
+            cfg.effort = request.effort;
+            cfg.gop = request.gop;
+            cfg.entropy_override = request.entropy_override;
+            cfg.probe = request.probe;
+            cfg.tracer = tracer;
+            codec::Encoder encoder(cfg);
+            codec::EncodeResult enc = encoder.encode(*decoded_input);
+            outcome.stream = std::move(enc.stream);
+            frame_stats = std::move(enc.frames);
+            outcome.seconds = obs::nowSeconds() - start;
+            break;
+          }
+          case EncoderKind::NgcHevc:
+          case EncoderKind::NgcVp9: {
+            ngc::NgcConfig cfg;
+            cfg.rc = request.rc;
+            cfg.profile = request.kind == EncoderKind::NgcHevc
+                ? ngc::NgcProfile::HevcLike
+                : ngc::NgcProfile::Vp9Like;
+            cfg.speed = request.ngc_speed;
+            cfg.gop = request.gop;
+            cfg.probe = request.probe;
+            cfg.tracer = tracer;
+            ngc::NgcEncoder encoder(cfg);
+            codec::EncodeResult enc = encoder.encode(*decoded_input);
+            outcome.stream = std::move(enc.stream);
+            frame_stats = std::move(enc.frames);
+            outcome.seconds = obs::nowSeconds() - start;
+            break;
+          }
+          case EncoderKind::NvencLike:
+          case EncoderKind::QsvLike: {
+            const hwenc::HwEncoderSpec spec =
+                request.kind == EncoderKind::NvencLike
+                ? hwenc::nvencLikeSpec()
+                : hwenc::qsvLikeSpec();
+            hwenc::HwEncodeResult hw =
+                hwenc::hwEncode(spec, *decoded_input, request.rc, tracer);
+            outcome.stream = std::move(hw.encoded.stream);
+            frame_stats = std::move(hw.encoded.frames);
+            // Hardware time is the pipeline model's, not the
+            // simulation's wall clock: modeled decode plus modeled
+            // encode.
+            outcome.seconds = hw.seconds +
+                static_cast<double>(decoded_input->totalPixels()) /
+                    (kHwDecodeMpixS * 1e6);
+            outcome.stages.set(obs::Stage::HwPipeline, outcome.seconds);
+            break;
+          }
+        }
     }
+    outcome.stages.set(obs::Stage::Encode,
+                       obs::nowSeconds() - encode_start);
 
-    // Decode our own output to measure true quality.
+    // Decode our own output to measure true quality. This is
+    // measurement overhead, not transcode work: it runs after the
+    // `seconds` snapshot and stays off the tracer, so traced leaf
+    // totals remain comparable to the reported wall clock.
+    const double decode_out_start = obs::nowSeconds();
     std::optional<video::Video> decoded_output;
-    if (request.kind == EncoderKind::NgcHevc ||
-        request.kind == EncoderKind::NgcVp9) {
-        decoded_output = ngc::ngcDecode(outcome.stream);
-    } else {
-        decoded_output = codec::decode(outcome.stream);
+    {
+        obs::ScopedSpan span(tracer, obs::Track::Transcode,
+                             obs::Stage::DecodeOutput);
+        if (request.kind == EncoderKind::NgcHevc ||
+            request.kind == EncoderKind::NgcVp9) {
+            decoded_output = ngc::ngcDecode(outcome.stream);
+        } else {
+            decoded_output = codec::decode(outcome.stream);
+        }
     }
+    outcome.stages.set(obs::Stage::DecodeOutput,
+                       obs::nowSeconds() - decode_out_start);
     if (!decoded_output) {
         outcome.error = "produced stream undecodable";
         return outcome;
     }
 
-    outcome.m = measure(original, *decoded_output, outcome.stream.size(),
-                        outcome.seconds);
+    const double measure_start = obs::nowSeconds();
+    {
+        obs::ScopedSpan span(tracer, obs::Track::Transcode,
+                             obs::Stage::Measure);
+        outcome.m = measure(original, *decoded_output,
+                            outcome.stream.size(), outcome.seconds);
+    }
+    outcome.stages.set(obs::Stage::Measure,
+                       obs::nowSeconds() - measure_start);
     outcome.ok = true;
+
+    if (tracer) {
+        // This run's leaf-stage share of the tracer's accumulation.
+        const obs::StageTotals delta =
+            tracer->stageTotals().minus(leaf_before);
+        for (int i = 0; i < obs::kNumStages; ++i) {
+            const auto stage = static_cast<obs::Stage>(i);
+            if (obs::isLeafStage(stage))
+                outcome.stages.set(stage, delta.get(stage));
+        }
+    }
+
+    if (metrics) {
+        metrics->counter("transcode.runs").add();
+        metrics->counter(std::string("transcode.runs.") +
+                         toString(request.kind)).add();
+        metrics->counter("encode.frames").add(frame_stats.size());
+        obs::Histogram &frame_bytes =
+            metrics->histogram("encode.frame_bytes");
+        obs::Histogram &frame_qp = metrics->histogram("encode.frame_qp");
+        uint64_t intra_mbs = 0;
+        uint64_t skip_mbs = 0;
+        for (const codec::FrameStats &f : frame_stats) {
+            frame_bytes.observe(f.bytes);
+            frame_qp.observe(static_cast<uint64_t>(f.qp));
+            intra_mbs += f.intra_mbs;
+            skip_mbs += f.skip_mbs;
+        }
+        metrics->counter("encode.intra_mbs").add(intra_mbs);
+        metrics->counter("encode.skip_mbs").add(skip_mbs);
+        metrics->histogram("transcode.seconds_ms")
+            .observe(static_cast<uint64_t>(outcome.seconds * 1e3));
+    }
+
     return outcome;
+}
+
+RunReport
+makeRunReport(std::string label, const TranscodeRequest &request,
+              const TranscodeOutcome &outcome)
+{
+    RunReport report;
+    report.label = std::move(label);
+    report.backend = toString(request.kind);
+    report.m = outcome.m;
+    report.seconds = outcome.seconds;
+    report.stream_bytes = outcome.stream.size();
+    report.stages = outcome.stages;
+    report.extra.emplace_back("ok", outcome.ok ? 1.0 : 0.0);
+    if (request.kind == EncoderKind::Vbc)
+        report.extra.emplace_back("effort", request.effort);
+    if (request.kind == EncoderKind::NgcHevc ||
+        request.kind == EncoderKind::NgcVp9)
+        report.extra.emplace_back("ngc_speed", request.ngc_speed);
+    return report;
 }
 
 } // namespace vbench::core

@@ -15,6 +15,10 @@
 #include "codec/ratecontrol.h"
 #include "codec/types.h"
 #include "core/measure.h"
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "uarch/probe.h"
 #include "video/video.h"
 
@@ -43,6 +47,13 @@ struct TranscodeRequest {
     /// presets keep CABAC.
     int entropy_override = -1;
     uarch::UarchProbe *probe = nullptr;
+    /// Stage tracer. Null falls back to the process-wide tracer
+    /// (enabled via VBENCH_TRACE); when that is also null, every
+    /// instrumentation point costs one predictable branch.
+    obs::Tracer *tracer = nullptr;
+    /// Metrics sink. Null falls back to the global registry when
+    /// VBENCH_METRICS_OUT is set, else metrics are skipped entirely.
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** What happened. */
@@ -52,6 +63,10 @@ struct TranscodeOutcome {
     double seconds = 0;
     bool ok = false;
     std::string error;
+    /// Per-stage time breakdown. Phase stages (decode_input, encode,
+    /// decode_output, measure, hw_pipeline) are always populated; leaf
+    /// stages only when a tracer was active for the run.
+    obs::StageTotals stages;
 };
 
 /**
@@ -71,5 +86,9 @@ TranscodeOutcome transcode(const codec::ByteBuffer &input,
  * (§2.5's first pipeline stage).
  */
 codec::ByteBuffer makeUniversalStream(const video::Video &original);
+
+/** Build the machine-readable record of one finished transcode. */
+RunReport makeRunReport(std::string label, const TranscodeRequest &request,
+                        const TranscodeOutcome &outcome);
 
 } // namespace vbench::core

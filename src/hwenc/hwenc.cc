@@ -51,7 +51,7 @@ qsvLikeSpec()
 
 HwEncodeResult
 hwEncode(const HwEncoderSpec &spec, const video::Video &source,
-         codec::RateControlConfig rc)
+         codec::RateControlConfig rc, obs::Tracer *tracer)
 {
     // Fixed-function encoders are single-pass devices.
     if (rc.mode == RcMode::TwoPass)
@@ -71,6 +71,8 @@ hwEncode(const HwEncoderSpec &spec, const video::Video &source,
     cfg.rc = rc;
     cfg.gop = spec.gop;
     cfg.tools_override = spec.tools;
+    cfg.tracer = tracer;
+    cfg.track = obs::Track::HwEncode;
     codec::Encoder encoder(cfg);
 
     HwEncodeResult result;
@@ -87,7 +89,8 @@ hwEncode(const HwEncoderSpec &spec, const video::Video &source,
 HwEncodeResult
 encodeAtQuality(const HwEncoderSpec &spec, const video::Video &source,
                 double target_psnr, int iterations,
-                const video::Video *quality_baseline)
+                const video::Video *quality_baseline,
+                obs::Tracer *tracer)
 {
     // Quality can be judged against a cleaner master than the frames
     // being encoded (the transcode-pipeline case: encode the decoded
@@ -108,7 +111,7 @@ encodeAtQuality(const HwEncoderSpec &spec, const video::Video &source,
         codec::RateControlConfig rc;
         rc.mode = RcMode::Abr;
         rc.bitrate_bps = bpps * pix_rate;
-        HwEncodeResult attempt = hwEncode(spec, source, rc);
+        HwEncodeResult attempt = hwEncode(spec, source, rc, tracer);
         const auto decoded = codec::decode(attempt.encoded.stream);
         const double psnr =
             decoded ? metrics::videoPsnr(baseline, *decoded) : 0.0;
@@ -126,7 +129,7 @@ encodeAtQuality(const HwEncoderSpec &spec, const video::Video &source,
         codec::RateControlConfig rc;
         rc.mode = RcMode::Abr;
         rc.bitrate_bps = hi_bpps * pix_rate;
-        best = hwEncode(spec, source, rc);
+        best = hwEncode(spec, source, rc, tracer);
     }
     return best;
 }

@@ -65,10 +65,13 @@ struct HwEncodeResult {
  * @param rc rate control (hardware supports CQP and single-pass ABR;
  *        TwoPass is rejected — fixed-function encoders are one-pass
  *        devices — by falling back to Abr).
+ * @param tracer optional stage tracer; spans land on the HwEncode
+ *        track and record real (host) time, not modeled time.
  */
 HwEncodeResult hwEncode(const HwEncoderSpec &spec,
                         const video::Video &source,
-                        codec::RateControlConfig rc);
+                        codec::RateControlConfig rc,
+                        obs::Tracer *tracer = nullptr);
 
 /**
  * Bisection over the target bitrate until the encode's quality is just
@@ -83,6 +86,7 @@ HwEncodeResult encodeAtQuality(const HwEncoderSpec &spec,
                                const video::Video &source,
                                double target_psnr, int iterations = 7,
                                const video::Video *quality_baseline =
-                                   nullptr);
+                                   nullptr,
+                               obs::Tracer *tracer = nullptr);
 
 } // namespace vbench::hwenc

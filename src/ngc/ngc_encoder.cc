@@ -15,6 +15,9 @@
 #include "ngc/ngc_intra.h"
 #include "ngc/ngc_residual.h"
 #include "ngc/transform8.h"
+#include "obs/clock.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace vbench::ngc {
 
@@ -108,6 +111,8 @@ class NgcSequencer
                  const Video &source, RateController &rate)
         : config_(config), tools_(tools), source_(source), rate_(rate),
           probe_(config.probe),
+          tracer_(config.tracer ? config.tracer : obs::globalTracer()),
+          acc_(tracer_ ? &accum_ : nullptr),
           padded_w_((source.width() + kSbSize - 1) & ~(kSbSize - 1)),
           padded_h_((source.height() + kSbSize - 1) & ~(kSbSize - 1)),
           sb_cols_(padded_w_ / kSbSize), sb_rows_(padded_h_ / kSbSize)
@@ -128,8 +133,15 @@ class NgcSequencer
         writeNgcHeader(result.stream, header);
 
         for (int i = 0; i < source_.frameCount(); ++i) {
+            const uint64_t frame_start = tracer_ ? obs::nowNs() : 0;
+            if (acc_)
+                accum_.reset();
             const FrameType type = frameTypeFor(i);
-            const int qp = rate_.frameQp(type, i);
+            int qp;
+            {
+                obs::ScopedStage rc(acc_, obs::Stage::RateControl);
+                qp = rate_.frameQp(type, i);
+            }
             FrameStats stats;
             const ByteBuffer payload =
                 encodeFrame(source_.frame(i), type, qp, stats);
@@ -142,7 +154,13 @@ class NgcSequencer
             stats.qp = qp;
             stats.bytes = payload.size() + 5;
             result.frames.push_back(stats);
-            rate_.frameDone(type, (payload.size() + 5) * 8.0);
+            {
+                obs::ScopedStage rc(acc_, obs::Stage::RateControl);
+                rate_.frameDone(type, (payload.size() + 5) * 8.0);
+            }
+            if (tracer_)
+                tracer_->addFrame(obs::Track::NgcEncode, i, frame_start,
+                                  obs::nowNs(), accum_);
         }
         return result;
     }
@@ -174,13 +192,16 @@ class NgcSequencer
     encodeFrame(const Frame &original, FrameType type, int qp,
                 FrameStats &stats)
     {
-        src_ = padFrame(original);
-        if (type == FrameType::I)
-            refs_.clear();
-        recon_ = Frame(padded_w_, padded_h_);
-        cells_ = CellGrid(padded_w_ / 8, padded_h_ / 8);
-        qp_ = qp;
-        lambda_sad_ = codec::sadLambda(qp) * tools_.lambda_scale;
+        {
+            obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
+            src_ = padFrame(original);
+            if (type == FrameType::I)
+                refs_.clear();
+            recon_ = Frame(padded_w_, padded_h_);
+            cells_ = CellGrid(padded_w_ / 8, padded_h_ / 8);
+            qp_ = qp;
+            lambda_sad_ = codec::sadLambda(qp) * tools_.lambda_scale;
+        }
 
         ByteBuffer payload;
         codec::ArithSyntaxWriter writer(payload, nctx::kNumContexts);
@@ -188,9 +209,14 @@ class NgcSequencer
         double bits_done = 0;
         for (int sby = 0; sby < sb_rows_; ++sby) {
             for (int sbx = 0; sbx < sb_cols_; ++sbx) {
-                arena_.clear();
-                const int root = planCu(sbx * kSbSize, sby * kSbSize,
-                                        kSbSize, 0, type);
+                int root;
+                {
+                    obs::ScopedStage ps(acc_,
+                                        obs::Stage::PartitionSearch);
+                    arena_.clear();
+                    root = planCu(sbx * kSbSize, sby * kSbSize, kSbSize,
+                                  0, type);
+                }
                 encodeTree(root, sbx * kSbSize, sby * kSbSize, kSbSize, 0,
                            type, writer, stats);
                 if (probe_) {
@@ -204,20 +230,30 @@ class NgcSequencer
                 }
             }
         }
-        writer.finish();
+        {
+            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+            writer.finish();
+        }
 
         if (probe_) {
             probe_->record(KernelId::RateControl,
                            static_cast<uint64_t>(sb_cols_) * sb_rows_ * 4);
         }
 
-        deblockMapped();
+        {
+            obs::ScopedStage db(acc_, obs::Stage::Deblock);
+            deblockMapped();
+        }
 
-        refs_.push_front(RefFrame{RefPlane(recon_.y()),
-                                  RefPlane(recon_.u()),
-                                  RefPlane(recon_.v())});
-        while (static_cast<int>(refs_.size()) > std::max(1, tools_.refs))
-            refs_.pop_back();
+        {
+            obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
+            refs_.push_front(RefFrame{RefPlane(recon_.y()),
+                                      RefPlane(recon_.u()),
+                                      RefPlane(recon_.v())});
+            while (static_cast<int>(refs_.size()) >
+                   std::max(1, tools_.refs))
+                refs_.pop_back();
+        }
         return payload;
     }
 
@@ -416,6 +452,7 @@ class NgcSequencer
         NgcIntraMode intra_mode = NgcIntraMode::Dc;
         uint32_t intra_cost = UINT32_MAX;
         {
+            obs::ScopedStage intra_stage(acc_, obs::Stage::IntraDecision);
             uint8_t pred[kSbSize * kSbSize];
             for (int m = 0; m < kNgcIntraModes; ++m) {
                 const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
@@ -441,7 +478,9 @@ class NgcSequencer
             probe_->record(KernelId::ModeDecision, 2, use_inter ? 1 : 0,
                            1);
 
-        // Predictions.
+        // Predictions and residuals. Declarations stay outside the
+        // timing scope; the syntax and reconstruction sections below
+        // consume them.
         uint8_t pred_y[kSbSize * kSbSize];
         uint8_t pred_u[16 * 16];
         uint8_t pred_v[16 * 16];
@@ -450,6 +489,20 @@ class NgcSequencer
         const int cy = y / 2;
         MotionVector mv{};
         int ref = 0;
+        const bool intra = !use_inter;
+        const int tus = size / 8;
+        // Chroma uses hierarchical TUs when the chroma CU is at least 8
+        // wide, plain 4x4 otherwise.
+        const int ctus = csize >= 8 ? csize / 8 : 0;
+        int16_t dc_y[16][4];
+        int16_t ac_y[16][64];
+        int16_t dc_c[2][4][4];
+        int16_t ac_c[2][4][64];
+        int16_t levels4_c[2][16];
+        int nonzero = 0;
+        // Manual start/stop (no early return below) keeps the large
+        // prediction+residual section at its natural indentation.
+        const uint64_t tq_start = acc_ ? obs::nowNs() : 0;
         if (use_inter) {
             mv = node.me.mv;
             ref = node.ref;
@@ -472,11 +525,6 @@ class NgcSequencer
         }
 
         // Residuals.
-        const bool intra = !use_inter;
-        const int tus = size / 8;
-        int16_t dc_y[16][4];
-        int16_t ac_y[16][64];
-        int nonzero = 0;
         for (int ty = 0; ty < tus; ++ty) {
             for (int tx = 0; tx < tus; ++tx) {
                 int16_t residual[64];
@@ -496,12 +544,6 @@ class NgcSequencer
             }
         }
 
-        // Chroma residuals: hierarchical TUs when the chroma CU is at
-        // least 8 wide, plain 4x4 otherwise.
-        const int ctus = csize >= 8 ? csize / 8 : 0;
-        int16_t dc_c[2][4][4];
-        int16_t ac_c[2][4][64];
-        int16_t levels4_c[2][16];
         for (int plane = 0; plane < 2; ++plane) {
             const Plane &splane = plane == 0 ? src_.u() : src_.v();
             const uint8_t *pred_c = plane == 0 ? pred_u : pred_v;
@@ -545,45 +587,55 @@ class NgcSequencer
                            static_cast<uint64_t>(size) * size / 16 + 8,
                            nonzero != 0, 1);
         }
+        if (acc_)
+            acc_->add(obs::Stage::TransformQuant,
+                      obs::nowNs() - tq_start);
 
         const bool coded = nonzero != 0;
         const bool skip = use_inter && ref == 0 && mv == pred_mv && !coded;
 
         // --- Syntax. ---
-        if (type == FrameType::P)
-            writer.bit(skip ? 1 : 0, nctx::kSkip);
-        if (!skip) {
+        {
+            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
             if (type == FrameType::P)
-                writer.bit(use_inter ? 1 : 0, nctx::kIsInter);
-            if (use_inter) {
-                if (tools_.refs > 1)
-                    writer.ue(static_cast<uint32_t>(ref), ctx::kRefIdx,
-                              2);
-                writer.se(mv.x - pred_mv.x, ctx::kMvX, 4);
-                writer.se(mv.y - pred_mv.y, ctx::kMvY, 4);
-            } else {
-                writer.ue(static_cast<int>(intra_mode), nctx::kIntraMode,
-                          3);
-            }
-            for (int t = 0; t < tus * tus; ++t)
-                writeTu8(writer, dc_y[t], ac_y[t], true);
-            for (int plane = 0; plane < 2; ++plane) {
-                if (ctus > 0) {
-                    for (int t = 0; t < ctus * ctus; ++t)
-                        writeTu8(writer, dc_c[plane][t], ac_c[plane][t],
-                                 false);
+                writer.bit(skip ? 1 : 0, nctx::kSkip);
+            if (!skip) {
+                if (type == FrameType::P)
+                    writer.bit(use_inter ? 1 : 0, nctx::kIsInter);
+                if (use_inter) {
+                    if (tools_.refs > 1)
+                        writer.ue(static_cast<uint32_t>(ref),
+                                  ctx::kRefIdx, 2);
+                    writer.se(mv.x - pred_mv.x, ctx::kMvX, 4);
+                    writer.se(mv.y - pred_mv.y, ctx::kMvY, 4);
                 } else {
-                    codec::writeResidualBlock(writer, levels4_c[plane],
-                                              false);
+                    writer.ue(static_cast<int>(intra_mode),
+                              nctx::kIntraMode, 3);
                 }
+                for (int t = 0; t < tus * tus; ++t)
+                    writeTu8(writer, dc_y[t], ac_y[t], true);
+                for (int plane = 0; plane < 2; ++plane) {
+                    if (ctus > 0) {
+                        for (int t = 0; t < ctus * ctus; ++t)
+                            writeTu8(writer, dc_c[plane][t],
+                                     ac_c[plane][t], false);
+                    } else {
+                        codec::writeResidualBlock(writer,
+                                                  levels4_c[plane],
+                                                  false);
+                    }
+                }
+            } else {
+                ++stats.skip_mbs;
             }
-        } else {
-            ++stats.skip_mbs;
         }
 
         // --- Reconstruction. ---
-        reconstructLeaf(x, y, size, pred_y, pred_u, pred_v, skip, tus,
-                        dc_y, ac_y, ctus, dc_c, ac_c, levels4_c);
+        {
+            obs::ScopedStage rec(acc_, obs::Stage::Reconstruct);
+            reconstructLeaf(x, y, size, pred_y, pred_u, pred_v, skip, tus,
+                            dc_y, ac_y, ctus, dc_c, ac_c, levels4_c);
+        }
 
         // --- Cell state. ---
         for (int dy = 0; dy < size / 8; ++dy) {
@@ -700,6 +752,9 @@ class NgcSequencer
     const Video &source_;
     RateController &rate_;
     uarch::UarchProbe *probe_;
+    obs::Tracer *tracer_;
+    obs::StageAccum accum_;
+    obs::StageAccum *acc_;
     int padded_w_;
     int padded_h_;
     int sb_cols_;

@@ -23,6 +23,11 @@ struct NgcConfig {
     int speed = 1;
     int gop = 30;
     uarch::UarchProbe *probe = nullptr;
+    /// Stage tracer; null (the default) falls back to the
+    /// env-configured obs::globalTracer(), and with neither attached
+    /// every instrumentation point costs one branch, same contract as
+    /// the null probe.
+    obs::Tracer *tracer = nullptr;
 };
 
 /**

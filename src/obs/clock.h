@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * The one monotonic clock every vbench component shares. The paper's
+ * speed metric is wall-clock-based (§2.3), so the transcoder driver,
+ * the benches, and the tracing layer must all read the same clock or
+ * their numbers are not comparable.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace vbench::obs {
+
+/** Monotonic now, nanoseconds since an arbitrary epoch. */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Monotonic now, seconds since an arbitrary epoch. */
+inline double
+nowSeconds()
+{
+    return static_cast<double>(nowNs()) * 1e-9;
+}
+
+/** Elapsed-seconds stopwatch over the monotonic clock. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(nowNs()) {}
+
+    double
+    seconds() const
+    {
+        return static_cast<double>(nowNs() - start_) * 1e-9;
+    }
+
+    void
+    reset()
+    {
+        start_ = nowNs();
+    }
+
+  private:
+    uint64_t start_;
+};
+
+} // namespace vbench::obs

@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the trace exporter, the
+ * metrics dump, and the run reports. Output only — vbench never parses
+ * JSON outside of tests.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace vbench::obs {
+
+/** Escape a string for embedding inside JSON double quotes. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** A quoted, escaped JSON string literal. */
+inline std::string
+jsonString(std::string_view s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+/**
+ * Format a double as a JSON number. JSON has no inf/nan, so
+ * non-finite values degrade to null.
+ */
+inline std::string
+jsonNumber(double v)
+{
+    if (!(v == v) || v > 1.7e308 || v < -1.7e308)
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace vbench::obs

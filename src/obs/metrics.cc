@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace vbench::obs {
+
+int
+Histogram::bucketIndex(uint64_t value) noexcept
+{
+    if (value < 8)
+        return static_cast<int>(value);
+    const int octave = 63 - std::countl_zero(value);  // >= 3
+    const uint64_t lo = uint64_t{1} << octave;
+    const int sub = static_cast<int>((value - lo) >> (octave - 3));
+    return 8 + (octave - 3) * kSubBuckets + sub;
+}
+
+uint64_t
+Histogram::bucketLo(int index) noexcept
+{
+    if (index < 8)
+        return static_cast<uint64_t>(index);
+    const int octave = 3 + (index - 8) / kSubBuckets;
+    const int sub = (index - 8) % kSubBuckets;
+    return (uint64_t{1} << octave) +
+        (static_cast<uint64_t>(sub) << (octave - 3));
+}
+
+uint64_t
+Histogram::bucketHi(int index) noexcept
+{
+    if (index < 8)
+        return static_cast<uint64_t>(index) + 1;
+    const int octave = 3 + (index - 8) / kSubBuckets;
+    const uint64_t lo = bucketLo(index);
+    const uint64_t hi = lo + (uint64_t{1} << (octave - 3));
+    return hi > lo ? hi : UINT64_MAX;  // top bucket saturates
+}
+
+void
+Histogram::observe(uint64_t value) noexcept
+{
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::count() const noexcept
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::sum() const noexcept
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const noexcept
+{
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / n;
+}
+
+double
+Histogram::percentile(double p) const noexcept
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank in [1, n] of the sample at percentile p.
+    const double rank = p / 100.0 * (static_cast<double>(n) - 1.0) + 1.0;
+    uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+        if (c == 0)
+            continue;
+        if (static_cast<double>(cum + c) >= rank) {
+            // Linear interpolation inside the bucket's value range.
+            const double frac =
+                (rank - static_cast<double>(cum)) / static_cast<double>(c);
+            const double lo = static_cast<double>(bucketLo(i));
+            const double hi = static_cast<double>(bucketHi(i));
+            return lo + frac * (hi - lo);
+        }
+        cum += c;
+    }
+    return static_cast<double>(bucketHi(kNumBuckets - 1));
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::writeText(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_)
+        out << "counter " << name << " " << c->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        out << "histogram " << name << " count=" << h->count()
+            << " mean=" << h->mean() << " p50=" << h->percentile(50)
+            << " p90=" << h->percentile(90) << " p99=" << h->percentile(99)
+            << "\n";
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << jsonString(name) << ":" << c->value();
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << jsonString(name) << ":{\"count\":" << h->count()
+            << ",\"mean\":" << jsonNumber(h->mean())
+            << ",\"p50\":" << jsonNumber(h->percentile(50))
+            << ",\"p90\":" << jsonNumber(h->percentile(90))
+            << ",\"p99\":" << jsonNumber(h->percentile(99)) << "}";
+    }
+    out << "}}";
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    histograms_.clear();
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.size() + histograms_.size();
+}
+
+} // namespace vbench::obs

@@ -1,0 +1,65 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+
+namespace vbench::obs {
+
+ObsConfig
+parseEnvConfig()
+{
+    ObsConfig cfg;
+    if (const char *trace = std::getenv("VBENCH_TRACE");
+        trace && trace[0] != '\0') {
+        cfg.trace_enabled = true;
+        cfg.trace_path = trace;
+    }
+    if (const char *metrics = std::getenv("VBENCH_METRICS_OUT");
+        metrics && metrics[0] != '\0') {
+        cfg.metrics_path = metrics;
+    }
+    return cfg;
+}
+
+const ObsConfig &
+config()
+{
+    static const ObsConfig cfg = parseEnvConfig();
+    return cfg;
+}
+
+Tracer *
+globalTracer()
+{
+    if (!config().trace_enabled)
+        return nullptr;
+    static Tracer *tracer = [] {
+        // Leaked intentionally: spans may be recorded from atexit-time
+        // destructors; the flush below snapshots whatever exists.
+        auto *t = new Tracer();
+        std::atexit(flushGlobal);
+        return t;
+    }();
+    return tracer;
+}
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+bool
+metricsEnabled()
+{
+    return !config().metrics_path.empty();
+}
+
+void
+flushGlobal()
+{
+    if (Tracer *tracer = globalTracer())
+        tracer->writeChromeTraceFile(config().trace_path);
+}
+
+} // namespace vbench::obs

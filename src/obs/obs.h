@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Process-wide observability configuration, read once from the
+ * environment:
+ *
+ *   VBENCH_TRACE=<path>        enable tracing; Chrome trace JSON is
+ *                              written to <path> at process exit (or
+ *                              at an explicit flushGlobal()).
+ *   VBENCH_METRICS_OUT=<path>  enable run reports; each transcode /
+ *                              bench run appends one JSON document per
+ *                              line to <path> ("-" for stdout).
+ *
+ * When neither variable is set, globalTracer() is null and every
+ * instrumentation point costs one predictable branch.
+ */
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vbench::obs {
+
+struct ObsConfig {
+    bool trace_enabled = false;
+    std::string trace_path;
+    std::string metrics_path;
+};
+
+/** Parse the observability environment (pure read, no caching). */
+ObsConfig parseEnvConfig();
+
+/** The cached process-wide configuration (parsed on first call). */
+const ObsConfig &config();
+
+/**
+ * The process-wide tracer, or nullptr when VBENCH_TRACE is unset.
+ * First call with tracing enabled registers an atexit flush.
+ */
+Tracer *globalTracer();
+
+/** The process-wide metrics registry (always available). */
+MetricsRegistry &globalMetrics();
+
+/** True when VBENCH_METRICS_OUT is set. */
+bool metricsEnabled();
+
+/** Write the global trace file now (no-op when tracing is off). */
+void flushGlobal();
+
+} // namespace vbench::obs

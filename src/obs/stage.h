@@ -1,0 +1,177 @@
+#pragma once
+
+/**
+ * @file
+ * The stage taxonomy of the transcode pipeline. Phase stages are the
+ * driver-level steps of one transcode (always measured, a handful of
+ * clock reads per run); leaf stages are the encoder/decoder internals
+ * (measured only when a Tracer is attached). Leaf stages are disjoint
+ * by construction — their accumulated times partition the traced wall
+ * clock — so their totals can be summed and compared against the
+ * reported transcode seconds.
+ */
+
+#include <cstdint>
+
+namespace vbench::obs {
+
+/** Every named stage, phases first, leaves after. */
+enum class Stage : uint8_t {
+    // --- Transcode-level phases (driver-measured, always on). ---
+    DecodeInput = 0,   ///< decode the universal input stream
+    Encode,            ///< the re-encode (wall clock, any backend)
+    DecodeOutput,      ///< decode own output for quality measurement
+    Measure,           ///< PSNR / bitrate / speed computation
+    HwPipeline,        ///< hardware model arithmetic (modeled backends)
+    // --- Leaf stages (tracer-measured, disjoint in time). ---
+    FrameSetup,        ///< padding, AQ pre-pass, reference upkeep
+    MotionEstimation,  ///< inter search incl. early-skip probing
+    IntraDecision,     ///< intra predictor evaluation
+    PartitionSearch,   ///< NGC quadtree CU planning (its RDO)
+    ModeDecision,      ///< VBC candidate sort + RD trials
+    TransformQuant,    ///< prediction build + forward transform + quant
+    EntropyCoding,     ///< syntax and residual bit emission
+    Deblock,           ///< in-loop deblocking filter
+    RateControl,       ///< per-frame QP decisions and feedback
+    Reconstruct,       ///< dequant + inverse transform + recon writes
+    DecodeFrame,       ///< one decoded frame (parse + reconstruct)
+    Other,             ///< per-frame glue not attributed above
+};
+
+inline constexpr int kNumStages = static_cast<int>(Stage::Other) + 1;
+
+/** Stable snake_case stage names (span/JSON naming convention). */
+inline const char *
+toString(Stage stage)
+{
+    switch (stage) {
+      case Stage::DecodeInput: return "decode_input";
+      case Stage::Encode: return "encode";
+      case Stage::DecodeOutput: return "decode_output";
+      case Stage::Measure: return "measure";
+      case Stage::HwPipeline: return "hw_pipeline";
+      case Stage::FrameSetup: return "frame_setup";
+      case Stage::MotionEstimation: return "motion_estimation";
+      case Stage::IntraDecision: return "intra_decision";
+      case Stage::PartitionSearch: return "partition_search";
+      case Stage::ModeDecision: return "mode_decision";
+      case Stage::TransformQuant: return "transform_quant";
+      case Stage::EntropyCoding: return "entropy_coding";
+      case Stage::Deblock: return "deblock";
+      case Stage::RateControl: return "rate_control";
+      case Stage::Reconstruct: return "reconstruct";
+      case Stage::DecodeFrame: return "decode_frame";
+      case Stage::Other: return "other";
+    }
+    return "unknown";
+}
+
+/** Leaf stages partition traced time; phases overlap them. */
+inline constexpr bool
+isLeafStage(Stage stage)
+{
+    return static_cast<int>(stage) >= static_cast<int>(Stage::FrameSetup);
+}
+
+/**
+ * The timeline ("thread" row in a Chrome trace) an event belongs to.
+ */
+enum class Track : uint8_t {
+    Transcode = 0,  ///< driver-level phases
+    VbcEncode,      ///< VBC software encoder
+    NgcEncode,      ///< next-generation encoder
+    HwEncode,       ///< hardware-model encode (frozen VBC tool set)
+    Decode,         ///< decoder
+};
+
+inline constexpr int kNumTracks = static_cast<int>(Track::Decode) + 1;
+
+inline const char *
+toString(Track track)
+{
+    switch (track) {
+      case Track::Transcode: return "transcode";
+      case Track::VbcEncode: return "vbc_encode";
+      case Track::NgcEncode: return "ngc_encode";
+      case Track::HwEncode: return "hw_encode";
+      case Track::Decode: return "decode";
+    }
+    return "unknown";
+}
+
+/**
+ * Fixed-size per-stage nanosecond accumulator. The encoders keep one
+ * per frame and add to it through ScopedStage; no allocation, no
+ * locking (single encode thread), one branch when tracing is off.
+ */
+struct StageAccum {
+    uint64_t ns[kNumStages] = {};
+
+    void
+    reset()
+    {
+        for (uint64_t &v : ns)
+            v = 0;
+    }
+
+    void
+    add(Stage stage, uint64_t delta_ns)
+    {
+        ns[static_cast<int>(stage)] += delta_ns;
+    }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (const uint64_t v : ns)
+            t += v;
+        return t;
+    }
+};
+
+/** Per-stage seconds, the reportable form of accumulated spans. */
+struct StageTotals {
+    double seconds[kNumStages] = {};
+
+    void
+    add(Stage stage, double s)
+    {
+        seconds[static_cast<int>(stage)] += s;
+    }
+
+    void
+    set(Stage stage, double s)
+    {
+        seconds[static_cast<int>(stage)] = s;
+    }
+
+    double
+    get(Stage stage) const
+    {
+        return seconds[static_cast<int>(stage)];
+    }
+
+    /** Sum over leaf stages only (these partition traced time). */
+    double
+    leafSeconds() const
+    {
+        double t = 0;
+        for (int i = 0; i < kNumStages; ++i)
+            if (isLeafStage(static_cast<Stage>(i)))
+                t += seconds[i];
+        return t;
+    }
+
+    /** Per-stage difference (for before/after tracer snapshots). */
+    StageTotals
+    minus(const StageTotals &earlier) const
+    {
+        StageTotals d;
+        for (int i = 0; i < kNumStages; ++i)
+            d.seconds[i] = seconds[i] - earlier.seconds[i];
+        return d;
+    }
+};
+
+} // namespace vbench::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace vbench::obs {
+
+void
+Tracer::addSpan(Track track, Stage stage, int32_t frame,
+                uint64_t start_ns, uint64_t end_ns)
+{
+    const uint64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(TraceEvent{stage, track, frame, false, start_ns, dur});
+    if (isLeafStage(stage))
+        totals_ns_[static_cast<int>(stage)] += dur;
+}
+
+void
+Tracer::addFrame(Track track, int32_t frame, uint64_t start_ns,
+                 uint64_t end_ns, const StageAccum &accum)
+{
+    const uint64_t frame_dur = end_ns > start_ns ? end_ns - start_ns : 0;
+    // Children tile the frame: accumulated stages in enum order, then
+    // an `other` filler for loop glue the stage scopes didn't cover.
+    uint64_t attributed = 0;
+    for (int i = 0; i < kNumStages; ++i)
+        if (isLeafStage(static_cast<Stage>(i)))
+            attributed += accum.ns[i];
+    attributed = std::min(attributed, frame_dur);
+    const uint64_t other = frame_dur - attributed;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // The frame-long parent span (not a leaf: children carry the time).
+    events_.push_back(
+        TraceEvent{Stage::Other, track, frame, false, start_ns, frame_dur});
+    events_.back().synthetic = false;
+    // Overwrite the parent's stage marker: frames render by name only,
+    // so reuse Other but mark it via frame>=0 + non-synthetic parent
+    // position (the exporter names it "frame").
+    uint64_t cursor = start_ns;
+    auto child = [&](Stage stage, uint64_t ns) {
+        if (ns == 0)
+            return;
+        events_.push_back(
+            TraceEvent{stage, track, frame, true, cursor, ns});
+        totals_ns_[static_cast<int>(stage)] += ns;
+        cursor += ns;
+    };
+    for (int i = 0; i < kNumStages; ++i) {
+        const Stage stage = static_cast<Stage>(i);
+        if (isLeafStage(stage) && stage != Stage::Other)
+            child(stage, std::min<uint64_t>(accum.ns[i],
+                                            start_ns + frame_dur - cursor));
+    }
+    child(Stage::Other, other);
+}
+
+StageTotals
+Tracer::stageTotals() const
+{
+    StageTotals t;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < kNumStages; ++i)
+        t.seconds[i] = static_cast<double>(totals_ns_[i]) * 1e-9;
+    return t;
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    for (uint64_t &v : totals_ns_)
+        v = 0;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &out) const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        events = events_;
+    }
+    uint64_t origin = UINT64_MAX;
+    for (const TraceEvent &e : events)
+        origin = std::min(origin, e.start_ns);
+    if (origin == UINT64_MAX)
+        origin = 0;
+
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out << ",";
+        first = false;
+    };
+    // Name the track rows.
+    for (int t = 0; t < kNumTracks; ++t) {
+        sep();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+            << t + 1 << ",\"args\":{\"name\":"
+            << jsonString(toString(static_cast<Track>(t))) << "}}";
+    }
+    for (const TraceEvent &e : events) {
+        sep();
+        // A frame parent is the non-synthetic frame-keyed event a
+        // stage-accumulating track commits; render it as "frame".
+        const bool is_frame_parent =
+            !e.synthetic && e.frame >= 0 && e.stage == Stage::Other;
+        const char *name =
+            is_frame_parent ? "frame" : toString(e.stage);
+        const char *cat = is_frame_parent
+            ? "frame"
+            : (isLeafStage(e.stage) ? "stage" : "phase");
+        out << "{\"name\":" << jsonString(name) << ",\"cat\":\"" << cat
+            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+            << static_cast<int>(e.track) + 1 << ",\"ts\":"
+            << jsonNumber(static_cast<double>(e.start_ns - origin) / 1e3)
+            << ",\"dur\":"
+            << jsonNumber(static_cast<double>(e.dur_ns) / 1e3);
+        if (e.frame >= 0)
+            out << ",\"args\":{\"frame\":" << e.frame << "}";
+        out << "}";
+    }
+    out << "]}";
+}
+
+bool
+Tracer::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    out << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace vbench::obs

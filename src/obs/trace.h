@@ -1,0 +1,152 @@
+#pragma once
+
+/**
+ * @file
+ * Low-overhead stage tracing. A Tracer collects finished spans
+ * (thread-safe, append-only) and exports them as Chrome trace_event
+ * JSON loadable in chrome://tracing or https://ui.perfetto.dev. The
+ * codecs never pay more than one predictable branch per instrumentation
+ * point when no tracer is attached — the same contract as the null
+ * UarchProbe.
+ *
+ * Two recording styles:
+ *  - ScopedSpan: a real span with its own begin/end timestamps
+ *    (driver phases, per-frame decoder work).
+ *  - ScopedStage + Tracer::addFrame: per-stage accumulation inside a
+ *    frame. Encoder stages interleave at macroblock granularity, so
+ *    each frame accumulates per-stage nanoseconds locally and commits
+ *    once; the exporter lays the stages out sequentially inside the
+ *    frame span and adds an `other` filler so the children exactly
+ *    tile their frame.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/stage.h"
+
+namespace vbench::obs {
+
+/** One finished span. */
+struct TraceEvent {
+    Stage stage = Stage::Other;
+    Track track = Track::Transcode;
+    int32_t frame = -1;      ///< frame index, -1 when not frame-keyed
+    bool synthetic = false;  ///< laid out inside a frame, not measured
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+};
+
+/** Thread-safe span collector + Chrome-trace exporter. */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Record one finished span. Leaf stages count toward totals. */
+    void addSpan(Track track, Stage stage, int32_t frame,
+                 uint64_t start_ns, uint64_t end_ns);
+
+    /**
+     * Commit one encoded frame: a frame-long span plus one synthetic
+     * child per nonzero stage in `accum`, with an `other` filler for
+     * unattributed frame time. All children are leaf stages and sum
+     * exactly to the frame duration.
+     */
+    void addFrame(Track track, int32_t frame, uint64_t start_ns,
+                  uint64_t end_ns, const StageAccum &accum);
+
+    /** Snapshot of per-stage accumulated seconds. */
+    StageTotals stageTotals() const;
+
+    size_t eventCount() const;
+
+    void clear();
+
+    /** Chrome trace_event JSON (object form, `traceEvents` array). */
+    void writeChromeTrace(std::ostream &out) const;
+
+    /** writeChromeTrace to a file; false if the file can't open. */
+    bool writeChromeTraceFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    uint64_t totals_ns_[kNumStages] = {};
+};
+
+/**
+ * RAII span: records [construction, destruction) on a tracer. Null
+ * tracer = one branch, no clock read.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer *tracer, Track track, Stage stage,
+               int32_t frame = -1)
+        : tracer_(tracer)
+    {
+        if (tracer_) {
+            track_ = track;
+            stage_ = stage;
+            frame_ = frame;
+            start_ns_ = nowNs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (tracer_)
+            tracer_->addSpan(track_, stage_, frame_, start_ns_, nowNs());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Tracer *tracer_;
+    Track track_ = Track::Transcode;
+    Stage stage_ = Stage::Other;
+    int32_t frame_ = -1;
+    uint64_t start_ns_ = 0;
+};
+
+/**
+ * RAII stage timer accumulating into a per-frame StageAccum. Null
+ * accumulator = one branch, no clock read, no allocation. Instrumented
+ * regions must not nest (nesting double-counts); scopes sit at call
+ * sites, never inside shared helpers.
+ */
+class ScopedStage
+{
+  public:
+    ScopedStage(StageAccum *accum, Stage stage) : accum_(accum)
+    {
+        if (accum_) {
+            stage_ = stage;
+            start_ns_ = nowNs();
+        }
+    }
+
+    ~ScopedStage()
+    {
+        if (accum_)
+            accum_->add(stage_, nowNs() - start_ns_);
+    }
+
+    ScopedStage(const ScopedStage &) = delete;
+    ScopedStage &operator=(const ScopedStage &) = delete;
+
+  private:
+    StageAccum *accum_;
+    Stage stage_ = Stage::Other;
+    uint64_t start_ns_ = 0;
+};
+
+} // namespace vbench::obs

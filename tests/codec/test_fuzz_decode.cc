@@ -92,8 +92,9 @@ TEST(FuzzDecode, TruncationSweepNeverCrashesVbc)
     for (size_t keep = 0; keep < good.size(); keep += 7) {
         const auto decoded = decode(good.data(), keep);
         // A truncated container can never yield the full clip.
-        if (decoded)
+        if (decoded) {
             EXPECT_LT(decoded->frameCount(), v.frameCount());
+        }
     }
 }
 

@@ -41,8 +41,9 @@ TEST(Preset, SubpelTurnsOnAndStaysOn)
     bool seen = false;
     for (int e = 0; e < kNumEfforts; ++e) {
         const bool subpel = presetForEffort(e).subpel;
-        if (seen)
+        if (seen) {
             EXPECT_TRUE(subpel) << "effort " << e;
+        }
         seen = seen || subpel;
     }
     EXPECT_TRUE(seen);

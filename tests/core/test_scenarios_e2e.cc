@@ -120,8 +120,9 @@ TEST(ScenarioPipeline, VodScoreRewardsHardwareStyleSpeed)
     EXPECT_GT(r.s, 0.0);
     const ScoreResult score =
         scoreScenario(Scenario::Vod, r, hw.m, p.outputRate());
-    if (score.valid)
+    if (score.valid) {
         EXPECT_NEAR(score.score, r.s * r.b, 1e-12);
+    }
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <string>
 
 #include "codec/decoder.h"
 #include "codec/encoder.h"
@@ -13,6 +15,7 @@
 #include "core/scoring.h"
 #include "core/transcoder.h"
 #include "metrics/rates.h"
+#include "obs/trace.h"
 #include "video/synth.h"
 
 namespace vbench::core {
@@ -55,6 +58,56 @@ TEST(Transcoder, EveryEncoderKindRuns)
         EXPECT_GT(outcome.m.psnr_db, 20.0) << toString(kind);
         EXPECT_GT(outcome.m.speed_mpix_s, 0.0) << toString(kind);
         EXPECT_GT(outcome.m.bitrate_bpps, 0.0) << toString(kind);
+    }
+}
+
+TEST(Transcoder, ToStringCoversEveryEncoderKind)
+{
+    std::set<std::string> names;
+    for (EncoderKind kind :
+         {EncoderKind::Vbc, EncoderKind::NgcHevc, EncoderKind::NgcVp9,
+          EncoderKind::NvencLike, EncoderKind::QsvLike}) {
+        const std::string name = toString(kind);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown");
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), 5u);  // all distinct
+}
+
+TEST(Transcoder, EveryBackendProducesStageBreakdown)
+{
+    const video::Video v = clip();
+    const codec::ByteBuffer universal = makeUniversalStream(v);
+    for (EncoderKind kind :
+         {EncoderKind::Vbc, EncoderKind::NgcHevc, EncoderKind::NgcVp9,
+          EncoderKind::NvencLike, EncoderKind::QsvLike}) {
+        obs::Tracer tracer;
+        TranscodeRequest req;
+        req.kind = kind;
+        req.rc.mode = codec::RcMode::Abr;
+        req.rc.bitrate_bps = 800e3;
+        req.effort = 3;
+        req.ngc_speed = 2;
+        req.tracer = &tracer;
+        const TranscodeOutcome outcome = transcode(universal, v, req);
+        ASSERT_TRUE(outcome.ok) << toString(kind) << ": "
+                                << outcome.error;
+        // Always-on phases, topped by a nonzero encode stage.
+        EXPECT_GT(outcome.stages.get(obs::Stage::Encode), 0.0)
+            << toString(kind);
+        EXPECT_GT(outcome.stages.get(obs::Stage::DecodeInput), 0.0)
+            << toString(kind);
+        // With a tracer attached, the leaf stages fill in too.
+        EXPECT_GT(outcome.stages.leafSeconds(), 0.0) << toString(kind);
+        EXPECT_GT(tracer.eventCount(), 0u) << toString(kind);
+        // Modeled backends also report the pipeline-model phase.
+        if (kind == EncoderKind::NvencLike ||
+            kind == EncoderKind::QsvLike) {
+            EXPECT_DOUBLE_EQ(outcome.stages.get(obs::Stage::HwPipeline),
+                             outcome.seconds)
+                << toString(kind);
+        }
     }
 }
 

@@ -121,8 +121,9 @@ TEST(Selection, ModeIsHeaviestMember)
         ASSERT_GE(m, 0);
         // No member of the same cluster may outweigh the mode.
         for (size_t i = 0; i < corpus.size(); ++i) {
-            if (result.assignment[i] == result.assignment[m])
+            if (result.assignment[i] == result.assignment[m]) {
                 EXPECT_LE(corpus[i].weight, corpus[m].weight);
+            }
         }
     }
 }

@@ -1,0 +1,260 @@
+#pragma once
+
+/**
+ * @file
+ * A deliberately small recursive-descent JSON parser, used only by
+ * tests to round-trip the observability subsystem's emitted JSON
+ * (Chrome traces, metrics dumps, run reports). Rejects trailing
+ * garbage; accepts the full value grammar the emitters can produce:
+ * objects, arrays, strings with escapes, numbers, true/false/null.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbench::testjson {
+
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    /** Parse the whole input as one value; nullopt on any error. */
+    std::optional<Value>
+    parse()
+    {
+        std::optional<Value> v = parseValue();
+        skipSpace();
+        if (!v || pos_ != text_.size())
+            return std::nullopt;
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    std::optional<Value>
+    parseValue()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            if (!literal("null"))
+                return std::nullopt;
+            return Value{};
+        }
+        return parseNumber();
+    }
+
+    std::optional<Value>
+    parseObject()
+    {
+        if (!consume('{'))
+            return std::nullopt;
+        Value v;
+        v.kind = Value::Kind::Object;
+        skipSpace();
+        if (consume('}'))
+            return v;
+        while (true) {
+            skipSpace();
+            std::optional<Value> key = parseString();
+            if (!key || !consume(':'))
+                return std::nullopt;
+            std::optional<Value> member = parseValue();
+            if (!member)
+                return std::nullopt;
+            v.object.emplace(std::move(key->string), std::move(*member));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<Value>
+    parseArray()
+    {
+        if (!consume('['))
+            return std::nullopt;
+        Value v;
+        v.kind = Value::Kind::Array;
+        skipSpace();
+        if (consume(']'))
+            return v;
+        while (true) {
+            std::optional<Value> element = parseValue();
+            if (!element)
+                return std::nullopt;
+            v.array.push_back(std::move(*element));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<Value>
+    parseString()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return std::nullopt;
+        ++pos_;
+        Value v;
+        v.kind = Value::Kind::String;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.string += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return std::nullopt;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': v.string += '"'; break;
+              case '\\': v.string += '\\'; break;
+              case '/': v.string += '/'; break;
+              case 'b': v.string += '\b'; break;
+              case 'f': v.string += '\f'; break;
+              case 'n': v.string += '\n'; break;
+              case 'r': v.string += '\r'; break;
+              case 't': v.string += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return std::nullopt;
+                // Tests only emit control characters this way; decode
+                // the code unit as a single byte (enough for < 0x80).
+                const std::string hex(text_.substr(pos_, 4));
+                pos_ += 4;
+                v.string += static_cast<char>(
+                    std::strtoul(hex.c_str(), nullptr, 16));
+                break;
+              }
+              default: return std::nullopt;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Value>
+    parseBool()
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (literal("true")) {
+            v.boolean = true;
+            return v;
+        }
+        if (literal("false")) {
+            v.boolean = false;
+            return v;
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Value>
+    parseNumber()
+    {
+        const size_t begin = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == begin)
+            return std::nullopt;
+        const std::string token(text_.substr(begin, pos_ - begin));
+        char *end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return std::nullopt;
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = parsed;
+        return v;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+inline std::optional<Value>
+parse(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace vbench::testjson

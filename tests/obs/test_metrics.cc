@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Metrics registry unit tests: counter wrap-around, histogram bucket
+ * geometry, percentile accuracy against closed-form distributions, and
+ * well-formedness of the text/JSON dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_test_util.h"
+#include "obs/metrics.h"
+
+namespace vbench::obs {
+namespace {
+
+TEST(Counter, AddsAndWrapsOnOverflow)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Overflow wraps modulo 2^64 by contract, like the hardware
+    // counters it mirrors.
+    c.add(UINT64_MAX - 41);
+    EXPECT_EQ(c.value(), 0u);
+    c.add(UINT64_MAX);
+    c.add(3);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Histogram, BucketGeometryCoversEveryValue)
+{
+    const uint64_t probes[] = {0,  1,  7,  8,  9,   15,   16,  100,
+                               255, 256, 1000, 4095, 65536, 1u << 30,
+                               (uint64_t{1} << 40) + 12345, UINT64_MAX};
+    for (const uint64_t v : probes) {
+        const int idx = Histogram::bucketIndex(v);
+        ASSERT_GE(idx, 0) << v;
+        ASSERT_LT(idx, Histogram::kNumBuckets) << v;
+        EXPECT_LE(Histogram::bucketLo(idx), v) << v;
+        if (idx < Histogram::kNumBuckets - 1) {
+            EXPECT_LT(v, Histogram::bucketHi(idx)) << v;
+        }
+    }
+    // Bucket bounds chain: each bucket starts where the last ended.
+    for (int i = 1; i < Histogram::kNumBuckets; ++i)
+        EXPECT_EQ(Histogram::bucketHi(i - 1), Histogram::bucketLo(i)) << i;
+}
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, RepeatedValueLandsInItsBucket)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.observe(42);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 4200u);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+    // 42 lies in [40, 44): every percentile interpolates inside it.
+    const int idx = Histogram::bucketIndex(42);
+    for (const double p : {1.0, 50.0, 99.0}) {
+        const double est = h.percentile(p);
+        EXPECT_GE(est, static_cast<double>(Histogram::bucketLo(idx)));
+        EXPECT_LE(est, static_cast<double>(Histogram::bucketHi(idx)));
+    }
+}
+
+TEST(Histogram, PercentilesTrackUniformDistribution)
+{
+    // Uniform 1..10000: the p-th percentile is p * 100 in closed form.
+    // Log bucketing guarantees <= 12.5% relative bucket width, so the
+    // estimate must land within ~13% of the true quantile.
+    Histogram h;
+    for (uint64_t v = 1; v <= 10000; ++v)
+        h.observe(v);
+    for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        const double expected = p * 100.0;
+        const double estimate = h.percentile(p);
+        EXPECT_NEAR(estimate, expected, expected * 0.13)
+            << "p" << p;
+    }
+    EXPECT_NEAR(h.mean(), 5000.5, 0.5);
+}
+
+TEST(Histogram, PercentileEdgeCases)
+{
+    Histogram h;
+    h.observe(5);
+    // A single sample answers every percentile with (about) itself.
+    EXPECT_NEAR(h.percentile(0), 5.0, 1.0);
+    EXPECT_NEAR(h.percentile(100), 5.0, 1.0);
+    // Out-of-range p clamps instead of misbehaving.
+    EXPECT_NEAR(h.percentile(-10), h.percentile(0), 1e-9);
+    EXPECT_NEAR(h.percentile(500), h.percentile(100), 1e-9);
+}
+
+TEST(Registry, HandsOutStableReferences)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("a");
+    Histogram &h = reg.histogram("h");
+    a.add(3);
+    h.observe(10);
+    // The same names resolve to the same objects.
+    EXPECT_EQ(&reg.counter("a"), &a);
+    EXPECT_EQ(&reg.histogram("h"), &h);
+    EXPECT_EQ(reg.counter("a").value(), 3u);
+    EXPECT_EQ(reg.size(), 2u);
+    reg.reset();
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.counter("a").value(), 0u);
+}
+
+TEST(Registry, TextDumpIsSortedAndStable)
+{
+    MetricsRegistry reg;
+    // Insert out of order; the dump must come out lexicographic.
+    reg.counter("zeta").add(1);
+    reg.counter("alpha").add(2);
+    reg.histogram("mid").observe(7);
+
+    std::ostringstream first, second;
+    reg.writeText(first);
+    reg.writeText(second);
+    EXPECT_EQ(first.str(), second.str());
+
+    std::istringstream lines(first.str());
+    std::vector<std::string> names;
+    std::string kind, name;
+    while (lines >> kind >> name) {
+        names.push_back(name);
+        std::string rest;
+        std::getline(lines, rest);
+    }
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+    EXPECT_EQ(names[2], "mid");  // histograms follow counters
+}
+
+TEST(Registry, JsonDumpRoundTripsThroughAParser)
+{
+    MetricsRegistry reg;
+    reg.counter("encode.frames").add(30);
+    reg.counter("with \"quotes\"\n").add(1);
+    Histogram &h = reg.histogram("encode.frame_bytes");
+    for (uint64_t v = 100; v < 200; ++v)
+        h.observe(v);
+
+    std::ostringstream ss;
+    reg.writeJson(ss);
+    const auto doc = testjson::parse(ss.str());
+    ASSERT_TRUE(doc.has_value()) << ss.str();
+
+    const testjson::Value *counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_TRUE(counters->isObject());
+    const testjson::Value *frames = counters->find("encode.frames");
+    ASSERT_NE(frames, nullptr);
+    EXPECT_DOUBLE_EQ(frames->number, 30.0);
+    // The escaped name survives the round trip verbatim.
+    EXPECT_NE(counters->find("with \"quotes\"\n"), nullptr);
+
+    const testjson::Value *histograms = doc->find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const testjson::Value *fb = histograms->find("encode.frame_bytes");
+    ASSERT_NE(fb, nullptr);
+    ASSERT_NE(fb->find("count"), nullptr);
+    EXPECT_DOUBLE_EQ(fb->find("count")->number, 100.0);
+    ASSERT_NE(fb->find("p50"), nullptr);
+    EXPECT_NEAR(fb->find("p50")->number, 150.0, 20.0);
+    ASSERT_NE(fb->find("p99"), nullptr);
+    EXPECT_GE(fb->find("p99")->number, fb->find("p50")->number);
+}
+
+} // namespace
+} // namespace vbench::obs

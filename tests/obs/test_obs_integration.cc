@@ -1,0 +1,205 @@
+/**
+ * @file
+ * End-to-end observability: a traced transcode's leaf-stage totals
+ * must reconstruct the reported wall clock, the Chrome trace and run
+ * report must round-trip through a JSON parser, and an untraced run
+ * must still carry the always-on phase breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/report.h"
+#include "core/transcoder.h"
+#include "json_test_util.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "video/synth.h"
+
+namespace vbench {
+namespace {
+
+video::Video
+clip(int w = 256, int h = 160, int frames = 8)
+{
+    return video::synthesize(
+        video::presetFor(video::ContentClass::Natural, w, h, 30.0,
+                         frames, 505),
+        "obs");
+}
+
+core::TranscodeRequest
+vbcRequest(int effort = 5)
+{
+    core::TranscodeRequest req;
+    req.kind = core::EncoderKind::Vbc;
+    req.rc.mode = codec::RcMode::Crf;
+    req.rc.crf = 24;
+    req.effort = effort;
+    return req;
+}
+
+TEST(ObsIntegration, TracedLeafTotalsReconstructWallClock)
+{
+    const video::Video v = clip();
+    const codec::ByteBuffer universal = core::makeUniversalStream(v);
+
+    obs::Tracer tracer;
+    core::TranscodeRequest req = vbcRequest(5);
+    req.tracer = &tracer;
+    const core::TranscodeOutcome outcome =
+        core::transcode(universal, v, req);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    // Leaf stages partition the traced frame windows, and the frame
+    // windows cover the decode+encode work `seconds` measures, so the
+    // sum must land within 10% of the reported wall clock (the gap is
+    // genuinely untraced glue: header parse, encoder construction).
+    const double leaf = outcome.stages.leafSeconds();
+    EXPECT_GT(leaf, 0.90 * outcome.seconds)
+        << "leaf " << leaf << " vs seconds " << outcome.seconds;
+    EXPECT_LT(leaf, 1.10 * outcome.seconds)
+        << "leaf " << leaf << " vs seconds " << outcome.seconds;
+
+    // The hot encoder stages all saw real time.
+    EXPECT_GT(outcome.stages.get(obs::Stage::MotionEstimation), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::TransformQuant), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::EntropyCoding), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::DecodeFrame), 0.0);
+    // Phases ride along on the same outcome.
+    EXPECT_GT(outcome.stages.get(obs::Stage::Encode), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::DecodeInput), 0.0);
+}
+
+TEST(ObsIntegration, UntracedRunsKeepPhasesButNoLeaves)
+{
+    const video::Video v = clip(160, 128, 4);
+    const codec::ByteBuffer universal = core::makeUniversalStream(v);
+
+    const core::TranscodeOutcome outcome =
+        core::transcode(universal, v, vbcRequest(2));
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    // Phase breakdown is always on...
+    EXPECT_GT(outcome.stages.get(obs::Stage::DecodeInput), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::Encode), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::DecodeOutput), 0.0);
+    EXPECT_GT(outcome.stages.get(obs::Stage::Measure), 0.0);
+    // ...but leaf stages need a tracer.
+    EXPECT_DOUBLE_EQ(outcome.stages.leafSeconds(), 0.0);
+}
+
+TEST(ObsIntegration, TraceFileRoundTripsThroughAParser)
+{
+    const video::Video v = clip(160, 128, 4);
+    const codec::ByteBuffer universal = core::makeUniversalStream(v);
+
+    obs::Tracer tracer;
+    core::TranscodeRequest req = vbcRequest(3);
+    req.tracer = &tracer;
+    const core::TranscodeOutcome outcome =
+        core::transcode(universal, v, req);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    const std::string path =
+        ::testing::TempDir() + "vbench_obs_trace.json";
+    ASSERT_TRUE(tracer.writeChromeTraceFile(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+
+    const auto doc = testjson::parse(ss.str());
+    ASSERT_TRUE(doc.has_value());
+    const testjson::Value *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // Metadata rows plus at least one span per encoded frame.
+    EXPECT_GT(events->array.size(),
+              static_cast<size_t>(obs::kNumTracks) + 4u);
+    size_t frame_spans = 0;
+    for (const testjson::Value &e : events->array) {
+        const testjson::Value *cat = e.find("cat");
+        if (cat != nullptr && cat->string == "frame")
+            ++frame_spans;
+    }
+    EXPECT_EQ(frame_spans, static_cast<size_t>(v.frameCount()));
+}
+
+TEST(ObsIntegration, RunReportJsonRoundTripsThroughAParser)
+{
+    const video::Video v = clip(160, 128, 4);
+    const codec::ByteBuffer universal = core::makeUniversalStream(v);
+
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    core::TranscodeRequest req = vbcRequest(3);
+    req.tracer = &tracer;
+    req.metrics = &metrics;
+    const core::TranscodeOutcome outcome =
+        core::transcode(universal, v, req);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    const core::RunReport report =
+        core::makeRunReport("integration", req, outcome);
+    const std::string json = core::toJson(report, &metrics);
+    const auto doc = testjson::parse(json);
+    ASSERT_TRUE(doc.has_value()) << json;
+
+    ASSERT_NE(doc->find("label"), nullptr);
+    EXPECT_EQ(doc->find("label")->string, "integration");
+    ASSERT_NE(doc->find("backend"), nullptr);
+    EXPECT_EQ(doc->find("backend")->string, "vbc");
+    ASSERT_NE(doc->find("seconds"), nullptr);
+    EXPECT_GT(doc->find("seconds")->number, 0.0);
+    ASSERT_NE(doc->find("psnr_db"), nullptr);
+    EXPECT_GT(doc->find("psnr_db")->number, 20.0);
+
+    const testjson::Value *stages = doc->find("stages");
+    ASSERT_NE(stages, nullptr);
+    ASSERT_TRUE(stages->isObject());
+    ASSERT_NE(stages->find("encode"), nullptr);
+    EXPECT_GT(stages->find("encode")->number, 0.0);
+    ASSERT_NE(stages->find("motion_estimation"), nullptr);
+
+    const testjson::Value *extra = doc->find("extra");
+    ASSERT_NE(extra, nullptr);
+    ASSERT_NE(extra->find("effort"), nullptr);
+    EXPECT_DOUBLE_EQ(extra->find("effort")->number, 3.0);
+
+    const testjson::Value *m = doc->find("metrics");
+    ASSERT_NE(m, nullptr);
+    const testjson::Value *counters = m->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("encode.frames"), nullptr);
+    EXPECT_DOUBLE_EQ(counters->find("encode.frames")->number,
+                     static_cast<double>(v.frameCount()));
+    ASSERT_NE(counters->find("transcode.runs.vbc"), nullptr);
+}
+
+TEST(ObsIntegration, EnvConfigParsesBothVariables)
+{
+    // parseEnvConfig is a pure read; config() caching is untouched as
+    // long as nothing else observes the environment while it's set.
+    ASSERT_EQ(::setenv("VBENCH_TRACE", "/tmp/t.json", 1), 0);
+    ASSERT_EQ(::setenv("VBENCH_METRICS_OUT", "-", 1), 0);
+    const obs::ObsConfig on = obs::parseEnvConfig();
+    EXPECT_TRUE(on.trace_enabled);
+    EXPECT_EQ(on.trace_path, "/tmp/t.json");
+    EXPECT_EQ(on.metrics_path, "-");
+
+    ASSERT_EQ(::unsetenv("VBENCH_TRACE"), 0);
+    ASSERT_EQ(::unsetenv("VBENCH_METRICS_OUT"), 0);
+    const obs::ObsConfig off = obs::parseEnvConfig();
+    EXPECT_FALSE(off.trace_enabled);
+    EXPECT_TRUE(off.trace_path.empty());
+    EXPECT_TRUE(off.metrics_path.empty());
+}
+
+} // namespace
+} // namespace vbench

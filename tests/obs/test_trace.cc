@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tracer unit tests: span accumulation with synthetic timestamps,
+ * frame-commit tiling, Chrome trace JSON round-trips, and the
+ * disabled-mode zero-allocation contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+
+#include "json_test_util.h"
+#include "obs/trace.h"
+
+// ---------------------------------------------------------------------
+// Counting global allocator: every operator new in the process bumps
+// g_allocs while counting is on. The disabled-mode test brackets the
+// null-sink fast path with it to prove that path never allocates.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+void *
+countedAlloc(std::size_t size)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size == 0 ? 1 : size))
+        return p;
+    throw std::bad_alloc();
+}
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace vbench::obs {
+namespace {
+
+TEST(Stage, LeafPartitionStartsAtFrameSetup)
+{
+    EXPECT_FALSE(isLeafStage(Stage::DecodeInput));
+    EXPECT_FALSE(isLeafStage(Stage::Encode));
+    EXPECT_FALSE(isLeafStage(Stage::HwPipeline));
+    EXPECT_TRUE(isLeafStage(Stage::FrameSetup));
+    EXPECT_TRUE(isLeafStage(Stage::DecodeFrame));
+    EXPECT_TRUE(isLeafStage(Stage::Other));
+}
+
+TEST(Stage, EveryStageAndTrackHasAName)
+{
+    for (int i = 0; i < kNumStages; ++i) {
+        const std::string name = toString(static_cast<Stage>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown");
+    }
+    for (int t = 0; t < kNumTracks; ++t) {
+        const std::string name = toString(static_cast<Track>(t));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown");
+    }
+}
+
+TEST(Tracer, SpansAccumulateIntoLeafTotals)
+{
+    Tracer tracer;
+    tracer.addSpan(Track::Decode, Stage::DecodeFrame, 0, 1000, 4000);
+    tracer.addSpan(Track::Decode, Stage::DecodeFrame, 1, 4000, 9000);
+    // Phase spans are events but never leaf totals.
+    tracer.addSpan(Track::Transcode, Stage::Encode, -1, 0, 100000);
+
+    EXPECT_EQ(tracer.eventCount(), 3u);
+    const StageTotals totals = tracer.stageTotals();
+    EXPECT_DOUBLE_EQ(totals.get(Stage::DecodeFrame), 8000e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::Encode), 0.0);
+    EXPECT_DOUBLE_EQ(totals.leafSeconds(), 8000e-9);
+}
+
+TEST(Tracer, BackwardsClockClampsToZeroDuration)
+{
+    Tracer tracer;
+    tracer.addSpan(Track::Decode, Stage::DecodeFrame, 0, 500, 400);
+    EXPECT_EQ(tracer.eventCount(), 1u);
+    EXPECT_DOUBLE_EQ(tracer.stageTotals().leafSeconds(), 0.0);
+}
+
+TEST(Tracer, AddFrameChildrenTileTheFrameWindow)
+{
+    Tracer tracer;
+    StageAccum accum;
+    accum.add(Stage::MotionEstimation, 300);
+    accum.add(Stage::TransformQuant, 200);
+    tracer.addFrame(Track::VbcEncode, 0, 5000, 6000, accum);
+
+    // Parent frame span + two stage children + the `other` filler.
+    EXPECT_EQ(tracer.eventCount(), 4u);
+    const StageTotals totals = tracer.stageTotals();
+    EXPECT_DOUBLE_EQ(totals.get(Stage::MotionEstimation), 300e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::TransformQuant), 200e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::Other), 500e-9);
+    // The tiling invariant: leaf children sum exactly to the frame.
+    EXPECT_DOUBLE_EQ(totals.leafSeconds(), 1000e-9);
+}
+
+TEST(Tracer, AddFrameClampsOverAttribution)
+{
+    // Accumulated stage time exceeding the frame window (clock skew,
+    // rounding) must clamp: no negative `other`, leaf sum == frame.
+    Tracer tracer;
+    StageAccum accum;
+    accum.add(Stage::MotionEstimation, 800);
+    accum.add(Stage::TransformQuant, 400);
+    tracer.addFrame(Track::VbcEncode, 7, 0, 1000, accum);
+
+    const StageTotals totals = tracer.stageTotals();
+    EXPECT_DOUBLE_EQ(totals.leafSeconds(), 1000e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::MotionEstimation), 800e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::TransformQuant), 200e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::Other), 0.0);
+}
+
+TEST(Tracer, MultipleFramesAccumulate)
+{
+    Tracer tracer;
+    StageAccum accum;
+    accum.add(Stage::EntropyCoding, 250);
+    tracer.addFrame(Track::NgcEncode, 0, 0, 1000, accum);
+    tracer.addFrame(Track::NgcEncode, 1, 1000, 2000, accum);
+    const StageTotals totals = tracer.stageTotals();
+    EXPECT_DOUBLE_EQ(totals.get(Stage::EntropyCoding), 500e-9);
+    EXPECT_DOUBLE_EQ(totals.leafSeconds(), 2000e-9);
+}
+
+TEST(Tracer, ClearDropsEventsAndTotals)
+{
+    Tracer tracer;
+    tracer.addSpan(Track::Decode, Stage::DecodeFrame, 0, 0, 100);
+    tracer.clear();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_DOUBLE_EQ(tracer.stageTotals().leafSeconds(), 0.0);
+}
+
+TEST(Tracer, ScopedSpanRecordsOnDestruction)
+{
+    Tracer tracer;
+    {
+        ScopedSpan span(&tracer, Track::Transcode, Stage::Measure);
+        EXPECT_EQ(tracer.eventCount(), 0u);
+    }
+    EXPECT_EQ(tracer.eventCount(), 1u);
+}
+
+TEST(Tracer, ScopedStageAccumulates)
+{
+    StageAccum accum;
+    {
+        ScopedStage stage(&accum, Stage::Deblock);
+    }
+    // A closed scope always contributes (possibly zero) time, and only
+    // to its own stage.
+    for (int i = 0; i < kNumStages; ++i) {
+        if (static_cast<Stage>(i) != Stage::Deblock) {
+            EXPECT_EQ(accum.ns[i], 0u);
+        }
+    }
+    EXPECT_EQ(accum.total(), accum.ns[static_cast<int>(Stage::Deblock)]);
+}
+
+TEST(Tracer, ChromeTraceRoundTripsThroughAParser)
+{
+    Tracer tracer;
+    tracer.addSpan(Track::Transcode, Stage::DecodeInput, -1, 2000, 9000);
+    StageAccum accum;
+    accum.add(Stage::ModeDecision, 4000);
+    tracer.addFrame(Track::VbcEncode, 3, 2000, 12000, accum);
+
+    std::ostringstream ss;
+    tracer.writeChromeTrace(ss);
+    const auto doc = testjson::parse(ss.str());
+    ASSERT_TRUE(doc.has_value()) << ss.str();
+    const testjson::Value *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // kNumTracks thread_name records + phase + frame + child + other.
+    ASSERT_EQ(events->array.size(),
+              static_cast<size_t>(kNumTracks) + 4u);
+
+    size_t frames = 0, stages = 0, phases = 0, meta = 0;
+    for (const testjson::Value &e : events->array) {
+        const testjson::Value *ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "M") {
+            ++meta;
+            continue;
+        }
+        EXPECT_EQ(ph->string, "X");
+        const testjson::Value *cat = e.find("cat");
+        ASSERT_NE(cat, nullptr);
+        if (cat->string == "frame")
+            ++frames;
+        else if (cat->string == "stage")
+            ++stages;
+        else if (cat->string == "phase")
+            ++phases;
+        // Timestamps are rebased to the earliest event.
+        const testjson::Value *ts = e.find("ts");
+        ASSERT_NE(ts, nullptr);
+        EXPECT_GE(ts->number, 0.0);
+    }
+    EXPECT_EQ(meta, static_cast<size_t>(kNumTracks));
+    EXPECT_EQ(frames, 1u);
+    EXPECT_EQ(stages, 2u);  // mode_decision child + other filler
+    EXPECT_EQ(phases, 1u);
+}
+
+TEST(Tracer, DisabledModeNeverAllocates)
+{
+    // The null-sink fast path is the one compiled into every encoder
+    // frame and macroblock: it must not touch the heap at all.
+    StageAccum *null_accum = nullptr;
+    Tracer *null_tracer = nullptr;
+
+    g_allocs.store(0);
+    g_counting.store(true);
+    for (int i = 0; i < 1000; ++i) {
+        ScopedSpan span(null_tracer, Track::VbcEncode,
+                        Stage::MotionEstimation, i);
+        ScopedStage stage(null_accum, Stage::TransformQuant);
+    }
+    g_counting.store(false);
+    EXPECT_EQ(g_allocs.load(), 0u);
+}
+
+} // namespace
+} // namespace vbench::obs
