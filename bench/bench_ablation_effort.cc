@@ -2,18 +2,19 @@
  * @file
  * Ablation: the VBC effort ladder (§2.2 realized). Sweeps effort 0-9
  * on one clip at constant quality target and reports the speed /
- * bitrate frontier, plus the per-tool search strategies.
+ * bitrate frontier, plus the per-tool search strategies. The ten
+ * rungs are one scheduler batch; bitrate and PSNR per rung are
+ * identical at any worker count.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "codec/decoder.h"
-#include "codec/encoder.h"
+#include "codec/preset.h"
 #include "core/report.h"
-#include "metrics/psnr.h"
-#include "metrics/rates.h"
+#include "sched/scheduler.h"
 #include "video/suite.h"
 
 int
@@ -27,7 +28,21 @@ main()
 
     video::ClipSpec spec{"ablate", 1280, 720, 30,
                          video::ContentClass::Natural, 3.0, 1717};
-    const video::Video clip = video::synthesizeClip(spec, 12);
+    const bench::SharedClip clip = bench::prepareShared(spec, 12);
+
+    std::vector<sched::TranscodeJob> jobs;
+    for (int effort = 0; effort < codec::kNumEfforts; ++effort) {
+        core::TranscodeRequest req;
+        req.rc.mode = codec::RcMode::Cqp;
+        req.rc.qp = 27;
+        req.effort = effort;
+        req.gop = 30;
+        jobs.push_back(bench::makeJob(
+            "effort=" + std::to_string(effort), clip, req));
+    }
+    sched::Scheduler scheduler;
+    const sched::BatchResult batch = scheduler.runBatch(jobs);
+    bench::reportBatch(jobs, batch);
 
     core::Table table({"effort", "search", "refs", "rdo", "entropy",
                        "mpix_s", "bpps", "psnr_db"});
@@ -35,44 +50,28 @@ main()
     int regressions = 0;
 
     for (int effort = 0; effort < codec::kNumEfforts; ++effort) {
-        codec::EncoderConfig cfg;
-        cfg.rc.mode = codec::RcMode::Cqp;
-        cfg.rc.qp = 27;
-        cfg.effort = effort;
-        cfg.gop = 30;
-        codec::Encoder encoder(cfg);
-
-        const double t0 = obs::nowSeconds();
-        const codec::EncodeResult result = encoder.encode(clip);
-        const double elapsed = obs::nowSeconds() - t0;
-        const auto decoded = codec::decode(result.stream);
-
-        const codec::ToolPreset &tools = encoder.tools();
+        const core::TranscodeOutcome &o =
+            batch.results[static_cast<size_t>(effort)].outcome;
+        const codec::ToolPreset tools = codec::presetForEffort(effort);
         const char *search =
             tools.search == codec::SearchKind::Full ? "full"
             : tools.search == codec::SearchKind::Hex ? "hex"
                                                      : "dia";
-        const double bpps = metrics::bitsPerPixelPerSecond(
-            result.totalBytes(), clip.width(), clip.height(),
-            clip.frameCount(), clip.fps());
         table.addRow(
             {std::to_string(effort), search,
              std::to_string(tools.refs), std::to_string(tools.rdo),
              tools.entropy == codec::EntropyMode::Arith ? "arith" : "vlc",
-             core::fmt(metrics::megapixelsPerSecond(clip.width(),
-                                                    clip.height(),
-                                                    clip.frameCount(),
-                                                    elapsed),
-                       2),
-             core::fmt(bpps, 3),
-             core::fmt(decoded ? metrics::videoPsnr(clip, *decoded) : 0,
-                       2)});
-        if (bpps > prev_bpps * 1.02)
+             core::fmt(o.m.speed_mpix_s, 2),
+             core::fmt(o.m.bitrate_bpps, 3),
+             core::fmt(o.m.psnr_db, 2)});
+        if (o.m.bitrate_bpps > prev_bpps * 1.02)
             ++regressions;
-        prev_bpps = bpps;
+        prev_bpps = o.m.bitrate_bpps;
     }
 
     table.print(std::cout);
+    std::printf("\n");
+    bench::printBatchStats(batch.stats);
     std::printf("\nbitrate regressions along the ladder: %d (expect ~0: "
                 "each effort level\nshould compress at least as well at "
                 "iso-QP)\n", regressions);

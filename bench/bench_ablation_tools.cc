@@ -2,53 +2,33 @@
  * @file
  * Ablation: the individual design choices DESIGN.md calls out —
  * entropy backend, two-pass rate control, deblocking, and motion
- * search strategy — each toggled in isolation.
+ * search strategy — each toggled in isolation. The nine
+ * configurations are independent VBC transcodes of the same clip, so
+ * they run as one scheduler batch; the reported numbers are identical
+ * at any worker count.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "codec/decoder.h"
-#include "codec/encoder.h"
+#include "codec/preset.h"
 #include "core/report.h"
-#include "metrics/psnr.h"
-#include "metrics/rates.h"
+#include "sched/scheduler.h"
 #include "video/suite.h"
 
 namespace {
 
 using namespace vbench;
 
-struct RunResult {
-    double mpix_s;
-    double bpps;
-    double psnr;
-};
-
-RunResult
-run(const video::Video &clip, const codec::EncoderConfig &cfg)
+/** One toggled configuration of the grid. */
+sched::TranscodeJob
+job(const char *name, const bench::SharedClip &clip,
+    const core::TranscodeRequest &req)
 {
-    codec::Encoder encoder(cfg);
-    const double t0 = obs::nowSeconds();
-    const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = obs::nowSeconds() - t0;
-    const auto decoded = codec::decode(result.stream);
-    RunResult r;
-    r.mpix_s = metrics::megapixelsPerSecond(
-        clip.width(), clip.height(), clip.frameCount(), elapsed);
-    r.bpps = metrics::bitsPerPixelPerSecond(result.totalBytes(),
-                                            clip.width(), clip.height(),
-                                            clip.frameCount(), clip.fps());
-    r.psnr = decoded ? metrics::videoPsnr(clip, *decoded) : 0;
-    return r;
-}
-
-void
-addRow(core::Table &table, const char *name, const RunResult &r)
-{
-    table.addRow({name, core::fmt(r.mpix_s, 2), core::fmt(r.bpps, 3),
-                  core::fmt(r.psnr, 2)});
+    return bench::makeJob(name, clip, req);
 }
 
 } // namespace
@@ -62,43 +42,44 @@ main()
 
     video::ClipSpec spec{"tools", 1280, 720, 30,
                          video::ContentClass::Sports, 4.5, 2121};
-    const video::Video clip = video::synthesizeClip(spec, 12);
-    core::Table table({"configuration", "mpix_s", "bpps", "psnr_db"});
+    const bench::SharedClip clip = bench::prepareShared(spec, 12);
+
+    std::vector<sched::TranscodeJob> jobs;
 
     // 1. Entropy backend at iso-QP.
     {
-        codec::EncoderConfig cfg;
-        cfg.rc.mode = codec::RcMode::Cqp;
-        cfg.rc.qp = 28;
-        cfg.effort = 5;
-        cfg.entropy_override = static_cast<int>(codec::EntropyMode::Vlc);
-        addRow(table, "entropy=vlc", run(clip, cfg));
-        cfg.entropy_override =
+        core::TranscodeRequest req;
+        req.rc.mode = codec::RcMode::Cqp;
+        req.rc.qp = 28;
+        req.effort = 5;
+        req.entropy_override = static_cast<int>(codec::EntropyMode::Vlc);
+        jobs.push_back(job("entropy=vlc", clip, req));
+        req.entropy_override =
             static_cast<int>(codec::EntropyMode::Arith);
-        addRow(table, "entropy=arith", run(clip, cfg));
+        jobs.push_back(job("entropy=arith", clip, req));
     }
 
     // 2. Rate control at a fixed bitrate budget.
     {
-        codec::EncoderConfig cfg;
-        cfg.effort = 4;
-        cfg.rc.bitrate_bps = 2e6;
-        cfg.rc.mode = codec::RcMode::Abr;
-        addRow(table, "rc=abr@2mbps", run(clip, cfg));
-        cfg.rc.mode = codec::RcMode::TwoPass;
-        addRow(table, "rc=twopass@2mbps", run(clip, cfg));
+        core::TranscodeRequest req;
+        req.effort = 4;
+        req.rc.bitrate_bps = 2e6;
+        req.rc.mode = codec::RcMode::Abr;
+        jobs.push_back(job("rc=abr@2mbps", clip, req));
+        req.rc.mode = codec::RcMode::TwoPass;
+        jobs.push_back(job("rc=twopass@2mbps", clip, req));
     }
 
     // 3. Deblocking at a coarse quantizer.
     {
-        codec::EncoderConfig cfg;
-        cfg.rc.mode = codec::RcMode::Cqp;
-        cfg.rc.qp = 40;
-        cfg.effort = 4;
-        cfg.deblock_override = 0;
-        addRow(table, "deblock=off(qp40)", run(clip, cfg));
-        cfg.deblock_override = 1;
-        addRow(table, "deblock=on(qp40)", run(clip, cfg));
+        core::TranscodeRequest req;
+        req.rc.mode = codec::RcMode::Cqp;
+        req.rc.qp = 40;
+        req.effort = 4;
+        req.deblock_override = 0;
+        jobs.push_back(job("deblock=off(qp40)", clip, req));
+        req.deblock_override = 1;
+        jobs.push_back(job("deblock=on(qp40)", clip, req));
     }
 
     // 4. Search strategy at iso effort elsewhere.
@@ -107,18 +88,32 @@ main()
              {std::pair{codec::SearchKind::Diamond, "search=diamond"},
               {codec::SearchKind::Hex, "search=hex"},
               {codec::SearchKind::Full, "search=full(r8)"}}) {
-            codec::EncoderConfig cfg;
-            cfg.rc.mode = codec::RcMode::Cqp;
-            cfg.rc.qp = 28;
+            core::TranscodeRequest req;
+            req.rc.mode = codec::RcMode::Cqp;
+            req.rc.qp = 28;
             codec::ToolPreset tools = codec::presetForEffort(5);
             tools.search = kind;
             tools.range = kind == codec::SearchKind::Full ? 8 : 24;
-            cfg.tools_override = tools;
-            addRow(table, name, run(clip, cfg));
+            req.tools_override = tools;
+            jobs.push_back(job(name, clip, req));
         }
     }
 
+    sched::Scheduler scheduler;
+    const sched::BatchResult batch = scheduler.runBatch(jobs);
+    bench::reportBatch(jobs, batch);
+
+    core::Table table({"configuration", "mpix_s", "bpps", "psnr_db"});
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const core::TranscodeOutcome &o = batch.results[i].outcome;
+        table.addRow({jobs[i].label, core::fmt(o.m.speed_mpix_s, 2),
+                      core::fmt(o.m.bitrate_bpps, 3),
+                      core::fmt(o.m.psnr_db, 2)});
+    }
+
     table.print(std::cout);
+    std::printf("\n");
+    bench::printBatchStats(batch.stats);
     std::printf("\nexpected: arith < vlc in bpps; twopass >= abr in psnr"
                 " at equal bits;\ndeblock raises psnr at qp40; fuller"
                 " search lowers bpps at lower mpix/s.\n");

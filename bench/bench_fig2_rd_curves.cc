@@ -5,97 +5,28 @@
  * 1000 frames of Big Buck Bunny; we use the equivalent synthetic HD
  * animation clip).
  *
- * Expected shape: both next-generation encoders sit above VBC on the
- * rate-distortion plot at every bitrate, and below it on the speed
- * plot by roughly 3-4x — the trade-off that motivates the scenario
- * scoring.
+ * The 6-bitrate × 3-encoder grid is 18 independent transcodes,
+ * submitted to the parallel scheduler as one batch. Expected shape:
+ * both next-generation encoders sit above VBC on the rate-distortion
+ * plot at every bitrate, and below it on the speed plot by roughly
+ * 3-4x — the trade-off that motivates the scenario scoring.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "codec/decoder.h"
-#include "codec/encoder.h"
 #include "core/report.h"
 #include "metrics/bdrate.h"
-#include "metrics/psnr.h"
-#include "metrics/rates.h"
-#include "ngc/ngc_decoder.h"
-#include "ngc/ngc_encoder.h"
+#include "sched/scheduler.h"
 #include "video/suite.h"
-
-namespace {
-
-using namespace vbench;
-using obs::nowSeconds;
-
-struct RdPoint {
-    double bpps;
-    double psnr;
-    double mpix_s;
-};
-
-RdPoint
-runVbc(const video::Video &clip, double bitrate_bps)
-{
-    codec::EncoderConfig cfg;
-    cfg.rc.mode = codec::RcMode::TwoPass;
-    cfg.rc.bitrate_bps = bitrate_bps;
-    cfg.effort = 6;
-    cfg.gop = 0;
-    codec::Encoder encoder(cfg);
-    const double t0 = nowSeconds();
-    const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = nowSeconds() - t0;
-    const auto decoded = codec::decode(result.stream);
-    RdPoint p;
-    p.bpps = metrics::bitsPerPixelPerSecond(result.totalBytes(),
-                                            clip.width(), clip.height(),
-                                            clip.frameCount(), clip.fps());
-    p.psnr = decoded ? metrics::videoPsnr(clip, *decoded) : 0;
-    p.mpix_s = metrics::megapixelsPerSecond(clip.width(), clip.height(),
-                                            clip.frameCount(), elapsed);
-    bench::reportRun("fig2", "vbc",
-                     core::Measurement{p.mpix_s, p.bpps, p.psnr}, elapsed,
-                     result.totalBytes());
-    return p;
-}
-
-RdPoint
-runNgc(const video::Video &clip, double bitrate_bps, ngc::NgcProfile prof)
-{
-    ngc::NgcConfig cfg;
-    cfg.rc.mode = codec::RcMode::TwoPass;
-    cfg.rc.bitrate_bps = bitrate_bps;
-    cfg.profile = prof;
-    cfg.speed = 1;
-    cfg.gop = 0;
-    ngc::NgcEncoder encoder(cfg);
-    const double t0 = nowSeconds();
-    const codec::EncodeResult result = encoder.encode(clip);
-    const double elapsed = nowSeconds() - t0;
-    const auto decoded = ngc::ngcDecode(result.stream);
-    RdPoint p;
-    p.bpps = metrics::bitsPerPixelPerSecond(result.totalBytes(),
-                                            clip.width(), clip.height(),
-                                            clip.frameCount(), clip.fps());
-    p.psnr = decoded ? metrics::videoPsnr(clip, *decoded) : 0;
-    p.mpix_s = metrics::megapixelsPerSecond(clip.width(), clip.height(),
-                                            clip.frameCount(), elapsed);
-    bench::reportRun("fig2",
-                     prof == ngc::NgcProfile::HevcLike ? "ngc-hevc"
-                                                       : "ngc-vp9",
-                     core::Measurement{p.mpix_s, p.bpps, p.psnr}, elapsed,
-                     result.totalBytes());
-    return p;
-}
-
-} // namespace
 
 int
 main()
 {
+    using namespace vbench;
+
     bench::printHeader("Figure 2 — RD and speed curves",
                        "Fig. 2 (PSNR and Mpix/s vs bits/pixel/s, one HD "
                        "clip, three encoders)");
@@ -104,63 +35,83 @@ main()
     // equivalent at 720p24.
     video::ClipSpec spec{"bbb_like", 1280, 720, 24,
                          video::ContentClass::Animation, 1.2, 4242};
-    const video::Video clip = video::synthesizeClip(spec, 14);
+    const bench::SharedClip clip = bench::prepareShared(spec, 14);
 
     // bits/pixel/s x pixels-per-frame = bits/s (duration cancels).
-    const double pix_rate = static_cast<double>(clip.pixelsPerFrame());
+    const double pix_rate =
+        static_cast<double>(clip.original->pixelsPerFrame());
     const double bpps_targets[] = {0.15, 0.3, 0.6, 1.2, 2.4, 4.8};
+
+    struct Lane {
+        core::EncoderKind kind;
+        const char *row_name;
+    };
+    const Lane lanes[] = {
+        {core::EncoderKind::Vbc, "vbc(x264-like)"},
+        {core::EncoderKind::NgcHevc, "ngc-hevc(x265-like)"},
+        {core::EncoderKind::NgcVp9, "ngc-vp9(libvpx-like)"},
+    };
+
+    // The full grid as one batch; results come back in input order.
+    std::vector<sched::TranscodeJob> jobs;
+    for (double bpps : bpps_targets) {
+        for (const Lane &lane : lanes) {
+            core::TranscodeRequest req;
+            req.kind = lane.kind;
+            req.rc.mode = codec::RcMode::TwoPass;
+            req.rc.bitrate_bps = bpps * pix_rate;
+            req.effort = 6;
+            req.ngc_speed = 1;
+            req.gop = 0;
+            jobs.push_back(bench::makeJob("fig2", clip, req));
+        }
+    }
+    sched::Scheduler scheduler;
+    const sched::BatchResult batch = scheduler.runBatch(jobs);
+    bench::reportBatch(jobs, batch);
 
     core::Table table({"encoder", "target_bpps", "bpps", "psnr_db",
                        "mpix_s"});
-    std::vector<std::pair<double, double>> vbc_rd, hevc_rd, vp9_rd;
-    std::vector<std::pair<double, double>> vbc_sp, hevc_sp, vp9_sp;
+    std::vector<std::pair<double, double>> rd[3], sp[3];
 
+    size_t index = 0;
     for (double bpps : bpps_targets) {
-        const double bps = bpps * pix_rate;
-        const RdPoint a = runVbc(clip, bps);
-        table.addRow({"vbc(x264-like)", core::fmt(bpps, 2),
-                      core::fmt(a.bpps, 3), core::fmt(a.psnr, 2),
-                      core::fmt(a.mpix_s, 2)});
-        vbc_rd.emplace_back(a.bpps, a.psnr);
-        vbc_sp.emplace_back(a.bpps, a.mpix_s);
-
-        const RdPoint b = runNgc(clip, bps, ngc::NgcProfile::HevcLike);
-        table.addRow({"ngc-hevc(x265-like)", core::fmt(bpps, 2),
-                      core::fmt(b.bpps, 3), core::fmt(b.psnr, 2),
-                      core::fmt(b.mpix_s, 2)});
-        hevc_rd.emplace_back(b.bpps, b.psnr);
-        hevc_sp.emplace_back(b.bpps, b.mpix_s);
-
-        const RdPoint c = runNgc(clip, bps, ngc::NgcProfile::Vp9Like);
-        table.addRow({"ngc-vp9(libvpx-like)", core::fmt(bpps, 2),
-                      core::fmt(c.bpps, 3), core::fmt(c.psnr, 2),
-                      core::fmt(c.mpix_s, 2)});
-        vp9_rd.emplace_back(c.bpps, c.psnr);
-        vp9_sp.emplace_back(c.bpps, c.mpix_s);
+        for (size_t lane = 0; lane < 3; ++lane) {
+            const core::TranscodeOutcome &o =
+                batch.results[index++].outcome;
+            table.addRow({lanes[lane].row_name, core::fmt(bpps, 2),
+                          core::fmt(o.m.bitrate_bpps, 3),
+                          core::fmt(o.m.psnr_db, 2),
+                          core::fmt(o.m.speed_mpix_s, 2)});
+            rd[lane].emplace_back(o.m.bitrate_bpps, o.m.psnr_db);
+            sp[lane].emplace_back(o.m.bitrate_bpps, o.m.speed_mpix_s);
+        }
     }
 
     table.print(std::cout);
     std::printf("\n");
-    core::printSeries(std::cout, "psnr_vbc", vbc_rd);
-    core::printSeries(std::cout, "psnr_ngc_hevc", hevc_rd);
-    core::printSeries(std::cout, "psnr_ngc_vp9", vp9_rd);
-    core::printSeries(std::cout, "speed_vbc", vbc_sp);
-    core::printSeries(std::cout, "speed_ngc_hevc", hevc_sp);
-    core::printSeries(std::cout, "speed_ngc_vp9", vp9_sp);
+    core::printSeries(std::cout, "psnr_vbc", rd[0]);
+    core::printSeries(std::cout, "psnr_ngc_hevc", rd[1]);
+    core::printSeries(std::cout, "psnr_ngc_vp9", rd[2]);
+    core::printSeries(std::cout, "speed_vbc", sp[0]);
+    core::printSeries(std::cout, "speed_ngc_hevc", sp[1]);
+    core::printSeries(std::cout, "speed_ngc_vp9", sp[2]);
 
     // BD-rate summary, the §2.4 comparison in one number per encoder.
     auto toRd = [](const std::vector<std::pair<double, double>> &pts) {
-        std::vector<metrics::RdPoint> rd;
+        std::vector<metrics::RdPoint> points;
         for (const auto &[rate, psnr] : pts)
-            rd.push_back({rate, psnr});
-        return rd;
+            points.push_back({rate, psnr});
+        return points;
     };
     std::printf("BD-rate vs vbc: ngc-hevc %.1f%%, ngc-vp9 %.1f%% "
                 "(negative = bits saved at equal quality)\n",
-                metrics::bdRate(toRd(vbc_rd), toRd(hevc_rd)) * 100,
-                metrics::bdRate(toRd(vbc_rd), toRd(vp9_rd)) * 100);
+                metrics::bdRate(toRd(rd[0]), toRd(rd[1])) * 100,
+                metrics::bdRate(toRd(rd[0]), toRd(rd[2])) * 100);
 
-    std::printf("shape check: next-gen encoders above VBC in PSNR at "
+    std::printf("\n");
+    bench::printBatchStats(batch.stats);
+    std::printf("\nshape check: next-gen encoders above VBC in PSNR at "
                 "equal bitrate,\nand several times slower — no encoder "
                 "dominates all three axes.\n");
     return 0;

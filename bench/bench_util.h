@@ -9,12 +9,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/measure.h"
 #include "core/reference.h"
 #include "core/transcoder.h"
 #include "obs/clock.h"
+#include "sched/scheduler.h"
 #include "video/suite.h"
 
 namespace vbench::bench {
@@ -85,6 +89,64 @@ reportRun(const std::string &label, const std::string &backend,
     report.seconds = seconds;
     report.stream_bytes = stream_bytes;
     core::emitRunReport(report);
+}
+
+/**
+ * Clip data in the shape scheduler jobs share: every operating point
+ * of a grid holds the same two pointers instead of copying frames.
+ */
+struct SharedClip {
+    std::shared_ptr<const video::Video> original;
+    std::shared_ptr<const codec::ByteBuffer> universal;
+};
+
+inline SharedClip
+prepareShared(const video::ClipSpec &spec, int frames = 0)
+{
+    auto original =
+        std::make_shared<video::Video>(video::synthesizeClip(
+            spec, frames > 0 ? frames : benchFrames(spec)));
+    auto universal = std::make_shared<codec::ByteBuffer>(
+        core::makeUniversalStream(*original));
+    return {std::move(original), std::move(universal)};
+}
+
+/** Assemble one grid point of a batch. */
+inline sched::TranscodeJob
+makeJob(std::string label, const SharedClip &clip,
+        core::TranscodeRequest request)
+{
+    return {std::move(label), clip.universal, clip.original,
+            std::move(request)};
+}
+
+/** The one-line batch accounting every scheduled bench prints. */
+inline void
+printBatchStats(const sched::BatchStats &stats)
+{
+    std::printf("scheduler: %d workers, %zu jobs in %.2fs "
+                "(%.2f jobs/s, %.2fx vs serial",
+                stats.workers, stats.jobs, stats.wall_seconds,
+                stats.jobs_per_second, stats.speedup_vs_serial);
+    if (stats.failed > 0)
+        std::printf(", %zu failed", stats.failed);
+    if (stats.cancelled > 0)
+        std::printf(", %zu cancelled", stats.cancelled);
+    std::printf(")\n");
+}
+
+/**
+ * Emit one run report per batch result (pass the same vector the
+ * batch was built from; labels and requests pair up by index).
+ */
+inline void
+reportBatch(const std::vector<sched::TranscodeJob> &jobs,
+            const sched::BatchResult &batch)
+{
+    for (size_t i = 0;
+         i < jobs.size() && i < batch.results.size(); ++i)
+        reportRun(jobs[i].label, jobs[i].request,
+                  batch.results[i].outcome);
 }
 
 } // namespace vbench::bench

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure with warnings-as-errors, build everything, run
 # the full test suite, then run the sanitizer-labeled tests (the obs
-# subsystem rebuilt under ASan+UBSan). Usage:
+# subsystem rebuilt under ASan+UBSan) and the thread-labeled tests (the
+# scheduler's concurrency substrate rebuilt under TSan). Usage:
 #
 #   scripts/check.sh [build-dir]
 #
@@ -24,5 +25,8 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
 echo "== sanitizer tests (ctest -L sanitize) =="
 ctest --test-dir "$build" --output-on-failure -L sanitize -j "$jobs"
+
+echo "== thread-sanitizer tests (ctest -L thread) =="
+ctest --test-dir "$build" --output-on-failure -L thread -j "$jobs"
 
 echo "== all checks passed =="

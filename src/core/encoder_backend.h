@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * The polymorphic encoder-backend seam. Every encoder vbench
+ * evaluates — the VBC software encoder, the two NGC next-generation
+ * profiles, and the fixed-function hardware pipeline models — presents
+ * the same three operations:
+ *
+ *   create:       build a configured backend from a TranscodeRequest.
+ *   encode:       frames in, bitstream + per-frame stats out, plus the
+ *                 modeled pipeline seconds for hardware backends.
+ *   decodeOutput: decode a stream this backend produced, for the
+ *                 quality measurement.
+ *
+ * core::transcode() drives any backend through this interface, and the
+ * parallel scheduler (vbench::sched) gets one clean dispatch point
+ * instead of an EncoderKind switch per call site. A backend instance
+ * encodes one clip at a time; distinct instances are independent, so
+ * workers may run one backend each concurrently.
+ */
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "codec/encoder.h"
+#include "core/transcoder.h"
+#include "video/video.h"
+
+namespace vbench::core {
+
+/** What a backend's encode produced. */
+struct BackendEncodeResult {
+    codec::EncodeResult encoded;
+    /**
+     * Modeled pipeline seconds (fixed-function backends only): the
+     * hardware model's decode + encode time, which replaces the
+     * simulation wall clock in the reported measurement. Software
+     * backends leave this unset and the caller reports wall clock.
+     */
+    std::optional<double> modeled_seconds;
+};
+
+/** One encoder back-end behind a uniform interface. */
+class EncoderBackend
+{
+  public:
+    virtual ~EncoderBackend() = default;
+    EncoderBackend(const EncoderBackend &) = delete;
+    EncoderBackend &operator=(const EncoderBackend &) = delete;
+
+    /**
+     * Build the backend a request names, carrying over its rate
+     * control, dials, probe, and tracer. `request.validate()` must
+     * have passed; create() itself never clamps or repairs.
+     */
+    static std::unique_ptr<EncoderBackend>
+    create(const TranscodeRequest &request, obs::Tracer *tracer);
+
+    /** Encode a clip. One encode at a time per instance. */
+    virtual BackendEncodeResult encode(const video::Video &input) = 0;
+
+    /** Decode a stream produced by this backend's encode(). */
+    virtual std::optional<video::Video>
+    decodeOutput(const codec::ByteBuffer &stream) const = 0;
+
+    /** One-line human description, e.g. "vbc(effort=5, rc=crf)". */
+    virtual std::string describe() const = 0;
+
+    /** The request kind this backend realizes. */
+    EncoderKind kind() const { return kind_; }
+
+  protected:
+    explicit EncoderBackend(EncoderKind kind) : kind_(kind) {}
+
+  private:
+    EncoderKind kind_;
+};
+
+} // namespace vbench::core

@@ -1,21 +1,15 @@
 #include "core/transcoder.h"
 
+#include <sstream>
+
 #include "codec/decoder.h"
 #include "codec/encoder.h"
-#include "hwenc/hwenc.h"
-#include "ngc/ngc_decoder.h"
-#include "ngc/ngc_encoder.h"
+#include "codec/preset.h"
+#include "core/encoder_backend.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
 
 namespace vbench::core {
-
-namespace {
-
-/** Modeled fixed-function decode throughput, Mpixels/second. */
-constexpr double kHwDecodeMpixS = 1600.0;
-
-} // namespace
 
 const char *
 toString(EncoderKind kind)
@@ -28,6 +22,89 @@ toString(EncoderKind kind)
       case EncoderKind::QsvLike: return "qsv-like";
     }
     return "unknown";
+}
+
+std::string
+TranscodeRequest::validate() const
+{
+    std::ostringstream err;
+    switch (kind) {
+      case EncoderKind::Vbc:
+      case EncoderKind::NgcHevc:
+      case EncoderKind::NgcVp9:
+      case EncoderKind::NvencLike:
+      case EncoderKind::QsvLike:
+        break;
+      default:
+        err << "unknown encoder kind "
+            << static_cast<int>(kind);
+        return err.str();
+    }
+    if (effort < 0 || effort >= codec::kNumEfforts) {
+        err << "effort " << effort << " out of range [0, "
+            << codec::kNumEfforts - 1 << "]";
+        return err.str();
+    }
+    if (ngc_speed < 0 || ngc_speed > 2) {
+        err << "ngc_speed " << ngc_speed << " out of range [0, 2]";
+        return err.str();
+    }
+    if (gop < 0) {
+        err << "gop " << gop
+            << " is negative (use 0 for a single leading I frame)";
+        return err.str();
+    }
+    if (entropy_override != -1 &&
+        entropy_override != static_cast<int>(codec::EntropyMode::Vlc) &&
+        entropy_override != static_cast<int>(codec::EntropyMode::Arith)) {
+        err << "entropy_override " << entropy_override
+            << " is not -1 (auto), 0 (vlc), or 1 (arith)";
+        return err.str();
+    }
+    if (deblock_override < -1 || deblock_override > 1) {
+        err << "deblock_override " << deblock_override
+            << " is not -1 (auto), 0 (off), or 1 (on)";
+        return err.str();
+    }
+    // Rate-control sanity: the knob the selected mode reads must be in
+    // range; knobs other modes read are ignored and not judged.
+    switch (rc.mode) {
+      case codec::RcMode::Cqp:
+        if (rc.qp < codec::kMinQp || rc.qp > codec::kMaxQp) {
+            err << "rc.qp " << rc.qp << " out of range ["
+                << codec::kMinQp << ", " << codec::kMaxQp << "]";
+            return err.str();
+        }
+        break;
+      case codec::RcMode::Crf:
+        if (rc.crf < codec::kMinQp || rc.crf > codec::kMaxQp) {
+            err << "rc.crf " << rc.crf << " out of range ["
+                << codec::kMinQp << ", " << codec::kMaxQp << "]";
+            return err.str();
+        }
+        break;
+      case codec::RcMode::Abr:
+      case codec::RcMode::TwoPass:
+        if (!(rc.bitrate_bps > 0)) {
+            err << "rc.bitrate_bps " << rc.bitrate_bps
+                << " must be positive for bitrate-driven modes";
+            return err.str();
+        }
+        break;
+      default:
+        err << "unknown rc mode " << static_cast<int>(rc.mode);
+        return err.str();
+    }
+    if (!(rc.fps > 0)) {
+        err << "rc.fps " << rc.fps << " must be positive";
+        return err.str();
+    }
+    if (rc.min_qp < codec::kMinQp || rc.min_qp > codec::kMaxQp) {
+        err << "rc.min_qp " << rc.min_qp << " out of range ["
+            << codec::kMinQp << ", " << codec::kMaxQp << "]";
+        return err.str();
+    }
+    return std::string();
 }
 
 codec::ByteBuffer
@@ -49,7 +126,24 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
           const TranscodeRequest &request)
 {
     TranscodeOutcome outcome;
+    // Fail fast on malformed requests: no clamping, no partial work.
+    if (std::string invalid = request.validate(); !invalid.empty()) {
+        outcome.error = "invalid request: " + invalid;
+        return outcome;
+    }
+    const auto cancelled = [&request] {
+        return request.cancel &&
+            request.cancel->load(std::memory_order_relaxed);
+    };
+    if (cancelled()) {
+        outcome.error = "cancelled";
+        return outcome;
+    }
+
     // Explicit sinks win; otherwise the env-configured globals apply.
+    // NOTE: the global fallback assumes this is the only transcode
+    // recording (see obs/obs.h); parallel callers pass per-worker
+    // sinks, as sched::Scheduler does.
     obs::Tracer *tracer =
         request.tracer ? request.tracer : obs::globalTracer();
     obs::MetricsRegistry *metrics = request.metrics
@@ -57,6 +151,9 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
         : (obs::metricsEnabled() ? &obs::globalMetrics() : nullptr);
     const obs::StageTotals leaf_before =
         tracer ? tracer->stageTotals() : obs::StageTotals{};
+
+    std::unique_ptr<EncoderBackend> backend =
+        EncoderBackend::create(request, tracer);
 
     const double start = obs::nowSeconds();
 
@@ -75,6 +172,10 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
         outcome.error = "input stream undecodable";
         return outcome;
     }
+    if (cancelled()) {
+        outcome.error = "cancelled";
+        return outcome;
+    }
 
     // Frame statistics survive the encode for the metrics sink.
     std::vector<codec::FrameStats> frame_stats;
@@ -82,63 +183,24 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     {
         obs::ScopedSpan span(tracer, obs::Track::Transcode,
                              obs::Stage::Encode);
-        switch (request.kind) {
-          case EncoderKind::Vbc: {
-            codec::EncoderConfig cfg;
-            cfg.rc = request.rc;
-            cfg.effort = request.effort;
-            cfg.gop = request.gop;
-            cfg.entropy_override = request.entropy_override;
-            cfg.probe = request.probe;
-            cfg.tracer = tracer;
-            codec::Encoder encoder(cfg);
-            codec::EncodeResult enc = encoder.encode(*decoded_input);
-            outcome.stream = std::move(enc.stream);
-            frame_stats = std::move(enc.frames);
-            outcome.seconds = obs::nowSeconds() - start;
-            break;
-          }
-          case EncoderKind::NgcHevc:
-          case EncoderKind::NgcVp9: {
-            ngc::NgcConfig cfg;
-            cfg.rc = request.rc;
-            cfg.profile = request.kind == EncoderKind::NgcHevc
-                ? ngc::NgcProfile::HevcLike
-                : ngc::NgcProfile::Vp9Like;
-            cfg.speed = request.ngc_speed;
-            cfg.gop = request.gop;
-            cfg.probe = request.probe;
-            cfg.tracer = tracer;
-            ngc::NgcEncoder encoder(cfg);
-            codec::EncodeResult enc = encoder.encode(*decoded_input);
-            outcome.stream = std::move(enc.stream);
-            frame_stats = std::move(enc.frames);
-            outcome.seconds = obs::nowSeconds() - start;
-            break;
-          }
-          case EncoderKind::NvencLike:
-          case EncoderKind::QsvLike: {
-            const hwenc::HwEncoderSpec spec =
-                request.kind == EncoderKind::NvencLike
-                ? hwenc::nvencLikeSpec()
-                : hwenc::qsvLikeSpec();
-            hwenc::HwEncodeResult hw =
-                hwenc::hwEncode(spec, *decoded_input, request.rc, tracer);
-            outcome.stream = std::move(hw.encoded.stream);
-            frame_stats = std::move(hw.encoded.frames);
-            // Hardware time is the pipeline model's, not the
-            // simulation's wall clock: modeled decode plus modeled
-            // encode.
-            outcome.seconds = hw.seconds +
-                static_cast<double>(decoded_input->totalPixels()) /
-                    (kHwDecodeMpixS * 1e6);
+        BackendEncodeResult enc = backend->encode(*decoded_input);
+        outcome.stream = std::move(enc.encoded.stream);
+        frame_stats = std::move(enc.encoded.frames);
+        if (enc.modeled_seconds) {
+            // Fixed-function pipeline: report the model's time, and
+            // expose it as its own phase stage.
+            outcome.seconds = *enc.modeled_seconds;
             outcome.stages.set(obs::Stage::HwPipeline, outcome.seconds);
-            break;
-          }
+        } else {
+            outcome.seconds = obs::nowSeconds() - start;
         }
     }
     outcome.stages.set(obs::Stage::Encode,
                        obs::nowSeconds() - encode_start);
+    if (cancelled()) {
+        outcome.error = "cancelled";
+        return outcome;
+    }
 
     // Decode our own output to measure true quality. This is
     // measurement overhead, not transcode work: it runs after the
@@ -149,12 +211,7 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     {
         obs::ScopedSpan span(tracer, obs::Track::Transcode,
                              obs::Stage::DecodeOutput);
-        if (request.kind == EncoderKind::NgcHevc ||
-            request.kind == EncoderKind::NgcVp9) {
-            decoded_output = ngc::ngcDecode(outcome.stream);
-        } else {
-            decoded_output = codec::decode(outcome.stream);
-        }
+        decoded_output = backend->decodeOutput(outcome.stream);
     }
     outcome.stages.set(obs::Stage::DecodeOutput,
                        obs::nowSeconds() - decode_out_start);
@@ -175,7 +232,8 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     outcome.ok = true;
 
     if (tracer) {
-        // This run's leaf-stage share of the tracer's accumulation.
+        // This run's leaf-stage share of the tracer's accumulation
+        // (single writer per tracer assumed — see obs/obs.h).
         const obs::StageTotals delta =
             tracer->stageTotals().minus(leaf_before);
         for (int i = 0; i < obs::kNumStages; ++i) {

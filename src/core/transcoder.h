@@ -10,8 +10,11 @@
  * pipeline model's time.
  */
 
+#include <atomic>
+#include <optional>
 #include <string>
 
+#include "codec/preset.h"
 #include "codec/ratecontrol.h"
 #include "codec/types.h"
 #include "core/measure.h"
@@ -46,7 +49,17 @@ struct TranscodeRequest {
     /// forces the arithmetic coder even at fast efforts, as real fast
     /// presets keep CABAC.
     int entropy_override = -1;
+    /// VBC deblocking override (-1 auto, else 0/1), for ablations.
+    int deblock_override = -1;
+    /// Explicit VBC tool set bypassing the effort dial (ablations and
+    /// the frozen-silicon hardware models).
+    std::optional<codec::ToolPreset> tools_override;
     uarch::UarchProbe *probe = nullptr;
+    /// Cooperative cancellation: when set and it becomes true, the
+    /// transcode aborts at the next phase boundary with
+    /// `error == "cancelled"`. The scheduler wires each job's handle
+    /// here; a finished phase is never rolled back.
+    const std::atomic<bool> *cancel = nullptr;
     /// Stage tracer. Null falls back to the process-wide tracer
     /// (enabled via VBENCH_TRACE); when that is also null, every
     /// instrumentation point costs one predictable branch.
@@ -54,6 +67,15 @@ struct TranscodeRequest {
     /// Metrics sink. Null falls back to the global registry when
     /// VBENCH_METRICS_OUT is set, else metrics are skipped entirely.
     obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Check the request for out-of-range knobs and inconsistent rate
+     * control before any work happens. Returns the empty string when
+     * the request is runnable, else a descriptive one-line error.
+     * transcode() and the scheduler call this first and fail fast with
+     * `TranscodeOutcome::error` — nothing is silently clamped.
+     */
+    std::string validate() const;
 };
 
 /** What happened. */

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace vbench::obs {
 
@@ -28,6 +29,27 @@ inline double
 nowSeconds()
 {
     return static_cast<double>(nowNs()) * 1e-9;
+}
+
+/**
+ * CPU seconds consumed by the calling thread. Unlike the wall clock,
+ * this does not inflate when workers timeslice an oversubscribed
+ * machine, so the scheduler sums it across jobs to estimate what a
+ * serial replay would have cost (its honest speedup denominator).
+ * Returns a negative value where the clock is unavailable.
+ */
+inline double
+threadCpuSeconds()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return -1.0;
+    return static_cast<double>(ts.tv_sec) +
+        static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return -1.0;
+#endif
 }
 
 /** Elapsed-seconds stopwatch over the monotonic clock. */

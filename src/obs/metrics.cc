@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -95,6 +97,27 @@ Histogram::percentile(double p) const noexcept
     return static_cast<double>(bucketHi(kNumBuckets - 1));
 }
 
+void
+Histogram::mergeFrom(const Histogram &other) noexcept
+{
+    for (int i = 0; i < kNumBuckets; ++i) {
+        const uint64_t c =
+            other.buckets_[i].load(std::memory_order_relaxed);
+        if (c != 0)
+            buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::bucketCount(int index) const noexcept
+{
+    return buckets_[index].load(std::memory_order_relaxed);
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
@@ -154,6 +177,32 @@ MetricsRegistry::writeJson(std::ostream &out) const
             << ",\"p99\":" << jsonNumber(h->percentile(99)) << "}";
     }
     out << "}}";
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    // Snapshot the other side's entries under its lock, then fold them
+    // in via this registry's own accessors — never holding both locks,
+    // so A.mergeFrom(B) and B.mergeFrom(A) cannot deadlock.
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, const Histogram *>> histograms;
+    {
+        std::lock_guard<std::mutex> lock(other.mu_);
+        counters.reserve(other.counters_.size());
+        for (const auto &[name, c] : other.counters_)
+            counters.emplace_back(name, c->value());
+        histograms.reserve(other.histograms_.size());
+        for (const auto &[name, h] : other.histograms_)
+            histograms.emplace_back(name, h.get());
+    }
+    for (const auto &[name, value] : counters)
+        if (value != 0)
+            counter(name).add(value);
+    // Histogram pointers stay valid for `other`'s lifetime, and the
+    // bucket-wise merge is lock-free on both sides.
+    for (const auto &[name, h] : histograms)
+        histogram(name).mergeFrom(*h);
 }
 
 void

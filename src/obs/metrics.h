@@ -68,6 +68,16 @@ class Histogram
      */
     double percentile(double p) const noexcept;
 
+    /**
+     * Fold another histogram's samples into this one (bucket-wise
+     * addition). Lock-free on both sides; concurrent observe() calls
+     * on either histogram are safe but may or may not be included.
+     */
+    void mergeFrom(const Histogram &other) noexcept;
+
+    /** Observed sample count in one bucket (exposed for merge/tests). */
+    uint64_t bucketCount(int index) const noexcept;
+
     /** Bucket index for a value (exposed for tests). */
     static int bucketIndex(uint64_t value) noexcept;
 
@@ -103,6 +113,17 @@ class MetricsRegistry
 
     /** One JSON object: {"counters":{...},"histograms":{...}}. */
     void writeJson(std::ostream &out) const;
+
+    /**
+     * Fold every metric of `other` into this registry, creating
+     * missing names. This is the shard-merge primitive the parallel
+     * scheduler uses: each worker records into a private registry and
+     * the batch merges the shards when it completes, so per-run
+     * counters never interleave mid-transcode. `other` must not be
+     * concurrently destroyed; concurrent writers on either side are
+     * safe (their updates land in whichever side they hit first).
+     */
+    void mergeFrom(const MetricsRegistry &other);
 
     /** Drop all metrics (test isolation). */
     void reset();

@@ -14,6 +14,17 @@
  *
  * When neither variable is set, globalTracer() is null and every
  * instrumentation point costs one predictable branch.
+ *
+ * Concurrency contract: recording into the global tracer / registry is
+ * thread-safe (mutex / atomics), but *attribution* via totals deltas —
+ * the pattern core::transcode() uses to carve its leaf-stage share out
+ * of a shared tracer — assumes a single writer: two transcodes
+ * recording into the same tracer concurrently would each see the
+ * other's leaf time in their delta. Code that runs encoders in
+ * parallel must therefore give every worker its own Tracer /
+ * MetricsRegistry and fold the shards into the globals afterwards with
+ * mergeFrom() (this is exactly what sched::Scheduler does). The global
+ * fallback remains correct for the serial, single-writer case only.
  */
 
 #include <string>

@@ -59,6 +59,25 @@ Tracer::addFrame(Track track, int32_t frame, uint64_t start_ns,
     child(Stage::Other, other);
 }
 
+void
+Tracer::mergeFrom(const Tracer &other)
+{
+    // Snapshot under the source lock, append under ours: never holding
+    // both, so concurrent cross-merges cannot deadlock.
+    std::vector<TraceEvent> events;
+    uint64_t totals[kNumStages];
+    {
+        std::lock_guard<std::mutex> lock(other.mu_);
+        events = other.events_;
+        for (int i = 0; i < kNumStages; ++i)
+            totals[i] = other.totals_ns_[i];
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.insert(events_.end(), events.begin(), events.end());
+    for (int i = 0; i < kNumStages; ++i)
+        totals_ns_[i] += totals[i];
+}
+
 StageTotals
 Tracer::stageTotals() const
 {

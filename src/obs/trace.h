@@ -62,6 +62,16 @@ class Tracer
     void addFrame(Track track, int32_t frame, uint64_t start_ns,
                   uint64_t end_ns, const StageAccum &accum);
 
+    /**
+     * Append every span of `other` (and fold its stage totals) into
+     * this tracer. This is how the parallel scheduler's per-worker
+     * timelines land in the process-wide trace: workers record into
+     * private tracers (single writer each) and the batch merges them
+     * when it completes. Timestamps are absolute monotonic ns, so the
+     * merged timeline interleaves correctly without adjustment.
+     */
+    void mergeFrom(const Tracer &other);
+
     /** Snapshot of per-stage accumulated seconds. */
     StageTotals stageTotals() const;
 

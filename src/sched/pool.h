@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * A fixed-size worker pool over a BoundedQueue of tasks. This is the
+ * concurrency substrate of the transcode scheduler, kept free of any
+ * codec dependency so it can be tested (and ThreadSanitizer-checked)
+ * in isolation with synthetic tasks.
+ *
+ * Tasks are `std::function<void(int worker)>`; the worker index
+ * (0..workers-1) lets callers maintain per-worker state — the
+ * scheduler uses it to route each job to that worker's private
+ * tracer / metrics shard.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sched/queue.h"
+
+namespace vbench::sched {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void(int worker)>;
+
+    /**
+     * Start `workers` threads (at least 1) over a task queue of
+     * `queue_capacity` entries. Submitters block once the queue is
+     * full — backpressure, not unbounded buffering.
+     */
+    explicit ThreadPool(int workers, size_t queue_capacity = 0)
+        : queue_(queue_capacity > 0
+                     ? queue_capacity
+                     : 2 * static_cast<size_t>(workers > 0 ? workers : 1))
+    {
+        const int n = workers > 0 ? workers : 1;
+        threads_.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            threads_.emplace_back([this, i] { runWorker(i); });
+    }
+
+    /** Close the queue, drain remaining tasks, join all workers. */
+    ~ThreadPool()
+    {
+        queue_.close();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task, blocking while the queue is full. Returns false
+     * when the pool is shutting down.
+     */
+    bool
+    submit(Task task)
+    {
+        return queue_.push(std::move(task));
+    }
+
+    int
+    workers() const
+    {
+        return static_cast<int>(threads_.size());
+    }
+
+    size_t
+    queueCapacity() const
+    {
+        return queue_.capacity();
+    }
+
+    /** Tasks currently waiting in the queue (not yet picked up). */
+    size_t
+    queued() const
+    {
+        return queue_.size();
+    }
+
+  private:
+    void
+    runWorker(int index)
+    {
+        while (std::optional<Task> task = queue_.pop())
+            (*task)(index);
+    }
+
+    BoundedQueue<Task> queue_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace vbench::sched

@@ -1,0 +1,276 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/clock.h"
+#include "obs/obs.h"
+
+namespace vbench::sched {
+
+namespace {
+
+/** Upper bound on worker threads: a typo in VBENCH_JOBS should not
+ *  fork-bomb the host. */
+constexpr int kMaxWorkers = 512;
+
+int
+parseJobsEnv()
+{
+    const char *value = std::getenv("VBENCH_JOBS");
+    if (!value || value[0] == '\0')
+        return 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed <= 0)
+        return 0;  // unparsable or non-positive: fall through
+    return static_cast<int>(std::min<long>(parsed, kMaxWorkers));
+}
+
+} // namespace
+
+JobStatus
+JobHandle::status() const
+{
+    if (!state_)
+        return JobStatus::Cancelled;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->status;
+}
+
+bool
+JobHandle::finished() const
+{
+    const JobStatus s = status();
+    return s == JobStatus::Done || s == JobStatus::Cancelled;
+}
+
+bool
+JobHandle::cancel()
+{
+    if (!state_)
+        return false;
+    // Flag first: a worker picking the job up right now sees it.
+    state_->cancel_requested.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->status == JobStatus::Pending ||
+        state_->status == JobStatus::Running;
+}
+
+const JobResult &
+JobHandle::wait() const
+{
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] {
+        return state_->status == JobStatus::Done ||
+            state_->status == JobStatus::Cancelled;
+    });
+    return state_->result;
+}
+
+int
+Scheduler::defaultWorkerCount()
+{
+    if (const int jobs = parseJobsEnv())
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(std::min<unsigned>(hw, kMaxWorkers))
+                  : 1;
+}
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(config)
+{
+    const int workers = config_.workers > 0
+        ? std::min(config_.workers, kMaxWorkers)
+        : defaultWorkerCount();
+    shards_.resize(static_cast<size_t>(workers));
+    for (WorkerShard &shard : shards_) {
+        shard.tracer = std::make_unique<obs::Tracer>();
+        shard.metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+    pool_ = std::make_unique<ThreadPool>(workers, config_.queue_capacity);
+}
+
+Scheduler::~Scheduler()
+{
+    // Drain and join before the shards are merged: after this, every
+    // accepted job has resolved its handle.
+    pool_.reset();
+    mergeObsShards();
+}
+
+obs::Tracer *
+Scheduler::shardMergeTracer() const
+{
+    return config_.merge_tracer ? config_.merge_tracer
+                                : obs::globalTracer();
+}
+
+obs::MetricsRegistry *
+Scheduler::shardMergeMetrics() const
+{
+    if (config_.merge_metrics)
+        return config_.merge_metrics;
+    return obs::metricsEnabled() ? &obs::globalMetrics() : nullptr;
+}
+
+JobHandle
+Scheduler::submit(TranscodeJob job)
+{
+    auto state = std::make_shared<detail::JobState>();
+    JobHandle handle(state);
+    const bool accepted = pool_->submit(
+        [this, state, job = std::move(job)](int worker) mutable {
+            runJob(state, job, worker);
+        });
+    if (!accepted) {
+        // Pool shutting down: resolve the handle as cancelled so
+        // nobody blocks forever on wait().
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->status = JobStatus::Cancelled;
+        state->result.label = std::string();
+        state->result.cancelled = true;
+        state->result.outcome.error = "scheduler shut down";
+        state->cv.notify_all();
+    }
+    return handle;
+}
+
+void
+Scheduler::runJob(const std::shared_ptr<detail::JobState> &state,
+                  TranscodeJob &job, int worker)
+{
+    {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->cancel_requested.load(std::memory_order_relaxed)) {
+            state->status = JobStatus::Cancelled;
+            state->result.label = job.label;
+            state->result.worker = worker;
+            state->result.cancelled = true;
+            state->result.outcome.error = "cancelled";
+            state->cv.notify_all();
+            return;
+        }
+        state->status = JobStatus::Running;
+    }
+
+    core::TranscodeRequest request = job.request;
+    request.cancel = &state->cancel_requested;
+    // Route instrumentation to this worker's private shard unless the
+    // job brought explicit sinks. The shard has a single writer (this
+    // worker), which is what the delta-based leaf attribution in
+    // core::transcode() requires; the global fallback inside
+    // transcode() is never taken concurrently.
+    WorkerShard &shard = shards_[static_cast<size_t>(worker)];
+    if (!request.tracer && shardMergeTracer())
+        request.tracer = shard.tracer.get();
+    if (!request.metrics && shardMergeMetrics())
+        request.metrics = shard.metrics.get();
+
+    JobResult result;
+    result.label = job.label;
+    result.worker = worker;
+    const double start = obs::nowSeconds();
+    const double cpu_start = obs::threadCpuSeconds();
+    if (!job.input || !job.original) {
+        result.outcome.error = "job missing input or original video";
+    } else {
+        result.outcome =
+            core::transcode(*job.input, *job.original, request);
+    }
+    result.seconds = obs::nowSeconds() - start;
+    if (cpu_start >= 0) {
+        const double cpu_end = obs::threadCpuSeconds();
+        if (cpu_end >= 0)
+            result.cpu_seconds = cpu_end - cpu_start;
+    }
+    result.cancelled = result.outcome.error == "cancelled";
+
+    {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->result = std::move(result);
+        state->status = state->result.cancelled ? JobStatus::Cancelled
+                                                : JobStatus::Done;
+        state->cv.notify_all();
+    }
+}
+
+BatchResult
+Scheduler::runBatch(std::vector<TranscodeJob> jobs)
+{
+    BatchResult batch;
+    batch.stats.workers = workers();
+    batch.stats.jobs = jobs.size();
+
+    const double start = obs::nowSeconds();
+    std::vector<JobHandle> handles;
+    handles.reserve(jobs.size());
+    for (TranscodeJob &job : jobs)
+        handles.push_back(submit(std::move(job)));
+
+    batch.results.reserve(handles.size());
+    for (const JobHandle &handle : handles)
+        batch.results.push_back(handle.wait());
+    batch.stats.wall_seconds = obs::nowSeconds() - start;
+
+    for (const JobResult &r : batch.results) {
+        if (r.cancelled)
+            ++batch.stats.cancelled;
+        else if (r.ok())
+            ++batch.stats.ok;
+        else
+            ++batch.stats.failed;
+        batch.stats.job_seconds += r.seconds;
+        if (r.cpu_seconds > 0)
+            batch.stats.cpu_seconds += r.cpu_seconds;
+    }
+    if (batch.stats.wall_seconds > 0) {
+        batch.stats.jobs_per_second =
+            static_cast<double>(batch.stats.jobs - batch.stats.cancelled) /
+            batch.stats.wall_seconds;
+        // Prefer the contention-free CPU total as the serial-cost
+        // estimate; only a platform without a thread CPU clock falls
+        // back to summed wall time.
+        const double serial_estimate = batch.stats.cpu_seconds > 0
+            ? batch.stats.cpu_seconds
+            : batch.stats.job_seconds;
+        batch.stats.speedup_vs_serial =
+            serial_estimate / batch.stats.wall_seconds;
+    }
+
+    mergeObsShards();
+    if (obs::MetricsRegistry *metrics = shardMergeMetrics()) {
+        metrics->counter("sched.batches").add();
+        metrics->counter("sched.jobs").add(batch.stats.jobs);
+        metrics->counter("sched.jobs.ok").add(batch.stats.ok);
+        metrics->counter("sched.jobs.failed").add(batch.stats.failed);
+        metrics->counter("sched.jobs.cancelled")
+            .add(batch.stats.cancelled);
+        metrics->histogram("sched.batch.wall_ms")
+            .observe(static_cast<uint64_t>(batch.stats.wall_seconds * 1e3));
+        for (const JobResult &r : batch.results)
+            metrics->histogram("sched.job.wall_ms")
+                .observe(static_cast<uint64_t>(r.seconds * 1e3));
+    }
+    return batch;
+}
+
+void
+Scheduler::mergeObsShards()
+{
+    obs::Tracer *tracer = shardMergeTracer();
+    obs::MetricsRegistry *metrics = shardMergeMetrics();
+    for (WorkerShard &shard : shards_) {
+        if (tracer && shard.tracer->eventCount() > 0) {
+            tracer->mergeFrom(*shard.tracer);
+            shard.tracer->clear();
+        }
+        if (metrics && shard.metrics->size() > 0) {
+            metrics->mergeFrom(*shard.metrics);
+            shard.metrics->reset();
+        }
+    }
+}
+
+} // namespace vbench::sched

@@ -1,0 +1,236 @@
+#pragma once
+
+/**
+ * @file
+ * The parallel transcode scheduler (the fleet layer): a fixed pool of
+ * workers draining a bounded job queue, turning a clip ×
+ * operating-point grid into a batch of independent TranscodeJobs.
+ *
+ *   Scheduler s;                          // VBENCH_JOBS or all cores
+ *   sched::JobHandle h = s.submit(job);   // future-like, cancellable
+ *   sched::BatchResult r = s.runBatch(jobs);  // input order preserved
+ *
+ * Determinism: every job is an independent, deterministic transcode
+ * (the codecs hold no global mutable state), so the streams, sizes,
+ * PSNR, and bitrate of a batch are bitwise-identical at 1, 2, or N
+ * workers. Only wall-clock-derived numbers (JobResult::seconds,
+ * Measurement::speed_mpix_s, batch throughput) vary with contention.
+ *
+ * Observability: each worker owns a private obs::Tracer and
+ * obs::MetricsRegistry shard. Jobs that don't bring their own sinks
+ * record there — never into the process-wide globals, whose
+ * delta-based attribution assumes a single writer (obs/obs.h) — and
+ * the shards are merged into the globals (or the configured override
+ * sinks) when a batch completes.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/transcoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/pool.h"
+#include "video/video.h"
+
+namespace vbench::sched {
+
+/**
+ * One unit of fleet work: transcode `input` (a universal-format
+ * upload) per `request`, measuring quality against `original`. The
+ * clip data is shared — a grid of operating points over one clip holds
+ * the same two pointers — and must stay alive until the job finishes.
+ */
+struct TranscodeJob {
+    std::string label;  ///< caller-chosen id, carried into the result
+    std::shared_ptr<const codec::ByteBuffer> input;
+    std::shared_ptr<const video::Video> original;
+    core::TranscodeRequest request;
+};
+
+/** What one scheduled job produced. */
+struct JobResult {
+    std::string label;
+    core::TranscodeOutcome outcome;
+    /**
+     * Wall seconds the job spent on its worker (queue wait excluded).
+     * Under oversubscription this includes timeslicing contention and
+     * so exceeds the serial cost.
+     */
+    double seconds = 0;
+    /**
+     * CPU seconds the worker thread consumed running the job
+     * (CLOCK_THREAD_CPUTIME_ID). Contention-free, so summing it
+     * across a batch estimates the serial replay cost; negative when
+     * the platform offers no thread CPU clock.
+     */
+    double cpu_seconds = -1;
+    int worker = -1;      ///< worker index that ran the job
+    bool cancelled = false;
+
+    bool ok() const { return outcome.ok; }
+};
+
+/** Lifecycle of a submitted job. */
+enum class JobStatus { Pending, Running, Done, Cancelled };
+
+namespace detail {
+
+/** Shared slot a JobHandle and the running worker communicate over. */
+struct JobState {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    JobStatus status = JobStatus::Pending;
+    JobResult result;
+    /// Read by core::transcode() at phase boundaries (request.cancel).
+    std::atomic<bool> cancel_requested{false};
+};
+
+} // namespace detail
+
+/**
+ * Future-like handle to a submitted job. Copyable; all copies observe
+ * the same job.
+ */
+class JobHandle
+{
+  public:
+    JobHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    JobStatus status() const;
+
+    /** True once the job reached Done or Cancelled. */
+    bool finished() const;
+
+    /**
+     * Request cancellation. A Pending job is dropped without running;
+     * a Running job aborts at its next transcode phase boundary.
+     * Returns true when the job had not already finished (i.e. the
+     * request can still have an effect).
+     */
+    bool cancel();
+
+    /** Block until the job finishes; returns its result. */
+    const JobResult &wait() const;
+
+  private:
+    friend class Scheduler;
+    explicit JobHandle(std::shared_ptr<detail::JobState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::JobState> state_;
+};
+
+/** Aggregate throughput accounting for one runBatch(). */
+struct BatchStats {
+    int workers = 0;
+    size_t jobs = 0;
+    size_t ok = 0;
+    size_t failed = 0;     ///< ran but outcome.ok == false
+    size_t cancelled = 0;
+    double wall_seconds = 0;  ///< submit of first → completion of last
+    double job_seconds = 0;   ///< Σ per-job worker wall seconds
+    double cpu_seconds = 0;   ///< Σ per-job thread CPU seconds
+    double jobs_per_second = 0;
+    /// cpu_seconds / wall_seconds (falling back to job_seconds when no
+    /// thread CPU clock exists): how much faster the batch finished
+    /// than one worker replaying the same work back to back. The CPU
+    /// numerator keeps the figure honest on oversubscribed hosts,
+    /// where per-job wall time inflates with timeslicing.
+    double speedup_vs_serial = 0;
+};
+
+/** runBatch() output: one result per job, in input order. */
+struct BatchResult {
+    std::vector<JobResult> results;
+    BatchStats stats;
+};
+
+/** Scheduler sizing. Zeros mean "pick the sane default". */
+struct SchedulerConfig {
+    /// Worker threads; <= 0 uses defaultWorkerCount() (VBENCH_JOBS or
+    /// hardware concurrency).
+    int workers = 0;
+    /// Bounded job-queue capacity; 0 uses 2 × workers. Submitters
+    /// block when full (backpressure).
+    size_t queue_capacity = 0;
+    /// Merge targets for the per-worker obs shards. Null means the
+    /// process-wide tracer / metrics registry (when enabled via the
+    /// environment); tests point these at private sinks.
+    obs::Tracer *merge_tracer = nullptr;
+    obs::MetricsRegistry *merge_metrics = nullptr;
+};
+
+/**
+ * Fixed-size worker pool executing TranscodeJobs. Construction starts
+ * the workers; destruction drains outstanding jobs, merges obs shards,
+ * and joins.
+ */
+class Scheduler
+{
+  public:
+    /**
+     * Workers to use when SchedulerConfig doesn't say: the VBENCH_JOBS
+     * environment variable when it parses as a positive integer, else
+     * std::thread::hardware_concurrency(), never less than 1.
+     */
+    static int defaultWorkerCount();
+
+    explicit Scheduler(SchedulerConfig config = {});
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    int workers() const { return pool_->workers(); }
+    size_t queueCapacity() const { return pool_->queueCapacity(); }
+
+    /**
+     * Enqueue one job, blocking while the queue is full. The handle
+     * resolves when a worker finishes (or cancellation wins the race).
+     */
+    JobHandle submit(TranscodeJob job);
+
+    /**
+     * Submit every job, wait for all of them, and return results in
+     * input order (results[i] belongs to jobs[i], whatever the
+     * completion order was). Merges the workers' obs shards into the
+     * configured targets before returning, and — when metrics are
+     * active — records sched.* batch counters there.
+     */
+    BatchResult runBatch(std::vector<TranscodeJob> jobs);
+
+    /**
+     * Fold every worker's tracer / metrics shard into the merge
+     * targets (process globals by default) and clear the shards.
+     * runBatch() calls this automatically; only direct submit() users
+     * need it, after their last handle resolved.
+     */
+    void mergeObsShards();
+
+  private:
+    struct WorkerShard {
+        std::unique_ptr<obs::Tracer> tracer;
+        std::unique_ptr<obs::MetricsRegistry> metrics;
+    };
+
+    void runJob(const std::shared_ptr<detail::JobState> &state,
+                TranscodeJob &job, int worker);
+    obs::Tracer *shardMergeTracer() const;
+    obs::MetricsRegistry *shardMergeMetrics() const;
+
+    SchedulerConfig config_;
+    std::vector<WorkerShard> shards_;
+    std::unique_ptr<ThreadPool> pool_;  // last member: joins first
+};
+
+} // namespace vbench::sched

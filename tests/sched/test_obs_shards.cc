@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The per-worker observability shard pattern the scheduler relies on:
+ * threads record into private MetricsRegistry / Tracer instances and
+ * the shards merge into one target afterwards, matching what a serial
+ * run would have recorded. Compiled into the ThreadSanitizer suite
+ * (`ctest -L thread`) to prove the merge primitives are race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vbench::obs {
+namespace {
+
+TEST(ObsShards, RegistryMergeMatchesSerialTotals)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    std::vector<std::unique_ptr<MetricsRegistry>> shards;
+    for (int t = 0; t < kThreads; ++t)
+        shards.push_back(std::make_unique<MetricsRegistry>());
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Counter &jobs = shards[t]->counter("jobs");
+            Histogram &ms = shards[t]->histogram("ms");
+            for (int i = 0; i < kPerThread; ++i) {
+                jobs.add();
+                ms.observe(static_cast<uint64_t>(i));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    MetricsRegistry merged;
+    for (const auto &shard : shards)
+        merged.mergeFrom(*shard);
+
+    EXPECT_EQ(merged.counter("jobs").value(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(merged.histogram("ms").count(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    // Sum of 0..kPerThread-1, kThreads times over.
+    EXPECT_EQ(merged.histogram("ms").sum(),
+              static_cast<uint64_t>(kThreads) * kPerThread *
+                  (kPerThread - 1) / 2);
+}
+
+TEST(ObsShards, ConcurrentMergesIntoOneTarget)
+{
+    // Workers merge their own shard into the shared target while the
+    // other workers do the same — the registry-level locking must keep
+    // every sample.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    MetricsRegistry target;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            MetricsRegistry shard;
+            for (int i = 0; i < kPerThread; ++i) {
+                shard.counter("jobs").add();
+                shard.histogram("bytes").observe(64);
+            }
+            target.mergeFrom(shard);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(target.counter("jobs").value(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(target.histogram("bytes").count(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(ObsShards, HistogramMergePreservesBuckets)
+{
+    Histogram a, b;
+    a.observe(3);
+    a.observe(100);
+    b.observe(3);
+    b.observe(1u << 20);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.bucketCount(Histogram::bucketIndex(3)), 2u);
+    EXPECT_EQ(a.bucketCount(Histogram::bucketIndex(100)), 1u);
+    EXPECT_EQ(a.bucketCount(Histogram::bucketIndex(1u << 20)), 1u);
+    EXPECT_EQ(a.sum(), 3u + 100u + 3u + (1u << 20));
+}
+
+TEST(ObsShards, TracerMergeAppendsEventsAndTotals)
+{
+    Tracer target, shard;
+    target.addSpan(Track::Transcode, Stage::MotionEstimation, 0, 100,
+                   200);
+    shard.addSpan(Track::Transcode, Stage::MotionEstimation, 1, 300,
+                  500);
+    shard.addSpan(Track::Transcode, Stage::Deblock, 1, 500, 600);
+    target.mergeFrom(shard);
+
+    EXPECT_EQ(target.eventCount(), 3u);
+    const StageTotals totals = target.stageTotals();
+    EXPECT_DOUBLE_EQ(totals.get(Stage::MotionEstimation),
+                     (100 + 200) * 1e-9);
+    EXPECT_DOUBLE_EQ(totals.get(Stage::Deblock), 100 * 1e-9);
+    // The shard is untouched by the merge.
+    EXPECT_EQ(shard.eventCount(), 2u);
+}
+
+TEST(ObsShards, ParallelTracerShardsMergeClean)
+{
+    constexpr int kThreads = 4;
+    constexpr int kSpans = 200;
+    std::vector<std::unique_ptr<Tracer>> shards;
+    for (int t = 0; t < kThreads; ++t)
+        shards.push_back(std::make_unique<Tracer>());
+    Tracer target;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kSpans; ++i) {
+                const uint64_t base =
+                    static_cast<uint64_t>(t) * 1000000 +
+                    static_cast<uint64_t>(i) * 100;
+                shards[t]->addSpan(Track::Transcode,
+                                   Stage::EntropyCoding, i, base,
+                                   base + 50);
+            }
+            target.mergeFrom(*shards[t]);
+            shards[t]->clear();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(target.eventCount(),
+              static_cast<size_t>(kThreads) * kSpans);
+    EXPECT_DOUBLE_EQ(target.stageTotals().get(Stage::EntropyCoding),
+                     static_cast<double>(kThreads) * kSpans * 50 * 1e-9);
+}
+
+} // namespace
+} // namespace vbench::obs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ThreadPool behaviour: every submitted task runs exactly once,
+ * worker indices stay in range, the bounded queue applies
+ * backpressure to submitters, and destruction drains cleanly. Also
+ * part of the ThreadSanitizer suite (`ctest -L thread`).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "sched/pool.h"
+
+namespace vbench::sched {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    std::atomic<int> runs{0};
+    {
+        ThreadPool pool(4, 8);
+        for (int i = 0; i < 200; ++i)
+            ASSERT_TRUE(pool.submit([&](int) { runs.fetch_add(1); }));
+    }  // destructor drains the queue and joins
+    EXPECT_EQ(runs.load(), 200);
+}
+
+TEST(ThreadPool, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 1);
+    EXPECT_GE(pool.queueCapacity(), 1u);
+}
+
+TEST(ThreadPool, WorkerIndicesInRange)
+{
+    std::mutex mu;
+    std::set<int> seen;
+    {
+        ThreadPool pool(3, 4);
+        for (int i = 0; i < 60; ++i) {
+            pool.submit([&](int worker) {
+                std::lock_guard<std::mutex> lock(mu);
+                seen.insert(worker);
+            });
+        }
+    }
+    ASSERT_FALSE(seen.empty());
+    EXPECT_GE(*seen.begin(), 0);
+    EXPECT_LT(*seen.rbegin(), 3);
+}
+
+TEST(ThreadPool, SubmitBlocksWhenQueueFull)
+{
+    // One worker parked on a gate; capacity-2 queue fills behind it.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+
+    ThreadPool pool(1, 2);
+    pool.submit([&](int) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+    });
+    // Give the worker a moment to pick the gate task up, then fill
+    // the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(pool.submit([](int) {}));
+    ASSERT_TRUE(pool.submit([](int) {}));
+
+    std::atomic<bool> fourth_submitted{false};
+    std::thread submitter([&] {
+        pool.submit([](int) {});
+        fourth_submitted.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(fourth_submitted.load());  // backpressure held it
+    EXPECT_LE(pool.queued(), 2u);
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    submitter.join();
+    EXPECT_TRUE(fourth_submitted.load());
+}
+
+TEST(ThreadPool, ManyProducersOnePool)
+{
+    std::atomic<int> runs{0};
+    {
+        ThreadPool pool(2, 4);
+        std::vector<std::thread> producers;
+        for (int p = 0; p < 4; ++p) {
+            producers.emplace_back([&] {
+                for (int i = 0; i < 50; ++i)
+                    pool.submit([&](int) { runs.fetch_add(1); });
+            });
+        }
+        for (std::thread &t : producers)
+            t.join();
+    }
+    EXPECT_EQ(runs.load(), 200);
+}
+
+} // namespace
+} // namespace vbench::sched

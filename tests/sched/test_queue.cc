@@ -1,0 +1,148 @@
+/**
+ * @file
+ * BoundedQueue semantics: FIFO order, backpressure (full queue blocks
+ * producers), close-and-drain, and multi-producer / multi-consumer
+ * conservation. This file is also compiled into the ThreadSanitizer
+ * suite (`ctest -L thread`), so every test doubles as a race check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sched/queue.h"
+
+namespace vbench::sched {
+namespace {
+
+TEST(BoundedQueue, FifoOrderSingleThread)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(q.pop().value(), i);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFull)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, TryPopNeverBlocks)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.tryPop().has_value());
+    q.push(7);
+    EXPECT_EQ(q.tryPop().value(), 7);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(2);
+        pushed.store(true);
+    });
+    // The producer must still be parked on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseRefusesPushesButDrains)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_FALSE(q.push(3));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer)
+{
+    BoundedQueue<int> q(4);
+    std::atomic<bool> woke{false};
+    std::thread consumer([&] {
+        EXPECT_FALSE(q.pop().has_value());
+        woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> refused{false};
+    std::thread producer([&] {
+        refused.store(!q.push(2));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(refused.load());
+}
+
+TEST(BoundedQueue, MpmcConservesEveryItem)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> q(8);  // small capacity: forces backpressure
+
+    std::atomic<long> sum{0};
+    std::atomic<int> popped{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (std::optional<int> v = q.pop()) {
+                sum.fetch_add(*v);
+                popped.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    q.close();
+    for (std::thread &t : threads)
+        t.join();
+
+    const int total = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), total);
+    EXPECT_EQ(sum.load(),
+              static_cast<long>(total) * (total - 1) / 2);
+}
+
+} // namespace
+} // namespace vbench::sched

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Scheduler end-to-end behaviour: batches preserve input order and are
+ * bitwise-deterministic across worker counts, invalid requests fail
+ * fast, pending jobs cancel, per-worker obs shards merge into the
+ * configured targets, and VBENCH_JOBS drives the default worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transcoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/scheduler.h"
+#include "video/synth.h"
+
+namespace vbench::sched {
+namespace {
+
+struct Clip {
+    std::shared_ptr<const video::Video> original;
+    std::shared_ptr<const codec::ByteBuffer> universal;
+};
+
+Clip
+makeClip(int seed, int w = 160, int h = 128, int frames = 4)
+{
+    auto original = std::make_shared<video::Video>(video::synthesize(
+        video::presetFor(video::ContentClass::Natural, w, h, 30.0,
+                         frames, seed),
+        "clip" + std::to_string(seed)));
+    auto universal = std::make_shared<codec::ByteBuffer>(
+        core::makeUniversalStream(*original));
+    return {std::move(original), std::move(universal)};
+}
+
+core::TranscodeRequest
+crfRequest(double crf, int effort = 2)
+{
+    core::TranscodeRequest req;
+    req.kind = core::EncoderKind::Vbc;
+    req.rc.mode = codec::RcMode::Crf;
+    req.rc.crf = crf;
+    req.effort = effort;
+    req.gop = 30;
+    return req;
+}
+
+std::vector<TranscodeJob>
+makeGrid(const std::vector<Clip> &clips)
+{
+    // 2 clips x 2 operating points: a small but real batch grid.
+    std::vector<TranscodeJob> jobs;
+    for (size_t c = 0; c < clips.size(); ++c) {
+        for (const double crf : {20.0, 32.0}) {
+            TranscodeJob job;
+            job.label = "clip" + std::to_string(c) + "@crf" +
+                std::to_string(static_cast<int>(crf));
+            job.input = clips[c].universal;
+            job.original = clips[c].original;
+            job.request = crfRequest(crf);
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+TEST(Scheduler, BatchIsDeterministicAcrossWorkerCounts)
+{
+    const std::vector<Clip> clips = {makeClip(101), makeClip(202)};
+
+    // Ground truth: the same grid transcoded serially, inline.
+    std::vector<core::TranscodeOutcome> serial;
+    for (const TranscodeJob &job : makeGrid(clips))
+        serial.push_back(
+            core::transcode(*job.input, *job.original, job.request));
+
+    for (const int workers : {1, 2, 4}) {
+        SchedulerConfig config;
+        config.workers = workers;
+        Scheduler scheduler(config);
+        ASSERT_EQ(scheduler.workers(), workers);
+        const BatchResult batch = scheduler.runBatch(makeGrid(clips));
+
+        ASSERT_EQ(batch.results.size(), serial.size())
+            << workers << " workers";
+        EXPECT_EQ(batch.stats.ok, serial.size());
+        EXPECT_EQ(batch.stats.failed, 0u);
+        for (size_t i = 0; i < serial.size(); ++i) {
+            const JobResult &r = batch.results[i];
+            ASSERT_TRUE(r.ok()) << r.label << ": " << r.outcome.error;
+            // Input order is preserved regardless of completion order.
+            EXPECT_EQ(r.label, makeGrid(clips)[i].label);
+            // Streams and scores are bitwise-identical to the serial
+            // run at every worker count; only wall-clock-derived
+            // numbers may differ.
+            EXPECT_EQ(r.outcome.stream, serial[i].stream)
+                << r.label << " at " << workers << " workers";
+            EXPECT_DOUBLE_EQ(r.outcome.m.psnr_db, serial[i].m.psnr_db);
+            EXPECT_DOUBLE_EQ(r.outcome.m.bitrate_bpps,
+                             serial[i].m.bitrate_bpps);
+        }
+    }
+}
+
+TEST(Scheduler, InvalidRequestFailsFastInsideBatch)
+{
+    const Clip clip = makeClip(7);
+    std::vector<TranscodeJob> jobs;
+
+    TranscodeJob good;
+    good.label = "good";
+    good.input = clip.universal;
+    good.original = clip.original;
+    good.request = crfRequest(24);
+    jobs.push_back(good);
+
+    TranscodeJob bad = good;
+    bad.label = "bad-effort";
+    bad.request.effort = 99;
+    jobs.push_back(bad);
+
+    Scheduler scheduler(SchedulerConfig{.workers = 2});
+    const BatchResult batch = scheduler.runBatch(std::move(jobs));
+    ASSERT_EQ(batch.results.size(), 2u);
+    EXPECT_TRUE(batch.results[0].ok());
+    EXPECT_FALSE(batch.results[1].ok());
+    EXPECT_NE(batch.results[1].outcome.error.find("invalid request"),
+              std::string::npos)
+        << batch.results[1].outcome.error;
+    // The bad request never encoded anything.
+    EXPECT_TRUE(batch.results[1].outcome.stream.empty());
+    EXPECT_EQ(batch.stats.ok, 1u);
+    EXPECT_EQ(batch.stats.failed, 1u);
+    EXPECT_EQ(batch.stats.cancelled, 0u);
+}
+
+TEST(Scheduler, JobWithoutInputFails)
+{
+    TranscodeJob job;
+    job.label = "empty";
+    job.request = crfRequest(24);
+    Scheduler scheduler(SchedulerConfig{.workers = 1});
+    const BatchResult batch = scheduler.runBatch({std::move(job)});
+    ASSERT_EQ(batch.results.size(), 1u);
+    EXPECT_FALSE(batch.results[0].ok());
+    EXPECT_FALSE(batch.results[0].outcome.error.empty());
+}
+
+TEST(Scheduler, PendingJobsCancelBehindARunningJob)
+{
+    const Clip clip = makeClip(11, 192, 160, 6);
+    SchedulerConfig config;
+    config.workers = 1;     // everything queues behind the first job
+    config.queue_capacity = 8;
+    Scheduler scheduler(config);
+
+    TranscodeJob slow;
+    slow.label = "running";
+    slow.input = clip.universal;
+    slow.original = clip.original;
+    slow.request = crfRequest(20, 5);  // higher effort: keeps worker busy
+
+    TranscodeJob pending = slow;
+    pending.label = "pending";
+
+    JobHandle first = scheduler.submit(std::move(slow));
+    std::vector<JobHandle> victims;
+    for (int i = 0; i < 3; ++i)
+        victims.push_back(scheduler.submit(pending));
+    // Cancel while they queue behind the busy single worker.
+    for (JobHandle &h : victims)
+        h.cancel();
+
+    const JobResult &r = first.wait();
+    EXPECT_TRUE(r.ok()) << r.outcome.error;
+    for (JobHandle &h : victims) {
+        const JobResult &v = h.wait();
+        EXPECT_TRUE(v.cancelled);
+        EXPECT_EQ(h.status(), JobStatus::Cancelled);
+        EXPECT_EQ(v.outcome.error, "cancelled");
+        EXPECT_TRUE(v.outcome.stream.empty());  // never transcoded
+    }
+    // Cancelling a finished job reports no effect.
+    EXPECT_FALSE(first.cancel());
+}
+
+TEST(Scheduler, CancelFlagPreemptsTranscode)
+{
+    // The cooperative flag wired into TranscodeRequest::cancel stops a
+    // transcode at its next phase boundary: pre-set it and the request
+    // returns "cancelled" without encoding.
+    const Clip clip = makeClip(13);
+    std::atomic<bool> cancel{true};
+    core::TranscodeRequest req = crfRequest(24);
+    req.cancel = &cancel;
+    const core::TranscodeOutcome outcome =
+        core::transcode(*clip.universal, *clip.original, req);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error, "cancelled");
+    EXPECT_TRUE(outcome.stream.empty());
+}
+
+TEST(Scheduler, ShardsMergeIntoConfiguredTargets)
+{
+    const std::vector<Clip> clips = {makeClip(31), makeClip(32)};
+    std::vector<TranscodeJob> jobs = makeGrid(clips);
+    const size_t n = jobs.size();
+
+    // Serial ground truth with an explicit registry.
+    obs::MetricsRegistry serial_metrics;
+    for (TranscodeJob job : makeGrid(clips)) {
+        job.request.metrics = &serial_metrics;
+        core::transcode(*job.input, *job.original, job.request);
+    }
+
+    obs::MetricsRegistry merged;
+    obs::Tracer tracer;
+    SchedulerConfig config;
+    config.workers = 2;
+    config.merge_metrics = &merged;
+    config.merge_tracer = &tracer;
+    Scheduler scheduler(config);
+    const BatchResult batch = scheduler.runBatch(std::move(jobs));
+    ASSERT_EQ(batch.stats.ok, n);
+
+    // Transcode-level metrics recorded on worker shards equal the
+    // serial run's, plus the scheduler's own batch accounting.
+    EXPECT_EQ(merged.counter("transcode.runs").value(),
+              serial_metrics.counter("transcode.runs").value());
+    EXPECT_EQ(merged.counter("encode.frames").value(),
+              serial_metrics.counter("encode.frames").value());
+    EXPECT_EQ(merged.counter("sched.batches").value(), 1u);
+    EXPECT_EQ(merged.counter("sched.jobs").value(), n);
+    EXPECT_EQ(merged.counter("sched.jobs.ok").value(), n);
+    // Workers traced into private shards; the merge landed them here.
+    EXPECT_GT(tracer.eventCount(), 0u);
+}
+
+TEST(Scheduler, ExplicitJobSinksBypassShards)
+{
+    const Clip clip = makeClip(41);
+    obs::MetricsRegistry own;
+    obs::MetricsRegistry merged;
+
+    TranscodeJob job;
+    job.label = "own-sink";
+    job.input = clip.universal;
+    job.original = clip.original;
+    job.request = crfRequest(24);
+    job.request.metrics = &own;
+
+    SchedulerConfig config;
+    config.workers = 1;
+    config.merge_metrics = &merged;
+    Scheduler scheduler(config);
+    const BatchResult batch = scheduler.runBatch({std::move(job)});
+    ASSERT_EQ(batch.stats.ok, 1u);
+
+    EXPECT_EQ(own.counter("transcode.runs").value(), 1u);
+    // The merge target sees only the scheduler's batch accounting.
+    EXPECT_EQ(merged.counter("transcode.runs").value(), 0u);
+    EXPECT_EQ(merged.counter("sched.jobs").value(), 1u);
+}
+
+TEST(Scheduler, DefaultWorkerCountHonorsEnv)
+{
+    const char *saved = std::getenv("VBENCH_JOBS");
+    const std::string restore = saved ? saved : "";
+
+    setenv("VBENCH_JOBS", "3", 1);
+    EXPECT_EQ(Scheduler::defaultWorkerCount(), 3);
+    {
+        Scheduler scheduler;
+        EXPECT_EQ(scheduler.workers(), 3);
+    }
+    // Unparsable or non-positive values fall back to the hardware.
+    setenv("VBENCH_JOBS", "0", 1);
+    EXPECT_GE(Scheduler::defaultWorkerCount(), 1);
+    setenv("VBENCH_JOBS", "banana", 1);
+    EXPECT_GE(Scheduler::defaultWorkerCount(), 1);
+
+    if (saved)
+        setenv("VBENCH_JOBS", restore.c_str(), 1);
+    else
+        unsetenv("VBENCH_JOBS");
+}
+
+TEST(Scheduler, BatchStatsAccounting)
+{
+    const Clip clip = makeClip(51);
+    std::vector<TranscodeJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        TranscodeJob job;
+        job.label = "job" + std::to_string(i);
+        job.input = clip.universal;
+        job.original = clip.original;
+        job.request = crfRequest(24);
+        jobs.push_back(std::move(job));
+    }
+    Scheduler scheduler(SchedulerConfig{.workers = 2});
+    const BatchResult batch = scheduler.runBatch(std::move(jobs));
+    EXPECT_EQ(batch.stats.workers, 2);
+    EXPECT_EQ(batch.stats.jobs, 3u);
+    EXPECT_EQ(batch.stats.ok, 3u);
+    EXPECT_GT(batch.stats.wall_seconds, 0.0);
+    EXPECT_GT(batch.stats.job_seconds, 0.0);
+    EXPECT_GT(batch.stats.jobs_per_second, 0.0);
+    EXPECT_GT(batch.stats.speedup_vs_serial, 0.0);
+    for (const JobResult &r : batch.results) {
+        EXPECT_GE(r.worker, 0);
+        EXPECT_LT(r.worker, 2);
+        EXPECT_GT(r.seconds, 0.0);
+    }
+}
+
+} // namespace
+} // namespace vbench::sched
