@@ -29,4 +29,17 @@ ctest --test-dir "$build" --output-on-failure -L sanitize -j "$jobs"
 echo "== thread-sanitizer tests (ctest -L thread) =="
 ctest --test-dir "$build" --output-on-failure -L thread -j "$jobs"
 
+echo "== kernel smoke (bench_kernels --smoke) =="
+"$build/bench/bench_kernels" --smoke
+
+echo "== ISA bit-exactness (VBENCH_ISA=scalar vs native digest) =="
+scalar_digest="$(VBENCH_ISA=scalar "$build/bench/bench_kernels" --digest)"
+native_digest="$(VBENCH_ISA=native "$build/bench/bench_kernels" --digest)"
+if [ "$scalar_digest" != "$native_digest" ]; then
+    echo "FAIL: scalar and native kernel digests differ" >&2
+    diff <(echo "$scalar_digest") <(echo "$native_digest") >&2 || true
+    exit 1
+fi
+echo "$native_digest"
+
 echo "== all checks passed =="

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "codec/golomb.h"
 #include "codec/types.h"
 
 namespace vbench::codec {
@@ -44,9 +45,7 @@ class BitWriter
     putUe(uint32_t value)
     {
         const uint64_t v = static_cast<uint64_t>(value) + 1;
-        int bits = 0;
-        while ((v >> bits) > 1)
-            ++bits;
+        const int bits = static_cast<int>(ueExponent(value));
         for (int i = 0; i < bits; ++i)
             putBit(0);
         for (int i = bits; i >= 0; --i)

@@ -1,6 +1,9 @@
 #include "codec/deblock.h"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "kernels/kernel_ops.h"
 
 namespace vbench::codec {
 
@@ -102,21 +105,27 @@ deblockPlane(video::Plane &plane, const MbGrid &grid, int shift,
             }
         }
     }
-    // Horizontal edges (filter across rows).
+    // Horizontal edges (filter across rows). bs and qp are constant
+    // within a macroblock-wide span of the edge, so each span is one
+    // vectorizable kernel call.
     const int stride = plane.width();
+    const kernels::KernelOps &k = kernels::ops();
     for (int y = 4; y < h; y += 4) {
         const int mby_q = y >> shift;
         const int mby_p = (y - 1) >> shift;
-        for (int x = 0; x < w; ++x) {
+        for (int x = 0; x < w;) {
             const int mbx = x >> shift;
+            const int seg_end = std::min(w, (mbx + 1) << shift);
             const MbInfo &p = grid.at(mbx, mby_p);
             const MbInfo &q = grid.at(mbx, mby_q);
             const int bs = boundaryStrength(p, q);
-            if (bs == 0)
-                continue;
-            const int qp = (p.qp + q.qp + 1) / 2;
-            filterSample(&plane.at(x, y), stride, qp, bs);
-            ++edges;
+            if (bs != 0) {
+                const int qp = (p.qp + q.qp + 1) / 2;
+                k.deblockEdgeH(&plane.at(x, y), stride, seg_end - x,
+                               kAlpha[qp], kBeta[qp], clipLimit(qp, bs));
+                edges += static_cast<uint64_t>(seg_end - x);
+            }
+            x = seg_end;
         }
     }
 }

@@ -97,17 +97,9 @@ class DecoderState
     cropOutput() const
     {
         Frame out(header_.width, header_.height);
-        auto crop = [](const Plane &in, Plane &dst) {
-            for (int y = 0; y < dst.height(); ++y) {
-                const uint8_t *src_row = in.row(y);
-                uint8_t *dst_row = dst.row(y);
-                for (int x = 0; x < dst.width(); ++x)
-                    dst_row[x] = src_row[x];
-            }
-        };
-        crop(recon_.y(), out.y());
-        crop(recon_.u(), out.u());
-        crop(recon_.v(), out.v());
+        video::padPlaneInto(recon_.y(), out.y());
+        video::padPlaneInto(recon_.u(), out.u());
+        video::padPlaneInto(recon_.v(), out.v());
         return out;
     }
 

@@ -16,6 +16,7 @@
 #include "codec/residual.h"
 #include "codec/syntax.h"
 #include "codec/transform.h"
+#include "kernels/kernel_ops.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -36,21 +37,9 @@ padFrame(const Frame &src, int padded_w, int padded_h,
          uarch::UarchProbe *probe)
 {
     Frame out(padded_w, padded_h);
-    auto padPlane = [](const Plane &in, Plane &dst) {
-        for (int y = 0; y < dst.height(); ++y) {
-            const int sy = std::min(y, in.height() - 1);
-            const uint8_t *src_row = in.row(sy);
-            uint8_t *dst_row = dst.row(y);
-            const int copy = std::min(in.width(), dst.width());
-            for (int x = 0; x < copy; ++x)
-                dst_row[x] = src_row[x];
-            for (int x = copy; x < dst.width(); ++x)
-                dst_row[x] = src_row[in.width() - 1];
-        }
-    };
-    padPlane(src.y(), out.y());
-    padPlane(src.u(), out.u());
-    padPlane(src.v(), out.v());
+    video::padPlaneInto(src.y(), out.y());
+    video::padPlaneInto(src.u(), out.u());
+    video::padPlaneInto(src.v(), out.v());
     if (probe) {
         probe->record(KernelId::FrameCopy, out.pixelCount() / 64, 0, 0,
                       {MemRegion{src.y().data(),
@@ -682,15 +671,10 @@ class Sequencer
         for (int by = 0; by < 4; ++by) {
             for (int bx = 0; bx < 4; ++bx) {
                 int16_t residual[16];
-                for (int r = 0; r < 4; ++r) {
-                    const uint8_t *s = src.y().row(y + by * 4 + r) + x +
-                        bx * 4;
-                    const uint8_t *p = pred + (by * 4 + r) * kMbSize +
-                        bx * 4;
-                    for (int c = 0; c < 4; ++c)
-                        residual[r * 4 + c] =
-                            static_cast<int16_t>(s[c] - p[c]);
-                }
+                kernels::ops().diffBlock(
+                    src.y().row(y + by * 4) + x + bx * 4,
+                    src.y().width(), pred + by * 4 * kMbSize + bx * 4,
+                    kMbSize, residual, 4, 4, 4);
                 int32_t coefs[16];
                 forwardTransform4x4(residual, coefs);
                 nonzero += quantize4x4(coefs,
@@ -716,14 +700,10 @@ class Sequencer
         for (int by = 0; by < 2; ++by) {
             for (int bx = 0; bx < 2; ++bx) {
                 int16_t residual[16];
-                for (int r = 0; r < 4; ++r) {
-                    const uint8_t *s =
-                        src_plane.row(cy + by * 4 + r) + cx + bx * 4;
-                    const uint8_t *p = pred + (by * 4 + r) * 8 + bx * 4;
-                    for (int c = 0; c < 4; ++c)
-                        residual[r * 4 + c] =
-                            static_cast<int16_t>(s[c] - p[c]);
-                }
+                kernels::ops().diffBlock(
+                    src_plane.row(cy + by * 4) + cx + bx * 4,
+                    src_plane.width(), pred + by * 4 * 8 + bx * 4, 8,
+                    residual, 4, 4, 4);
                 int32_t coefs[16];
                 forwardTransform4x4(residual, coefs);
                 nonzero += quantize4x4(coefs,

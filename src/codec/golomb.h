@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Exp-Golomb size helpers shared by the motion-cost model and the
+ * bitstream writers. The exponent is a bit-scan (std::bit_width), not
+ * the historical O(magnitude) shift loop.
+ */
+
+#include <bit>
+#include <cstdint>
+
+namespace vbench::codec {
+
+/** Exponent of ue(v): floor(log2(v + 1)). */
+inline uint32_t
+ueExponent(uint32_t v)
+{
+    return static_cast<uint32_t>(
+        std::bit_width(static_cast<uint64_t>(v) + 1) - 1);
+}
+
+/** Bits of ue(v): 2 * exponent + 1. */
+inline uint32_t
+ueBits(uint32_t v)
+{
+    return 2 * ueExponent(v) + 1;
+}
+
+/** Bits of se(v): ue of the magnitude plus a sign bit when nonzero. */
+inline uint32_t
+seBits(int32_t v)
+{
+    // Magnitude via unsigned negation so INT32_MIN is well-defined.
+    const uint32_t mag = v < 0
+        ? 0u - static_cast<uint32_t>(v)
+        : static_cast<uint32_t>(v);
+    return ueBits(mag) + (mag != 0 ? 1 : 0);
+}
+
+} // namespace vbench::codec

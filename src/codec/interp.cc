@@ -1,5 +1,7 @@
 #include "codec/interp.h"
 
+#include "kernels/kernel_ops.h"
+
 namespace vbench::codec {
 
 void
@@ -12,39 +14,16 @@ motionCompensate(const RefPlane &ref, int x, int y, MotionVector mv,
     const int fy = mv.y & 1;
     const int stride = ref.stride();
     const uint8_t *src = ref.ptr(ix, iy);
+    const kernels::KernelOps &k = kernels::ops();
 
-    if (fx == 0 && fy == 0) {
-        for (int r = 0; r < h; ++r) {
-            const uint8_t *s = src + r * stride;
-            uint8_t *d = out + r * w;
-            for (int c = 0; c < w; ++c)
-                d[c] = s[c];
-        }
-    } else if (fx == 1 && fy == 0) {
-        for (int r = 0; r < h; ++r) {
-            const uint8_t *s = src + r * stride;
-            uint8_t *d = out + r * w;
-            for (int c = 0; c < w; ++c)
-                d[c] = static_cast<uint8_t>((s[c] + s[c + 1] + 1) >> 1);
-        }
-    } else if (fx == 0 && fy == 1) {
-        for (int r = 0; r < h; ++r) {
-            const uint8_t *s = src + r * stride;
-            uint8_t *d = out + r * w;
-            for (int c = 0; c < w; ++c)
-                d[c] = static_cast<uint8_t>((s[c] + s[c + stride] + 1) >> 1);
-        }
-    } else {
-        for (int r = 0; r < h; ++r) {
-            const uint8_t *s = src + r * stride;
-            uint8_t *d = out + r * w;
-            for (int c = 0; c < w; ++c) {
-                d[c] = static_cast<uint8_t>(
-                    (s[c] + s[c + 1] + s[c + stride] + s[c + stride + 1] +
-                     2) >> 2);
-            }
-        }
-    }
+    if (fx == 0 && fy == 0)
+        k.copy2d(src, stride, out, w, w, h);
+    else if (fx == 1 && fy == 0)
+        k.interpH(src, stride, out, w, w, h);
+    else if (fx == 0 && fy == 1)
+        k.interpV(src, stride, out, w, w, h);
+    else
+        k.interpHV(src, stride, out, w, w, h);
 }
 
 } // namespace vbench::codec

@@ -3,29 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codec/golomb.h"
 #include "codec/interp.h"
+#include "kernels/kernel_ops.h"
 
 namespace vbench::codec {
 
 namespace {
-
-/** Bits of ue(v): 2 * exponent + 1. */
-inline uint32_t
-ueBits(uint32_t v)
-{
-    const uint64_t value = static_cast<uint64_t>(v) + 1;
-    uint32_t exponent = 0;
-    while ((value >> exponent) > 1)
-        ++exponent;
-    return 2 * exponent + 1;
-}
-
-inline uint32_t
-seBits(int32_t v)
-{
-    const uint32_t mag = v < 0 ? -v : v;
-    return ueBits(mag) + (mag != 0 ? 1 : 0);
-}
 
 /** Search state shared by the strategies. */
 struct SearchState {
@@ -191,57 +175,14 @@ uint32_t
 sadBlock(const uint8_t *a, int a_stride, const uint8_t *b, int b_stride,
          int w, int h)
 {
-    uint32_t sum = 0;
-    for (int r = 0; r < h; ++r) {
-        const uint8_t *pa = a + r * a_stride;
-        const uint8_t *pb = b + r * b_stride;
-        uint32_t row = 0;
-        for (int c = 0; c < w; ++c)
-            row += static_cast<uint32_t>(std::abs(pa[c] - pb[c]));
-        sum += row;
-    }
-    return sum;
+    return kernels::ops().sad(a, a_stride, b, b_stride, w, h);
 }
 
 uint32_t
 satdBlock(const uint8_t *a, int a_stride, const uint8_t *b, int b_stride,
           int w, int h)
 {
-    uint32_t total = 0;
-    for (int by = 0; by < h; by += 4) {
-        for (int bx = 0; bx < w; bx += 4) {
-            int32_t d[16];
-            for (int r = 0; r < 4; ++r) {
-                const uint8_t *pa = a + (by + r) * a_stride + bx;
-                const uint8_t *pb = b + (by + r) * b_stride + bx;
-                for (int c = 0; c < 4; ++c)
-                    d[r * 4 + c] = pa[c] - pb[c];
-            }
-            // 4x4 Hadamard: rows then columns of butterflies.
-            for (int r = 0; r < 4; ++r) {
-                int32_t *row = d + r * 4;
-                const int32_t s0 = row[0] + row[2];
-                const int32_t s1 = row[1] + row[3];
-                const int32_t s2 = row[0] - row[2];
-                const int32_t s3 = row[1] - row[3];
-                row[0] = s0 + s1;
-                row[1] = s0 - s1;
-                row[2] = s2 + s3;
-                row[3] = s2 - s3;
-            }
-            uint32_t sum = 0;
-            for (int c = 0; c < 4; ++c) {
-                const int32_t s0 = d[c] + d[8 + c];
-                const int32_t s1 = d[4 + c] + d[12 + c];
-                const int32_t s2 = d[c] - d[8 + c];
-                const int32_t s3 = d[4 + c] - d[12 + c];
-                sum += std::abs(s0 + s1) + std::abs(s0 - s1) +
-                    std::abs(s2 + s3) + std::abs(s2 - s3);
-            }
-            total += sum / 2;  // Hadamard gain normalization
-        }
-    }
-    return total;
+    return kernels::ops().satd(a, a_stride, b, b_stride, w, h);
 }
 
 uint32_t

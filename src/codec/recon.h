@@ -10,6 +10,7 @@
 
 #include "codec/transform.h"
 #include "codec/types.h"
+#include "kernels/kernel_ops.h"
 #include "video/plane.h"
 
 namespace vbench::codec {
@@ -32,6 +33,8 @@ reconstructBlock(video::Plane &recon, int x, int y, int n,
                  const uint8_t *pred, const int16_t *levels, int qp)
 {
     const int blocks_per_side = n / 4;
+    const int recon_stride = recon.width();
+    const kernels::KernelOps &k = kernels::ops();
     int coded_blocks = 0;
     for (int by = 0; by < blocks_per_side; ++by) {
         for (int bx = 0; bx < blocks_per_side; ++bx) {
@@ -46,11 +49,10 @@ reconstructBlock(video::Plane &recon, int x, int y, int n,
             }
             const int ox = bx * 4;
             const int oy = by * 4;
+            uint8_t *dst = recon.row(y + oy) + x + ox;
+            const uint8_t *pred_blk = pred + oy * n + ox;
             if (!any) {
-                for (int r = 0; r < 4; ++r)
-                    for (int c = 0; c < 4; ++c)
-                        recon.at(x + ox + c, y + oy + r) =
-                            pred[(oy + r) * n + ox + c];
+                k.copy2d(pred_blk, n, dst, recon_stride, 4, 4);
                 continue;
             }
             ++coded_blocks;
@@ -58,13 +60,8 @@ reconstructBlock(video::Plane &recon, int x, int y, int n,
             int16_t residual[16];
             dequantize4x4(block_levels, coefs, qp);
             inverseTransform4x4(coefs, residual);
-            for (int r = 0; r < 4; ++r) {
-                for (int c = 0; c < 4; ++c) {
-                    const int p = pred[(oy + r) * n + ox + c];
-                    recon.at(x + ox + c, y + oy + r) =
-                        clampPixel(p + residual[r * 4 + c]);
-                }
-            }
+            k.addClampBlock(pred_blk, n, residual, 4, dst, recon_stride,
+                            4, 4);
         }
     }
     return coded_blocks;
@@ -75,9 +72,7 @@ inline void
 copyPrediction(video::Plane &recon, int x, int y, int n,
                const uint8_t *pred)
 {
-    for (int r = 0; r < n; ++r)
-        for (int c = 0; c < n; ++c)
-            recon.at(x + c, y + r) = pred[r * n + c];
+    kernels::ops().copy2d(pred, n, recon.row(y) + x, recon.width(), n, n);
 }
 
 } // namespace vbench::codec

@@ -11,8 +11,10 @@
  */
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "kernels/kernel_ops.h"
 #include "video/plane.h"
 
 namespace vbench::codec {
@@ -35,28 +37,23 @@ class RefPlane
     {
         uint8_t *origin = buf_.data() + kRefPad * stride_ + kRefPad;
         // Interior.
+        kernels::ops().copy2d(src.data(), width_, origin, stride_,
+                              width_, height_);
+        // Horizontal extension.
         for (int y = 0; y < height_; ++y) {
             const uint8_t *in = src.row(y);
             uint8_t *out = origin + y * stride_;
-            for (int x = 0; x < width_; ++x)
-                out[x] = in[x];
-            // Horizontal extension.
-            for (int x = 1; x <= kRefPad; ++x) {
-                out[-x] = in[0];
-                out[width_ - 1 + x] = in[width_ - 1];
-            }
+            std::memset(out - kRefPad, in[0], kRefPad);
+            std::memset(out + width_, in[width_ - 1], kRefPad);
         }
         // Vertical extension (rows already horizontally extended).
         const uint8_t *top = origin - kRefPad;
         const uint8_t *bottom = origin + (height_ - 1) * stride_ - kRefPad;
         for (int y = 1; y <= kRefPad; ++y) {
-            uint8_t *above = buf_.data() + (kRefPad - y) * stride_;
-            uint8_t *below =
-                buf_.data() + (kRefPad + height_ - 1 + y) * stride_;
-            for (int x = 0; x < stride_; ++x) {
-                above[x] = top[x];
-                below[x] = bottom[x];
-            }
+            std::memcpy(buf_.data() + (kRefPad - y) * stride_, top,
+                        static_cast<size_t>(stride_));
+            std::memcpy(buf_.data() + (kRefPad + height_ - 1 + y) * stride_,
+                        bottom, static_cast<size_t>(stride_));
         }
     }
 

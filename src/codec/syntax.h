@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "codec/bitio.h"
+#include "codec/golomb.h"
 #include "codec/rangecoder.h"
 #include "codec/types.h"
 
@@ -172,9 +173,7 @@ class ArithSyntaxWriter : public SyntaxWriter
         // Exp-Golomb binarization: unary exponent with per-position
         // contexts, then the mantissa as bypass bins.
         const uint64_t value = static_cast<uint64_t>(v) + 1;
-        int exponent = 0;
-        while ((value >> exponent) > 1)
-            ++exponent;
+        const int exponent = static_cast<int>(ueExponent(v));
         for (int i = 0; i < exponent; ++i)
             bit(1, context_base + (i < n_contexts ? i : n_contexts - 1));
         bit(0, context_base + (exponent < n_contexts ? exponent
@@ -268,11 +267,7 @@ class CountingSyntaxWriter : public SyntaxWriter
     void
     ue(uint32_t v, int, int) override
     {
-        const uint64_t value = static_cast<uint64_t>(v) + 1;
-        int exponent = 0;
-        while ((value >> exponent) > 1)
-            ++exponent;
-        bits_ += 2 * exponent + 1;
+        bits_ += ueBits(v);
     }
 
     void finish() override {}

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "codec/types.h"
+#include "kernels/kernel_ops.h"
+#include "kernels/quant_tables.h"
 
 namespace vbench::codec {
 
@@ -10,165 +12,45 @@ const uint8_t kZigzag4x4[16] = {
     0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15,
 };
 
-namespace {
-
-/**
- * Per-position quantization multipliers (MF) and rescale factors (V)
- * from the H.264 reference construction. Positions fall in three
- * classes by parity: (even,even) -> a, (odd,odd) -> b, mixed -> c.
- */
-const int kQuantMf[6][3] = {
-    // a      b     c
-    {13107, 5243, 8066},
-    {11916, 4660, 7490},
-    {10082, 4194, 6554},
-    {9362, 3647, 5825},
-    {8192, 3355, 5243},
-    {7282, 2893, 4559},
-};
-
-const int kDequantV[6][3] = {
-    // a   b   c
-    {10, 16, 13},
-    {11, 18, 14},
-    {13, 20, 16},
-    {14, 23, 18},
-    {16, 25, 20},
-    {18, 29, 23},
-};
-
-/** Position class index (0=a, 1=b, 2=c) for raster position i. */
-inline int
-posClass(int i)
-{
-    const int r = i >> 2;
-    const int c = i & 3;
-    const bool r_even = (r & 1) == 0;
-    const bool c_even = (c & 1) == 0;
-    if (r_even && c_even)
-        return 0;
-    if (!r_even && !c_even)
-        return 1;
-    return 2;
-}
-
-} // namespace
+// The transform/quant arithmetic lives in src/kernels/ (scalar
+// reference plus vector variants); these wrappers route through the
+// dispatch table resolved at startup. The MF/V tables moved to
+// kernels/quant_tables.h so both layers share one copy.
 
 void
 forwardTransform4x4(const int16_t in[16], int32_t out[16])
 {
-    int32_t tmp[16];
-    // Rows.
-    for (int r = 0; r < 4; ++r) {
-        const int a = in[r * 4 + 0];
-        const int b = in[r * 4 + 1];
-        const int c = in[r * 4 + 2];
-        const int d = in[r * 4 + 3];
-        const int s0 = a + d;
-        const int s1 = b + c;
-        const int s2 = b - c;
-        const int s3 = a - d;
-        tmp[r * 4 + 0] = s0 + s1;
-        tmp[r * 4 + 1] = 2 * s3 + s2;
-        tmp[r * 4 + 2] = s0 - s1;
-        tmp[r * 4 + 3] = s3 - 2 * s2;
-    }
-    // Columns.
-    for (int c = 0; c < 4; ++c) {
-        const int a = tmp[0 * 4 + c];
-        const int b = tmp[1 * 4 + c];
-        const int cc = tmp[2 * 4 + c];
-        const int d = tmp[3 * 4 + c];
-        const int s0 = a + d;
-        const int s1 = b + cc;
-        const int s2 = b - cc;
-        const int s3 = a - d;
-        out[0 * 4 + c] = s0 + s1;
-        out[1 * 4 + c] = 2 * s3 + s2;
-        out[2 * 4 + c] = s0 - s1;
-        out[3 * 4 + c] = s3 - 2 * s2;
-    }
+    kernels::ops().fwdTx4x4(in, out);
 }
 
 void
 inverseTransform4x4(const int32_t in[16], int16_t out[16])
 {
-    int32_t tmp[16];
-    // Rows.
-    for (int r = 0; r < 4; ++r) {
-        const int a = in[r * 4 + 0];
-        const int b = in[r * 4 + 1];
-        const int c = in[r * 4 + 2];
-        const int d = in[r * 4 + 3];
-        const int e0 = a + c;
-        const int e1 = a - c;
-        const int e2 = (b >> 1) - d;
-        const int e3 = b + (d >> 1);
-        tmp[r * 4 + 0] = e0 + e3;
-        tmp[r * 4 + 1] = e1 + e2;
-        tmp[r * 4 + 2] = e1 - e2;
-        tmp[r * 4 + 3] = e0 - e3;
-    }
-    // Columns with final rounding.
-    for (int c = 0; c < 4; ++c) {
-        const int a = tmp[0 * 4 + c];
-        const int b = tmp[1 * 4 + c];
-        const int cc = tmp[2 * 4 + c];
-        const int d = tmp[3 * 4 + c];
-        const int e0 = a + cc;
-        const int e1 = a - cc;
-        const int e2 = (b >> 1) - d;
-        const int e3 = b + (d >> 1);
-        out[0 * 4 + c] = static_cast<int16_t>((e0 + e3 + 32) >> 6);
-        out[1 * 4 + c] = static_cast<int16_t>((e1 + e2 + 32) >> 6);
-        out[2 * 4 + c] = static_cast<int16_t>((e1 - e2 + 32) >> 6);
-        out[3 * 4 + c] = static_cast<int16_t>((e0 - e3 + 32) >> 6);
-    }
+    kernels::ops().invTx4x4(in, out);
 }
 
 int
 quantize4x4(const int32_t coefs[16], int16_t levels[16], int qp, bool intra)
 {
-    const int rem = qp % 6;
-    const int qbits = 15 + qp / 6;
-    // Rounding offset: 1/3 of a step for intra, 1/6 for inter.
-    const int64_t f = (1ll << qbits) / (intra ? 3 : 6);
-    int nonzero = 0;
-    for (int i = 0; i < 16; ++i) {
-        const int mf = kQuantMf[rem][posClass(i)];
-        const int64_t w = coefs[i];
-        const int64_t mag = ((w < 0 ? -w : w) * mf + f) >> qbits;
-        const int16_t level =
-            static_cast<int16_t>(w < 0 ? -mag : mag);
-        levels[i] = level;
-        if (level != 0)
-            ++nonzero;
-    }
-    return nonzero;
+    return kernels::ops().quant4x4(coefs, levels, qp, intra);
 }
 
 void
 dequantize4x4(const int16_t levels[16], int32_t coefs[16], int qp)
 {
-    const int rem = qp % 6;
-    const int shift = qp / 6;
-    for (int i = 0; i < 16; ++i) {
-        coefs[i] = (static_cast<int32_t>(levels[i]) *
-                    kDequantV[rem][posClass(i)])
-            << shift;
-    }
+    kernels::ops().dequant4x4(levels, coefs, qp);
 }
 
 int
 quantMfDc(int qp_rem)
 {
-    return kQuantMf[qp_rem][0];
+    return kernels::kQuantMf[qp_rem][0];
 }
 
 int
 dequantVDc(int qp_rem)
 {
-    return kDequantV[qp_rem][0];
+    return kernels::kDequantV[qp_rem][0];
 }
 
 double

@@ -76,8 +76,11 @@ toJson(const RunReport &report, const obs::MetricsRegistry *metrics)
     ss << "{" << obs::jsonString("label") << ":"
        << obs::jsonString(report.label) << ","
        << obs::jsonString("backend") << ":"
-       << obs::jsonString(report.backend) << ","
-       << obs::jsonString("seconds") << ":"
+       << obs::jsonString(report.backend) << ",";
+    if (!report.kernel_isa.empty())
+        ss << obs::jsonString("kernel_isa") << ":"
+           << obs::jsonString(report.kernel_isa) << ",";
+    ss << obs::jsonString("seconds") << ":"
        << obs::jsonNumber(report.seconds) << ","
        << obs::jsonString("stream_bytes") << ":" << report.stream_bytes
        << "," << obs::jsonString("speed_mpix_s") << ":"

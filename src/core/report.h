@@ -54,6 +54,7 @@ void printSeries(std::ostream &out, const std::string &name,
 struct RunReport {
     std::string label;    ///< clip / row identifier, caller-chosen
     std::string backend;  ///< encoder name (toString(EncoderKind), ...)
+    std::string kernel_isa;  ///< active pixel-kernel ISA (scalar/sse2/avx2)
     Measurement m;
     double seconds = 0;
     size_t stream_bytes = 0;

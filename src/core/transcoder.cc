@@ -6,6 +6,7 @@
 #include "codec/encoder.h"
 #include "codec/preset.h"
 #include "core/encoder_backend.h"
+#include "kernels/kernel_ops.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
 
@@ -275,6 +276,7 @@ makeRunReport(std::string label, const TranscodeRequest &request,
     RunReport report;
     report.label = std::move(label);
     report.backend = toString(request.kind);
+    report.kernel_isa = kernels::isaName(kernels::activeIsa());
     report.m = outcome.m;
     report.seconds = outcome.seconds;
     report.stream_bytes = outcome.stream.size();

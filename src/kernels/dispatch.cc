@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Runtime kernel dispatch: pick the widest ISA the host CPU and the
+ * build both support, unless VBENCH_ISA pins a level. Resolution
+ * happens exactly once per process, on the first ops() call; tests use
+ * ScopedKernelIsa to swap the table in-process afterwards.
+ */
+
+#include "kernels/kernel_ops.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vbench::kernels {
+
+namespace {
+
+/** Widest level the host CPU supports among the compiled backends. */
+Isa
+detectHostIsa()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (avx2Ops() != nullptr && __builtin_cpu_supports("avx2"))
+        return Isa::Avx2;
+    if (sse2Ops() != nullptr && __builtin_cpu_supports("sse2"))
+        return Isa::Sse2;
+#endif
+    return Isa::Scalar;
+}
+
+const KernelOps *
+resolve()
+{
+    Isa level = detectHostIsa();
+    if (const char *env = std::getenv("VBENCH_ISA");
+        env != nullptr && env[0] != '\0') {
+        if (const auto requested = parseIsaName(env)) {
+            if (*requested <= level) {
+                level = *requested;
+            } else {
+                std::fprintf(stderr,
+                             "vbench: VBENCH_ISA=%s not available on "
+                             "this host/build, using %s\n",
+                             env, isaName(level));
+            }
+        } else {
+            std::fprintf(stderr,
+                         "vbench: unrecognized VBENCH_ISA=%s (want "
+                         "scalar|sse2|avx2|native), using %s\n",
+                         env, isaName(level));
+        }
+    }
+    const KernelOps *table = opsFor(level);
+    return table != nullptr ? table : scalarOps();
+}
+
+/** The active table; mutable only through ScopedKernelIsa. */
+const KernelOps *&
+activeTable()
+{
+    static const KernelOps *table = resolve();
+    return table;
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return "scalar";
+    case Isa::Sse2:
+        return "sse2";
+    case Isa::Avx2:
+        return "avx2";
+    }
+    return "scalar";
+}
+
+const KernelOps &
+ops()
+{
+    return *activeTable();
+}
+
+Isa
+activeIsa()
+{
+    return activeTable()->isa;
+}
+
+Isa
+detectBestIsa()
+{
+    return detectHostIsa();
+}
+
+const KernelOps *
+opsFor(Isa isa)
+{
+    switch (isa) {
+    case Isa::Scalar:
+        return scalarOps();
+    case Isa::Sse2:
+#if defined(__x86_64__) || defined(__i386__)
+        if (sse2Ops() != nullptr && __builtin_cpu_supports("sse2"))
+            return sse2Ops();
+#endif
+        return nullptr;
+    case Isa::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        if (avx2Ops() != nullptr && __builtin_cpu_supports("avx2"))
+            return avx2Ops();
+#endif
+        return nullptr;
+    }
+    return nullptr;
+}
+
+std::optional<Isa>
+parseIsaName(std::string_view name)
+{
+    std::string lower(name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "scalar")
+        return Isa::Scalar;
+    if (lower == "sse2")
+        return Isa::Sse2;
+    if (lower == "avx2")
+        return Isa::Avx2;
+    if (lower == "native")
+        return detectBestIsa();
+    return std::nullopt;
+}
+
+ScopedKernelIsa::ScopedKernelIsa(Isa isa) : saved_(activeTable())
+{
+    const KernelOps *table = opsFor(isa);
+    activeTable() = table != nullptr ? table : scalarOps();
+}
+
+ScopedKernelIsa::~ScopedKernelIsa()
+{
+    activeTable() = saved_;
+}
+
+} // namespace vbench::kernels

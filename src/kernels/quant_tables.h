@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Per-position quantization multipliers (MF) and rescale factors (V)
+ * from the H.264 reference construction, shared by the scalar and
+ * vector quant/dequant kernels and by codec/transform.cc's DC helpers.
+ * Positions fall in three classes by parity: (even,even) -> a,
+ * (odd,odd) -> b, mixed -> c.
+ */
+
+#include <cstdint>
+
+namespace vbench::kernels {
+
+inline constexpr int kQuantMf[6][3] = {
+    // a      b     c
+    {13107, 5243, 8066},
+    {11916, 4660, 7490},
+    {10082, 4194, 6554},
+    {9362, 3647, 5825},
+    {8192, 3355, 5243},
+    {7282, 2893, 4559},
+};
+
+inline constexpr int kDequantV[6][3] = {
+    // a   b   c
+    {10, 16, 13},
+    {11, 18, 14},
+    {13, 20, 16},
+    {14, 23, 18},
+    {16, 25, 20},
+    {18, 29, 23},
+};
+
+/** Position class index (0=a, 1=b, 2=c) for raster position i. */
+inline constexpr int
+posClass(int i)
+{
+    const int r = i >> 2;
+    const int c = i & 3;
+    const bool r_even = (r & 1) == 0;
+    const bool c_even = (c & 1) == 0;
+    if (r_even && c_even)
+        return 0;
+    if (!r_even && !c_even)
+        return 1;
+    return 2;
+}
+
+} // namespace vbench::kernels

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/kernel_ops.h"
+
 namespace vbench::metrics {
 
 namespace {
@@ -12,15 +14,8 @@ double
 squaredError(const video::Plane &ref, const video::Plane &test)
 {
     assert(ref.width() == test.width() && ref.height() == test.height());
-    const uint8_t *a = ref.data();
-    const uint8_t *b = test.data();
-    const size_t n = ref.size();
-    double sum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-        const double d = static_cast<double>(a[i]) - b[i];
-        sum += d * d;
-    }
-    return sum;
+    return static_cast<double>(
+        kernels::ops().sse8(ref.data(), test.data(), ref.size()));
 }
 
 } // namespace

@@ -1,7 +1,11 @@
 #include "metrics/ssim.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "kernels/kernel_ops.h"
 
 namespace vbench::metrics {
 
@@ -11,28 +15,21 @@ constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
 constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
 constexpr int kWin = 8;
 
-/** SSIM of one aligned 8x8 window. */
+/** SSIM of one win_w x win_h window anchored at (x0, y0). */
 double
-windowSsim(const video::Plane &ref, const video::Plane &test, int x0, int y0)
+windowSsim(const video::Plane &ref, const video::Plane &test, int x0, int y0,
+           int win_w, int win_h)
 {
-    double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
-    for (int y = 0; y < kWin; ++y) {
-        for (int x = 0; x < kWin; ++x) {
-            const double a = ref.at(x0 + x, y0 + y);
-            const double b = test.at(x0 + x, y0 + y);
-            sum_a += a;
-            sum_b += b;
-            sum_aa += a * a;
-            sum_bb += b * b;
-            sum_ab += a * b;
-        }
-    }
-    const double n = kWin * kWin;
-    const double mu_a = sum_a / n;
-    const double mu_b = sum_b / n;
-    const double var_a = sum_aa / n - mu_a * mu_a;
-    const double var_b = sum_bb / n - mu_b * mu_b;
-    const double cov = sum_ab / n - mu_a * mu_b;
+    uint32_t sums[5] = {0, 0, 0, 0, 0};
+    kernels::ops().ssimWindowSums(ref.row(y0) + x0, ref.width(),
+                                  test.row(y0) + x0, test.width(), win_w,
+                                  win_h, sums);
+    const double n = static_cast<double>(win_w) * win_h;
+    const double mu_a = sums[0] / n;
+    const double mu_b = sums[1] / n;
+    const double var_a = sums[2] / n - mu_a * mu_a;
+    const double var_b = sums[3] / n - mu_b * mu_b;
+    const double cov = sums[4] / n - mu_a * mu_b;
     return ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
         ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
 }
@@ -43,15 +40,31 @@ double
 ssimPlane(const video::Plane &ref, const video::Plane &test)
 {
     assert(ref.width() == test.width() && ref.height() == test.height());
+    const int w = ref.width();
+    const int h = ref.height();
+    if (w <= 0 || h <= 0)
+        return 1.0;
+    // Windows tile at kWin-aligned positions; when a dimension is not a
+    // multiple of kWin a final window overlapping the previous one covers
+    // the right/bottom edge, so no pixel is dropped. Planes smaller than
+    // kWin get a single shrunken window.
+    const int win_w = std::min(kWin, w);
+    const int win_h = std::min(kWin, h);
     double sum = 0.0;
     int count = 0;
-    for (int y = 0; y + kWin <= ref.height(); y += kWin) {
-        for (int x = 0; x + kWin <= ref.width(); x += kWin) {
-            sum += windowSsim(ref, test, x, y);
+    for (int y = 0;;) {
+        for (int x = 0;;) {
+            sum += windowSsim(ref, test, x, y, win_w, win_h);
             ++count;
+            if (x + win_w >= w)
+                break;
+            x = std::min(x + kWin, w - win_w);
         }
+        if (y + win_h >= h)
+            break;
+        y = std::min(y + kWin, h - win_h);
     }
-    return count > 0 ? sum / count : 1.0;
+    return sum / count;
 }
 
 double

@@ -9,6 +9,7 @@
 #include "codec/refplane.h"
 #include "codec/syntax.h"
 #include "codec/transform.h"
+#include "kernels/kernel_ops.h"
 #include "ngc/ngc_bitstream.h"
 #include "ngc/ngc_intra.h"
 #include "ngc/ngc_residual.h"
@@ -328,20 +329,17 @@ class NgcDecoderState
     copyBlock(Plane &dst, int x, int y, int n, const uint8_t *src,
               int stride)
     {
-        for (int r = 0; r < n; ++r)
-            for (int c = 0; c < n; ++c)
-                dst.at(x + c, y + r) = src[r * stride + c];
+        kernels::ops().copy2d(src, stride, dst.row(y) + x, dst.width(),
+                              n, n);
     }
 
     static void
     addBlock(Plane &dst, int x, int y, int n, const uint8_t *pred,
              int pred_stride, const int16_t *residual, int res_stride)
     {
-        for (int r = 0; r < n; ++r)
-            for (int c = 0; c < n; ++c)
-                dst.at(x + c, y + r) = codec::clampPixel(
-                    pred[r * pred_stride + c] +
-                    residual[r * res_stride + c]);
+        kernels::ops().addClampBlock(pred, pred_stride, residual,
+                                     res_stride, dst.row(y) + x,
+                                     dst.width(), n, n);
     }
 
     NgcStreamHeader header_;

@@ -11,6 +11,7 @@
 #include "codec/refplane.h"
 #include "codec/syntax.h"
 #include "codec/transform.h"
+#include "kernels/kernel_ops.h"
 #include "ngc/ngc_bitstream.h"
 #include "ngc/ngc_intra.h"
 #include "ngc/ngc_residual.h"
@@ -261,21 +262,9 @@ class NgcSequencer
     padFrame(const Frame &src) const
     {
         Frame out(padded_w_, padded_h_);
-        auto padPlane = [](const Plane &in, Plane &dst) {
-            for (int y = 0; y < dst.height(); ++y) {
-                const int sy = std::min(y, in.height() - 1);
-                const uint8_t *src_row = in.row(sy);
-                uint8_t *dst_row = dst.row(y);
-                const int copy = std::min(in.width(), dst.width());
-                for (int x = 0; x < copy; ++x)
-                    dst_row[x] = src_row[x];
-                for (int x = copy; x < dst.width(); ++x)
-                    dst_row[x] = src_row[in.width() - 1];
-            }
-        };
-        padPlane(src.y(), out.y());
-        padPlane(src.u(), out.u());
-        padPlane(src.v(), out.v());
+        video::padPlaneInto(src.y(), out.y());
+        video::padPlaneInto(src.u(), out.u());
+        video::padPlaneInto(src.v(), out.v());
         if (probe_) {
             probe_->record(KernelId::FrameCopy, out.pixelCount() / 64);
         }
@@ -528,15 +517,10 @@ class NgcSequencer
         for (int ty = 0; ty < tus; ++ty) {
             for (int tx = 0; tx < tus; ++tx) {
                 int16_t residual[64];
-                for (int r = 0; r < 8; ++r) {
-                    const uint8_t *s =
-                        src_.y().row(y + ty * 8 + r) + x + tx * 8;
-                    const uint8_t *p =
-                        pred_y + (ty * 8 + r) * size + tx * 8;
-                    for (int c = 0; c < 8; ++c)
-                        residual[r * 8 + c] =
-                            static_cast<int16_t>(s[c] - p[c]);
-                }
+                kernels::ops().diffBlock(
+                    src_.y().row(y + ty * 8) + x + tx * 8,
+                    src_.y().width(), pred_y + ty * 8 * size + tx * 8,
+                    size, residual, 8, 8, 8);
                 nonzero += forwardTransform8x8(residual,
                                                dc_y[ty * tus + tx],
                                                ac_y[ty * tus + tx], qp_,
@@ -551,15 +535,11 @@ class NgcSequencer
                 for (int ty = 0; ty < ctus; ++ty) {
                     for (int tx = 0; tx < ctus; ++tx) {
                         int16_t residual[64];
-                        for (int r = 0; r < 8; ++r) {
-                            const uint8_t *s =
-                                splane.row(cy + ty * 8 + r) + cx + tx * 8;
-                            const uint8_t *p =
-                                pred_c + (ty * 8 + r) * csize + tx * 8;
-                            for (int c = 0; c < 8; ++c)
-                                residual[r * 8 + c] =
-                                    static_cast<int16_t>(s[c] - p[c]);
-                        }
+                        kernels::ops().diffBlock(
+                            splane.row(cy + ty * 8) + cx + tx * 8,
+                            splane.width(),
+                            pred_c + ty * 8 * csize + tx * 8, csize,
+                            residual, 8, 8, 8);
                         nonzero += forwardTransform8x8(
                             residual, dc_c[plane][ty * ctus + tx],
                             ac_c[plane][ty * ctus + tx], qp_, intra);
@@ -567,13 +547,9 @@ class NgcSequencer
                 }
             } else {
                 int16_t residual[16];
-                for (int r = 0; r < 4; ++r) {
-                    const uint8_t *s = splane.row(cy + r) + cx;
-                    const uint8_t *p = pred_c + r * 4;
-                    for (int c = 0; c < 4; ++c)
-                        residual[r * 4 + c] =
-                            static_cast<int16_t>(s[c] - p[c]);
-                }
+                kernels::ops().diffBlock(splane.row(cy) + cx,
+                                         splane.width(), pred_c, 4,
+                                         residual, 4, 4, 4);
                 int32_t coefs[16];
                 codec::forwardTransform4x4(residual, coefs);
                 nonzero += codec::quantize4x4(coefs, levels4_c[plane],
@@ -730,9 +706,8 @@ class NgcSequencer
     copyBlock(Plane &dst, int x, int y, int n, const uint8_t *src,
               int stride)
     {
-        for (int r = 0; r < n; ++r)
-            for (int c = 0; c < n; ++c)
-                dst.at(x + c, y + r) = src[r * stride + c];
+        kernels::ops().copy2d(src, stride, dst.row(y) + x, dst.width(),
+                              n, n);
     }
 
     /** recon = clamp(pred + residual) over an n x n block. */
@@ -740,11 +715,9 @@ class NgcSequencer
     addBlock(Plane &dst, int x, int y, int n, const uint8_t *pred,
              int pred_stride, const int16_t *residual, int res_stride)
     {
-        for (int r = 0; r < n; ++r)
-            for (int c = 0; c < n; ++c)
-                dst.at(x + c, y + r) = codec::clampPixel(
-                    pred[r * pred_stride + c] +
-                    residual[r * res_stride + c]);
+        kernels::ops().addClampBlock(pred, pred_stride, residual,
+                                     res_stride, dst.row(y) + x,
+                                     dst.width(), n, n);
     }
 
     const NgcConfig &config_;

@@ -1,6 +1,7 @@
 #include "ngc/transform8.h"
 
 #include "codec/transform.h"
+#include "kernels/kernel_ops.h"
 
 namespace vbench::ngc {
 
@@ -23,15 +24,7 @@ forwardTransform8x8(const int16_t residual[64], int16_t dc_levels[4],
                     int16_t ac_levels[64], int qp, bool intra)
 {
     int32_t coefs[4][16];
-    for (int sb = 0; sb < 4; ++sb) {
-        int16_t block[16];
-        const int ox = (sb & 1) * 4;
-        const int oy = (sb >> 1) * 4;
-        for (int r = 0; r < 4; ++r)
-            for (int c = 0; c < 4; ++c)
-                block[r * 4 + c] = residual[(oy + r) * 8 + ox + c];
-        codec::forwardTransform4x4(block, coefs[sb]);
-    }
+    kernels::ops().fwdTx8x8(residual, &coefs[0][0]);
 
     // Second-level transform over the four DC coefficients.
     const int32_t dc[4] = {coefs[0][0], coefs[1][0], coefs[2][0],
@@ -78,18 +71,12 @@ inverseTransform8x8(const int16_t dc_levels[4], const int16_t ac_levels[64],
     for (int i = 0; i < 4; ++i)
         dc[i] = (dc[i] + 2) >> 2;  // inverse Hadamard normalization
 
+    int32_t coefs[4][16];
     for (int sb = 0; sb < 4; ++sb) {
-        int32_t coefs[16];
-        codec::dequantize4x4(ac_levels + sb * 16, coefs, qp);
-        coefs[0] = dc[sb];
-        int16_t block[16];
-        codec::inverseTransform4x4(coefs, block);
-        const int ox = (sb & 1) * 4;
-        const int oy = (sb >> 1) * 4;
-        for (int r = 0; r < 4; ++r)
-            for (int c = 0; c < 4; ++c)
-                residual[(oy + r) * 8 + ox + c] = block[r * 4 + c];
+        codec::dequantize4x4(ac_levels + sb * 16, coefs[sb], qp);
+        coefs[sb][0] = dc[sb];
     }
+    kernels::ops().invTx8x8(&coefs[0][0], residual);
 }
 
 } // namespace vbench::ngc

@@ -5,10 +5,13 @@
  * A single image plane (luma or chroma) of 8-bit samples.
  */
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <vector>
+
+#include "kernels/kernel_ops.h"
 
 namespace vbench::video {
 
@@ -89,5 +92,29 @@ class Plane
     int height_ = 0;
     std::vector<uint8_t> samples_;
 };
+
+/**
+ * Copy `src` into `dst`, replicating the right/bottom border samples
+ * when `dst` is larger (codec edge extension) and cropping when it is
+ * smaller. Both codecs use this for macroblock-aligned frame padding
+ * and for cropping decoded output back to display size.
+ */
+inline void
+padPlaneInto(const Plane &src, Plane &dst)
+{
+    const int copy_w = std::min(src.width(), dst.width());
+    const int copy_h = std::min(src.height(), dst.height());
+    kernels::ops().copy2d(src.data(), src.width(), dst.data(),
+                          dst.width(), copy_w, copy_h);
+    for (int y = 0; y < copy_h; ++y) {
+        uint8_t *d = dst.row(y);
+        if (dst.width() > copy_w)
+            std::memset(d + copy_w, d[copy_w - 1],
+                        static_cast<size_t>(dst.width() - copy_w));
+    }
+    for (int y = copy_h; y < dst.height(); ++y)
+        std::memcpy(dst.row(y), dst.row(copy_h - 1),
+                    static_cast<size_t>(dst.width()));
+}
 
 } // namespace vbench::video

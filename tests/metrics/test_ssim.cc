@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "metrics/ssim.h"
 #include "video/rng.h"
 #include "video/synth.h"
@@ -67,6 +69,39 @@ TEST(Ssim, ConstantOffsetBarelyHurtsStructure)
             shifted.at(x, y) = static_cast<uint8_t>(
                 std::clamp<int>(ref.at(x, y) + 10, 0, 255));
     EXPECT_GT(ssimPlane(ref, shifted), 0.85);
+}
+
+TEST(Ssim, OddSizedPlanesCoverEdgePixels)
+{
+    // Regression: windows used to tile only at 8-aligned positions, so
+    // on non-multiple-of-8 planes the right/bottom edge pixels never
+    // contributed. Corrupt exactly those pixels and require the score
+    // to drop.
+    for (const auto &[w, h] :
+         {std::pair{33, 17}, {40, 25}, {31, 32}}) {
+        const Plane ref = textured(w, h, 40 + w);
+        Plane bad = ref;
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                if (x >= (w / 8) * 8 || y >= (h / 8) * 8)
+                    bad.at(x, y) =
+                        static_cast<uint8_t>(255 - bad.at(x, y));
+        EXPECT_NEAR(ssimPlane(ref, ref), 1.0, 1e-9)
+            << w << "x" << h;
+        EXPECT_LT(ssimPlane(ref, bad), 0.95) << w << "x" << h;
+    }
+}
+
+TEST(Ssim, PlanesSmallerThanWindow)
+{
+    // Planes below 8x8 get one shrunken window instead of score 1.0.
+    const Plane ref = textured(5, 6, 50);
+    Plane inv(5, 6);
+    for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 5; ++x)
+            inv.at(x, y) = static_cast<uint8_t>(255 - ref.at(x, y));
+    EXPECT_NEAR(ssimPlane(ref, ref), 1.0, 1e-9);
+    EXPECT_LT(ssimPlane(ref, inv), 0.5);
 }
 
 TEST(Ssim, VideoAveragesFrames)
