@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Frame-thread scaling curve: wall time, speedup, and parallel
+ * efficiency of the intra-frame wavefront (VBENCH_FRAME_THREADS) for
+ * both software codecs on the Live-reference 720p configuration — the
+ * scenario whose real-time bound intra-frame parallelism exists to
+ * serve (a single stream cannot hide behind job-level parallelism).
+ *
+ * Default mode sweeps thread widths 1..min(8, cores), prints the
+ * scaling table, and writes BENCH_frame_threads.json. Every width's
+ * stream is compared against the serial one — a mismatch is a hard
+ * failure, because bit-exactness is the knob's contract.
+ *
+ *   --smoke   quick 1-vs-N bit-exactness gate on a small clip for
+ *             both codecs; exits nonzero on any mismatch. Wired into
+ *             scripts/check.sh.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/reference.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "core/transcoder.h"
+#include "obs/clock.h"
+#include "sched/frame_threads.h"
+#include "video/synth.h"
+
+namespace {
+
+using namespace vbench;
+
+struct ScalePoint {
+    int requested = 1;
+    int effective = 1;
+    double seconds = 0;
+    double speedup = 1;
+    double efficiency = 1;
+    bool bit_exact = true;
+};
+
+struct CodecCurve {
+    std::string name;
+    std::vector<ScalePoint> points;
+};
+
+core::TranscodeRequest
+liveRequest(core::EncoderKind kind, int width, int height, double fps)
+{
+    core::TranscodeRequest req =
+        core::referenceRequest(core::Scenario::Live, width, height, fps);
+    req.kind = kind;
+    if (kind == core::EncoderKind::NgcHevc)
+        req.ngc_speed = 1;
+    return req;
+}
+
+CodecCurve
+sweep(core::EncoderKind kind, const bench::PreparedClip &clip, int width,
+      int height, double fps, const std::vector<int> &widths)
+{
+    CodecCurve curve;
+    curve.name = toString(kind);
+    codec::ByteBuffer serial_stream;
+    double serial_seconds = 0;
+    for (const int threads : widths) {
+        core::TranscodeRequest req =
+            liveRequest(kind, width, height, fps);
+        req.frame_threads = threads;
+        // The bench measures the *encoder's* scaling, so it registers
+        // the requested width as the pool budget — the same call a
+        // live scheduler makes. Without this, a small host's
+        // hardware-concurrency fallback clamps every width and the
+        // curve degenerates to one point.
+        sched::setFrameThreadBudget(threads);
+        const double start = obs::nowSeconds();
+        const core::TranscodeOutcome outcome =
+            core::transcode(clip.universal, clip.original, req);
+        const double seconds = obs::nowSeconds() - start;
+        if (!outcome.ok) {
+            std::fprintf(stderr, "%s transcode failed: %s\n",
+                         curve.name.c_str(), outcome.error.c_str());
+            std::exit(1);
+        }
+        if (threads == 1) {
+            serial_stream = outcome.stream;
+            serial_seconds = seconds;
+        }
+        ScalePoint p;
+        p.requested = threads;
+        p.effective = outcome.frame_threads;
+        p.seconds = seconds;
+        p.speedup = serial_seconds > 0 ? serial_seconds / seconds : 1;
+        p.efficiency = p.speedup / std::max(1, outcome.frame_threads);
+        p.bit_exact = outcome.stream == serial_stream;
+        curve.points.push_back(p);
+
+        core::RunReport report =
+            core::makeRunReport("frame_threads_720p", req, outcome);
+        report.extra.emplace_back("requested_threads", threads);
+        report.extra.emplace_back("speedup_vs_serial", p.speedup);
+        core::emitRunReport(report);
+    }
+    sched::setFrameThreadBudget(0);
+    return curve;
+}
+
+int
+runSweep(const std::string &json_path)
+{
+    bench::printHeader(
+        "frame-thread scaling (wavefront intra-frame parallelism)",
+        "extension of §4.2 Live: one stream, real-time bound");
+
+    const int width = 1280, height = 720;
+    const double fps = 30.0;
+    video::ClipSpec spec;
+    spec.name = "live720p";
+    spec.width = width;
+    spec.height = height;
+    spec.fps = fps;
+    spec.content = video::ContentClass::Natural;
+    spec.seed = 11;
+    const bench::PreparedClip clip = bench::prepare(spec);
+
+    // Always sweep 1/2/4 so the curve (and the bit-exactness check at
+    // each width) exists even on small hosts; wider points only where
+    // the cores can back them.
+    const int cores = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    std::vector<int> widths = {1, 2, 4};
+    for (int t = 8; t <= std::min(16, cores); t *= 2)
+        widths.push_back(t);
+
+    std::vector<CodecCurve> curves;
+    for (const core::EncoderKind kind :
+         {core::EncoderKind::Vbc, core::EncoderKind::NgcHevc})
+        curves.push_back(
+            sweep(kind, clip, width, height, fps, widths));
+
+    bool all_exact = true;
+    for (const CodecCurve &curve : curves) {
+        std::printf("%s, Live 720p\n", curve.name.c_str());
+        std::printf("%-10s %-10s %-10s %-9s %-11s %s\n", "requested",
+                    "effective", "seconds", "speedup", "efficiency",
+                    "bit-exact");
+        for (const ScalePoint &p : curve.points) {
+            std::printf("%-10d %-10d %-10.3f %-9.2f %-11.2f %s\n",
+                        p.requested, p.effective, p.seconds, p.speedup,
+                        p.efficiency, p.bit_exact ? "yes" : "NO");
+            all_exact = all_exact && p.bit_exact;
+        }
+        std::printf("\n");
+    }
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\"clip\":\"live720p\",\"codecs\":[");
+    for (size_t c = 0; c < curves.size(); ++c) {
+        std::fprintf(f, "%s{\"name\":\"%s\",\"points\":[", c ? "," : "",
+                     curves[c].name.c_str());
+        for (size_t i = 0; i < curves[c].points.size(); ++i) {
+            const ScalePoint &p = curves[c].points[i];
+            std::fprintf(f,
+                         "%s{\"requested\":%d,\"effective\":%d,"
+                         "\"seconds\":%.4f,\"speedup\":%.3f,"
+                         "\"efficiency\":%.3f,\"bit_exact\":%s}",
+                         i ? "," : "", p.requested, p.effective,
+                         p.seconds, p.speedup, p.efficiency,
+                         p.bit_exact ? "true" : "false");
+        }
+        std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+
+    if (!all_exact) {
+        std::fprintf(stderr,
+                     "FAIL: stream changed with thread count\n");
+        return 1;
+    }
+    return 0;
+}
+
+/** 1-vs-N gate for check.sh: small clip, both codecs, exact match. */
+int
+runSmoke()
+{
+    video::ClipSpec spec;
+    spec.name = "smoke";
+    spec.width = 320;
+    spec.height = 192;
+    spec.fps = 30.0;
+    spec.content = video::ContentClass::Natural;
+    spec.seed = 5;
+    const bench::PreparedClip clip = bench::prepare(spec, 6);
+
+    bool ok = true;
+    for (const core::EncoderKind kind :
+         {core::EncoderKind::Vbc, core::EncoderKind::NgcHevc}) {
+        codec::ByteBuffer serial;
+        for (const int threads : {1, 4}) {
+            core::TranscodeRequest req =
+                liveRequest(kind, spec.width, spec.height, spec.fps);
+            req.frame_threads = threads;
+            // Honor the width even on a small host (see sweep()): the
+            // gate must actually run the wavefront 4-wide.
+            sched::setFrameThreadBudget(threads);
+            const core::TranscodeOutcome outcome =
+                core::transcode(clip.universal, clip.original, req);
+            sched::setFrameThreadBudget(0);
+            if (outcome.frame_threads != threads) {
+                std::fprintf(stderr,
+                             "%s: expected width %d, encoder ran %d\n",
+                             toString(kind), threads,
+                             outcome.frame_threads);
+                return 1;
+            }
+            if (!outcome.ok) {
+                std::fprintf(stderr, "%s: transcode failed: %s\n",
+                             toString(kind), outcome.error.c_str());
+                return 1;
+            }
+            if (threads == 1) {
+                serial = outcome.stream;
+            } else if (outcome.stream != serial) {
+                std::fprintf(
+                    stderr,
+                    "%s: frame_threads=%d stream differs from serial\n",
+                    toString(kind), threads);
+                ok = false;
+            }
+        }
+        std::printf("%-4s 1-vs-4 threads: %s\n", toString(kind),
+                    ok ? "byte-identical" : "MISMATCH");
+    }
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_frame_threads.json";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    return smoke ? runSmoke() : runSweep(json_path);
+}

@@ -32,6 +32,9 @@ ctest --test-dir "$build" --output-on-failure -L thread -j "$jobs"
 echo "== kernel smoke (bench_kernels --smoke) =="
 "$build/bench/bench_kernels" --smoke
 
+echo "== frame-thread bit-exactness (bench_frame_threads --smoke) =="
+"$build/bench/bench_frame_threads" --smoke
+
 echo "== ISA bit-exactness (VBENCH_ISA=scalar vs native digest) =="
 scalar_digest="$(VBENCH_ISA=scalar "$build/bench/bench_kernels" --digest)"
 native_digest="$(VBENCH_ISA=native "$build/bench/bench_kernels" --digest)"

@@ -20,6 +20,8 @@
 #include "obs/clock.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "sched/frame_threads.h"
+#include "sched/wavefront.h"
 
 namespace vbench::codec {
 
@@ -85,6 +87,44 @@ struct ModeCandidate {
     bool is_skip_seed = false;       ///< the predictor/skip candidate
 };
 
+/**
+ * Everything the serial entropy pass needs about one analyzed
+ * macroblock. Rows of these are produced (possibly in parallel, in
+ * wavefront order) by analysis and consumed strictly in raster order
+ * by the writer, which is how the bitstream stays byte-identical for
+ * every thread count.
+ */
+struct MbRecord {
+    ModeCandidate cand;
+    IntraMode chroma_mode = IntraMode::Dc;
+    MotionVector pred_mv;
+    int qp = 0;            ///< final macroblock QP (AQ applied)
+    bool skip = false;     ///< collapsed to the one-bit skip flag
+    bool coded = false;    ///< any nonzero residual
+    int nonzero = 0;       ///< nonzero transform blocks (entropy hash)
+    int16_t levels_y[16 * 16];
+    int16_t levels_u[4 * 16];
+    int16_t levels_v[4 * 16];
+};
+
+/**
+ * Per-worker scratch arena: everything a row analysis mutates that is
+ * not the shared frame state. One per wavefront slot, reused across
+ * every macroblock and frame, so the hot loop performs no allocation
+ * at any thread count (the RD trial plane used to be allocated per
+ * trial).
+ */
+struct WorkerCtx {
+    obs::StageAccum accum;          ///< per-worker stage nanoseconds
+    obs::StageAccum *acc = nullptr; ///< &accum when tracing, else null
+    Plane rd_scratch;               ///< 16x16 RD trial reconstruction
+    uint8_t pred_y[kMbSize * kMbSize];
+    uint8_t pred_u[8 * 8];
+    uint8_t pred_v[8 * 8];
+
+    WorkerCtx() : rd_scratch(kMbSize, kMbSize) {}
+};
+
 /** Variance of a 16x16 luma block (adaptive quantization energy). */
 double
 mbVariance(const Plane &plane, int x, int y)
@@ -106,6 +146,20 @@ mbVariance(const Plane &plane, int x, int y)
 /**
  * The per-sequence encoder state machine. A fresh instance runs each
  * pass, so two-pass encoding is two Sequencer runs.
+ *
+ * Frame encoding is two phases:
+ *
+ *  1. Analysis — mode decisions, motion search, transform/quant, and
+ *     reconstruction, per macroblock, writing MbRecords. Rows run on a
+ *     sched::WavefrontRunner when frame_threads > 1: row r may be
+ *     `lag` = 2 macroblocks behind row r-1, which covers every
+ *     dependency the analysis consumes (intra prediction reads the
+ *     reconstructed top row and left column; the MV predictor reads
+ *     the left, top, and top-right MbInfo).
+ *  2. A serial entropy pass over the records in raster order. All
+ *     order-dependent coder state (arithmetic contexts, QP deltas,
+ *     the skip-MB deblock QP) lives only here, so the emitted stream
+ *     is byte-identical at 1 and N threads.
  */
 class Sequencer
 {
@@ -116,10 +170,28 @@ class Sequencer
           probe_(config.probe),
           tracer_(config.tracer ? config.tracer : obs::globalTracer()),
           acc_(tracer_ ? &accum_ : nullptr),
+          cancel_(config.cancel),
           padded_w_((source.width() + kMbSize - 1) & ~(kMbSize - 1)),
           padded_h_((source.height() + kMbSize - 1) & ~(kMbSize - 1)),
           mb_cols_(padded_w_ / kMbSize), mb_rows_(padded_h_ / kMbSize)
     {
+        int threads = config.frame_threads > 0
+            ? std::min(config.frame_threads, sched::kMaxFrameThreads)
+            : sched::decideFrameThreads(0).threads;
+        // A uarch probe assumes serial, single-writer recording; the
+        // wavefront would interleave its kernel stream nondeterministically.
+        if (probe_)
+            threads = 1;
+        frame_threads_ = std::clamp(threads, 1, std::max(1, mb_rows_));
+        wctx_ = std::vector<WorkerCtx>(
+            static_cast<size_t>(frame_threads_));
+        for (WorkerCtx &wc : wctx_)
+            wc.acc = tracer_ ? &wc.accum : nullptr;
+        if (frame_threads_ > 1)
+            runner_ = std::make_unique<sched::WavefrontRunner>(
+                frame_threads_);
+        if (tracer_)
+            row_start_ns_.resize(static_cast<size_t>(mb_rows_), 0);
     }
 
     EncodeResult
@@ -138,6 +210,8 @@ class Sequencer
         writeStreamHeader(result.stream, header);
 
         for (int i = 0; i < source_.frameCount(); ++i) {
+            if (cancelledNow())
+                break;
             const uint64_t frame_start = tracer_ ? obs::nowNs() : 0;
             if (acc_)
                 accum_.reset();
@@ -153,7 +227,9 @@ class Sequencer
             }
             FrameStats stats;
             const ByteBuffer payload =
-                encodeFrame(source_.frame(i), type, qp, stats);
+                encodeFrame(source_.frame(i), i, type, qp, stats);
+            if (cancelled_)
+                break;  // truncated payload, result abandoned upstream
             appendU32(result.stream,
                       static_cast<uint32_t>(payload.size() + 1));
             result.stream.push_back(packFrameByte(type, qp));
@@ -187,6 +263,12 @@ class Sequencer
         }
     }
 
+    bool
+    cancelledNow() const
+    {
+        return cancel_ && cancel_->load(std::memory_order_relaxed);
+    }
+
     FrameType
     frameTypeFor(int index) const
     {
@@ -199,8 +281,8 @@ class Sequencer
 
     /** Encode one frame and return its entropy payload. */
     ByteBuffer
-    encodeFrame(const Frame &original, FrameType type, int frame_qp,
-                FrameStats &stats)
+    encodeFrame(const Frame &original, int frame_index, FrameType type,
+                int frame_qp, FrameStats &stats)
     {
         Frame src;
         ByteBuffer payload;
@@ -213,6 +295,7 @@ class Sequencer
 
             recon_ = Frame(padded_w_, padded_h_);
             grid_ = MbGrid(mb_cols_, mb_rows_);
+            records_.resize(static_cast<size_t>(mb_cols_) * mb_rows_);
 
             // Adaptive-quant pre-pass: per-MB activity vs average.
             if (tools_.adaptive_quant)
@@ -225,18 +308,32 @@ class Sequencer
         }
 
         last_qp_ = frame_qp;
-        const KernelId entropy_kernel =
-            tools_.entropy == EntropyMode::Arith ? KernelId::EntropyArith
-                                                 : KernelId::EntropyVlc;
-        double bits_done = 0;
-        for (int mby = 0; mby < mb_rows_; ++mby) {
-            for (int mbx = 0; mbx < mb_cols_; ++mbx) {
-                encodeMacroblock(src, type, frame_qp, mbx, mby, *writer,
-                                 stats);
-                if (probe_) {
-                    // Entropy coding interleaves with every macroblock,
-                    // which is exactly what pressures the I-cache on
-                    // complex content; record it at MB granularity.
+
+        if (probe_) {
+            // Fused serial path (a probe forces frame_threads = 1):
+            // entropy emission interleaves with every macroblock, so
+            // the probe sees the exact kernel-record ordering the
+            // uarch models (I-cache pressure in particular) expect.
+            // The stream is identical to the two-phase path — analysis
+            // never reads writer state.
+            const KernelId entropy_kernel =
+                tools_.entropy == EntropyMode::Arith
+                    ? KernelId::EntropyArith
+                    : KernelId::EntropyVlc;
+            double bits_done = 0;
+            for (int mby = 0; mby < mb_rows_; ++mby) {
+                for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                    analyzeMacroblock(src, type, frame_qp, mbx, mby,
+                                      wctx_[0]);
+                    {
+                        obs::ScopedStage ec(wctx_[0].acc,
+                                            obs::Stage::EntropyCoding);
+                        writeMacroblock(
+                            records_[static_cast<size_t>(mby) *
+                                         mb_cols_ +
+                                     mbx],
+                            type, mbx, mby, *writer, stats);
+                    }
                     const double bits = writer->bitsWritten();
                     probe_->record(
                         entropy_kernel,
@@ -246,33 +343,95 @@ class Sequencer
                     bits_done = bits;
                 }
             }
+            if (acc_) {
+                accum_.addFrom(wctx_[0].accum);
+                wctx_[0].accum.reset();
+            }
+            {
+                obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+                writer->finish();
+            }
+            probe_->record(KernelId::RateControl,
+                           static_cast<uint64_t>(mb_cols_) * mb_rows_);
+            finishFrame();
+            return payload;
         }
+
+        // ---- Phase 1: analysis, wavefront-parallel across rows. ----
+        const auto cell = [&](int mby, int mbx, int slot) {
+            if (tracer_ && mbx == 0)
+                row_start_ns_[static_cast<size_t>(mby)] = obs::nowNs();
+            analyzeMacroblock(src, type, frame_qp, mbx, mby,
+                              wctx_[static_cast<size_t>(slot)]);
+            if (tracer_ && mbx == mb_cols_ - 1)
+                tracer_->addSpan(config_.track, obs::Stage::WavefrontRow,
+                                 frame_index,
+                                 row_start_ns_[static_cast<size_t>(mby)],
+                                 obs::nowNs());
+        };
+        bool complete = true;
+        if (frame_threads_ > 1) {
+            // Left/top/top-right dependencies: row r may trail row r-1
+            // by 2 macroblocks.
+            complete = runner_->run(
+                mb_rows_, mb_cols_, /*lag=*/2,
+                [&](int row, int col, int slot) { cell(row, col, slot); },
+                cancel_);
+        } else {
+            for (int mby = 0; mby < mb_rows_ && complete; ++mby) {
+                if (cancelledNow()) {
+                    complete = false;
+                    break;
+                }
+                for (int mbx = 0; mbx < mb_cols_; ++mbx)
+                    cell(mby, mbx, 0);
+            }
+        }
+        if (acc_) {
+            for (WorkerCtx &wc : wctx_) {
+                accum_.addFrom(wc.accum);
+                wc.accum.reset();
+            }
+        }
+        if (!complete) {
+            cancelled_ = true;
+            return payload;
+        }
+
+        // ---- Phase 2: serial entropy pass in raster order. (A probe
+        // never reaches here; it takes the fused path above.) ----
         {
             obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+            for (int mby = 0; mby < mb_rows_; ++mby) {
+                for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                    writeMacroblock(
+                        records_[static_cast<size_t>(mby) * mb_cols_ +
+                                 mbx],
+                        type, mbx, mby, *writer, stats);
+                }
+            }
             writer->finish();
         }
 
-        if (probe_) {
-            probe_->record(KernelId::RateControl,
-                           static_cast<uint64_t>(mb_cols_) * mb_rows_);
-        }
+        finishFrame();
+        return payload;
+    }
 
+    /** Post-entropy frame tail: deblock and reference-list update. */
+    void
+    finishFrame()
+    {
         if (tools_.deblock) {
             obs::ScopedStage db(acc_, obs::Stage::Deblock);
             deblockFrame(recon_, grid_, probe_);
         }
 
-        {
-            obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
-            refs_.push_front(RefFrame{RefPlane(recon_.y()),
-                                      RefPlane(recon_.u()),
-                                      RefPlane(recon_.v())});
-            while (static_cast<int>(refs_.size()) >
-                   std::max(1, tools_.refs)) {
-                refs_.pop_back();
-            }
-        }
-        return payload;
+        obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
+        refs_.push_front(RefFrame{RefPlane(recon_.y()),
+                                  RefPlane(recon_.u()),
+                                  RefPlane(recon_.v())});
+        while (static_cast<int>(refs_.size()) > std::max(1, tools_.refs))
+            refs_.pop_back();
     }
 
     void
@@ -301,12 +460,11 @@ class Sequencer
         }
     }
 
-    // ----- Macroblock encoding -------------------------------------
+    // ----- Macroblock analysis (wavefront-parallel) ------------------
 
     void
-    encodeMacroblock(const Frame &src, FrameType type, int frame_qp,
-                     int mbx, int mby, SyntaxWriter &writer,
-                     FrameStats &stats)
+    analyzeMacroblock(const Frame &src, FrameType type, int frame_qp,
+                      int mbx, int mby, WorkerCtx &wc)
     {
         const int x = mbx * kMbSize;
         const int y = mby * kMbSize;
@@ -331,7 +489,7 @@ class Sequencer
         if (type == FrameType::P && !refs_.empty()) {
             bool early_skip;
             {
-                obs::ScopedStage me_stage(acc_,
+                obs::ScopedStage me_stage(wc.acc,
                                           obs::Stage::MotionEstimation);
                 uint8_t skip_pred[kMbSize * kMbSize];
                 motionCompensate(refs_[0].y, x, y, skip_mv, kMbSize,
@@ -348,8 +506,8 @@ class Sequencer
                 cand.mode = MbMode::Inter16;
                 cand.mv[0] = skip_mv;
                 cand.ref = 0;
-                emitMacroblock(src, type, cand, qp_mb, mbx, mby, writer,
-                               stats, pred_mv);
+                finalizeMacroblock(src, type, cand, qp_mb, mbx, mby, wc,
+                                   pred_mv);
                 return;
             }
         }
@@ -359,7 +517,8 @@ class Sequencer
         int n_candidates = 0;
 
         if (type == FrameType::P && !refs_.empty()) {
-            obs::ScopedStage me_stage(acc_, obs::Stage::MotionEstimation);
+            obs::ScopedStage me_stage(wc.acc,
+                                      obs::Stage::MotionEstimation);
             // The skip/predictor candidate always competes: without it
             // a searched MV with marginal residual wins on SAD but
             // loses on rate, bloating high-effort encodes.
@@ -448,7 +607,8 @@ class Sequencer
 
         // INTRA: evaluate the enabled predictors on the luma block.
         {
-            obs::ScopedStage intra_stage(acc_, obs::Stage::IntraDecision);
+            obs::ScopedStage intra_stage(wc.acc,
+                                         obs::Stage::IntraDecision);
             ModeCandidate intra;
             intra.mode = MbMode::Intra;
             uint8_t pred_buf[kMbSize * kMbSize];
@@ -482,7 +642,7 @@ class Sequencer
         // --- Selection: heuristic or RD trial on the leaders. ---
         int chosen = 0;
         {
-            obs::ScopedStage md_stage(acc_, obs::Stage::ModeDecision);
+            obs::ScopedStage md_stage(wc.acc, obs::Stage::ModeDecision);
             std::sort(candidates, candidates + n_candidates,
                       [](const ModeCandidate &a, const ModeCandidate &b) {
                           return a.est_cost < b.est_cost;
@@ -504,7 +664,8 @@ class Sequencer
                     const double rd = rdCostLuma(
                         src, candidates[i], qp_mb, x, y,
                         candidateOverheadBits(candidates[i], pred_mv,
-                                              type));
+                                              type),
+                        wc);
                     decisions |= static_cast<uint64_t>(rd < best_rd) << i;
                     if (rd < best_rd) {
                         best_rd = rd;
@@ -520,8 +681,8 @@ class Sequencer
             }
         }
 
-        emitMacroblock(src, type, candidates[chosen], qp_mb, mbx, mby,
-                       writer, stats, pred_mv);
+        finalizeMacroblock(src, type, candidates[chosen], qp_mb, mbx, mby,
+                           wc, pred_mv);
     }
 
     /** Syntax bits a candidate pays before any residual is coded. */
@@ -553,7 +714,7 @@ class Sequencer
     /** Luma-only rate-distortion trial of a candidate. */
     double
     rdCostLuma(const Frame &src, const ModeCandidate &cand, int qp, int x,
-               int y, uint32_t overhead_bits)
+               int y, uint32_t overhead_bits, WorkerCtx &wc)
     {
         uint8_t pred[kMbSize * kMbSize];
         buildLumaPrediction(cand, x, y, pred);
@@ -565,12 +726,11 @@ class Sequencer
         for (int b = 0; b < 16; ++b)
             writeResidualBlock(counter, levels + b * 16, true);
 
-        // Distortion of the true reconstruction.
-        Plane scratch(kMbSize, kMbSize);
-        for (int r = 0; r < kMbSize; ++r)
-            for (int c = 0; c < kMbSize; ++c)
-                scratch.at(c, r) = 0;
-        reconstructBlockInto(scratch, pred, levels, qp);
+        // Distortion of the true reconstruction, into the worker's
+        // reusable trial plane (reconstructBlock overwrites every
+        // pixel of the 16x16 region).
+        Plane &scratch = wc.rd_scratch;
+        reconstructBlock(scratch, 0, 0, kMbSize, pred, levels, qp);
         double ssd = 0;
         for (int r = 0; r < kMbSize; ++r) {
             const uint8_t *s = src.y().row(y + r) + x;
@@ -585,14 +745,6 @@ class Sequencer
         // is what the effort ladder promises).
         return ssd + 1.8 * rdLambda(qp) *
             (counter.bitsWritten() + overhead_bits);
-    }
-
-    /** Reconstruct a 16x16 luma trial block into a scratch plane. */
-    void
-    reconstructBlockInto(Plane &scratch, const uint8_t *pred,
-                         const int16_t *levels, int qp)
-    {
-        reconstructBlock(scratch, 0, 0, kMbSize, pred, levels, qp);
     }
 
     void
@@ -720,24 +872,28 @@ class Sequencer
     }
 
     /**
-     * Final encode of the chosen candidate: compute residuals, decide
-     * skip, emit syntax, reconstruct.
+     * Final analysis of the chosen candidate: chroma mode, residuals,
+     * the skip decision, reconstruction, neighbor-visible MbInfo, and
+     * the MbRecord the serial entropy pass will consume.
      */
     void
-    emitMacroblock(const Frame &src, FrameType type, ModeCandidate cand,
-                   int qp_mb, int mbx, int mby, SyntaxWriter &writer,
-                   FrameStats &stats, MotionVector pred_mv)
+    finalizeMacroblock(const Frame &src, FrameType type,
+                       const ModeCandidate &cand, int qp_mb, int mbx,
+                       int mby, WorkerCtx &wc, MotionVector pred_mv)
     {
         const int x = mbx * kMbSize;
         const int y = mby * kMbSize;
         const int cx = mbx * 8;
         const int cy = mby * 8;
         const bool intra = cand.mode == MbMode::Intra;
+        MbRecord &rec =
+            records_[static_cast<size_t>(mby) * mb_cols_ + mbx];
 
         // Chroma intra mode: best summed SAD over U and V.
         IntraMode chroma_mode = IntraMode::Dc;
         if (intra) {
-            obs::ScopedStage intra_stage(acc_, obs::Stage::IntraDecision);
+            obs::ScopedStage intra_stage(wc.acc,
+                                         obs::Stage::IntraDecision);
             uint32_t best = UINT32_MAX;
             uint8_t pu[64], pv[64];
             for (int m = 0; m < tools_.intra_modes; ++m) {
@@ -758,26 +914,22 @@ class Sequencer
             }
         }
 
-        // Predictions and residuals for all planes.
-        uint8_t pred_y[kMbSize * kMbSize];
-        uint8_t pred_u[64];
-        uint8_t pred_v[64];
-        int16_t levels_y[16 * 16];
-        int16_t levels_u[4 * 16];
-        int16_t levels_v[4 * 16];
+        // Predictions and residuals for all planes, into the worker's
+        // arena and the record's level buffers.
         int nonzero = 0;
         {
-            obs::ScopedStage tq(acc_, obs::Stage::TransformQuant);
-            buildLumaPrediction(cand, x, y, pred_y);
-            buildChromaPrediction(cand, chroma_mode, true, cx, cy, pred_u);
+            obs::ScopedStage tq(wc.acc, obs::Stage::TransformQuant);
+            buildLumaPrediction(cand, x, y, wc.pred_y);
+            buildChromaPrediction(cand, chroma_mode, true, cx, cy,
+                                  wc.pred_u);
             buildChromaPrediction(cand, chroma_mode, false, cx, cy,
-                                  pred_v);
-            nonzero = quantizeLumaResidual(src, pred_y, x, y, qp_mb, intra,
-                                           levels_y);
-            nonzero += quantizeChromaResidual(src.u(), pred_u, cx, cy,
-                                              qp_mb, intra, levels_u);
-            nonzero += quantizeChromaResidual(src.v(), pred_v, cx, cy,
-                                              qp_mb, intra, levels_v);
+                                  wc.pred_v);
+            nonzero = quantizeLumaResidual(src, wc.pred_y, x, y, qp_mb,
+                                           intra, rec.levels_y);
+            nonzero += quantizeChromaResidual(src.u(), wc.pred_u, cx, cy,
+                                              qp_mb, intra, rec.levels_u);
+            nonzero += quantizeChromaResidual(src.v(), wc.pred_v, cx, cy,
+                                              qp_mb, intra, rec.levels_v);
         }
         const bool coded = nonzero != 0;
 
@@ -787,77 +939,39 @@ class Sequencer
             cand.mode == MbMode::Inter16 && cand.ref == 0 &&
             cand.mv[0] == pred_mv && !coded;
 
+        rec.cand = cand;
+        rec.chroma_mode = chroma_mode;
+        rec.pred_mv = pred_mv;
+        rec.qp = qp_mb;
+        rec.skip = skip;
+        rec.coded = coded;
+        rec.nonzero = nonzero;
+
         MbInfo &info = grid_.at(mbx, mby);
         if (skip) {
-            writer.bit(1, ctx::kMbSkip);
             info.mode = MbMode::Skip;
             info.mv = cand.mv[0];
             info.ref = 0;
-            info.qp = static_cast<uint8_t>(last_qp_);
+            // info.qp (the deblock strength input) is raster-serial
+            // state — the previous *coded* MB's QP — and is filled in
+            // by the entropy pass, which runs before deblocking.
             info.coded = false;
-            ++stats.skip_mbs;
-            obs::ScopedStage rec(acc_, obs::Stage::Reconstruct);
-            copyPrediction(recon_.y(), x, y, kMbSize, pred_y);
-            copyPrediction(recon_.u(), cx, cy, 8, pred_u);
-            copyPrediction(recon_.v(), cx, cy, 8, pred_v);
+            obs::ScopedStage rc(wc.acc, obs::Stage::Reconstruct);
+            copyPrediction(recon_.y(), x, y, kMbSize, wc.pred_y);
+            copyPrediction(recon_.u(), cx, cy, 8, wc.pred_u);
+            copyPrediction(recon_.v(), cx, cy, 8, wc.pred_v);
             return;
         }
 
-        {
-            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
-            if (type == FrameType::P) {
-                writer.bit(0, ctx::kMbSkip);
-                // Mode tree: 1 -> Inter16; 01 -> Inter8; 00 -> Intra.
-                writer.bit(cand.mode == MbMode::Inter16 ? 1 : 0,
-                           ctx::kMbMode0);
-                if (cand.mode != MbMode::Inter16)
-                    writer.bit(cand.mode == MbMode::Inter8 ? 1 : 0,
-                               ctx::kMbMode1);
-            }
-
-            if (intra) {
-                writer.bit(static_cast<int>(cand.luma_mode) & 1,
-                           ctx::kIntraLuma);
-                writer.bit((static_cast<int>(cand.luma_mode) >> 1) & 1,
-                           ctx::kIntraLuma + 1);
-                writer.bit(static_cast<int>(chroma_mode) & 1,
-                           ctx::kIntraChroma);
-                writer.bit((static_cast<int>(chroma_mode) >> 1) & 1,
-                           ctx::kIntraChroma + 1);
-                ++stats.intra_mbs;
-            } else {
-                if (tools_.refs > 1)
-                    writer.ue(static_cast<uint32_t>(cand.ref),
-                              ctx::kRefIdx, 2);
-                const int parts = cand.mode == MbMode::Inter8 ? 4 : 1;
-                for (int part = 0; part < parts; ++part) {
-                    writer.se(cand.mv[part].x - pred_mv.x, ctx::kMvX, 4);
-                    writer.se(cand.mv[part].y - pred_mv.y, ctx::kMvY, 4);
-                }
-            }
-
-            if (tools_.adaptive_quant) {
-                writer.se(qp_mb - last_qp_, ctx::kQpDelta, 2);
-                last_qp_ = qp_mb;
-            }
-
-            for (int b = 0; b < 16; ++b)
-                writeResidualBlock(writer, levels_y + b * 16, true);
-            for (int b = 0; b < 4; ++b)
-                writeResidualBlock(writer, levels_u + b * 16, false);
-            for (int b = 0; b < 4; ++b)
-                writeResidualBlock(writer, levels_v + b * 16, false);
-        }
-
         // Reconstruct via the exact decoder path.
-        obs::ScopedStage rec(acc_, obs::Stage::Reconstruct);
-        int coded_blocks =
-            reconstructBlock(recon_.y(), x, y, kMbSize, pred_y, levels_y,
-                             qp_mb);
-        coded_blocks += reconstructBlock(recon_.u(), cx, cy, 8, pred_u,
-                                         levels_u, qp_mb);
-        coded_blocks += reconstructBlock(recon_.v(), cx, cy, 8, pred_v,
-                                         levels_v, qp_mb);
+        obs::ScopedStage rc(wc.acc, obs::Stage::Reconstruct);
+        int coded_blocks = reconstructBlock(recon_.y(), x, y, kMbSize,
+                                            wc.pred_y, rec.levels_y,
+                                            qp_mb);
+        coded_blocks += reconstructBlock(recon_.u(), cx, cy, 8, wc.pred_u,
+                                         rec.levels_u, qp_mb);
+        coded_blocks += reconstructBlock(recon_.v(), cx, cy, 8, wc.pred_v,
+                                         rec.levels_v, qp_mb);
         if (probe_ && coded_blocks > 0) {
             probe_->record(KernelId::Dequant, coded_blocks);
             probe_->record(KernelId::TransformInv, coded_blocks);
@@ -873,10 +987,77 @@ class Sequencer
         info.ref = static_cast<int8_t>(cand.ref);
         info.qp = static_cast<uint8_t>(qp_mb);
         info.coded = coded;
+    }
+
+    // ----- Serial entropy pass ---------------------------------------
+
+    /**
+     * Emit one analyzed macroblock. This is the only place that
+     * touches raster-order coder state (contexts, last_qp_, the
+     * entropy hash), which is what makes the stream thread-count
+     * invariant.
+     */
+    void
+    writeMacroblock(const MbRecord &rec, FrameType type, int mbx, int mby,
+                    SyntaxWriter &writer, FrameStats &stats)
+    {
+        if (rec.skip) {
+            writer.bit(1, ctx::kMbSkip);
+            // The deblock filter reads the in-effect QP, which for a
+            // skip MB is the last coded one in raster order.
+            grid_.at(mbx, mby).qp = static_cast<uint8_t>(last_qp_);
+            ++stats.skip_mbs;
+            return;
+        }
+
+        const ModeCandidate &cand = rec.cand;
+        const bool intra = cand.mode == MbMode::Intra;
+        if (type == FrameType::P) {
+            writer.bit(0, ctx::kMbSkip);
+            // Mode tree: 1 -> Inter16; 01 -> Inter8; 00 -> Intra.
+            writer.bit(cand.mode == MbMode::Inter16 ? 1 : 0,
+                       ctx::kMbMode0);
+            if (cand.mode != MbMode::Inter16)
+                writer.bit(cand.mode == MbMode::Inter8 ? 1 : 0,
+                           ctx::kMbMode1);
+        }
+
+        if (intra) {
+            writer.bit(static_cast<int>(cand.luma_mode) & 1,
+                       ctx::kIntraLuma);
+            writer.bit((static_cast<int>(cand.luma_mode) >> 1) & 1,
+                       ctx::kIntraLuma + 1);
+            writer.bit(static_cast<int>(rec.chroma_mode) & 1,
+                       ctx::kIntraChroma);
+            writer.bit((static_cast<int>(rec.chroma_mode) >> 1) & 1,
+                       ctx::kIntraChroma + 1);
+            ++stats.intra_mbs;
+        } else {
+            if (tools_.refs > 1)
+                writer.ue(static_cast<uint32_t>(cand.ref), ctx::kRefIdx,
+                          2);
+            const int parts = cand.mode == MbMode::Inter8 ? 4 : 1;
+            for (int part = 0; part < parts; ++part) {
+                writer.se(cand.mv[part].x - rec.pred_mv.x, ctx::kMvX, 4);
+                writer.se(cand.mv[part].y - rec.pred_mv.y, ctx::kMvY, 4);
+            }
+        }
+
+        if (tools_.adaptive_quant) {
+            writer.se(rec.qp - last_qp_, ctx::kQpDelta, 2);
+            last_qp_ = rec.qp;
+        }
+
+        for (int b = 0; b < 16; ++b)
+            writeResidualBlock(writer, rec.levels_y + b * 16, true);
+        for (int b = 0; b < 4; ++b)
+            writeResidualBlock(writer, rec.levels_u + b * 16, false);
+        for (int b = 0; b < 4; ++b)
+            writeResidualBlock(writer, rec.levels_v + b * 16, false);
 
         // Mix real coefficient data into the entropy decision hash.
         entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
-            static_cast<uint64_t>(nonzero);
+            static_cast<uint64_t>(rec.nonzero);
     }
 
     const EncoderConfig &config_;
@@ -887,10 +1068,18 @@ class Sequencer
     obs::Tracer *tracer_;
     obs::StageAccum accum_;
     obs::StageAccum *acc_;
+    const std::atomic<bool> *cancel_;
     int padded_w_;
     int padded_h_;
     int mb_cols_;
     int mb_rows_;
+
+    int frame_threads_ = 1;
+    std::unique_ptr<sched::WavefrontRunner> runner_;
+    std::vector<WorkerCtx> wctx_;
+    std::vector<MbRecord> records_;
+    std::vector<uint64_t> row_start_ns_;
+    bool cancelled_ = false;
 
     Frame recon_;
     MbGrid grid_;
@@ -933,6 +1122,9 @@ Encoder::encode(const video::Video &source)
         RateController pass1_rate(pass1_rc);
         Sequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
         const EncodeResult first = pass1.run();
+        if (config_.cancel &&
+            config_.cancel->load(std::memory_order_relaxed))
+            return first;  // abandoned upstream; skip the second pass
 
         PassOneStats stats;
         stats.pass_qp = 30;

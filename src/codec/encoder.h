@@ -5,6 +5,7 @@
  * VBC encoder: the software transcoder core (libx264 analogue).
  */
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -38,6 +39,19 @@ struct EncoderConfig {
     /// Trace track frames are committed to (the hardware models run
     /// this encoder with frozen tools and relabel their timeline).
     obs::Track track = obs::Track::VbcEncode;
+    /**
+     * Intra-frame wavefront parallelism: macroblock rows analyzed in
+     * flight at once. <= 0 resolves VBENCH_FRAME_THREADS through the
+     * sched::decideFrameThreads() oversubscription guard; callers that
+     * already ran the guard (core::transcode) pass the decided width.
+     * The bitstream is bit-exact for every value — entropy coding is
+     * a serial pass over the completed row records. Forced to 1 when a
+     * uarch probe is attached (probes assume serial recording).
+     */
+    int frame_threads = 0;
+    /// Cooperative cancellation: checked between rows and frames; a
+    /// cancelled encode returns a truncated (unusable) result quickly.
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Per-frame outcome. */

@@ -41,6 +41,8 @@ class VbcBackend final : public EncoderBackend
         config_.tools_override = request.tools_override;
         config_.probe = request.probe;
         config_.tracer = tracer;
+        config_.frame_threads = request.frame_threads;
+        config_.cancel = request.cancel;
     }
 
     BackendEncodeResult
@@ -84,6 +86,8 @@ class NgcBackend final : public EncoderBackend
         config_.gop = request.gop;
         config_.probe = request.probe;
         config_.tracer = tracer;
+        config_.frame_threads = request.frame_threads;
+        config_.cancel = request.cancel;
     }
 
     BackendEncodeResult

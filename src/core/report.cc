@@ -83,7 +83,8 @@ toJson(const RunReport &report, const obs::MetricsRegistry *metrics)
     ss << obs::jsonString("seconds") << ":"
        << obs::jsonNumber(report.seconds) << ","
        << obs::jsonString("stream_bytes") << ":" << report.stream_bytes
-       << "," << obs::jsonString("speed_mpix_s") << ":"
+       << "," << obs::jsonString("frame_threads") << ":"
+       << report.frame_threads << "," << obs::jsonString("speed_mpix_s") << ":"
        << obs::jsonNumber(report.m.speed_mpix_s) << ","
        << obs::jsonString("bitrate_bpps") << ":"
        << obs::jsonNumber(report.m.bitrate_bpps) << ","

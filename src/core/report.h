@@ -58,6 +58,9 @@ struct RunReport {
     Measurement m;
     double seconds = 0;
     size_t stream_bytes = 0;
+    /// Effective intra-frame wavefront width of the encode (1 =
+    /// serial; see TranscodeRequest::frame_threads).
+    int frame_threads = 1;
     obs::StageTotals stages;
     std::vector<std::pair<std::string, double>> extra;
 };

@@ -9,6 +9,7 @@
 #include "kernels/kernel_ops.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
+#include "sched/frame_threads.h"
 
 namespace vbench::core {
 
@@ -65,6 +66,11 @@ TranscodeRequest::validate() const
     if (deblock_override < -1 || deblock_override > 1) {
         err << "deblock_override " << deblock_override
             << " is not -1 (auto), 0 (off), or 1 (on)";
+        return err.str();
+    }
+    if (frame_threads < 0 || frame_threads > sched::kMaxFrameThreads) {
+        err << "frame_threads " << frame_threads << " out of range [0, "
+            << sched::kMaxFrameThreads << "] (0 = VBENCH_FRAME_THREADS)";
         return err.str();
     }
     // Rate-control sanity: the knob the selected mode reads must be in
@@ -153,8 +159,18 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     const obs::StageTotals leaf_before =
         tracer ? tracer->stageTotals() : obs::StageTotals{};
 
+    // Resolve the wavefront width through the oversubscription guard
+    // now, while this job's ActiveJobScope (if scheduled) is counted,
+    // and hand the backend the decided width so the encoders don't
+    // re-run the guard.
+    const sched::FrameThreadDecision ft_decision =
+        sched::decideFrameThreads(request.frame_threads);
+    outcome.frame_threads = ft_decision.threads;
+    TranscodeRequest resolved = request;
+    resolved.frame_threads = ft_decision.threads;
+
     std::unique_ptr<EncoderBackend> backend =
-        EncoderBackend::create(request, tracer);
+        EncoderBackend::create(resolved, tracer);
 
     const double start = obs::nowSeconds();
 
@@ -262,6 +278,8 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
         }
         metrics->counter("encode.intra_mbs").add(intra_mbs);
         metrics->counter("encode.skip_mbs").add(skip_mbs);
+        if (ft_decision.clamped)
+            metrics->counter("encode.frame_threads_clamped").add();
         metrics->histogram("transcode.seconds_ms")
             .observe(static_cast<uint64_t>(outcome.seconds * 1e3));
     }
@@ -281,6 +299,7 @@ makeRunReport(std::string label, const TranscodeRequest &request,
     report.seconds = outcome.seconds;
     report.stream_bytes = outcome.stream.size();
     report.stages = outcome.stages;
+    report.frame_threads = outcome.frame_threads;
     report.extra.emplace_back("ok", outcome.ok ? 1.0 : 0.0);
     if (request.kind == EncoderKind::Vbc)
         report.extra.emplace_back("effort", request.effort);

@@ -55,10 +55,21 @@ struct TranscodeRequest {
     /// the frozen-silicon hardware models).
     std::optional<codec::ToolPreset> tools_override;
     uarch::UarchProbe *probe = nullptr;
+    /**
+     * Intra-frame wavefront threads for the software encoders (VBC and
+     * NGC). 0 resolves VBENCH_FRAME_THREADS; either way the request
+     * passes through the sched::decideFrameThreads() oversubscription
+     * guard, which clamps the width so frame_threads x active_jobs
+     * never exceeds the shared pool budget. Bit-exact: the emitted
+     * stream is byte-identical for every effective value. Hardware
+     * model backends ignore it.
+     */
+    int frame_threads = 0;
     /// Cooperative cancellation: when set and it becomes true, the
     /// transcode aborts at the next phase boundary with
     /// `error == "cancelled"`. The scheduler wires each job's handle
-    /// here; a finished phase is never rolled back.
+    /// here; a finished phase is never rolled back. The software
+    /// encoders also poll it between wavefront rows mid-frame.
     const std::atomic<bool> *cancel = nullptr;
     /// Stage tracer. Null falls back to the process-wide tracer
     /// (enabled via VBENCH_TRACE); when that is also null, every
@@ -89,6 +100,9 @@ struct TranscodeOutcome {
     /// decode_output, measure, hw_pipeline) are always populated; leaf
     /// stages only when a tracer was active for the run.
     obs::StageTotals stages;
+    /// Effective intra-frame wavefront width the encode ran with,
+    /// after the oversubscription guard (1 = serial analysis).
+    int frame_threads = 1;
 };
 
 /**

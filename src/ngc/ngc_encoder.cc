@@ -19,6 +19,8 @@
 #include "obs/clock.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "sched/frame_threads.h"
+#include "sched/wavefront.h"
 
 namespace vbench::ngc {
 
@@ -104,6 +106,52 @@ struct CuPlan {
     int child[4] = {-1, -1, -1, -1};
 };
 
+/**
+ * Everything the serial entropy pass needs about one analyzed leaf CU.
+ * Residual levels live in the owning SbRecord's shared coefficient
+ * vector (fixed per-leaf arrays sized for the worst case would cost
+ * tens of megabytes per frame), consumed by a sequential cursor in the
+ * exact order analysis appended them.
+ */
+struct LeafRecord {
+    uint8_t size = 0;
+    bool use_inter = false;
+    bool skip = false;
+    NgcIntraMode intra_mode = NgcIntraMode::Dc;
+    MotionVector mv;
+    MotionVector pred_mv;
+    int8_t ref = 0;
+    int32_t nonzero = 0;   ///< feeds the entropy decision hash
+};
+
+/**
+ * Analyzed state of one superblock: the quadtree shape (pre-order
+ * split flags), its leaves, and their residual levels. Produced —
+ * possibly in parallel, in wavefront order — by analysis; replayed
+ * strictly in raster order by the entropy pass, which is how the
+ * arithmetic-coded stream stays byte-identical for every thread count.
+ */
+struct SbRecord {
+    std::vector<uint8_t> splits;
+    std::vector<LeafRecord> leaves;
+    std::vector<int16_t> coeffs;
+
+    void
+    clear()
+    {
+        splits.clear();
+        leaves.clear();
+        coeffs.clear();
+    }
+};
+
+/** Per-worker scratch: the CU plan arena and stage accumulator. */
+struct NgcWorkerCtx {
+    obs::StageAccum accum;          ///< per-worker stage nanoseconds
+    obs::StageAccum *acc = nullptr; ///< &accum when tracing, else null
+    std::vector<CuPlan> arena;
+};
+
 /** Sequence encoder for one pass. */
 class NgcSequencer
 {
@@ -114,10 +162,29 @@ class NgcSequencer
           probe_(config.probe),
           tracer_(config.tracer ? config.tracer : obs::globalTracer()),
           acc_(tracer_ ? &accum_ : nullptr),
+          cancel_(config.cancel),
           padded_w_((source.width() + kSbSize - 1) & ~(kSbSize - 1)),
           padded_h_((source.height() + kSbSize - 1) & ~(kSbSize - 1)),
           sb_cols_(padded_w_ / kSbSize), sb_rows_(padded_h_ / kSbSize)
     {
+        int threads = config.frame_threads > 0
+            ? std::min(config.frame_threads, sched::kMaxFrameThreads)
+            : sched::decideFrameThreads(0).threads;
+        // A uarch probe assumes serial, single-writer recording; the
+        // wavefront would interleave its kernel stream nondeterministically.
+        if (probe_)
+            threads = 1;
+        frame_threads_ = std::clamp(threads, 1, std::max(1, sb_rows_));
+        wctx_ = std::vector<NgcWorkerCtx>(
+            static_cast<size_t>(frame_threads_));
+        for (NgcWorkerCtx &wc : wctx_)
+            wc.acc = tracer_ ? &wc.accum : nullptr;
+        if (frame_threads_ > 1)
+            runner_ = std::make_unique<sched::WavefrontRunner>(
+                frame_threads_);
+        if (tracer_)
+            row_start_ns_.resize(static_cast<size_t>(sb_rows_), 0);
+        sb_records_.resize(static_cast<size_t>(sb_cols_) * sb_rows_);
     }
 
     EncodeResult
@@ -134,6 +201,8 @@ class NgcSequencer
         writeNgcHeader(result.stream, header);
 
         for (int i = 0; i < source_.frameCount(); ++i) {
+            if (cancelledNow())
+                break;
             const uint64_t frame_start = tracer_ ? obs::nowNs() : 0;
             if (acc_)
                 accum_.reset();
@@ -145,7 +214,9 @@ class NgcSequencer
             }
             FrameStats stats;
             const ByteBuffer payload =
-                encodeFrame(source_.frame(i), type, qp, stats);
+                encodeFrame(source_.frame(i), i, type, qp, stats);
+            if (cancelled_)
+                break;  // truncated payload, result abandoned upstream
             codec::appendU32(result.stream,
                              static_cast<uint32_t>(payload.size() + 1));
             result.stream.push_back(codec::packFrameByte(type, qp));
@@ -179,6 +250,12 @@ class NgcSequencer
         }
     }
 
+    bool
+    cancelledNow() const
+    {
+        return cancel_ && cancel_->load(std::memory_order_relaxed);
+    }
+
     FrameType
     frameTypeFor(int index) const
     {
@@ -190,8 +267,8 @@ class NgcSequencer
     }
 
     ByteBuffer
-    encodeFrame(const Frame &original, FrameType type, int qp,
-                FrameStats &stats)
+    encodeFrame(const Frame &original, int frame_index, FrameType type,
+                int qp, FrameStats &stats)
     {
         {
             obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
@@ -207,20 +284,26 @@ class NgcSequencer
         ByteBuffer payload;
         codec::ArithSyntaxWriter writer(payload, nctx::kNumContexts);
 
-        double bits_done = 0;
-        for (int sby = 0; sby < sb_rows_; ++sby) {
-            for (int sbx = 0; sbx < sb_cols_; ++sbx) {
-                int root;
-                {
-                    obs::ScopedStage ps(acc_,
-                                        obs::Stage::PartitionSearch);
-                    arena_.clear();
-                    root = planCu(sbx * kSbSize, sby * kSbSize, kSbSize,
-                                  0, type);
-                }
-                encodeTree(root, sbx * kSbSize, sby * kSbSize, kSbSize, 0,
-                           type, writer, stats);
-                if (probe_) {
+        if (probe_) {
+            // Fused serial path (a probe forces frame_threads = 1):
+            // entropy emission interleaves with every superblock, so
+            // the probe sees the exact kernel-record ordering the
+            // uarch models (I-cache pressure in particular) expect.
+            // The stream is identical to the two-phase path — analysis
+            // never reads writer state.
+            double bits_done = 0;
+            for (int sby = 0; sby < sb_rows_; ++sby) {
+                for (int sbx = 0; sbx < sb_cols_; ++sbx) {
+                    analyzeSuperblock(sbx, sby, type, wctx_[0]);
+                    {
+                        obs::ScopedStage ec(wctx_[0].acc,
+                                            obs::Stage::EntropyCoding);
+                        SbCursor cur;
+                        writeTree(sb_records_[static_cast<size_t>(sby) *
+                                                  sb_cols_ +
+                                              sbx],
+                                  cur, kSbSize, 0, type, writer, stats);
+                    }
                     const double bits = writer.bitsWritten();
                     probe_->record(
                         KernelId::EntropyArith,
@@ -230,32 +313,98 @@ class NgcSequencer
                     bits_done = bits;
                 }
             }
+            if (acc_) {
+                accum_.addFrom(wctx_[0].accum);
+                wctx_[0].accum.reset();
+            }
+            {
+                obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+                writer.finish();
+            }
+            probe_->record(KernelId::RateControl,
+                           static_cast<uint64_t>(sb_cols_) * sb_rows_ * 4);
+            finishFrame();
+            return payload;
         }
+
+        // ---- Phase 1: analysis, wavefront-parallel across SB rows. --
+        const auto cell = [&](int sby, int sbx, int slot) {
+            if (tracer_ && sbx == 0)
+                row_start_ns_[static_cast<size_t>(sby)] = obs::nowNs();
+            analyzeSuperblock(sbx, sby, type,
+                              wctx_[static_cast<size_t>(slot)]);
+            if (tracer_ && sbx == sb_cols_ - 1)
+                tracer_->addSpan(obs::Track::NgcEncode,
+                                 obs::Stage::WavefrontRow, frame_index,
+                                 row_start_ns_[static_cast<size_t>(sby)],
+                                 obs::nowNs());
+        };
+        bool complete = true;
+        if (frame_threads_ > 1) {
+            // The diagonal-down-left intra predictor reads the top row
+            // out to x + 2*size — one full superblock past the
+            // top-right neighbor plus its first column — so row r may
+            // trail row r-1 by 3 superblocks.
+            complete = runner_->run(
+                sb_rows_, sb_cols_, /*lag=*/3,
+                [&](int row, int col, int slot) { cell(row, col, slot); },
+                cancel_);
+        } else {
+            for (int sby = 0; sby < sb_rows_ && complete; ++sby) {
+                if (cancelledNow()) {
+                    complete = false;
+                    break;
+                }
+                for (int sbx = 0; sbx < sb_cols_; ++sbx)
+                    cell(sby, sbx, 0);
+            }
+        }
+        if (acc_) {
+            for (NgcWorkerCtx &wc : wctx_) {
+                accum_.addFrom(wc.accum);
+                wc.accum.reset();
+            }
+        }
+        if (!complete) {
+            cancelled_ = true;
+            return payload;
+        }
+
+        // ---- Phase 2: serial entropy pass in raster order. (A probe
+        // never reaches here; it takes the fused path above.) ----
         {
             obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+            for (int sby = 0; sby < sb_rows_; ++sby) {
+                for (int sbx = 0; sbx < sb_cols_; ++sbx) {
+                    SbCursor cur;
+                    writeTree(sb_records_[static_cast<size_t>(sby) *
+                                              sb_cols_ +
+                                          sbx],
+                              cur, kSbSize, 0, type, writer, stats);
+                }
+            }
             writer.finish();
         }
 
-        if (probe_) {
-            probe_->record(KernelId::RateControl,
-                           static_cast<uint64_t>(sb_cols_) * sb_rows_ * 4);
-        }
+        finishFrame();
+        return payload;
+    }
 
+    /** Post-entropy frame tail: deblock and reference-list update. */
+    void
+    finishFrame()
+    {
         {
             obs::ScopedStage db(acc_, obs::Stage::Deblock);
             deblockMapped();
         }
 
-        {
-            obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
-            refs_.push_front(RefFrame{RefPlane(recon_.y()),
-                                      RefPlane(recon_.u()),
-                                      RefPlane(recon_.v())});
-            while (static_cast<int>(refs_.size()) >
-                   std::max(1, tools_.refs))
-                refs_.pop_back();
-        }
-        return payload;
+        obs::ScopedStage setup(acc_, obs::Stage::FrameSetup);
+        refs_.push_front(RefFrame{RefPlane(recon_.y()),
+                                  RefPlane(recon_.u()),
+                                  RefPlane(recon_.v())});
+        while (static_cast<int>(refs_.size()) > std::max(1, tools_.refs))
+            refs_.pop_back();
     }
 
     Frame
@@ -301,20 +450,41 @@ class NgcSequencer
         codec::deblockFrame(recon_, grid, probe_);
     }
 
+    // ----- Superblock analysis (wavefront-parallel) ------------------
+
+    void
+    analyzeSuperblock(int sbx, int sby, FrameType type, NgcWorkerCtx &wc)
+    {
+        SbRecord &rec =
+            sb_records_[static_cast<size_t>(sby) * sb_cols_ + sbx];
+        rec.clear();
+        int root;
+        {
+            obs::ScopedStage ps(wc.acc, obs::Stage::PartitionSearch);
+            wc.arena.clear();
+            root = planCu(sbx * kSbSize, sby * kSbSize, kSbSize, 0, type,
+                          wc);
+        }
+        analyzeTree(root, sbx * kSbSize, sby * kSbSize, kSbSize, type, wc,
+                    rec);
+    }
+
     // ----- Partition planning ---------------------------------------
 
     /** Plan a CU; returns the arena index. Costs are SAD-domain. */
     int
-    planCu(int x, int y, int size, int depth, FrameType type)
+    planCu(int x, int y, int size, int depth, FrameType type,
+           NgcWorkerCtx &wc)
     {
-        const int idx = static_cast<int>(arena_.size());
-        arena_.emplace_back();
+        std::vector<CuPlan> &arena = wc.arena;
+        const int idx = static_cast<int>(arena.size());
+        arena.emplace_back();
 
         uint32_t intra_tried = 0;
         {
             // Intra estimate on the current reconstruction state.
             uint8_t pred[kSbSize * kSbSize];
-            CuPlan &node = arena_[idx];
+            CuPlan &node = arena[idx];
             for (int m = 0; m < kNgcIntraModes; ++m) {
                 const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
                 if (!ngcIntraAvailable(mode, x, y))
@@ -359,7 +529,7 @@ class NgcSequencer
                 me.satd_subpel = true;  // next-gen: always SATD subpel
                 me.probe = probe_;
                 const MeResult res = codec::motionSearch(me);
-                CuPlan &node = arena_[idx];
+                CuPlan &node = arena[idx];
                 const uint32_t cost = res.cost +
                     static_cast<uint32_t>(lambda_sad_ * (r == 0 ? 1 : 3));
                 if (cost < node.inter_cost) {
@@ -371,7 +541,7 @@ class NgcSequencer
         }
 
         {
-            CuPlan &node = arena_[idx];
+            CuPlan &node = arena[idx];
             node.cost = std::min(node.intra_cost, node.inter_cost);
         }
 
@@ -385,10 +555,10 @@ class NgcSequencer
             for (int q = 0; q < 4; ++q) {
                 children[q] = planCu(x + (q & 1) * half,
                                      y + (q >> 1) * half, half, depth + 1,
-                                     type);
-                split_cost += arena_[children[q]].cost;
+                                     type, wc);
+                split_cost += arena[children[q]].cost;
             }
-            CuPlan &node = arena_[idx];
+            CuPlan &node = arena[idx];
             if (split_cost < node.cost) {
                 node.split = true;
                 node.cost = split_cost;
@@ -402,32 +572,29 @@ class NgcSequencer
         return idx;
     }
 
-    // ----- Encoding -------------------------------------------------
+    // ----- Leaf analysis --------------------------------------------
 
     void
-    encodeTree(int idx, int x, int y, int size, int depth, FrameType type,
-               SyntaxWriter &writer, FrameStats &stats)
+    analyzeTree(int idx, int x, int y, int size, FrameType type,
+                NgcWorkerCtx &wc, SbRecord &rec)
     {
-        const CuPlan &node = arena_[idx];
-        if (size > kMinCu) {
-            writer.bit(node.split ? 1 : 0,
-                       nctx::kSplit + std::min(depth, 1));
-        }
+        const CuPlan &node = wc.arena[idx];
+        if (size > kMinCu)
+            rec.splits.push_back(node.split ? 1 : 0);
         if (node.split) {
             const int half = size / 2;
             for (int q = 0; q < 4; ++q) {
-                encodeTree(node.child[q], x + (q & 1) * half,
-                           y + (q >> 1) * half, half, depth + 1, type,
-                           writer, stats);
+                analyzeTree(node.child[q], x + (q & 1) * half,
+                            y + (q >> 1) * half, half, type, wc, rec);
             }
             return;
         }
-        encodeLeaf(node, x, y, size, type, writer, stats);
+        analyzeLeaf(node, x, y, size, type, wc, rec);
     }
 
     void
-    encodeLeaf(const CuPlan &node, int x, int y, int size, FrameType type,
-               SyntaxWriter &writer, FrameStats &stats)
+    analyzeLeaf(const CuPlan &node, int x, int y, int size, FrameType type,
+                NgcWorkerCtx &wc, SbRecord &rec)
     {
         if (probe_)
             probe_->record(KernelId::Dispatch, size * size / 256 + 1);
@@ -441,7 +608,8 @@ class NgcSequencer
         NgcIntraMode intra_mode = NgcIntraMode::Dc;
         uint32_t intra_cost = UINT32_MAX;
         {
-            obs::ScopedStage intra_stage(acc_, obs::Stage::IntraDecision);
+            obs::ScopedStage intra_stage(wc.acc,
+                                         obs::Stage::IntraDecision);
             uint8_t pred[kSbSize * kSbSize];
             for (int m = 0; m < kNgcIntraModes; ++m) {
                 const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
@@ -468,7 +636,7 @@ class NgcSequencer
                            1);
 
         // Predictions and residuals. Declarations stay outside the
-        // timing scope; the syntax and reconstruction sections below
+        // timing scope; the reconstruction and record sections below
         // consume them.
         uint8_t pred_y[kSbSize * kSbSize];
         uint8_t pred_u[16 * 16];
@@ -491,7 +659,7 @@ class NgcSequencer
         int nonzero = 0;
         // Manual start/stop (no early return below) keeps the large
         // prediction+residual section at its natural indentation.
-        const uint64_t tq_start = acc_ ? obs::nowNs() : 0;
+        const uint64_t tq_start = wc.acc ? obs::nowNs() : 0;
         if (use_inter) {
             mv = node.me.mv;
             ref = node.ref;
@@ -510,7 +678,6 @@ class NgcSequencer
                                                       : NgcIntraMode::Dc;
             ngcIntraPredict(cmode, recon_.u(), cx, cy, csize, pred_u);
             ngcIntraPredict(cmode, recon_.v(), cx, cy, csize, pred_v);
-            ++stats.intra_mbs;
         }
 
         // Residuals.
@@ -563,52 +730,53 @@ class NgcSequencer
                            static_cast<uint64_t>(size) * size / 16 + 8,
                            nonzero != 0, 1);
         }
-        if (acc_)
-            acc_->add(obs::Stage::TransformQuant,
-                      obs::nowNs() - tq_start);
+        if (wc.acc)
+            wc.acc->add(obs::Stage::TransformQuant,
+                        obs::nowNs() - tq_start);
 
         const bool coded = nonzero != 0;
         const bool skip = use_inter && ref == 0 && mv == pred_mv && !coded;
 
-        // --- Syntax. ---
-        {
-            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
-            if (type == FrameType::P)
-                writer.bit(skip ? 1 : 0, nctx::kSkip);
-            if (!skip) {
-                if (type == FrameType::P)
-                    writer.bit(use_inter ? 1 : 0, nctx::kIsInter);
-                if (use_inter) {
-                    if (tools_.refs > 1)
-                        writer.ue(static_cast<uint32_t>(ref),
-                                  ctx::kRefIdx, 2);
-                    writer.se(mv.x - pred_mv.x, ctx::kMvX, 4);
-                    writer.se(mv.y - pred_mv.y, ctx::kMvY, 4);
-                } else {
-                    writer.ue(static_cast<int>(intra_mode),
-                              nctx::kIntraMode, 3);
-                }
-                for (int t = 0; t < tus * tus; ++t)
-                    writeTu8(writer, dc_y[t], ac_y[t], true);
-                for (int plane = 0; plane < 2; ++plane) {
-                    if (ctus > 0) {
-                        for (int t = 0; t < ctus * ctus; ++t)
-                            writeTu8(writer, dc_c[plane][t],
-                                     ac_c[plane][t], false);
-                    } else {
-                        codec::writeResidualBlock(writer,
-                                                  levels4_c[plane],
-                                                  false);
+        // --- Record for the serial entropy pass. ---
+        LeafRecord leaf;
+        leaf.size = static_cast<uint8_t>(size);
+        leaf.use_inter = use_inter;
+        leaf.skip = skip;
+        leaf.intra_mode = intra_mode;
+        leaf.mv = mv;
+        leaf.pred_mv = pred_mv;
+        leaf.ref = static_cast<int8_t>(ref);
+        leaf.nonzero = nonzero;
+        rec.leaves.push_back(leaf);
+        if (!skip) {
+            // Coefficient layout (matches writeLeaf's cursor walk):
+            // luma TUs as 4 DC + 64 AC each, then per chroma plane
+            // either its TUs in the same shape or one 16-level block.
+            for (int t = 0; t < tus * tus; ++t) {
+                rec.coeffs.insert(rec.coeffs.end(), dc_y[t], dc_y[t] + 4);
+                rec.coeffs.insert(rec.coeffs.end(), ac_y[t],
+                                  ac_y[t] + 64);
+            }
+            for (int plane = 0; plane < 2; ++plane) {
+                if (ctus > 0) {
+                    for (int t = 0; t < ctus * ctus; ++t) {
+                        rec.coeffs.insert(rec.coeffs.end(),
+                                          dc_c[plane][t],
+                                          dc_c[plane][t] + 4);
+                        rec.coeffs.insert(rec.coeffs.end(),
+                                          ac_c[plane][t],
+                                          ac_c[plane][t] + 64);
                     }
+                } else {
+                    rec.coeffs.insert(rec.coeffs.end(), levels4_c[plane],
+                                      levels4_c[plane] + 16);
                 }
-            } else {
-                ++stats.skip_mbs;
             }
         }
 
         // --- Reconstruction. ---
         {
-            obs::ScopedStage rec(acc_, obs::Stage::Reconstruct);
+            obs::ScopedStage recon(wc.acc, obs::Stage::Reconstruct);
             reconstructLeaf(x, y, size, pred_y, pred_u, pred_v, skip, tus,
                             dc_y, ac_y, ctus, dc_c, ac_c, levels4_c);
         }
@@ -625,9 +793,94 @@ class NgcSequencer
                 cell.coded = coded;
             }
         }
+    }
+
+    // ----- Serial entropy pass --------------------------------------
+
+    /** Cursors into one SbRecord during replay. */
+    struct SbCursor {
+        size_t split = 0;
+        size_t leaf = 0;
+        size_t coeff = 0;
+    };
+
+    /**
+     * Replay one analyzed quadtree in the exact traversal order the
+     * analysis recorded it. The only raster-order coder state — the
+     * arithmetic contexts, frame stats, and the entropy hash — is
+     * touched here, which is what makes the stream thread-count
+     * invariant.
+     */
+    void
+    writeTree(SbRecord &rec, SbCursor &cur, int size, int depth,
+              FrameType type, SyntaxWriter &writer, FrameStats &stats)
+    {
+        bool split = false;
+        if (size > kMinCu) {
+            split = rec.splits[cur.split++] != 0;
+            writer.bit(split ? 1 : 0, nctx::kSplit + std::min(depth, 1));
+        }
+        if (split) {
+            for (int q = 0; q < 4; ++q)
+                writeTree(rec, cur, size / 2, depth + 1, type, writer,
+                          stats);
+            return;
+        }
+        writeLeaf(rec, cur, type, writer, stats);
+    }
+
+    void
+    writeLeaf(SbRecord &rec, SbCursor &cur, FrameType type,
+              SyntaxWriter &writer, FrameStats &stats)
+    {
+        const LeafRecord &leaf = rec.leaves[cur.leaf++];
+        const int size = leaf.size;
+        const int tus = size / 8;
+        const int csize = size / 2;
+        const int ctus = csize >= 8 ? csize / 8 : 0;
+
+        if (type == FrameType::P)
+            writer.bit(leaf.skip ? 1 : 0, nctx::kSkip);
+        if (!leaf.skip) {
+            if (type == FrameType::P)
+                writer.bit(leaf.use_inter ? 1 : 0, nctx::kIsInter);
+            if (leaf.use_inter) {
+                if (tools_.refs > 1)
+                    writer.ue(static_cast<uint32_t>(leaf.ref),
+                              ctx::kRefIdx, 2);
+                writer.se(leaf.mv.x - leaf.pred_mv.x, ctx::kMvX, 4);
+                writer.se(leaf.mv.y - leaf.pred_mv.y, ctx::kMvY, 4);
+            } else {
+                writer.ue(static_cast<int>(leaf.intra_mode),
+                          nctx::kIntraMode, 3);
+            }
+            const int16_t *coeffs = rec.coeffs.data();
+            for (int t = 0; t < tus * tus; ++t) {
+                writeTu8(writer, coeffs + cur.coeff,
+                         coeffs + cur.coeff + 4, true);
+                cur.coeff += 68;
+            }
+            for (int plane = 0; plane < 2; ++plane) {
+                if (ctus > 0) {
+                    for (int t = 0; t < ctus * ctus; ++t) {
+                        writeTu8(writer, coeffs + cur.coeff,
+                                 coeffs + cur.coeff + 4, false);
+                        cur.coeff += 68;
+                    }
+                } else {
+                    codec::writeResidualBlock(writer, coeffs + cur.coeff,
+                                              false);
+                    cur.coeff += 16;
+                }
+            }
+        } else {
+            ++stats.skip_mbs;
+        }
+        if (!leaf.use_inter)
+            ++stats.intra_mbs;
 
         entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
-            static_cast<uint64_t>(nonzero);
+            static_cast<uint64_t>(leaf.nonzero);
     }
 
     void
@@ -728,16 +981,23 @@ class NgcSequencer
     obs::Tracer *tracer_;
     obs::StageAccum accum_;
     obs::StageAccum *acc_;
+    const std::atomic<bool> *cancel_;
     int padded_w_;
     int padded_h_;
     int sb_cols_;
     int sb_rows_;
 
+    int frame_threads_ = 1;
+    std::unique_ptr<sched::WavefrontRunner> runner_;
+    std::vector<NgcWorkerCtx> wctx_;
+    std::vector<SbRecord> sb_records_;
+    std::vector<uint64_t> row_start_ns_;
+    bool cancelled_ = false;
+
     Frame src_;
     Frame recon_;
     CellGrid cells_;
     std::deque<RefFrame> refs_;
-    std::vector<CuPlan> arena_;
     int qp_ = 26;
     double lambda_sad_ = 1.0;
     uint64_t entropy_hash_ = 0;
@@ -768,6 +1028,9 @@ NgcEncoder::encode(const video::Video &source)
         const NgcTools pass1_tools = toolsFor(config_.profile, 2);
         NgcSequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
         const EncodeResult first = pass1.run();
+        if (config_.cancel &&
+            config_.cancel->load(std::memory_order_relaxed))
+            return first;  // abandoned upstream; skip the second pass
 
         codec::PassOneStats stats;
         stats.pass_qp = 30;

@@ -7,6 +7,8 @@
  * benchmark harness can drive either interchangeably.
  */
 
+#include <atomic>
+
 #include "codec/encoder.h"
 #include "codec/ratecontrol.h"
 #include "ngc/ngc_types.h"
@@ -28,6 +30,19 @@ struct NgcConfig {
     /// every instrumentation point costs one branch, same contract as
     /// the null probe.
     obs::Tracer *tracer = nullptr;
+    /**
+     * Intra-frame wavefront parallelism: superblock rows analyzed in
+     * flight at once. <= 0 resolves VBENCH_FRAME_THREADS through the
+     * sched::decideFrameThreads() oversubscription guard; callers that
+     * already ran the guard (core::transcode) pass the decided width.
+     * The bitstream is bit-exact for every value — entropy coding is
+     * a serial pass over the completed row records. Forced to 1 when a
+     * uarch probe is attached (probes assume serial recording).
+     */
+    int frame_threads = 0;
+    /// Cooperative cancellation: checked between rows and frames; a
+    /// cancelled encode returns a truncated (unusable) result quickly.
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**

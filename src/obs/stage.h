@@ -23,6 +23,11 @@ enum class Stage : uint8_t {
     DecodeOutput,      ///< decode own output for quality measurement
     Measure,           ///< PSNR / bitrate / speed computation
     HwPipeline,        ///< hardware model arithmetic (modeled backends)
+    /// One wavefront row analysis span (start of first cell to end of
+    /// last, dependency stalls included). A phase stage, not a leaf:
+    /// rows overlap in time under frame threading, so they must not
+    /// count toward the leaf totals that partition traced wall clock.
+    WavefrontRow,
     // --- Leaf stages (tracer-measured, disjoint in time). ---
     FrameSetup,        ///< padding, AQ pre-pass, reference upkeep
     MotionEstimation,  ///< inter search incl. early-skip probing
@@ -50,6 +55,7 @@ toString(Stage stage)
       case Stage::DecodeOutput: return "decode_output";
       case Stage::Measure: return "measure";
       case Stage::HwPipeline: return "hw_pipeline";
+      case Stage::WavefrontRow: return "wavefront_row";
       case Stage::FrameSetup: return "frame_setup";
       case Stage::MotionEstimation: return "motion_estimation";
       case Stage::IntraDecision: return "intra_decision";
@@ -118,6 +124,14 @@ struct StageAccum {
     add(Stage stage, uint64_t delta_ns)
     {
         ns[static_cast<int>(stage)] += delta_ns;
+    }
+
+    /** Fold another accumulator in (merging per-worker frame shares). */
+    void
+    addFrom(const StageAccum &other)
+    {
+        for (int i = 0; i < kNumStages; ++i)
+            ns[i] += other.ns[i];
     }
 
     uint64_t

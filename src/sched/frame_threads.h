@@ -1,0 +1,154 @@
+#pragma once
+
+/**
+ * @file
+ * Frame-thread budgeting: how many threads one encode may spend on
+ * intra-frame (wavefront) parallelism, and how that width composes
+ * with the job-level scheduler so nested parallelism never thrashes.
+ *
+ * Two knobs meet here:
+ *
+ *   VBENCH_JOBS           job-level workers (sched::Scheduler)
+ *   VBENCH_FRAME_THREADS  rows-in-flight inside a single encode
+ *
+ * The composition rule is a shared-pool oversubscription guard:
+ *
+ *   frame_threads x active_jobs <= pool budget
+ *
+ * where the budget is the scheduler's worker count while a scheduler
+ * is alive (its workers ARE the pool) and the hardware concurrency
+ * otherwise. A batch that already saturates VBENCH_JOBS therefore
+ * clamps every job's effective frame threads to 1, and a lone Live
+ * transcode on an idle machine gets the full requested width.
+ *
+ * Header-only on purpose: vbench_codec consumes this (and
+ * wavefront.h) without linking vbench_sched, whose library depends on
+ * vbench_core and would create a cycle.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace vbench::sched {
+
+/** Upper bound on frame threads: a typo must not fork-bomb the host. */
+inline constexpr int kMaxFrameThreads = 64;
+
+namespace detail {
+
+inline std::atomic<int> &
+activeJobCount()
+{
+    static std::atomic<int> count{0};
+    return count;
+}
+
+inline std::atomic<int> &
+poolBudget()
+{
+    static std::atomic<int> budget{0};  // 0: no scheduler registered
+    return budget;
+}
+
+} // namespace detail
+
+/**
+ * VBENCH_FRAME_THREADS parsed as a positive integer, else 1 (frame
+ * parallelism is opt-in; job-level parallelism is the default axis).
+ */
+inline int
+frameThreadsFromEnv()
+{
+    const char *value = std::getenv("VBENCH_FRAME_THREADS");
+    if (!value || value[0] == '\0')
+        return 1;
+    char *end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed <= 0)
+        return 1;
+    return static_cast<int>(std::min<long>(parsed, kMaxFrameThreads));
+}
+
+/**
+ * Register the job pool's size as the shared thread budget (the
+ * scheduler calls this with its worker count on construction and 0 on
+ * destruction). Unregistered (0), the budget falls back to hardware
+ * concurrency.
+ */
+inline void
+setFrameThreadBudget(int workers)
+{
+    detail::poolBudget().store(workers > 0 ? workers : 0,
+                               std::memory_order_relaxed);
+}
+
+/** Threads the guard divides between concurrently running jobs. */
+inline int
+frameThreadBudget()
+{
+    const int registered =
+        detail::poolBudget().load(std::memory_order_relaxed);
+    if (registered > 0)
+        return registered;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/** Jobs currently inside a transcode (scheduler workers mid-job). */
+inline int
+activeTranscodeJobs()
+{
+    return detail::activeJobCount().load(std::memory_order_relaxed);
+}
+
+/**
+ * RAII marker for one running transcode job; the scheduler holds one
+ * per job so decideFrameThreads() sees the true concurrency.
+ */
+class ActiveJobScope
+{
+  public:
+    ActiveJobScope()
+    {
+        detail::activeJobCount().fetch_add(1, std::memory_order_relaxed);
+    }
+
+    ~ActiveJobScope()
+    {
+        detail::activeJobCount().fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    ActiveJobScope(const ActiveJobScope &) = delete;
+    ActiveJobScope &operator=(const ActiveJobScope &) = delete;
+};
+
+/** Outcome of the oversubscription guard for one encode. */
+struct FrameThreadDecision {
+    int threads = 1;       ///< effective width the encode should use
+    int requested = 1;     ///< what the caller / environment asked for
+    bool clamped = false;  ///< guard reduced the requested width
+};
+
+/**
+ * Resolve the effective frame-thread width for an encode starting
+ * now. `requested <= 0` reads VBENCH_FRAME_THREADS. The result never
+ * exceeds requested, and obeys threads x active_jobs <= budget (with
+ * this call's own job counted at least once).
+ */
+inline FrameThreadDecision
+decideFrameThreads(int requested = 0)
+{
+    FrameThreadDecision d;
+    d.requested = requested > 0
+        ? std::min(requested, kMaxFrameThreads)
+        : frameThreadsFromEnv();
+    const int jobs = std::max(1, activeTranscodeJobs());
+    const int allowed = std::max(1, frameThreadBudget() / jobs);
+    d.threads = std::max(1, std::min(d.requested, allowed));
+    d.clamped = d.threads < d.requested;
+    return d;
+}
+
+} // namespace vbench::sched

@@ -6,6 +6,7 @@
 
 #include "obs/clock.h"
 #include "obs/obs.h"
+#include "sched/frame_threads.h"
 
 namespace vbench::sched {
 
@@ -90,6 +91,10 @@ Scheduler::Scheduler(SchedulerConfig config) : config_(config)
         shard.metrics = std::make_unique<obs::MetricsRegistry>();
     }
     pool_ = std::make_unique<ThreadPool>(workers, config_.queue_capacity);
+    // While this scheduler is alive its workers ARE the machine's
+    // transcode pool: the frame-thread oversubscription guard divides
+    // this budget between concurrently running jobs.
+    setFrameThreadBudget(workers);
 }
 
 Scheduler::~Scheduler()
@@ -98,6 +103,7 @@ Scheduler::~Scheduler()
     // accepted job has resolved its handle.
     pool_.reset();
     mergeObsShards();
+    setFrameThreadBudget(0);
 }
 
 obs::Tracer *
@@ -176,6 +182,9 @@ Scheduler::runJob(const std::shared_ptr<detail::JobState> &state,
     if (!job.input || !job.original) {
         result.outcome.error = "job missing input or original video";
     } else {
+        // Counted while the transcode runs so decideFrameThreads()
+        // inside it sees the true job-level concurrency.
+        ActiveJobScope active;
         result.outcome =
             core::transcode(*job.input, *job.original, request);
     }

@@ -1,0 +1,229 @@
+#pragma once
+
+/**
+ * @file
+ * WavefrontRunner: intra-frame 2D-dependency parallelism. A frame is a
+ * grid of cells (macroblock rows x columns); cell (r, c) may run once
+ * its left neighbor (r, c-1) and the first `lag` cells past column c
+ * in row r-1 are done — the classic macroblock-row wavefront (x264
+ * sliced-row threads, HEVC WPP), which is exactly the dependency shape
+ * of intra prediction, MV prediction, and in-loop context:
+ *
+ *     row 0:  0 1 2 3 4 5 6 ...
+ *     row 1:      0 1 2 3 4 ...   (lag cells behind row 0)
+ *     row 2:          0 1 2 ...
+ *
+ * Determinism: every cell's inputs are complete before it runs, so
+ * cell outputs — and anything serially derived from them — are
+ * identical at every thread count. The runner only schedules; callers
+ * keep entropy coding (or any other order-dependent pass) serial over
+ * the completed cell records.
+ *
+ * Rows are statically assigned (row r -> worker r % threads), so work
+ * distribution is reproducible and workers pipeline: worker k's next
+ * row chases worker k+1's current one. Progress is one atomic counter
+ * per row (cells completed, released after each cell; acquired by the
+ * row below), which doubles as the happens-before edge for the shared
+ * reconstruction planes the cells write.
+ *
+ * Threads are created once per runner and reused across run() calls
+ * (one runner per encode, hundreds of frames), parked on a condition
+ * variable between waves.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vbench::sched {
+
+class WavefrontRunner
+{
+  public:
+    /** Process one grid cell; `slot` indexes per-worker scratch. */
+    using CellFn = std::function<void(int row, int col, int slot)>;
+
+    /** Spawns `threads - 1` helpers; the caller is always slot 0. */
+    explicit WavefrontRunner(int threads)
+        : threads_(threads > 1 ? threads : 1)
+    {
+        helpers_.reserve(static_cast<size_t>(threads_ - 1));
+        for (int slot = 1; slot < threads_; ++slot)
+            helpers_.emplace_back([this, slot] { helperLoop(slot); });
+    }
+
+    ~WavefrontRunner()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        start_cv_.notify_all();
+        for (std::thread &t : helpers_)
+            t.join();
+    }
+
+    WavefrontRunner(const WavefrontRunner &) = delete;
+    WavefrontRunner &operator=(const WavefrontRunner &) = delete;
+
+    int threads() const { return threads_; }
+
+    /**
+     * Run `fn` over every cell of a rows x cols grid in wavefront
+     * order: (r, c) starts only after (r, c-1) and row r-1's first
+     * min(c + lag, cols) cells finished. lag = 2 covers left/top/
+     * top-right dependencies; larger lags cover prediction that reads
+     * further right into the row above. Blocks until the whole grid is
+     * done (or until `cancel` became true, in which case remaining
+     * cells are skipped — started cells still complete) and returns
+     * false iff cancelled.
+     */
+    bool
+    run(int rows, int cols, int lag, const CellFn &fn,
+        const std::atomic<bool> *cancel = nullptr)
+    {
+        if (rows <= 0 || cols <= 0)
+            return true;
+        // RowProgress is not movable (atomic member); reallocate only
+        // when a taller grid arrives, which in practice is once.
+        if (static_cast<int>(progress_.size()) < rows)
+            progress_ = std::vector<RowProgress>(static_cast<size_t>(rows));
+        for (int r = 0; r < rows; ++r)
+            progress_[static_cast<size_t>(r)].value.store(
+                0, std::memory_order_relaxed);
+        rows_ = rows;
+        cols_ = cols;
+        lag_ = lag > 1 ? lag : 1;
+        fn_ = &fn;
+        cancel_ = cancel;
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++generation_;
+            running_ = threads_ - 1;
+        }
+        start_cv_.notify_all();
+
+        workRows(0);
+
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            done_cv_.wait(lock, [this] { return running_ == 0; });
+        }
+        fn_ = nullptr;
+        const bool cancelled =
+            cancel && cancel->load(std::memory_order_relaxed);
+        return !cancelled;
+    }
+
+  private:
+    /** Cache-line-padded per-row completion counter. */
+    struct alignas(64) RowProgress {
+        std::atomic<int> value{0};
+    };
+
+    void
+    helperLoop(int slot)
+    {
+        uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                start_cv_.wait(lock, [this, seen] {
+                    return shutdown_ || generation_ != seen;
+                });
+                if (shutdown_)
+                    return;
+                seen = generation_;
+            }
+            workRows(slot);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                --running_;
+            }
+            done_cv_.notify_all();
+        }
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancel_ && cancel_->load(std::memory_order_relaxed);
+    }
+
+    /** Process rows slot, slot+T, ... respecting the wavefront. */
+    void
+    workRows(int slot)
+    {
+        const CellFn &fn = *fn_;
+        for (int r = slot; r < rows_; r += threads_) {
+            std::atomic<int> *above =
+                r > 0 ? &progress_[static_cast<size_t>(r - 1)].value
+                      : nullptr;
+            std::atomic<int> &mine =
+                progress_[static_cast<size_t>(r)].value;
+            for (int c = 0; c < cols_; ++c) {
+                if (above && !cancelled()) {
+                    const int need = c + lag_ < cols_ ? c + lag_ : cols_;
+                    waitFor(*above, need);
+                }
+                // Checked *after* the dependency wait: waitFor returns
+                // early on cancellation, and a cell must never run on
+                // incomplete inputs.
+                if (cancelled()) {
+                    // Unblock dependants and fall through to the next
+                    // row; no further cells run. The frame's output is
+                    // abandoned by the caller, so completeness of cell
+                    // data no longer matters — only that nobody waits
+                    // forever.
+                    mine.store(cols_, std::memory_order_release);
+                    break;
+                }
+                fn(r, c, slot);
+                mine.store(c + 1, std::memory_order_release);
+            }
+        }
+    }
+
+    /** Spin-then-yield until `counter` (acquire) reaches `need`. */
+    void
+    waitFor(const std::atomic<int> &counter, int need)
+    {
+        int spins = 0;
+        while (counter.load(std::memory_order_acquire) < need) {
+            if (cancelled())
+                return;  // dependency row bailed; caller bails too
+            if (++spins < 1024) {
+#if defined(__x86_64__) || defined(__i386__)
+                __builtin_ia32_pause();
+#endif
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    const int threads_;
+    std::vector<std::thread> helpers_;
+
+    // Current wave (valid while running_ > 0 or inside run()).
+    std::vector<RowProgress> progress_;
+    int rows_ = 0;
+    int cols_ = 0;
+    int lag_ = 1;
+    const CellFn *fn_ = nullptr;
+    const std::atomic<bool> *cancel_ = nullptr;
+
+    std::mutex mu_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    uint64_t generation_ = 0;
+    int running_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace vbench::sched

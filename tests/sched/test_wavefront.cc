@@ -1,0 +1,285 @@
+/**
+ * @file
+ * WavefrontRunner behaviour: every cell runs exactly once, no cell
+ * starts before its left and top-right (lag) dependencies completed,
+ * results are identical at every thread count, cancellation mid-frame
+ * neither deadlocks nor poisons the runner for the next frame. Also
+ * covers the frame-thread oversubscription guard (frame_threads.h).
+ * Part of the ThreadSanitizer suite (`ctest -L thread`).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sched/frame_threads.h"
+#include "sched/wavefront.h"
+
+namespace vbench::sched {
+namespace {
+
+/** Per-cell completion flags; safe for concurrent read/write. */
+struct DoneGrid {
+    DoneGrid(int rows, int cols)
+        : cols(cols),
+          done(static_cast<size_t>(rows) * static_cast<size_t>(cols))
+    {
+    }
+
+    std::atomic<int> &at(int r, int c)
+    {
+        return done[static_cast<size_t>(r) * cols + c];
+    }
+
+    int cols;
+    std::vector<std::atomic<int>> done;
+};
+
+TEST(Wavefront, RunsEveryCellExactlyOnce)
+{
+    const int rows = 13, cols = 17;
+    WavefrontRunner runner(4);
+    DoneGrid grid(rows, cols);
+    ASSERT_TRUE(runner.run(rows, cols, 2, [&](int r, int c, int) {
+        grid.at(r, c).fetch_add(1, std::memory_order_relaxed);
+    }));
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            EXPECT_EQ(grid.at(r, c).load(), 1) << r << "," << c;
+}
+
+TEST(Wavefront, SlotIndicesStayInRange)
+{
+    const int threads = 5;
+    WavefrontRunner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    std::atomic<int> out_of_range{0};
+    ASSERT_TRUE(runner.run(8, 8, 2, [&](int, int, int slot) {
+        if (slot < 0 || slot >= threads)
+            out_of_range.fetch_add(1, std::memory_order_relaxed);
+    }));
+    EXPECT_EQ(out_of_range.load(), 0);
+}
+
+/**
+ * The contract the encoders rely on: when (r, c) starts, (r, c-1) is
+ * done and row r-1 has completed at least min(c + lag, cols) cells.
+ * Violations are counted atomically (gtest macros are not
+ * thread-safe) and asserted after the wave.
+ */
+void
+checkDependencyOrder(int threads, int lag)
+{
+    const int rows = 11, cols = 19;
+    WavefrontRunner runner(threads);
+    DoneGrid grid(rows, cols);
+    std::atomic<int> violations{0};
+    ASSERT_TRUE(runner.run(rows, cols, lag, [&](int r, int c, int) {
+        if (c > 0 && grid.at(r, c - 1).load(std::memory_order_acquire) == 0)
+            violations.fetch_add(1, std::memory_order_relaxed);
+        if (r > 0) {
+            const int need = c + lag < cols ? c + lag : cols;
+            for (int k = 0; k < need; ++k) {
+                if (grid.at(r - 1, k).load(std::memory_order_acquire) == 0)
+                    violations.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        grid.at(r, c).store(1, std::memory_order_release);
+    }));
+    EXPECT_EQ(violations.load(), 0)
+        << "threads=" << threads << " lag=" << lag;
+}
+
+TEST(Wavefront, DependencyOrderLag2)
+{
+    for (int threads : {1, 2, 4, 7})
+        checkDependencyOrder(threads, 2);
+}
+
+TEST(Wavefront, DependencyOrderLag3)
+{
+    for (int threads : {2, 5})
+        checkDependencyOrder(threads, 3);
+}
+
+/**
+ * A cell value derived from its wavefront dependencies must be
+ * identical at every thread count — the scheduling-level statement of
+ * the encoders' bit-exactness guarantee.
+ */
+TEST(Wavefront, DeterministicAcrossThreadCounts)
+{
+    const int rows = 9, cols = 23, lag = 2;
+    auto compute = [&](int threads) {
+        std::vector<uint64_t> out(
+            static_cast<size_t>(rows) * cols, 0);
+        WavefrontRunner runner(threads);
+        EXPECT_TRUE(runner.run(rows, cols, lag, [&](int r, int c, int) {
+            uint64_t v = 1;
+            if (c > 0)
+                v += out[static_cast<size_t>(r) * cols + c - 1] * 3;
+            if (r > 0) {
+                const int need = c + lag < cols ? c + lag : cols;
+                v += out[static_cast<size_t>(r - 1) * cols + need - 1] * 7;
+            }
+            out[static_cast<size_t>(r) * cols + c] = v + r * 31 + c;
+        }));
+        return out;
+    };
+    const std::vector<uint64_t> serial = compute(1);
+    for (int threads : {2, 4, 7})
+        EXPECT_EQ(compute(threads), serial) << "threads=" << threads;
+}
+
+TEST(Wavefront, CancellationMidGridReturnsFalseAndRunnerSurvives)
+{
+    const int rows = 16, cols = 16;
+    WavefrontRunner runner(4);
+    std::atomic<bool> cancel{false};
+    std::atomic<int> ran{0};
+    const bool complete =
+        runner.run(rows, cols, 2,
+                   [&](int r, int c, int) {
+                       ran.fetch_add(1, std::memory_order_relaxed);
+                       if (r == rows / 2 && c == 0)
+                           cancel.store(true, std::memory_order_relaxed);
+                   },
+                   &cancel);
+    EXPECT_FALSE(complete);
+    EXPECT_LT(ran.load(), rows * cols);
+
+    // The runner must be reusable for the next frame.
+    std::atomic<int> ran2{0};
+    std::atomic<bool> no_cancel{false};
+    EXPECT_TRUE(runner.run(rows, cols, 2,
+                           [&](int, int, int) {
+                               ran2.fetch_add(1,
+                                              std::memory_order_relaxed);
+                           },
+                           &no_cancel));
+    EXPECT_EQ(ran2.load(), rows * cols);
+}
+
+TEST(Wavefront, CancelledBeforeStartRunsNothing)
+{
+    WavefrontRunner runner(3);
+    std::atomic<bool> cancel{true};
+    std::atomic<int> ran{0};
+    EXPECT_FALSE(runner.run(8, 8, 2,
+                            [&](int, int, int) {
+                                ran.fetch_add(1,
+                                              std::memory_order_relaxed);
+                            },
+                            &cancel));
+    // Row 0 has no dependency wait, so its first cells may still run;
+    // nothing below the first owned rows may.
+    EXPECT_LT(ran.load(), 8 * 8);
+}
+
+TEST(Wavefront, DegenerateGridsAndReuseAcrossSizes)
+{
+    WavefrontRunner runner(4);
+    EXPECT_TRUE(runner.run(0, 5, 2, [&](int, int, int) { FAIL(); }));
+    EXPECT_TRUE(runner.run(5, 0, 2, [&](int, int, int) { FAIL(); }));
+
+    // Grow, shrink, regrow: exercises the reallocate-only-when-taller
+    // progress storage.
+    for (int rows : {1, 12, 3, 20, 7}) {
+        DoneGrid grid(rows, 6);
+        ASSERT_TRUE(runner.run(rows, 6, 2, [&](int r, int c, int) {
+            grid.at(r, c).fetch_add(1, std::memory_order_relaxed);
+        }));
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < 6; ++c)
+                ASSERT_EQ(grid.at(r, c).load(), 1);
+    }
+}
+
+TEST(Wavefront, StressManyWaves)
+{
+    WavefrontRunner runner(4);
+    for (int i = 0; i < 50; ++i) {
+        const int rows = 1 + (i * 7) % 13;
+        const int cols = 1 + (i * 5) % 17;
+        std::atomic<int> ran{0};
+        ASSERT_TRUE(runner.run(rows, cols, 2, [&](int, int, int) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+        }));
+        ASSERT_EQ(ran.load(), rows * cols);
+    }
+}
+
+// ---- Oversubscription guard (frame_threads.h). ----
+
+/** Restores budget / env so tests compose in any order. */
+class FrameThreadGuard : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        setFrameThreadBudget(0);
+        unsetenv("VBENCH_FRAME_THREADS");
+    }
+};
+
+TEST_F(FrameThreadGuard, EnvParsing)
+{
+    unsetenv("VBENCH_FRAME_THREADS");
+    EXPECT_EQ(frameThreadsFromEnv(), 1);
+    setenv("VBENCH_FRAME_THREADS", "4", 1);
+    EXPECT_EQ(frameThreadsFromEnv(), 4);
+    setenv("VBENCH_FRAME_THREADS", "0", 1);
+    EXPECT_EQ(frameThreadsFromEnv(), 1);
+    setenv("VBENCH_FRAME_THREADS", "-3", 1);
+    EXPECT_EQ(frameThreadsFromEnv(), 1);
+    setenv("VBENCH_FRAME_THREADS", "garbage", 1);
+    EXPECT_EQ(frameThreadsFromEnv(), 1);
+    setenv("VBENCH_FRAME_THREADS", "100000", 1);
+    EXPECT_EQ(frameThreadsFromEnv(), kMaxFrameThreads);
+}
+
+TEST_F(FrameThreadGuard, LoneJobGetsRequestedWidth)
+{
+    setFrameThreadBudget(8);
+    const FrameThreadDecision d = decideFrameThreads(4);
+    EXPECT_EQ(d.threads, 4);
+    EXPECT_EQ(d.requested, 4);
+    EXPECT_FALSE(d.clamped);
+}
+
+TEST_F(FrameThreadGuard, SaturatedPoolClampsToOne)
+{
+    setFrameThreadBudget(4);
+    std::vector<std::unique_ptr<ActiveJobScope>> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(std::make_unique<ActiveJobScope>());
+    EXPECT_EQ(activeTranscodeJobs(), 4);
+    const FrameThreadDecision d = decideFrameThreads(4);
+    EXPECT_EQ(d.threads, 1);
+    EXPECT_TRUE(d.clamped);
+    jobs.clear();
+    EXPECT_EQ(activeTranscodeJobs(), 0);
+}
+
+TEST_F(FrameThreadGuard, PartialLoadSplitsBudget)
+{
+    setFrameThreadBudget(8);
+    ActiveJobScope a, b;  // two jobs share an 8-wide pool
+    const FrameThreadDecision d = decideFrameThreads(8);
+    EXPECT_EQ(d.threads, 4);
+    EXPECT_TRUE(d.clamped);
+}
+
+TEST_F(FrameThreadGuard, RequestNeverExceededEvenWithHeadroom)
+{
+    setFrameThreadBudget(64);
+    const FrameThreadDecision d = decideFrameThreads(2);
+    EXPECT_EQ(d.threads, 2);
+    EXPECT_FALSE(d.clamped);
+}
+
+} // namespace
+} // namespace vbench::sched
