@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Service-level benchmark: the split-and-stitch transcoding service
+ * (docs/SERVICE.md) under an open-loop Poisson workload spanning all
+ * five vbench scenarios. Reports the SLA scorecard — per-scenario
+ * p50/p95/p99 segment latency, deadline hit-rate, goodput, and drop
+ * rate — as a table and as BENCH_service.json.
+ *
+ * Environment knobs: VBENCH_ARRIVAL_RATE (requests/second),
+ * VBENCH_SEGMENT_FRAMES (frames per segment), VBENCH_JOBS (workers).
+ *
+ *   --smoke   tiny corpus, Live + Upload only, generous deadlines;
+ *             exits nonzero on any dropped request or a deadline
+ *             hit-rate below 90%. Wired into scripts/check.sh.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/scenario.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "video/suite.h"
+#include "video/synth.h"
+
+namespace {
+
+using namespace vbench;
+
+std::vector<video::ClipSpec>
+corpusSpecs(bool smoke)
+{
+    const auto spec = [](const char *name, int w, int h,
+                         video::ContentClass content, uint64_t seed) {
+        video::ClipSpec s;
+        s.name = name;
+        s.width = w;
+        s.height = h;
+        s.fps = 30.0;
+        s.content = content;
+        s.seed = seed;
+        return s;
+    };
+    if (smoke)
+        return {
+            spec("smoke_nat", 192, 128, video::ContentClass::Natural, 7),
+            spec("smoke_anim", 192, 128, video::ContentClass::Animation,
+                 9),
+        };
+    // Popularity rank order: the Zipf head gets the natural clip.
+    return {
+        spec("svc_natural", 320, 192, video::ContentClass::Natural, 21),
+        spec("svc_sports", 320, 192, video::ContentClass::Sports, 22),
+        spec("svc_screen", 256, 144, video::ContentClass::Screencast, 23),
+        spec("svc_anim", 256, 144, video::ContentClass::Animation, 24),
+    };
+}
+
+/**
+ * One-hot Poisson stream per scenario, merged afterwards (the
+ * superposition of independent Poisson processes is Poisson). Retries
+ * with a longer window when a scenario's stream comes up empty so the
+ * scorecard always covers every requested scenario.
+ */
+std::vector<service::ServiceRequest>
+generateMixedWorkload(const service::Corpus &corpus,
+                      const std::vector<core::Scenario> &scenarios,
+                      double per_scenario_rate, double duration_s,
+                      double live_slack, double upload_slack)
+{
+    std::vector<service::ServiceRequest> merged;
+    uint64_t id = 0;
+    for (const core::Scenario scenario : scenarios) {
+        service::WorkloadConfig config;
+        config.arrival_rate_hz = per_scenario_rate;
+        config.duration_s = duration_s;
+        config.seed = 40 + static_cast<uint64_t>(scenario);
+        config.mix = {};
+        config.mix[static_cast<size_t>(scenario)] = 1;
+        config.live_slack = live_slack;
+        config.upload_slack = upload_slack;
+        std::vector<service::ServiceRequest> part =
+            service::generateWorkload(config, corpus);
+        for (int retry = 0; part.empty() && retry < 8; ++retry) {
+            config.seed += 100;
+            config.duration_s *= 2;
+            part = service::generateWorkload(config, corpus);
+        }
+        for (service::ServiceRequest &req : part) {
+            req.id = id++;
+            merged.push_back(std::move(req));
+        }
+    }
+    return merged;
+}
+
+void
+printScorecard(const service::SlaReport &sla)
+{
+    std::printf("%-10s %-9s %-8s %-9s %-9s %-9s %-9s %-6s %-13s %s\n",
+                "scenario", "requests", "dropped", "segments", "p50_ms",
+                "p95_ms", "p99_ms", "hit%", "goodput_mpix/s", "drop%");
+    for (const service::ScenarioScore &s : sla.scenarios)
+        std::printf(
+            "%-10s %-9llu %-8llu %-9llu %-9.2f %-9.2f %-9.2f %-6.1f "
+            "%-13.2f %.1f\n",
+            core::toString(s.scenario),
+            static_cast<unsigned long long>(s.requests),
+            static_cast<unsigned long long>(s.dropped),
+            static_cast<unsigned long long>(s.segments), s.p50_ms,
+            s.p95_ms, s.p99_ms, 100.0 * s.hit_rate, s.goodput_mpix_s,
+            100.0 * s.drop_rate);
+    std::printf("\noverall: %llu requests (%llu dropped), %llu segments, "
+                "hit-rate %.1f%%, goodput %.2f Mpix/s, %.2fs wall\n",
+                static_cast<unsigned long long>(sla.total_requests),
+                static_cast<unsigned long long>(sla.total_dropped),
+                static_cast<unsigned long long>(sla.total_segments),
+                100.0 * sla.overall_hit_rate,
+                sla.overall_goodput_mpix_s, sla.wall_seconds);
+}
+
+int
+writeJson(const std::string &path, const service::ServiceResult &result)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    const service::SlaReport &sla = result.sla;
+    std::fprintf(f, "{\"wall_seconds\":%.4f,\"scenarios\":[",
+                 sla.wall_seconds);
+    for (size_t i = 0; i < sla.scenarios.size(); ++i) {
+        const service::ScenarioScore &s = sla.scenarios[i];
+        std::fprintf(
+            f,
+            "%s{\"name\":\"%s\",\"requests\":%llu,\"dropped\":%llu,"
+            "\"segments\":%llu,\"failed\":%llu,\"p50_ms\":%.3f,"
+            "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"hit_rate\":%.4f,"
+            "\"goodput_mpix_s\":%.4f,\"drop_rate\":%.4f}",
+            i ? "," : "", core::toString(s.scenario),
+            static_cast<unsigned long long>(s.requests),
+            static_cast<unsigned long long>(s.dropped),
+            static_cast<unsigned long long>(s.segments),
+            static_cast<unsigned long long>(s.failed), s.p50_ms,
+            s.p95_ms, s.p99_ms, s.hit_rate, s.goodput_mpix_s,
+            s.drop_rate);
+    }
+    std::fprintf(
+        f,
+        "],\"overall\":{\"requests\":%llu,\"dropped\":%llu,"
+        "\"segments\":%llu,\"hit_rate\":%.4f,\"goodput_mpix_s\":%.4f,"
+        "\"stitched_rungs\":%llu,\"stitch_failures\":%llu}}\n",
+        static_cast<unsigned long long>(sla.total_requests),
+        static_cast<unsigned long long>(sla.total_dropped),
+        static_cast<unsigned long long>(sla.total_segments),
+        sla.overall_hit_rate, sla.overall_goodput_mpix_s,
+        static_cast<unsigned long long>(result.stitched_rungs),
+        static_cast<unsigned long long>(result.stitch_failures));
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+int
+runFull(const std::string &json_path)
+{
+    bench::printHeader(
+        "transcoding service under open-loop load (split-and-stitch)",
+        "§2.3 scenarios as a service: admission, deadlines, SLA");
+
+    const int segment_frames = service::segmentFramesFromEnv(8);
+    const service::Corpus corpus =
+        service::buildCorpus(corpusSpecs(false), 16, segment_frames);
+    std::printf("corpus: %zu clips, %d-frame segments\n",
+                corpus.clips.size(), segment_frames);
+
+    const std::vector<core::Scenario> all = {
+        core::Scenario::Upload, core::Scenario::Live,
+        core::Scenario::Vod, core::Scenario::Popular,
+        core::Scenario::Platform};
+    const double rate = service::arrivalRateFromEnv(6.0);
+    const std::vector<service::ServiceRequest> workload =
+        generateMixedWorkload(corpus, all, rate / all.size(), 4.0,
+                              /*live_slack=*/3.0,
+                              /*upload_slack=*/10.0);
+    std::printf("workload: %zu requests over 4.0s (%.1f req/s)\n\n",
+                workload.size(), rate);
+
+    service::ServiceConfig config;
+    config.admission_capacity = 64;
+    service::TranscodeService svc(config, corpus);
+    const service::ServiceResult result = svc.run(workload);
+
+    printScorecard(result.sla);
+    std::printf("stitched rungs: %llu (%llu failures)\n",
+                static_cast<unsigned long long>(result.stitched_rungs),
+                static_cast<unsigned long long>(result.stitch_failures));
+    if (writeJson(json_path, result))
+        return 1;
+    if (result.stitch_failures > 0) {
+        std::fprintf(stderr, "FAIL: %llu rungs failed to stitch\n",
+                     static_cast<unsigned long long>(
+                         result.stitch_failures));
+        return 1;
+    }
+    return 0;
+}
+
+/** Gate for check.sh: small run that must hit its generous SLAs. */
+int
+runSmoke()
+{
+    const double kMinHitRate = 0.9;
+    const service::Corpus corpus =
+        service::buildCorpus(corpusSpecs(true), 8, 4);
+    const std::vector<service::ServiceRequest> workload =
+        generateMixedWorkload(
+            corpus, {core::Scenario::Live, core::Scenario::Upload},
+            /*per_scenario_rate=*/2.0, /*duration_s=*/1.0,
+            /*live_slack=*/50.0, /*upload_slack=*/100.0);
+
+    service::ServiceConfig config;
+    config.admission_capacity = 64;
+    service::TranscodeService svc(config, corpus);
+    const service::ServiceResult result = svc.run(workload);
+
+    printScorecard(result.sla);
+    bool ok = true;
+    if (result.dropped > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu requests dropped with capacity to "
+                     "spare\n",
+                     static_cast<unsigned long long>(result.dropped));
+        ok = false;
+    }
+    if (result.sla.overall_hit_rate < kMinHitRate) {
+        std::fprintf(stderr,
+                     "FAIL: hit-rate %.2f below %.2f with generous "
+                     "deadlines\n",
+                     result.sla.overall_hit_rate, kMinHitRate);
+        ok = false;
+    }
+    if (result.stitch_failures > 0) {
+        std::fprintf(stderr, "FAIL: %llu rungs failed to stitch\n",
+                     static_cast<unsigned long long>(
+                         result.stitch_failures));
+        ok = false;
+    }
+    if (result.completed + result.dropped != workload.size()) {
+        std::fprintf(stderr, "FAIL: %llu completed + %llu dropped != "
+                             "%zu requests\n",
+                     static_cast<unsigned long long>(result.completed),
+                     static_cast<unsigned long long>(result.dropped),
+                     workload.size());
+        ok = false;
+    }
+    std::printf("service smoke: %s\n", ok ? "ok" : "FAILED");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_service.json";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    return smoke ? runSmoke() : runFull(json_path);
+}

@@ -35,6 +35,9 @@ echo "== kernel smoke (bench_kernels --smoke) =="
 echo "== frame-thread bit-exactness (bench_frame_threads --smoke) =="
 "$build/bench/bench_frame_threads" --smoke
 
+echo "== service smoke (bench_service --smoke) =="
+"$build/bench/bench_service" --smoke
+
 echo "== ISA bit-exactness (VBENCH_ISA=scalar vs native digest) =="
 scalar_digest="$(VBENCH_ISA=scalar "$build/bench/bench_kernels" --digest)"
 native_digest="$(VBENCH_ISA=native "$build/bench/bench_kernels" --digest)"

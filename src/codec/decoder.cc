@@ -323,28 +323,46 @@ std::optional<Video>
 decode(const uint8_t *data, size_t size, const DecoderConfig &config)
 {
     size_t offset = 0;
-    const auto header = parseStreamHeader(data, size, offset);
+    auto header = parseStreamHeader(data, size, offset);
     if (!header)
         return std::nullopt;
 
     Video out(header->width, header->height, header->fps());
-    DecoderState state(*header, config.probe);
+    int32_t frame_index = 0;
 
-    for (uint32_t i = 0; i < header->frame_count; ++i) {
-        if (offset + 4 > size)
-            return std::nullopt;
-        const uint32_t payload_len = readU32(data + offset);
-        offset += 4;
-        if (payload_len == 0 || offset + payload_len > size)
-            return std::nullopt;
-        {
-            obs::ScopedSpan span(config.tracer, obs::Track::Decode,
-                                 obs::Stage::DecodeFrame,
-                                 static_cast<int32_t>(i));
-            if (!state.decodeFrame(data + offset, payload_len, out))
+    // Outer loop: decode this stream, then — split-and-stitch concat
+    // support — continue into any back-to-back stream that follows.
+    // Trailing bytes that are not a stream header are still ignored,
+    // as before.
+    while (true) {
+        DecoderState state(*header, config.probe);
+        for (uint32_t i = 0; i < header->frame_count; ++i) {
+            if (offset + 4 > size)
                 return std::nullopt;
+            const uint32_t payload_len = readU32(data + offset);
+            offset += 4;
+            if (payload_len == 0 || offset + payload_len > size)
+                return std::nullopt;
+            {
+                obs::ScopedSpan span(config.tracer, obs::Track::Decode,
+                                     obs::Stage::DecodeFrame,
+                                     frame_index);
+                if (!state.decodeFrame(data + offset, payload_len, out))
+                    return std::nullopt;
+            }
+            offset += payload_len;
+            ++frame_index;
         }
-        offset += payload_len;
+        if (size - offset < 4 ||
+            std::memcmp(data + offset, kMagic, 4) != 0)
+            break;
+        size_t consumed = 0;
+        header = parseStreamHeader(data + offset, size - offset, consumed);
+        if (!header)
+            return std::nullopt;
+        if (header->width != out.width() || header->height != out.height())
+            return std::nullopt;
+        offset += consumed;
     }
     return out;
 }

@@ -247,6 +247,7 @@ class Sequencer
                 tracer_->addFrame(config_.track, i, frame_start,
                                   obs::nowNs(), accum_);
         }
+        result.rc_state = rate_.snapshot();
         return result;
     }
 
@@ -272,9 +273,15 @@ class Sequencer
     FrameType
     frameTypeFor(int index) const
     {
-        if (index == 0)
+        // Segment boundaries restart the GOP phase, so a segment
+        // encode's frame k decides its type exactly like the
+        // whole-file encode's frame k (split-and-stitch contract).
+        const int phase = config_.segment_frames > 0
+            ? index % config_.segment_frames
+            : index;
+        if (phase == 0)
             return FrameType::I;
-        if (config_.gop > 0 && index % config_.gop == 0)
+        if (config_.gop > 0 && phase % config_.gop == 0)
             return FrameType::I;
         return FrameType::P;
     }
@@ -1102,6 +1109,45 @@ Encoder::Encoder(const EncoderConfig &config)
         tools_.deblock = config.deblock_override != 0;
 }
 
+namespace {
+
+/** First pass: fast tools, fixed quantizer, gather complexity. */
+EncodeResult
+encodeFirstPass(const EncoderConfig &config, const video::Video &source)
+{
+    EncoderConfig pass1_cfg = config;
+    pass1_cfg.effort = std::min(config.effort, 3);
+    pass1_cfg.rc.mode = RcMode::Cqp;
+    pass1_cfg.rc.qp = 30;
+    pass1_cfg.rc.fps = source.fps();
+    pass1_cfg.rc.pixels_per_frame =
+        static_cast<double>(source.pixelsPerFrame());
+    pass1_cfg.rc_in.reset();
+    pass1_cfg.pass_one = nullptr;
+    ToolPreset pass1_tools = presetForEffort(pass1_cfg.effort);
+    RateController pass1_rate(pass1_cfg.rc);
+    Sequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
+    return pass1.run();
+}
+
+PassOneStats
+statsFromFirstPass(const EncodeResult &first)
+{
+    PassOneStats stats;
+    stats.pass_qp = 30;
+    for (const FrameStats &f : first.frames)
+        stats.frame_bits.push_back(f.bytes * 8.0);
+    return stats;
+}
+
+} // namespace
+
+PassOneStats
+collectPassOneStats(const EncoderConfig &config, const video::Video &source)
+{
+    return statsFromFirstPass(encodeFirstPass(config, source));
+}
+
 EncodeResult
 Encoder::encode(const video::Video &source)
 {
@@ -1110,34 +1156,32 @@ Encoder::encode(const video::Video &source)
     rc.pixels_per_frame = static_cast<double>(source.pixelsPerFrame());
 
     if (rc.mode == RcMode::TwoPass) {
-        // First pass: fast tools, fixed quantizer, gather complexity.
-        EncoderConfig pass1_cfg = config_;
-        pass1_cfg.effort = std::min(config_.effort, 3);
-        pass1_cfg.rc.mode = RcMode::Cqp;
-        pass1_cfg.rc.qp = 30;
-        ToolPreset pass1_tools = presetForEffort(pass1_cfg.effort);
-        RateControlConfig pass1_rc = pass1_cfg.rc;
-        pass1_rc.fps = source.fps();
-        pass1_rc.pixels_per_frame = rc.pixels_per_frame;
-        RateController pass1_rate(pass1_rc);
-        Sequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
-        const EncodeResult first = pass1.run();
-        if (config_.cancel &&
-            config_.cancel->load(std::memory_order_relaxed))
-            return first;  // abandoned upstream; skip the second pass
-
         PassOneStats stats;
-        stats.pass_qp = 30;
-        for (const FrameStats &f : first.frames)
-            stats.frame_bits.push_back(f.bytes * 8.0);
+        if (config_.pass_one) {
+            stats = *config_.pass_one;
+        } else {
+            const EncodeResult first = encodeFirstPass(config_, source);
+            if (config_.cancel &&
+                config_.cancel->load(std::memory_order_relaxed))
+                return first;  // abandoned upstream; skip second pass
+            stats = statsFromFirstPass(first);
+        }
 
         RateController rate(rc);
         rate.setPassOneStats(stats);
+        // With whole-clip stats, local frame indices shift by the
+        // frames already encoded; with segment-local stats the budget
+        // table starts at this segment's frame 0.
+        if (config_.rc_in)
+            rate.restore(*config_.rc_in,
+                         config_.pass_one ? config_.rc_in->frames_done : 0);
         Sequencer pass2(config_, tools_, source, rate);
         return pass2.run();
     }
 
     RateController rate(rc);
+    if (config_.rc_in)
+        rate.restore(*config_.rc_in);
     Sequencer seq(config_, tools_, source, rate);
     return seq.run();
 }

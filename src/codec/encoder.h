@@ -52,6 +52,25 @@ struct EncoderConfig {
     /// Cooperative cancellation: checked between rows and frames; a
     /// cancelled encode returns a truncated (unusable) result quickly.
     const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Split-and-stitch: force an IDR and restart the GOP phase every N
+     * source frames (<= 0 off). With the phase reset, frame k of a
+     * segment encode picks the same type as frame k of the whole-file
+     * encode, which is what makes stitched segment streams byte-equal
+     * to the whole-file closed-GOP stream (see codec/stitch.h).
+     */
+    int segment_frames = 0;
+    /// Rate-controller state carried in from the preceding segment of
+    /// a split-and-stitch chain; empty starts fresh.
+    std::optional<RcSnapshot> rc_in;
+    /**
+     * Two-pass only: whole-clip pass-1 stats collected externally (via
+     * collectPassOneStats on each segment, concatenated). When set the
+     * internal analysis pass is skipped and budget lookups are shifted
+     * by rc_in->frames_done so each segment reads its global budgets.
+     * When null, two-pass runs its own pass 1 over the given input.
+     */
+    const PassOneStats *pass_one = nullptr;
 };
 
 /** Per-frame outcome. */
@@ -67,6 +86,10 @@ struct FrameStats {
 struct EncodeResult {
     ByteBuffer stream;
     std::vector<FrameStats> frames;
+    /// Rate-controller state after the last frame — feed into the next
+    /// segment's EncoderConfig::rc_in to chain a split-and-stitch
+    /// encode.
+    RcSnapshot rc_state;
 
     size_t totalBytes() const { return stream.size(); }
 };
@@ -94,5 +117,15 @@ class Encoder
     EncoderConfig config_;
     ToolPreset tools_;
 };
+
+/**
+ * Run the two-pass analysis pass (the same fast constant-QP encode
+ * Encoder::encode runs internally) and return its per-frame stats.
+ * Segment chains concatenate the stats of every segment — pass 1 is
+ * closed-GOP constant-QP, so per-segment frame bits equal the
+ * whole-file ones — and hand the result to EncoderConfig::pass_one.
+ */
+PassOneStats collectPassOneStats(const EncoderConfig &config,
+                                 const video::Video &source);
 
 } // namespace vbench::codec

@@ -77,15 +77,19 @@ RateController::frameQp(FrameType type, int frame_index) const
       case RcMode::Abr:
         return abrQp(type);
       case RcMode::TwoPass: {
+        // Segment encodes pass local indices; the offset maps them to
+        // the budget table's frame space (global when the pass-1 stats
+        // cover the whole clip).
+        const int index = frame_index + index_offset_;
         if (budgets_.empty() ||
-            frame_index >= static_cast<int>(budgets_.size())) {
+            index >= static_cast<int>(budgets_.size())) {
             return abrQp(type);
         }
         // Translate the budget for this frame into a QP via the
         // half-bits-per-6-QP model around the pass-1 measurement.
         const double pass1_bits = std::max(
-            1.0, pass_one_.frame_bits[frame_index]);
-        const double ratio = budgets_[frame_index] / pass1_bits;
+            1.0, pass_one_.frame_bits[index]);
+        const double ratio = budgets_[index] / pass1_bits;
         double qp = pass_one_.pass_qp - 6.0 * std::log2(ratio);
         // Online correction for model error accumulated so far.
         if (planned_bits_ > 0 && spent_bits_ > 0) {
@@ -117,6 +121,26 @@ RateController::targetBits(int frame_index) const
     if (config_.mode == RcMode::Abr || config_.mode == RcMode::TwoPass)
         return config_.bitrate_bps / config_.fps;
     return 0;
+}
+
+RcSnapshot
+RateController::snapshot() const
+{
+    RcSnapshot state;
+    state.spent_bits = spent_bits_;
+    state.planned_bits = planned_bits_;
+    state.frames_done = frames_done_;
+    return state;
+}
+
+void
+RateController::restore(const RcSnapshot &state, int budget_index_offset)
+{
+    spent_bits_ = state.spent_bits;
+    planned_bits_ = state.planned_bits;
+    frames_done_ = state.frames_done;
+    index_offset_ =
+        budget_index_offset < 0 ? state.frames_done : budget_index_offset;
 }
 
 void

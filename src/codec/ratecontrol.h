@@ -52,6 +52,20 @@ struct PassOneStats {
 };
 
 /**
+ * Serializable mid-stream controller state: everything the feedback
+ * loop accumulates while encoding. Exported after a segment encode and
+ * restored into the next segment's controller, it makes a chain of
+ * independent segment encodes spend bits exactly like one whole-file
+ * encode would — the split-and-stitch pipeline's rate-control carry
+ * (see docs/SERVICE.md).
+ */
+struct RcSnapshot {
+    double spent_bits = 0;    ///< bits emitted so far
+    double planned_bits = 0;  ///< bits budgeted so far
+    int frames_done = 0;      ///< frames completed so far
+};
+
+/**
  * Frame-level rate controller. For TwoPass, feed setPassOneStats()
  * before the second pass.
  */
@@ -72,6 +86,18 @@ class RateController
     /** Target bits for a frame (0 when not bitrate-constrained). */
     double targetBits(int frame_index) const;
 
+    /** Export the accumulated feedback state (segment chaining). */
+    RcSnapshot snapshot() const;
+
+    /**
+     * Resume mid-stream from a prior segment's snapshot. Local frame
+     * indices are shifted by @p budget_index_offset when looking up
+     * two-pass budgets; pass the snapshot's frames_done when the
+     * installed PassOneStats cover the whole clip (exact chaining), or
+     * 0 when they cover only this segment. Defaults to frames_done.
+     */
+    void restore(const RcSnapshot &state, int budget_index_offset = -1);
+
   private:
     int abrQp(FrameType type) const;
 
@@ -81,6 +107,7 @@ class RateController
     double spent_bits_ = 0;
     double planned_bits_ = 0;
     int frames_done_ = 0;
+    int index_offset_ = 0;  ///< local→global frame index (segments)
     int base_qp_ = 26;
 };
 

@@ -43,6 +43,9 @@ class VbcBackend final : public EncoderBackend
         config_.tracer = tracer;
         config_.frame_threads = request.frame_threads;
         config_.cancel = request.cancel;
+        config_.segment_frames = request.segment_frames;
+        config_.rc_in = request.rc_in;
+        config_.pass_one = request.pass_one;
     }
 
     BackendEncodeResult
@@ -88,6 +91,9 @@ class NgcBackend final : public EncoderBackend
         config_.tracer = tracer;
         config_.frame_threads = request.frame_threads;
         config_.cancel = request.cancel;
+        config_.segment_frames = request.segment_frames;
+        config_.rc_in = request.rc_in;
+        config_.pass_one = request.pass_one;
     }
 
     BackendEncodeResult

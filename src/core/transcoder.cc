@@ -111,11 +111,20 @@ TranscodeRequest::validate() const
             << codec::kMinQp << ", " << codec::kMaxQp << "]";
         return err.str();
     }
+    if (segment_frames < 0) {
+        err << "segment_frames " << segment_frames
+            << " is negative (use 0 for a whole-file encode)";
+        return err.str();
+    }
+    if (pass_one && rc.mode != codec::RcMode::TwoPass) {
+        err << "pass_one stats supplied but rc mode is not two-pass";
+        return err.str();
+    }
     return std::string();
 }
 
 codec::ByteBuffer
-makeUniversalStream(const video::Video &original)
+makeUniversalStream(const video::Video &original, int segment_frames)
 {
     // High-quality single-pass intermediate: fast effort, fine
     // quantizer, so downstream transcodes see a faithful master.
@@ -124,6 +133,7 @@ makeUniversalStream(const video::Video &original)
     cfg.rc.crf = 14;
     cfg.effort = 3;
     cfg.gop = 30;
+    cfg.segment_frames = segment_frames;
     codec::Encoder encoder(cfg);
     return encoder.encode(original).stream;
 }
@@ -203,6 +213,7 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
         BackendEncodeResult enc = backend->encode(*decoded_input);
         outcome.stream = std::move(enc.encoded.stream);
         frame_stats = std::move(enc.encoded.frames);
+        outcome.rc_state = enc.encoded.rc_state;
         if (enc.modeled_seconds) {
             // Fixed-function pipeline: report the model's time, and
             // expose it as its own phase stage.

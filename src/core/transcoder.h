@@ -78,6 +78,22 @@ struct TranscodeRequest {
     /// Metrics sink. Null falls back to the global registry when
     /// VBENCH_METRICS_OUT is set, else metrics are skipped entirely.
     obs::MetricsRegistry *metrics = nullptr;
+    /**
+     * Split-and-stitch: force an IDR and restart the GOP phase every N
+     * source frames (<= 0 off). A segment encoded with this set plus
+     * `rc_in` chained from the previous segment stitches into a stream
+     * identical to the whole-file closed-GOP encode (codec/stitch.h).
+     * Hardware model backends ignore it (their silicon pipelines are
+     * driven per whole request).
+     */
+    int segment_frames = 0;
+    /// Rate-controller state carried in from the preceding segment of
+    /// a split-and-stitch chain; empty starts fresh.
+    std::optional<codec::RcSnapshot> rc_in;
+    /// Two-pass only: whole-clip pass-1 stats collected externally
+    /// (codec::collectPassOneStats / ngc::collectNgcPassOneStats per
+    /// segment, concatenated); skips the internal analysis pass.
+    const codec::PassOneStats *pass_one = nullptr;
 
     /**
      * Check the request for out-of-range knobs and inconsistent rate
@@ -103,6 +119,10 @@ struct TranscodeOutcome {
     /// Effective intra-frame wavefront width the encode ran with,
     /// after the oversubscription guard (1 = serial analysis).
     int frame_threads = 1;
+    /// Rate-controller state after the encode — feed into the next
+    /// segment's TranscodeRequest::rc_in to chain a split-and-stitch
+    /// transcode.
+    codec::RcSnapshot rc_state;
 };
 
 /**
@@ -119,9 +139,13 @@ TranscodeOutcome transcode(const codec::ByteBuffer &input,
 /**
  * Produce the "universal format" upload stream for a clip: the
  * high-quality single-pass intermediate every later transcode decodes
- * (§2.5's first pipeline stage).
+ * (§2.5's first pipeline stage). A positive `segment_frames` forces
+ * IDRs on segment boundaries so the stream can be cut into
+ * independently decodable segments with codec::splitStream (the
+ * service's ingest path).
  */
-codec::ByteBuffer makeUniversalStream(const video::Video &original);
+codec::ByteBuffer makeUniversalStream(const video::Video &original,
+                                      int segment_frames = 0);
 
 /** Build the machine-readable record of one finished transcode. */
 RunReport makeRunReport(std::string label, const TranscodeRequest &request,

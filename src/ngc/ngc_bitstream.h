@@ -6,11 +6,15 @@
  * bits, length-prefixed frame records) with an NGC magic and tool set.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "codec/bitio.h"
 #include "codec/bitstream.h"
+#include "codec/stitch.h"
 #include "ngc/ngc_types.h"
 
 namespace vbench::ngc {
@@ -73,6 +77,102 @@ parseNgcHeader(const uint8_t *data, size_t size, size_t &consumed)
     }
     consumed = 4 + (bits.bitPos() + 7) / 8;
     return header;
+}
+
+/**
+ * Concatenate NGC segment streams into one stream; same contract as
+ * codec::stitchStreams (shared geometry/tools, every segment opens
+ * with an IDR, frame records copied verbatim under a merged header).
+ */
+inline std::optional<codec::ByteBuffer>
+stitchNgcStreams(const std::vector<codec::ByteBuffer> &segments)
+{
+    if (segments.empty())
+        return std::nullopt;
+    NgcStreamHeader merged;
+    uint64_t total_frames = 0;
+    std::vector<std::pair<size_t, size_t>> bodies;
+    for (size_t s = 0; s < segments.size(); ++s) {
+        const codec::ByteBuffer &seg = segments[s];
+        size_t consumed = 0;
+        const std::optional<NgcStreamHeader> header =
+            parseNgcHeader(seg.data(), seg.size(), consumed);
+        if (!header)
+            return std::nullopt;
+        if (s == 0) {
+            merged = *header;
+        } else if (header->width != merged.width ||
+                   header->height != merged.height ||
+                   header->fps_num != merged.fps_num ||
+                   header->fps_den != merged.fps_den ||
+                   header->profile != merged.profile ||
+                   header->deblock != merged.deblock ||
+                   header->num_refs != merged.num_refs) {
+            return std::nullopt;
+        }
+        if (header->frame_count > 0) {
+            if (seg.size() < consumed + 5 ||
+                codec::frameTypeFromByte(seg[consumed + 4]) !=
+                    codec::FrameType::I)
+                return std::nullopt;
+        }
+        size_t end = 0;
+        if (!codec::detail::frameRecordExtent(seg.data(), seg.size(),
+                                              consumed,
+                                              header->frame_count, end))
+            return std::nullopt;
+        total_frames += header->frame_count;
+        bodies.emplace_back(consumed, end);
+    }
+    merged.frame_count = static_cast<uint32_t>(total_frames);
+    codec::ByteBuffer out;
+    writeNgcHeader(out, merged);
+    for (size_t s = 0; s < segments.size(); ++s)
+        out.insert(out.end(), segments[s].begin() + bodies[s].first,
+                   segments[s].begin() + bodies[s].second);
+    return out;
+}
+
+/**
+ * Cut a closed-GOP NGC stream into segment streams of
+ * `segment_frames` frames; inverse of stitchNgcStreams, same contract
+ * as codec::splitStream.
+ */
+inline std::optional<std::vector<codec::ByteBuffer>>
+splitNgcStream(const codec::ByteBuffer &stream, int segment_frames)
+{
+    if (segment_frames <= 0)
+        return std::nullopt;
+    size_t offset = 0;
+    const std::optional<NgcStreamHeader> header =
+        parseNgcHeader(stream.data(), stream.size(), offset);
+    if (!header)
+        return std::nullopt;
+    std::vector<codec::ByteBuffer> segments;
+    uint32_t done = 0;
+    while (done < header->frame_count) {
+        const uint32_t take = std::min(
+            static_cast<uint32_t>(segment_frames),
+            header->frame_count - done);
+        if (stream.size() < offset + 5 ||
+            codec::frameTypeFromByte(stream[offset + 4]) !=
+                codec::FrameType::I)
+            return std::nullopt;
+        size_t end = 0;
+        if (!codec::detail::frameRecordExtent(stream.data(), stream.size(),
+                                              offset, take, end))
+            return std::nullopt;
+        NgcStreamHeader seg_header = *header;
+        seg_header.frame_count = take;
+        codec::ByteBuffer seg;
+        writeNgcHeader(seg, seg_header);
+        seg.insert(seg.end(), stream.begin() + offset,
+                   stream.begin() + end);
+        segments.push_back(std::move(seg));
+        offset = end;
+        done += take;
+    }
+    return segments;
 }
 
 } // namespace vbench::ngc

@@ -362,23 +362,38 @@ std::optional<Video>
 ngcDecode(const uint8_t *data, size_t size, const NgcDecoderConfig &config)
 {
     size_t offset = 0;
-    const auto header = parseNgcHeader(data, size, offset);
+    auto header = parseNgcHeader(data, size, offset);
     if (!header)
         return std::nullopt;
 
     Video out(header->width, header->height, header->fps());
-    NgcDecoderState state(*header, config.probe);
 
-    for (uint32_t i = 0; i < header->frame_count; ++i) {
-        if (offset + 4 > size)
+    // Outer loop: decode this stream, then — split-and-stitch concat
+    // support — continue into any back-to-back stream that follows.
+    // Trailing bytes that are not a stream header are still ignored.
+    while (true) {
+        NgcDecoderState state(*header, config.probe);
+        for (uint32_t i = 0; i < header->frame_count; ++i) {
+            if (offset + 4 > size)
+                return std::nullopt;
+            const uint32_t payload_len = codec::readU32(data + offset);
+            offset += 4;
+            if (payload_len == 0 || offset + payload_len > size)
+                return std::nullopt;
+            if (!state.decodeFrame(data + offset, payload_len, out))
+                return std::nullopt;
+            offset += payload_len;
+        }
+        if (size - offset < 4 ||
+            std::memcmp(data + offset, kNgcMagic, 4) != 0)
+            break;
+        size_t consumed = 0;
+        header = parseNgcHeader(data + offset, size - offset, consumed);
+        if (!header)
             return std::nullopt;
-        const uint32_t payload_len = codec::readU32(data + offset);
-        offset += 4;
-        if (payload_len == 0 || offset + payload_len > size)
+        if (header->width != out.width() || header->height != out.height())
             return std::nullopt;
-        if (!state.decodeFrame(data + offset, payload_len, out))
-            return std::nullopt;
-        offset += payload_len;
+        offset += consumed;
     }
     return out;
 }

@@ -234,6 +234,7 @@ class NgcSequencer
                 tracer_->addFrame(obs::Track::NgcEncode, i, frame_start,
                                   obs::nowNs(), accum_);
         }
+        result.rc_state = rate_.snapshot();
         return result;
     }
 
@@ -259,9 +260,14 @@ class NgcSequencer
     FrameType
     frameTypeFor(int index) const
     {
-        if (index == 0)
+        // Segment boundaries restart the GOP phase (split-and-stitch
+        // contract, see codec::EncoderConfig::segment_frames).
+        const int phase = config_.segment_frames > 0
+            ? index % config_.segment_frames
+            : index;
+        if (phase == 0)
             return FrameType::I;
-        if (config_.gop > 0 && index % config_.gop == 0)
+        if (config_.gop > 0 && phase % config_.gop == 0)
             return FrameType::I;
         return FrameType::P;
     }
@@ -1007,6 +1013,45 @@ class NgcSequencer
 
 NgcEncoder::NgcEncoder(const NgcConfig &config) : config_(config) {}
 
+namespace {
+
+/** First pass: fast speed, fixed quantizer, gather complexity. */
+EncodeResult
+ngcEncodeFirstPass(const NgcConfig &config, const video::Video &source)
+{
+    NgcConfig pass1_cfg = config;
+    pass1_cfg.speed = 2;
+    pass1_cfg.rc.mode = codec::RcMode::Cqp;
+    pass1_cfg.rc.qp = 30;
+    pass1_cfg.rc.fps = source.fps();
+    pass1_cfg.rc.pixels_per_frame =
+        static_cast<double>(source.pixelsPerFrame());
+    pass1_cfg.rc_in.reset();
+    pass1_cfg.pass_one = nullptr;
+    RateController pass1_rate(pass1_cfg.rc);
+    const NgcTools pass1_tools = toolsFor(config.profile, 2);
+    NgcSequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
+    return pass1.run();
+}
+
+codec::PassOneStats
+ngcStatsFromFirstPass(const EncodeResult &first)
+{
+    codec::PassOneStats stats;
+    stats.pass_qp = 30;
+    for (const FrameStats &f : first.frames)
+        stats.frame_bits.push_back(f.bytes * 8.0);
+    return stats;
+}
+
+} // namespace
+
+codec::PassOneStats
+collectNgcPassOneStats(const NgcConfig &config, const video::Video &source)
+{
+    return ngcStatsFromFirstPass(ngcEncodeFirstPass(config, source));
+}
+
 EncodeResult
 NgcEncoder::encode(const video::Video &source)
 {
@@ -1017,33 +1062,32 @@ NgcEncoder::encode(const video::Video &source)
     const NgcTools tools = toolsFor(config_.profile, config_.speed);
 
     if (rc.mode == codec::RcMode::TwoPass) {
-        NgcConfig pass1_cfg = config_;
-        pass1_cfg.speed = 2;
-        pass1_cfg.rc.mode = codec::RcMode::Cqp;
-        pass1_cfg.rc.qp = 30;
-        codec::RateControlConfig pass1_rc = pass1_cfg.rc;
-        pass1_rc.fps = source.fps();
-        pass1_rc.pixels_per_frame = rc.pixels_per_frame;
-        RateController pass1_rate(pass1_rc);
-        const NgcTools pass1_tools = toolsFor(config_.profile, 2);
-        NgcSequencer pass1(pass1_cfg, pass1_tools, source, pass1_rate);
-        const EncodeResult first = pass1.run();
-        if (config_.cancel &&
-            config_.cancel->load(std::memory_order_relaxed))
-            return first;  // abandoned upstream; skip the second pass
-
         codec::PassOneStats stats;
-        stats.pass_qp = 30;
-        for (const FrameStats &f : first.frames)
-            stats.frame_bits.push_back(f.bytes * 8.0);
+        if (config_.pass_one) {
+            stats = *config_.pass_one;
+        } else {
+            const EncodeResult first =
+                ngcEncodeFirstPass(config_, source);
+            if (config_.cancel &&
+                config_.cancel->load(std::memory_order_relaxed))
+                return first;  // abandoned upstream; skip second pass
+            stats = ngcStatsFromFirstPass(first);
+        }
 
         RateController rate(rc);
         rate.setPassOneStats(stats);
+        // Whole-clip stats shift local indices by frames already
+        // encoded; segment-local stats index from this segment's 0.
+        if (config_.rc_in)
+            rate.restore(*config_.rc_in,
+                         config_.pass_one ? config_.rc_in->frames_done : 0);
         NgcSequencer pass2(config_, tools, source, rate);
         return pass2.run();
     }
 
     RateController rate(rc);
+    if (config_.rc_in)
+        rate.restore(*config_.rc_in);
     NgcSequencer seq(config_, tools, source, rate);
     return seq.run();
 }

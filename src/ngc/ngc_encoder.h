@@ -43,6 +43,16 @@ struct NgcConfig {
     /// Cooperative cancellation: checked between rows and frames; a
     /// cancelled encode returns a truncated (unusable) result quickly.
     const std::atomic<bool> *cancel = nullptr;
+    /// Split-and-stitch: force an IDR and restart the GOP phase every
+    /// N source frames (<= 0 off). Same contract as
+    /// codec::EncoderConfig::segment_frames.
+    int segment_frames = 0;
+    /// Rate-controller state carried in from the preceding segment of
+    /// a split-and-stitch chain; empty starts fresh.
+    std::optional<codec::RcSnapshot> rc_in;
+    /// Two-pass only: whole-clip pass-1 stats collected externally;
+    /// same contract as codec::EncoderConfig::pass_one.
+    const codec::PassOneStats *pass_one = nullptr;
 };
 
 /**
@@ -59,5 +69,13 @@ class NgcEncoder
   private:
     NgcConfig config_;
 };
+
+/**
+ * Run the NGC two-pass analysis pass and return its per-frame stats;
+ * segment chains concatenate per-segment stats into the whole-clip
+ * table handed to NgcConfig::pass_one (see codec::collectPassOneStats).
+ */
+codec::PassOneStats collectNgcPassOneStats(const NgcConfig &config,
+                                           const video::Video &source);
 
 } // namespace vbench::ngc

@@ -73,12 +73,18 @@ Histogram::mean() const noexcept
 double
 Histogram::percentile(double p) const noexcept
 {
+    return valueAtQuantile(std::clamp(p, 0.0, 100.0) / 100.0);
+}
+
+double
+Histogram::valueAtQuantile(double q) const noexcept
+{
     const uint64_t n = count();
     if (n == 0)
         return 0.0;
-    p = std::clamp(p, 0.0, 100.0);
-    // Rank in [1, n] of the sample at percentile p.
-    const double rank = p / 100.0 * (static_cast<double>(n) - 1.0) + 1.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank in [1, n] of the sample at quantile q.
+    const double rank = q * (static_cast<double>(n) - 1.0) + 1.0;
     uint64_t cum = 0;
     for (int i = 0; i < kNumBuckets; ++i) {
         const uint64_t c = buckets_[i].load(std::memory_order_relaxed);

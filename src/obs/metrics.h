@@ -69,6 +69,15 @@ class Histogram
     double percentile(double p) const noexcept;
 
     /**
+     * Estimated value at quantile q (0..1): valueAtQuantile(0.99) is
+     * p99. Same estimator as percentile() — rank q*(n-1)+1 located in
+     * the covering bucket, linearly interpolated across the bucket's
+     * [lo, hi) value range — so a quantile that falls entirely inside
+     * one bucket is exact at the bucket's resolution. 0 when empty.
+     */
+    double valueAtQuantile(double q) const noexcept;
+
+    /**
      * Fold another histogram's samples into this one (bucket-wise
      * addition). Lock-free on both sides; concurrent observe() calls
      * on either histogram are safe but may or may not be included.

@@ -1,0 +1,135 @@
+#pragma once
+
+/**
+ * @file
+ * Bounded admission queue with deadline-aware dispatch: the front door
+ * of the transcoding service (docs/SERVICE.md).
+ *
+ * Requests are admitted with an optional absolute deadline. Dispatch
+ * is earliest-deadline-first among deadline-carrying entries (Live),
+ * FIFO among the rest — and a deadline always outranks no deadline,
+ * because the FIFO classes (Upload/VoD/Popular) only lose throughput
+ * to waiting while Live loses its SLA. A full queue rejects at offer()
+ * time: the caller sheds the request and counts the drop instead of
+ * building an unbounded backlog it can never serve in time.
+ *
+ * Header-only and codec-free on purpose: the TSan lane rebuilds the
+ * service's concurrency substrate from source (tests/CMakeLists.txt),
+ * which stays cheap only while this file pulls in no pixel code.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+
+namespace vbench::service {
+
+/** One queued admission ticket. */
+struct Admitted {
+    /// Caller-chosen key (the service uses the request id).
+    uint64_t key = 0;
+    /// Absolute deadline on the service clock, seconds. Infinity
+    /// (the default) means "no deadline": dispatched FIFO, after any
+    /// deadline-carrying entry.
+    double deadline_s = std::numeric_limits<double>::infinity();
+    /// Admission order, assigned by the queue (FIFO tie-break).
+    uint64_t seq = 0;
+};
+
+/**
+ * Thread-safe bounded admission queue. offer() never blocks — a full
+ * queue is a shed, not backpressure — and poll() never waits.
+ */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(size_t capacity)
+        : capacity_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    /**
+     * Try to admit. Returns false (and counts the shed) when the
+     * queue is at capacity.
+     */
+    bool
+    offer(uint64_t key,
+          double deadline_s = std::numeric_limits<double>::infinity())
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++offered_;
+        if (items_.size() >= capacity_) {
+            ++shed_;
+            return false;
+        }
+        Admitted item;
+        item.key = key;
+        item.deadline_s = deadline_s;
+        item.seq = next_seq_++;
+        items_.push_back(item);
+        return true;
+    }
+
+    /**
+     * Pop the next ticket: earliest finite deadline first, then FIFO.
+     * Empty optional when the queue is empty.
+     */
+    std::optional<Admitted>
+    poll()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (items_.empty())
+            return std::nullopt;
+        size_t best = 0;
+        for (size_t i = 1; i < items_.size(); ++i) {
+            const Admitted &a = items_[i];
+            const Admitted &b = items_[best];
+            if (a.deadline_s < b.deadline_s ||
+                (a.deadline_s == b.deadline_s && a.seq < b.seq))
+                best = i;
+        }
+        Admitted item = items_[best];
+        items_.erase(items_.begin() +
+                     static_cast<std::deque<Admitted>::difference_type>(
+                         best));
+        return item;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Total offer() calls (admitted + shed). */
+    uint64_t
+    offered() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return offered_;
+    }
+
+    /** Requests rejected because the queue was full. */
+    uint64_t
+    shed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return shed_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::deque<Admitted> items_;
+    uint64_t next_seq_ = 0;
+    uint64_t offered_ = 0;
+    uint64_t shed_ = 0;
+};
+
+} // namespace vbench::service

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Split-and-stitch segment pipeline: cut a clip into closed-GOP
+ * segments, encode each independently (chaining rate-controller state
+ * across the cuts), and stitch the segment bitstreams back into one
+ * stream. The result is byte-identical to the whole-file closed-GOP
+ * encode for every rate-control mode — the proof obligation behind the
+ * service's segment-level scheduling (docs/SERVICE.md).
+ */
+
+#include <string>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "codec/types.h"
+#include "ngc/ngc_encoder.h"
+#include "video/video.h"
+
+namespace vbench::service {
+
+/**
+ * Cut a clip into segments of `segment_frames` frames (last may be
+ * shorter). Frames are copied; each segment keeps the source geometry
+ * and frame rate.
+ */
+std::vector<video::Video> splitVideo(const video::Video &source,
+                                     int segment_frames);
+
+/** Outcome of a segmented encode chain. */
+struct SegmentedEncodeResult {
+    std::vector<codec::ByteBuffer> segments;  ///< per-segment streams
+    codec::ByteBuffer stitched;               ///< concatenated stream
+    bool ok = false;
+    std::string error;
+};
+
+/**
+ * Encode a clip as an independently-encoded segment chain with VBC
+ * and stitch the result. `base.segment_frames` is overwritten with
+ * @p segment_frames; rate-controller state is chained across segments
+ * via RcSnapshot, and two-pass runs the analysis pass per segment and
+ * concatenates the stats into the whole-clip table, so the stitched
+ * stream is byte-identical to `Encoder::encode` of the whole clip with
+ * the same config.
+ */
+SegmentedEncodeResult encodeSegmentedVbc(const codec::EncoderConfig &base,
+                                         const video::Video &source,
+                                         int segment_frames);
+
+/** NGC flavor of encodeSegmentedVbc; same exactness contract. */
+SegmentedEncodeResult encodeSegmentedNgc(const ngc::NgcConfig &base,
+                                         const video::Video &source,
+                                         int segment_frames);
+
+} // namespace vbench::service

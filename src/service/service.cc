@@ -1,0 +1,309 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "codec/stitch.h"
+#include "core/transcoder.h"
+#include "ngc/ngc_bitstream.h"
+#include "obs/clock.h"
+#include "sched/scheduler.h"
+#include "service/admission.h"
+#include "video/video.h"
+
+namespace vbench::service {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Rate-control modes whose controller state crosses segment
+ * boundaries. Chained rungs submit segment k+1 only after segment k
+ * returned its RcSnapshot; constant-quality rungs fan out at once.
+ */
+bool
+isChained(const core::TranscodeRequest &request)
+{
+    return request.rc.mode == codec::RcMode::Abr ||
+        request.rc.mode == codec::RcMode::TwoPass;
+}
+
+std::optional<codec::ByteBuffer>
+stitchForKind(core::EncoderKind kind,
+              std::vector<codec::ByteBuffer> streams)
+{
+    switch (kind) {
+      case core::EncoderKind::Vbc:
+        return codec::stitchStreams(streams);
+      case core::EncoderKind::NgcHevc:
+      case core::EncoderKind::NgcVp9:
+        return ngc::stitchNgcStreams(streams);
+      default:
+        // Hardware model backends are driven per whole request; the
+        // single stream passes through unstitched.
+        if (streams.size() == 1)
+            return std::move(streams[0]);
+        return std::nullopt;
+    }
+}
+
+/** One ladder rung's segment chain while the request is active. */
+struct RungRun {
+    std::string name;
+    core::TranscodeRequest tmpl;
+    bool chained = false;
+    int next_submit = 0;  ///< first segment not yet submitted
+    int done = 0;         ///< segments completed
+    bool failed = false;  ///< any segment transcode failed
+    std::optional<codec::RcSnapshot> carry;
+    std::vector<codec::ByteBuffer> streams;  ///< by segment
+    std::vector<sched::JobHandle> handles;   ///< by segment
+    std::vector<double> avail;  ///< availability time per segment
+};
+
+/** A request between admission and completion. */
+struct ActiveRequest {
+    const ServiceRequest *req = nullptr;
+    int segments = 0;
+    std::vector<RungRun> rungs;
+};
+
+} // namespace
+
+TranscodeService::TranscodeService(const ServiceConfig &config,
+                                   const Corpus &corpus)
+    : config_(config), corpus_(corpus)
+{
+}
+
+ServiceResult
+TranscodeService::run(const std::vector<ServiceRequest> &workload)
+{
+    ServiceResult out;
+
+    std::vector<const ServiceRequest *> pending;
+    std::map<uint64_t, const ServiceRequest *> by_id;
+    for (const ServiceRequest &req : workload) {
+        if (req.clip >= corpus_.clips.size() || req.rungs.empty())
+            continue;
+        pending.push_back(&req);
+        by_id[req.id] = &req;
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const ServiceRequest *a, const ServiceRequest *b) {
+                  return a->arrival_s != b->arrival_s
+                      ? a->arrival_s < b->arrival_s
+                      : a->id < b->id;
+              });
+
+    sched::SchedulerConfig sched_config;
+    sched_config.workers = config_.workers;
+    sched_config.queue_capacity = config_.queue_capacity;
+    sched_config.merge_metrics = config_.metrics;
+    sched::Scheduler scheduler(sched_config);
+
+    // Keep submitted-but-unfinished jobs under workers + queue slots so
+    // Scheduler::submit() never blocks the dispatcher.
+    const size_t inflight_cap = static_cast<size_t>(scheduler.workers()) +
+        scheduler.queueCapacity();
+    const size_t max_active = config_.max_active_requests > 0
+        ? config_.max_active_requests
+        : static_cast<size_t>(scheduler.workers()) + 2;
+
+    AdmissionQueue admission(config_.admission_capacity);
+    SlaScorer scorer;
+    std::map<uint64_t, ActiveRequest> active;
+
+    // Segment inputs when the corpus was pre-cut, the whole clip as a
+    // single "segment" otherwise (segmenting off, or splitStream
+    // declined the stream).
+    const auto segInput = [](const CorpusClip &clip, int k) {
+        return clip.seg_universal.empty()
+            ? clip.universal
+            : clip.seg_universal[static_cast<size_t>(k)];
+    };
+    const auto segOriginal = [](const CorpusClip &clip, int k) {
+        return clip.seg_original.empty()
+            ? clip.original
+            : clip.seg_original[static_cast<size_t>(k)];
+    };
+
+    const double t0 = obs::nowSeconds();
+    size_t next_arrival = 0;
+    size_t inflight = 0;
+
+    while (out.completed + out.dropped < pending.size()) {
+        const double now = obs::nowSeconds() - t0;
+
+        // Arrivals due by now enter the bounded admission queue; a
+        // full queue sheds the request (load shedding, not blocking).
+        while (next_arrival < pending.size() &&
+               pending[next_arrival]->arrival_s <= now) {
+            const ServiceRequest *req = pending[next_arrival++];
+            scorer.recordArrival(req->scenario);
+            const double deadline = req->live_paced
+                ? req->arrival_s + req->segment_deadline_s
+                : kInf;
+            if (admission.offer(req->id, deadline)) {
+                ++out.admitted;
+            } else {
+                scorer.recordDrop(req->scenario);
+                ++out.dropped;
+            }
+        }
+
+        // Admit queued requests (earliest finite deadline first, FIFO
+        // otherwise) up to the active-request cap.
+        while (active.size() < max_active) {
+            const std::optional<Admitted> next = admission.poll();
+            if (!next)
+                break;
+            const ServiceRequest *req = by_id[next->key];
+            const CorpusClip &clip = corpus_.clips[req->clip];
+            ActiveRequest ar;
+            ar.req = req;
+            ar.segments = std::max(1, clip.segmentCount());
+            for (const RungSpec &spec : req->rungs) {
+                RungRun rr;
+                rr.name = spec.name;
+                rr.tmpl = spec.request;
+                rr.tmpl.segment_frames =
+                    clip.segmentCount() > 0 ? corpus_.segment_frames : 0;
+                rr.chained = isChained(rr.tmpl);
+                rr.streams.resize(static_cast<size_t>(ar.segments));
+                rr.handles.resize(static_cast<size_t>(ar.segments));
+                rr.avail.resize(static_cast<size_t>(ar.segments), 0.0);
+                ar.rungs.push_back(std::move(rr));
+            }
+            active.emplace(req->id, std::move(ar));
+        }
+
+        // Submit every segment that is ready: chained rungs wait for
+        // the previous segment's RcSnapshot, Live requests wait for
+        // the segment to exist (the stream is still being produced).
+        for (auto &[id, ar] : active) {
+            const ServiceRequest &req = *ar.req;
+            const CorpusClip &clip = corpus_.clips[req.clip];
+            const double seg_duration = clip.segmentCount() > 0
+                ? corpus_.segment_frames / clip.spec.fps
+                : clip.original->duration();
+            for (RungRun &rr : ar.rungs) {
+                while (rr.next_submit < ar.segments &&
+                       inflight < inflight_cap) {
+                    const int k = rr.next_submit;
+                    if (rr.chained && k > rr.done)
+                        break;
+                    const double avail = req.live_paced
+                        ? req.arrival_s + k * seg_duration
+                        : req.arrival_s;
+                    if (req.live_paced &&
+                        obs::nowSeconds() - t0 < avail)
+                        break;
+                    sched::TranscodeJob job;
+                    job.label = "svc." + std::to_string(req.id) + "." +
+                        rr.name + ".s" + std::to_string(k);
+                    job.input = segInput(clip, k);
+                    job.original = segOriginal(clip, k);
+                    job.request = rr.tmpl;
+                    if (rr.chained && k > 0)
+                        job.request.rc_in = rr.carry;
+                    rr.avail[static_cast<size_t>(k)] = avail;
+                    rr.handles[static_cast<size_t>(k)] =
+                        scheduler.submit(std::move(job));
+                    ++inflight;
+                    ++rr.next_submit;
+                }
+            }
+        }
+
+        // Collect completions and score them against the SLA.
+        std::vector<uint64_t> finished;
+        for (auto &[id, ar] : active) {
+            const ServiceRequest &req = *ar.req;
+            const CorpusClip &clip = corpus_.clips[req.clip];
+            for (RungRun &rr : ar.rungs) {
+                for (int k = 0; k < rr.next_submit; ++k) {
+                    sched::JobHandle &handle =
+                        rr.handles[static_cast<size_t>(k)];
+                    if (!handle.valid() || !handle.finished())
+                        continue;
+                    const sched::JobResult &jr = handle.wait();
+                    const double done_at = obs::nowSeconds() - t0;
+                    const double latency =
+                        done_at - rr.avail[static_cast<size_t>(k)];
+                    const bool hit = req.live_paced
+                        ? latency <= req.segment_deadline_s
+                        : done_at <=
+                            req.arrival_s + req.request_deadline_s;
+                    scorer.recordSegment(req.scenario, latency, hit,
+                                         segOriginal(clip, k)
+                                             ->totalPixels(),
+                                         jr.ok());
+                    if (jr.ok()) {
+                        rr.streams[static_cast<size_t>(k)] =
+                            jr.outcome.stream;
+                        if (rr.chained)
+                            rr.carry = jr.outcome.rc_state;
+                    } else {
+                        rr.failed = true;
+                        // Unblock the chain: later segments start
+                        // fresh rather than never running.
+                        if (rr.chained)
+                            rr.carry.reset();
+                    }
+                    handle = sched::JobHandle();
+                    ++rr.done;
+                    --inflight;
+                }
+            }
+
+            bool all_done = true;
+            for (const RungRun &rr : ar.rungs)
+                all_done = all_done && rr.done == ar.segments;
+            if (!all_done)
+                continue;
+
+            bool any_failed = false;
+            for (RungRun &rr : ar.rungs) {
+                if (rr.failed) {
+                    any_failed = true;
+                    ++out.stitch_failures;
+                    continue;
+                }
+                if (stitchForKind(rr.tmpl.kind, std::move(rr.streams)))
+                    ++out.stitched_rungs;
+                else
+                    ++out.stitch_failures;
+            }
+            if (any_failed)
+                ++out.failed_requests;
+            ++out.completed;
+            finished.push_back(id);
+        }
+        for (uint64_t id : finished)
+            active.erase(id);
+
+        if (finished.empty())
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                config_.poll_interval_s));
+    }
+
+    out.wall_seconds = obs::nowSeconds() - t0;
+    scheduler.mergeObsShards();
+    out.sla = scorer.report(out.wall_seconds);
+    if (config_.metrics)
+        scorer.exportMetrics(*config_.metrics);
+    scorer.emitRunReports(out.sla);
+    return out;
+}
+
+} // namespace vbench::service

@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * The request-driven transcoding service (docs/SERVICE.md): admission
+ * control in front of the sched::Scheduler worker pool, segment-level
+ * split-and-stitch dispatch, and SLA scoring.
+ *
+ * One dispatcher loop plays the timed workload against the real clock:
+ * arrivals enter the bounded AdmissionQueue (full queue = shed request
+ * + drop counter), admitted requests are dispatched
+ * earliest-deadline-first for Live and FIFO otherwise, and each
+ * segment becomes one TranscodeJob on the scheduler pool. Bitrate-
+ * controlled rungs encode their segments as a chain (RcSnapshot
+ * carried segment to segment); constant-quality rungs fan all
+ * segments out at once. Finished rungs stitch their segment streams
+ * into the delivery stream. Frame-thread requests are left at 0 so
+ * sched::decideFrameThreads() composes the wavefront width with the
+ * pool's job-level parallelism.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "service/sla.h"
+#include "service/workload.h"
+
+namespace vbench::service {
+
+/** Service sizing. Zeros mean "pick the sane default". */
+struct ServiceConfig {
+    /// Scheduler worker threads; <= 0 uses the scheduler default
+    /// (VBENCH_JOBS or hardware concurrency).
+    int workers = 0;
+    /// Scheduler job-queue capacity; 0 uses 2 × workers.
+    size_t queue_capacity = 0;
+    /// Admission queue capacity: requests waiting for dispatch beyond
+    /// this are shed (load shedding, not backpressure).
+    size_t admission_capacity = 32;
+    /// Requests being actively transcoded at once; 0 uses
+    /// workers + 2.
+    size_t max_active_requests = 0;
+    /// Dispatcher poll interval, seconds.
+    double poll_interval_s = 0.0005;
+    /// Metrics sink for service counters, SLA histograms, and the
+    /// scheduler's merged worker shards. Null disables.
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/** What a service run produced. */
+struct ServiceResult {
+    SlaReport sla;
+    uint64_t admitted = 0;
+    uint64_t dropped = 0;          ///< requests shed at admission
+    uint64_t completed = 0;        ///< requests with all segments done
+    uint64_t failed_requests = 0;  ///< completed but ≥1 segment failed
+    uint64_t stitched_rungs = 0;   ///< rungs whose segments stitched
+    uint64_t stitch_failures = 0;
+    double wall_seconds = 0;
+};
+
+/**
+ * The service. Owns nothing between runs; run() spins up a scheduler
+ * pool, plays the workload in real time, and tears down.
+ */
+class TranscodeService
+{
+  public:
+    TranscodeService(const ServiceConfig &config, const Corpus &corpus);
+
+    /**
+     * Play a timed workload (sorted or not — it is sorted by arrival
+     * internally) against the wall clock and return the scorecard.
+     * Emits per-scenario run reports (VBENCH_METRICS_OUT) and exports
+     * metrics into ServiceConfig::metrics before returning.
+     */
+    ServiceResult run(const std::vector<ServiceRequest> &workload);
+
+  private:
+    ServiceConfig config_;
+    const Corpus &corpus_;
+};
+
+} // namespace vbench::service

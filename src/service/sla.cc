@@ -1,0 +1,144 @@
+#include "service/sla.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/report.h"
+
+namespace vbench::service {
+
+namespace {
+
+uint64_t
+toMicros(double seconds)
+{
+    return seconds <= 0
+        ? 0
+        : static_cast<uint64_t>(std::llround(seconds * 1e6));
+}
+
+} // namespace
+
+void
+SlaScorer::recordArrival(core::Scenario scenario)
+{
+    ++scenarios_[static_cast<size_t>(scenario)].requests;
+}
+
+void
+SlaScorer::recordDrop(core::Scenario scenario)
+{
+    ++scenarios_[static_cast<size_t>(scenario)].dropped;
+}
+
+void
+SlaScorer::recordSegment(core::Scenario scenario, double latency_s,
+                         bool hit, uint64_t pixels, bool ok)
+{
+    PerScenario &s = scenarios_[static_cast<size_t>(scenario)];
+    ++s.segments;
+    s.latency_us.observe(toMicros(latency_s));
+    if (!ok) {
+        ++s.failed;
+        return;
+    }
+    if (hit) {
+        ++s.hits;
+        s.ontime_pixels += pixels;
+    }
+}
+
+SlaReport
+SlaScorer::report(double wall_seconds) const
+{
+    SlaReport report;
+    report.wall_seconds = wall_seconds;
+    uint64_t total_hits = 0;
+    uint64_t total_ontime_pixels = 0;
+    for (int i = 0; i < core::kNumScenarios; ++i) {
+        const PerScenario &s = scenarios_[static_cast<size_t>(i)];
+        if (s.requests == 0 && s.segments == 0)
+            continue;
+        ScenarioScore score;
+        score.scenario = static_cast<core::Scenario>(i);
+        score.requests = s.requests;
+        score.dropped = s.dropped;
+        score.segments = s.segments;
+        score.failed = s.failed;
+        score.p50_ms = s.latency_us.valueAtQuantile(0.50) / 1e3;
+        score.p95_ms = s.latency_us.valueAtQuantile(0.95) / 1e3;
+        score.p99_ms = s.latency_us.valueAtQuantile(0.99) / 1e3;
+        score.hit_rate = s.segments > 0
+            ? static_cast<double>(s.hits) / static_cast<double>(s.segments)
+            : 1.0;
+        score.goodput_mpix_s = wall_seconds > 0
+            ? static_cast<double>(s.ontime_pixels) / wall_seconds / 1e6
+            : 0.0;
+        score.drop_rate = s.requests > 0
+            ? static_cast<double>(s.dropped) /
+                static_cast<double>(s.requests)
+            : 0.0;
+        report.scenarios.push_back(score);
+        report.total_requests += s.requests;
+        report.total_dropped += s.dropped;
+        report.total_segments += s.segments;
+        total_hits += s.hits;
+        total_ontime_pixels += s.ontime_pixels;
+    }
+    report.overall_hit_rate = report.total_segments > 0
+        ? static_cast<double>(total_hits) /
+            static_cast<double>(report.total_segments)
+        : 1.0;
+    report.overall_goodput_mpix_s = wall_seconds > 0
+        ? static_cast<double>(total_ontime_pixels) / wall_seconds / 1e6
+        : 0.0;
+    return report;
+}
+
+void
+SlaScorer::exportMetrics(obs::MetricsRegistry &metrics) const
+{
+    for (int i = 0; i < core::kNumScenarios; ++i) {
+        const PerScenario &s = scenarios_[static_cast<size_t>(i)];
+        if (s.requests == 0 && s.segments == 0)
+            continue;
+        const std::string name =
+            core::toString(static_cast<core::Scenario>(i));
+        metrics.counter("service.requests." + name).add(s.requests);
+        metrics.counter("service.dropped." + name).add(s.dropped);
+        metrics.counter("service.segments." + name).add(s.segments);
+        metrics.counter("service.segments_failed." + name).add(s.failed);
+        metrics.counter("service.deadline_hits." + name).add(s.hits);
+        metrics.histogram("service.segment_latency_us." + name)
+            .mergeFrom(s.latency_us);
+    }
+}
+
+void
+SlaScorer::emitRunReports(const SlaReport &report) const
+{
+    for (const ScenarioScore &score : report.scenarios) {
+        core::RunReport run;
+        run.label =
+            std::string("service.") + core::toString(score.scenario);
+        run.backend = "service";
+        run.seconds = report.wall_seconds;
+        run.extra.emplace_back("requests",
+                               static_cast<double>(score.requests));
+        run.extra.emplace_back("dropped",
+                               static_cast<double>(score.dropped));
+        run.extra.emplace_back("segments",
+                               static_cast<double>(score.segments));
+        run.extra.emplace_back("failed",
+                               static_cast<double>(score.failed));
+        run.extra.emplace_back("p50_ms", score.p50_ms);
+        run.extra.emplace_back("p95_ms", score.p95_ms);
+        run.extra.emplace_back("p99_ms", score.p99_ms);
+        run.extra.emplace_back("hit_rate", score.hit_rate);
+        run.extra.emplace_back("goodput_mpix_s", score.goodput_mpix_s);
+        run.extra.emplace_back("drop_rate", score.drop_rate);
+        core::emitRunReport(run);
+    }
+}
+
+} // namespace vbench::service

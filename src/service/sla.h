@@ -1,0 +1,102 @@
+#pragma once
+
+/**
+ * @file
+ * SLA scoring for the transcoding service: per-scenario segment
+ * latency quantiles (p50/p95/p99 via obs::Histogram::valueAtQuantile),
+ * deadline hit-rate, goodput (pixels of on-time, successful output per
+ * wall second), and dropped-request rate. Scores export into an
+ * obs::MetricsRegistry and emit one obs run report per scenario
+ * (VBENCH_METRICS_OUT).
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+
+namespace vbench::service {
+
+/** Scored SLA summary for one scenario. */
+struct ScenarioScore {
+    core::Scenario scenario = core::Scenario::Upload;
+    uint64_t requests = 0;  ///< arrivals (admitted + dropped)
+    uint64_t dropped = 0;   ///< shed at admission
+    uint64_t segments = 0;  ///< segment transcodes completed
+    uint64_t failed = 0;    ///< segments whose transcode failed
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    /// Deadline hits / completed segments (1 when nothing completed).
+    double hit_rate = 1.0;
+    /// Megapixels of on-time, successful output per wall second.
+    double goodput_mpix_s = 0;
+    /// Dropped / arrived requests (0 when nothing arrived).
+    double drop_rate = 0;
+};
+
+/** Full service scorecard. */
+struct SlaReport {
+    std::vector<ScenarioScore> scenarios;  ///< only scenarios with traffic
+    double wall_seconds = 0;
+    uint64_t total_requests = 0;
+    uint64_t total_dropped = 0;
+    uint64_t total_segments = 0;
+    double overall_hit_rate = 1.0;
+    double overall_goodput_mpix_s = 0;
+};
+
+/**
+ * Accumulates service events and turns them into an SlaReport. Driven
+ * from the service's single dispatcher thread; not thread-safe.
+ */
+class SlaScorer
+{
+  public:
+    void recordArrival(core::Scenario scenario);
+    void recordDrop(core::Scenario scenario);
+
+    /**
+     * One finished segment transcode.
+     * @param latency_s completion minus availability (Live) or arrival.
+     * @param hit       finished within its deadline.
+     * @param pixels    luma pixels of the segment's output.
+     * @param ok        the transcode succeeded.
+     */
+    void recordSegment(core::Scenario scenario, double latency_s, bool hit,
+                       uint64_t pixels, bool ok);
+
+    /** Build the scorecard for a run that took `wall_seconds`. */
+    SlaReport report(double wall_seconds) const;
+
+    /**
+     * Export counters (service.requests.*, service.dropped.*, ...) and
+     * the per-scenario latency histograms
+     * (service.segment_latency_us.*) into a metrics registry.
+     */
+    void exportMetrics(obs::MetricsRegistry &metrics) const;
+
+    /**
+     * Emit one obs run report per scenario with traffic (label
+     * "service.<scenario>", SLA numbers in `extra`) through
+     * core::emitRunReport — a no-op unless VBENCH_METRICS_OUT is set.
+     */
+    void emitRunReports(const SlaReport &report) const;
+
+  private:
+    struct PerScenario {
+        uint64_t requests = 0;
+        uint64_t dropped = 0;
+        uint64_t segments = 0;
+        uint64_t failed = 0;
+        uint64_t hits = 0;
+        uint64_t ontime_pixels = 0;  ///< pixels of on-time ok segments
+        obs::Histogram latency_us;
+    };
+
+    std::array<PerScenario, core::kNumScenarios> scenarios_;
+};
+
+} // namespace vbench::service

@@ -1,0 +1,195 @@
+#include "service/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "codec/stitch.h"
+#include "core/reference.h"
+#include "service/segment.h"
+#include "video/rng.h"
+
+namespace vbench::service {
+
+namespace {
+
+/** Sample an index from a cumulative weight table. */
+size_t
+sampleCdf(const std::vector<double> &cdf, double u)
+{
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(),
+                                     u * cdf.back());
+    return std::min(static_cast<size_t>(it - cdf.begin()),
+                    cdf.size() - 1);
+}
+
+std::vector<RungSpec>
+rungsFor(core::Scenario scenario, const video::ClipSpec &spec,
+         int ladder_rungs)
+{
+    std::vector<RungSpec> rungs;
+    core::TranscodeRequest base = core::referenceRequest(
+        scenario, spec.width, spec.height, spec.fps);
+    if (scenario == core::Scenario::Popular && ladder_rungs > 1) {
+        // Multi-bitrate ladder: the head-content re-transcode produces
+        // every delivery operating point in one request. No scaler
+        // exists in this repo, so rungs vary bitrate, not resolution.
+        for (int r = 0; r < ladder_rungs; ++r) {
+            RungSpec rung;
+            rung.name = "r" + std::to_string(r);
+            rung.request = base;
+            // Descending ladder: 1.0x, 0.65x, 0.42x, ... of the
+            // reference bitrate.
+            rung.request.rc.bitrate_bps =
+                base.rc.bitrate_bps * std::pow(0.65, r);
+            rungs.push_back(std::move(rung));
+        }
+        return rungs;
+    }
+    RungSpec rung;
+    rung.name = "r0";
+    rung.request = std::move(base);
+    rungs.push_back(std::move(rung));
+    return rungs;
+}
+
+} // namespace
+
+Corpus
+buildCorpus(const std::vector<video::ClipSpec> &specs, int frames_per_clip,
+            int segment_frames)
+{
+    Corpus corpus;
+    corpus.segment_frames = segment_frames;
+    for (const video::ClipSpec &spec : specs) {
+        CorpusClip clip;
+        clip.spec = spec;
+        video::Video original =
+            video::synthesizeClip(spec, frames_per_clip);
+        clip.universal = std::make_shared<const codec::ByteBuffer>(
+            core::makeUniversalStream(original, segment_frames));
+        // Ingest-side split-and-stitch: cut the upload stream at its
+        // forced IDRs instead of re-encoding per segment.
+        const std::optional<std::vector<codec::ByteBuffer>> seg_streams =
+            codec::splitStream(*clip.universal, segment_frames);
+        std::vector<video::Video> seg_videos =
+            splitVideo(original, segment_frames);
+        if (seg_streams &&
+            seg_streams->size() == seg_videos.size()) {
+            for (size_t i = 0; i < seg_videos.size(); ++i) {
+                clip.seg_original.push_back(
+                    std::make_shared<const video::Video>(
+                        std::move(seg_videos[i])));
+                clip.seg_universal.push_back(
+                    std::make_shared<const codec::ByteBuffer>(
+                        std::move((*seg_streams)[i])));
+            }
+        }
+        clip.original = std::make_shared<const video::Video>(
+            std::move(original));
+        corpus.clips.push_back(std::move(clip));
+    }
+    return corpus;
+}
+
+std::vector<ServiceRequest>
+generateWorkload(const WorkloadConfig &config, const Corpus &corpus)
+{
+    std::vector<ServiceRequest> workload;
+    if (corpus.clips.empty())
+        return workload;
+
+    const double rate = config.arrival_rate_hz > 0
+        ? config.arrival_rate_hz
+        : arrivalRateFromEnv(3.0);
+
+    // Zipf popularity over corpus rank: weight 1 / (rank+1)^s.
+    std::vector<double> clip_cdf;
+    double acc = 0;
+    for (size_t rank = 0; rank < corpus.clips.size(); ++rank) {
+        acc += 1.0 /
+            std::pow(static_cast<double>(rank + 1), config.zipf_exponent);
+        clip_cdf.push_back(acc);
+    }
+    std::vector<double> mix_cdf;
+    acc = 0;
+    for (int s = 0; s < core::kNumScenarios; ++s) {
+        acc += std::max(0.0, config.mix[static_cast<size_t>(s)]);
+        mix_cdf.push_back(acc);
+    }
+    if (!(mix_cdf.back() > 0))
+        return workload;
+
+    video::Rng rng(config.seed);
+    double t = 0;
+    uint64_t id = 0;
+    while (true) {
+        // Exponential inter-arrival gap (open-loop Poisson process).
+        t += -std::log(1.0 - rng.uniform()) / rate;
+        if (t > config.duration_s)
+            break;
+        ServiceRequest req;
+        req.id = id++;
+        req.arrival_s = t;
+        req.scenario = static_cast<core::Scenario>(
+            sampleCdf(mix_cdf, rng.uniform()));
+        req.clip = sampleCdf(clip_cdf, rng.uniform());
+
+        const CorpusClip &clip = corpus.clips[req.clip];
+        const double clip_duration = clip.original->duration();
+        const double seg_duration =
+            corpus.segment_frames / clip.spec.fps;
+        switch (req.scenario) {
+          case core::Scenario::Live:
+            req.live_paced = true;
+            req.segment_deadline_s = config.live_slack * seg_duration;
+            break;
+          case core::Scenario::Vod:
+          case core::Scenario::Platform:
+            req.request_deadline_s =
+                clip_duration / std::max(1e-6, config.vod_throughput);
+            break;
+          case core::Scenario::Upload:
+            req.request_deadline_s = config.upload_slack * clip_duration;
+            break;
+          case core::Scenario::Popular:
+            req.request_deadline_s =
+                config.popular_slack * clip_duration;
+            break;
+        }
+        req.rungs =
+            rungsFor(req.scenario, clip.spec, config.ladder_rungs);
+        workload.push_back(std::move(req));
+    }
+    return workload;
+}
+
+int
+segmentFramesFromEnv(int fallback)
+{
+    const char *env = std::getenv("VBENCH_SEGMENT_FRAMES");
+    if (env && *env) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<int>(v);
+    }
+    return fallback;
+}
+
+double
+arrivalRateFromEnv(double fallback)
+{
+    const char *env = std::getenv("VBENCH_ARRIVAL_RATE");
+    if (env && *env) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end && *end == '\0' && v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+} // namespace vbench::service

@@ -1,0 +1,134 @@
+#pragma once
+
+/**
+ * @file
+ * Service workload generation: a Zipf-popularity corpus of
+ * segment-aligned clips, and an open-loop Poisson arrival process that
+ * turns the five vbench scenarios (§2.3) into timed, deadline-carrying
+ * service requests.
+ *
+ * Environment knobs (both read by the bench / defaults, explicit
+ * config wins): VBENCH_ARRIVAL_RATE (requests/second, float) and
+ * VBENCH_SEGMENT_FRAMES (frames per segment, int).
+ */
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/types.h"
+#include "core/scenario.h"
+#include "core/transcoder.h"
+#include "video/suite.h"
+#include "video/video.h"
+
+namespace vbench::service {
+
+/**
+ * One corpus clip, pre-segmented on both sides of the transcode: the
+ * pristine frames (quality reference) and the universal-format upload
+ * stream, cut at the forced IDR boundaries so each segment is an
+ * independently decodable transcode input.
+ */
+struct CorpusClip {
+    video::ClipSpec spec;
+    std::shared_ptr<const video::Video> original;
+    std::shared_ptr<const codec::ByteBuffer> universal;
+    std::vector<std::shared_ptr<const video::Video>> seg_original;
+    std::vector<std::shared_ptr<const codec::ByteBuffer>> seg_universal;
+
+    int segmentCount() const
+    {
+        return static_cast<int>(seg_original.size());
+    }
+};
+
+/** The service's content library. */
+struct Corpus {
+    std::vector<CorpusClip> clips;
+    int segment_frames = 0;
+};
+
+/**
+ * Synthesize the corpus: render each spec (`frames_per_clip` frames),
+ * encode its universal stream with IDRs forced every `segment_frames`
+ * frames, and pre-cut both representations into segments. The
+ * universal segments come from codec::splitStream on the whole upload
+ * — the service's ingest-side split-and-stitch, no re-encode.
+ */
+Corpus buildCorpus(const std::vector<video::ClipSpec> &specs,
+                   int frames_per_clip, int segment_frames);
+
+/** One transcode output the request must produce (a ladder rung). */
+struct RungSpec {
+    std::string name;
+    core::TranscodeRequest request;
+};
+
+/** One timed service request. */
+struct ServiceRequest {
+    uint64_t id = 0;
+    core::Scenario scenario = core::Scenario::Upload;
+    size_t clip = 0;       ///< corpus index
+    double arrival_s = 0;  ///< on the open-loop service clock
+    /// Live pacing: segment k only becomes available at
+    /// arrival_s + k * segment_duration (the stream is still being
+    /// produced); other scenarios have the whole input at arrival.
+    bool live_paced = false;
+    /// Per-segment deadline budget after the segment's availability
+    /// (Live). Infinity when unused.
+    double segment_deadline_s = std::numeric_limits<double>::infinity();
+    /// Whole-request deadline budget after arrival (throughput-target
+    /// scenarios). Infinity when unused.
+    double request_deadline_s = std::numeric_limits<double>::infinity();
+    /// Output ladder: one rung for most scenarios, a multi-bitrate
+    /// ladder for Popular. (The repo has no scaler, so ladder rungs
+    /// vary bitrate at constant resolution — see docs/SERVICE.md.)
+    std::vector<RungSpec> rungs;
+};
+
+/** Open-loop workload shape. */
+struct WorkloadConfig {
+    double duration_s = 4.0;  ///< arrival window length
+    /// Mean arrivals/second; <= 0 falls back to VBENCH_ARRIVAL_RATE,
+    /// then to 3.0.
+    double arrival_rate_hz = 0;
+    /// Zipf popularity exponent over corpus rank (clip order).
+    double zipf_exponent = 1.0;
+    uint64_t seed = 1;
+    /// Scenario mix weights, indexed by core::Scenario; normalized
+    /// internally.
+    std::array<double, core::kNumScenarios> mix = {1, 1, 1, 1, 1};
+    /// Live: segment deadline = slack × segment duration.
+    double live_slack = 3.0;
+    /// VoD/Platform throughput target in multiples of real time;
+    /// request deadline = clip duration / target.
+    double vod_throughput = 0.25;
+    /// Upload: request deadline = slack × clip duration.
+    double upload_slack = 10.0;
+    /// Popular: request deadline = slack × clip duration (high-effort
+    /// re-transcodes are batch work, but not unbounded).
+    double popular_slack = 20.0;
+    /// Popular ladder size (bitrate rungs per request).
+    int ladder_rungs = 3;
+};
+
+/**
+ * Generate the timed request sequence: Poisson arrivals (exponential
+ * inter-arrival gaps), Zipf-sampled clips, mix-sampled scenarios,
+ * deadlines from the per-scenario budgets above. Deterministic in the
+ * seed; sorted by arrival time.
+ */
+std::vector<ServiceRequest> generateWorkload(const WorkloadConfig &config,
+                                             const Corpus &corpus);
+
+/** VBENCH_SEGMENT_FRAMES when set and positive, else `fallback`. */
+int segmentFramesFromEnv(int fallback);
+
+/** VBENCH_ARRIVAL_RATE when set and positive, else `fallback`. */
+double arrivalRateFromEnv(double fallback);
+
+} // namespace vbench::service

@@ -108,6 +108,70 @@ TEST(Histogram, PercentileEdgeCases)
     EXPECT_NEAR(h.percentile(500), h.percentile(100), 1e-9);
 }
 
+TEST(Histogram, ValueAtQuantileInterpolatesExactlyInUnitBuckets)
+{
+    // Values 0..7 occupy the eight exact unit-width buckets, so the
+    // estimator's arithmetic is fully observable: rank = q*(n-1)+1
+    // lands in bucket floor(rank-1) with fractional position
+    // rank - floor(rank-1), and the interpolated value is exactly
+    // bucketLo + fraction (hi - lo == 1).
+    Histogram h;
+    for (uint64_t v = 0; v < 8; ++v)
+        h.observe(v);
+    // q=0.5: rank 4.5 -> bucket 4, fraction 0.5 -> 4.5.
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(0.5), 4.5);
+    // q=0.25: rank 2.75 -> bucket 2, fraction 0.75 -> 2.75.
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(0.25), 2.75);
+    // q=1: rank 8 -> last bucket, fraction 1 -> its upper bound.
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(1.0), 8.0);
+    // q=0: rank 1 -> first occupied bucket, fraction 1 -> its hi.
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(0.0), 1.0);
+}
+
+TEST(Histogram, ValueAtQuantileP99WithinTheTailBucket)
+{
+    // 100 identical samples: every quantile interpolates inside the
+    // one occupied bucket, and p99's exact position is
+    // rank/count = (0.99*99+1)/100 of the way through it.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.observe(3);
+    const double frac = (0.99 * 99.0 + 1.0) / 100.0;
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(0.99), 3.0 + frac);
+    // Skewed latency shape: the p99 must sit in the slow mode's
+    // bucket, far above p50.
+    Histogram lat;
+    for (int i = 0; i < 99; ++i)
+        lat.observe(100);
+    lat.observe(10000);
+    const double p50 = lat.valueAtQuantile(0.50);
+    const double p99 = lat.valueAtQuantile(0.99);
+    const int slow = Histogram::bucketIndex(10000);
+    EXPECT_LT(p50, 120.0);
+    EXPECT_GE(p99, static_cast<double>(Histogram::bucketLo(slow)));
+    EXPECT_LE(p99, static_cast<double>(Histogram::bucketHi(slow)));
+}
+
+TEST(Histogram, PercentileDelegatesToValueAtQuantile)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        h.observe(v * 3);
+    for (const double p : {0.0, 13.7, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), h.valueAtQuantile(p / 100.0))
+            << "p" << p;
+}
+
+TEST(Histogram, ValueAtQuantileClampsAndHandlesEmpty)
+{
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.valueAtQuantile(0.99), 0.0);
+    Histogram h;
+    h.observe(5);
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(-0.5), h.valueAtQuantile(0.0));
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(2.0), h.valueAtQuantile(1.0));
+}
+
 TEST(Registry, HandsOutStableReferences)
 {
     MetricsRegistry reg;

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Admission queue unit + concurrency tests. Deliberately codec-free:
+ * this file is also rebuilt under ThreadSanitizer (test_service_tsan,
+ * `ctest -L thread`), which stays cheap only while it touches nothing
+ * but the queue itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+
+namespace vbench::service {
+namespace {
+
+TEST(AdmissionQueue, FifoWithoutDeadlines)
+{
+    AdmissionQueue q(8);
+    for (uint64_t key = 10; key < 14; ++key)
+        EXPECT_TRUE(q.offer(key));
+    for (uint64_t key = 10; key < 14; ++key) {
+        const auto item = q.poll();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(item->key, key);
+    }
+    EXPECT_FALSE(q.poll().has_value());
+}
+
+TEST(AdmissionQueue, EarliestDeadlineFirst)
+{
+    AdmissionQueue q(8);
+    EXPECT_TRUE(q.offer(1, 5.0));
+    EXPECT_TRUE(q.offer(2, 1.0));
+    EXPECT_TRUE(q.offer(3, 3.0));
+    EXPECT_EQ(q.poll()->key, 2u);
+    EXPECT_EQ(q.poll()->key, 3u);
+    EXPECT_EQ(q.poll()->key, 1u);
+}
+
+TEST(AdmissionQueue, DeadlineOutranksNoDeadline)
+{
+    // A Live request admitted after three batch requests still
+    // dispatches first: batch classes lose only throughput to waiting,
+    // Live loses its SLA.
+    AdmissionQueue q(8);
+    EXPECT_TRUE(q.offer(1));
+    EXPECT_TRUE(q.offer(2));
+    EXPECT_TRUE(q.offer(3));
+    EXPECT_TRUE(q.offer(4, 99.0));
+    EXPECT_EQ(q.poll()->key, 4u);
+    EXPECT_EQ(q.poll()->key, 1u);
+}
+
+TEST(AdmissionQueue, EqualDeadlinesFallBackToFifo)
+{
+    AdmissionQueue q(8);
+    EXPECT_TRUE(q.offer(7, 2.0));
+    EXPECT_TRUE(q.offer(8, 2.0));
+    EXPECT_EQ(q.poll()->key, 7u);
+    EXPECT_EQ(q.poll()->key, 8u);
+}
+
+TEST(AdmissionQueue, FullQueueShedsInsteadOfBlocking)
+{
+    AdmissionQueue q(2);
+    EXPECT_EQ(q.capacity(), 2u);
+    EXPECT_TRUE(q.offer(1));
+    EXPECT_TRUE(q.offer(2));
+    EXPECT_FALSE(q.offer(3));
+    EXPECT_FALSE(q.offer(4, 0.5));  // deadlines don't preempt capacity
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.offered(), 4u);
+    EXPECT_EQ(q.shed(), 2u);
+    // Draining frees capacity again.
+    EXPECT_TRUE(q.poll().has_value());
+    EXPECT_TRUE(q.offer(5));
+    EXPECT_EQ(q.shed(), 2u);
+}
+
+TEST(AdmissionQueue, ZeroCapacityClampsToOne)
+{
+    AdmissionQueue q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.offer(1));
+    EXPECT_FALSE(q.offer(2));
+}
+
+TEST(AdmissionQueue, ConcurrentOffersAndPollsConserveTickets)
+{
+    // 4 producers x 200 offers against 2 consumers. Every ticket must
+    // be admitted-and-polled exactly once or shed — nothing lost,
+    // nothing duplicated.
+    AdmissionQueue q(32);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 200;
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> polled{0};
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p)
+        threads.emplace_back([&q, &accepted, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const auto key = static_cast<uint64_t>(p * kPerProducer + i);
+                if (q.offer(key, i % 3 == 0 ? 1.0 * i :
+                        std::numeric_limits<double>::infinity()))
+                    accepted.fetch_add(1);
+            }
+        });
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c)
+        consumers.emplace_back([&q, &polled, &done] {
+            while (!done.load()) {
+                if (q.poll().has_value())
+                    polled.fetch_add(1);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    // Drain whatever the consumers have not picked up yet.
+    while (polled.load() < accepted.load()) {
+        if (q.poll().has_value())
+            polled.fetch_add(1);
+    }
+    done.store(true);
+    for (std::thread &t : consumers)
+        t.join();
+
+    EXPECT_EQ(q.offered(),
+              static_cast<uint64_t>(kProducers) * kPerProducer);
+    EXPECT_EQ(q.offered(), accepted.load() + q.shed());
+    EXPECT_EQ(polled.load(), accepted.load());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace vbench::service

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Rate-control state across segment boundaries: RcSnapshot export /
+ * restore continuity at the controller level, the two-pass budget
+ * index offset, and the service-path approximation (per-segment
+ * internal pass 1) staying within tolerance of the whole-file encode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "codec/ratecontrol.h"
+#include "service/segment.h"
+#include "video/suite.h"
+
+namespace vbench::service {
+namespace {
+
+video::Video
+testClip(int width, int height, int frames, uint64_t seed = 61)
+{
+    video::ClipSpec spec;
+    spec.name = "segrc";
+    spec.width = width;
+    spec.height = height;
+    spec.fps = 30.0;
+    spec.content = video::ContentClass::Natural;
+    spec.seed = seed;
+    return video::synthesizeClip(spec, frames);
+}
+
+codec::RateControlConfig
+abrConfig()
+{
+    codec::RateControlConfig rc;
+    rc.mode = codec::RcMode::Abr;
+    rc.bitrate_bps = 400e3;
+    rc.fps = 30.0;
+    rc.pixels_per_frame = 96 * 64;
+    return rc;
+}
+
+TEST(RcSnapshot, CapturesAccumulatedFeedbackState)
+{
+    codec::RateController rc(abrConfig());
+    double spent = 0;
+    for (int i = 0; i < 5; ++i) {
+        const codec::FrameType type =
+            i == 0 ? codec::FrameType::I : codec::FrameType::P;
+        rc.frameQp(type, i);
+        const double bits = 12000 + 900 * i;
+        rc.frameDone(type, bits);
+        spent += bits;
+    }
+    const codec::RcSnapshot snap = rc.snapshot();
+    EXPECT_EQ(snap.frames_done, 5);
+    EXPECT_DOUBLE_EQ(snap.spent_bits, spent);
+    EXPECT_GT(snap.planned_bits, 0.0);
+}
+
+TEST(RcSnapshot, RestoredAbrControllerContinuesIdentically)
+{
+    // One uninterrupted controller vs. a snapshot/restore handoff at
+    // frame 5: the resumed controller must pick the same QPs.
+    codec::RateController whole(abrConfig());
+    codec::RateController first_half(abrConfig());
+    std::vector<int> whole_qps;
+    for (int i = 0; i < 10; ++i) {
+        const codec::FrameType type =
+            i % 5 == 0 ? codec::FrameType::I : codec::FrameType::P;
+        const double bits = 11000 + 1300 * (i % 3);
+        whole_qps.push_back(whole.frameQp(type, i));
+        whole.frameDone(type, bits);
+        if (i < 5) {
+            first_half.frameQp(type, i);
+            first_half.frameDone(type, bits);
+        }
+    }
+
+    codec::RateController resumed(abrConfig());
+    resumed.restore(first_half.snapshot());
+    for (int i = 5; i < 10; ++i) {
+        const codec::FrameType type =
+            i % 5 == 0 ? codec::FrameType::I : codec::FrameType::P;
+        EXPECT_EQ(resumed.frameQp(type, i), whole_qps[static_cast<size_t>(i)])
+            << "frame " << i;
+        resumed.frameDone(type, 11000 + 1300 * (i % 3));
+    }
+    EXPECT_EQ(resumed.snapshot().frames_done,
+              whole.snapshot().frames_done);
+    EXPECT_DOUBLE_EQ(resumed.snapshot().spent_bits,
+                     whole.snapshot().spent_bits);
+}
+
+TEST(RcSnapshot, TwoPassOffsetReadsGlobalBudgets)
+{
+    // Whole-clip pass-1 stats with a complexity spike in the back
+    // half. A restored controller with the default offset (global
+    // stats) must make the same decisions the whole-file controller
+    // makes at the shifted index.
+    codec::RateControlConfig cfg;
+    cfg.mode = codec::RcMode::TwoPass;
+    cfg.bitrate_bps = 300e3;
+    cfg.fps = 30.0;
+    cfg.pixels_per_frame = 96 * 64;
+    codec::PassOneStats stats;
+    for (int i = 0; i < 10; ++i)
+        stats.frame_bits.push_back(i < 5 ? 8000.0 : 24000.0);
+
+    codec::RateController whole(cfg);
+    whole.setPassOneStats(stats);
+    codec::RateController first_half(cfg);
+    first_half.setPassOneStats(stats);
+    std::vector<int> whole_qps;
+    for (int i = 0; i < 10; ++i) {
+        const codec::FrameType type =
+            i == 0 || i == 5 ? codec::FrameType::I : codec::FrameType::P;
+        const double bits = whole.targetBits(i);
+        whole_qps.push_back(whole.frameQp(type, i));
+        whole.frameDone(type, bits);
+        if (i < 5) {
+            first_half.frameQp(type, i);
+            first_half.frameDone(type, bits);
+        }
+    }
+
+    codec::RateController resumed(cfg);
+    resumed.setPassOneStats(stats);
+    resumed.restore(first_half.snapshot());  // offset = frames_done = 5
+    for (int i = 5; i < 10; ++i) {
+        const codec::FrameType type =
+            i == 5 ? codec::FrameType::I : codec::FrameType::P;
+        // Local index i-5 + offset 5 = global index i.
+        EXPECT_EQ(resumed.frameQp(type, i - 5),
+                  whole_qps[static_cast<size_t>(i)])
+            << "frame " << i;
+        resumed.frameDone(type, whole.targetBits(i));
+    }
+}
+
+TEST(SegmentRc, AbrChainSpendsExactlyWholeFileBits)
+{
+    const video::Video clip = testClip(96, 64, 10);
+    codec::EncoderConfig cfg;
+    cfg.rc = abrConfig();
+    cfg.effort = 3;
+    cfg.segment_frames = 4;
+    codec::Encoder whole(cfg);
+    const size_t whole_bytes = whole.encode(clip).stream.size();
+
+    const SegmentedEncodeResult seg = encodeSegmentedVbc(cfg, clip, 4);
+    ASSERT_TRUE(seg.ok) << seg.error;
+    EXPECT_EQ(seg.stitched.size(), whole_bytes);
+}
+
+TEST(SegmentRc, TwoPassSegmentLocalStatsStayWithinTolerance)
+{
+    // The service's cheap path: each segment runs its own pass 1
+    // (stats cover the segment only, budget offset 0) while the
+    // feedback state still chains. Not bit-exact — but the spend must
+    // stay close to the whole-file two-pass encode.
+    const video::Video clip = testClip(96, 64, 12, 67);
+    codec::EncoderConfig cfg;
+    cfg.rc = abrConfig();
+    cfg.rc.mode = codec::RcMode::TwoPass;
+    cfg.effort = 3;
+    cfg.segment_frames = 4;
+    codec::Encoder whole(cfg);
+    const double whole_bytes =
+        static_cast<double>(whole.encode(clip).stream.size());
+
+    std::optional<codec::RcSnapshot> carry;
+    double chained_bytes = 0;
+    for (const video::Video &part : splitVideo(clip, 4)) {
+        codec::EncoderConfig seg_cfg = cfg;
+        seg_cfg.rc_in = carry;
+        codec::Encoder enc(seg_cfg);
+        const codec::EncodeResult r = enc.encode(part);
+        ASSERT_FALSE(r.stream.empty());
+        chained_bytes += static_cast<double>(r.stream.size());
+        carry = r.rc_state;
+    }
+    EXPECT_NEAR(chained_bytes, whole_bytes, whole_bytes * 0.3);
+}
+
+} // namespace
+} // namespace vbench::service

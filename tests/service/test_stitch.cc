@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Split-and-stitch bit-exactness: the service's proof obligation. For
+ * both software codecs, across efforts/speeds, all four rate-control
+ * modes, and non-MB-aligned geometry, a chain of independently encoded
+ * segments must stitch into a stream byte-identical to the whole-file
+ * closed-GOP encode — and decode to byte-identical frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/stitch.h"
+#include "ngc/ngc_bitstream.h"
+#include "ngc/ngc_decoder.h"
+#include "ngc/ngc_encoder.h"
+#include "service/segment.h"
+#include "video/suite.h"
+
+namespace vbench::service {
+namespace {
+
+video::Video
+testClip(int width, int height, int frames, uint64_t seed = 17,
+         video::ContentClass content = video::ContentClass::Natural)
+{
+    video::ClipSpec spec;
+    spec.name = "stitch";
+    spec.width = width;
+    spec.height = height;
+    spec.fps = 30.0;
+    spec.content = content;
+    spec.seed = seed;
+    return video::synthesizeClip(spec, frames);
+}
+
+codec::RateControlConfig
+rcFor(codec::RcMode mode, const video::Video &clip)
+{
+    codec::RateControlConfig rc;
+    rc.mode = mode;
+    rc.qp = 28;
+    rc.crf = 24.0;
+    rc.bitrate_bps =
+        static_cast<double>(clip.pixelsPerFrame()) * clip.fps() * 0.08;
+    rc.fps = clip.fps();
+    rc.pixels_per_frame = static_cast<double>(clip.pixelsPerFrame());
+    return rc;
+}
+
+void
+expectSameFrames(const video::Video &a, const video::Video &b)
+{
+    ASSERT_EQ(a.frameCount(), b.frameCount());
+    for (int i = 0; i < a.frameCount(); ++i)
+        EXPECT_TRUE(a.frame(i) == b.frame(i)) << "frame " << i;
+}
+
+/** Segment chain vs whole-file closed-GOP encode, VBC. */
+void
+checkVbc(const video::Video &clip, codec::RcMode mode, int effort,
+         int segment_frames)
+{
+    codec::EncoderConfig cfg;
+    cfg.rc = rcFor(mode, clip);
+    cfg.effort = effort;
+    cfg.gop = 30;
+    cfg.segment_frames = segment_frames;
+
+    codec::Encoder whole_encoder(cfg);
+    const codec::EncodeResult whole = whole_encoder.encode(clip);
+    ASSERT_FALSE(whole.stream.empty());
+
+    const SegmentedEncodeResult seg =
+        encodeSegmentedVbc(cfg, clip, segment_frames);
+    ASSERT_TRUE(seg.ok) << seg.error;
+    EXPECT_GT(seg.segments.size(), 1u);
+    ASSERT_EQ(seg.stitched, whole.stream)
+        << "mode=" << static_cast<int>(mode) << " effort=" << effort;
+
+    const std::optional<video::Video> whole_dec = codec::decode(whole.stream);
+    const std::optional<video::Video> stitched_dec =
+        codec::decode(seg.stitched);
+    ASSERT_TRUE(whole_dec.has_value());
+    ASSERT_TRUE(stitched_dec.has_value());
+    expectSameFrames(*whole_dec, *stitched_dec);
+}
+
+/** Segment chain vs whole-file closed-GOP encode, NGC. */
+void
+checkNgc(const video::Video &clip, codec::RcMode mode, int speed,
+         ngc::NgcProfile profile, int segment_frames)
+{
+    ngc::NgcConfig cfg;
+    cfg.rc = rcFor(mode, clip);
+    cfg.profile = profile;
+    cfg.speed = speed;
+    cfg.gop = 30;
+    cfg.segment_frames = segment_frames;
+
+    ngc::NgcEncoder whole_encoder(cfg);
+    const codec::EncodeResult whole = whole_encoder.encode(clip);
+    ASSERT_FALSE(whole.stream.empty());
+
+    const SegmentedEncodeResult seg =
+        encodeSegmentedNgc(cfg, clip, segment_frames);
+    ASSERT_TRUE(seg.ok) << seg.error;
+    EXPECT_GT(seg.segments.size(), 1u);
+    ASSERT_EQ(seg.stitched, whole.stream)
+        << "mode=" << static_cast<int>(mode) << " speed=" << speed;
+
+    const std::optional<video::Video> whole_dec = ngc::ngcDecode(whole.stream);
+    const std::optional<video::Video> stitched_dec =
+        ngc::ngcDecode(seg.stitched);
+    ASSERT_TRUE(whole_dec.has_value());
+    ASSERT_TRUE(stitched_dec.has_value());
+    expectSameFrames(*whole_dec, *stitched_dec);
+}
+
+TEST(StitchVbc, AllRateControlModesAreBitExact)
+{
+    const video::Video clip = testClip(96, 64, 10);
+    for (const codec::RcMode mode :
+         {codec::RcMode::Cqp, codec::RcMode::Crf, codec::RcMode::Abr,
+          codec::RcMode::TwoPass})
+        checkVbc(clip, mode, /*effort=*/4, /*segment_frames=*/4);
+}
+
+TEST(StitchVbc, EffortSweepStaysBitExact)
+{
+    const video::Video clip = testClip(96, 64, 8, 23);
+    for (const int effort : {1, 5, 8})
+        checkVbc(clip, codec::RcMode::Abr, effort, /*segment_frames=*/3);
+}
+
+TEST(StitchVbc, UnalignedDimensionsAreBitExact)
+{
+    // Not multiples of the 16-pixel macroblock: padding paths included.
+    const video::Video clip = testClip(100, 52, 9, 31);
+    checkVbc(clip, codec::RcMode::Crf, 3, /*segment_frames=*/4);
+    checkVbc(clip, codec::RcMode::TwoPass, 3, /*segment_frames=*/4);
+}
+
+TEST(StitchVbc, SceneCutContentStaysBitExact)
+{
+    // Hard cuts exercise the scene-cut I-frame promotion, which must
+    // fire identically in segment-local and whole-file views.
+    const video::Video clip =
+        testClip(96, 64, 10, 37, video::ContentClass::Slideshow);
+    checkVbc(clip, codec::RcMode::Abr, 4, /*segment_frames=*/4);
+}
+
+TEST(StitchNgc, AllRateControlModesAreBitExact)
+{
+    const video::Video clip = testClip(96, 64, 10, 41);
+    for (const codec::RcMode mode :
+         {codec::RcMode::Cqp, codec::RcMode::Crf, codec::RcMode::Abr,
+          codec::RcMode::TwoPass})
+        checkNgc(clip, mode, /*speed=*/2, ngc::NgcProfile::HevcLike,
+                 /*segment_frames=*/4);
+}
+
+TEST(StitchNgc, Vp9ProfileAndUnalignedDimensionsAreBitExact)
+{
+    const video::Video clip = testClip(100, 52, 8, 43);
+    checkNgc(clip, codec::RcMode::Abr, 2, ngc::NgcProfile::Vp9Like,
+             /*segment_frames=*/3);
+}
+
+TEST(StitchStreams, SplitThenStitchRoundTripsByteExactly)
+{
+    const video::Video clip = testClip(96, 64, 9, 47);
+    codec::EncoderConfig cfg;
+    cfg.rc = rcFor(codec::RcMode::Crf, clip);
+    cfg.effort = 3;
+    cfg.segment_frames = 3;
+    codec::Encoder encoder(cfg);
+    const codec::EncodeResult whole = encoder.encode(clip);
+
+    const std::optional<std::vector<codec::ByteBuffer>> parts =
+        codec::splitStream(whole.stream, 3);
+    ASSERT_TRUE(parts.has_value());
+    EXPECT_EQ(parts->size(), 3u);
+    // Every cut is independently decodable...
+    for (const codec::ByteBuffer &part : *parts)
+        EXPECT_TRUE(codec::decode(part).has_value());
+    // ...and the cuts reassemble into the original bytes.
+    const std::optional<codec::ByteBuffer> rejoined =
+        codec::stitchStreams(*parts);
+    ASSERT_TRUE(rejoined.has_value());
+    EXPECT_EQ(*rejoined, whole.stream);
+}
+
+TEST(StitchStreams, RejectsMismatchedToolsAndNonIdrLeads)
+{
+    const video::Video clip = testClip(96, 64, 6, 53);
+    codec::EncoderConfig cfg;
+    cfg.rc = rcFor(codec::RcMode::Cqp, clip);
+    cfg.effort = 3;
+    cfg.segment_frames = 3;
+    codec::Encoder enc_a(cfg);
+    const codec::EncodeResult a = enc_a.encode(clip);
+
+    // Different geometry cannot stitch.
+    const video::Video other = testClip(64, 48, 6, 54);
+    codec::EncoderConfig cfg_b = cfg;
+    cfg_b.rc.pixels_per_frame =
+        static_cast<double>(other.pixelsPerFrame());
+    codec::Encoder enc_b(cfg_b);
+    const codec::EncodeResult b = enc_b.encode(other);
+    EXPECT_FALSE(
+        codec::stitchStreams({a.stream, b.stream}).has_value());
+
+    // A mid-GOP cut (no IDR at the segment head) is refused: predicted
+    // frames cannot open a stitched segment.
+    EXPECT_FALSE(codec::splitStream(a.stream, 2).has_value());
+
+    // Empty input is refused.
+    EXPECT_FALSE(codec::stitchStreams({}).has_value());
+}
+
+TEST(SplitVideo, CutsFramesWithTailSegment)
+{
+    const video::Video clip = testClip(96, 64, 10, 59);
+    const std::vector<video::Video> parts = splitVideo(clip, 4);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0].frameCount(), 4);
+    EXPECT_EQ(parts[1].frameCount(), 4);
+    EXPECT_EQ(parts[2].frameCount(), 2);
+    int k = 0;
+    for (const video::Video &part : parts) {
+        EXPECT_EQ(part.width(), clip.width());
+        EXPECT_EQ(part.height(), clip.height());
+        for (int i = 0; i < part.frameCount(); ++i, ++k)
+            EXPECT_TRUE(part.frame(i) == clip.frame(k)) << "frame " << k;
+    }
+}
+
+} // namespace
+} // namespace vbench::service

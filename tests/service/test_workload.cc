@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Workload generator: corpus pre-segmentation, Poisson/Zipf sampling
+ * determinism and shape, per-scenario deadline templates, and the
+ * environment knobs (VBENCH_ARRIVAL_RATE / VBENCH_SEGMENT_FRAMES).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "codec/decoder.h"
+#include "service/workload.h"
+
+namespace vbench::service {
+namespace {
+
+std::vector<video::ClipSpec>
+testSpecs(int count)
+{
+    std::vector<video::ClipSpec> specs;
+    for (int i = 0; i < count; ++i) {
+        video::ClipSpec spec;
+        spec.name = "wl" + std::to_string(i);
+        spec.width = 96;
+        spec.height = 64;
+        spec.fps = 30.0;
+        spec.content = video::ContentClass::Natural;
+        spec.seed = 70 + static_cast<uint64_t>(i);
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+TEST(Corpus, BuildsPreSegmentedClips)
+{
+    const Corpus corpus = buildCorpus(testSpecs(2), 10, 4);
+    ASSERT_EQ(corpus.clips.size(), 2u);
+    EXPECT_EQ(corpus.segment_frames, 4);
+    for (const CorpusClip &clip : corpus.clips) {
+        ASSERT_TRUE(clip.original);
+        ASSERT_TRUE(clip.universal);
+        EXPECT_EQ(clip.original->frameCount(), 10);
+        // 10 frames at 4/segment: 4 + 4 + 2.
+        ASSERT_EQ(clip.segmentCount(), 3);
+        EXPECT_EQ(clip.seg_original[0]->frameCount(), 4);
+        EXPECT_EQ(clip.seg_original[2]->frameCount(), 2);
+        // Every universal segment is independently decodable and
+        // matches its source segment's shape.
+        for (int s = 0; s < clip.segmentCount(); ++s) {
+            const auto decoded =
+                codec::decode(*clip.seg_universal[static_cast<size_t>(s)]);
+            ASSERT_TRUE(decoded.has_value()) << "segment " << s;
+            EXPECT_EQ(decoded->frameCount(),
+                      clip.seg_original[static_cast<size_t>(s)]
+                          ->frameCount());
+            EXPECT_EQ(decoded->width(), 96);
+        }
+    }
+}
+
+TEST(Workload, DeterministicInTheSeed)
+{
+    const Corpus corpus = buildCorpus(testSpecs(3), 8, 4);
+    WorkloadConfig config;
+    config.arrival_rate_hz = 20.0;
+    config.duration_s = 2.0;
+    config.seed = 5;
+    const std::vector<ServiceRequest> a =
+        generateWorkload(config, corpus);
+    const std::vector<ServiceRequest> b =
+        generateWorkload(config, corpus);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].scenario, b[i].scenario);
+        EXPECT_EQ(a[i].clip, b[i].clip);
+    }
+    // A different seed reshuffles the arrivals.
+    config.seed = 6;
+    const std::vector<ServiceRequest> c =
+        generateWorkload(config, corpus);
+    bool any_diff = c.size() != a.size();
+    for (size_t i = 0; !any_diff && i < a.size(); ++i)
+        any_diff = a[i].arrival_s != c[i].arrival_s;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, PoissonArrivalsMatchTheRate)
+{
+    const Corpus corpus = buildCorpus(testSpecs(1), 8, 4);
+    WorkloadConfig config;
+    config.arrival_rate_hz = 10.0;
+    config.duration_s = 40.0;  // expect ~400 arrivals, sd ~20
+    config.seed = 9;
+    const std::vector<ServiceRequest> workload =
+        generateWorkload(config, corpus);
+    EXPECT_GT(workload.size(), 300u);
+    EXPECT_LT(workload.size(), 500u);
+    // Arrivals are sorted and inside the window.
+    for (size_t i = 0; i < workload.size(); ++i) {
+        EXPECT_LE(workload[i].arrival_s, config.duration_s);
+        if (i > 0) {
+            EXPECT_GE(workload[i].arrival_s, workload[i - 1].arrival_s);
+        }
+    }
+}
+
+TEST(Workload, ZipfPopularityFavorsTheHead)
+{
+    const Corpus corpus = buildCorpus(testSpecs(4), 8, 4);
+    WorkloadConfig config;
+    config.arrival_rate_hz = 50.0;
+    config.duration_s = 20.0;
+    config.zipf_exponent = 1.2;
+    config.seed = 13;
+    std::map<size_t, int> hits;
+    for (const ServiceRequest &req :
+         generateWorkload(config, corpus))
+        ++hits[req.clip];
+    EXPECT_GT(hits[0], hits[3] * 2) << "head clip should dominate";
+}
+
+TEST(Workload, ScenarioTemplatesSetTheRightDeadlines)
+{
+    const Corpus corpus = buildCorpus(testSpecs(1), 8, 4);
+    const double inf = std::numeric_limits<double>::infinity();
+    WorkloadConfig config;
+    config.arrival_rate_hz = 30.0;
+    config.duration_s = 4.0;
+    config.seed = 21;
+    config.live_slack = 3.0;
+    config.upload_slack = 10.0;
+    config.ladder_rungs = 3;
+    // Force each scenario in turn via a one-hot mix.
+    for (int s = 0; s < core::kNumScenarios; ++s) {
+        config.mix = {};
+        config.mix[static_cast<size_t>(s)] = 1;
+        const std::vector<ServiceRequest> workload =
+            generateWorkload(config, corpus);
+        ASSERT_FALSE(workload.empty()) << "scenario " << s;
+        const ServiceRequest &req = workload.front();
+        const auto scenario = static_cast<core::Scenario>(s);
+        EXPECT_EQ(req.scenario, scenario);
+        if (scenario == core::Scenario::Live) {
+            EXPECT_TRUE(req.live_paced);
+            // 3x slack on a 4-frame 30fps segment.
+            EXPECT_NEAR(req.segment_deadline_s, 3.0 * 4.0 / 30.0, 1e-9);
+            EXPECT_EQ(req.request_deadline_s, inf);
+        } else {
+            EXPECT_FALSE(req.live_paced);
+            EXPECT_EQ(req.segment_deadline_s, inf);
+            EXPECT_LT(req.request_deadline_s, inf);
+        }
+        if (scenario == core::Scenario::Popular) {
+            ASSERT_EQ(req.rungs.size(), 3u);
+            // Descending multi-bitrate ladder.
+            EXPECT_GT(req.rungs[0].request.rc.bitrate_bps,
+                      req.rungs[1].request.rc.bitrate_bps);
+            EXPECT_GT(req.rungs[1].request.rc.bitrate_bps,
+                      req.rungs[2].request.rc.bitrate_bps);
+        } else {
+            EXPECT_EQ(req.rungs.size(), 1u);
+        }
+    }
+}
+
+TEST(WorkloadEnv, SegmentFramesParsesStrictly)
+{
+    unsetenv("VBENCH_SEGMENT_FRAMES");
+    EXPECT_EQ(segmentFramesFromEnv(8), 8);
+    setenv("VBENCH_SEGMENT_FRAMES", "12", 1);
+    EXPECT_EQ(segmentFramesFromEnv(8), 12);
+    setenv("VBENCH_SEGMENT_FRAMES", "0", 1);
+    EXPECT_EQ(segmentFramesFromEnv(8), 8);
+    setenv("VBENCH_SEGMENT_FRAMES", "-3", 1);
+    EXPECT_EQ(segmentFramesFromEnv(8), 8);
+    setenv("VBENCH_SEGMENT_FRAMES", "12abc", 1);
+    EXPECT_EQ(segmentFramesFromEnv(8), 8);
+    unsetenv("VBENCH_SEGMENT_FRAMES");
+}
+
+TEST(WorkloadEnv, ArrivalRateParsesStrictly)
+{
+    unsetenv("VBENCH_ARRIVAL_RATE");
+    EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 3.0);
+    setenv("VBENCH_ARRIVAL_RATE", "2.5", 1);
+    EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 2.5);
+    setenv("VBENCH_ARRIVAL_RATE", "nope", 1);
+    EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 3.0);
+    setenv("VBENCH_ARRIVAL_RATE", "-1", 1);
+    EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 3.0);
+    unsetenv("VBENCH_ARRIVAL_RATE");
+}
+
+} // namespace
+} // namespace vbench::service
