@@ -164,7 +164,8 @@ runSweep(const std::string &json_path)
         std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
         return 1;
     }
-    std::fprintf(f, "{\"clip\":\"live720p\",\"codecs\":[");
+    std::fprintf(f, "{%s\"clip\":\"live720p\",\"codecs\":[",
+                 bench::jsonMetaFields().c_str());
     for (size_t c = 0; c < curves.size(); ++c) {
         std::fprintf(f, "%s{\"name\":\"%s\",\"points\":[", c ? "," : "",
                      curves[c].name.c_str());

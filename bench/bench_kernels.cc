@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "codec/decoder.h"
 #include "codec/encoder.h"
 #include "kernels/kernel_ops.h"
@@ -485,7 +486,8 @@ runBench(const std::string &json_path)
         std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
         return 1;
     }
-    std::fprintf(f, "{\"host_best_isa\":\"%s\",\"kernels\":[",
+    std::fprintf(f, "{%s\"host_best_isa\":\"%s\",\"kernels\":[",
+                 bench::jsonMetaFields().c_str(),
                  kernels::isaName(kernels::detectBestIsa()));
     for (size_t b = 0; b < benches.size(); ++b) {
         std::fprintf(f, "%s{\"name\":\"%s\",\"results\":[", b ? "," : "",

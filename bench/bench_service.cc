@@ -14,12 +14,19 @@
  *             hit-rate below 90%. Wired into scripts/check.sh.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/scenario.h"
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "service/workload.h"
 #include "video/suite.h"
@@ -130,8 +137,8 @@ writeJson(const std::string &path, const service::ServiceResult &result)
         return 1;
     }
     const service::SlaReport &sla = result.sla;
-    std::fprintf(f, "{\"wall_seconds\":%.4f,\"scenarios\":[",
-                 sla.wall_seconds);
+    std::fprintf(f, "{%s\"wall_seconds\":%.4f,\"scenarios\":[",
+                 bench::jsonMetaFields().c_str(), sla.wall_seconds);
     for (size_t i = 0; i < sla.scenarios.size(); ++i) {
         const service::ScenarioScore &s = sla.scenarios[i];
         std::fprintf(
@@ -209,6 +216,87 @@ runFull(const std::string &json_path)
     return 0;
 }
 
+/**
+ * Observability acceptance for the smoke run: the telemetry sampler
+ * produced at least one point per service gauge, the Prometheus text
+ * snapshot validates, every slowest-decile exemplar's trace id
+ * resolves to recorded scope events, and each exemplar's critical-path
+ * stages sum to its measured latency (within 5%, floor 0.5 ms for
+ * sub-millisecond segments).
+ */
+bool
+checkObservability(const service::ServiceResult &result,
+                   const obs::Tracer &tracer,
+                   const obs::MetricsRegistry &metrics)
+{
+    bool ok = true;
+    const std::vector<std::string> expected_gauges = {
+        "service.queue_depth",       "service.inflight_jobs",
+        "service.worker_utilization", "service.shed_requests",
+        "service.frame_threads_clamped"};
+    for (const std::string &name : expected_gauges) {
+        size_t points = 0;
+        for (const obs::TelemetrySeries &s : result.telemetry)
+            if (s.name == name)
+                points = s.points.size();
+        if (points == 0) {
+            std::fprintf(stderr, "FAIL: gauge %s has no samples\n",
+                         name.c_str());
+            ok = false;
+        }
+    }
+
+    std::ostringstream prom;
+    obs::writePromText(prom, &metrics, result.telemetry);
+    std::string prom_error;
+    if (!obs::validatePromText(prom.str(), &prom_error)) {
+        std::fprintf(stderr, "FAIL: prom snapshot invalid: %s\n",
+                     prom_error.c_str());
+        ok = false;
+    }
+
+    std::set<uint64_t> traced;
+    for (const obs::ScopeEvent &scope : tracer.scopeEvents())
+        traced.insert(scope.span.trace_id);
+    size_t exemplars = 0;
+    for (const service::ScenarioScore &score : result.sla.scenarios) {
+        for (const obs::Exemplar &e : score.exemplars) {
+            ++exemplars;
+            if (traced.find(e.trace_id) == traced.end()) {
+                std::fprintf(stderr,
+                             "FAIL: exemplar %s trace %llu has no "
+                             "scope events\n",
+                             e.label.c_str(),
+                             static_cast<unsigned long long>(
+                                 e.trace_id));
+                ok = false;
+            }
+            const double sum = e.path.queue_wait_ms +
+                e.path.rc_chain_ms + e.path.encode_ms;
+            const double slack =
+                std::max(0.5, 0.05 * e.latency_ms);
+            if (std::abs(sum - e.latency_ms) > slack) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: exemplar %s critical path %.3fms != "
+                    "latency %.3fms\n",
+                    e.label.c_str(), sum, e.latency_ms);
+                ok = false;
+            }
+        }
+    }
+    if (exemplars == 0) {
+        std::fprintf(stderr, "FAIL: no tail-latency exemplars "
+                             "retained\n");
+        ok = false;
+    }
+    std::printf("observability: %zu exemplars, %zu scope events, "
+                "%zu telemetry series, prom %zu bytes\n",
+                exemplars, tracer.scopeEvents().size(),
+                result.telemetry.size(), prom.str().size());
+    return ok;
+}
+
 /** Gate for check.sh: small run that must hit its generous SLAs. */
 int
 runSmoke()
@@ -224,11 +312,20 @@ runSmoke()
 
     service::ServiceConfig config;
     config.admission_capacity = 64;
+    // Own sinks so the smoke can inspect what the run recorded; the
+    // tracer merges into the process-wide one afterwards so a
+    // VBENCH_TRACE file still carries the request trees.
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    config.tracer = &tracer;
+    config.metrics = &metrics;
     service::TranscodeService svc(config, corpus);
     const service::ServiceResult result = svc.run(workload);
+    if (obs::Tracer *global = obs::globalTracer())
+        global->mergeFrom(tracer);
 
     printScorecard(result.sla);
-    bool ok = true;
+    bool ok = checkObservability(result, tracer, metrics);
     if (result.dropped > 0) {
         std::fprintf(stderr,
                      "FAIL: %llu requests dropped with capacity to "

@@ -17,11 +17,35 @@
 #include "core/measure.h"
 #include "core/reference.h"
 #include "core/transcoder.h"
+#include "kernels/kernel_ops.h"
 #include "obs/clock.h"
+#include "sched/frame_threads.h"
 #include "sched/scheduler.h"
 #include "video/suite.h"
 
+#ifndef VBENCH_GIT_DESCRIBE
+#define VBENCH_GIT_DESCRIBE "unknown"
+#endif
+
 namespace vbench::bench {
+
+/**
+ * Provenance header for every BENCH_*.json: the resolved kernel ISA,
+ * frame-thread and worker settings, and the build's `git describe`.
+ * Splice the returned fields right after the top-level opening brace
+ * (they end with a comma) so two result files are comparable — or
+ * visibly not — without chasing down the host that produced them.
+ */
+inline std::string
+jsonMetaFields()
+{
+    return std::string("\"meta\":{\"kernel_isa\":\"") +
+        kernels::isaName(kernels::activeIsa()) +
+        "\",\"frame_threads\":" +
+        std::to_string(sched::frameThreadsFromEnv()) + ",\"jobs\":" +
+        std::to_string(sched::Scheduler::defaultWorkerCount()) +
+        ",\"git\":\"" VBENCH_GIT_DESCRIBE "\"},";
+}
 
 /**
  * Frames to render for a spec when reproducing experiments: scaled

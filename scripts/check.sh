@@ -38,6 +38,19 @@ echo "== frame-thread bit-exactness (bench_frame_threads --smoke) =="
 echo "== service smoke (bench_service --smoke) =="
 "$build/bench/bench_service" --smoke
 
+echo "== observability schema gate (traced smoke + obs_lint) =="
+obs_dir="$build/obs-gate"
+mkdir -p "$obs_dir"
+rm -f "$obs_dir/trace.json" "$obs_dir/reports.jsonl" "$obs_dir/prom.txt"
+VBENCH_TRACE="$obs_dir/trace.json" \
+VBENCH_METRICS_OUT="$obs_dir/reports.jsonl" \
+VBENCH_PROM_OUT="$obs_dir/prom.txt" \
+    "$build/bench/bench_service" --smoke >/dev/null
+"$build/tools/obs_lint" \
+    --trace "$obs_dir/trace.json" \
+    --report "$obs_dir/reports.jsonl" \
+    --prom "$obs_dir/prom.txt"
+
 echo "== ISA bit-exactness (VBENCH_ISA=scalar vs native digest) =="
 scalar_digest="$(VBENCH_ISA=scalar "$build/bench/bench_kernels" --digest)"
 native_digest="$(VBENCH_ISA=native "$build/bench/bench_kernels" --digest)"

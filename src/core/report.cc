@@ -117,6 +117,18 @@ toJson(const RunReport &report, const obs::MetricsRegistry *metrics)
         ss << "}";
     }
 
+    if (!report.extra_str.empty()) {
+        ss << "," << obs::jsonString("extra_str") << ":{";
+        first = true;
+        for (const auto &[key, value] : report.extra_str) {
+            if (!first)
+                ss << ",";
+            first = false;
+            ss << obs::jsonString(key) << ":" << obs::jsonString(value);
+        }
+        ss << "}";
+    }
+
     if (metrics) {
         ss << "," << obs::jsonString("metrics") << ":";
         metrics->writeJson(ss);

@@ -63,6 +63,9 @@ struct RunReport {
     int frame_threads = 1;
     obs::StageTotals stages;
     std::vector<std::pair<std::string, double>> extra;
+    /// Free-form extra strings ("trace_id" linking the report line to
+    /// its span tree in the Chrome trace, exemplar labels, ...).
+    std::vector<std::pair<std::string, std::string>> extra_str;
 };
 
 /**

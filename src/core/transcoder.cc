@@ -1,5 +1,6 @@
 #include "core/transcoder.h"
 
+#include <cassert>
 #include <sstream>
 
 #include "codec/decoder.h"
@@ -166,6 +167,17 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     obs::MetricsRegistry *metrics = request.metrics
         ? request.metrics
         : (obs::metricsEnabled() ? &obs::globalMetrics() : nullptr);
+    // Detect the contract violation the fallback can't survive: two
+    // transcodes attributing against the global sinks at once. The
+    // guard only observes (the counter lands in the global registry);
+    // debug builds additionally trip the assert so the misuse is loud
+    // where it's cheap to be.
+    const bool uses_global_fallback =
+        (tracer && !request.tracer) || (metrics && !request.metrics);
+    obs::GlobalAttributionGuard attribution_guard(uses_global_fallback);
+    assert(!attribution_guard.contended() &&
+           "concurrent transcode() calls must pass per-worker "
+           "tracer/metrics sinks (see obs/obs.h)");
     const obs::StageTotals leaf_before =
         tracer ? tracer->stageTotals() : obs::StageTotals{};
 
@@ -258,6 +270,9 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     outcome.stages.set(obs::Stage::Measure,
                        obs::nowSeconds() - measure_start);
     outcome.ok = true;
+    // The on-worker share of the critical path; the scheduler and
+    // service layer in queue_wait / rc_chain / stitch around it.
+    outcome.critical_path.encode_ms = outcome.seconds * 1e3;
 
     if (tracer) {
         // This run's leaf-stage share of the tracer's accumulation
@@ -312,6 +327,9 @@ makeRunReport(std::string label, const TranscodeRequest &request,
     report.stages = outcome.stages;
     report.frame_threads = outcome.frame_threads;
     report.extra.emplace_back("ok", outcome.ok ? 1.0 : 0.0);
+    if (request.span.valid())
+        report.extra_str.emplace_back(
+            "trace_id", std::to_string(request.span.trace_id));
     if (request.kind == EncoderKind::Vbc)
         report.extra.emplace_back("effort", request.effort);
     if (request.kind == EncoderKind::NgcHevc ||

@@ -19,7 +19,9 @@
 #include "codec/types.h"
 #include "core/measure.h"
 #include "core/report.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "uarch/probe.h"
@@ -75,6 +77,15 @@ struct TranscodeRequest {
     /// (enabled via VBENCH_TRACE); when that is also null, every
     /// instrumentation point costs one predictable branch.
     obs::Tracer *tracer = nullptr;
+    /**
+     * Request-scoped span identity. Invalid (the default) means this
+     * transcode is not part of a distributed trace and costs nothing.
+     * The service mints one context per client request and derives a
+     * child per segment; the scheduler propagates it into the worker's
+     * encode slice and flow arrows, so one request renders as a single
+     * connected tree across threads (obs/span.h).
+     */
+    obs::SpanContext span;
     /// Metrics sink. Null falls back to the global registry when
     /// VBENCH_METRICS_OUT is set, else metrics are skipped entirely.
     obs::MetricsRegistry *metrics = nullptr;
@@ -123,6 +134,13 @@ struct TranscodeOutcome {
     /// segment's TranscodeRequest::rc_in to chain a split-and-stitch
     /// transcode.
     codec::RcSnapshot rc_state;
+    /**
+     * Where this request's latency went (milliseconds). transcode()
+     * fills encode_ms (its own wall clock); the scheduler adds
+     * queue_wait_ms and the service adds rc_chain_ms / stitch_ms, so
+     * a service segment's components sum to its measured latency.
+     */
+    obs::CriticalPath critical_path;
 };
 
 /**

@@ -1,0 +1,144 @@
+#pragma once
+
+/**
+ * @file
+ * Tail-latency exemplars. An aggregate p99 says the tail is slow; an
+ * exemplar says *which request* was slow and *where its time went*,
+ * by pairing the measured latency with the request's trace_id (the
+ * key into the Chrome trace's span tree) and its critical-path
+ * breakdown. The SLA scorer keeps one ExemplarStore per scenario and
+ * reports the slowest-decile entries next to the p99 line, so a bad
+ * percentile in a scorecard links to concrete, inspectable traces
+ * (docs/OBSERVABILITY.md).
+ *
+ * The store is a bounded keep-K-largest structure (min-heap on
+ * latency): recording is O(log K), memory is O(K) no matter how many
+ * segments a run transcodes, and the K retained entries are exactly
+ * the K slowest seen. K defaults to 256 — deep enough that the
+ * slowest decile of any realistic benchmark run survives intact.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vbench::obs {
+
+/**
+ * Where a request's wall-clock went, in milliseconds. The stages
+ * partition the measured latency (same tiling contract as trace
+ * stages): queue_wait + rc_chain + encode sum to a segment's latency;
+ * stitch is request-level and accounted once per rung.
+ */
+struct CriticalPath {
+    double queue_wait_ms = 0;  ///< scheduler submit -> job start
+    /// Pre-submit wait: availability -> scheduler submit (the RC-carry
+    /// predecessor for chained rungs, admission/dispatch otherwise).
+    double rc_chain_ms = 0;
+    double encode_ms = 0;      ///< on-worker transcode wall clock
+    double stitch_ms = 0;      ///< bitstream stitch (request-level)
+
+    double
+    total_ms() const
+    {
+        return queue_wait_ms + rc_chain_ms + encode_ms + stitch_ms;
+    }
+};
+
+/** One retained slow request/segment. */
+struct Exemplar {
+    uint64_t trace_id = 0;  ///< resolves into the Chrome trace
+    double latency_ms = 0;  ///< measured end-to-end latency
+    CriticalPath path;      ///< where the latency went
+    std::string label;      ///< e.g. "vod_1080p.s3" (rung.segment)
+};
+
+/**
+ * Thread-safe bounded store of the K largest-latency exemplars.
+ * record() from many workers is safe; snapshots copy.
+ */
+class ExemplarStore
+{
+  public:
+    explicit ExemplarStore(size_t capacity = 256)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    ExemplarStore(const ExemplarStore &) = delete;
+    ExemplarStore &operator=(const ExemplarStore &) = delete;
+
+    /**
+     * Offer one exemplar. Kept if the store has room or the latency
+     * beats the current minimum (which is then evicted).
+     */
+    void
+    record(Exemplar e)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (heap_.size() < capacity_) {
+            heap_.push_back(std::move(e));
+            std::push_heap(heap_.begin(), heap_.end(), minFirst);
+            return;
+        }
+        if (e.latency_ms <= heap_.front().latency_ms)
+            return;
+        std::pop_heap(heap_.begin(), heap_.end(), minFirst);
+        heap_.back() = std::move(e);
+        std::push_heap(heap_.begin(), heap_.end(), minFirst);
+    }
+
+    /** All retained exemplars, slowest first. */
+    std::vector<Exemplar>
+    sortedDesc() const
+    {
+        std::vector<Exemplar> out;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            out = heap_;
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Exemplar &a, const Exemplar &b) {
+                      return a.latency_ms > b.latency_ms;
+                  });
+        return out;
+    }
+
+    /** Retained exemplars at or above a latency cut, slowest first. */
+    std::vector<Exemplar>
+    atOrAbove(double latency_ms) const
+    {
+        std::vector<Exemplar> out = sortedDesc();
+        out.erase(std::find_if(out.begin(), out.end(),
+                               [latency_ms](const Exemplar &e) {
+                                   return e.latency_ms < latency_ms;
+                               }),
+                  out.end());
+        return out;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return heap_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    static bool
+    minFirst(const Exemplar &a, const Exemplar &b)
+    {
+        return a.latency_ms > b.latency_ms;  // min-heap on latency
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<Exemplar> heap_;  ///< min-heap: front = smallest kept
+};
+
+} // namespace vbench::obs

@@ -2,11 +2,14 @@
 
 /**
  * @file
- * A deliberately small recursive-descent JSON parser, used only by
- * tests to round-trip the observability subsystem's emitted JSON
- * (Chrome traces, metrics dumps, run reports). Rejects trailing
- * garbage; accepts the full value grammar the emitters can produce:
- * objects, arrays, strings with escapes, numbers, true/false/null.
+ * A deliberately small recursive-descent JSON parser, shared by the
+ * tests and the `obs_lint` schema gate to round-trip the
+ * observability subsystem's emitted JSON (Chrome traces, metrics
+ * dumps, run reports). Rejects trailing garbage; accepts the full
+ * value grammar the emitters can produce: objects, arrays, strings
+ * with escapes, numbers, true/false/null. Output stays hand-rolled
+ * (obs/json.h); this parser exists so the emitters can be validated
+ * without a third-party JSON dependency.
  */
 
 #include <cctype>
@@ -17,7 +20,7 @@
 #include <string_view>
 #include <vector>
 
-namespace vbench::testjson {
+namespace vbench::obs::jsonlite {
 
 struct Value {
     enum class Kind { Null, Bool, Number, String, Array, Object };
@@ -257,4 +260,10 @@ parse(std::string_view text)
     return Parser(text).parse();
 }
 
-} // namespace vbench::testjson
+} // namespace vbench::obs::jsonlite
+
+namespace vbench {
+/// Back-compat alias: the parser began life as a test-only utility
+/// (tests/obs/json_test_util.h) and the tests still say `testjson::`.
+namespace testjson = obs::jsonlite;
+} // namespace vbench

@@ -82,6 +82,8 @@ Histogram::valueAtQuantile(double q) const noexcept
     const uint64_t n = count();
     if (n == 0)
         return 0.0;
+    if (q != q)  // NaN: no meaningful rank; clamp would propagate it
+        return 0.0;
     q = std::clamp(q, 0.0, 1.0);
     // Rank in [1, n] of the sample at quantile q.
     const double rank = q * (static_cast<double>(n) - 1.0) + 1.0;
@@ -183,6 +185,29 @@ MetricsRegistry::writeJson(std::ostream &out) const
             << ",\"p99\":" << jsonNumber(h->percentile(99)) << "}";
     }
     out << "}}";
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        MetricsSnapshot::HistogramStats s;
+        s.name = name;
+        s.count = h->count();
+        s.sum = h->sum();
+        s.mean = h->mean();
+        s.p50 = h->percentile(50);
+        s.p90 = h->percentile(90);
+        s.p99 = h->percentile(99);
+        snap.histograms.push_back(std::move(s));
+    }
+    return snap;
 }
 
 void

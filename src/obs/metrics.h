@@ -19,6 +19,9 @@
 #include <mutex>
 #include <string>
 
+#include <utility>
+#include <vector>
+
 namespace vbench::obs {
 
 /** Monotonic counter. add() is lock-free; overflow wraps mod 2^64. */
@@ -73,7 +76,21 @@ class Histogram
      * p99. Same estimator as percentile() — rank q*(n-1)+1 located in
      * the covering bucket, linearly interpolated across the bucket's
      * [lo, hi) value range — so a quantile that falls entirely inside
-     * one bucket is exact at the bucket's resolution. 0 when empty.
+     * one bucket is exact at the bucket's resolution.
+     *
+     * Edge cases (pinned by tests/obs/test_metrics.cc):
+     *  - empty histogram: 0 for every q, including 0 and 1;
+     *  - q outside [0, 1]: clamped (q<0 behaves as 0, q>1 as 1);
+     *  - q = NaN: 0 (an unanswerable query, not a sample estimate);
+     *  - q = 0: rank 1, interpolated 1/c of the way across the first
+     *    occupied bucket (count c) — inside that bucket, never below
+     *    its low edge nor above its high edge;
+     *  - q = 1: rank n, exactly the high edge of the last occupied
+     *    bucket (the tightest upper bound the buckets can state);
+     *  - single sample: every q has rank 1 in the sample's bucket and
+     *    returns its high edge (for values < 8 buckets are unit-width,
+     *    so a lone observe(3) reports 4 at every quantile) — the
+     *    estimator answers at bucket resolution, not sample identity.
      */
     double valueAtQuantile(double q) const noexcept;
 
@@ -103,6 +120,27 @@ class Histogram
 };
 
 /**
+ * Point-in-time copy of a registry's contents, in stable
+ * (lexicographic) name order. This is the read side external
+ * exporters (the Prometheus writer, run reports) consume so they
+ * never hold the registry lock while formatting.
+ */
+struct MetricsSnapshot {
+    struct HistogramStats {
+        std::string name;
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        double mean = 0;
+        double p50 = 0;
+        double p90 = 0;
+        double p99 = 0;
+    };
+
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<HistogramStats> histograms;
+};
+
+/**
  * Thread-safe name -> metric registry. Lookup takes a lock; the
  * returned references stay valid for the registry's lifetime, so hot
  * paths resolve once and then add lock-free.
@@ -122,6 +160,9 @@ class MetricsRegistry
 
     /** One JSON object: {"counters":{...},"histograms":{...}}. */
     void writeJson(std::ostream &out) const;
+
+    /** Copy out every metric's current value (see MetricsSnapshot). */
+    MetricsSnapshot snapshot() const;
 
     /**
      * Fold every metric of `other` into this registry, creating

@@ -1,6 +1,9 @@
 #include "obs/obs.h"
 
+#include <atomic>
 #include <cstdlib>
+
+#include "obs/telemetry.h"
 
 namespace vbench::obs {
 
@@ -16,6 +19,10 @@ parseEnvConfig()
     if (const char *metrics = std::getenv("VBENCH_METRICS_OUT");
         metrics && metrics[0] != '\0') {
         cfg.metrics_path = metrics;
+    }
+    if (const char *prom = std::getenv("VBENCH_PROM_OUT");
+        prom && prom[0] != '\0') {
+        cfg.prom_path = prom;
     }
     return cfg;
 }
@@ -55,11 +62,73 @@ metricsEnabled()
     return !config().metrics_path.empty();
 }
 
+bool
+promEnabled()
+{
+    return !config().prom_path.empty();
+}
+
+namespace {
+
+std::atomic<bool> &
+promWrittenFlag()
+{
+    static std::atomic<bool> written{false};
+    return written;
+}
+
+} // namespace
+
+void
+markPromWritten()
+{
+    promWrittenFlag().store(true, std::memory_order_release);
+}
+
 void
 flushGlobal()
 {
     if (Tracer *tracer = globalTracer())
         tracer->writeChromeTraceFile(config().trace_path);
+    if (promEnabled() &&
+        !promWrittenFlag().load(std::memory_order_acquire))
+        writePromFile(config().prom_path, &globalMetrics(), nullptr);
+}
+
+namespace {
+
+std::atomic<int> &
+attributionClaimants()
+{
+    static std::atomic<int> claimants{0};
+    return claimants;
+}
+
+} // namespace
+
+GlobalAttributionGuard::GlobalAttributionGuard(bool active)
+    : active_(active)
+{
+    if (!active_)
+        return;
+    const int prior =
+        attributionClaimants().fetch_add(1, std::memory_order_acq_rel);
+    if (prior > 0) {
+        contended_ = true;
+        globalMetrics().counter("obs.fallback_contended").add();
+    }
+}
+
+GlobalAttributionGuard::~GlobalAttributionGuard()
+{
+    if (active_)
+        attributionClaimants().fetch_sub(1, std::memory_order_acq_rel);
+}
+
+int
+GlobalAttributionGuard::activeClaimants()
+{
+    return attributionClaimants().load(std::memory_order_acquire);
 }
 
 } // namespace vbench::obs

@@ -11,6 +11,10 @@
  *   VBENCH_METRICS_OUT=<path>  enable run reports; each transcode /
  *                              bench run appends one JSON document per
  *                              line to <path> ("-" for stdout).
+ *   VBENCH_PROM_OUT=<path>     enable Prometheus snapshots; the
+ *                              service (and flushGlobal()) writes an
+ *                              OpenMetrics text exposition of the
+ *                              global metrics to <path>.
  *
  * When neither variable is set, globalTracer() is null and every
  * instrumentation point costs one predictable branch.
@@ -38,6 +42,7 @@ struct ObsConfig {
     bool trace_enabled = false;
     std::string trace_path;
     std::string metrics_path;
+    std::string prom_path;
 };
 
 /** Parse the observability environment (pure read, no caching). */
@@ -58,7 +63,55 @@ MetricsRegistry &globalMetrics();
 /** True when VBENCH_METRICS_OUT is set. */
 bool metricsEnabled();
 
-/** Write the global trace file now (no-op when tracing is off). */
+/** True when VBENCH_PROM_OUT is set. */
+bool promEnabled();
+
+/**
+ * Note that a Prometheus snapshot was already written to the
+ * VBENCH_PROM_OUT path this process. The service calls this after
+ * writing its exposition (which includes live gauge samples) so the
+ * atexit flushGlobal() doesn't clobber it with the gauge-less global
+ * registry.
+ */
+void markPromWritten();
+
+/**
+ * Write the global trace file and Prometheus snapshot now (each a
+ * no-op when its variable is off; the prom write also defers to a
+ * snapshot already written via markPromWritten()).
+ */
 void flushGlobal();
+
+/**
+ * Scoped claim on the global single-writer attribution channel (see
+ * the concurrency contract above). core::transcode() enters it while
+ * attributing leaf-stage deltas against the global tracer / registry;
+ * a second concurrent claimant means two encoders are racing the
+ * global fallback, so the guard records `obs.fallback_contended` in
+ * the global registry and reports the contention. The guard never
+ * blocks — detection, not exclusion — because the racy numbers are
+ * still bounded garbage while an added lock would serialize encoders.
+ */
+class GlobalAttributionGuard
+{
+  public:
+    /** `active` = this scope really uses the global fallback. */
+    explicit GlobalAttributionGuard(bool active);
+    ~GlobalAttributionGuard();
+
+    GlobalAttributionGuard(const GlobalAttributionGuard &) = delete;
+    GlobalAttributionGuard &operator=(const GlobalAttributionGuard &) =
+        delete;
+
+    /** True when another claimant was already inside on entry. */
+    bool contended() const { return contended_; }
+
+    /** Claimants currently inside (exposed for tests). */
+    static int activeClaimants();
+
+  private:
+    bool active_ = false;
+    bool contended_ = false;
+};
 
 } // namespace vbench::obs

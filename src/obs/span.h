@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Request-scoped span identity. A SpanContext names one node of a
+ * distributed trace tree: every span carries the trace it belongs to
+ * (`trace_id`), its own identity (`span_id`), and its parent
+ * (`parent_id`, 0 at the root). The service mints one root context per
+ * client request and derives children for admission wait, dispatch,
+ * each segment encode, and the stitch, so one request yields a single
+ * connected tree across the dispatcher and every worker thread that
+ * touched it (docs/OBSERVABILITY.md).
+ *
+ * Ids are process-unique (one shared atomic counter, never 0), so a
+ * merged trace file can interleave many requests without collisions.
+ * A default-constructed context is invalid (`trace_id == 0`) and every
+ * recording path treats it as "no request tracing" at the usual
+ * one-branch cost.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace vbench::obs {
+
+namespace detail {
+
+inline std::atomic<uint64_t> &
+spanIdCounter()
+{
+    static std::atomic<uint64_t> next{1};
+    return next;
+}
+
+} // namespace detail
+
+/** Allocate a process-unique id (monotonic, never 0). */
+inline uint64_t
+nextSpanId()
+{
+    return detail::spanIdCounter().fetch_add(1,
+                                             std::memory_order_relaxed);
+}
+
+/** One node of a request's trace tree. */
+struct SpanContext {
+    uint64_t trace_id = 0;  ///< the request's trace; 0 = no tracing
+    uint64_t span_id = 0;   ///< this span
+    uint64_t parent_id = 0; ///< enclosing span; 0 = trace root
+
+    bool valid() const { return trace_id != 0; }
+
+    /** A child span of this context (same trace, fresh id). */
+    SpanContext
+    child() const
+    {
+        return SpanContext{trace_id, nextSpanId(), span_id};
+    }
+
+    /** Mint a fresh root context (new trace). */
+    static SpanContext
+    newTrace()
+    {
+        const uint64_t id = nextSpanId();
+        return SpanContext{id, id, 0};
+    }
+};
+
+} // namespace vbench::obs

@@ -1,0 +1,381 @@
+#include "obs/telemetry.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/clock.h"
+
+namespace vbench::obs {
+
+TelemetrySampler::TelemetrySampler() : TelemetrySampler(Config{}) {}
+
+TelemetrySampler::TelemetrySampler(Config config) : config_(config)
+{
+    if (config_.interval_s <= 0)
+        config_.interval_s = 0.010;
+    if (config_.ring_capacity == 0)
+        config_.ring_capacity = 1;
+}
+
+TelemetrySampler::~TelemetrySampler()
+{
+    stop();
+}
+
+void
+TelemetrySampler::addGauge(std::string name, std::function<double()> probe)
+{
+    if (!probe)
+        return;
+    GaugeSlot slot;
+    slot.name = std::move(name);
+    slot.probe = std::move(probe);
+    slot.ring.resize(config_.ring_capacity);
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_.push_back(std::move(slot));
+}
+
+void
+TelemetrySampler::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (running_)
+            return;
+        stop_requested_ = false;
+        stopped_ = false;
+        running_ = true;
+    }
+    thread_ = std::thread(&TelemetrySampler::threadMain, this);
+}
+
+void
+TelemetrySampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    // Final synchronous sample: even a run shorter than one interval
+    // ends with at least one point per gauge, and the last point
+    // reflects post-run state (e.g. merged shard metrics).
+    sampleOnce();
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+}
+
+bool
+TelemetrySampler::running() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+}
+
+void
+TelemetrySampler::sampleOnce()
+{
+    // Probes run without mu_ held: a probe may take the observed
+    // object's own lock, and holding ours across it invites ordering
+    // trouble. addGauge() only appends, so indices stay stable.
+    size_t n;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        n = gauges_.size();
+    }
+    const uint64_t now = nowNs();
+    std::vector<double> values(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        std::function<double()> probe;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            probe = gauges_[i].probe;
+        }
+        values[i] = probe();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n && i < gauges_.size(); ++i) {
+        GaugeSlot &g = gauges_[i];
+        g.ring[g.head] = TelemetryPoint{now, values[i]};
+        g.head = (g.head + 1) % g.ring.size();
+        if (g.count < g.ring.size())
+            ++g.count;
+    }
+    ++ticks_;
+}
+
+uint64_t
+TelemetrySampler::tickCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ticks_;
+}
+
+std::vector<TelemetrySeries>
+TelemetrySampler::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TelemetrySeries> out;
+    out.reserve(gauges_.size());
+    for (const GaugeSlot &g : gauges_) {
+        TelemetrySeries s;
+        s.name = g.name;
+        s.points.reserve(g.count);
+        // Oldest point first: a full ring starts at the next write
+        // slot (head), a partial ring at 0.
+        const size_t start = g.count == g.ring.size() ? g.head : 0;
+        for (size_t k = 0; k < g.count; ++k)
+            s.points.push_back(g.ring[(start + k) % g.ring.size()]);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+TelemetrySampler::threadMain()
+{
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(config_.interval_s));
+    while (true) {
+        sampleOnce();
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+        if (stop_requested_)
+            return;
+    }
+}
+
+std::string
+promName(std::string_view name)
+{
+    std::string out = "vbench_";
+    for (const char c : name) {
+        if (c == '.' || c == '-' || c == ' ') {
+            out += '_';
+            continue;
+        }
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+            out += c;
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+promValue(double v)
+{
+    std::ostringstream ss;
+    ss.precision(15);
+    ss << v;
+    return ss.str();
+}
+
+} // namespace
+
+void
+writePromText(std::ostream &out, const MetricsRegistry *metrics,
+              const TelemetrySampler *telemetry)
+{
+    writePromText(out, metrics,
+                  telemetry ? telemetry->snapshot()
+                            : std::vector<TelemetrySeries>{});
+}
+
+void
+writePromText(std::ostream &out, const MetricsRegistry *metrics,
+              const std::vector<TelemetrySeries> &series)
+{
+    if (metrics) {
+        const MetricsSnapshot snap = metrics->snapshot();
+        for (const auto &[name, value] : snap.counters) {
+            const std::string prom = promName(name);
+            out << "# TYPE " << prom << " counter\n";
+            out << prom << "_total " << value << "\n";
+        }
+        for (const MetricsSnapshot::HistogramStats &h : snap.histograms) {
+            const std::string prom = promName(h.name);
+            out << "# TYPE " << prom << " summary\n";
+            out << prom << "{quantile=\"0.5\"} " << promValue(h.p50)
+                << "\n";
+            out << prom << "{quantile=\"0.9\"} " << promValue(h.p90)
+                << "\n";
+            out << prom << "{quantile=\"0.99\"} " << promValue(h.p99)
+                << "\n";
+            out << prom << "_sum " << h.sum << "\n";
+            out << prom << "_count " << h.count << "\n";
+        }
+    }
+    for (const TelemetrySeries &s : series) {
+        const std::string prom = promName(s.name);
+        out << "# TYPE " << prom << " gauge\n";
+        out << prom << " " << promValue(s.last()) << "\n";
+    }
+    out << "# EOF\n";
+}
+
+bool
+writePromFile(const std::string &path, const MetricsRegistry *metrics,
+              const TelemetrySampler *telemetry)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writePromText(out, metrics, telemetry);
+    return static_cast<bool>(out);
+}
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+/// `name` minus a standard sample suffix, when present.
+std::string_view
+familyOf(std::string_view name)
+{
+    for (const std::string_view suffix :
+         {std::string_view("_total"), std::string_view("_sum"),
+          std::string_view("_count"), std::string_view("_bucket")}) {
+        if (name.size() > suffix.size() &&
+            name.substr(name.size() - suffix.size()) == suffix)
+            return name.substr(0, name.size() - suffix.size());
+    }
+    return name;
+}
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = std::isalpha(static_cast<unsigned char>(c)) ||
+            c == '_' || c == ':';
+        const bool digit = std::isdigit(static_cast<unsigned char>(c));
+        if (i == 0 ? !alpha : !(alpha || digit))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+validatePromText(std::string_view text, std::string *error)
+{
+    if (text.empty())
+        return fail(error, "empty exposition");
+    std::set<std::string, std::less<>> declared;
+    std::string last_content;
+    size_t line_no = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        const size_t eol = text.find('\n', pos);
+        const std::string_view line = text.substr(
+            pos, (eol == std::string_view::npos ? text.size() : eol) - pos);
+        pos = eol == std::string_view::npos ? text.size() : eol + 1;
+        ++line_no;
+        if (line.empty())
+            continue;
+        const auto lineError = [&](const std::string &what) {
+            return fail(error, "line " + std::to_string(line_no) + ": " +
+                                   what + ": " + std::string(line));
+        };
+        last_content = std::string(line);
+        if (line[0] == '#') {
+            if (line == "# EOF")
+                continue;
+            if (line.rfind("# HELP ", 0) == 0)
+                continue;
+            if (line.rfind("# TYPE ", 0) == 0) {
+                // "# TYPE <name> <type>"
+                const std::string_view rest = line.substr(7);
+                const size_t sp = rest.find(' ');
+                if (sp == std::string_view::npos)
+                    return lineError("malformed TYPE");
+                const std::string_view name = rest.substr(0, sp);
+                const std::string_view kind = rest.substr(sp + 1);
+                if (!validMetricName(name))
+                    return lineError("bad metric name in TYPE");
+                if (kind != "counter" && kind != "gauge" &&
+                    kind != "histogram" && kind != "summary" &&
+                    kind != "untyped")
+                    return lineError("unknown metric type");
+                declared.insert(std::string(name));
+                continue;
+            }
+            return lineError("unrecognized comment");
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        size_t name_end = 0;
+        while (name_end < line.size() && line[name_end] != '{' &&
+               line[name_end] != ' ')
+            ++name_end;
+        const std::string_view name = line.substr(0, name_end);
+        if (!validMetricName(name))
+            return lineError("bad metric name");
+        if (declared.find(familyOf(name)) == declared.end() &&
+            declared.find(name) == declared.end())
+            return lineError("sample without TYPE declaration");
+        size_t rest_pos = name_end;
+        if (rest_pos < line.size() && line[rest_pos] == '{') {
+            // Labels must close before the value. Our writer never
+            // escapes quotes inside label values, so a quote-aware
+            // scan for the closing brace suffices.
+            bool in_string = false;
+            size_t close = std::string_view::npos;
+            for (size_t i = rest_pos; i < line.size(); ++i) {
+                if (line[i] == '"')
+                    in_string = !in_string;
+                else if (line[i] == '}' && !in_string) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == std::string_view::npos || in_string)
+                return lineError("unterminated label set");
+            rest_pos = close + 1;
+        }
+        if (rest_pos >= line.size() || line[rest_pos] != ' ')
+            return lineError("missing value");
+        const std::string rest(line.substr(rest_pos + 1));
+        if (rest.empty())
+            return lineError("missing value");
+        char *end = nullptr;
+        std::strtod(rest.c_str(), &end);
+        if (end == rest.c_str())
+            return lineError("malformed value");
+        // Allow an optional integer timestamp after the value.
+        while (*end == ' ')
+            ++end;
+        if (*end != '\0') {
+            char *ts_end = nullptr;
+            std::strtoll(end, &ts_end, 10);
+            if (ts_end == end || *ts_end != '\0')
+                return lineError("trailing garbage after value");
+        }
+    }
+    if (last_content != "# EOF")
+        return fail(error, "missing trailing # EOF");
+    return true;
+}
+
+} // namespace vbench::obs

@@ -1,0 +1,197 @@
+#pragma once
+
+/**
+ * @file
+ * Live telemetry sampling and Prometheus/OpenMetrics text exposition.
+ *
+ * A TelemetrySampler owns a set of named gauges — cheap, thread-safe
+ * probe callbacks like "admission queue depth" or "jobs in flight" —
+ * and a background thread that snapshots every gauge at a fixed
+ * interval into a bounded ring buffer of (timestamp, value) points.
+ * Unlike the MetricsRegistry (monotonic counters and histograms that
+ * only tell you what happened by the end of a run), the sampler
+ * records *when* the queue was deep and the workers were saturated,
+ * which is what turns an SLA scorecard's p99 into an explanation.
+ *
+ * The ring is fixed-capacity by design: a service run records the
+ * last `ring_capacity` samples per gauge and old points fall off, so
+ * memory is bounded no matter how long the run. stop() takes one
+ * final synchronous sample before joining, so even a run shorter than
+ * one interval yields at least one point per gauge.
+ *
+ * The same header hosts the Prometheus text-format writer used for
+ * VBENCH_PROM_OUT snapshots (docs/OBSERVABILITY.md): counters and
+ * histogram summaries from a MetricsRegistry plus the latest gauge
+ * values, terminated with the OpenMetrics `# EOF` marker, and a
+ * validator (`validatePromText`) the schema gates use to reject a
+ * malformed exposition before it reaches a real scraper.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vbench::obs {
+
+/** One sampled gauge value. */
+struct TelemetryPoint {
+    uint64_t t_ns = 0;  ///< obs::nowNs() at sample time
+    double value = 0;
+};
+
+/** The in-order snapshot of one gauge's ring (oldest first). */
+struct TelemetrySeries {
+    std::string name;
+    std::vector<TelemetryPoint> points;
+
+    double
+    last() const
+    {
+        return points.empty() ? 0.0 : points.back().value;
+    }
+
+    double
+    max() const
+    {
+        double m = 0;
+        for (const TelemetryPoint &p : points)
+            m = p.value > m ? p.value : m;
+        return m;
+    }
+
+    double
+    mean() const
+    {
+        if (points.empty())
+            return 0.0;
+        double s = 0;
+        for (const TelemetryPoint &p : points)
+            s += p.value;
+        return s / static_cast<double>(points.size());
+    }
+};
+
+/**
+ * Periodic gauge sampler. Gauge probes run on the sampler thread and
+ * must therefore be thread-safe against the code they observe (read
+ * an atomic, take the observed object's own lock — never touch
+ * unsynchronized state). Probes must not block: a stuck probe stalls
+ * every other gauge's timeline.
+ */
+class TelemetrySampler
+{
+  public:
+    struct Config {
+        /// Sampling period. The thread wakes, probes every gauge, and
+        /// sleeps again; jitter is bounded by probe cost.
+        double interval_s = 0.010;
+        /// Points retained per gauge (ring buffer; oldest dropped).
+        size_t ring_capacity = 512;
+    };
+
+    TelemetrySampler();
+    explicit TelemetrySampler(Config config);
+    ~TelemetrySampler();  ///< stops the thread if still running
+
+    TelemetrySampler(const TelemetrySampler &) = delete;
+    TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+    /**
+     * Register a gauge. Safe before or after start(); the next tick
+     * picks it up. Names follow the dotted metric convention
+     * ("service.queue_depth").
+     */
+    void addGauge(std::string name, std::function<double()> probe);
+
+    /** Start the sampling thread (no-op when already running). */
+    void start();
+
+    /**
+     * Take one final synchronous sample, stop the thread, and join.
+     * Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    bool running() const;
+
+    /** Probe every gauge once, now (the thread calls this per tick). */
+    void sampleOnce();
+
+    /** Ticks taken so far (including the final stop() sample). */
+    uint64_t tickCount() const;
+
+    /** Every gauge's in-order time series (oldest point first). */
+    std::vector<TelemetrySeries> snapshot() const;
+
+  private:
+    struct GaugeSlot {
+        std::string name;
+        std::function<double()> probe;
+        std::vector<TelemetryPoint> ring;  ///< capacity-bounded
+        size_t head = 0;                   ///< next write position
+        size_t count = 0;                  ///< points currently held
+    };
+
+    void threadMain();
+
+    Config config_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;  ///< interruptible inter-tick sleep
+    std::vector<GaugeSlot> gauges_;
+    uint64_t ticks_ = 0;
+    bool stop_requested_ = false;
+    bool stopped_ = false;  ///< final sample already taken
+    bool running_ = false;
+    std::thread thread_;
+};
+
+/**
+ * A metric name in Prometheus form: dots and dashes become
+ * underscores, anything outside [a-zA-Z0-9_] is dropped, and the
+ * result is prefixed "vbench_". ("service.queue_depth" →
+ * "vbench_service_queue_depth".)
+ */
+std::string promName(std::string_view name);
+
+/**
+ * Write a Prometheus/OpenMetrics text snapshot: every counter of
+ * `metrics` as a `counter` family (name suffixed `_total`), every
+ * histogram as a `summary` (q0.5/q0.9/q0.99 + `_sum`/`_count`), and
+ * every gauge of `telemetry` as a `gauge` carrying its latest sampled
+ * value. Either source may be null. Ends with `# EOF`.
+ */
+void writePromText(std::ostream &out, const MetricsRegistry *metrics,
+                   const TelemetrySampler *telemetry);
+
+/**
+ * Same, but over an already-taken gauge snapshot (e.g. the series a
+ * finished ServiceResult carries) instead of a live sampler.
+ */
+void writePromText(std::ostream &out, const MetricsRegistry *metrics,
+                   const std::vector<TelemetrySeries> &series);
+
+/** writePromText to a file; false if the file can't open. */
+bool writePromFile(const std::string &path,
+                   const MetricsRegistry *metrics,
+                   const TelemetrySampler *telemetry);
+
+/**
+ * Validate a Prometheus text exposition: every non-comment line must
+ * be `name[{labels}] value [timestamp]` with a previously TYPE-declared
+ * family (modulo the standard `_total`/`_sum`/`_count`/`_bucket`
+ * suffixes), comments must be `# HELP`/`# TYPE`/`# EOF`, and the
+ * final content line must be `# EOF`. On failure returns false and,
+ * when `error` is non-null, stores a one-line diagnosis.
+ */
+bool validatePromText(std::string_view text, std::string *error = nullptr);
+
+} // namespace vbench::obs

@@ -60,20 +60,58 @@ Tracer::addFrame(Track track, int32_t frame, uint64_t start_ns,
 }
 
 void
+Tracer::addScope(ScopeEvent scope)
+{
+    if (!scope.span.valid())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    scopes_.push_back(std::move(scope));
+}
+
+void
+Tracer::addFlow(FlowEvent flow)
+{
+    if (flow.flow_id == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    flows_.push_back(std::move(flow));
+}
+
+void
+Tracer::nameRow(int32_t tid, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    row_names_[tid] = std::move(name);
+}
+
+void
 Tracer::mergeFrom(const Tracer &other)
 {
     // Snapshot under the source lock, append under ours: never holding
     // both, so concurrent cross-merges cannot deadlock.
     std::vector<TraceEvent> events;
+    std::vector<ScopeEvent> scopes;
+    std::vector<FlowEvent> flows;
+    std::map<int32_t, std::string> row_names;
     uint64_t totals[kNumStages];
     {
         std::lock_guard<std::mutex> lock(other.mu_);
         events = other.events_;
+        scopes = other.scopes_;
+        flows = other.flows_;
+        row_names = other.row_names_;
         for (int i = 0; i < kNumStages; ++i)
             totals[i] = other.totals_ns_[i];
     }
     std::lock_guard<std::mutex> lock(mu_);
     events_.insert(events_.end(), events.begin(), events.end());
+    scopes_.insert(scopes_.end(),
+                   std::make_move_iterator(scopes.begin()),
+                   std::make_move_iterator(scopes.end()));
+    flows_.insert(flows_.end(), std::make_move_iterator(flows.begin()),
+                  std::make_move_iterator(flows.end()));
+    for (auto &[tid, name] : row_names)
+        row_names_[tid] = std::move(name);
     for (int i = 0; i < kNumStages; ++i)
         totals_ns_[i] += totals[i];
 }
@@ -92,7 +130,21 @@ size_t
 Tracer::eventCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return events_.size();
+    return events_.size() + scopes_.size() + flows_.size();
+}
+
+std::vector<ScopeEvent>
+Tracer::scopeEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return scopes_;
+}
+
+std::vector<FlowEvent>
+Tracer::flowEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return flows_;
 }
 
 void
@@ -100,6 +152,9 @@ Tracer::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
+    scopes_.clear();
+    flows_.clear();
+    row_names_.clear();
     for (uint64_t &v : totals_ns_)
         v = 0;
 }
@@ -108,15 +163,28 @@ void
 Tracer::writeChromeTrace(std::ostream &out) const
 {
     std::vector<TraceEvent> events;
+    std::vector<ScopeEvent> scopes;
+    std::vector<FlowEvent> flows;
+    std::map<int32_t, std::string> row_names;
     {
         std::lock_guard<std::mutex> lock(mu_);
         events = events_;
+        scopes = scopes_;
+        flows = flows_;
+        row_names = row_names_;
     }
     uint64_t origin = UINT64_MAX;
     for (const TraceEvent &e : events)
         origin = std::min(origin, e.start_ns);
+    for (const ScopeEvent &s : scopes)
+        origin = std::min(origin, s.start_ns);
+    for (const FlowEvent &f : flows)
+        origin = std::min(origin, f.ts_ns);
     if (origin == UINT64_MAX)
         origin = 0;
+    const auto micros = [origin](uint64_t ns) {
+        return jsonNumber(static_cast<double>(ns - origin) / 1e3);
+    };
 
     out << "{\"traceEvents\":[";
     bool first = true;
@@ -125,12 +193,18 @@ Tracer::writeChromeTrace(std::ostream &out) const
             out << ",";
         first = false;
     };
-    // Name the track rows.
+    // Name the track rows, then any registered service / worker /
+    // request rows.
     for (int t = 0; t < kNumTracks; ++t) {
         sep();
         out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
             << t + 1 << ",\"args\":{\"name\":"
             << jsonString(toString(static_cast<Track>(t))) << "}}";
+    }
+    for (const auto &[tid, name] : row_names) {
+        sep();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+            << tid << ",\"args\":{\"name\":" << jsonString(name) << "}}";
     }
     for (const TraceEvent &e : events) {
         sep();
@@ -146,12 +220,34 @@ Tracer::writeChromeTrace(std::ostream &out) const
         out << "{\"name\":" << jsonString(name) << ",\"cat\":\"" << cat
             << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
             << static_cast<int>(e.track) + 1 << ",\"ts\":"
-            << jsonNumber(static_cast<double>(e.start_ns - origin) / 1e3)
-            << ",\"dur\":"
+            << micros(e.start_ns) << ",\"dur\":"
             << jsonNumber(static_cast<double>(e.dur_ns) / 1e3);
         if (e.frame >= 0)
             out << ",\"args\":{\"frame\":" << e.frame << "}";
         out << "}";
+    }
+    // Request-scoped spans carry their SpanContext in args so tooling
+    // (and humans grepping for an exemplar's trace_id) can reconnect
+    // the tree.
+    for (const ScopeEvent &s : scopes) {
+        sep();
+        out << "{\"name\":" << jsonString(s.name)
+            << ",\"cat\":\"request\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+            << s.tid << ",\"ts\":" << micros(s.start_ns) << ",\"dur\":"
+            << jsonNumber(static_cast<double>(s.dur_ns) / 1e3)
+            << ",\"args\":{\"trace_id\":" << s.span.trace_id
+            << ",\"span_id\":" << s.span.span_id << ",\"parent_id\":"
+            << s.span.parent_id << "}}";
+    }
+    // Flow arrows: the begin/end pair shares `id`; Perfetto binds each
+    // end to the slice enclosing its (tid, ts).
+    for (const FlowEvent &f : flows) {
+        sep();
+        out << "{\"name\":" << jsonString(f.name)
+            << ",\"cat\":\"flow\",\"ph\":\"" << (f.begin ? "s" : "f")
+            << "\"" << (f.begin ? "" : ",\"bp\":\"e\"")
+            << ",\"id\":" << f.flow_id << ",\"pid\":1,\"tid\":" << f.tid
+            << ",\"ts\":" << micros(f.ts_ns) << "}";
     }
     out << "]}";
 }

@@ -9,7 +9,7 @@
  * point when no tracer is attached — the same contract as the null
  * UarchProbe.
  *
- * Two recording styles:
+ * Three recording styles:
  *  - ScopedSpan: a real span with its own begin/end timestamps
  *    (driver phases, per-frame decoder work).
  *  - ScopedStage + Tracer::addFrame: per-stage accumulation inside a
@@ -18,15 +18,23 @@
  *    once; the exporter lays the stages out sequentially inside the
  *    frame span and adds an `other` filler so the children exactly
  *    tile their frame.
+ *  - addScope / addFlow: request-scoped distributed tracing. A scope
+ *    is a named span carrying a SpanContext (trace / span / parent
+ *    ids) and an explicit export row (`tid`), so one service request
+ *    renders as a single connected tree; flow events draw the arrows
+ *    that bind a dispatch point on one thread row to the execution
+ *    slice on another (Chrome `ph:"s"` / `ph:"f"`).
  */
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/clock.h"
+#include "obs/span.h"
 #include "obs/stage.h"
 
 namespace vbench::obs {
@@ -39,6 +47,54 @@ struct TraceEvent {
     bool synthetic = false;  ///< laid out inside a frame, not measured
     uint64_t start_ns = 0;
     uint64_t dur_ns = 0;
+};
+
+/**
+ * Export rows ("thread" ids in the Chrome trace) are partitioned:
+ * rows 1..kNumTracks belong to the fixed Track enum, kServiceTid is
+ * the service dispatcher timeline, workerTid(w) the scheduler
+ * workers, and requestTid(id) one row per traced service request (its
+ * span tree renders as one self-contained lane).
+ */
+inline constexpr int32_t kServiceTid = 8;
+
+inline constexpr int32_t
+workerTid(int worker)
+{
+    return 16 + worker;
+}
+
+inline constexpr int32_t
+requestTid(uint64_t request_id)
+{
+    return 1024 + static_cast<int32_t>(request_id % 4096);
+}
+
+/**
+ * One finished request-scoped span: a named slice on an explicit
+ * export row, stamped with its SpanContext so tooling (and the
+ * exemplar store) can reconnect the tree across threads.
+ */
+struct ScopeEvent {
+    std::string name;
+    SpanContext span;
+    int32_t tid = kServiceTid;
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+};
+
+/**
+ * One end of a flow arrow. The pair with the same `flow_id` binds the
+ * enclosing slice at (`tid`, `ts_ns`) on the begin side to the one on
+ * the end side — this is how an admission-queue dispatch on the
+ * service row points at the segment encode on a worker row.
+ */
+struct FlowEvent {
+    std::string name;
+    uint64_t flow_id = 0;
+    int32_t tid = kServiceTid;
+    uint64_t ts_ns = 0;
+    bool begin = true;  ///< true: source (`ph:"s"`), false: sink (`ph:"f"`)
 };
 
 /** Thread-safe span collector + Chrome-trace exporter. */
@@ -63,6 +119,24 @@ class Tracer
                   uint64_t end_ns, const StageAccum &accum);
 
     /**
+     * Record one finished request-scoped span. Scopes with an invalid
+     * SpanContext are dropped (the one-branch null contract extends to
+     * "no request id").
+     */
+    void addScope(ScopeEvent scope);
+
+    /** Record one end of a flow arrow (see FlowEvent). */
+    void addFlow(FlowEvent flow);
+
+    /**
+     * Name an export row (Chrome `thread_name` metadata). Rows
+     * 1..kNumTracks are pre-named after the Track enum; callers
+     * register service / worker / request rows once before or after
+     * recording into them. Re-registration overwrites.
+     */
+    void nameRow(int32_t tid, std::string name);
+
+    /**
      * Append every span of `other` (and fold its stage totals) into
      * this tracer. This is how the parallel scheduler's per-worker
      * timelines land in the process-wide trace: workers record into
@@ -77,6 +151,12 @@ class Tracer
 
     size_t eventCount() const;
 
+    /** Snapshot of the recorded request-scoped spans. */
+    std::vector<ScopeEvent> scopeEvents() const;
+
+    /** Snapshot of the recorded flow-arrow ends. */
+    std::vector<FlowEvent> flowEvents() const;
+
     void clear();
 
     /** Chrome trace_event JSON (object form, `traceEvents` array). */
@@ -88,6 +168,9 @@ class Tracer
   private:
     mutable std::mutex mu_;
     std::vector<TraceEvent> events_;
+    std::vector<ScopeEvent> scopes_;
+    std::vector<FlowEvent> flows_;
+    std::map<int32_t, std::string> row_names_;
     uint64_t totals_ns_[kNumStages] = {};
 };
 

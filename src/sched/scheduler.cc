@@ -125,6 +125,7 @@ JobHandle
 Scheduler::submit(TranscodeJob job)
 {
     auto state = std::make_shared<detail::JobState>();
+    state->submit_ns = obs::nowNs();
     JobHandle handle(state);
     const bool accepted = pool_->submit(
         [this, state, job = std::move(job)](int worker) mutable {
@@ -177,6 +178,8 @@ Scheduler::runJob(const std::shared_ptr<detail::JobState> &state,
     JobResult result;
     result.label = job.label;
     result.worker = worker;
+    result.submit_ns = state->submit_ns;
+    result.start_ns = obs::nowNs();
     const double start = obs::nowSeconds();
     const double cpu_start = obs::threadCpuSeconds();
     if (!job.input || !job.original) {
@@ -189,12 +192,48 @@ Scheduler::runJob(const std::shared_ptr<detail::JobState> &state,
             core::transcode(*job.input, *job.original, request);
     }
     result.seconds = obs::nowSeconds() - start;
+    result.end_ns = obs::nowNs();
     if (cpu_start >= 0) {
         const double cpu_end = obs::threadCpuSeconds();
         if (cpu_end >= 0)
             result.cpu_seconds = cpu_end - cpu_start;
     }
     result.cancelled = result.outcome.error == "cancelled";
+
+    // Critical-path accounting against the scheduler's own clock:
+    // queue_wait + encode tiles [submit_ns, end_ns] exactly, so a
+    // caller's submit-to-finish latency decomposes without residue.
+    // (encode_ms here is the full on-worker wall — transcode work plus
+    // the measurement overhead a waiting caller also sits through — so
+    // it supersedes the narrower value transcode() itself filled.)
+    result.outcome.critical_path.queue_wait_ms =
+        static_cast<double>(result.start_ns - result.submit_ns) * 1e-6;
+    result.outcome.critical_path.encode_ms =
+        static_cast<double>(result.end_ns - result.start_ns) * 1e-6;
+
+    // Distributed-trace hooks: when the job belongs to a request trace
+    // and this worker records into a tracer, commit the on-worker
+    // slice as a child span on this worker's export row and terminate
+    // the service's dispatch flow arrow inside it.
+    if (obs::Tracer *jt = request.tracer;
+        jt && job.request.span.valid()) {
+        jt->nameRow(obs::workerTid(worker),
+                    "worker " + std::to_string(worker));
+        obs::ScopeEvent scope;
+        scope.name = "encode " + result.label;
+        scope.span = job.request.span.child();
+        scope.tid = obs::workerTid(worker);
+        scope.start_ns = result.start_ns;
+        scope.dur_ns = result.end_ns - result.start_ns;
+        jt->addScope(std::move(scope));
+        obs::FlowEvent flow;
+        flow.name = "dispatch";
+        flow.flow_id = job.request.span.span_id;
+        flow.tid = obs::workerTid(worker);
+        flow.ts_ns = result.start_ns;
+        flow.begin = false;
+        jt->addFlow(std::move(flow));
+    }
 
     {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -258,9 +297,13 @@ Scheduler::runBatch(std::vector<TranscodeJob> jobs)
             .add(batch.stats.cancelled);
         metrics->histogram("sched.batch.wall_ms")
             .observe(static_cast<uint64_t>(batch.stats.wall_seconds * 1e3));
-        for (const JobResult &r : batch.results)
+        for (const JobResult &r : batch.results) {
             metrics->histogram("sched.job.wall_ms")
                 .observe(static_cast<uint64_t>(r.seconds * 1e3));
+            metrics->histogram("sched.job.queue_wait_ms")
+                .observe(static_cast<uint64_t>(
+                    r.outcome.critical_path.queue_wait_ms));
+        }
     }
     return batch;
 }

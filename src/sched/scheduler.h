@@ -72,6 +72,17 @@ struct JobResult {
     double cpu_seconds = -1;
     int worker = -1;      ///< worker index that ran the job
     bool cancelled = false;
+    /**
+     * Monotonic lifecycle timestamps (obs::nowNs()): when the job
+     * entered the queue, when a worker picked it up, and when the
+     * worker finished. `start_ns - submit_ns` is the queue wait the
+     * scheduler also writes into the outcome's critical path;
+     * `end_ns - submit_ns` is the latency a caller that blocks on
+     * wait() observes, so the critical-path components sum to it.
+     */
+    uint64_t submit_ns = 0;
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
 
     bool ok() const { return outcome.ok; }
 };
@@ -87,6 +98,9 @@ struct JobState {
     std::condition_variable cv;
     JobStatus status = JobStatus::Pending;
     JobResult result;
+    /// Stamped by submit() before the pool sees the job (the queue's
+    /// own synchronization publishes it to the worker).
+    uint64_t submit_ns = 0;
     /// Read by core::transcode() at phase boundaries (request.cancel).
     std::atomic<bool> cancel_requested{false};
 };

@@ -11,10 +11,17 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "codec/stitch.h"
 #include "core/transcoder.h"
 #include "ngc/ngc_bitstream.h"
 #include "obs/clock.h"
+#include "obs/obs.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+#include "core/report.h"
+#include "sched/frame_threads.h"
 #include "sched/scheduler.h"
 #include "service/admission.h"
 #include "video/video.h"
@@ -68,6 +75,12 @@ struct RungRun {
     std::vector<codec::ByteBuffer> streams;  ///< by segment
     std::vector<sched::JobHandle> handles;   ///< by segment
     std::vector<double> avail;  ///< availability time per segment
+    std::vector<std::string> labels;         ///< job label per segment
+    /// Per-segment span (child of the request root), set at submit.
+    std::vector<obs::SpanContext> seg_spans;
+    /// Availability on the monotonic ns clock (the critical-path and
+    /// latency origin, so components decompose without residue).
+    std::vector<uint64_t> avail_ns;
 };
 
 /** A request between admission and completion. */
@@ -75,6 +88,8 @@ struct ActiveRequest {
     const ServiceRequest *req = nullptr;
     int segments = 0;
     std::vector<RungRun> rungs;
+    obs::SpanContext span;   ///< the request's trace root
+    uint64_t offer_ns = 0;   ///< when the request entered admission
 };
 
 } // namespace
@@ -105,10 +120,17 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                       : a->id < b->id;
               });
 
+    // One trace sink for the whole run: request span trees recorded
+    // here, and the scheduler merges its per-worker timelines (encode
+    // slices, flow ends) into the same tracer so the tree connects.
+    obs::Tracer *tracer =
+        config_.tracer ? config_.tracer : obs::globalTracer();
+
     sched::SchedulerConfig sched_config;
     sched_config.workers = config_.workers;
     sched_config.queue_capacity = config_.queue_capacity;
     sched_config.merge_metrics = config_.metrics;
+    sched_config.merge_tracer = config_.tracer;
     sched::Scheduler scheduler(sched_config);
 
     // Keep submitted-but-unfinished jobs under workers + queue slots so
@@ -122,6 +144,56 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
     AdmissionQueue admission(config_.admission_capacity);
     SlaScorer scorer;
     std::map<uint64_t, ActiveRequest> active;
+    /// Admitted requests not yet dispatched: root span + offer time
+    /// (moved into the ActiveRequest when admission.poll() picks them).
+    std::map<uint64_t, std::pair<obs::SpanContext, uint64_t>> queued;
+
+    // Jobs submitted to the scheduler and not yet collected. Atomic
+    // because the telemetry sampler reads it from its own thread.
+    std::atomic<size_t> inflight{0};
+
+    // Live telemetry: gauge probes snapshotted on a background thread
+    // while the dispatcher plays the workload. Every probe reads
+    // thread-safe state only (the admission queue's own lock, atomics,
+    // the metrics registry's lock).
+    obs::MetricsRegistry *gauge_metrics = config_.metrics
+        ? config_.metrics
+        : (obs::metricsEnabled() ? &obs::globalMetrics() : nullptr);
+    obs::TelemetrySampler::Config tele_config;
+    if (config_.telemetry_interval_s > 0)
+        tele_config.interval_s = config_.telemetry_interval_s;
+    obs::TelemetrySampler sampler(tele_config);
+    if (config_.enable_telemetry) {
+        sampler.addGauge("service.queue_depth", [&admission] {
+            return static_cast<double>(admission.size());
+        });
+        sampler.addGauge("service.inflight_jobs", [&inflight] {
+            return static_cast<double>(
+                inflight.load(std::memory_order_relaxed));
+        });
+        const int workers = scheduler.workers();
+        sampler.addGauge("service.worker_utilization", [workers] {
+            return static_cast<double>(sched::activeTranscodeJobs()) /
+                static_cast<double>(workers > 0 ? workers : 1);
+        });
+        sampler.addGauge("service.shed_requests", [&admission] {
+            return static_cast<double>(admission.shed());
+        });
+        // Worker shards merge at the end of the run, so this gauge is
+        // authoritative at the final stop() sample and a lower bound
+        // while jobs are still in flight.
+        sampler.addGauge("service.frame_threads_clamped",
+                         [gauge_metrics] {
+                             return gauge_metrics
+                                 ? static_cast<double>(
+                                       gauge_metrics
+                                           ->counter("encode.frame_"
+                                                     "threads_clamped")
+                                           .value())
+                                 : 0.0;
+                         });
+        sampler.start();
+    }
 
     // Segment inputs when the corpus was pre-cut, the whole clip as a
     // single "segment" otherwise (segmenting off, or splitStream
@@ -137,9 +209,15 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
             : clip.seg_original[static_cast<size_t>(k)];
     };
 
-    const double t0 = obs::nowSeconds();
+    const uint64_t t0_ns = obs::nowNs();
+    const double t0 = static_cast<double>(t0_ns) * 1e-9;
+    // Workload seconds -> the shared monotonic ns clock.
+    const auto toNs = [t0_ns](double service_seconds) {
+        return t0_ns +
+            static_cast<uint64_t>(
+                std::max(0.0, service_seconds) * 1e9);
+    };
     size_t next_arrival = 0;
-    size_t inflight = 0;
 
     while (out.completed + out.dropped < pending.size()) {
         const double now = obs::nowSeconds() - t0;
@@ -155,6 +233,16 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                 : kInf;
             if (admission.offer(req->id, deadline)) {
                 ++out.admitted;
+                // Root of this request's trace tree. Minted whether or
+                // not a tracer is attached, so exemplar trace ids are
+                // stable; events are only recorded when tracing.
+                queued[req->id] = {obs::SpanContext::newTrace(),
+                                   obs::nowNs()};
+                if (tracer)
+                    tracer->nameRow(
+                        obs::requestTid(req->id),
+                        "request " + std::to_string(req->id) + " (" +
+                            core::toString(req->scenario) + ")");
             } else {
                 scorer.recordDrop(req->scenario);
                 ++out.dropped;
@@ -172,6 +260,22 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
             ActiveRequest ar;
             ar.req = req;
             ar.segments = std::max(1, clip.segmentCount());
+            if (const auto it = queued.find(req->id);
+                it != queued.end()) {
+                ar.span = it->second.first;
+                ar.offer_ns = it->second.second;
+                queued.erase(it);
+            }
+            if (tracer && ar.span.valid()) {
+                // Admission wait: offer -> EDF/FIFO dispatch.
+                obs::ScopeEvent wait;
+                wait.name = "admission_wait";
+                wait.span = ar.span.child();
+                wait.tid = obs::requestTid(req->id);
+                wait.start_ns = ar.offer_ns;
+                wait.dur_ns = obs::nowNs() - ar.offer_ns;
+                tracer->addScope(std::move(wait));
+            }
             for (const RungSpec &spec : req->rungs) {
                 RungRun rr;
                 rr.name = spec.name;
@@ -182,6 +286,9 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                 rr.streams.resize(static_cast<size_t>(ar.segments));
                 rr.handles.resize(static_cast<size_t>(ar.segments));
                 rr.avail.resize(static_cast<size_t>(ar.segments), 0.0);
+                rr.labels.resize(static_cast<size_t>(ar.segments));
+                rr.seg_spans.resize(static_cast<size_t>(ar.segments));
+                rr.avail_ns.resize(static_cast<size_t>(ar.segments), 0);
                 ar.rungs.push_back(std::move(rr));
             }
             active.emplace(req->id, std::move(ar));
@@ -216,7 +323,17 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                     job.request = rr.tmpl;
                     if (rr.chained && k > 0)
                         job.request.rc_in = rr.carry;
+                    // One child span per segment: the scheduler hangs
+                    // the worker-side encode slice and the flow-arrow
+                    // end off it (sched::Scheduler::runJob).
+                    job.request.span = ar.span.valid()
+                        ? ar.span.child()
+                        : obs::SpanContext{};
+                    rr.labels[static_cast<size_t>(k)] = job.label;
+                    rr.seg_spans[static_cast<size_t>(k)] =
+                        job.request.span;
                     rr.avail[static_cast<size_t>(k)] = avail;
+                    rr.avail_ns[static_cast<size_t>(k)] = toNs(avail);
                     rr.handles[static_cast<size_t>(k)] =
                         scheduler.submit(std::move(job));
                     ++inflight;
@@ -237,17 +354,86 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                     if (!handle.valid() || !handle.finished())
                         continue;
                     const sched::JobResult &jr = handle.wait();
-                    const double done_at = obs::nowSeconds() - t0;
-                    const double latency =
-                        done_at - rr.avail[static_cast<size_t>(k)];
+                    const size_t sk = static_cast<size_t>(k);
+                    // Completion on the shared monotonic clock: the
+                    // job's own end timestamp when it ran (exact — no
+                    // dispatcher poll lag), the poll clock otherwise.
+                    const uint64_t end_ns =
+                        jr.end_ns ? jr.end_ns : obs::nowNs();
+                    const double done_at =
+                        static_cast<double>(end_ns - t0_ns) * 1e-9;
+                    const uint64_t avail_ns =
+                        rr.avail_ns[sk] ? rr.avail_ns[sk] : t0_ns;
+                    const double latency = end_ns > avail_ns
+                        ? static_cast<double>(end_ns - avail_ns) * 1e-9
+                        : 0.0;
                     const bool hit = req.live_paced
                         ? latency <= req.segment_deadline_s
                         : done_at <=
                             req.arrival_s + req.request_deadline_s;
+                    // Close the critical-path decomposition: the
+                    // scheduler filled queue_wait and encode over
+                    // [submit, end]; rc_chain is the pre-queue wait
+                    // [avail, submit] (RC-carry predecessor for
+                    // chained rungs, admission/dispatch delay for the
+                    // rest). All on one clock, so the components tile
+                    // [avail, end] — exactly the scored latency.
+                    obs::CriticalPath cp = jr.outcome.critical_path;
+                    cp.rc_chain_ms = jr.submit_ns > avail_ns
+                        ? static_cast<double>(jr.submit_ns - avail_ns) *
+                            1e-6
+                        : 0.0;
                     scorer.recordSegment(req.scenario, latency, hit,
                                          segOriginal(clip, k)
                                              ->totalPixels(),
-                                         jr.ok());
+                                         jr.ok(),
+                                         rr.seg_spans[sk].trace_id, cp,
+                                         rr.labels[sk]);
+                    if (tracer && rr.seg_spans[sk].valid() &&
+                        jr.end_ns) {
+                        const obs::SpanContext &seg = rr.seg_spans[sk];
+                        const int32_t rtid = obs::requestTid(req.id);
+                        obs::ScopeEvent scope;
+                        scope.name = "segment " + rr.name + ".s" +
+                            std::to_string(k);
+                        scope.span = seg;
+                        scope.tid = rtid;
+                        scope.start_ns = avail_ns;
+                        scope.dur_ns = end_ns - avail_ns;
+                        tracer->addScope(std::move(scope));
+                        if (rr.chained && k > 0 &&
+                            jr.submit_ns > avail_ns) {
+                            obs::ScopeEvent chain;
+                            chain.name = "rc_chain " + rr.name + ".s" +
+                                std::to_string(k);
+                            chain.span = seg.child();
+                            chain.tid = rtid;
+                            chain.start_ns = avail_ns;
+                            chain.dur_ns = jr.submit_ns - avail_ns;
+                            tracer->addScope(std::move(chain));
+                        }
+                        obs::ScopeEvent queued_scope;
+                        queued_scope.name = "queued " + rr.name + ".s" +
+                            std::to_string(k);
+                        queued_scope.span = seg.child();
+                        queued_scope.tid = rtid;
+                        queued_scope.start_ns = jr.submit_ns;
+                        queued_scope.dur_ns =
+                            jr.start_ns > jr.submit_ns
+                            ? jr.start_ns - jr.submit_ns
+                            : 0;
+                        tracer->addScope(std::move(queued_scope));
+                        // Flow arrow: queued slice here -> encode
+                        // slice on the worker row (end recorded by
+                        // the scheduler at job start).
+                        obs::FlowEvent flow;
+                        flow.name = "dispatch";
+                        flow.flow_id = seg.span_id;
+                        flow.tid = rtid;
+                        flow.ts_ns = jr.submit_ns;
+                        flow.begin = true;
+                        tracer->addFlow(std::move(flow));
+                    }
                     if (jr.ok()) {
                         rr.streams[static_cast<size_t>(k)] =
                             jr.outcome.stream;
@@ -279,7 +465,25 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                     ++out.stitch_failures;
                     continue;
                 }
-                if (stitchForKind(rr.tmpl.kind, std::move(rr.streams)))
+                const uint64_t stitch_start = obs::nowNs();
+                const bool stitched =
+                    stitchForKind(rr.tmpl.kind, std::move(rr.streams))
+                        .has_value();
+                const uint64_t stitch_end = obs::nowNs();
+                scorer.recordStitch(
+                    req.scenario,
+                    static_cast<double>(stitch_end - stitch_start) *
+                        1e-6);
+                if (tracer && ar.span.valid()) {
+                    obs::ScopeEvent scope;
+                    scope.name = "stitch " + rr.name;
+                    scope.span = ar.span.child();
+                    scope.tid = obs::requestTid(req.id);
+                    scope.start_ns = stitch_start;
+                    scope.dur_ns = stitch_end - stitch_start;
+                    tracer->addScope(std::move(scope));
+                }
+                if (stitched)
                     ++out.stitched_rungs;
                 else
                     ++out.stitch_failures;
@@ -287,6 +491,23 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
             if (any_failed)
                 ++out.failed_requests;
             ++out.completed;
+            if (tracer && ar.span.valid()) {
+                // The request's root slice: arrival through the last
+                // stitch. Everything above (admission_wait, segments,
+                // rc_chain/queued, stitches) nests inside it, and the
+                // worker-side encode slices connect by parent span id
+                // and the dispatch flow arrows.
+                const uint64_t arrival_ns = toNs(req.arrival_s);
+                const uint64_t done_ns = obs::nowNs();
+                obs::ScopeEvent root;
+                root.name = "request " + std::to_string(req.id);
+                root.span = ar.span;
+                root.tid = obs::requestTid(req.id);
+                root.start_ns = arrival_ns;
+                root.dur_ns =
+                    done_ns > arrival_ns ? done_ns - arrival_ns : 0;
+                tracer->addScope(std::move(root));
+            }
             finished.push_back(id);
         }
         for (uint64_t id : finished)
@@ -298,11 +519,40 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
     }
 
     out.wall_seconds = obs::nowSeconds() - t0;
+    // Merge worker shards before the sampler's final synchronous
+    // sample so gauges fed by merged counters (frame-thread clamps)
+    // end on the authoritative value.
     scheduler.mergeObsShards();
+    sampler.stop();
+    out.telemetry = sampler.snapshot();
     out.sla = scorer.report(out.wall_seconds);
-    if (config_.metrics)
-        scorer.exportMetrics(*config_.metrics);
+    if (gauge_metrics)
+        scorer.exportMetrics(*gauge_metrics);
     scorer.emitRunReports(out.sla);
+    if (!out.telemetry.empty()) {
+        core::RunReport tr;
+        tr.label = "service.telemetry";
+        tr.backend = "service";
+        tr.seconds = out.wall_seconds;
+        tr.extra.emplace_back("ticks",
+                              static_cast<double>(sampler.tickCount()));
+        for (const obs::TelemetrySeries &s : out.telemetry) {
+            tr.extra.emplace_back(
+                s.name + ".points",
+                static_cast<double>(s.points.size()));
+            tr.extra.emplace_back(s.name + ".last", s.last());
+            tr.extra.emplace_back(s.name + ".max", s.max());
+            tr.extra.emplace_back(s.name + ".mean", s.mean());
+        }
+        core::emitRunReport(tr);
+    }
+    // Prometheus/OpenMetrics snapshot (VBENCH_PROM_OUT): counters and
+    // histograms from the metrics sink plus the latest gauge samples.
+    if (obs::promEnabled() &&
+        obs::writePromFile(obs::config().prom_path, gauge_metrics,
+                           config_.enable_telemetry ? &sampler
+                                                    : nullptr))
+        obs::markPromWritten();
     return out;
 }
 

@@ -21,8 +21,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "service/sla.h"
 #include "service/workload.h"
 
@@ -46,6 +49,18 @@ struct ServiceConfig {
     /// Metrics sink for service counters, SLA histograms, and the
     /// scheduler's merged worker shards. Null disables.
     obs::MetricsRegistry *metrics = nullptr;
+    /// Trace sink for the per-request span trees, flow arrows, and the
+    /// scheduler's merged worker timelines. Null falls back to the
+    /// process-wide tracer (VBENCH_TRACE); when that is also off,
+    /// request span ids are still minted (exemplars stay resolvable
+    /// across runs) but no trace events are recorded.
+    obs::Tracer *tracer = nullptr;
+    /// Live telemetry: sample the service gauges (queue depth,
+    /// in-flight jobs, worker utilization, shed count, frame-thread
+    /// clamps) on a background thread while the run plays.
+    bool enable_telemetry = true;
+    /// Telemetry sampling period, seconds (<= 0 uses 10 ms).
+    double telemetry_interval_s = 0.010;
 };
 
 /** What a service run produced. */
@@ -58,6 +73,10 @@ struct ServiceResult {
     uint64_t stitched_rungs = 0;   ///< rungs whose segments stitched
     uint64_t stitch_failures = 0;
     double wall_seconds = 0;
+    /// Sampled gauge time series for the run (empty when telemetry is
+    /// disabled). Every gauge carries at least one point: the sampler
+    /// takes a final synchronous sample after the run drains.
+    std::vector<obs::TelemetrySeries> telemetry;
 };
 
 /**

@@ -33,11 +33,24 @@ SlaScorer::recordDrop(core::Scenario scenario)
 
 void
 SlaScorer::recordSegment(core::Scenario scenario, double latency_s,
-                         bool hit, uint64_t pixels, bool ok)
+                         bool hit, uint64_t pixels, bool ok,
+                         uint64_t trace_id, const obs::CriticalPath &path,
+                         const std::string &label)
 {
     PerScenario &s = scenarios_[static_cast<size_t>(scenario)];
     ++s.segments;
     s.latency_us.observe(toMicros(latency_s));
+    s.queue_wait_us.observe(toMicros(path.queue_wait_ms * 1e-3));
+    s.rc_chain_us.observe(toMicros(path.rc_chain_ms * 1e-3));
+    s.encode_us.observe(toMicros(path.encode_ms * 1e-3));
+    if (trace_id != 0) {
+        obs::Exemplar e;
+        e.trace_id = trace_id;
+        e.latency_ms = latency_s * 1e3;
+        e.path = path;
+        e.label = label;
+        s.exemplars.record(std::move(e));
+    }
     if (!ok) {
         ++s.failed;
         return;
@@ -46,6 +59,14 @@ SlaScorer::recordSegment(core::Scenario scenario, double latency_s,
         ++s.hits;
         s.ontime_pixels += pixels;
     }
+}
+
+void
+SlaScorer::recordStitch(core::Scenario scenario, double stitch_ms)
+{
+    PerScenario &s = scenarios_[static_cast<size_t>(scenario)];
+    ++s.stitches;
+    s.stitch_us.observe(toMicros(stitch_ms * 1e-3));
 }
 
 SlaReport
@@ -78,6 +99,14 @@ SlaScorer::report(double wall_seconds) const
             ? static_cast<double>(s.dropped) /
                 static_cast<double>(s.requests)
             : 0.0;
+        // Slowest decile: everything retained at or above the p90 cut.
+        // The log-bucketed histogram reports a bucket's high edge — up
+        // to one sub-bucket (12.5%) above the true quantile — so take
+        // the matching lower bound; the decile is never under-selected
+        // (a few p89 stragglers may ride along, which is fine).
+        score.exemplar_cut_ms =
+            s.latency_us.valueAtQuantile(0.90) / 1e3 / 1.125;
+        score.exemplars = s.exemplars.atOrAbove(score.exemplar_cut_ms);
         report.scenarios.push_back(score);
         report.total_requests += s.requests;
         report.total_dropped += s.dropped;
@@ -109,8 +138,17 @@ SlaScorer::exportMetrics(obs::MetricsRegistry &metrics) const
         metrics.counter("service.segments." + name).add(s.segments);
         metrics.counter("service.segments_failed." + name).add(s.failed);
         metrics.counter("service.deadline_hits." + name).add(s.hits);
+        metrics.counter("service.stitches." + name).add(s.stitches);
         metrics.histogram("service.segment_latency_us." + name)
             .mergeFrom(s.latency_us);
+        metrics.histogram("service.queue_wait_us." + name)
+            .mergeFrom(s.queue_wait_us);
+        metrics.histogram("service.rc_chain_us." + name)
+            .mergeFrom(s.rc_chain_us);
+        metrics.histogram("service.encode_us." + name)
+            .mergeFrom(s.encode_us);
+        metrics.histogram("service.stitch_us." + name)
+            .mergeFrom(s.stitch_us);
     }
 }
 
@@ -137,6 +175,30 @@ SlaScorer::emitRunReports(const SlaReport &report) const
         run.extra.emplace_back("hit_rate", score.hit_rate);
         run.extra.emplace_back("goodput_mpix_s", score.goodput_mpix_s);
         run.extra.emplace_back("drop_rate", score.drop_rate);
+        run.extra.emplace_back("exemplars",
+                               static_cast<double>(score.exemplars.size()));
+        if (!score.exemplars.empty()) {
+            // The p99 line's escort: the worst retained segment's
+            // breakdown, and the trace ids to chase in the trace file.
+            const obs::Exemplar &top = score.exemplars.front();
+            run.extra.emplace_back("top_latency_ms", top.latency_ms);
+            run.extra.emplace_back("top_queue_wait_ms",
+                                   top.path.queue_wait_ms);
+            run.extra.emplace_back("top_rc_chain_ms",
+                                   top.path.rc_chain_ms);
+            run.extra.emplace_back("top_encode_ms", top.path.encode_ms);
+            std::string ids;
+            size_t listed = 0;
+            for (const obs::Exemplar &e : score.exemplars) {
+                if (listed++ == 8)
+                    break;
+                if (!ids.empty())
+                    ids += ",";
+                ids += std::to_string(e.trace_id);
+            }
+            run.extra_str.emplace_back("exemplar_trace_ids", ids);
+            run.extra_str.emplace_back("top_label", top.label);
+        }
         core::emitRunReport(run);
     }
 }

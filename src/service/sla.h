@@ -8,13 +8,22 @@
  * wall second), and dropped-request rate. Scores export into an
  * obs::MetricsRegistry and emit one obs run report per scenario
  * (VBENCH_METRICS_OUT).
+ *
+ * Beyond the aggregates, the scorer keeps one obs::ExemplarStore per
+ * scenario: each scored segment may carry its trace_id and
+ * critical-path breakdown, and the report surfaces the slowest-decile
+ * entries (latency >= the scenario's p90) next to the percentile
+ * lines — so a bad p99 in a scorecard names the exact requests behind
+ * it and where their time went (docs/OBSERVABILITY.md).
  */
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/scenario.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
 
 namespace vbench::service {
@@ -35,6 +44,13 @@ struct ScenarioScore {
     double goodput_mpix_s = 0;
     /// Dropped / arrived requests (0 when nothing arrived).
     double drop_rate = 0;
+    /// Latency cut defining the slowest decile: the scenario's p90,
+    /// lowered one histogram sub-bucket (12.5%) so bucket rounding
+    /// never under-selects the decile.
+    double exemplar_cut_ms = 0;
+    /// Slowest-decile segments, slowest first: trace_id + critical
+    /// path for every retained segment at or above the p90 cut.
+    std::vector<obs::Exemplar> exemplars;
 };
 
 /** Full service scorecard. */
@@ -64,9 +80,19 @@ class SlaScorer
      * @param hit       finished within its deadline.
      * @param pixels    luma pixels of the segment's output.
      * @param ok        the transcode succeeded.
+     * @param trace_id  the segment's trace (0 = untraced: no exemplar
+     *                  is retained, aggregates still update).
+     * @param path      critical-path breakdown; its components sum to
+     *                  `latency_s` (stitch excluded — request-level).
+     * @param label     human-readable segment id for the exemplar.
      */
     void recordSegment(core::Scenario scenario, double latency_s, bool hit,
-                       uint64_t pixels, bool ok);
+                       uint64_t pixels, bool ok, uint64_t trace_id = 0,
+                       const obs::CriticalPath &path = obs::CriticalPath{},
+                       const std::string &label = std::string());
+
+    /** One finished rung stitch (request-level critical-path tail). */
+    void recordStitch(core::Scenario scenario, double stitch_ms);
 
     /** Build the scorecard for a run that took `wall_seconds`. */
     SlaReport report(double wall_seconds) const;
@@ -92,8 +118,16 @@ class SlaScorer
         uint64_t segments = 0;
         uint64_t failed = 0;
         uint64_t hits = 0;
+        uint64_t stitches = 0;
         uint64_t ontime_pixels = 0;  ///< pixels of on-time ok segments
         obs::Histogram latency_us;
+        /// Critical-path aggregates (microseconds, same resolution as
+        /// latency_us so the stage shares are comparable).
+        obs::Histogram queue_wait_us;
+        obs::Histogram rc_chain_us;
+        obs::Histogram encode_us;
+        obs::Histogram stitch_us;
+        obs::ExemplarStore exemplars;  ///< K slowest traced segments
     };
 
     std::array<PerScenario, core::kNumScenarios> scenarios_;

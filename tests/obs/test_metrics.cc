@@ -8,11 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "json_test_util.h"
+#include "obs/json_parse.h"
 #include "obs/metrics.h"
 
 namespace vbench::obs {
@@ -170,6 +171,51 @@ TEST(Histogram, ValueAtQuantileClampsAndHandlesEmpty)
     h.observe(5);
     EXPECT_DOUBLE_EQ(h.valueAtQuantile(-0.5), h.valueAtQuantile(0.0));
     EXPECT_DOUBLE_EQ(h.valueAtQuantile(2.0), h.valueAtQuantile(1.0));
+}
+
+TEST(Histogram, ValueAtQuantileRejectsNaN)
+{
+    Histogram h;
+    h.observe(5);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // NaN would otherwise slip through the min/max clamp (every
+    // comparison is false) and index a bucket with garbage.
+    EXPECT_DOUBLE_EQ(h.valueAtQuantile(nan), 0.0);
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.valueAtQuantile(nan), 0.0);
+}
+
+TEST(Histogram, SingleSampleReportsItsBucketHighEdge)
+{
+    // One sample: rank 1, fraction 1/count = 1 — every quantile
+    // interpolates to the occupied bucket's high edge (see the
+    // valueAtQuantile contract in metrics.h). observe(3) sits in the
+    // unit bucket [3,4), so the estimate is exactly 4.
+    Histogram h;
+    h.observe(3);
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.valueAtQuantile(q), 4.0) << "q=" << q;
+}
+
+TEST(Registry, SnapshotCapturesCountersAndHistogramStats)
+{
+    MetricsRegistry reg;
+    reg.counter("jobs").add(3);
+    for (uint64_t v = 1; v <= 100; ++v)
+        reg.histogram("latency").observe(v);
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].first, "jobs");
+    EXPECT_EQ(snap.counters[0].second, 3u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const MetricsSnapshot::HistogramStats &h = snap.histograms[0];
+    EXPECT_EQ(h.name, "latency");
+    EXPECT_EQ(h.count, 100u);
+    EXPECT_EQ(h.sum, 5050u);
+    EXPECT_NEAR(h.mean, 50.5, 1e-9);
+    EXPECT_GT(h.p50, 0.0);
+    EXPECT_LE(h.p50, h.p90);
+    EXPECT_LE(h.p90, h.p99);
 }
 
 TEST(Registry, HandsOutStableReferences)

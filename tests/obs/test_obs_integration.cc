@@ -16,7 +16,7 @@
 
 #include "core/report.h"
 #include "core/transcoder.h"
-#include "json_test_util.h"
+#include "obs/json_parse.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "video/synth.h"

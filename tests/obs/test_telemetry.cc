@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Telemetry sampler, Prometheus exposition writer/validator, exemplar
+ * store, and the global-fallback attribution guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exemplar.h"
+#include "obs/obs.h"
+#include "obs/telemetry.h"
+
+namespace vbench::obs {
+namespace {
+
+TEST(TelemetrySampler, StopGuaranteesOnePointPerGauge)
+{
+    TelemetrySampler::Config config;
+    config.interval_s = 3600.0;  // never ticks on its own
+    TelemetrySampler sampler(config);
+    sampler.addGauge("a", [] { return 1.0; });
+    sampler.addGauge("b", [] { return 2.0; });
+    sampler.start();
+    sampler.stop();
+    const std::vector<TelemetrySeries> series = sampler.snapshot();
+    ASSERT_EQ(series.size(), 2u);
+    for (const TelemetrySeries &s : series)
+        EXPECT_GE(s.points.size(), 1u) << s.name;
+    EXPECT_DOUBLE_EQ(series[0].last(), 1.0);
+    EXPECT_DOUBLE_EQ(series[1].last(), 2.0);
+}
+
+TEST(TelemetrySampler, NeverStartedStopStillSamples)
+{
+    TelemetrySampler sampler;
+    sampler.addGauge("x", [] { return 7.0; });
+    sampler.stop();
+    const std::vector<TelemetrySeries> series = sampler.snapshot();
+    ASSERT_EQ(series.size(), 1u);
+    ASSERT_EQ(series[0].points.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].points[0].value, 7.0);
+}
+
+TEST(TelemetrySampler, RingBoundsRetentionOldestFirst)
+{
+    TelemetrySampler::Config config;
+    config.ring_capacity = 4;
+    TelemetrySampler sampler(config);
+    std::atomic<int> tick{0};
+    sampler.addGauge("seq", [&tick] {
+        return static_cast<double>(tick.fetch_add(1));
+    });
+    for (int i = 0; i < 10; ++i)
+        sampler.sampleOnce();
+    const std::vector<TelemetrySeries> series = sampler.snapshot();
+    ASSERT_EQ(series.size(), 1u);
+    const TelemetrySeries &s = series[0];
+    // Only the last 4 of 10 samples survive, in recording order.
+    ASSERT_EQ(s.points.size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(s.points[i].value, static_cast<double>(6 + i));
+    EXPECT_DOUBLE_EQ(s.last(), 9.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(TelemetrySampler, BackgroundThreadTicks)
+{
+    TelemetrySampler::Config config;
+    config.interval_s = 0.001;
+    TelemetrySampler sampler(config);
+    sampler.addGauge("v", [] { return 1.0; });
+    sampler.start();
+    EXPECT_TRUE(sampler.running());
+    while (sampler.tickCount() < 3) {
+    }
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    sampler.stop();  // idempotent
+    EXPECT_GE(sampler.snapshot()[0].points.size(), 3u);
+}
+
+TEST(Prom, NameMapping)
+{
+    EXPECT_EQ(promName("service.queue_depth"),
+              "vbench_service_queue_depth");
+    EXPECT_EQ(promName("a-b c!d"), "vbench_a_b_cd");
+}
+
+TEST(Prom, WriteTextValidatesAndCarriesEverySource)
+{
+    MetricsRegistry metrics;
+    metrics.counter("svc.requests").add(3);
+    for (uint64_t v = 1; v <= 100; ++v)
+        metrics.histogram("svc.latency_us").observe(v);
+    std::vector<TelemetrySeries> series(1);
+    series[0].name = "svc.queue_depth";
+    series[0].points.push_back(TelemetryPoint{1, 5.0});
+
+    std::ostringstream out;
+    writePromText(out, &metrics, series);
+    const std::string text = out.str();
+    std::string error;
+    EXPECT_TRUE(validatePromText(text, &error)) << error;
+    EXPECT_NE(text.find("# TYPE vbench_svc_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("vbench_svc_requests_total 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("vbench_svc_latency_us{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("vbench_svc_latency_us_count 100"),
+              std::string::npos);
+    EXPECT_NE(text.find("vbench_svc_queue_depth 5"), std::string::npos);
+    EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(Prom, ValidatorRejectsMalformedExpositions)
+{
+    std::string error;
+    EXPECT_FALSE(validatePromText("", &error));
+    // Missing trailing # EOF.
+    EXPECT_FALSE(validatePromText(
+        "# TYPE vbench_x counter\nvbench_x_total 1\n", &error));
+    // Sample without a TYPE declaration.
+    EXPECT_FALSE(
+        validatePromText("vbench_x_total 1\n# EOF\n", &error));
+    EXPECT_NE(error.find("TYPE"), std::string::npos);
+    // Malformed value.
+    EXPECT_FALSE(validatePromText(
+        "# TYPE vbench_x counter\nvbench_x_total banana\n# EOF\n",
+        &error));
+    // Unterminated label set.
+    EXPECT_FALSE(validatePromText(
+        "# TYPE vbench_x gauge\nvbench_x{q=\"0.5 1\n# EOF\n", &error));
+    // Bad metric name.
+    EXPECT_FALSE(validatePromText(
+        "# TYPE 9bad counter\n9bad_total 1\n# EOF\n", &error));
+    // A correct exposition with labels and a timestamp passes.
+    EXPECT_TRUE(validatePromText("# TYPE vbench_x summary\n"
+                                 "vbench_x{quantile=\"0.5\"} 1.5 123\n"
+                                 "vbench_x_sum 3\n"
+                                 "vbench_x_count 2\n"
+                                 "# EOF\n",
+                                 &error))
+        << error;
+}
+
+TEST(ExemplarStore, KeepsTheKLargest)
+{
+    ExemplarStore store(3);
+    for (uint64_t i = 1; i <= 10; ++i) {
+        Exemplar e;
+        e.trace_id = i;
+        e.latency_ms = static_cast<double>(i);
+        store.record(std::move(e));
+    }
+    EXPECT_EQ(store.size(), 3u);
+    const std::vector<Exemplar> sorted = store.sortedDesc();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_DOUBLE_EQ(sorted[0].latency_ms, 10.0);
+    EXPECT_DOUBLE_EQ(sorted[1].latency_ms, 9.0);
+    EXPECT_DOUBLE_EQ(sorted[2].latency_ms, 8.0);
+}
+
+TEST(ExemplarStore, AtOrAboveFiltersByCut)
+{
+    ExemplarStore store(8);
+    for (uint64_t i = 1; i <= 6; ++i) {
+        Exemplar e;
+        e.trace_id = i;
+        e.latency_ms = static_cast<double>(i);
+        store.record(std::move(e));
+    }
+    const std::vector<Exemplar> slow = store.atOrAbove(4.0);
+    ASSERT_EQ(slow.size(), 3u);
+    EXPECT_DOUBLE_EQ(slow.front().latency_ms, 6.0);
+    EXPECT_DOUBLE_EQ(slow.back().latency_ms, 4.0);
+    EXPECT_TRUE(store.atOrAbove(100.0).empty());
+}
+
+TEST(CriticalPath, TotalSumsEveryStage)
+{
+    CriticalPath path;
+    path.queue_wait_ms = 1;
+    path.rc_chain_ms = 2;
+    path.encode_ms = 3;
+    path.stitch_ms = 4;
+    EXPECT_DOUBLE_EQ(path.total_ms(), 10.0);
+}
+
+TEST(GlobalAttributionGuard, DetectsOverlappingClaims)
+{
+    const uint64_t before =
+        globalMetrics().counter("obs.fallback_contended").value();
+    {
+        GlobalAttributionGuard first(true);
+        EXPECT_FALSE(first.contended());
+        EXPECT_EQ(GlobalAttributionGuard::activeClaimants(), 1);
+        GlobalAttributionGuard second(true);
+        EXPECT_TRUE(second.contended());
+        GlobalAttributionGuard inactive(false);
+        EXPECT_FALSE(inactive.contended());
+    }
+    EXPECT_EQ(GlobalAttributionGuard::activeClaimants(), 0);
+    EXPECT_EQ(globalMetrics().counter("obs.fallback_contended").value(),
+              before + 1);
+}
+
+} // namespace
+} // namespace vbench::obs

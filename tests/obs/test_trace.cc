@@ -12,7 +12,7 @@
 #include <new>
 #include <sstream>
 
-#include "json_test_util.h"
+#include "obs/json_parse.h"
 #include "obs/trace.h"
 
 // ---------------------------------------------------------------------
@@ -249,6 +249,113 @@ TEST(Tracer, ChromeTraceRoundTripsThroughAParser)
     EXPECT_EQ(frames, 1u);
     EXPECT_EQ(stages, 2u);  // mode_decision child + other filler
     EXPECT_EQ(phases, 1u);
+}
+
+TEST(Tracer, ScopesAndFlowsRecordMergeAndClear)
+{
+    Tracer worker;
+    const SpanContext root = SpanContext::newTrace();
+    const SpanContext child = root.child();
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    EXPECT_EQ(child.parent_id, root.span_id);
+
+    ScopeEvent scope;
+    scope.name = "encode";
+    scope.span = child;
+    scope.tid = workerTid(0);
+    scope.start_ns = 1000;
+    scope.dur_ns = 500;
+    worker.addScope(scope);
+    // Invalid span context: dropped (the null contract).
+    worker.addScope(ScopeEvent{});
+    FlowEvent flow;
+    flow.name = "dispatch";
+    flow.flow_id = child.span_id;
+    flow.tid = workerTid(0);
+    flow.ts_ns = 1000;
+    flow.begin = false;
+    worker.addFlow(flow);
+    worker.addFlow(FlowEvent{});  // flow_id 0: dropped
+    worker.nameRow(workerTid(0), "worker 0");
+
+    Tracer main;
+    main.mergeFrom(worker);
+    ASSERT_EQ(main.scopeEvents().size(), 1u);
+    EXPECT_EQ(main.scopeEvents()[0].span.span_id, child.span_id);
+    ASSERT_EQ(main.flowEvents().size(), 1u);
+    EXPECT_EQ(main.flowEvents()[0].flow_id, child.span_id);
+    main.clear();
+    EXPECT_TRUE(main.scopeEvents().empty());
+    EXPECT_TRUE(main.flowEvents().empty());
+}
+
+TEST(Tracer, ChromeTraceExportsScopesFlowsAndRowNames)
+{
+    Tracer tracer;
+    const SpanContext root = SpanContext::newTrace();
+    ScopeEvent scope;
+    scope.name = "request 1";
+    scope.span = root;
+    scope.tid = requestTid(1);
+    scope.start_ns = 5000;
+    scope.dur_ns = 4000;
+    tracer.addScope(scope);
+    FlowEvent begin;
+    begin.name = "dispatch";
+    begin.flow_id = root.span_id;
+    begin.tid = requestTid(1);
+    begin.ts_ns = 6000;
+    begin.begin = true;
+    tracer.addFlow(begin);
+    FlowEvent end = begin;
+    end.tid = workerTid(2);
+    end.ts_ns = 7000;
+    end.begin = false;
+    tracer.addFlow(end);
+    tracer.nameRow(requestTid(1), "request 1 (live)");
+
+    std::ostringstream ss;
+    tracer.writeChromeTrace(ss);
+    const auto doc = testjson::parse(ss.str());
+    ASSERT_TRUE(doc.has_value()) << ss.str();
+    const testjson::Value *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    size_t request_slices = 0, flow_begins = 0, flow_ends = 0;
+    bool named_row = false;
+    for (const testjson::Value &e : events->array) {
+        const testjson::Value *ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "M") {
+            const testjson::Value *args = e.find("args");
+            if (args && args->find("name") &&
+                args->find("name")->string == "request 1 (live)")
+                named_row = true;
+            continue;
+        }
+        if (ph->string == "s" || ph->string == "f") {
+            (ph->string == "s" ? flow_begins : flow_ends)++;
+            EXPECT_EQ(static_cast<uint64_t>(e.find("id")->number),
+                      root.span_id);
+            continue;
+        }
+        const testjson::Value *cat = e.find("cat");
+        if (!cat || cat->string != "request")
+            continue;
+        ++request_slices;
+        const testjson::Value *args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(static_cast<uint64_t>(args->find("trace_id")->number),
+                  root.trace_id);
+        EXPECT_EQ(static_cast<uint64_t>(args->find("span_id")->number),
+                  root.span_id);
+        EXPECT_EQ(static_cast<uint64_t>(args->find("parent_id")->number),
+                  0u);
+    }
+    EXPECT_EQ(request_slices, 1u);
+    EXPECT_EQ(flow_begins, 1u);
+    EXPECT_EQ(flow_ends, 1u);
+    EXPECT_TRUE(named_row);
 }
 
 TEST(Tracer, DisabledModeNeverAllocates)

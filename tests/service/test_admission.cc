@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "service/admission.h"
 
 namespace vbench::service {
@@ -137,6 +138,69 @@ TEST(AdmissionQueue, ConcurrentOffersAndPollsConserveTickets)
     EXPECT_EQ(q.offered(), accepted.load() + q.shed());
     EXPECT_EQ(polled.load(), accepted.load());
     EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AdmissionQueue, MetricsUnderForcedSheddingMatchGroundTruth)
+{
+    // Producers hammer a tiny queue while a live telemetry sampler
+    // reads the queue's gauges from its own thread — the same wiring
+    // the service uses (service.queue_depth / service.shed_requests).
+    // After the storm settles, the sampler's final sample must agree
+    // with the queue's own counters, and the counters with ground
+    // truth: offered == accepted + shed, depth == accepted - polled.
+    AdmissionQueue q(4);
+    obs::TelemetrySampler::Config config;
+    config.interval_s = 0.0005;
+    obs::TelemetrySampler sampler(config);
+    sampler.addGauge("queue_depth",
+                     [&q] { return static_cast<double>(q.size()); });
+    sampler.addGauge("shed_requests",
+                     [&q] { return static_cast<double>(q.shed()); });
+    sampler.start();
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 100;
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> polled{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&q, &accepted, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                if (q.offer(static_cast<uint64_t>(p * kPerProducer + i)))
+                    accepted.fetch_add(1);
+        });
+    for (std::thread &t : producers)
+        t.join();
+    // Drain half of what was admitted so the final depth is nonzero
+    // and distinct from both 0 and capacity in the common case.
+    while (polled.load() < accepted.load() / 2 &&
+           q.poll().has_value())
+        polled.fetch_add(1);
+    sampler.stop();
+
+    const uint64_t total =
+        static_cast<uint64_t>(kProducers) * kPerProducer;
+    ASSERT_EQ(q.offered(), total);
+    EXPECT_EQ(q.offered(), accepted.load() + q.shed());
+    // Capacity 4 against 400 rapid offers: shedding must have fired.
+    EXPECT_GT(q.shed(), 0u);
+    EXPECT_EQ(q.size(), accepted.load() - polled.load());
+
+    const std::vector<obs::TelemetrySeries> series = sampler.snapshot();
+    ASSERT_EQ(series.size(), 2u);
+    const obs::TelemetrySeries &depth = series[0];
+    const obs::TelemetrySeries &shed = series[1];
+    ASSERT_GE(depth.points.size(), 1u);
+    // The final synchronous sample ran after the storm: it must equal
+    // the queue's state exactly, not approximately.
+    EXPECT_DOUBLE_EQ(depth.last(), static_cast<double>(q.size()));
+    EXPECT_DOUBLE_EQ(shed.last(), static_cast<double>(q.shed()));
+    // No sample can ever exceed capacity (the queue sheds instead of
+    // growing) or run shed backwards (monotone counter).
+    for (const obs::TelemetryPoint &p : depth.points)
+        EXPECT_LE(p.value, static_cast<double>(q.capacity()));
+    for (size_t i = 1; i < shed.points.size(); ++i)
+        EXPECT_GE(shed.points[i].value, shed.points[i - 1].value);
 }
 
 } // namespace

@@ -8,9 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "service/sla.h"
 #include "service/workload.h"
@@ -173,6 +179,96 @@ TEST(Service, BurstAgainstTinyAdmissionQueueSheds)
         weighted_drops += s.drop_rate * static_cast<double>(s.requests);
     EXPECT_NEAR(weighted_drops, static_cast<double>(result.dropped),
                 1e-9);
+}
+
+TEST(Service, EmitsConnectedTracesTelemetryAndExemplars)
+{
+    const Corpus corpus = testCorpus();
+    const std::vector<ServiceRequest> workload =
+        liveUploadWorkload(corpus, 6.0, 1.0);
+    ASSERT_FALSE(workload.empty());
+
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    ServiceConfig config;
+    config.workers = 2;
+    config.admission_capacity = 64;
+    config.metrics = &metrics;
+    config.tracer = &tracer;
+    config.telemetry_interval_s = 0.002;
+    TranscodeService service(config, corpus);
+    const ServiceResult result = service.run(workload);
+    ASSERT_EQ(result.completed, workload.size());
+
+    // Telemetry: every service gauge produced at least one point (the
+    // final stop() sample guarantees it even for sub-interval runs).
+    ASSERT_EQ(result.telemetry.size(), 5u);
+    for (const obs::TelemetrySeries &s : result.telemetry)
+        EXPECT_GE(s.points.size(), 1u) << s.name;
+
+    // Trace forest: every completed request contributed one connected
+    // tree — exactly one root scope per trace id, and every non-root
+    // scope's parent span exists within the same trace.
+    const std::vector<obs::ScopeEvent> scopes = tracer.scopeEvents();
+    ASSERT_FALSE(scopes.empty());
+    std::map<uint64_t, std::set<uint64_t>> spans_by_trace;
+    std::map<uint64_t, size_t> roots_by_trace;
+    for (const obs::ScopeEvent &s : scopes) {
+        EXPECT_TRUE(s.span.valid());
+        spans_by_trace[s.span.trace_id].insert(s.span.span_id);
+        if (s.span.parent_id == 0)
+            ++roots_by_trace[s.span.trace_id];
+    }
+    EXPECT_EQ(spans_by_trace.size(), result.completed);
+    for (const auto &[trace, roots] : roots_by_trace)
+        EXPECT_EQ(roots, 1u) << "trace " << trace;
+    for (const obs::ScopeEvent &s : scopes) {
+        if (s.span.parent_id != 0) {
+            EXPECT_TRUE(spans_by_trace[s.span.trace_id].count(
+                s.span.parent_id))
+                << s.name << " orphaned in trace " << s.span.trace_id;
+        }
+    }
+
+    // Flow arrows pair up: one begin (request row) and one end
+    // (worker row) per dispatched segment span.
+    std::map<uint64_t, int> begins, ends;
+    for (const obs::FlowEvent &f : tracer.flowEvents())
+        ++(f.begin ? begins : ends)[f.flow_id];
+    EXPECT_EQ(begins.size(), ends.size());
+    for (const auto &[id, n] : begins) {
+        EXPECT_EQ(n, 1) << "flow " << id;
+        EXPECT_EQ(ends[id], 1) << "flow " << id;
+    }
+
+    // Exemplars: the slowest decile is retained, resolvable into the
+    // trace, and its critical path explains the measured latency.
+    size_t exemplars = 0;
+    for (const ScenarioScore &score : result.sla.scenarios) {
+        for (const obs::Exemplar &e : score.exemplars) {
+            ++exemplars;
+            EXPECT_GE(e.latency_ms, score.exemplar_cut_ms);
+            EXPECT_FALSE(e.label.empty());
+            EXPECT_TRUE(spans_by_trace.count(e.trace_id))
+                << e.label << " trace " << e.trace_id;
+            const double sum = e.path.queue_wait_ms +
+                e.path.rc_chain_ms + e.path.encode_ms;
+            EXPECT_NEAR(sum, e.latency_ms,
+                        std::max(0.5, 0.05 * e.latency_ms))
+                << e.label;
+        }
+    }
+    EXPECT_GT(exemplars, 0u);
+
+    // The critical-path aggregates landed in the exported metrics.
+    uint64_t cp_observations = 0;
+    for (const char *scenario : {"live", "upload"})
+        cp_observations += metrics
+                               .histogram(std::string(
+                                              "service.queue_wait_us.") +
+                                          scenario)
+                               .count();
+    EXPECT_EQ(cp_observations, result.sla.total_segments);
 }
 
 } // namespace

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Schema lint for the observability artifacts a traced service run
+ * emits (docs/OBSERVABILITY.md). scripts/check.sh runs a traced
+ * `bench_service --smoke` and then this tool over what came out:
+ *
+ *   obs_lint --trace trace.json     Chrome trace_event JSON
+ *   obs_lint --report metrics.jsonl one run report per line
+ *   obs_lint --prom prom.txt        Prometheus/OpenMetrics snapshot
+ *
+ * Any combination of flags; each artifact is parsed structurally, not
+ * grepped. The trace check also verifies the distributed-tracing
+ * invariants: every `cat:"request"` slice carries trace/span/parent
+ * ids, every trace id forms one connected tree with exactly one root,
+ * and every flow-arrow end has a matching begin. Exit 0 when every
+ * requested artifact validates.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace vbench;
+using obs::jsonlite::Value;
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+bool
+isNumber(const Value *v)
+{
+    return v && v->isNumber();
+}
+
+bool
+isString(const Value *v)
+{
+    return v && v->isString();
+}
+
+/** One spanning pass over the traceEvents array. */
+bool
+lintTrace(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::fprintf(stderr, "obs_lint: cannot read %s\n", path.c_str());
+        return false;
+    }
+    const std::optional<Value> root = obs::jsonlite::parse(text);
+    if (!root || !root->isObject()) {
+        std::fprintf(stderr, "obs_lint: %s: not a JSON object\n",
+                     path.c_str());
+        return false;
+    }
+    const Value *events = root->find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "obs_lint: %s: missing traceEvents array\n",
+                     path.c_str());
+        return false;
+    }
+
+    bool ok = true;
+    size_t slices = 0, request_slices = 0, metadata = 0;
+    // trace_id -> span ids / parent ids seen in that trace.
+    std::map<uint64_t, std::set<uint64_t>> spans_by_trace;
+    std::map<uint64_t, std::vector<uint64_t>> parents_by_trace;
+    std::map<uint64_t, size_t> roots_by_trace;
+    std::set<uint64_t> flow_begins, flow_ends;
+    const auto complain = [&](size_t i, const char *what) {
+        std::fprintf(stderr, "obs_lint: %s: event %zu: %s\n",
+                     path.c_str(), i, what);
+        ok = false;
+    };
+
+    for (size_t i = 0; i < events->array.size(); ++i) {
+        const Value &e = events->array[i];
+        if (!e.isObject()) {
+            complain(i, "not an object");
+            continue;
+        }
+        const Value *ph = e.find("ph");
+        if (!isString(ph)) {
+            complain(i, "missing ph");
+            continue;
+        }
+        if (ph->string == "M") {
+            ++metadata;
+            const Value *args = e.find("args");
+            if (!isString(e.find("name")) || !args ||
+                !isString(args->find("name")))
+                complain(i, "malformed metadata event");
+            continue;
+        }
+        if (ph->string == "X") {
+            ++slices;
+            if (!isString(e.find("name")) || !isNumber(e.find("ts")) ||
+                !isNumber(e.find("dur")) || !isNumber(e.find("pid")) ||
+                !isNumber(e.find("tid"))) {
+                complain(i, "malformed slice");
+                continue;
+            }
+            const Value *cat = e.find("cat");
+            if (!cat || cat->string != "request")
+                continue;
+            ++request_slices;
+            const Value *args = e.find("args");
+            if (!args || !isNumber(args->find("trace_id")) ||
+                !isNumber(args->find("span_id")) ||
+                !isNumber(args->find("parent_id"))) {
+                complain(i, "request slice without span ids");
+                continue;
+            }
+            const auto asId = [&](const char *key) {
+                return static_cast<uint64_t>(args->find(key)->number);
+            };
+            const uint64_t trace = asId("trace_id");
+            spans_by_trace[trace].insert(asId("span_id"));
+            const uint64_t parent = asId("parent_id");
+            if (parent == 0)
+                ++roots_by_trace[trace];
+            else
+                parents_by_trace[trace].push_back(parent);
+            continue;
+        }
+        if (ph->string == "s" || ph->string == "f") {
+            if (!isNumber(e.find("id")) || !isNumber(e.find("ts")) ||
+                !isNumber(e.find("tid"))) {
+                complain(i, "malformed flow event");
+                continue;
+            }
+            const uint64_t id =
+                static_cast<uint64_t>(e.find("id")->number);
+            (ph->string == "s" ? flow_begins : flow_ends).insert(id);
+            continue;
+        }
+        // Other phases (counters, async) are fine if they ever appear;
+        // nothing to check structurally beyond being an object.
+    }
+
+    for (const auto &[trace, parents] : parents_by_trace)
+        for (const uint64_t parent : parents)
+            if (spans_by_trace[trace].find(parent) ==
+                spans_by_trace[trace].end()) {
+                std::fprintf(stderr,
+                             "obs_lint: %s: trace %llu references "
+                             "missing parent span %llu\n",
+                             path.c_str(),
+                             static_cast<unsigned long long>(trace),
+                             static_cast<unsigned long long>(parent));
+                ok = false;
+            }
+    for (const auto &[trace, spans] : spans_by_trace) {
+        (void)spans;
+        if (roots_by_trace[trace] != 1) {
+            std::fprintf(stderr,
+                         "obs_lint: %s: trace %llu has %zu roots "
+                         "(want exactly 1)\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(trace),
+                         roots_by_trace[trace]);
+            ok = false;
+        }
+    }
+    for (const uint64_t id : flow_ends)
+        if (flow_begins.find(id) == flow_begins.end()) {
+            std::fprintf(stderr,
+                         "obs_lint: %s: flow end %llu has no begin\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(id));
+            ok = false;
+        }
+    for (const uint64_t id : flow_begins)
+        if (flow_ends.find(id) == flow_ends.end()) {
+            std::fprintf(stderr,
+                         "obs_lint: %s: flow begin %llu has no end\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(id));
+            ok = false;
+        }
+
+    std::printf("obs_lint: %s: %zu slices (%zu request-scoped, %zu "
+                "traces), %zu flow pairs, %zu row names%s\n",
+                path.c_str(), slices, request_slices,
+                spans_by_trace.size(), flow_begins.size(), metadata,
+                ok ? "" : " — INVALID");
+    if (request_slices == 0) {
+        std::fprintf(stderr,
+                     "obs_lint: %s: no request-scoped slices (was the "
+                     "run traced?)\n",
+                     path.c_str());
+        ok = false;
+    }
+    return ok;
+}
+
+/** Run reports: one JSON object per line, label + seconds required. */
+bool
+lintReports(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "obs_lint: cannot read %s\n", path.c_str());
+        return false;
+    }
+    bool ok = true;
+    size_t line_no = 0, reports = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const std::optional<Value> v = obs::jsonlite::parse(line);
+        if (!v || !v->isObject() || !isString(v->find("label")) ||
+            !isNumber(v->find("seconds"))) {
+            std::fprintf(stderr,
+                         "obs_lint: %s:%zu: not a run report object\n",
+                         path.c_str(), line_no);
+            ok = false;
+            continue;
+        }
+        ++reports;
+    }
+    std::printf("obs_lint: %s: %zu run reports%s\n", path.c_str(),
+                reports, ok ? "" : " — INVALID");
+    if (reports == 0) {
+        std::fprintf(stderr, "obs_lint: %s: no run reports\n",
+                     path.c_str());
+        ok = false;
+    }
+    return ok;
+}
+
+bool
+lintProm(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::fprintf(stderr, "obs_lint: cannot read %s\n", path.c_str());
+        return false;
+    }
+    std::string error;
+    if (!obs::validatePromText(text, &error)) {
+        std::fprintf(stderr, "obs_lint: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    std::printf("obs_lint: %s: valid exposition (%zu bytes)\n",
+                path.c_str(), text.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool ok = true;
+    bool any = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--trace" || arg == "--report" || arg == "--prom") &&
+            i + 1 < argc) {
+            const std::string path = argv[++i];
+            any = true;
+            if (arg == "--trace")
+                ok = lintTrace(path) && ok;
+            else if (arg == "--report")
+                ok = lintReports(path) && ok;
+            else
+                ok = lintProm(path) && ok;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace FILE] [--report FILE] "
+                         "[--prom FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (!any) {
+        std::fprintf(stderr, "obs_lint: nothing to lint\n");
+        return 2;
+    }
+    return ok ? 0 : 1;
+}
