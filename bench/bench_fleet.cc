@@ -1,0 +1,698 @@
+/**
+ * @file
+ * Fleet placement benchmark: replay one profiled service workload
+ * against heterogeneous fleet topologies under every placement policy
+ * (docs/FLEET.md). A single profiling pass executes each unique
+ * segment chain once through the real encoder (service::
+ * executeSegmentJob, rate-control carry included) to measure its work;
+ * the discrete-event simulator then scores each (topology x policy)
+ * pair on identical jobs, so cost and hit-rate differences are pure
+ * placement quality. Writes BENCH_fleet.json.
+ *
+ * Environment knobs: VBENCH_FLEET (topology spec), VBENCH_FLEET_CALIB
+ * (perf-model cache), VBENCH_SEGMENT_FRAMES.
+ *
+ *   --seed N      workload base seed (default 40) for reproducible runs
+ *   --fleet SPEC  benchmark only this topology (types.h grammar)
+ *   --calib PATH  perf-model calibration cache path
+ *   --out FILE    JSON output path (default BENCH_fleet.json)
+ *   --smoke       small run wired into scripts/check.sh: asserts the
+ *                 simulation is deterministic in the seed, cost_aware
+ *                 meets the deadline hit-rate floor, and cost_aware
+ *                 undercuts round_robin AND random on total dollars in
+ *                 at least two scenarios including Popular.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/runtime_config.h"
+#include "core/scenario.h"
+#include "fleet/calibrate.h"
+#include "fleet/sim.h"
+#include "service/segment_job.h"
+#include "service/workload.h"
+#include "video/suite.h"
+#include "video/synth.h"
+
+namespace {
+
+using namespace vbench;
+
+std::vector<video::ClipSpec>
+corpusSpecs(bool smoke)
+{
+    const auto spec = [](const char *name, int w, int h,
+                         video::ContentClass content, uint64_t seed) {
+        video::ClipSpec s;
+        s.name = name;
+        s.width = w;
+        s.height = h;
+        s.fps = 30.0;
+        s.content = content;
+        s.seed = seed;
+        return s;
+    };
+    if (smoke)
+        return {
+            spec("fleet_nat", 192, 128, video::ContentClass::Natural, 7),
+            spec("fleet_anim", 192, 128, video::ContentClass::Animation,
+                 9),
+        };
+    return {
+        spec("fleet_natural", 320, 192, video::ContentClass::Natural,
+             21),
+        spec("fleet_sports", 256, 144, video::ContentClass::Sports, 22),
+        spec("fleet_screen", 256, 144, video::ContentClass::Screencast,
+             23),
+    };
+}
+
+/**
+ * One-hot Poisson stream per scenario, merged (same construction as
+ * bench_service): every requested scenario is guaranteed a non-empty
+ * slice, and the whole sequence is deterministic in `base_seed`.
+ */
+std::vector<service::ServiceRequest>
+generateMixedWorkload(const service::Corpus &corpus,
+                      const std::vector<core::Scenario> &scenarios,
+                      double per_scenario_rate, double duration_s,
+                      uint64_t base_seed,
+                      const service::WorkloadConfig &shape)
+{
+    std::vector<service::ServiceRequest> merged;
+    uint64_t id = 0;
+    for (const core::Scenario scenario : scenarios) {
+        service::WorkloadConfig config = shape;
+        config.arrival_rate_hz = per_scenario_rate;
+        config.duration_s = duration_s;
+        config.seed = base_seed + static_cast<uint64_t>(scenario);
+        config.mix = {};
+        config.mix[static_cast<size_t>(scenario)] = 1;
+        std::vector<service::ServiceRequest> part =
+            service::generateWorkload(config, corpus);
+        for (int retry = 0; part.empty() && retry < 8; ++retry) {
+            config.seed += 100;
+            config.duration_s *= 2;
+            part = service::generateWorkload(config, corpus);
+        }
+        for (service::ServiceRequest &req : part) {
+            req.id = id++;
+            merged.push_back(std::move(req));
+        }
+    }
+    return merged;
+}
+
+bool
+chainedMode(codec::RcMode mode)
+{
+    return mode == codec::RcMode::Abr || mode == codec::RcMode::TwoPass;
+}
+
+/** What the profiling pass turned the workload into. */
+struct ProfiledWorkload {
+    std::vector<fleet::SimJob> jobs;
+    size_t chains_profiled = 0;  ///< unique chains actually executed
+    size_t profile_failures = 0;
+    size_t streams = 0;
+};
+
+/**
+ * Measure the workload's real work: every unique (clip, rung) chain is
+ * executed once, segment by segment with the rate-control carry, and
+ * its measured on-host seconds become modeled scalar-tier work via the
+ * perf model's native-tier bridge. Repeated requests for the same
+ * chain (the Zipf head) reuse the measurement — profiling cost scales
+ * with corpus x ladder, not with arrival count.
+ */
+ProfiledWorkload
+profileWorkload(const service::Corpus &corpus,
+                const std::vector<service::ServiceRequest> &workload,
+                const fleet::PerfModel &model)
+{
+    ProfiledWorkload out;
+    const double native_speed =
+        model.tier_speed[static_cast<size_t>(model.native_tier)];
+    std::map<std::string, std::vector<double>> measured;
+    int next_id = 0;
+    for (const service::ServiceRequest &req : workload) {
+        const service::CorpusClip &clip = corpus.clips[req.clip];
+        const int segments = clip.segmentCount();
+        const double seg_duration_s = clip.spec.fps > 0
+            ? corpus.segment_frames / clip.spec.fps
+            : 0.0;
+        const double seg_pixels = static_cast<double>(clip.spec.width) *
+            clip.spec.height * corpus.segment_frames;
+        for (const service::RungSpec &rung : req.rungs) {
+            const bool chained = chainedMode(rung.request.rc.mode);
+            std::string key = std::to_string(req.clip) + "|" +
+                std::to_string(static_cast<int>(req.scenario)) + "|" +
+                rung.name + "|" +
+                std::to_string(static_cast<int>(rung.request.kind)) +
+                "|" +
+                std::to_string(static_cast<int>(rung.request.rc.mode)) +
+                "|" + std::to_string(rung.request.rc.bitrate_bps) + "|" +
+                std::to_string(rung.request.effort);
+            auto it = measured.find(key);
+            if (it == measured.end()) {
+                std::vector<double> seconds;
+                codec::RcSnapshot carry;
+                for (int k = 0; k < segments; ++k) {
+                    service::SegmentJob job;
+                    job.request_id = req.id;
+                    job.rung = rung.name;
+                    job.segment_index = k;
+                    job.scenario = req.scenario;
+                    job.input = *clip.seg_universal[static_cast<size_t>(
+                        k)];
+                    job.params = rung.request;
+                    if (chained && k > 0)
+                        job.params.rc_in = carry;
+                    const service::SegmentResult res =
+                        service::executeSegmentJob(
+                            job,
+                            clip.seg_original[static_cast<size_t>(k)]
+                                .get());
+                    if (res.ok) {
+                        carry = res.rc_state;
+                        seconds.push_back(res.seconds);
+                    } else {
+                        ++out.profile_failures;
+                        seconds.push_back(
+                            model.scalarWorkSeconds(seg_pixels) /
+                            native_speed);
+                    }
+                }
+                it = measured.emplace(key, std::move(seconds)).first;
+                ++out.chains_profiled;
+            }
+            const std::vector<double> &seconds = it->second;
+            const int stream = static_cast<int>(out.streams++);
+            int prev = -1;
+            for (int k = 0; k < segments; ++k) {
+                fleet::SimJob sim;
+                sim.id = next_id++;
+                sim.pixels = seg_pixels;
+                sim.work_scalar_s =
+                    seconds[static_cast<size_t>(k)] * native_speed;
+                sim.avail_s = req.arrival_s +
+                    (req.live_paced ? k * seg_duration_s : 0.0);
+                if (req.live_paced &&
+                    std::isfinite(req.segment_deadline_s))
+                    sim.deadline_s =
+                        sim.avail_s + req.segment_deadline_s;
+                else if (std::isfinite(req.request_deadline_s))
+                    sim.deadline_s =
+                        req.arrival_s + req.request_deadline_s;
+                sim.scenario = req.scenario;
+                sim.chain_prev = chained ? prev : -1;
+                sim.stream = stream;
+                prev = sim.id;
+                out.jobs.push_back(sim);
+            }
+        }
+    }
+    return out;
+}
+
+/** All five policies over one topology, identical jobs. */
+struct PolicyRun {
+    fleet::PolicyKind kind = fleet::PolicyKind::RoundRobin;
+    fleet::SimResult result;
+};
+
+std::vector<PolicyRun>
+sweepPolicies(const std::vector<fleet::WorkerTypeSpec> &types,
+              uint64_t seed, const fleet::PerfModel &model,
+              const std::vector<fleet::SimJob> &jobs)
+{
+    std::vector<PolicyRun> runs;
+    for (int p = 0; p < fleet::kNumPolicies; ++p) {
+        PolicyRun run;
+        run.kind = static_cast<fleet::PolicyKind>(p);
+        fleet::FleetConfig config;
+        config.types = types;
+        config.policy = run.kind;
+        config.seed = seed;
+        run.result = fleet::simulateFleet(config, model, jobs);
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+uint64_t
+totalStreams(const fleet::SimResult &r)
+{
+    uint64_t streams = 0;
+    for (const fleet::SimScenario &s : r.scenarios)
+        streams += s.streams;
+    return streams;
+}
+
+void
+printPolicyTable(const std::vector<PolicyRun> &runs)
+{
+    std::printf("%-14s %-7s %-7s %-11s %-11s %s\n", "policy", "jobs",
+                "hit%", "cost_$", "$/stream", "makespan_s");
+    for (const PolicyRun &run : runs) {
+        const fleet::SimResult &r = run.result;
+        const uint64_t streams = totalStreams(r);
+        std::printf("%-14s %-7llu %-7.1f %-11.6f %-11.6f %.3f\n",
+                    fleet::policyName(run.kind),
+                    static_cast<unsigned long long>(r.jobs),
+                    100.0 * r.hitRate(), r.total_cost_dollars,
+                    streams > 0
+                        ? r.total_cost_dollars /
+                            static_cast<double>(streams)
+                        : 0.0,
+                    r.makespan_s);
+    }
+}
+
+void
+printScenarioBreakdown(const fleet::SimResult &r)
+{
+    std::printf("\ncost_aware by scenario:\n");
+    std::printf("%-10s %-7s %-7s %-11s %s\n", "scenario", "jobs", "hit%",
+                "cost_$", "$/stream");
+    for (size_t i = 0; i < r.scenarios.size(); ++i) {
+        const fleet::SimScenario &s = r.scenarios[i];
+        if (s.jobs == 0)
+            continue;
+        std::printf("%-10s %-7llu %-7.1f %-11.6f %.6f\n",
+                    core::toString(static_cast<core::Scenario>(i)),
+                    static_cast<unsigned long long>(s.jobs),
+                    100.0 * s.hitRate(), s.cost_dollars,
+                    s.dollarsPerStream());
+    }
+}
+
+void
+printTypeUsage(const std::vector<fleet::WorkerTypeSpec> &types,
+               const fleet::SimResult &r)
+{
+    std::vector<double> busy(types.size(), 0.0);
+    std::vector<double> cost(types.size(), 0.0);
+    std::vector<int> jobs(types.size(), 0);
+    for (const fleet::FleetWorker &w : r.workers) {
+        const auto t = static_cast<size_t>(w.type);
+        busy[t] += w.busy_seconds;
+        cost[t] += w.cost_dollars;
+        jobs[t] += w.jobs;
+    }
+    std::printf("\ncost_aware by worker type:\n");
+    std::printf("%-10s %-7s %-7s %-11s %s\n", "type", "count", "jobs",
+                "busy_s", "cost_$");
+    for (size_t t = 0; t < types.size(); ++t)
+        std::printf("%-10s %-7d %-7d %-11.3f %.6f\n",
+                    types[t].name.c_str(), types[t].count, jobs[t],
+                    busy[t], cost[t]);
+}
+
+/** One benchmark topology: a label plus its parsed types. */
+struct Topology {
+    std::string label;
+    std::vector<fleet::WorkerTypeSpec> types;
+};
+
+std::vector<Topology>
+benchTopologies(const std::string &fleet_spec, bool smoke)
+{
+    // An explicit topology (--fleet or VBENCH_FLEET) is the only one.
+    if (!fleet_spec.empty()) {
+        std::string error;
+        const auto types = fleet::parseFleetSpec(fleet_spec, &error);
+        if (!types) {
+            std::fprintf(stderr, "bad fleet spec %s: %s\n",
+                         fleet_spec.c_str(), error.c_str());
+            return {};
+        }
+        return {{"custom", *types}};
+    }
+    std::vector<Topology> topologies;
+    topologies.push_back({"mixed", fleet::defaultFleetConfig().types});
+    if (smoke)
+        return topologies;
+    const auto parsed = [](const char *label, const char *spec) {
+        std::string error;
+        const auto types = fleet::parseFleetSpec(spec, &error);
+        return Topology{label, types ? *types
+                                     : std::vector<
+                                           fleet::WorkerTypeSpec>{}};
+    };
+    topologies.push_back(
+        parsed("cpu-only", "scalar:4@0.40+sse2:2@0.90+avx2:2@1.60"));
+    topologies.push_back(parsed("scalar-only", "scalar:8@0.40"));
+    topologies.push_back(parsed("premium", "avx2:4@1.60+hwenc:2@5.00"));
+    return topologies;
+}
+
+int
+writeJson(const std::string &path, uint64_t seed,
+          const fleet::PerfModel &model, const ProfiledWorkload &profile,
+          size_t requests,
+          const std::vector<std::pair<Topology, std::vector<PolicyRun>>>
+              &sweeps)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{%s\"seed\":%llu,\"model\":{\"base_mpix_s\":%.4f,"
+                 "\"tier_speed\":[",
+                 bench::jsonMetaFields().c_str(),
+                 static_cast<unsigned long long>(seed),
+                 model.base_mpix_s);
+    for (int t = 0; t < fleet::kNumTiers; ++t)
+        std::fprintf(f, "%s%.4f", t ? "," : "",
+                     model.tier_speed[static_cast<size_t>(t)]);
+    std::fprintf(
+        f,
+        "],\"native_tier\":\"%s\",\"source\":\"%s\"},"
+        "\"workload\":{\"requests\":%zu,\"jobs\":%zu,"
+        "\"streams\":%zu,\"chains_profiled\":%zu},\"topologies\":[",
+        fleet::tierName(model.native_tier), model.source.c_str(),
+        requests, profile.jobs.size(), profile.streams,
+        profile.chains_profiled);
+    for (size_t i = 0; i < sweeps.size(); ++i) {
+        const Topology &topo = sweeps[i].first;
+        fleet::FleetConfig counter;
+        counter.types = topo.types;
+        std::fprintf(f,
+                     "%s{\"label\":\"%s\",\"spec\":\"%s\","
+                     "\"workers\":%d,\"policies\":[",
+                     i ? "," : "", topo.label.c_str(),
+                     fleet::formatFleetSpec(topo.types).c_str(),
+                     counter.workerCount());
+        const std::vector<PolicyRun> &runs = sweeps[i].second;
+        for (size_t p = 0; p < runs.size(); ++p) {
+            const fleet::SimResult &r = runs[p].result;
+            std::fprintf(
+                f,
+                "%s{\"name\":\"%s\",\"jobs\":%llu,\"hit_rate\":%.4f,"
+                "\"cost_dollars\":%.8f,\"makespan_s\":%.4f,"
+                "\"scenarios\":[",
+                p ? "," : "", fleet::policyName(runs[p].kind),
+                static_cast<unsigned long long>(r.jobs), r.hitRate(),
+                r.total_cost_dollars, r.makespan_s);
+            bool first = true;
+            for (size_t s = 0; s < r.scenarios.size(); ++s) {
+                const fleet::SimScenario &sc = r.scenarios[s];
+                if (sc.jobs == 0)
+                    continue;
+                std::fprintf(
+                    f,
+                    "%s{\"name\":\"%s\",\"jobs\":%llu,"
+                    "\"hit_rate\":%.4f,\"cost_dollars\":%.8f,"
+                    "\"dollars_per_stream\":%.8f}",
+                    first ? "" : ",",
+                    core::toString(static_cast<core::Scenario>(s)),
+                    static_cast<unsigned long long>(sc.jobs),
+                    sc.hitRate(), sc.cost_dollars,
+                    sc.dollarsPerStream());
+                first = false;
+            }
+            std::fprintf(f, "]}");
+        }
+        std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+const PolicyRun *
+findPolicy(const std::vector<PolicyRun> &runs, fleet::PolicyKind kind)
+{
+    for (const PolicyRun &run : runs)
+        if (run.kind == kind)
+            return &run;
+    return nullptr;
+}
+
+int
+runFull(const std::string &json_path, uint64_t seed,
+        const std::string &fleet_spec, const std::string &calib_path)
+{
+    bench::printHeader(
+        "heterogeneous fleet placement under a profiled service "
+        "workload",
+        "cloud transcoding economics: $/hour tiers, deadlines, "
+        "placement policy");
+
+    std::string calib_log;
+    const fleet::PerfModel model =
+        fleet::calibratePerfModel(calib_path, &calib_log);
+    std::printf("perf model: %s (base %.2f Mpix/s, speeds %.2f/%.2f/"
+                "%.2f/%.2f, native %s)\n",
+                calib_log.c_str(), model.base_mpix_s,
+                model.tier_speed[0], model.tier_speed[1],
+                model.tier_speed[2], model.tier_speed[3],
+                fleet::tierName(model.native_tier));
+
+    const int segment_frames = service::segmentFramesFromEnv(8);
+    const service::Corpus corpus =
+        service::buildCorpus(corpusSpecs(false), 16, segment_frames);
+    const std::vector<core::Scenario> all = {
+        core::Scenario::Upload, core::Scenario::Live,
+        core::Scenario::Vod, core::Scenario::Popular,
+        core::Scenario::Platform};
+    service::WorkloadConfig shape;
+    const std::vector<service::ServiceRequest> workload =
+        generateMixedWorkload(corpus, all, /*per_scenario_rate=*/2.0,
+                              /*duration_s=*/4.0, seed, shape);
+
+    const ProfiledWorkload profile =
+        profileWorkload(corpus, workload, model);
+    std::printf("workload: %zu requests -> %zu segment jobs "
+                "(%zu streams, %zu chains profiled)\n\n",
+                workload.size(), profile.jobs.size(), profile.streams,
+                profile.chains_profiled);
+    if (profile.profile_failures > 0)
+        std::fprintf(stderr, "warning: %zu segments failed to profile "
+                             "(modeled work substituted)\n",
+                     profile.profile_failures);
+
+    const std::vector<Topology> topologies =
+        benchTopologies(fleet_spec, false);
+    if (topologies.empty())
+        return 1;
+    std::vector<std::pair<Topology, std::vector<PolicyRun>>> sweeps;
+    for (const Topology &topo : topologies) {
+        fleet::FleetConfig counter;
+        counter.types = topo.types;
+        std::printf("== topology %s: %s (%d workers) ==\n",
+                    topo.label.c_str(),
+                    fleet::formatFleetSpec(topo.types).c_str(),
+                    counter.workerCount());
+        std::vector<PolicyRun> runs =
+            sweepPolicies(topo.types, seed, model, profile.jobs);
+        printPolicyTable(runs);
+        if (const PolicyRun *aware =
+                findPolicy(runs, fleet::PolicyKind::CostAware)) {
+            printScenarioBreakdown(aware->result);
+            printTypeUsage(topo.types, aware->result);
+        }
+        std::printf("\n");
+        sweeps.emplace_back(topo, std::move(runs));
+    }
+    return writeJson(json_path, seed, model, profile, workload.size(),
+                     sweeps);
+}
+
+/**
+ * Gate for check.sh: generous deadlines, the default mixed fleet, and
+ * three hard assertions — determinism in the seed, a deadline
+ * hit-rate floor for cost_aware, and cost_aware strictly undercutting
+ * both baselines (round_robin, random) on total dollars in >= 2
+ * scenarios including Popular.
+ */
+int
+runSmoke(uint64_t seed, const std::string &fleet_spec,
+         const std::string &calib_path)
+{
+    const double kMinHitRate = 0.95;
+    (void)calib_path;  // smoke stays on the stock model: deterministic
+                       // cost arithmetic, no profiling variance
+    const fleet::PerfModel model;
+    const service::Corpus corpus =
+        service::buildCorpus(corpusSpecs(true), 8, 4);
+    service::WorkloadConfig shape;
+    shape.upload_slack = 100.0;
+    shape.popular_slack = 50.0;
+    shape.vod_throughput = 0.1;
+    const std::vector<service::ServiceRequest> workload =
+        generateMixedWorkload(corpus,
+                              {core::Scenario::Popular,
+                               core::Scenario::Upload,
+                               core::Scenario::Vod},
+                              /*per_scenario_rate=*/4.0,
+                              /*duration_s=*/1.0, seed, shape);
+    const ProfiledWorkload profile =
+        profileWorkload(corpus, workload, model);
+    std::printf("workload: %zu requests -> %zu segment jobs\n",
+                workload.size(), profile.jobs.size());
+
+    const std::vector<Topology> topologies =
+        benchTopologies(fleet_spec, true);
+    if (topologies.empty())
+        return 1;
+    const Topology &topo = topologies.front();
+    const std::vector<PolicyRun> runs =
+        sweepPolicies(topo.types, seed, model, profile.jobs);
+    printPolicyTable(runs);
+
+    bool ok = true;
+    if (profile.profile_failures > 0) {
+        std::fprintf(stderr, "FAIL: %zu segments failed to profile\n",
+                     profile.profile_failures);
+        ok = false;
+    }
+    const PolicyRun *aware =
+        findPolicy(runs, fleet::PolicyKind::CostAware);
+    const PolicyRun *rr =
+        findPolicy(runs, fleet::PolicyKind::RoundRobin);
+    const PolicyRun *random =
+        findPolicy(runs, fleet::PolicyKind::Random);
+    if (!aware || !rr || !random) {
+        std::fprintf(stderr, "FAIL: policy sweep incomplete\n");
+        return 1;
+    }
+    for (const PolicyRun &run : runs)
+        if (run.result.jobs != profile.jobs.size()) {
+            std::fprintf(stderr, "FAIL: %s placed %llu of %zu jobs\n",
+                         fleet::policyName(run.kind),
+                         static_cast<unsigned long long>(
+                             run.result.jobs),
+                         profile.jobs.size());
+            ok = false;
+        }
+
+    // The simulation must be bit-reproducible in (jobs, seed).
+    {
+        fleet::FleetConfig config;
+        config.types = topo.types;
+        config.policy = fleet::PolicyKind::CostAware;
+        config.seed = seed;
+        const fleet::SimResult again =
+            fleet::simulateFleet(config, model, profile.jobs);
+        if (again.total_cost_dollars !=
+                aware->result.total_cost_dollars ||
+            again.hits != aware->result.hits) {
+            std::fprintf(stderr,
+                         "FAIL: re-simulation diverged (%.9f vs %.9f "
+                         "dollars)\n",
+                         again.total_cost_dollars,
+                         aware->result.total_cost_dollars);
+            ok = false;
+        }
+    }
+
+    if (aware->result.hitRate() < kMinHitRate) {
+        std::fprintf(stderr,
+                     "FAIL: cost_aware hit-rate %.3f below %.2f with "
+                     "generous deadlines\n",
+                     aware->result.hitRate(), kMinHitRate);
+        ok = false;
+    }
+    if (aware->result.total_cost_dollars >
+            rr->result.total_cost_dollars ||
+        aware->result.total_cost_dollars >
+            random->result.total_cost_dollars) {
+        std::fprintf(stderr,
+                     "FAIL: cost_aware $%.8f not <= round_robin $%.8f "
+                     "and random $%.8f\n",
+                     aware->result.total_cost_dollars,
+                     rr->result.total_cost_dollars,
+                     random->result.total_cost_dollars);
+        ok = false;
+    }
+
+    // Per-scenario wins: strictly cheaper than BOTH baselines in at
+    // least two scenarios, Popular among them (the ladder fan-out is
+    // exactly where placement quality pays).
+    int wins = 0;
+    bool popular_win = false;
+    for (size_t s = 0; s < aware->result.scenarios.size(); ++s) {
+        const fleet::SimScenario &a = aware->result.scenarios[s];
+        if (a.jobs == 0)
+            continue;
+        const bool win =
+            a.cost_dollars < rr->result.scenarios[s].cost_dollars &&
+            a.cost_dollars < random->result.scenarios[s].cost_dollars;
+        if (win) {
+            ++wins;
+            if (static_cast<core::Scenario>(s) ==
+                core::Scenario::Popular)
+                popular_win = true;
+        }
+    }
+    if (wins < 2 || !popular_win) {
+        std::fprintf(stderr,
+                     "FAIL: cost_aware beat both baselines in %d "
+                     "scenarios (Popular win: %s); need >= 2 incl. "
+                     "Popular\n",
+                     wins, popular_win ? "yes" : "no");
+        ok = false;
+    }
+    std::printf("fleet smoke: %s (cost_aware $%.8f vs round_robin "
+                "$%.8f, random $%.8f; %d scenario wins)\n",
+                ok ? "ok" : "FAILED",
+                aware->result.total_cost_dollars,
+                rr->result.total_cost_dollars,
+                random->result.total_cost_dollars, wins);
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_fleet.json";
+    const core::RuntimeConfig &env = core::runtimeConfig();
+    std::string fleet_spec = env.fleet_spec;
+    std::string calib_path = env.fleet_calib_path;
+    uint64_t seed = 40;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--fleet" && i + 1 < argc) {
+            fleet_spec = argv[++i];
+        } else if (arg == "--calib" && i + 1 < argc) {
+            calib_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            char *end = nullptr;
+            seed = std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "--seed wants an integer, got "
+                                     "%s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--seed N] [--fleet SPEC] "
+                         "[--calib PATH] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    return smoke ? runSmoke(seed, fleet_spec, calib_path)
+                 : runFull(json_path, seed, fleet_spec, calib_path);
+}

@@ -8,7 +8,14 @@
  *
  * Environment knobs: VBENCH_ARRIVAL_RATE (requests/second),
  * VBENCH_SEGMENT_FRAMES (frames per segment), VBENCH_JOBS (workers).
+ * Setting VBENCH_FLEET routes every segment through the modeled
+ * heterogeneous fleet (docs/FLEET.md): VBENCH_FLEET_POLICY picks the
+ * placement policy, VBENCH_FLEET_CALIB names the perf-model cache
+ * (empty keeps the stock model), and the SLA scorecard grows $/stream
+ * columns plus the `service.fleet` run report.
  *
+ *   --seed N  workload base seed (default 40): the same seed replays
+ *             the same arrival sequence, for reproducible runs
  *   --smoke   tiny corpus, Live + Upload only, generous deadlines;
  *             exits nonzero on any dropped request or a deadline
  *             hit-rate below 90%. Wired into scripts/check.sh.
@@ -17,13 +24,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/runtime_config.h"
 #include "core/scenario.h"
+#include "fleet/calibrate.h"
+#include "fleet/types.h"
 #include "obs/obs.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -75,7 +87,8 @@ std::vector<service::ServiceRequest>
 generateMixedWorkload(const service::Corpus &corpus,
                       const std::vector<core::Scenario> &scenarios,
                       double per_scenario_rate, double duration_s,
-                      double live_slack, double upload_slack)
+                      uint64_t base_seed, double live_slack,
+                      double upload_slack)
 {
     std::vector<service::ServiceRequest> merged;
     uint64_t id = 0;
@@ -83,7 +96,7 @@ generateMixedWorkload(const service::Corpus &corpus,
         service::WorkloadConfig config;
         config.arrival_rate_hz = per_scenario_rate;
         config.duration_s = duration_s;
-        config.seed = 40 + static_cast<uint64_t>(scenario);
+        config.seed = base_seed + static_cast<uint64_t>(scenario);
         config.mix = {};
         config.mix[static_cast<size_t>(scenario)] = 1;
         config.live_slack = live_slack;
@@ -103,6 +116,43 @@ generateMixedWorkload(const service::Corpus &corpus,
     return merged;
 }
 
+/** The VBENCH_FLEET wiring: topology, policy, and perf model. */
+struct FleetSetup {
+    fleet::FleetConfig config;
+    fleet::PerfModel model;
+};
+
+/**
+ * Build the fleet from the environment. Empty VBENCH_FLEET means no
+ * fleet (cost columns stay zero). A malformed spec fails fast like any
+ * other runtime-config error; VBENCH_FLEET_CALIB loads/creates the
+ * calibration cache, empty keeps the stock perf model.
+ */
+std::optional<FleetSetup>
+fleetFromEnv(const core::RuntimeConfig &env)
+{
+    if (env.fleet_spec.empty())
+        return std::nullopt;
+    std::string error;
+    const auto types = fleet::parseFleetSpec(env.fleet_spec, &error);
+    if (!types) {
+        std::fprintf(stderr, "vbench: VBENCH_FLEET=%s: %s\n",
+                     env.fleet_spec.c_str(), error.c_str());
+        std::exit(2);
+    }
+    FleetSetup setup;
+    setup.config.types = *types;
+    if (!env.fleet_policy.empty())
+        setup.config.policy = *fleet::parsePolicyName(env.fleet_policy);
+    if (!env.fleet_calib_path.empty()) {
+        std::string log;
+        setup.model =
+            fleet::calibratePerfModel(env.fleet_calib_path, &log);
+        std::printf("fleet perf model: %s\n", log.c_str());
+    }
+    return setup;
+}
+
 void
 printScorecard(const service::SlaReport &sla)
 {
@@ -119,6 +169,17 @@ printScorecard(const service::SlaReport &sla)
             static_cast<unsigned long long>(s.segments), s.p50_ms,
             s.p95_ms, s.p99_ms, 100.0 * s.hit_rate, s.goodput_mpix_s,
             100.0 * s.drop_rate);
+    // Fleet cost columns, only when a fleet metered the run.
+    if (sla.total_cost_dollars > 0) {
+        std::printf("\n%-10s %-11s %-11s %s\n", "scenario", "cost_$",
+                    "$/stream", "$/quality-pt");
+        for (const service::ScenarioScore &s : sla.scenarios)
+            if (s.cost_dollars > 0)
+                std::printf("%-10s %-11.6f %-11.6f %.6f\n",
+                            core::toString(s.scenario), s.cost_dollars,
+                            s.dollars_per_stream,
+                            s.dollars_per_quality_point);
+    }
     std::printf("\noverall: %llu requests (%llu dropped), %llu segments, "
                 "hit-rate %.1f%%, goodput %.2f Mpix/s, %.2fs wall\n",
                 static_cast<unsigned long long>(sla.total_requests),
@@ -126,6 +187,8 @@ printScorecard(const service::SlaReport &sla)
                 static_cast<unsigned long long>(sla.total_segments),
                 100.0 * sla.overall_hit_rate,
                 sla.overall_goodput_mpix_s, sla.wall_seconds);
+    if (sla.total_cost_dollars > 0)
+        std::printf("fleet cost: $%.6f total\n", sla.total_cost_dollars);
 }
 
 int
@@ -146,33 +209,37 @@ writeJson(const std::string &path, const service::ServiceResult &result)
             "%s{\"name\":\"%s\",\"requests\":%llu,\"dropped\":%llu,"
             "\"segments\":%llu,\"failed\":%llu,\"p50_ms\":%.3f,"
             "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"hit_rate\":%.4f,"
-            "\"goodput_mpix_s\":%.4f,\"drop_rate\":%.4f}",
+            "\"goodput_mpix_s\":%.4f,\"drop_rate\":%.4f,"
+            "\"cost_dollars\":%.8f,\"dollars_per_stream\":%.8f}",
             i ? "," : "", core::toString(s.scenario),
             static_cast<unsigned long long>(s.requests),
             static_cast<unsigned long long>(s.dropped),
             static_cast<unsigned long long>(s.segments),
             static_cast<unsigned long long>(s.failed), s.p50_ms,
             s.p95_ms, s.p99_ms, s.hit_rate, s.goodput_mpix_s,
-            s.drop_rate);
+            s.drop_rate, s.cost_dollars, s.dollars_per_stream);
     }
     std::fprintf(
         f,
         "],\"overall\":{\"requests\":%llu,\"dropped\":%llu,"
         "\"segments\":%llu,\"hit_rate\":%.4f,\"goodput_mpix_s\":%.4f,"
-        "\"stitched_rungs\":%llu,\"stitch_failures\":%llu}}\n",
+        "\"stitched_rungs\":%llu,\"stitch_failures\":%llu,"
+        "\"cost_dollars\":%.8f}}\n",
         static_cast<unsigned long long>(sla.total_requests),
         static_cast<unsigned long long>(sla.total_dropped),
         static_cast<unsigned long long>(sla.total_segments),
         sla.overall_hit_rate, sla.overall_goodput_mpix_s,
         static_cast<unsigned long long>(result.stitched_rungs),
-        static_cast<unsigned long long>(result.stitch_failures));
+        static_cast<unsigned long long>(result.stitch_failures),
+        sla.total_cost_dollars);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return 0;
 }
 
 int
-runFull(const std::string &json_path)
+runFull(const std::string &json_path, uint64_t seed,
+        const FleetSetup *fleet_setup)
 {
     bench::printHeader(
         "transcoding service under open-loop load (split-and-stitch)",
@@ -191,13 +258,17 @@ runFull(const std::string &json_path)
     const double rate = service::arrivalRateFromEnv(6.0);
     const std::vector<service::ServiceRequest> workload =
         generateMixedWorkload(corpus, all, rate / all.size(), 4.0,
-                              /*live_slack=*/3.0,
+                              seed, /*live_slack=*/3.0,
                               /*upload_slack=*/10.0);
     std::printf("workload: %zu requests over 4.0s (%.1f req/s)\n\n",
                 workload.size(), rate);
 
     service::ServiceConfig config;
     config.admission_capacity = 64;
+    if (fleet_setup) {
+        config.fleet = &fleet_setup->config;
+        config.fleet_model = &fleet_setup->model;
+    }
     service::TranscodeService svc(config, corpus);
     const service::ServiceResult result = svc.run(workload);
 
@@ -299,7 +370,7 @@ checkObservability(const service::ServiceResult &result,
 
 /** Gate for check.sh: small run that must hit its generous SLAs. */
 int
-runSmoke()
+runSmoke(uint64_t seed, const FleetSetup *fleet_setup)
 {
     const double kMinHitRate = 0.9;
     const service::Corpus corpus =
@@ -307,11 +378,15 @@ runSmoke()
     const std::vector<service::ServiceRequest> workload =
         generateMixedWorkload(
             corpus, {core::Scenario::Live, core::Scenario::Upload},
-            /*per_scenario_rate=*/2.0, /*duration_s=*/1.0,
+            /*per_scenario_rate=*/2.0, /*duration_s=*/1.0, seed,
             /*live_slack=*/50.0, /*upload_slack=*/100.0);
 
     service::ServiceConfig config;
     config.admission_capacity = 64;
+    if (fleet_setup) {
+        config.fleet = &fleet_setup->config;
+        config.fleet_model = &fleet_setup->model;
+    }
     // Own sinks so the smoke can inspect what the run recorded; the
     // tracer merges into the process-wide one afterwards so a
     // VBENCH_TRACE file still carries the request trees.
@@ -364,6 +439,7 @@ int
 main(int argc, char **argv)
 {
     std::string json_path = "BENCH_service.json";
+    uint64_t seed = 40;
     bool smoke = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -371,11 +447,26 @@ main(int argc, char **argv)
             smoke = true;
         } else if (arg == "--out" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            char *end = nullptr;
+            seed = std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "--seed wants an integer, got "
+                                     "%s\n",
+                             argv[i]);
+                return 2;
+            }
         } else {
-            std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--seed N] [--out FILE]\n",
                          argv[0]);
             return 2;
         }
     }
-    return smoke ? runSmoke() : runFull(json_path);
+    const std::optional<FleetSetup> fleet_setup =
+        fleetFromEnv(core::runtimeConfig());
+    const FleetSetup *fleet_ptr =
+        fleet_setup ? &*fleet_setup : nullptr;
+    return smoke ? runSmoke(seed, fleet_ptr)
+                 : runFull(json_path, seed, fleet_ptr);
 }

@@ -38,16 +38,27 @@ echo "== frame-thread bit-exactness (bench_frame_threads --smoke) =="
 echo "== service smoke (bench_service --smoke) =="
 "$build/bench/bench_service" --smoke
 
-echo "== observability schema gate (traced smoke + obs_lint) =="
+echo "== fleet smoke (bench_fleet --smoke) =="
+# Asserts determinism in the seed, the cost_aware hit-rate floor, and
+# cost_aware <= round_robin and random on total dollars — including
+# strictly beating both baselines on the Popular ladder.
+"$build/bench/bench_fleet" --smoke
+
+echo "== observability schema gate (traced fleet smoke + obs_lint) =="
 obs_dir="$build/obs-gate"
 mkdir -p "$obs_dir"
 rm -f "$obs_dir/trace.json" "$obs_dir/reports.jsonl" "$obs_dir/prom.txt"
+# VBENCH_FLEET routes the smoke through the modeled fleet so the
+# reports include a service.fleet record for obs_lint's schema check.
 VBENCH_TRACE="$obs_dir/trace.json" \
 VBENCH_METRICS_OUT="$obs_dir/reports.jsonl" \
 VBENCH_PROM_OUT="$obs_dir/prom.txt" \
+VBENCH_FLEET="scalar:4@0.40+sse2:2@0.90+avx2:2@1.60+hwenc:1@5.00" \
+VBENCH_FLEET_CALIB="$obs_dir/fleet-calib.txt" \
     "$build/bench/bench_service" --smoke >/dev/null
 "$build/tools/obs_lint" \
     --trace "$obs_dir/trace.json" \
+    --require-fleet \
     --report "$obs_dir/reports.jsonl" \
     --prom "$obs_dir/prom.txt"
 

@@ -1,0 +1,227 @@
+#pragma once
+
+/**
+ * @file
+ * One home for every VBENCH_* environment knob (docs/SERVICE.md,
+ * docs/FLEET.md). Before this header the knobs were parsed in six
+ * different translation units with six slightly different ideas of
+ * what a malformed value means (silently ignore, warn, clamp). Now:
+ *
+ *   VBENCH_JOBS            scheduler worker threads (positive int)
+ *   VBENCH_FRAME_THREADS   intra-frame wavefront width (positive int)
+ *   VBENCH_SEGMENT_FRAMES  frames per service segment (positive int)
+ *   VBENCH_ARRIVAL_RATE    workload arrivals/second (positive float)
+ *   VBENCH_ISA             kernel ISA pin (scalar|sse2|avx2|native)
+ *   VBENCH_TRACE           Chrome trace output path
+ *   VBENCH_METRICS_OUT     run-report JSONL path ("-" for stdout)
+ *   VBENCH_PROM_OUT        Prometheus/OpenMetrics snapshot path
+ *   VBENCH_FLEET           fleet topology spec (fleet::parseFleetSpec)
+ *   VBENCH_FLEET_POLICY    fleet placement policy name
+ *   VBENCH_FLEET_CALIB     fleet perf-model calibration cache path
+ *
+ * RuntimeConfig::fromEnv() parses and validates all of them in one
+ * pass and reports every malformed value. The cached runtimeConfig()
+ * accessor and the per-call freshRuntimeConfig() helper fail fast —
+ * print each error and exit(2) — instead of silently ignoring a typo
+ * the way the old per-site parsers did. A bad VBENCH_JOBS now stops
+ * the run with a message naming the variable, the value, and what
+ * would have been accepted.
+ *
+ * Header-only on purpose, with std-only dependencies: vbench_obs,
+ * vbench_kernels, and sched/frame_threads.h (itself header-only so
+ * vbench_codec can use it) all consume this without a link edge to
+ * vbench_core.
+ *
+ * Two deliberate exceptions keep validation honest without circular
+ * knowledge: VBENCH_FLEET's topology grammar belongs to
+ * fleet::parseFleetSpec (still fail-fast, at fleet construction), and
+ * an ISA pin naming a level the host lacks degrades with a warning —
+ * the value is well-formed, the machine just cannot honor it
+ * (kernels/dispatch.cc).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace vbench::core {
+
+/** Upper bound on VBENCH_JOBS: a typo must not fork-bomb the host. */
+inline constexpr int kMaxRuntimeJobs = 512;
+/** Upper bound on VBENCH_FRAME_THREADS, same rationale. */
+inline constexpr int kMaxRuntimeFrameThreads = 64;
+
+/** Every VBENCH_* knob, parsed and validated together. */
+struct RuntimeConfig {
+    int jobs = 0;             ///< VBENCH_JOBS; 0 = auto (hardware)
+    int frame_threads = 1;    ///< VBENCH_FRAME_THREADS; default serial
+    int segment_frames = 0;   ///< VBENCH_SEGMENT_FRAMES; 0 = caller's
+    double arrival_rate_hz = 0;  ///< VBENCH_ARRIVAL_RATE; 0 = caller's
+    std::string isa;          ///< VBENCH_ISA; empty = auto-detect
+    std::string trace_path;   ///< VBENCH_TRACE; empty = tracing off
+    std::string metrics_path; ///< VBENCH_METRICS_OUT; empty = off
+    std::string prom_path;    ///< VBENCH_PROM_OUT; empty = off
+    std::string fleet_spec;   ///< VBENCH_FLEET; empty = default fleet
+    std::string fleet_policy; ///< VBENCH_FLEET_POLICY; empty = default
+    std::string fleet_calib_path;  ///< VBENCH_FLEET_CALIB; empty = none
+
+    static RuntimeConfig fromEnv(std::vector<std::string> *errors);
+};
+
+namespace detail {
+
+inline void
+configError(std::vector<std::string> *errors, const std::string &msg)
+{
+    if (errors)
+        errors->push_back(msg);
+}
+
+/** Strict positive integer: whole string must parse, value > 0. */
+inline bool
+parsePositiveInt(const char *name, const char *value, int max_value,
+                 int *out, std::vector<std::string> *errors)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed <= 0) {
+        configError(errors,
+                    std::string(name) + "=" + value +
+                        " is not a positive integer");
+        return false;
+    }
+    // Over-the-top widths clamp (documented cap), they don't error: a
+    // huge-but-well-formed request means "as wide as allowed".
+    *out = static_cast<int>(parsed < max_value ? parsed : max_value);
+    return true;
+}
+
+/** Strict positive float: whole string must parse, value > 0. */
+inline bool
+parsePositiveDouble(const char *name, const char *value, double *out,
+                    std::vector<std::string> *errors)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || !(parsed > 0)) {
+        configError(errors,
+                    std::string(name) + "=" + value +
+                        " is not a positive number");
+        return false;
+    }
+    *out = parsed;
+    return true;
+}
+
+inline bool
+knownIsaName(const std::string &value)
+{
+    std::string lower;
+    lower.reserve(value.size());
+    for (const char c : value)
+        lower.push_back(c >= 'A' && c <= 'Z'
+                            ? static_cast<char>(c - 'A' + 'a')
+                            : c);
+    return lower == "scalar" || lower == "sse2" || lower == "avx2" ||
+        lower == "native";
+}
+
+inline bool
+knownFleetPolicyName(const std::string &value)
+{
+    return value == "round_robin" || value == "random" ||
+        value == "least_loaded" || value == "cheapest" ||
+        value == "cost_aware";
+}
+
+inline const char *
+envOrEmpty(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? value : "";
+}
+
+} // namespace detail
+
+/**
+ * Parse every knob from the environment. Unset / empty variables keep
+ * their defaults; every malformed value appends one message to
+ * `errors` (pass null to just get the best-effort config). This is the
+ * single place VBENCH_* values are interpreted — call sites receive
+ * the result, they do not getenv.
+ */
+inline RuntimeConfig
+RuntimeConfig::fromEnv(std::vector<std::string> *errors)
+{
+    RuntimeConfig cfg;
+    if (const char *v = detail::envOrEmpty("VBENCH_JOBS"); v[0])
+        detail::parsePositiveInt("VBENCH_JOBS", v, kMaxRuntimeJobs,
+                                 &cfg.jobs, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_FRAME_THREADS"); v[0])
+        detail::parsePositiveInt("VBENCH_FRAME_THREADS", v,
+                                 kMaxRuntimeFrameThreads,
+                                 &cfg.frame_threads, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_SEGMENT_FRAMES");
+        v[0])
+        detail::parsePositiveInt("VBENCH_SEGMENT_FRAMES", v,
+                                 1 << 20, &cfg.segment_frames, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_ARRIVAL_RATE"); v[0])
+        detail::parsePositiveDouble("VBENCH_ARRIVAL_RATE", v,
+                                    &cfg.arrival_rate_hz, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_ISA"); v[0]) {
+        cfg.isa = v;
+        if (!detail::knownIsaName(cfg.isa))
+            detail::configError(errors,
+                                "VBENCH_ISA=" + cfg.isa +
+                                    " is not one of "
+                                    "scalar|sse2|avx2|native");
+    }
+    cfg.trace_path = detail::envOrEmpty("VBENCH_TRACE");
+    cfg.metrics_path = detail::envOrEmpty("VBENCH_METRICS_OUT");
+    cfg.prom_path = detail::envOrEmpty("VBENCH_PROM_OUT");
+    cfg.fleet_spec = detail::envOrEmpty("VBENCH_FLEET");
+    if (const char *v = detail::envOrEmpty("VBENCH_FLEET_POLICY");
+        v[0]) {
+        cfg.fleet_policy = v;
+        if (!detail::knownFleetPolicyName(cfg.fleet_policy))
+            detail::configError(
+                errors,
+                "VBENCH_FLEET_POLICY=" + cfg.fleet_policy +
+                    " is not one of round_robin|random|least_loaded|"
+                    "cheapest|cost_aware");
+    }
+    cfg.fleet_calib_path = detail::envOrEmpty("VBENCH_FLEET_CALIB");
+    return cfg;
+}
+
+/**
+ * Re-parse the environment, failing fast on any malformed value:
+ * every error is printed to stderr and the process exits with 2.
+ * Call sites that must observe setenv() between calls (the
+ * frame-thread guard, workload defaults) go through this; everything
+ * else uses the cached runtimeConfig() below.
+ */
+inline RuntimeConfig
+freshRuntimeConfig()
+{
+    std::vector<std::string> errors;
+    RuntimeConfig cfg = RuntimeConfig::fromEnv(&errors);
+    if (!errors.empty()) {
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "vbench: %s\n", e.c_str());
+        std::exit(2);
+    }
+    return cfg;
+}
+
+/** The process-wide config: parsed and validated once, fail-fast. */
+inline const RuntimeConfig &
+runtimeConfig()
+{
+    static const RuntimeConfig cfg = freshRuntimeConfig();
+    return cfg;
+}
+
+} // namespace vbench::core

@@ -1,0 +1,204 @@
+#include "fleet/calibrate.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/transcoder.h"
+#include "kernels/kernel_ops.h"
+#include "video/suite.h"
+
+namespace vbench::fleet {
+
+namespace {
+
+constexpr const char *kCalibHeader = "vbench-fleet-calib v1";
+
+Tier
+tierForIsa(kernels::Isa isa)
+{
+    switch (isa) {
+    case kernels::Isa::Scalar:
+        return Tier::Scalar;
+    case kernels::Isa::Sse2:
+        return Tier::Sse2;
+    case kernels::Isa::Avx2:
+        return Tier::Avx2;
+    }
+    return Tier::Scalar;
+}
+
+/** The profiling workload: tiny but long enough to time reliably. */
+video::Video
+calibClip()
+{
+    video::ClipSpec spec;
+    spec.name = "fleet-calib";
+    spec.width = 128;
+    spec.height = 96;
+    spec.fps = 30.0;
+    spec.seed = 7;
+    return video::synthesizeClip(spec, 24);
+}
+
+/** Best-of-2 transcode seconds for one request on the current ISA. */
+double
+timedSeconds(const codec::ByteBuffer &input, const video::Video &clip,
+             const core::TranscodeRequest &request)
+{
+    double best = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        const core::TranscodeOutcome outcome =
+            core::transcode(input, clip, request);
+        if (!outcome.ok || outcome.seconds <= 0)
+            return 0;
+        best = best == 0 ? outcome.seconds
+                         : std::min(best, outcome.seconds);
+    }
+    return best;
+}
+
+} // namespace
+
+std::string
+formatCalibration(const PerfModel &model)
+{
+    std::ostringstream out;
+    out << kCalibHeader << "\n";
+    out << "isa " << tierName(model.native_tier) << "\n";
+    out << "base_mpix_s " << model.base_mpix_s << "\n";
+    for (int t = 0; t < kNumTiers; ++t)
+        out << "speed " << tierName(static_cast<Tier>(t)) << " "
+            << model.tier_speed[static_cast<size_t>(t)] << "\n";
+    return out.str();
+}
+
+bool
+parseCalibration(const std::string &text, PerfModel *model)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kCalibHeader)
+        return false;
+    PerfModel parsed;
+    bool saw_isa = false, saw_base = false;
+    int saw_speeds = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "isa") {
+            std::string name;
+            fields >> name;
+            const std::optional<Tier> tier = parseTierName(name);
+            if (!tier || fields.fail())
+                return false;
+            parsed.native_tier = *tier;
+            saw_isa = true;
+        } else if (key == "base_mpix_s") {
+            fields >> parsed.base_mpix_s;
+            if (fields.fail() || parsed.base_mpix_s <= 0)
+                return false;
+            saw_base = true;
+        } else if (key == "speed") {
+            std::string name;
+            double v = 0;
+            fields >> name >> v;
+            const std::optional<Tier> tier = parseTierName(name);
+            if (!tier || fields.fail() || v <= 0)
+                return false;
+            parsed.tier_speed[static_cast<size_t>(*tier)] = v;
+            ++saw_speeds;
+        } else {
+            return false;
+        }
+    }
+    if (!saw_isa || !saw_base || saw_speeds < kNumTiers)
+        return false;
+    parsed.source = "cache";
+    *model = parsed;
+    return true;
+}
+
+PerfModel
+calibratePerfModel(const std::string &cache_path, std::string *log)
+{
+    const Tier native = tierForIsa(kernels::detectBestIsa());
+
+    if (!cache_path.empty()) {
+        if (std::ifstream in(cache_path); in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            PerfModel cached;
+            if (parseCalibration(text.str(), &cached) &&
+                cached.native_tier == native) {
+                if (log)
+                    *log = "fleet calibration loaded from " + cache_path;
+                return cached;
+            }
+        }
+    }
+
+    PerfModel model;
+    model.native_tier = native;
+
+    const video::Video clip = calibClip();
+    const codec::ByteBuffer input = core::makeUniversalStream(clip);
+    core::TranscodeRequest request;
+    request.kind = core::EncoderKind::Vbc;
+    request.effort = 5;
+    request.frame_threads = 1;
+
+    // Software tiers: pin each ISA level and time the same transcode.
+    std::array<double, kNumTiers> seconds = {0, 0, 0, 0};
+    for (const kernels::Isa isa :
+         {kernels::Isa::Scalar, kernels::Isa::Sse2,
+          kernels::Isa::Avx2}) {
+        if (kernels::opsFor(isa) == nullptr)
+            continue; // host/build lacks this level; default ratio stays
+        kernels::ScopedKernelIsa pin(isa);
+        seconds[static_cast<size_t>(tierForIsa(isa))] =
+            timedSeconds(input, clip, request);
+    }
+    // Hardware tier: the hwenc pipeline model's own (modeled) time.
+    core::TranscodeRequest hw = request;
+    hw.kind = core::EncoderKind::NvencLike;
+    seconds[static_cast<size_t>(Tier::Hwenc)] =
+        timedSeconds(input, clip, hw);
+
+    const double scalar_s = seconds[static_cast<size_t>(Tier::Scalar)];
+    if (scalar_s <= 0) {
+        if (log)
+            *log = "fleet calibration failed; using default model";
+        return model; // defaults, source == "default"
+    }
+    model.base_mpix_s =
+        static_cast<double>(clip.totalPixels()) / 1e6 / scalar_s;
+    for (int t = 0; t < kNumTiers; ++t) {
+        const double s = seconds[static_cast<size_t>(t)];
+        if (s > 0)
+            model.tier_speed[static_cast<size_t>(t)] = scalar_s / s;
+        // else: the default ratio for this tier is kept (e.g. a host
+        // without AVX2 still models AVX2 workers at the stock speedup).
+    }
+    // Monotonicity guard: measurement noise on a tiny clip must not
+    // leave a nominally wider tier slower than a narrower one.
+    for (int t = 1; t < kNumTiers; ++t)
+        model.tier_speed[static_cast<size_t>(t)] = std::max(
+            model.tier_speed[static_cast<size_t>(t)],
+            model.tier_speed[static_cast<size_t>(t - 1)]);
+    model.source = "calibrated";
+
+    if (!cache_path.empty()) {
+        if (std::ofstream out(cache_path); out)
+            out << formatCalibration(model);
+    }
+    if (log)
+        *log = "fleet calibration profiled (base " +
+            std::to_string(model.base_mpix_s) + " Mpix/s)";
+    return model;
+}
+
+} // namespace vbench::fleet

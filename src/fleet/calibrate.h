@@ -1,0 +1,37 @@
+#pragma once
+
+/**
+ * @file
+ * Performance-model calibration: measure the per-tier speed ratios on
+ * this host instead of trusting the defaults. One short profiling pass
+ * encodes a tiny synthetic clip once per available kernel ISA level
+ * (via kernels::ScopedKernelIsa) and once through the hardware-encoder
+ * model; the ratios and the scalar baseline throughput become the
+ * fleet's PerfModel.
+ *
+ * The result is cached in a small text file keyed by the host's best
+ * ISA (a different machine or build invalidates it), so repeated bench
+ * runs skip the ~second of profiling. VBENCH_FLEET_CALIB names the
+ * cache path; empty disables caching.
+ */
+
+#include <string>
+
+#include "fleet/types.h"
+
+namespace vbench::fleet {
+
+/**
+ * Load the cached model if `cache_path` exists and matches this host,
+ * else profile and (best-effort) write the cache. Never fails: on any
+ * problem the default PerfModel comes back with source == "default".
+ * `log` (optional) receives a one-line description of what happened.
+ */
+PerfModel calibratePerfModel(const std::string &cache_path,
+                             std::string *log = nullptr);
+
+/** Parse/serialize the cache format (exposed for tests). */
+bool parseCalibration(const std::string &text, PerfModel *model);
+std::string formatCalibration(const PerfModel &model);
+
+} // namespace vbench::fleet

@@ -1,0 +1,109 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vbench::fleet {
+
+Fleet::Fleet(FleetConfig config, PerfModel model)
+    : config_(std::move(config)), model_(model)
+{
+    if (validateFleetConfig(config_).empty())
+        workers_ = makeWorkers(config_);
+    policy_ = makePolicy(config_.policy, config_.seed);
+}
+
+Ticket
+Fleet::place(const JobMeta &meta, double now_s)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const Placement p =
+        placeJob(*policy_, workers_, config_, model_, meta, now_s);
+    Ticket t;
+    t.worker = p.worker;
+    t.type = p.type;
+    t.start_s = p.start_s;
+    t.exec_s = p.exec_s;
+    t.finish_s = p.finish_s;
+    t.cost_dollars = p.cost_dollars;
+    return t;
+}
+
+double
+Fleet::settle(const Ticket &ticket, double measured_s)
+{
+    if (!ticket.valid())
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    FleetWorker &w = workers_[static_cast<size_t>(ticket.worker)];
+    const WorkerTypeSpec &type =
+        config_.types[static_cast<size_t>(ticket.type)];
+    // Measured wall seconds ran at the host's native tier; convert to
+    // scalar work, then re-model on the booked tier.
+    const double native_speed =
+        model_.tier_speed[static_cast<size_t>(model_.native_tier)];
+    const double work_scalar_s =
+        std::max(0.0, measured_s) * native_speed;
+    const double exec_s = model_.execSeconds(
+        type.tier, work_scalar_s, type.per_job_overhead_ms);
+    const double cost = exec_s * type.price_per_hour / 3600.0;
+
+    // Re-book: shift this worker's horizon and totals by the delta
+    // between the estimate and the measurement-derived time.
+    const double delta_s = exec_s - ticket.exec_s;
+    w.busy_until_s = std::max(ticket.start_s + exec_s,
+                              w.busy_until_s + delta_s);
+    w.busy_seconds += delta_s;
+    w.cost_dollars += cost - ticket.cost_dollars;
+    return cost;
+}
+
+std::vector<double>
+Fleet::typeUtilization(double now_s) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<double> util(config_.types.size(), 0.0);
+    if (now_s <= 0)
+        return util;
+    for (const FleetWorker &w : workers_)
+        util[static_cast<size_t>(w.type)] += w.busy_seconds;
+    for (size_t t = 0; t < config_.types.size(); ++t) {
+        const int count = config_.types[t].count;
+        if (count > 0)
+            util[t] /= static_cast<double>(count) * now_s;
+    }
+    return util;
+}
+
+std::vector<TypeUsage>
+Fleet::typeUsage() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TypeUsage> usage;
+    for (const WorkerTypeSpec &t : config_.types) {
+        TypeUsage u;
+        u.name = t.name;
+        u.tier = t.tier;
+        u.count = t.count;
+        usage.push_back(std::move(u));
+    }
+    for (const FleetWorker &w : workers_) {
+        TypeUsage &u = usage[static_cast<size_t>(w.type)];
+        u.jobs += w.jobs;
+        u.busy_seconds += w.busy_seconds;
+        u.cost_dollars += w.cost_dollars;
+    }
+    return usage;
+}
+
+double
+Fleet::totalCost() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0;
+    for (const FleetWorker &w : workers_)
+        total += w.cost_dollars;
+    return total;
+}
+
+} // namespace vbench::fleet

@@ -1,0 +1,100 @@
+#pragma once
+
+/**
+ * @file
+ * The online fleet: the service dispatcher's view of a heterogeneous
+ * worker pool. Every segment is *executed* on the real local scheduler
+ * (streams stay placement-invariant), but each one is also *placed* on
+ * a modeled fleet worker, which charges the modeled execution time and
+ * dollar cost of the machine type the placement chose.
+ *
+ * Protocol per segment:
+ *   1. place(meta, now)   - before submit: the policy books the job
+ *                           onto a worker, returns a Ticket.
+ *   2. settle(ticket, s)  - after the real transcode: renormalize the
+ *                           booking with the measured seconds (the
+ *                           model's tier ratios applied to real work,
+ *                           not the a-priori pixel estimate) and
+ *                           return the final dollar cost.
+ *
+ * Thread-safe: the dispatcher places from its loop; settles may come
+ * from any order of completions.
+ */
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/placement.h"
+
+namespace vbench::fleet {
+
+/** One booked job: placement plus what settle() needs. */
+struct Ticket {
+    int worker = -1;  ///< -1 = not placed (empty fleet)
+    int type = -1;
+    double start_s = 0;
+    double exec_s = 0;     ///< modeled seconds as booked
+    double finish_s = 0;
+    double cost_dollars = 0;
+
+    bool valid() const { return worker >= 0; }
+};
+
+/** Per-type rollup for reports and gauges. */
+struct TypeUsage {
+    std::string name;
+    Tier tier = Tier::Scalar;
+    int count = 0;
+    int jobs = 0;
+    double busy_seconds = 0;
+    double cost_dollars = 0;
+};
+
+class Fleet
+{
+  public:
+    /**
+     * Build the fleet. `config` must pass validateFleetConfig; an
+     * invalid config yields a zero-worker fleet whose place() returns
+     * invalid tickets (callers fall back to unmodeled dispatch).
+     */
+    Fleet(FleetConfig config, PerfModel model);
+
+    /** Book a job. `now_s` is the fleet clock (service seconds). */
+    Ticket place(const JobMeta &meta, double now_s);
+
+    /**
+     * Replace the booking's a-priori execution estimate with one
+     * derived from the measured wall seconds of the real transcode:
+     * the measurement is mapped back to scalar-tier work through the
+     * host's native tier, then forward to the booked worker's tier.
+     * Returns the final cost (also re-accumulated on the worker).
+     */
+    double settle(const Ticket &ticket, double measured_s);
+
+    /** Modeled busy fraction per type over [0, now_s]. */
+    std::vector<double> typeUtilization(double now_s) const;
+
+    /** Per-type totals (jobs, busy seconds, dollars). */
+    std::vector<TypeUsage> typeUsage() const;
+
+    /** Total modeled dollars across the fleet. */
+    double totalCost() const;
+
+    const FleetConfig &config() const { return config_; }
+    const PerfModel &model() const { return model_; }
+    int workerCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+  private:
+    FleetConfig config_;
+    PerfModel model_;
+    mutable std::mutex mu_;
+    std::vector<FleetWorker> workers_;
+    std::unique_ptr<PlacementPolicy> policy_;
+};
+
+} // namespace vbench::fleet

@@ -1,0 +1,242 @@
+#include "fleet/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbench::fleet {
+
+namespace {
+
+double
+execFor(const FleetConfig &config, const PerfModel &model,
+        const FleetWorker &w, const JobMeta &job)
+{
+    const WorkerTypeSpec &type =
+        config.types[static_cast<size_t>(w.type)];
+    return model.execSeconds(type.tier, job.work_scalar_s,
+                             type.per_job_overhead_ms);
+}
+
+double
+costFor(const FleetConfig &config, const FleetWorker &w, double exec_s)
+{
+    const WorkerTypeSpec &type =
+        config.types[static_cast<size_t>(w.type)];
+    return exec_s * type.price_per_hour / 3600.0;
+}
+
+double
+startFor(const FleetWorker &w, const JobMeta &job, double now_s)
+{
+    return std::max({now_s, job.ready_s, w.busy_until_s});
+}
+
+class RoundRobinPolicy final : public PlacementPolicy
+{
+  public:
+    int choose(const std::vector<FleetWorker> &workers,
+               const FleetConfig &, const PerfModel &, const JobMeta &,
+               double) override
+    {
+        if (workers.empty())
+            return -1;
+        return static_cast<int>(next_++ % workers.size());
+    }
+    const char *name() const override { return "round_robin"; }
+
+  private:
+    size_t next_ = 0;
+};
+
+class RandomPolicy final : public PlacementPolicy
+{
+  public:
+    explicit RandomPolicy(uint64_t seed)
+        : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {
+    }
+
+    int choose(const std::vector<FleetWorker> &workers,
+               const FleetConfig &, const PerfModel &, const JobMeta &,
+               double) override
+    {
+        if (workers.empty())
+            return -1;
+        // xorshift64*: deterministic in the seed, no <random> needed.
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        const uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+        return static_cast<int>(r % workers.size());
+    }
+    const char *name() const override { return "random"; }
+
+  private:
+    uint64_t state_;
+};
+
+class LeastLoadedPolicy final : public PlacementPolicy
+{
+  public:
+    int choose(const std::vector<FleetWorker> &workers,
+               const FleetConfig &, const PerfModel &, const JobMeta &,
+               double) override
+    {
+        int best = -1;
+        for (size_t i = 0; i < workers.size(); ++i)
+            if (best < 0 ||
+                workers[i].busy_until_s <
+                    workers[static_cast<size_t>(best)].busy_until_s)
+                best = static_cast<int>(i);
+        return best;
+    }
+    const char *name() const override { return "least_loaded"; }
+};
+
+/**
+ * Cheapest type that could meet the deadline if it started the moment
+ * the job is ready — naive feasibility that ignores worker backlog
+ * (the classic mistake the cost-aware policy corrects). Within the
+ * chosen type, the earliest-free worker.
+ */
+class CheapestFeasiblePolicy final : public PlacementPolicy
+{
+  public:
+    int choose(const std::vector<FleetWorker> &workers,
+               const FleetConfig &config, const PerfModel &model,
+               const JobMeta &job, double now_s) override
+    {
+        int best = -1;
+        double best_cost = 0;
+        bool best_feasible = false;
+        for (size_t i = 0; i < workers.size(); ++i) {
+            const FleetWorker &w = workers[i];
+            const double exec = execFor(config, model, w, job);
+            const double cost = costFor(config, w, exec);
+            const bool feasible =
+                std::max(now_s, job.ready_s) + exec <= job.deadline_s;
+            const double tie =
+                w.busy_until_s; // within a type, prefer idler
+            const bool better = best < 0 ||
+                (feasible && !best_feasible) ||
+                (feasible == best_feasible &&
+                 (cost < best_cost ||
+                  (cost == best_cost &&
+                   tie < workers[static_cast<size_t>(best)]
+                             .busy_until_s)));
+            if (better) {
+                best = static_cast<int>(i);
+                best_cost = cost;
+                best_feasible = feasible;
+            }
+        }
+        return best;
+    }
+    const char *name() const override { return "cheapest"; }
+};
+
+/**
+ * Backlog-aware cost minimizer: among workers whose *actual* finish
+ * time (queueing included) meets the deadline, the cheapest; ties go
+ * to the earliest finish. When no worker can meet the deadline, the
+ * earliest finish overall — miss by as little as possible.
+ */
+class CostAwarePolicy final : public PlacementPolicy
+{
+  public:
+    int choose(const std::vector<FleetWorker> &workers,
+               const FleetConfig &config, const PerfModel &model,
+               const JobMeta &job, double now_s) override
+    {
+        int best = -1;
+        double best_cost = 0, best_finish = 0;
+        bool best_feasible = false;
+        for (size_t i = 0; i < workers.size(); ++i) {
+            const FleetWorker &w = workers[i];
+            const double exec = execFor(config, model, w, job);
+            const double finish = startFor(w, job, now_s) + exec;
+            const double cost = costFor(config, w, exec);
+            const bool feasible = finish <= job.deadline_s;
+            bool better = false;
+            if (best < 0) {
+                better = true;
+            } else if (feasible != best_feasible) {
+                better = feasible;
+            } else if (feasible) {
+                better = cost < best_cost ||
+                    (cost == best_cost && finish < best_finish);
+            } else {
+                better = finish < best_finish;
+            }
+            if (better) {
+                best = static_cast<int>(i);
+                best_cost = cost;
+                best_finish = finish;
+                best_feasible = feasible;
+            }
+        }
+        return best;
+    }
+    const char *name() const override { return "cost_aware"; }
+};
+
+} // namespace
+
+std::unique_ptr<PlacementPolicy>
+makePolicy(PolicyKind kind, uint64_t seed)
+{
+    switch (kind) {
+    case PolicyKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+    case PolicyKind::LeastLoaded:
+        return std::make_unique<LeastLoadedPolicy>();
+    case PolicyKind::CheapestFeasible:
+        return std::make_unique<CheapestFeasiblePolicy>();
+    case PolicyKind::CostAware:
+        return std::make_unique<CostAwarePolicy>();
+    }
+    return std::make_unique<RoundRobinPolicy>();
+}
+
+std::vector<FleetWorker>
+makeWorkers(const FleetConfig &config)
+{
+    std::vector<FleetWorker> workers;
+    int id = 0;
+    for (size_t t = 0; t < config.types.size(); ++t)
+        for (int i = 0; i < config.types[t].count; ++i) {
+            FleetWorker w;
+            w.id = id++;
+            w.type = static_cast<int>(t);
+            workers.push_back(w);
+        }
+    return workers;
+}
+
+Placement
+placeJob(PlacementPolicy &policy, std::vector<FleetWorker> &workers,
+         const FleetConfig &config, const PerfModel &model,
+         const JobMeta &job, double now_s)
+{
+    Placement p;
+    const int chosen =
+        policy.choose(workers, config, model, job, now_s);
+    if (chosen < 0 || static_cast<size_t>(chosen) >= workers.size())
+        return p;
+    FleetWorker &w = workers[static_cast<size_t>(chosen)];
+    p.worker = w.id;
+    p.type = w.type;
+    p.exec_s = execFor(config, model, w, job);
+    p.start_s = startFor(w, job, now_s);
+    p.finish_s = p.start_s + p.exec_s;
+    p.cost_dollars = costFor(config, w, p.exec_s);
+    w.busy_until_s = p.finish_s;
+    w.busy_seconds += p.exec_s;
+    w.cost_dollars += p.cost_dollars;
+    ++w.jobs;
+    return p;
+}
+
+} // namespace vbench::fleet

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Placement: assign one job to one fleet worker. A PlacementPolicy
+ * only *chooses* the worker; the shared placeJob() helper does the
+ * bookkeeping (start = max(ready, worker free), modeled execution
+ * time, dollar cost) identically for every policy, so policies differ
+ * in choice quality alone and their cost numbers are comparable.
+ *
+ * All times are seconds on the fleet clock (the service clock for the
+ * online fleet, virtual time in the simulator).
+ */
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "fleet/types.h"
+
+namespace vbench::fleet {
+
+/** What the policy knows about a job before running it. */
+struct JobMeta {
+    double pixels = 0;  ///< luma pixels the job will encode
+    /// Modeled scalar-tier execution seconds
+    /// (PerfModel::scalarWorkSeconds of `pixels`, or measured).
+    double work_scalar_s = 0;
+    double ready_s = 0;  ///< earliest possible start (availability)
+    /// Absolute deadline on the fleet clock; infinity when unbounded.
+    double deadline_s = std::numeric_limits<double>::infinity();
+    core::Scenario scenario = core::Scenario::Upload;
+};
+
+/** One machine in the fleet. */
+struct FleetWorker {
+    int id = 0;
+    int type = 0;  ///< index into FleetConfig::types
+    double busy_until_s = 0;
+    double busy_seconds = 0;  ///< accumulated modeled busy time
+    double cost_dollars = 0;  ///< accumulated modeled cost
+    int jobs = 0;
+};
+
+/** Where a job landed and what it costs. */
+struct Placement {
+    int worker = -1;  ///< -1 = no worker available (empty fleet)
+    int type = -1;
+    double start_s = 0;
+    double exec_s = 0;    ///< modeled on-worker seconds
+    double finish_s = 0;  ///< start_s + exec_s
+    double cost_dollars = 0;
+};
+
+/**
+ * A placement strategy. choose() returns a worker index (or -1 on an
+ * empty fleet) and must not mutate the workers — placeJob() applies
+ * the booking. Policies are stateful (round-robin cursor, RNG) but
+ * single-threaded; the online Fleet serializes calls under its lock.
+ */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    virtual int choose(const std::vector<FleetWorker> &workers,
+                       const FleetConfig &config, const PerfModel &model,
+                       const JobMeta &job, double now_s) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Instantiate a policy. `seed` feeds the Random baseline. */
+std::unique_ptr<PlacementPolicy> makePolicy(PolicyKind kind,
+                                            uint64_t seed);
+
+/**
+ * Choose a worker via `policy` and book the job onto it: advances the
+ * worker's busy horizon, accumulates its busy time / cost / job count,
+ * and returns the booking. Returns worker = -1 (and books nothing) on
+ * an empty fleet.
+ */
+Placement placeJob(PlacementPolicy &policy,
+                   std::vector<FleetWorker> &workers,
+                   const FleetConfig &config, const PerfModel &model,
+                   const JobMeta &job, double now_s);
+
+/** Build the worker array for a config (type-major, ids 0..N-1). */
+std::vector<FleetWorker> makeWorkers(const FleetConfig &config);
+
+} // namespace vbench::fleet

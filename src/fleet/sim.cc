@@ -1,0 +1,108 @@
+#include "fleet/sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+namespace vbench::fleet {
+
+namespace {
+
+/** A job that is ready to place, ordered by ready time then id. */
+struct ReadyJob {
+    double ready_s;
+    int index;  ///< into the jobs vector
+
+    bool operator>(const ReadyJob &o) const
+    {
+        return ready_s != o.ready_s ? ready_s > o.ready_s
+                                    : index > o.index;
+    }
+};
+
+} // namespace
+
+SimResult
+simulateFleet(const FleetConfig &config, const PerfModel &model,
+              const std::vector<SimJob> &jobs)
+{
+    SimResult result;
+    result.workers = makeWorkers(config);
+    const std::unique_ptr<PlacementPolicy> policy =
+        makePolicy(config.policy, config.seed);
+
+    // Chain topology: successors of each job id, and which jobs wait.
+    std::unordered_map<int, int> index_by_id;
+    for (size_t i = 0; i < jobs.size(); ++i)
+        index_by_id.emplace(jobs[i].id, static_cast<int>(i));
+    std::unordered_map<int, std::vector<int>> successors;
+    std::vector<char> blocked(jobs.size(), 0);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const SimJob &job = jobs[i];
+        if (job.chain_prev >= 0 && job.chain_prev != job.id &&
+            index_by_id.count(job.chain_prev)) {
+            successors[job.chain_prev].push_back(static_cast<int>(i));
+            blocked[i] = 1;
+        }
+    }
+
+    // Ready-time min-heap: placement happens in the order jobs become
+    // ready, which is the order the online dispatcher would see them.
+    std::priority_queue<ReadyJob, std::vector<ReadyJob>,
+                        std::greater<ReadyJob>>
+        ready;
+    for (size_t i = 0; i < jobs.size(); ++i)
+        if (!blocked[i])
+            ready.push({jobs[i].avail_s, static_cast<int>(i)});
+
+    std::array<std::set<int>, core::kNumScenarios> streams_seen;
+    std::vector<double> finish(jobs.size(), 0.0);
+
+    while (!ready.empty()) {
+        const ReadyJob next = ready.top();
+        ready.pop();
+        const SimJob &job = jobs[static_cast<size_t>(next.index)];
+
+        JobMeta meta;
+        meta.pixels = job.pixels;
+        meta.work_scalar_s = job.work_scalar_s;
+        meta.ready_s = next.ready_s;
+        meta.deadline_s = job.deadline_s;
+        meta.scenario = job.scenario;
+        const Placement p =
+            placeJob(*policy, result.workers, config, model, meta,
+                     next.ready_s);
+        if (p.worker < 0)
+            continue; // empty fleet: job never runs
+        finish[static_cast<size_t>(next.index)] = p.finish_s;
+
+        const size_t s = static_cast<size_t>(job.scenario);
+        SimScenario &sc = result.scenarios[s];
+        ++sc.jobs;
+        ++result.jobs;
+        sc.cost_dollars += p.cost_dollars;
+        result.total_cost_dollars += p.cost_dollars;
+        const double latency = p.finish_s - job.avail_s;
+        sc.sum_latency_s += latency;
+        sc.max_latency_s = std::max(sc.max_latency_s, latency);
+        if (p.finish_s <= job.deadline_s) {
+            ++sc.hits;
+            ++result.hits;
+        }
+        if (job.stream >= 0 && streams_seen[s].insert(job.stream).second)
+            ++sc.streams;
+        result.makespan_s = std::max(result.makespan_s, p.finish_s);
+
+        if (const auto it = successors.find(job.id);
+            it != successors.end())
+            for (const int succ : it->second)
+                ready.push({std::max(jobs[static_cast<size_t>(succ)]
+                                         .avail_s,
+                                     p.finish_s),
+                            succ});
+    }
+    return result;
+}
+
+} // namespace vbench::fleet

@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * Discrete-event fleet simulator: replay a profiled workload against a
+ * fleet topology and placement policy in virtual time. One profiling
+ * pass measures each segment's real work once; the simulator then
+ * scores any number of (topology x policy) combinations in
+ * microseconds, which is what lets bench_fleet sweep policies on
+ * identical work.
+ *
+ * Jobs honor split-and-stitch chain precedence: a job with
+ * `chain_prev` set becomes ready only when that job finishes (the
+ * RcSnapshot carry), at its own availability at the earliest.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fleet/placement.h"
+
+namespace vbench::fleet {
+
+/** One profiled segment transcode to replay. */
+struct SimJob {
+    int id = 0;
+    double pixels = 0;
+    double work_scalar_s = 0;  ///< modeled scalar-tier seconds
+    double avail_s = 0;        ///< availability on the virtual clock
+    /// Absolute deadline (virtual clock); infinity when unbounded.
+    double deadline_s = std::numeric_limits<double>::infinity();
+    core::Scenario scenario = core::Scenario::Upload;
+    /// Chain precedence: id of the segment whose RC state this one
+    /// consumes; -1 = chain head / unchained.
+    int chain_prev = -1;
+    /// Stream (request x rung) this segment belongs to, for $/stream;
+    /// -1 = unattributed.
+    int stream = -1;
+};
+
+/** Per-scenario slice of a simulation. */
+struct SimScenario {
+    uint64_t jobs = 0;
+    uint64_t hits = 0;
+    uint64_t streams = 0;  ///< distinct stream ids seen
+    double cost_dollars = 0;
+    double max_latency_s = 0;
+    double sum_latency_s = 0;
+
+    double hitRate() const
+    {
+        return jobs > 0
+            ? static_cast<double>(hits) / static_cast<double>(jobs)
+            : 1.0;
+    }
+    double dollarsPerStream() const
+    {
+        return streams > 0
+            ? cost_dollars / static_cast<double>(streams)
+            : 0.0;
+    }
+};
+
+/** What one (topology, policy) run produced. */
+struct SimResult {
+    uint64_t jobs = 0;
+    uint64_t hits = 0;
+    double total_cost_dollars = 0;
+    double makespan_s = 0;  ///< last finish time
+    std::array<SimScenario, core::kNumScenarios> scenarios;
+    /// Final worker states (busy time / cost / job counts by worker).
+    std::vector<FleetWorker> workers;
+
+    double hitRate() const
+    {
+        return jobs > 0
+            ? static_cast<double>(hits) / static_cast<double>(jobs)
+            : 1.0;
+    }
+};
+
+/**
+ * Run the simulation. Jobs may arrive in any order; chains are
+ * resolved by id. A `chain_prev` pointing at a missing id is treated
+ * as unchained. Deterministic in (jobs, config, model, config.seed).
+ */
+SimResult simulateFleet(const FleetConfig &config, const PerfModel &model,
+                        const std::vector<SimJob> &jobs);
+
+} // namespace vbench::fleet

@@ -1,0 +1,260 @@
+#include "fleet/types.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace vbench::fleet {
+
+namespace {
+
+std::string
+lowered(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Tier list prices, $/hour — roughly proportional to capability. */
+constexpr std::array<double, kNumTiers> kListPrice = {0.40, 0.90, 1.60,
+                                                      5.00};
+
+bool
+parseCount(std::string_view s, int *out)
+{
+    int v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || v <= 0)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parsePrice(std::string_view s, double *out)
+{
+    // from_chars for double is not universally available; strtod on a
+    // bounded copy keeps this std-only and whole-string strict.
+    const std::string copy(s);
+    char *end = nullptr;
+    const double v = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size() || copy.empty() ||
+        !std::isfinite(v) || v <= 0)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+    case Tier::Scalar:
+        return "scalar";
+    case Tier::Sse2:
+        return "sse2";
+    case Tier::Avx2:
+        return "avx2";
+    case Tier::Hwenc:
+        return "hwenc";
+    }
+    return "scalar";
+}
+
+std::optional<Tier>
+parseTierName(std::string_view name)
+{
+    const std::string lower = lowered(name);
+    if (lower == "scalar")
+        return Tier::Scalar;
+    if (lower == "sse2")
+        return Tier::Sse2;
+    if (lower == "avx2")
+        return Tier::Avx2;
+    if (lower == "hwenc")
+        return Tier::Hwenc;
+    return std::nullopt;
+}
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+    case PolicyKind::RoundRobin:
+        return "round_robin";
+    case PolicyKind::Random:
+        return "random";
+    case PolicyKind::LeastLoaded:
+        return "least_loaded";
+    case PolicyKind::CheapestFeasible:
+        return "cheapest";
+    case PolicyKind::CostAware:
+        return "cost_aware";
+    }
+    return "round_robin";
+}
+
+std::optional<PolicyKind>
+parsePolicyName(std::string_view name)
+{
+    const std::string lower = lowered(name);
+    if (lower == "round_robin")
+        return PolicyKind::RoundRobin;
+    if (lower == "random")
+        return PolicyKind::Random;
+    if (lower == "least_loaded")
+        return PolicyKind::LeastLoaded;
+    if (lower == "cheapest")
+        return PolicyKind::CheapestFeasible;
+    if (lower == "cost_aware")
+        return PolicyKind::CostAware;
+    return std::nullopt;
+}
+
+double
+PerfModel::execSeconds(Tier t, double work_scalar_s,
+                       double overhead_ms) const
+{
+    const double speed = tier_speed[static_cast<size_t>(t)];
+    const double run = speed > 0 ? work_scalar_s / speed : work_scalar_s;
+    return run + overhead_ms * 1e-3;
+}
+
+double
+PerfModel::scalarWorkSeconds(double pixels) const
+{
+    return base_mpix_s > 0 ? pixels / 1e6 / base_mpix_s : 0.0;
+}
+
+int
+FleetConfig::workerCount() const
+{
+    int n = 0;
+    for (const WorkerTypeSpec &t : types)
+        n += t.count;
+    return n;
+}
+
+std::optional<std::vector<WorkerTypeSpec>>
+parseFleetSpec(std::string_view spec, std::string *error)
+{
+    const auto fail = [error](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return std::nullopt;
+    };
+    std::vector<WorkerTypeSpec> types;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t plus = spec.find('+', pos);
+        std::string_view term = spec.substr(
+            pos, plus == std::string_view::npos ? spec.size() - pos
+                                                : plus - pos);
+        if (term.empty())
+            return fail("fleet spec: empty term (grammar: "
+                        "tier[:count][@price]+...)");
+
+        std::string_view price_part;
+        if (const size_t at = term.find('@');
+            at != std::string_view::npos) {
+            price_part = term.substr(at + 1);
+            term = term.substr(0, at);
+        }
+        std::string_view count_part;
+        if (const size_t colon = term.find(':');
+            colon != std::string_view::npos) {
+            count_part = term.substr(colon + 1);
+            term = term.substr(0, colon);
+        }
+
+        const std::optional<Tier> tier = parseTierName(term);
+        if (!tier)
+            return fail("fleet spec: unknown worker type '" +
+                        std::string(term) +
+                        "' (want scalar|sse2|avx2|hwenc)");
+        WorkerTypeSpec t;
+        t.tier = *tier;
+        t.name = tierName(*tier);
+        t.price_per_hour = kListPrice[static_cast<size_t>(*tier)];
+        if (!count_part.empty() && !parseCount(count_part, &t.count))
+            return fail("fleet spec: bad count '" +
+                        std::string(count_part) + "' for type '" +
+                        t.name + "' (want a positive integer)");
+        if (!price_part.empty() &&
+            !parsePrice(price_part, &t.price_per_hour))
+            return fail("fleet spec: bad price '" +
+                        std::string(price_part) + "' for type '" +
+                        t.name + "' (want a positive $/hour)");
+        types.push_back(std::move(t));
+
+        if (plus == std::string_view::npos)
+            break;
+        pos = plus + 1;
+        if (pos == spec.size())
+            return fail("fleet spec: trailing '+'");
+    }
+    if (types.empty())
+        return fail("fleet spec: empty");
+    return types;
+}
+
+std::string
+formatFleetSpec(const std::vector<WorkerTypeSpec> &types)
+{
+    std::string out;
+    for (const WorkerTypeSpec &t : types) {
+        if (!out.empty())
+            out += "+";
+        out += tierName(t.tier);
+        out += ":" + std::to_string(t.count);
+        char price[32];
+        std::snprintf(price, sizeof(price), "@%.2f", t.price_per_hour);
+        out += price;
+    }
+    return out;
+}
+
+std::string
+validateFleetConfig(const FleetConfig &config)
+{
+    if (config.types.empty())
+        return "fleet: no worker types";
+    int workers = 0;
+    for (const WorkerTypeSpec &t : config.types) {
+        if (t.count < 0)
+            return "fleet: type '" + t.name + "' has negative count";
+        if (!(t.price_per_hour > 0) ||
+            !std::isfinite(t.price_per_hour))
+            return "fleet: type '" + t.name +
+                "' needs a positive $/hour";
+        if (t.per_job_overhead_ms < 0 ||
+            !std::isfinite(t.per_job_overhead_ms))
+            return "fleet: type '" + t.name +
+                "' has a bad per-job overhead";
+        workers += t.count;
+    }
+    if (workers == 0)
+        return "fleet: zero total capacity (every type has count 0)";
+    return "";
+}
+
+FleetConfig
+defaultFleetConfig()
+{
+    FleetConfig config;
+    const auto types = parseFleetSpec(
+        "scalar:4@0.40+sse2:2@0.90+avx2:2@1.60+hwenc:1@5.00", nullptr);
+    config.types = *types;
+    return config;
+}
+
+} // namespace vbench::fleet

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * Fleet vocabulary: worker tiers, worker-type specs with prices, the
+ * shared per-type performance model, and the topology spec grammar.
+ *
+ * A fleet is a set of worker *types* — machine families with distinct
+ * throughput and $/hour — each instantiated `count` times. Tiers stand
+ * in for real instance families the way vbench's ISA levels stand in
+ * for microarchitectures: Scalar/Sse2/Avx2 are successively wider CPU
+ * generations, Hwenc is a fixed-function-encoder node. Encodes always
+ * run through the real encoder path (streams are placement-invariant);
+ * only the *modeled* execution time and dollar cost differ by type.
+ *
+ * Topology spec grammar (VBENCH_FLEET, bench_fleet --fleet):
+ *
+ *     type[xN][@price] ( "+" type[xN][@price] )*
+ *     e.g. "scalar:4@0.40+sse2:2@0.90+avx2:2@1.60+hwenc:1@5.00"
+ *
+ * where `type` is scalar|sse2|avx2|hwenc, `:N` is the instance count
+ * (default 1) and `@price` is $/hour (default the tier's list price).
+ */
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vbench::fleet {
+
+/** Machine families a worker type can belong to. */
+enum class Tier {
+    Scalar = 0,  ///< narrow CPU (kernel ISA: scalar)
+    Sse2,        ///< 128-bit SIMD CPU
+    Avx2,        ///< 256-bit SIMD CPU
+    Hwenc,       ///< fixed-function hardware encoder node
+};
+
+inline constexpr int kNumTiers = 4;
+
+const char *tierName(Tier tier);
+std::optional<Tier> parseTierName(std::string_view name);
+
+/** One worker type: a machine family at a price, times `count`. */
+struct WorkerTypeSpec {
+    std::string name;             ///< display name; defaults to tier
+    Tier tier = Tier::Scalar;
+    int count = 1;                ///< instances of this type
+    double price_per_hour = 0.4;  ///< $/hour while a job runs
+    /// Fixed per-job dispatch cost (RPC + context), milliseconds.
+    double per_job_overhead_ms = 2.0;
+};
+
+/** Placement strategies (VBENCH_FLEET_POLICY). */
+enum class PolicyKind {
+    RoundRobin = 0,    ///< baseline: cycle through workers
+    Random,            ///< baseline: seeded uniform choice
+    LeastLoaded,       ///< earliest-free worker
+    CheapestFeasible,  ///< cheapest type that meets the deadline
+                       ///< ignoring backlog (naive feasibility)
+    CostAware,         ///< cheapest type whose *actual* finish time
+                       ///< (backlog included) meets the deadline
+};
+
+inline constexpr int kNumPolicies = 5;
+
+const char *policyName(PolicyKind kind);
+/** round_robin | random | least_loaded | cheapest | cost_aware. */
+std::optional<PolicyKind> parsePolicyName(std::string_view name);
+
+/**
+ * Measured per-type performance model. Execution time for a job whose
+ * scalar-tier cost is `work_scalar_s` on a tier-T worker is
+ *
+ *     exec_s = work_scalar_s / tier_speed[T] + overhead_ms / 1e3
+ *
+ * and its cost is exec_s x price / 3600. `tier_speed` is relative to
+ * Scalar = 1; defaults approximate the repo's measured ISA speedups
+ * and the hwenc pipeline model, and fleet::calibratePerfModel replaces
+ * them with numbers profiled on this host (cached per build).
+ */
+struct PerfModel {
+    /// Scalar-tier software-encode throughput, megapixels/second.
+    double base_mpix_s = 2.0;
+    std::array<double, kNumTiers> tier_speed = {1.0, 1.6, 2.6, 40.0};
+    /// Tier this host's real encoder path runs at — the bridge from
+    /// measured seconds back to modeled scalar work.
+    Tier native_tier = Tier::Scalar;
+    std::string source = "default";  ///< default | calibrated | cache
+
+    /** Modeled on-worker seconds for a job on a tier-`t` worker. */
+    double execSeconds(Tier t, double work_scalar_s,
+                       double overhead_ms) const;
+
+    /** Modeled scalar-tier seconds for `pixels` luma pixels of work. */
+    double scalarWorkSeconds(double pixels) const;
+};
+
+/** A whole fleet: the types, the policy, and the policy's seed. */
+struct FleetConfig {
+    std::vector<WorkerTypeSpec> types;
+    PolicyKind policy = PolicyKind::CostAware;
+    uint64_t seed = 1;
+
+    int workerCount() const;
+};
+
+/**
+ * Parse a topology spec (grammar above). Returns nullopt and sets
+ * `error` on malformed input — unknown tier, bad count, bad price,
+ * empty terms.
+ */
+std::optional<std::vector<WorkerTypeSpec>>
+parseFleetSpec(std::string_view spec, std::string *error);
+
+/** Inverse of parseFleetSpec (canonical form). */
+std::string formatFleetSpec(const std::vector<WorkerTypeSpec> &types);
+
+/**
+ * Check a fleet config is runnable: at least one type with count > 0,
+ * positive prices, finite overheads. Returns "" when valid, else a
+ * one-line error.
+ */
+std::string validateFleetConfig(const FleetConfig &config);
+
+/** The reference mixed fleet used by bench_fleet and the service. */
+FleetConfig defaultFleetConfig();
+
+} // namespace vbench::fleet

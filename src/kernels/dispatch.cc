@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/runtime_config.h"
+
 namespace vbench::kernels {
 
 namespace {
@@ -34,8 +36,12 @@ const KernelOps *
 resolve()
 {
     Isa level = detectHostIsa();
-    if (const char *env = std::getenv("VBENCH_ISA");
-        env != nullptr && env[0] != '\0') {
+    // core::RuntimeConfig already validated the spelling (an unknown
+    // name fails fast with a message there); what remains here is the
+    // host capability check, which degrades with a warning — the value
+    // is well-formed, this machine just cannot honor it.
+    if (const std::string &env = core::runtimeConfig().isa;
+        !env.empty()) {
         if (const auto requested = parseIsaName(env)) {
             if (*requested <= level) {
                 level = *requested;
@@ -43,13 +49,8 @@ resolve()
                 std::fprintf(stderr,
                              "vbench: VBENCH_ISA=%s not available on "
                              "this host/build, using %s\n",
-                             env, isaName(level));
+                             env.c_str(), isaName(level));
             }
-        } else {
-            std::fprintf(stderr,
-                         "vbench: unrecognized VBENCH_ISA=%s (want "
-                         "scalar|sse2|avx2|native), using %s\n",
-                         env, isaName(level));
         }
     }
     const KernelOps *table = opsFor(level);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "core/runtime_config.h"
 #include "obs/telemetry.h"
 
 namespace vbench::obs {
@@ -10,20 +11,14 @@ namespace vbench::obs {
 ObsConfig
 parseEnvConfig()
 {
+    // The env itself is parsed (and validated, fail-fast) in exactly
+    // one place: core::RuntimeConfig. This just projects the obs view.
+    const core::RuntimeConfig rt = core::freshRuntimeConfig();
     ObsConfig cfg;
-    if (const char *trace = std::getenv("VBENCH_TRACE");
-        trace && trace[0] != '\0') {
-        cfg.trace_enabled = true;
-        cfg.trace_path = trace;
-    }
-    if (const char *metrics = std::getenv("VBENCH_METRICS_OUT");
-        metrics && metrics[0] != '\0') {
-        cfg.metrics_path = metrics;
-    }
-    if (const char *prom = std::getenv("VBENCH_PROM_OUT");
-        prom && prom[0] != '\0') {
-        cfg.prom_path = prom;
-    }
+    cfg.trace_enabled = !rt.trace_path.empty();
+    cfg.trace_path = rt.trace_path;
+    cfg.metrics_path = rt.metrics_path;
+    cfg.prom_path = rt.prom_path;
     return cfg;
 }
 

@@ -53,8 +53,9 @@ struct TraceEvent {
  * Export rows ("thread" ids in the Chrome trace) are partitioned:
  * rows 1..kNumTracks belong to the fixed Track enum, kServiceTid is
  * the service dispatcher timeline, workerTid(w) the scheduler
- * workers, and requestTid(id) one row per traced service request (its
- * span tree renders as one self-contained lane).
+ * workers, requestTid(id) one row per traced service request (its
+ * span tree renders as one self-contained lane), and fleetTid(w) one
+ * row per modeled fleet worker (placement bookings).
  */
 inline constexpr int32_t kServiceTid = 8;
 
@@ -62,6 +63,12 @@ inline constexpr int32_t
 workerTid(int worker)
 {
     return 16 + worker;
+}
+
+inline constexpr int32_t
+fleetTid(int worker)
+{
+    return 600 + worker;
 }
 
 inline constexpr int32_t

@@ -28,13 +28,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <thread>
+
+#include "core/runtime_config.h"
 
 namespace vbench::sched {
 
 /** Upper bound on frame threads: a typo must not fork-bomb the host. */
-inline constexpr int kMaxFrameThreads = 64;
+inline constexpr int kMaxFrameThreads = core::kMaxRuntimeFrameThreads;
 
 namespace detail {
 
@@ -55,20 +56,16 @@ poolBudget()
 } // namespace detail
 
 /**
- * VBENCH_FRAME_THREADS parsed as a positive integer, else 1 (frame
+ * VBENCH_FRAME_THREADS via core::RuntimeConfig (default 1: frame
  * parallelism is opt-in; job-level parallelism is the default axis).
+ * Re-reads the environment per call so a width set between batches
+ * takes effect; a malformed value fails fast (core/runtime_config.h)
+ * instead of being silently ignored.
  */
 inline int
 frameThreadsFromEnv()
 {
-    const char *value = std::getenv("VBENCH_FRAME_THREADS");
-    if (!value || value[0] == '\0')
-        return 1;
-    char *end = nullptr;
-    const long parsed = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || parsed <= 0)
-        return 1;
-    return static_cast<int>(std::min<long>(parsed, kMaxFrameThreads));
+    return core::freshRuntimeConfig().frame_threads;
 }
 
 /**

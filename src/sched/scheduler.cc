@@ -1,9 +1,9 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <thread>
 
+#include "core/runtime_config.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
 #include "sched/frame_threads.h"
@@ -14,19 +14,17 @@ namespace {
 
 /** Upper bound on worker threads: a typo in VBENCH_JOBS should not
  *  fork-bomb the host. */
-constexpr int kMaxWorkers = 512;
+constexpr int kMaxWorkers = core::kMaxRuntimeJobs;
 
+/**
+ * VBENCH_JOBS via core::RuntimeConfig: 0 when unset (fall through to
+ * the hardware), fail-fast on a malformed value. Re-read per call so a
+ * scheduler constructed after setenv() sees the new size.
+ */
 int
 parseJobsEnv()
 {
-    const char *value = std::getenv("VBENCH_JOBS");
-    if (!value || value[0] == '\0')
-        return 0;
-    char *end = nullptr;
-    const long parsed = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || parsed <= 0)
-        return 0;  // unparsable or non-positive: fall through
-    return static_cast<int>(std::min<long>(parsed, kMaxWorkers));
+    return core::freshRuntimeConfig().jobs;
 }
 
 } // namespace

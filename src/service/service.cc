@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <optional>
@@ -15,6 +16,7 @@
 
 #include "codec/stitch.h"
 #include "core/transcoder.h"
+#include "fleet/fleet.h"
 #include "ngc/ngc_bitstream.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
@@ -24,6 +26,7 @@
 #include "sched/frame_threads.h"
 #include "sched/scheduler.h"
 #include "service/admission.h"
+#include "service/segment_job.h"
 #include "video/video.h"
 
 namespace vbench::service {
@@ -78,6 +81,8 @@ struct RungRun {
     std::vector<std::string> labels;         ///< job label per segment
     /// Per-segment span (child of the request root), set at submit.
     std::vector<obs::SpanContext> seg_spans;
+    /// Per-segment fleet booking (invalid tickets without a fleet).
+    std::vector<fleet::Ticket> tickets;
     /// Availability on the monotonic ns clock (the critical-path and
     /// latency origin, so components decompose without residue).
     std::vector<uint64_t> avail_ns;
@@ -141,6 +146,25 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
         ? config_.max_active_requests
         : static_cast<size_t>(scheduler.workers()) + 2;
 
+    // The modeled heterogeneous fleet (docs/FLEET.md): placements and
+    // dollar accounting only — execution stays on the local pool.
+    std::optional<fleet::Fleet> fleet;
+    if (config_.fleet != nullptr &&
+        fleet::validateFleetConfig(*config_.fleet).empty()) {
+        fleet.emplace(*config_.fleet, config_.fleet_model
+                          ? *config_.fleet_model
+                          : fleet::PerfModel{});
+        if (tracer) {
+            int fw = 0;
+            for (const fleet::WorkerTypeSpec &t :
+                 config_.fleet->types)
+                for (int i = 0; i < t.count; ++i, ++fw)
+                    tracer->nameRow(
+                        obs::fleetTid(fw),
+                        "fleet " + t.name + " #" + std::to_string(i));
+        }
+    }
+
     AdmissionQueue admission(config_.admission_capacity);
     SlaScorer scorer;
     std::map<uint64_t, ActiveRequest> active;
@@ -192,6 +216,20 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                                            .value())
                                  : 0.0;
                          });
+        if (fleet) {
+            // Per-type modeled busy fraction, sampled on the fleet's
+            // own clock (mutex-guarded, safe from the sampler thread).
+            const double fleet_t0 = obs::nowSeconds();
+            for (size_t t = 0; t < fleet->config().types.size(); ++t)
+                sampler.addGauge(
+                    "fleet.util." + fleet->config().types[t].name,
+                    [&f = *fleet, t, fleet_t0] {
+                        const std::vector<double> util =
+                            f.typeUtilization(obs::nowSeconds() -
+                                              fleet_t0);
+                        return t < util.size() ? util[t] : 0.0;
+                    });
+        }
         sampler.start();
     }
 
@@ -288,6 +326,7 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                 rr.avail.resize(static_cast<size_t>(ar.segments), 0.0);
                 rr.labels.resize(static_cast<size_t>(ar.segments));
                 rr.seg_spans.resize(static_cast<size_t>(ar.segments));
+                rr.tickets.resize(static_cast<size_t>(ar.segments));
                 rr.avail_ns.resize(static_cast<size_t>(ar.segments), 0);
                 ar.rungs.push_back(std::move(rr));
             }
@@ -315,27 +354,62 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                     if (req.live_paced &&
                         obs::nowSeconds() - t0 < avail)
                         break;
-                    sched::TranscodeJob job;
-                    job.label = "svc." + std::to_string(req.id) + "." +
-                        rr.name + ".s" + std::to_string(k);
-                    job.input = segInput(clip, k);
-                    job.original = segOriginal(clip, k);
-                    job.request = rr.tmpl;
+                    // The wire boundary: everything a worker needs is
+                    // a SegmentJob — input bytes, params, RC carry.
+                    SegmentJob sj;
+                    sj.request_id = req.id;
+                    sj.rung = rr.name;
+                    sj.segment_index = k;
+                    sj.scenario = req.scenario;
+                    sj.input = *segInput(clip, k);
+                    sj.params = rr.tmpl;
                     if (rr.chained && k > 0)
-                        job.request.rc_in = rr.carry;
+                        sj.params.rc_in = rr.carry;
                     // One child span per segment: the scheduler hangs
                     // the worker-side encode slice and the flow-arrow
                     // end off it (sched::Scheduler::runJob).
-                    job.request.span = ar.span.valid()
+                    sj.params.span = ar.span.valid()
                         ? ar.span.child()
                         : obs::SpanContext{};
-                    rr.labels[static_cast<size_t>(k)] = job.label;
+                    if (config_.wire_loopback) {
+                        // Remote-worker path, in-process: execute the
+                        // *deserialized* copy of the message.
+                        std::string wire_error;
+                        std::optional<SegmentJob> round =
+                            SegmentJob::deserialize(sj.serialize(),
+                                                    &wire_error);
+                        if (round)
+                            sj = std::move(*round);
+                        else
+                            std::fprintf(stderr,
+                                         "vbench: wire loopback "
+                                         "failed: %s\n",
+                                         wire_error.c_str());
+                    }
+                    rr.labels[static_cast<size_t>(k)] = sj.label();
                     rr.seg_spans[static_cast<size_t>(k)] =
-                        job.request.span;
+                        sj.params.span;
                     rr.avail[static_cast<size_t>(k)] = avail;
                     rr.avail_ns[static_cast<size_t>(k)] = toNs(avail);
+                    if (fleet) {
+                        fleet::JobMeta meta;
+                        meta.pixels = static_cast<double>(
+                            segOriginal(clip, k)->totalPixels());
+                        meta.work_scalar_s =
+                            fleet->model().scalarWorkSeconds(
+                                meta.pixels);
+                        meta.ready_s = avail;
+                        meta.deadline_s = req.live_paced
+                            ? avail + req.segment_deadline_s
+                            : req.arrival_s + req.request_deadline_s;
+                        meta.scenario = req.scenario;
+                        rr.tickets[static_cast<size_t>(k)] =
+                            fleet->place(meta,
+                                         obs::nowSeconds() - t0);
+                    }
                     rr.handles[static_cast<size_t>(k)] =
-                        scheduler.submit(std::move(job));
+                        scheduler.submit(toTranscodeJob(
+                            std::move(sj), segOriginal(clip, k)));
                     ++inflight;
                     ++rr.next_submit;
                 }
@@ -383,12 +457,35 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                         ? static_cast<double>(jr.submit_ns - avail_ns) *
                             1e-6
                         : 0.0;
+                    // Settle the fleet booking against the measured
+                    // encode time: the modeled worker charges what
+                    // the job actually cost on its machine type.
+                    double cost_dollars = 0;
+                    const fleet::Ticket &ticket = rr.tickets[sk];
+                    if (fleet && ticket.valid()) {
+                        cost_dollars =
+                            fleet->settle(ticket, jr.seconds);
+                        if (tracer) {
+                            obs::ScopeEvent booking;
+                            booking.name = rr.labels[sk];
+                            booking.span = rr.seg_spans[sk].valid()
+                                ? rr.seg_spans[sk].child()
+                                : obs::SpanContext{};
+                            booking.tid =
+                                obs::fleetTid(ticket.worker);
+                            booking.start_ns = toNs(ticket.start_s);
+                            booking.dur_ns = static_cast<uint64_t>(
+                                std::max(0.0, ticket.exec_s) * 1e9);
+                            tracer->addScope(std::move(booking));
+                        }
+                    }
                     scorer.recordSegment(req.scenario, latency, hit,
                                          segOriginal(clip, k)
                                              ->totalPixels(),
                                          jr.ok(),
                                          rr.seg_spans[sk].trace_id, cp,
-                                         rr.labels[sk]);
+                                         rr.labels[sk], cost_dollars,
+                                         jr.outcome.m.psnr_db);
                     if (tracer && rr.seg_spans[sk].valid() &&
                         jr.end_ns) {
                         const obs::SpanContext &seg = rr.seg_spans[sk];
@@ -466,10 +563,14 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                     continue;
                 }
                 const uint64_t stitch_start = obs::nowNs();
-                const bool stitched =
-                    stitchForKind(rr.tmpl.kind, std::move(rr.streams))
-                        .has_value();
+                std::optional<codec::ByteBuffer> delivery =
+                    stitchForKind(rr.tmpl.kind, std::move(rr.streams));
+                const bool stitched = delivery.has_value();
                 const uint64_t stitch_end = obs::nowNs();
+                if (stitched && config_.collect_outputs)
+                    out.outputs.emplace(
+                        std::to_string(req.id) + "." + rr.name,
+                        std::move(*delivery));
                 scorer.recordStitch(
                     req.scenario,
                     static_cast<double>(stitch_end - stitch_start) *
@@ -529,6 +630,44 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
     if (gauge_metrics)
         scorer.exportMetrics(*gauge_metrics);
     scorer.emitRunReports(out.sla);
+    if (fleet) {
+        out.fleet_usage = fleet->typeUsage();
+        out.fleet_cost_dollars = fleet->totalCost();
+        core::RunReport fr;
+        fr.label = "service.fleet";
+        fr.backend = "service";
+        fr.seconds = out.wall_seconds;
+        fr.extra.emplace_back(
+            "workers", static_cast<double>(fleet->workerCount()));
+        fr.extra.emplace_back(
+            "types",
+            static_cast<double>(fleet->config().types.size()));
+        fr.extra.emplace_back("total_cost_dollars",
+                              out.fleet_cost_dollars);
+        for (const fleet::TypeUsage &u : out.fleet_usage) {
+            fr.extra.emplace_back(u.name + ".count",
+                                  static_cast<double>(u.count));
+            fr.extra.emplace_back(u.name + ".jobs",
+                                  static_cast<double>(u.jobs));
+            fr.extra.emplace_back(u.name + ".busy_s", u.busy_seconds);
+            fr.extra.emplace_back(u.name + ".cost_dollars",
+                                  u.cost_dollars);
+            fr.extra.emplace_back(
+                u.name + ".util",
+                u.count > 0 && out.wall_seconds > 0
+                    ? u.busy_seconds /
+                        (static_cast<double>(u.count) *
+                         out.wall_seconds)
+                    : 0.0);
+        }
+        fr.extra_str.emplace_back(
+            "topology",
+            fleet::formatFleetSpec(fleet->config().types));
+        fr.extra_str.emplace_back(
+            "policy", fleet::policyName(fleet->config().policy));
+        fr.extra_str.emplace_back("model", fleet->model().source);
+        core::emitRunReport(fr);
+    }
     if (!out.telemetry.empty()) {
         core::RunReport tr;
         tr.label = "service.telemetry";

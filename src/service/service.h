@@ -21,8 +21,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "codec/types.h"
+#include "fleet/fleet.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -61,6 +65,29 @@ struct ServiceConfig {
     bool enable_telemetry = true;
     /// Telemetry sampling period, seconds (<= 0 uses 10 ms).
     double telemetry_interval_s = 0.010;
+    /**
+     * Heterogeneous fleet model (docs/FLEET.md). When set, every
+     * segment is additionally *placed* on a modeled fleet worker:
+     * the placement policy books it onto a machine type, and the
+     * booking's modeled time/cost feed the SLA scorer's $/stream
+     * columns and the fleet run report. Execution still happens on
+     * the local scheduler pool — streams are placement-invariant.
+     * Null = no fleet, cost columns stay zero.
+     */
+    const fleet::FleetConfig *fleet = nullptr;
+    /// Per-type performance model for the fleet; null uses the
+    /// PerfModel defaults (see fleet::calibratePerfModel).
+    const fleet::PerfModel *fleet_model = nullptr;
+    /**
+     * Route every segment through the wire: serialize the SegmentJob
+     * and execute the *deserialized* copy. Proves the message carries
+     * everything a remote worker needs (tests assert the stitched
+     * outputs stay byte-identical with this on).
+     */
+    bool wire_loopback = false;
+    /// Keep each stitched delivery stream in ServiceResult::outputs
+    /// (key "<request>.<rung>") for byte-identity tests.
+    bool collect_outputs = false;
 };
 
 /** What a service run produced. */
@@ -77,6 +104,12 @@ struct ServiceResult {
     /// disabled). Every gauge carries at least one point: the sampler
     /// takes a final synchronous sample after the run drains.
     std::vector<obs::TelemetrySeries> telemetry;
+    /// Per-type fleet rollup (empty without a fleet).
+    std::vector<fleet::TypeUsage> fleet_usage;
+    /// Total modeled fleet dollars (0 without a fleet).
+    double fleet_cost_dollars = 0;
+    /// Stitched delivery streams when ServiceConfig::collect_outputs.
+    std::map<std::string, codec::ByteBuffer> outputs;
 };
 
 /**

@@ -35,10 +35,12 @@ void
 SlaScorer::recordSegment(core::Scenario scenario, double latency_s,
                          bool hit, uint64_t pixels, bool ok,
                          uint64_t trace_id, const obs::CriticalPath &path,
-                         const std::string &label)
+                         const std::string &label, double cost_dollars,
+                         double psnr_db)
 {
     PerScenario &s = scenarios_[static_cast<size_t>(scenario)];
     ++s.segments;
+    s.cost_dollars += cost_dollars;
     s.latency_us.observe(toMicros(latency_s));
     s.queue_wait_us.observe(toMicros(path.queue_wait_ms * 1e-3));
     s.rc_chain_us.observe(toMicros(path.rc_chain_ms * 1e-3));
@@ -54,6 +56,10 @@ SlaScorer::recordSegment(core::Scenario scenario, double latency_s,
     if (!ok) {
         ++s.failed;
         return;
+    }
+    if (psnr_db > 0) {
+        s.psnr_sum_db += psnr_db;
+        ++s.psnr_count;
     }
     if (hit) {
         ++s.hits;
@@ -107,6 +113,20 @@ SlaScorer::report(double wall_seconds) const
         score.exemplar_cut_ms =
             s.latency_us.valueAtQuantile(0.90) / 1e3 / 1.125;
         score.exemplars = s.exemplars.atOrAbove(score.exemplar_cut_ms);
+        // Cost efficiency: dollars per delivered stream (a stitched
+        // rung is one delivery stream) and per stream-dB of quality.
+        score.cost_dollars = s.cost_dollars;
+        score.dollars_per_stream = s.stitches > 0
+            ? s.cost_dollars / static_cast<double>(s.stitches)
+            : 0.0;
+        score.mean_psnr_db = s.psnr_count > 0
+            ? s.psnr_sum_db / static_cast<double>(s.psnr_count)
+            : 0.0;
+        score.dollars_per_quality_point =
+            score.mean_psnr_db > 0 && s.stitches > 0
+            ? score.dollars_per_stream / score.mean_psnr_db
+            : 0.0;
+        report.total_cost_dollars += s.cost_dollars;
         report.scenarios.push_back(score);
         report.total_requests += s.requests;
         report.total_dropped += s.dropped;
@@ -139,6 +159,10 @@ SlaScorer::exportMetrics(obs::MetricsRegistry &metrics) const
         metrics.counter("service.segments_failed." + name).add(s.failed);
         metrics.counter("service.deadline_hits." + name).add(s.hits);
         metrics.counter("service.stitches." + name).add(s.stitches);
+        // Counters are integral; dollars export at micro-dollar
+        // resolution so sub-cent segment costs survive.
+        metrics.counter("service.cost_microdollars." + name)
+            .add(static_cast<uint64_t>(s.cost_dollars * 1e6));
         metrics.histogram("service.segment_latency_us." + name)
             .mergeFrom(s.latency_us);
         metrics.histogram("service.queue_wait_us." + name)
@@ -175,6 +199,11 @@ SlaScorer::emitRunReports(const SlaReport &report) const
         run.extra.emplace_back("hit_rate", score.hit_rate);
         run.extra.emplace_back("goodput_mpix_s", score.goodput_mpix_s);
         run.extra.emplace_back("drop_rate", score.drop_rate);
+        run.extra.emplace_back("cost_dollars", score.cost_dollars);
+        run.extra.emplace_back("dollars_per_stream",
+                               score.dollars_per_stream);
+        run.extra.emplace_back("dollars_per_quality_point",
+                               score.dollars_per_quality_point);
         run.extra.emplace_back("exemplars",
                                static_cast<double>(score.exemplars.size()));
         if (!score.exemplars.empty()) {

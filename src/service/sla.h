@@ -44,6 +44,17 @@ struct ScenarioScore {
     double goodput_mpix_s = 0;
     /// Dropped / arrived requests (0 when nothing arrived).
     double drop_rate = 0;
+    /// Modeled fleet dollars spent on this scenario's segments (0 when
+    /// the run had no fleet attached).
+    double cost_dollars = 0;
+    /// Dollars per delivered stream (stitched rung); 0 without
+    /// streams or cost.
+    double dollars_per_stream = 0;
+    /// Mean segment PSNR, dB (successful segments).
+    double mean_psnr_db = 0;
+    /// Dollars per stream per dB of quality — the cost-efficiency
+    /// number the placement policies compete on.
+    double dollars_per_quality_point = 0;
     /// Latency cut defining the slowest decile: the scenario's p90,
     /// lowered one histogram sub-bucket (12.5%) so bucket rounding
     /// never under-selects the decile.
@@ -62,6 +73,8 @@ struct SlaReport {
     uint64_t total_segments = 0;
     double overall_hit_rate = 1.0;
     double overall_goodput_mpix_s = 0;
+    /// Total modeled fleet dollars (0 when the run had no fleet).
+    double total_cost_dollars = 0;
 };
 
 /**
@@ -85,11 +98,15 @@ class SlaScorer
      * @param path      critical-path breakdown; its components sum to
      *                  `latency_s` (stitch excluded — request-level).
      * @param label     human-readable segment id for the exemplar.
+     * @param cost_dollars modeled fleet dollars charged for the
+     *                  segment (0 = no fleet attached).
+     * @param psnr_db   segment quality; <= 0 skips the quality mean.
      */
     void recordSegment(core::Scenario scenario, double latency_s, bool hit,
                        uint64_t pixels, bool ok, uint64_t trace_id = 0,
                        const obs::CriticalPath &path = obs::CriticalPath{},
-                       const std::string &label = std::string());
+                       const std::string &label = std::string(),
+                       double cost_dollars = 0, double psnr_db = 0);
 
     /** One finished rung stitch (request-level critical-path tail). */
     void recordStitch(core::Scenario scenario, double stitch_ms);
@@ -120,6 +137,9 @@ class SlaScorer
         uint64_t hits = 0;
         uint64_t stitches = 0;
         uint64_t ontime_pixels = 0;  ///< pixels of on-time ok segments
+        double cost_dollars = 0;     ///< modeled fleet dollars
+        double psnr_sum_db = 0;      ///< over successful segments
+        uint64_t psnr_count = 0;
         obs::Histogram latency_us;
         /// Critical-path aggregates (microseconds, same resolution as
         /// latency_us so the stage shares are comparable).

@@ -8,6 +8,7 @@
 
 #include "codec/stitch.h"
 #include "core/reference.h"
+#include "core/runtime_config.h"
 #include "service/segment.h"
 #include "video/rng.h"
 
@@ -169,27 +170,15 @@ generateWorkload(const WorkloadConfig &config, const Corpus &corpus)
 int
 segmentFramesFromEnv(int fallback)
 {
-    const char *env = std::getenv("VBENCH_SEGMENT_FRAMES");
-    if (env && *env) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end && *end == '\0' && v > 0)
-            return static_cast<int>(v);
-    }
-    return fallback;
+    const int v = core::freshRuntimeConfig().segment_frames;
+    return v > 0 ? v : fallback;
 }
 
 double
 arrivalRateFromEnv(double fallback)
 {
-    const char *env = std::getenv("VBENCH_ARRIVAL_RATE");
-    if (env && *env) {
-        char *end = nullptr;
-        const double v = std::strtod(env, &end);
-        if (end && *end == '\0' && v > 0)
-            return v;
-    }
-    return fallback;
+    const double v = core::freshRuntimeConfig().arrival_rate_hz;
+    return v > 0 ? v : fallback;
 }
 
 } // namespace vbench::service

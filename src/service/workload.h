@@ -125,10 +125,14 @@ struct WorkloadConfig {
 std::vector<ServiceRequest> generateWorkload(const WorkloadConfig &config,
                                              const Corpus &corpus);
 
-/** VBENCH_SEGMENT_FRAMES when set and positive, else `fallback`. */
+/**
+ * VBENCH_SEGMENT_FRAMES when set, else `fallback`. Parsed through
+ * core::RuntimeConfig — a malformed value fails fast instead of being
+ * silently ignored.
+ */
 int segmentFramesFromEnv(int fallback);
 
-/** VBENCH_ARRIVAL_RATE when set and positive, else `fallback`. */
+/** VBENCH_ARRIVAL_RATE when set, else `fallback`. Same contract. */
 double arrivalRateFromEnv(double fallback);
 
 } // namespace vbench::service

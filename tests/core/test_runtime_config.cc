@@ -1,0 +1,166 @@
+/**
+ * @file
+ * core::RuntimeConfig — the single parse point for every VBENCH_*
+ * knob. Valid values land in the right fields, huge-but-well-formed
+ * widths clamp at the documented caps, and every malformed value
+ * produces exactly one descriptive error naming the variable (the
+ * fail-fast contract the per-site parsers never had).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/runtime_config.h"
+
+namespace vbench::core {
+namespace {
+
+const char *const kKnobs[] = {
+    "VBENCH_JOBS",         "VBENCH_FRAME_THREADS",
+    "VBENCH_SEGMENT_FRAMES", "VBENCH_ARRIVAL_RATE",
+    "VBENCH_ISA",          "VBENCH_TRACE",
+    "VBENCH_METRICS_OUT",  "VBENCH_PROM_OUT",
+    "VBENCH_FLEET",        "VBENCH_FLEET_POLICY",
+    "VBENCH_FLEET_CALIB",
+};
+
+/** Clears every knob before and after so tests compose in any order. */
+class RuntimeConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { clearAll(); }
+    void TearDown() override { clearAll(); }
+
+    static void clearAll()
+    {
+        for (const char *knob : kKnobs)
+            unsetenv(knob);
+    }
+
+    static RuntimeConfig parse(std::vector<std::string> *errors)
+    {
+        return RuntimeConfig::fromEnv(errors);
+    }
+};
+
+TEST_F(RuntimeConfigTest, UnsetEnvironmentYieldsDefaults)
+{
+    std::vector<std::string> errors;
+    const RuntimeConfig cfg = parse(&errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_EQ(cfg.jobs, 0);
+    EXPECT_EQ(cfg.frame_threads, 1);
+    EXPECT_EQ(cfg.segment_frames, 0);
+    EXPECT_DOUBLE_EQ(cfg.arrival_rate_hz, 0.0);
+    EXPECT_TRUE(cfg.isa.empty());
+    EXPECT_TRUE(cfg.trace_path.empty());
+    EXPECT_TRUE(cfg.metrics_path.empty());
+    EXPECT_TRUE(cfg.prom_path.empty());
+    EXPECT_TRUE(cfg.fleet_spec.empty());
+    EXPECT_TRUE(cfg.fleet_policy.empty());
+    EXPECT_TRUE(cfg.fleet_calib_path.empty());
+}
+
+TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
+{
+    setenv("VBENCH_JOBS", "6", 1);
+    setenv("VBENCH_FRAME_THREADS", "4", 1);
+    setenv("VBENCH_SEGMENT_FRAMES", "12", 1);
+    setenv("VBENCH_ARRIVAL_RATE", "2.5", 1);
+    setenv("VBENCH_ISA", "sse2", 1);
+    setenv("VBENCH_TRACE", "/tmp/trace.json", 1);
+    setenv("VBENCH_METRICS_OUT", "-", 1);
+    setenv("VBENCH_PROM_OUT", "/tmp/prom.txt", 1);
+    setenv("VBENCH_FLEET", "scalar:2+avx2:1", 1);
+    setenv("VBENCH_FLEET_POLICY", "cost_aware", 1);
+    setenv("VBENCH_FLEET_CALIB", "/tmp/calib.txt", 1);
+
+    std::vector<std::string> errors;
+    const RuntimeConfig cfg = parse(&errors);
+    EXPECT_TRUE(errors.empty()) << errors.front();
+    EXPECT_EQ(cfg.jobs, 6);
+    EXPECT_EQ(cfg.frame_threads, 4);
+    EXPECT_EQ(cfg.segment_frames, 12);
+    EXPECT_DOUBLE_EQ(cfg.arrival_rate_hz, 2.5);
+    EXPECT_EQ(cfg.isa, "sse2");
+    EXPECT_EQ(cfg.trace_path, "/tmp/trace.json");
+    EXPECT_EQ(cfg.metrics_path, "-");
+    EXPECT_EQ(cfg.prom_path, "/tmp/prom.txt");
+    EXPECT_EQ(cfg.fleet_spec, "scalar:2+avx2:1");
+    EXPECT_EQ(cfg.fleet_policy, "cost_aware");
+    EXPECT_EQ(cfg.fleet_calib_path, "/tmp/calib.txt");
+}
+
+TEST_F(RuntimeConfigTest, HugeWellFormedWidthsClampAtTheCaps)
+{
+    setenv("VBENCH_JOBS", "999999", 1);
+    setenv("VBENCH_FRAME_THREADS", "100000", 1);
+    std::vector<std::string> errors;
+    const RuntimeConfig cfg = parse(&errors);
+    EXPECT_TRUE(errors.empty());
+    EXPECT_EQ(cfg.jobs, kMaxRuntimeJobs);
+    EXPECT_EQ(cfg.frame_threads, kMaxRuntimeFrameThreads);
+}
+
+TEST_F(RuntimeConfigTest, IsaNamesAreCaseInsensitive)
+{
+    for (const char *isa : {"scalar", "SSE2", "Avx2", "NATIVE"}) {
+        setenv("VBENCH_ISA", isa, 1);
+        std::vector<std::string> errors;
+        parse(&errors);
+        EXPECT_TRUE(errors.empty()) << isa;
+    }
+}
+
+TEST_F(RuntimeConfigTest, RejectsMalformedValues)
+{
+    struct Case {
+        const char *knob;
+        const char *value;
+    };
+    const Case cases[] = {
+        {"VBENCH_JOBS", "zero"},          {"VBENCH_JOBS", "0"},
+        {"VBENCH_JOBS", "-4"},            {"VBENCH_JOBS", "4x"},
+        {"VBENCH_FRAME_THREADS", "no"},   {"VBENCH_FRAME_THREADS", "0"},
+        {"VBENCH_SEGMENT_FRAMES", "-1"},  {"VBENCH_SEGMENT_FRAMES", "8f"},
+        {"VBENCH_ARRIVAL_RATE", "fast"},  {"VBENCH_ARRIVAL_RATE", "0"},
+        {"VBENCH_ARRIVAL_RATE", "-2.5"},  {"VBENCH_ISA", "avx512"},
+        {"VBENCH_FLEET_POLICY", "greedy"},
+    };
+    for (const Case &c : cases) {
+        clearAll();
+        setenv(c.knob, c.value, 1);
+        std::vector<std::string> errors;
+        parse(&errors);
+        ASSERT_EQ(errors.size(), 1u) << c.knob << "=" << c.value;
+        // The message names the variable and its offending value.
+        EXPECT_NE(errors.front().find(c.knob), std::string::npos);
+        EXPECT_NE(errors.front().find(c.value), std::string::npos);
+    }
+}
+
+TEST_F(RuntimeConfigTest, CollectsEveryErrorInOnePass)
+{
+    setenv("VBENCH_JOBS", "banana", 1);
+    setenv("VBENCH_FRAME_THREADS", "-1", 1);
+    setenv("VBENCH_ARRIVAL_RATE", "nope", 1);
+    setenv("VBENCH_ISA", "mmx", 1);
+    std::vector<std::string> errors;
+    parse(&errors);
+    EXPECT_EQ(errors.size(), 4u);
+}
+
+TEST_F(RuntimeConfigTest, NullErrorsVectorMeansBestEffort)
+{
+    setenv("VBENCH_JOBS", "junk", 1);
+    setenv("VBENCH_FRAME_THREADS", "3", 1);
+    const RuntimeConfig cfg = RuntimeConfig::fromEnv(nullptr);
+    EXPECT_EQ(cfg.jobs, 0) << "malformed value keeps the default";
+    EXPECT_EQ(cfg.frame_threads, 3);
+}
+
+} // namespace
+} // namespace vbench::core

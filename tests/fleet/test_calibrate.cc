@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fleet perf-model calibration: the cache text format round-trips and
+ * rejects malformed input, and a real profiling pass produces a
+ * monotone, positive model that a second run loads back from the
+ * cache instead of re-profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fleet/calibrate.h"
+
+namespace vbench::fleet {
+namespace {
+
+TEST(FleetCalibrate, FormatParsesBackLosslessly)
+{
+    PerfModel model;
+    model.base_mpix_s = 3.5;
+    model.tier_speed = {1.0, 1.7, 2.9, 55.0};
+    model.native_tier = Tier::Avx2;
+    model.source = "calibrated";
+
+    PerfModel back;
+    ASSERT_TRUE(parseCalibration(formatCalibration(model), &back));
+    EXPECT_DOUBLE_EQ(back.base_mpix_s, model.base_mpix_s);
+    for (int t = 0; t < kNumTiers; ++t)
+        EXPECT_DOUBLE_EQ(back.tier_speed[static_cast<size_t>(t)],
+                         model.tier_speed[static_cast<size_t>(t)]);
+    EXPECT_EQ(back.native_tier, model.native_tier);
+    EXPECT_EQ(back.source, "cache");
+}
+
+TEST(FleetCalibrate, ParseRejectsMalformedText)
+{
+    PerfModel model;
+    EXPECT_FALSE(parseCalibration("", &model));
+    EXPECT_FALSE(parseCalibration("not-a-calibration\n", &model));
+    // Right header, missing fields.
+    EXPECT_FALSE(
+        parseCalibration("vbench-fleet-calib v1\nisa scalar\n", &model));
+    // Bad values.
+    EXPECT_FALSE(parseCalibration(
+        "vbench-fleet-calib v1\nisa scalar\nbase_mpix_s -1\n"
+        "speed scalar 1\nspeed sse2 1\nspeed avx2 1\nspeed hwenc 1\n",
+        &model));
+    EXPECT_FALSE(parseCalibration(
+        "vbench-fleet-calib v1\nisa gpu\nbase_mpix_s 2\n"
+        "speed scalar 1\nspeed sse2 1\nspeed avx2 1\nspeed hwenc 1\n",
+        &model));
+    // Unknown key.
+    EXPECT_FALSE(parseCalibration(
+        "vbench-fleet-calib v1\nwhat 1\n", &model));
+}
+
+TEST(FleetCalibrate, ProfilesAMonotonePositiveModel)
+{
+    std::string log;
+    const PerfModel model = calibratePerfModel("", &log);
+    EXPECT_GT(model.base_mpix_s, 0.0);
+    EXPECT_FALSE(log.empty());
+    // On any host at least the profiled tiers must be sane; the guard
+    // enforces non-decreasing speed up the tier ladder.
+    for (int t = 0; t < kNumTiers; ++t)
+        EXPECT_GT(model.tier_speed[static_cast<size_t>(t)], 0.0) << t;
+    for (int t = 1; t < kNumTiers; ++t)
+        EXPECT_GE(model.tier_speed[static_cast<size_t>(t)],
+                  model.tier_speed[static_cast<size_t>(t - 1)])
+            << t;
+    EXPECT_DOUBLE_EQ(model.tier_speed[0], 1.0)
+        << "speeds are relative to scalar";
+    EXPECT_TRUE(model.source == "calibrated" ||
+                model.source == "default")
+        << model.source;
+}
+
+TEST(FleetCalibrate, SecondRunLoadsTheCache)
+{
+    const std::string path =
+        ::testing::TempDir() + "fleet_calib_test.txt";
+    std::remove(path.c_str());
+
+    std::string log;
+    const PerfModel first = calibratePerfModel(path, &log);
+    if (first.source != "calibrated")
+        GTEST_SKIP() << "profiling unavailable: " << log;
+    // The cache landed on disk...
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+
+    // ...and the second call returns it without re-profiling.
+    const PerfModel second = calibratePerfModel(path, &log);
+    EXPECT_EQ(second.source, "cache");
+    EXPECT_NE(log.find("loaded from"), std::string::npos) << log;
+    // The text format keeps ~6 significant digits.
+    EXPECT_NEAR(second.base_mpix_s, first.base_mpix_s,
+                1e-4 * first.base_mpix_s);
+    for (int t = 0; t < kNumTiers; ++t)
+        EXPECT_NEAR(second.tier_speed[static_cast<size_t>(t)],
+                    first.tier_speed[static_cast<size_t>(t)],
+                    1e-4 * first.tier_speed[static_cast<size_t>(t)]);
+    EXPECT_EQ(second.native_tier, first.native_tier);
+
+    // A cache for a different host (native tier mismatch) is ignored.
+    PerfModel foreign = first;
+    foreign.native_tier = first.native_tier == Tier::Scalar
+        ? Tier::Avx2
+        : Tier::Scalar;
+    std::ofstream(path) << formatCalibration(foreign);
+    const PerfModel reprofiled = calibratePerfModel(path, &log);
+    EXPECT_NE(reprofiled.source, "cache");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace vbench::fleet

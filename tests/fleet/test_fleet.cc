@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Fleet vocabulary, placement, and the discrete-event simulator: spec
+ * grammar round-trips and rejections, PerfModel arithmetic, policy
+ * behaviour on degenerate fleets (single worker, all-identical types,
+ * a zero-capacity type), the backlog blind spot that separates
+ * cost_aware from the naive cheapest policy, and the headline claim —
+ * cost-aware placement beats the round-robin and random baselines on
+ * total dollars over identical work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "fleet/placement.h"
+#include "fleet/sim.h"
+#include "fleet/types.h"
+
+namespace vbench::fleet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** A two-type fleet (cheap/slow + expensive/fast) with a flat model. */
+FleetConfig
+twoTierConfig()
+{
+    FleetConfig config;
+    WorkerTypeSpec cheap;
+    cheap.name = "scalar";
+    cheap.tier = Tier::Scalar;
+    cheap.count = 1;
+    cheap.price_per_hour = 0.4;
+    cheap.per_job_overhead_ms = 0.0;
+    WorkerTypeSpec fast;
+    fast.name = "avx2";
+    fast.tier = Tier::Avx2;
+    fast.count = 1;
+    // 5x the scalar price at 4x the speed: the fast tier is always
+    // the costlier choice, never a cost tie.
+    fast.price_per_hour = 2.0;
+    fast.per_job_overhead_ms = 0.0;
+    config.types = {cheap, fast};
+    return config;
+}
+
+/** Simple speeds so expectations stay mental arithmetic: avx2 = 4x. */
+PerfModel
+flatModel()
+{
+    PerfModel model;
+    model.base_mpix_s = 1.0;
+    model.tier_speed = {1.0, 2.0, 4.0, 10.0};
+    return model;
+}
+
+JobMeta
+metaFor(double work_s, double ready_s = 0, double deadline_s = kInf)
+{
+    JobMeta meta;
+    meta.pixels = work_s * 1e6;  // base 1 Mpix/s: pixels == seconds
+    meta.work_scalar_s = work_s;
+    meta.ready_s = ready_s;
+    meta.deadline_s = deadline_s;
+    return meta;
+}
+
+// ---- Vocabulary. ----
+
+TEST(FleetTypes, TierAndPolicyNamesRoundTrip)
+{
+    for (int t = 0; t < kNumTiers; ++t) {
+        const Tier tier = static_cast<Tier>(t);
+        const auto back = parseTierName(tierName(tier));
+        ASSERT_TRUE(back.has_value()) << tierName(tier);
+        EXPECT_EQ(*back, tier);
+    }
+    for (int p = 0; p < kNumPolicies; ++p) {
+        const PolicyKind kind = static_cast<PolicyKind>(p);
+        const auto back = parsePolicyName(policyName(kind));
+        ASSERT_TRUE(back.has_value()) << policyName(kind);
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(parseTierName("gpu").has_value());
+    EXPECT_FALSE(parsePolicyName("greedy").has_value());
+}
+
+TEST(FleetTypes, ParsesAFullSpec)
+{
+    std::string error;
+    const auto types = parseFleetSpec(
+        "scalar:4@0.40+sse2:2@0.90+avx2:2@1.60+hwenc:1@5.00", &error);
+    ASSERT_TRUE(types.has_value()) << error;
+    ASSERT_EQ(types->size(), 4u);
+    EXPECT_EQ((*types)[0].tier, Tier::Scalar);
+    EXPECT_EQ((*types)[0].count, 4);
+    EXPECT_DOUBLE_EQ((*types)[0].price_per_hour, 0.40);
+    EXPECT_EQ((*types)[3].tier, Tier::Hwenc);
+    EXPECT_EQ((*types)[3].count, 1);
+    EXPECT_DOUBLE_EQ((*types)[3].price_per_hour, 5.00);
+}
+
+TEST(FleetTypes, SpecDefaultsCountAndListPrice)
+{
+    std::string error;
+    const auto types = parseFleetSpec("AVX2", &error);
+    ASSERT_TRUE(types.has_value()) << error;
+    ASSERT_EQ(types->size(), 1u);
+    EXPECT_EQ((*types)[0].count, 1);
+    EXPECT_DOUBLE_EQ((*types)[0].price_per_hour, 1.60);
+    // Count without price, price without count.
+    EXPECT_TRUE(parseFleetSpec("sse2:3", &error).has_value()) << error;
+    EXPECT_TRUE(parseFleetSpec("sse2@2.5", &error).has_value()) << error;
+}
+
+TEST(FleetTypes, SpecRejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",          "gpu:2",      "scalar:0",   "scalar:-1",
+        "scalar:2x", "scalar@0",   "scalar@-1",  "scalar@cheap",
+        "scalar+",   "+scalar",    "scalar++sse2",
+    };
+    for (const char *spec : bad) {
+        std::string error;
+        EXPECT_FALSE(parseFleetSpec(spec, &error).has_value()) << spec;
+        EXPECT_FALSE(error.empty()) << spec;
+    }
+}
+
+TEST(FleetTypes, FormatSpecRoundTrips)
+{
+    const std::string spec = "scalar:4@0.40+avx2:2@1.60+hwenc:1@5.00";
+    std::string error;
+    const auto types = parseFleetSpec(spec, &error);
+    ASSERT_TRUE(types.has_value()) << error;
+    EXPECT_EQ(formatFleetSpec(*types), spec);
+}
+
+TEST(FleetTypes, ValidateCatchesBadConfigs)
+{
+    FleetConfig config;
+    EXPECT_NE(validateFleetConfig(config), "") << "no types";
+
+    config = twoTierConfig();
+    EXPECT_EQ(validateFleetConfig(config), "");
+
+    config.types[0].count = -1;
+    EXPECT_NE(validateFleetConfig(config), "");
+
+    config = twoTierConfig();
+    config.types[1].price_per_hour = 0;
+    EXPECT_NE(validateFleetConfig(config), "");
+
+    // Every type at count 0 = an unrunnable fleet.
+    config = twoTierConfig();
+    config.types[0].count = 0;
+    config.types[1].count = 0;
+    EXPECT_NE(validateFleetConfig(config), "");
+    // One empty type among populated ones is fine.
+    config.types[1].count = 2;
+    EXPECT_EQ(validateFleetConfig(config), "");
+}
+
+TEST(FleetTypes, DefaultFleetIsValid)
+{
+    const FleetConfig config = defaultFleetConfig();
+    EXPECT_EQ(validateFleetConfig(config), "");
+    EXPECT_EQ(config.workerCount(), 9);
+    EXPECT_EQ(config.types.size(), 4u);
+}
+
+TEST(FleetTypes, PerfModelArithmetic)
+{
+    const PerfModel model = flatModel();
+    // avx2 at 4x: 8 scalar-seconds run in 2, plus 5 ms overhead.
+    EXPECT_DOUBLE_EQ(model.execSeconds(Tier::Avx2, 8.0, 5.0),
+                     2.0 + 0.005);
+    EXPECT_DOUBLE_EQ(model.execSeconds(Tier::Scalar, 8.0, 0.0), 8.0);
+    // 3 Mpix at 1 Mpix/s.
+    EXPECT_DOUBLE_EQ(model.scalarWorkSeconds(3e6), 3.0);
+}
+
+// ---- Placement. ----
+
+TEST(FleetPlacement, WorkersAreTypeMajorWithDenseIds)
+{
+    FleetConfig config = twoTierConfig();
+    config.types[0].count = 2;
+    const std::vector<FleetWorker> workers = makeWorkers(config);
+    ASSERT_EQ(workers.size(), 3u);
+    for (size_t i = 0; i < workers.size(); ++i)
+        EXPECT_EQ(workers[i].id, static_cast<int>(i));
+    EXPECT_EQ(workers[0].type, 0);
+    EXPECT_EQ(workers[1].type, 0);
+    EXPECT_EQ(workers[2].type, 1);
+}
+
+TEST(FleetPlacement, SingleWorkerFleetAlwaysPlacesThere)
+{
+    FleetConfig config = twoTierConfig();
+    config.types.resize(1);  // one scalar worker
+    const PerfModel model = flatModel();
+    for (int p = 0; p < kNumPolicies; ++p) {
+        std::vector<FleetWorker> workers = makeWorkers(config);
+        const auto policy = makePolicy(static_cast<PolicyKind>(p), 7);
+        double expect_start = 0;
+        for (int j = 0; j < 4; ++j) {
+            const Placement placed = placeJob(
+                *policy, workers, config, model, metaFor(2.0), 0.0);
+            EXPECT_EQ(placed.worker, 0) << policy->name();
+            // Serial backlog: each job starts when the last finished.
+            EXPECT_DOUBLE_EQ(placed.start_s, expect_start)
+                << policy->name();
+            expect_start = placed.finish_s;
+        }
+        EXPECT_EQ(workers[0].jobs, 4);
+    }
+}
+
+TEST(FleetPlacement, ZeroCapacityTypeIsNeverChosen)
+{
+    FleetConfig config = twoTierConfig();
+    config.types[0].count = 0;  // scalar exists on paper only
+    config.types[1].count = 2;
+    EXPECT_EQ(validateFleetConfig(config), "");
+    const PerfModel model = flatModel();
+    for (int p = 0; p < kNumPolicies; ++p) {
+        std::vector<FleetWorker> workers = makeWorkers(config);
+        ASSERT_EQ(workers.size(), 2u);
+        const auto policy = makePolicy(static_cast<PolicyKind>(p), 7);
+        for (int j = 0; j < 6; ++j) {
+            const Placement placed = placeJob(
+                *policy, workers, config, model, metaFor(1.0), 0.0);
+            EXPECT_EQ(placed.type, 1) << policy->name();
+        }
+    }
+}
+
+TEST(FleetPlacement, EmptyFleetPlacesNothing)
+{
+    FleetConfig config;  // no types at all
+    std::vector<FleetWorker> workers = makeWorkers(config);
+    EXPECT_TRUE(workers.empty());
+    const auto policy = makePolicy(PolicyKind::CostAware, 1);
+    const Placement placed = placeJob(*policy, workers, config,
+                                      flatModel(), metaFor(1.0), 0.0);
+    EXPECT_EQ(placed.worker, -1);
+    EXPECT_DOUBLE_EQ(placed.cost_dollars, 0.0);
+}
+
+TEST(FleetPlacement, RoundRobinCyclesThroughWorkers)
+{
+    FleetConfig config = twoTierConfig();
+    config.types[0].count = 2;
+    std::vector<FleetWorker> workers = makeWorkers(config);
+    const auto policy = makePolicy(PolicyKind::RoundRobin, 1);
+    for (int j = 0; j < 6; ++j) {
+        const Placement placed = placeJob(*policy, workers, config,
+                                          flatModel(), metaFor(1.0), 0.0);
+        EXPECT_EQ(placed.worker, j % 3);
+    }
+}
+
+TEST(FleetPlacement, RandomIsDeterministicInTheSeed)
+{
+    FleetConfig config = twoTierConfig();
+    config.types[0].count = 3;
+    config.types[1].count = 3;
+    const PerfModel model = flatModel();
+    const auto run = [&](uint64_t seed) {
+        std::vector<FleetWorker> workers = makeWorkers(config);
+        const auto policy = makePolicy(PolicyKind::Random, seed);
+        std::vector<int> picks;
+        for (int j = 0; j < 24; ++j)
+            picks.push_back(placeJob(*policy, workers, config, model,
+                                     metaFor(0.5), 0.0)
+                                .worker);
+        return picks;
+    };
+    EXPECT_EQ(run(11), run(11));
+    EXPECT_NE(run(11), run(12));
+}
+
+TEST(FleetPlacement, LeastLoadedPicksTheEarliestFreeWorker)
+{
+    FleetConfig config = twoTierConfig();
+    config.types[0].count = 2;
+    std::vector<FleetWorker> workers = makeWorkers(config);
+    workers[0].busy_until_s = 5.0;
+    workers[1].busy_until_s = 1.0;
+    workers[2].busy_until_s = 3.0;
+    const auto policy = makePolicy(PolicyKind::LeastLoaded, 1);
+    const Placement placed = placeJob(*policy, workers, config,
+                                      flatModel(), metaFor(1.0), 0.0);
+    EXPECT_EQ(placed.worker, 1);
+    EXPECT_DOUBLE_EQ(placed.start_s, 1.0);
+}
+
+TEST(FleetPlacement, CostAwarePicksCheapWhenTheDeadlineAllows)
+{
+    const FleetConfig config = twoTierConfig();
+    const PerfModel model = flatModel();
+    std::vector<FleetWorker> workers = makeWorkers(config);
+    const auto policy = makePolicy(PolicyKind::CostAware, 1);
+    // 8 scalar-seconds, deadline 20: the cheap tier makes it easily.
+    const Placement loose = placeJob(*policy, workers, config, model,
+                                     metaFor(8.0, 0.0, 20.0), 0.0);
+    EXPECT_EQ(loose.type, 0);
+    // Fresh fleet, deadline 4: only the 4x tier can finish in time.
+    workers = makeWorkers(config);
+    const Placement tight = placeJob(*policy, workers, config, model,
+                                     metaFor(8.0, 0.0, 4.0), 0.0);
+    EXPECT_EQ(tight.type, 1);
+    EXPECT_LE(tight.finish_s, 4.0);
+}
+
+TEST(FleetPlacement, CostAwareSeesBacklogTheNaiveCheapestMisses)
+{
+    const FleetConfig config = twoTierConfig();
+    const PerfModel model = flatModel();
+    // Two 10-scalar-second jobs, each with deadline 15. The cheap
+    // worker can run one in time, not both back to back.
+    const JobMeta job = metaFor(10.0, 0.0, 15.0);
+
+    std::vector<FleetWorker> naive = makeWorkers(config);
+    const auto cheapest = makePolicy(PolicyKind::CheapestFeasible, 1);
+    placeJob(*cheapest, naive, config, model, job, 0.0);
+    const Placement second_naive =
+        placeJob(*cheapest, naive, config, model, job, 0.0);
+    // Naive feasibility ignores the backlog: it stacks the second job
+    // on the cheap worker and blows the deadline.
+    EXPECT_EQ(second_naive.type, 0);
+    EXPECT_GT(second_naive.finish_s, job.deadline_s);
+
+    std::vector<FleetWorker> aware = makeWorkers(config);
+    const auto cost_aware = makePolicy(PolicyKind::CostAware, 1);
+    placeJob(*cost_aware, aware, config, model, job, 0.0);
+    const Placement second_aware =
+        placeJob(*cost_aware, aware, config, model, job, 0.0);
+    // Backlog-aware feasibility moves it to the fast tier and hits.
+    EXPECT_EQ(second_aware.type, 1);
+    EXPECT_LE(second_aware.finish_s, job.deadline_s);
+}
+
+TEST(FleetPlacement, BookingAccumulatesOnTheWorker)
+{
+    const FleetConfig config = twoTierConfig();
+    const PerfModel model = flatModel();
+    std::vector<FleetWorker> workers = makeWorkers(config);
+    const auto policy = makePolicy(PolicyKind::RoundRobin, 1);
+    const Placement a = placeJob(*policy, workers, config, model,
+                                 metaFor(4.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.start_s, 1.0) << "waits for readiness";
+    EXPECT_DOUBLE_EQ(a.exec_s, 4.0);
+    EXPECT_DOUBLE_EQ(a.finish_s, 5.0);
+    EXPECT_DOUBLE_EQ(a.cost_dollars, 4.0 * 0.4 / 3600.0);
+    EXPECT_DOUBLE_EQ(workers[0].busy_until_s, 5.0);
+    EXPECT_DOUBLE_EQ(workers[0].busy_seconds, 4.0);
+    EXPECT_DOUBLE_EQ(workers[0].cost_dollars, a.cost_dollars);
+    EXPECT_EQ(workers[0].jobs, 1);
+}
+
+// ---- Simulator. ----
+
+std::vector<SimJob>
+uniformJobs(int n, double work_s, double spacing_s,
+            double deadline_slack = kInf)
+{
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < n; ++i) {
+        SimJob job;
+        job.id = i;
+        job.work_scalar_s = work_s;
+        job.pixels = work_s * 1e6;
+        job.avail_s = spacing_s * i;
+        if (deadline_slack < kInf)
+            job.deadline_s = job.avail_s + deadline_slack;
+        job.stream = i;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+TEST(FleetSim, SingleJobCostArithmetic)
+{
+    FleetConfig config = twoTierConfig();
+    config.types.resize(1);
+    config.types[0].per_job_overhead_ms = 2.0;
+    config.policy = PolicyKind::RoundRobin;
+    const SimResult result =
+        simulateFleet(config, flatModel(), uniformJobs(1, 6.0, 0.0));
+    EXPECT_EQ(result.jobs, 1u);
+    EXPECT_EQ(result.hits, 1u);
+    const double exec = 6.0 + 0.002;
+    EXPECT_DOUBLE_EQ(result.makespan_s, exec);
+    EXPECT_DOUBLE_EQ(result.total_cost_dollars, exec * 0.4 / 3600.0);
+    const SimScenario &sc =
+        result.scenarios[static_cast<size_t>(core::Scenario::Upload)];
+    EXPECT_EQ(sc.jobs, 1u);
+    EXPECT_EQ(sc.streams, 1u);
+    EXPECT_DOUBLE_EQ(sc.dollarsPerStream(), result.total_cost_dollars);
+}
+
+TEST(FleetSim, ChainPrecedenceDelaysTheSuccessor)
+{
+    FleetConfig config = twoTierConfig();
+    config.types.resize(1);
+    config.types[0].count = 4;  // idle capacity: only the chain binds
+    config.policy = PolicyKind::LeastLoaded;
+    std::vector<SimJob> jobs = uniformJobs(3, 2.0, 0.0);
+    jobs[1].chain_prev = 0;  // RC carry: 1 after 0, 2 after 1
+    jobs[2].chain_prev = 1;
+    const SimResult result =
+        simulateFleet(config, flatModel(), jobs);
+    EXPECT_EQ(result.jobs, 3u);
+    // Three 2 s segments serialized by the chain despite 4 workers.
+    EXPECT_DOUBLE_EQ(result.makespan_s, 6.0);
+    const SimScenario &sc =
+        result.scenarios[static_cast<size_t>(core::Scenario::Upload)];
+    EXPECT_DOUBLE_EQ(sc.max_latency_s, 6.0);
+}
+
+TEST(FleetSim, MissingChainTargetMeansUnchained)
+{
+    FleetConfig config = twoTierConfig();
+    config.types.resize(1);
+    config.types[0].count = 2;
+    config.policy = PolicyKind::LeastLoaded;
+    std::vector<SimJob> jobs = uniformJobs(2, 2.0, 0.0);
+    jobs[1].chain_prev = 777;  // not a job id in this set
+    const SimResult result = simulateFleet(config, flatModel(), jobs);
+    EXPECT_EQ(result.jobs, 2u);
+    EXPECT_DOUBLE_EQ(result.makespan_s, 2.0) << "ran in parallel";
+}
+
+TEST(FleetSim, DeterministicAcrossRuns)
+{
+    FleetConfig config = defaultFleetConfig();
+    config.policy = PolicyKind::Random;
+    config.seed = 42;
+    const std::vector<SimJob> jobs = uniformJobs(40, 1.5, 0.25, 30.0);
+    const SimResult a = simulateFleet(config, flatModel(), jobs);
+    const SimResult b = simulateFleet(config, flatModel(), jobs);
+    EXPECT_DOUBLE_EQ(a.total_cost_dollars, b.total_cost_dollars);
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.hits, b.hits);
+}
+
+TEST(FleetSim, IdenticalTypesMakeEveryPolicyCostTheSame)
+{
+    // With one worker type, placement cannot change per-job cost —
+    // only queueing. Total dollars must agree across all policies.
+    FleetConfig config = twoTierConfig();
+    config.types.resize(1);
+    config.types[0].count = 3;
+    const std::vector<SimJob> jobs = uniformJobs(24, 1.0, 0.1);
+    double first = -1;
+    for (int p = 0; p < kNumPolicies; ++p) {
+        config.policy = static_cast<PolicyKind>(p);
+        const SimResult result =
+            simulateFleet(config, flatModel(), jobs);
+        EXPECT_EQ(result.jobs, 24u);
+        if (first < 0)
+            first = result.total_cost_dollars;
+        else
+            EXPECT_DOUBLE_EQ(result.total_cost_dollars, first)
+                << policyName(config.policy);
+    }
+}
+
+TEST(FleetSim, CostAwareBeatsRoundRobinAndRandomOnDollars)
+{
+    // Mixed fleet, loose deadlines: the baselines scatter work across
+    // expensive tiers while cost_aware keeps it on the cheap ones.
+    FleetConfig config = defaultFleetConfig();
+    const PerfModel model;  // default tier speeds
+    const std::vector<SimJob> jobs = uniformJobs(60, 2.0, 0.5, 120.0);
+
+    const auto total = [&](PolicyKind policy) {
+        config.policy = policy;
+        const SimResult result = simulateFleet(config, model, jobs);
+        EXPECT_EQ(result.jobs, 60u) << policyName(policy);
+        EXPECT_DOUBLE_EQ(result.hitRate(), 1.0) << policyName(policy);
+        return result.total_cost_dollars;
+    };
+    const double aware = total(PolicyKind::CostAware);
+    EXPECT_LT(aware, total(PolicyKind::RoundRobin));
+    EXPECT_LT(aware, total(PolicyKind::Random));
+}
+
+TEST(FleetSim, EmptyFleetRunsNothing)
+{
+    FleetConfig config;  // invalid: no types
+    const SimResult result =
+        simulateFleet(config, flatModel(), uniformJobs(3, 1.0, 0.0));
+    EXPECT_EQ(result.jobs, 0u);
+    EXPECT_DOUBLE_EQ(result.total_cost_dollars, 0.0);
+}
+
+} // namespace
+} // namespace vbench::fleet

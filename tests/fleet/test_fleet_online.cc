@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The online fleet::Fleet: ticket booking, measurement-driven
+ * settlement, per-type rollups, the invalid-config degenerate case,
+ * and concurrent place/settle from many threads. Part of the
+ * ThreadSanitizer suite (`ctest -L thread`) — the dispatcher places
+ * from its loop while completions settle from worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace vbench::fleet {
+namespace {
+
+/** One cheap scalar + one fast avx2 worker, flat 4x model. */
+FleetConfig
+smallConfig()
+{
+    FleetConfig config;
+    WorkerTypeSpec cheap;
+    cheap.name = "scalar";
+    cheap.tier = Tier::Scalar;
+    cheap.count = 1;
+    cheap.price_per_hour = 0.4;
+    cheap.per_job_overhead_ms = 0.0;
+    WorkerTypeSpec fast;
+    fast.name = "avx2";
+    fast.tier = Tier::Avx2;
+    fast.count = 1;
+    fast.price_per_hour = 2.0;
+    fast.per_job_overhead_ms = 0.0;
+    config.types = {cheap, fast};
+    config.policy = PolicyKind::RoundRobin;
+    return config;
+}
+
+PerfModel
+flatModel()
+{
+    PerfModel model;
+    model.base_mpix_s = 1.0;
+    model.tier_speed = {1.0, 2.0, 4.0, 10.0};
+    model.native_tier = Tier::Scalar;
+    return model;
+}
+
+JobMeta
+metaFor(double work_s)
+{
+    JobMeta meta;
+    meta.pixels = work_s * 1e6;
+    meta.work_scalar_s = work_s;
+    return meta;
+}
+
+TEST(FleetOnline, InvalidConfigYieldsAnInertFleet)
+{
+    FleetConfig config;  // no types: fails validateFleetConfig
+    Fleet fleet(config, flatModel());
+    EXPECT_EQ(fleet.workerCount(), 0);
+    const Ticket ticket = fleet.place(metaFor(1.0), 0.0);
+    EXPECT_FALSE(ticket.valid());
+    EXPECT_DOUBLE_EQ(fleet.settle(ticket, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(fleet.totalCost(), 0.0);
+}
+
+TEST(FleetOnline, PlaceBooksATicket)
+{
+    Fleet fleet(smallConfig(), flatModel());
+    EXPECT_EQ(fleet.workerCount(), 2);
+    const Ticket ticket = fleet.place(metaFor(4.0), 0.0);
+    ASSERT_TRUE(ticket.valid());
+    EXPECT_EQ(ticket.worker, 0);  // round-robin starts at 0 (scalar)
+    EXPECT_EQ(ticket.type, 0);
+    EXPECT_DOUBLE_EQ(ticket.exec_s, 4.0);
+    EXPECT_DOUBLE_EQ(ticket.finish_s, 4.0);
+    EXPECT_DOUBLE_EQ(ticket.cost_dollars, 4.0 * 0.4 / 3600.0);
+}
+
+TEST(FleetOnline, SettleReplacesTheEstimateWithTheMeasurement)
+{
+    Fleet fleet(smallConfig(), flatModel());
+    // Second placement (round-robin) lands on the 4x avx2 worker.
+    fleet.place(metaFor(4.0), 0.0);
+    const Ticket ticket = fleet.place(metaFor(4.0), 0.0);
+    ASSERT_EQ(ticket.type, 1);
+    EXPECT_DOUBLE_EQ(ticket.exec_s, 1.0);  // 4 scalar-seconds at 4x
+
+    // The real transcode took 2 s on the (scalar-tier) host: that is
+    // 2 scalar-seconds of work, i.e. 0.5 s on this worker.
+    const double cost = fleet.settle(ticket, 2.0);
+    EXPECT_DOUBLE_EQ(cost, 0.5 * 2.0 / 3600.0);
+
+    const std::vector<TypeUsage> usage = fleet.typeUsage();
+    ASSERT_EQ(usage.size(), 2u);
+    EXPECT_EQ(usage[1].name, "avx2");
+    EXPECT_EQ(usage[1].jobs, 1);
+    EXPECT_DOUBLE_EQ(usage[1].busy_seconds, 0.5);
+    EXPECT_DOUBLE_EQ(usage[1].cost_dollars, cost);
+    // The unsettled scalar booking still carries its estimate.
+    EXPECT_DOUBLE_EQ(usage[0].busy_seconds, 4.0);
+    EXPECT_DOUBLE_EQ(fleet.totalCost(),
+                     cost + 4.0 * 0.4 / 3600.0);
+}
+
+TEST(FleetOnline, TypeUtilizationIsBusyOverElapsed)
+{
+    Fleet fleet(smallConfig(), flatModel());
+    const Ticket ticket = fleet.place(metaFor(4.0), 0.0);
+    fleet.settle(ticket, 4.0);  // measured == estimate on scalar
+    const std::vector<double> util = fleet.typeUtilization(8.0);
+    ASSERT_EQ(util.size(), 2u);
+    EXPECT_DOUBLE_EQ(util[0], 0.5);  // 4 busy seconds over 8
+    EXPECT_DOUBLE_EQ(util[1], 0.0);
+    // No elapsed time: utilization reads as zero, not a division.
+    EXPECT_DOUBLE_EQ(fleet.typeUtilization(0.0)[0], 0.0);
+}
+
+TEST(FleetOnline, ConcurrentPlaceAndSettleIsRaceFree)
+{
+    FleetConfig config = smallConfig();
+    config.types[0].count = 3;
+    config.types[1].count = 2;
+    config.policy = PolicyKind::CostAware;
+    Fleet fleet(config, flatModel());
+
+    constexpr int kThreads = 4;
+    constexpr int kJobsPerThread = 64;
+    std::vector<std::thread> threads;
+    std::vector<double> settled(kThreads, 0.0);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&fleet, &settled, t] {
+            double total = 0;
+            for (int j = 0; j < kJobsPerThread; ++j) {
+                const double work = 0.25 + 0.05 * ((t + j) % 5);
+                const Ticket ticket =
+                    fleet.place(metaFor(work), 0.1 * j);
+                ASSERT_TRUE(ticket.valid());
+                total += fleet.settle(ticket, work);
+                // Interleave reads with the writers.
+                fleet.typeUtilization(1.0 + j);
+                fleet.totalCost();
+            }
+            settled[static_cast<size_t>(t)] = total;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    double expected = 0;
+    for (const double s : settled)
+        expected += s;
+    EXPECT_NEAR(fleet.totalCost(), expected, 1e-9);
+    int jobs = 0;
+    for (const TypeUsage &u : fleet.typeUsage())
+        jobs += u.jobs;
+    EXPECT_EQ(jobs, kThreads * kJobsPerThread);
+}
+
+} // namespace
+} // namespace vbench::fleet

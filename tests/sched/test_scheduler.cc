@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/runtime_config.h"
 #include "core/transcoder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -279,11 +280,17 @@ TEST(Scheduler, DefaultWorkerCountHonorsEnv)
         Scheduler scheduler;
         EXPECT_EQ(scheduler.workers(), 3);
     }
-    // Unparsable or non-positive values fall back to the hardware.
-    setenv("VBENCH_JOBS", "0", 1);
+    // Unset falls back to the hardware; malformed values are config
+    // errors under the strict RuntimeConfig contract (fail-fast in
+    // defaultWorkerCount, reported by fromEnv here).
+    unsetenv("VBENCH_JOBS");
     EXPECT_GE(Scheduler::defaultWorkerCount(), 1);
-    setenv("VBENCH_JOBS", "banana", 1);
-    EXPECT_GE(Scheduler::defaultWorkerCount(), 1);
+    for (const char *bad : {"0", "banana", "-2"}) {
+        setenv("VBENCH_JOBS", bad, 1);
+        std::vector<std::string> errors;
+        core::RuntimeConfig::fromEnv(&errors);
+        EXPECT_EQ(errors.size(), 1u) << bad;
+    }
 
     if (saved)
         setenv("VBENCH_JOBS", restore.c_str(), 1);

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/runtime_config.h"
 #include "sched/frame_threads.h"
 #include "sched/wavefront.h"
 
@@ -227,18 +228,28 @@ class FrameThreadGuard : public ::testing::Test
 
 TEST_F(FrameThreadGuard, EnvParsing)
 {
+    // Valid values flow through core::RuntimeConfig; malformed ones
+    // fail fast there (see RuntimeConfig.RejectsMalformedValues), so
+    // only well-formed inputs reach this accessor.
     unsetenv("VBENCH_FRAME_THREADS");
     EXPECT_EQ(frameThreadsFromEnv(), 1);
     setenv("VBENCH_FRAME_THREADS", "4", 1);
     EXPECT_EQ(frameThreadsFromEnv(), 4);
-    setenv("VBENCH_FRAME_THREADS", "0", 1);
-    EXPECT_EQ(frameThreadsFromEnv(), 1);
-    setenv("VBENCH_FRAME_THREADS", "-3", 1);
-    EXPECT_EQ(frameThreadsFromEnv(), 1);
-    setenv("VBENCH_FRAME_THREADS", "garbage", 1);
-    EXPECT_EQ(frameThreadsFromEnv(), 1);
+    // Huge-but-well-formed widths clamp at the documented cap.
     setenv("VBENCH_FRAME_THREADS", "100000", 1);
     EXPECT_EQ(frameThreadsFromEnv(), kMaxFrameThreads);
+}
+
+TEST_F(FrameThreadGuard, MalformedEnvIsAConfigError)
+{
+    // The strict contract: garbage no longer silently falls back to
+    // serial — RuntimeConfig::fromEnv reports it as an error.
+    for (const char *bad : {"garbage", "0", "-3", "4x"}) {
+        setenv("VBENCH_FRAME_THREADS", bad, 1);
+        std::vector<std::string> errors;
+        core::RuntimeConfig::fromEnv(&errors);
+        EXPECT_EQ(errors.size(), 1u) << bad;
+    }
 }
 
 TEST_F(FrameThreadGuard, LoneJobGetsRequestedWidth)

@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "core/runtime_config.h"
 #include "codec/decoder.h"
 #include "service/workload.h"
 
@@ -176,12 +177,14 @@ TEST(WorkloadEnv, SegmentFramesParsesStrictly)
     EXPECT_EQ(segmentFramesFromEnv(8), 8);
     setenv("VBENCH_SEGMENT_FRAMES", "12", 1);
     EXPECT_EQ(segmentFramesFromEnv(8), 12);
-    setenv("VBENCH_SEGMENT_FRAMES", "0", 1);
-    EXPECT_EQ(segmentFramesFromEnv(8), 8);
-    setenv("VBENCH_SEGMENT_FRAMES", "-3", 1);
-    EXPECT_EQ(segmentFramesFromEnv(8), 8);
-    setenv("VBENCH_SEGMENT_FRAMES", "12abc", 1);
-    EXPECT_EQ(segmentFramesFromEnv(8), 8);
+    // Malformed values are config errors under the strict
+    // RuntimeConfig contract, not silent fallbacks.
+    for (const char *bad : {"0", "-3", "12abc"}) {
+        setenv("VBENCH_SEGMENT_FRAMES", bad, 1);
+        std::vector<std::string> errors;
+        core::RuntimeConfig::fromEnv(&errors);
+        EXPECT_EQ(errors.size(), 1u) << bad;
+    }
     unsetenv("VBENCH_SEGMENT_FRAMES");
 }
 
@@ -191,10 +194,12 @@ TEST(WorkloadEnv, ArrivalRateParsesStrictly)
     EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 3.0);
     setenv("VBENCH_ARRIVAL_RATE", "2.5", 1);
     EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 2.5);
-    setenv("VBENCH_ARRIVAL_RATE", "nope", 1);
-    EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 3.0);
-    setenv("VBENCH_ARRIVAL_RATE", "-1", 1);
-    EXPECT_DOUBLE_EQ(arrivalRateFromEnv(3.0), 3.0);
+    for (const char *bad : {"nope", "-1", "0"}) {
+        setenv("VBENCH_ARRIVAL_RATE", bad, 1);
+        std::vector<std::string> errors;
+        core::RuntimeConfig::fromEnv(&errors);
+        EXPECT_EQ(errors.size(), 1u) << bad;
+    }
     unsetenv("VBENCH_ARRIVAL_RATE");
 }
 

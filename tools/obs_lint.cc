@@ -9,7 +9,10 @@
  *   obs_lint --prom prom.txt        Prometheus/OpenMetrics snapshot
  *
  * Any combination of flags; each artifact is parsed structurally, not
- * grepped. The trace check also verifies the distributed-tracing
+ * grepped. `service.fleet` run reports (a fleet-routed run's cost
+ * accounting, docs/FLEET.md) are schema-checked — worker/type counts,
+ * total dollars, topology and policy provenance — and
+ * `--require-fleet` (before --report) makes their absence an error. The trace check also verifies the distributed-tracing
  * invariants: every `cat:"request"` slice carries trace/span/parent
  * ids, every trace id forms one connected tree with exactly one root,
  * and every flow-arrow end has a matching begin. Exit 0 when every
@@ -213,9 +216,50 @@ lintTrace(const std::string &path)
     return ok;
 }
 
+/**
+ * The `service.fleet` run report is the machine-readable fleet
+ * accounting record (docs/FLEET.md): worker/type counts and the total
+ * dollars in `extra`, topology/policy/model provenance in `extra_str`.
+ * A fleet-routed run that emits a malformed one fails the lint.
+ */
+bool
+lintFleetReport(const std::string &path, size_t line_no, const Value &v)
+{
+    bool ok = true;
+    const auto complain = [&](const char *what) {
+        std::fprintf(stderr, "obs_lint: %s:%zu: service.fleet %s\n",
+                     path.c_str(), line_no, what);
+        ok = false;
+    };
+    const Value *extra = v.find("extra");
+    if (!extra || !extra->isObject()) {
+        complain("report without extra object");
+        return false;
+    }
+    const Value *workers = extra->find("workers");
+    const Value *types = extra->find("types");
+    if (!isNumber(workers) || workers->number <= 0)
+        complain("report without a positive workers count");
+    if (!isNumber(types) || types->number <= 0)
+        complain("report without a positive types count");
+    const Value *cost = extra->find("total_cost_dollars");
+    if (!isNumber(cost) || cost->number < 0)
+        complain("report without a total_cost_dollars number");
+    const Value *extra_str = v.find("extra_str");
+    if (!extra_str || !extra_str->isObject()) {
+        complain("report without extra_str object");
+        return false;
+    }
+    if (!isString(extra_str->find("topology")))
+        complain("report without a topology spec");
+    if (!isString(extra_str->find("policy")))
+        complain("report without a policy name");
+    return ok;
+}
+
 /** Run reports: one JSON object per line, label + seconds required. */
 bool
-lintReports(const std::string &path)
+lintReports(const std::string &path, bool require_fleet)
 {
     std::ifstream in(path);
     if (!in) {
@@ -223,7 +267,7 @@ lintReports(const std::string &path)
         return false;
     }
     bool ok = true;
-    size_t line_no = 0, reports = 0;
+    size_t line_no = 0, reports = 0, fleet_reports = 0;
     std::string line;
     while (std::getline(in, line)) {
         ++line_no;
@@ -239,11 +283,23 @@ lintReports(const std::string &path)
             continue;
         }
         ++reports;
+        if (v->find("label")->string == "service.fleet") {
+            ++fleet_reports;
+            ok = lintFleetReport(path, line_no, *v) && ok;
+        }
     }
-    std::printf("obs_lint: %s: %zu run reports%s\n", path.c_str(),
-                reports, ok ? "" : " — INVALID");
+    std::printf("obs_lint: %s: %zu run reports (%zu fleet)%s\n",
+                path.c_str(), reports, fleet_reports,
+                ok ? "" : " — INVALID");
     if (reports == 0) {
         std::fprintf(stderr, "obs_lint: %s: no run reports\n",
+                     path.c_str());
+        ok = false;
+    }
+    if (require_fleet && fleet_reports == 0) {
+        std::fprintf(stderr,
+                     "obs_lint: %s: no service.fleet report (was the "
+                     "run fleet-routed?)\n",
                      path.c_str());
         ok = false;
     }
@@ -276,22 +332,27 @@ main(int argc, char **argv)
 {
     bool ok = true;
     bool any = false;
+    bool require_fleet = false;
+    // --require-fleet must precede the --report it applies to.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if ((arg == "--trace" || arg == "--report" || arg == "--prom") &&
-            i + 1 < argc) {
+        if (arg == "--require-fleet") {
+            require_fleet = true;
+        } else if ((arg == "--trace" || arg == "--report" ||
+                    arg == "--prom") &&
+                   i + 1 < argc) {
             const std::string path = argv[++i];
             any = true;
             if (arg == "--trace")
                 ok = lintTrace(path) && ok;
             else if (arg == "--report")
-                ok = lintReports(path) && ok;
+                ok = lintReports(path, require_fleet) && ok;
             else
                 ok = lintProm(path) && ok;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--trace FILE] [--report FILE] "
-                         "[--prom FILE]\n",
+                         "usage: %s [--trace FILE] [--require-fleet] "
+                         "[--report FILE] [--prom FILE]\n",
                          argv[0]);
             return 2;
         }
