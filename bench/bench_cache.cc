@@ -1,0 +1,706 @@
+/**
+ * @file
+ * Transcode output cache benchmark: store-vs-recompute economics under
+ * Zipf-skewed demand (docs/CACHE.md). A single profiling pass executes
+ * each clip's segment chain once through the real encoder
+ * (service::executeSegmentJob, rate-control carry included), capturing
+ * per-segment cache keys, encoded bytes, and measured seconds; the
+ * replay then drives every (scenario x policy) pair over identical
+ * deterministic arrival sequences against a real cache::TranscodeCache,
+ * so dollar differences are pure policy quality. The storage price is
+ * calibrated from the profiled medians so rent and re-encode dollars
+ * are the same order of magnitude — the regime where the policy choice
+ * matters. Writes BENCH_cache.json (full mode).
+ *
+ * Environment knobs (full mode; --smoke pins everything for CI):
+ * VBENCH_ZIPF_S (single skew instead of the sweep), VBENCH_CACHE_MB
+ * (single capacity instead of the sweep), VBENCH_CACHE_GB_HOUR
+ * (storage price override instead of calibration),
+ * VBENCH_SEGMENT_FRAMES.
+ *
+ *   --seed N   workload base seed (default 40) for reproducible runs
+ *   --out FILE JSON output path (default BENCH_cache.json)
+ *   --smoke    small run wired into scripts/check.sh: asserts the
+ *              replay is deterministic in the seed, the service's
+ *              delivered bytes are identical with the cache off, cold,
+ *              and warm, the Popular scenario gets a non-zero hit
+ *              rate, and cost_aware strictly undercuts always_store
+ *              AND always_recompute on Popular dollars (and is no
+ *              worse overall).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cache/cache.h"
+#include "core/runtime_config.h"
+#include "core/scenario.h"
+#include "service/segment_job.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "video/suite.h"
+#include "video/synth.h"
+
+namespace {
+
+using namespace vbench;
+
+/**
+ * A wide clip library so Zipf demand has a real tail: the head clips
+ * repeat (caching pays), the tail clips are touched once (storing them
+ * is pure rent).
+ */
+std::vector<video::ClipSpec>
+corpusSpecs(bool smoke)
+{
+    const video::ContentClass classes[] = {
+        video::ContentClass::Natural, video::ContentClass::Sports,
+        video::ContentClass::Animation, video::ContentClass::Screencast};
+    std::vector<video::ClipSpec> specs;
+    for (int i = 0; i < 20; ++i) {
+        video::ClipSpec s;
+        s.name = "cache" + std::to_string(i);
+        s.width = smoke ? 96 : 128;
+        s.height = smoke ? 64 : 96;
+        s.fps = 30.0;
+        s.content = classes[i % 4];
+        s.seed = 200 + static_cast<uint64_t>(i);
+        specs.push_back(s);
+    }
+    return specs;
+}
+
+/** The one ladder rung the replay prices: chained ABR through VBC. */
+core::TranscodeRequest
+replayRung(const service::Corpus &corpus)
+{
+    core::TranscodeRequest req;
+    req.kind = core::EncoderKind::Vbc;
+    req.effort = 3;
+    req.rc.mode = codec::RcMode::Abr;
+    req.rc.bitrate_bps = 300'000.0;
+    req.rc.fps = 30.0;
+    req.segment_frames = corpus.segment_frames;
+    return req;
+}
+
+/** One profiled segment: everything a replayed miss would store. */
+struct SegProfile {
+    cache::CacheKey key;
+    cache::CachedSegment cached;
+};
+
+/** One clip's full chain, executed once through the real encoder. */
+struct ChainProfile {
+    std::vector<SegProfile> segs;
+};
+
+std::vector<ChainProfile>
+profileChains(const service::Corpus &corpus, size_t *failures)
+{
+    std::vector<ChainProfile> chains;
+    for (size_t c = 0; c < corpus.clips.size(); ++c) {
+        const service::CorpusClip &clip = corpus.clips[c];
+        ChainProfile chain;
+        codec::RcSnapshot carry;
+        const int segments = clip.segmentCount();
+        for (int k = 0; k < segments; ++k) {
+            service::SegmentJob job;
+            job.request_id = c;
+            job.rung = "abr.vbc";
+            job.segment_index = k;
+            job.input = *clip.seg_universal[static_cast<size_t>(k)];
+            job.params = replayRung(corpus);
+            job.params.rc.pixels_per_frame =
+                static_cast<double>(clip.spec.width) * clip.spec.height;
+            if (k > 0)
+                job.params.rc_in = carry;
+            const cache::CacheKey key = job.cacheKey();
+            const service::SegmentResult res =
+                service::executeSegmentJob(
+                    job, clip.seg_original[static_cast<size_t>(k)].get());
+            if (!res.ok) {
+                ++*failures;
+                continue;
+            }
+            carry = res.rc_state;
+            SegProfile seg;
+            seg.key = key;
+            seg.cached.stream = res.stream;
+            seg.cached.rc_out = res.rc_state;
+            seg.cached.psnr_db = res.m.psnr_db;
+            seg.cached.bitrate_bpps = res.m.bitrate_bpps;
+            seg.cached.speed_mpix_s = res.m.speed_mpix_s;
+            seg.cached.encode_seconds = res.seconds;
+            chain.segs.push_back(std::move(seg));
+        }
+        chains.push_back(std::move(chain));
+    }
+    return chains;
+}
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+/**
+ * Storage price that puts rent in the same currency band as
+ * re-encoding: a median entry resident for one popularity window
+ * (tau) costs `multiple` x its re-encode dollars. Below ~1 the cache
+ * wants to keep anything warm; far above, nothing is worth storing —
+ * either way the policy comparison degenerates.
+ */
+double
+calibrateStoragePrice(const std::vector<ChainProfile> &chains,
+                      double tau_s, double multiple)
+{
+    std::vector<double> seconds, bytes;
+    for (const ChainProfile &chain : chains)
+        for (const SegProfile &seg : chain.segs) {
+            seconds.push_back(seg.cached.encode_seconds);
+            bytes.push_back(
+                static_cast<double>(seg.cached.stream.size()));
+        }
+    const cache::TranscodeCache pricer{cache::CacheConfig{}};
+    const double reencode = pricer.reencodeDollars(median(seconds));
+    const double med_bytes = median(bytes);
+    if (med_bytes <= 0 || tau_s <= 0)
+        return cache::CacheConfig{}.storage_dollars_per_gb_hour;
+    return multiple * reencode * 3600.0 * 1e9 / (med_bytes * tau_s);
+}
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** One replayed request: which clip's chain, and when. */
+struct Arrival {
+    int clip = 0;
+    double t = 0;
+};
+
+/**
+ * Evenly spaced arrivals with Zipf-distributed clip choice (s = 0
+ * means round-robin: every clip exactly once — the Upload shape where
+ * nothing repeats). Deterministic in (seed, n).
+ */
+std::vector<Arrival>
+makeArrivals(size_t n, size_t clips, double zipf_s, double window_s,
+             uint64_t seed)
+{
+    std::vector<double> cdf(clips, 0.0);
+    double sum = 0;
+    for (size_t i = 0; i < clips; ++i) {
+        sum += zipf_s > 0
+            ? 1.0 / std::pow(static_cast<double>(i + 1), zipf_s)
+            : 1.0;
+        cdf[i] = sum;
+    }
+    std::vector<Arrival> arrivals;
+    for (size_t i = 0; i < n; ++i) {
+        Arrival a;
+        a.t = window_s * (static_cast<double>(i) + 0.5) /
+            static_cast<double>(n);
+        if (zipf_s > 0) {
+            const double u = sum *
+                (static_cast<double>(splitmix64(seed + i) >> 11) *
+                 0x1.0p-53);
+            a.clip = static_cast<int>(
+                std::lower_bound(cdf.begin(), cdf.end(), u) -
+                cdf.begin());
+            if (a.clip >= static_cast<int>(clips))
+                a.clip = static_cast<int>(clips) - 1;
+        } else {
+            a.clip = static_cast<int>(i % clips);
+        }
+        arrivals.push_back(a);
+    }
+    return arrivals;
+}
+
+/**
+ * Drive one policy over one arrival sequence against a real cache:
+ * every segment of the arriving clip's chain is looked up at the
+ * arrival time; a miss "re-encodes" (inserts the profiled segment,
+ * which charges its modeled compute dollars), a hit only saves. The
+ * sweep runs at every arrival, exactly like a service pruning between
+ * requests. Stats are read at the window end so every policy pays
+ * rent over the same horizon.
+ */
+cache::CacheStats
+replay(const std::vector<ChainProfile> &chains,
+       const std::vector<Arrival> &arrivals, double window_s,
+       const cache::CacheConfig &config)
+{
+    cache::TranscodeCache cache(config);
+    for (const Arrival &a : arrivals) {
+        cache.sweep(a.t);
+        for (const SegProfile &seg :
+             chains[static_cast<size_t>(a.clip)].segs) {
+            if (cache.lookup(seg.key, a.t))
+                continue;
+            cache.insert(seg.key, seg.cached, a.t);
+        }
+    }
+    return cache.stats(window_s);
+}
+
+const char *const kScenarioNames[] = {"Popular", "Vod", "Upload"};
+
+/** The three demand shapes the policies are scored on. */
+struct ScenarioShape {
+    size_t requests = 0;
+    double zipf_s = 0;  ///< 0 = every clip once (no reuse)
+};
+
+std::vector<ScenarioShape>
+smokeShapes(double popular_s)
+{
+    return {
+        {48, popular_s},  // Popular: heavy head, real tail
+        {16, 0.8},        // Vod: mild reuse
+        {12, 0.0},        // Upload: new content, nothing repeats
+    };
+}
+
+cache::CacheConfig
+policyConfig(cache::CachePolicy policy, size_t capacity_bytes,
+             double price_gb_hour, double tau_s)
+{
+    cache::CacheConfig config;
+    config.policy = policy;
+    config.capacity_bytes = capacity_bytes;
+    config.storage_dollars_per_gb_hour = price_gb_hour;
+    config.popularity_tau_s = tau_s;
+    // Zipf inter-arrivals for mid-head clips run near tau, so the
+    // stock 1.5 floor pushes admission to the third touch; 1.2 admits
+    // on the second while still keeping single-touch keys out.
+    config.admit_min_popularity = 1.2;
+    return config;
+}
+
+void
+printPolicyTable(const std::vector<cache::CacheStats> &stats)
+{
+    std::printf("%-17s %-8s %-6s %-9s %-10s %-10s %-10s %s\n", "policy",
+                "lookups", "hit%", "res_KB", "storage_$", "compute_$",
+                "saved_$", "total_$");
+    for (int p = 0; p < cache::kNumCachePolicies; ++p) {
+        const cache::CacheStats &s = stats[static_cast<size_t>(p)];
+        std::printf(
+            "%-17s %-8llu %-6.1f %-9.1f %-10.7f %-10.7f %-10.7f %.7f\n",
+            cache::policyName(static_cast<cache::CachePolicy>(p)),
+            static_cast<unsigned long long>(s.lookups),
+            100.0 * s.hitRate(),
+            static_cast<double>(s.resident_bytes) / 1024.0,
+            s.storage_dollars, s.compute_dollars, s.saved_dollars,
+            s.totalDollars());
+    }
+}
+
+/**
+ * The service byte-identity gate: the same tiny workload delivered
+ * with the cache off, through a cold cache, and again through the now
+ * warm cache must produce identical bytes per output — and the warm
+ * pass must serve every segment from the cache.
+ */
+bool
+checkServiceByteIdentity(const service::Corpus &corpus)
+{
+    std::vector<service::ServiceRequest> workload;
+    for (uint64_t i = 0; i < 2; ++i) {
+        service::ServiceRequest req;
+        req.id = i + 1;
+        req.scenario = core::Scenario::Popular;
+        req.clip = static_cast<int>(i);
+        req.arrival_s = 0.0;
+        service::RungSpec rung;
+        rung.request.kind =
+            i == 0 ? core::EncoderKind::Vbc : core::EncoderKind::NgcHevc;
+        rung.request.effort = 3;
+        rung.request.ngc_speed = 1;
+        rung.request.rc.mode =
+            i == 0 ? codec::RcMode::Abr : codec::RcMode::Crf;
+        rung.request.rc.crf = 30.0;
+        rung.request.rc.bitrate_bps = 300'000.0;
+        rung.request.rc.fps = 30.0;
+        rung.request.rc.pixels_per_frame =
+            static_cast<double>(corpus.clips[req.clip].spec.width) *
+            corpus.clips[req.clip].spec.height;
+        rung.name = i == 0 ? "abr.vbc" : "crf.ngc";
+        req.rungs.push_back(rung);
+        workload.push_back(req);
+    }
+
+    service::ServiceConfig plain;
+    plain.workers = 2;
+    plain.admission_capacity = 64;
+    plain.collect_outputs = true;
+    service::TranscodeService baseline_service(plain, corpus);
+    const service::ServiceResult baseline =
+        baseline_service.run(workload);
+
+    cache::CacheConfig cc;
+    cc.policy = cache::CachePolicy::AlwaysStore;
+    cache::TranscodeCache tc(cc);
+    service::ServiceConfig cached = plain;
+    cached.cache = &tc;
+    service::TranscodeService cold_service(cached, corpus);
+    const service::ServiceResult cold = cold_service.run(workload);
+
+    std::vector<service::ServiceRequest> replayed = workload;
+    for (service::ServiceRequest &req : replayed)
+        req.id += 100;
+    service::TranscodeService warm_service(cached, corpus);
+    const service::ServiceResult warm = warm_service.run(replayed);
+
+    bool ok = baseline.completed == workload.size() &&
+        cold.completed == workload.size() &&
+        warm.completed == workload.size();
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: byte-identity runs incomplete\n");
+        return false;
+    }
+    const uint64_t warm_hits = warm.cache_stats.hits;
+    if (warm_hits == 0 || warm.cache_stats.misses != cold.cache_stats.misses) {
+        std::fprintf(stderr,
+                     "FAIL: warm pass not served from cache "
+                     "(%llu hits)\n",
+                     static_cast<unsigned long long>(warm_hits));
+        ok = false;
+    }
+    for (const auto &[name, stream] : baseline.outputs) {
+        const auto cold_it = cold.outputs.find(name);
+        if (cold_it == cold.outputs.end() ||
+            cold_it->second != stream) {
+            std::fprintf(stderr,
+                         "FAIL: cold cache output %s differs from "
+                         "cache-off\n",
+                         name.c_str());
+            ok = false;
+        }
+        const size_t dot = name.find('.');
+        const std::string warm_name =
+            std::to_string(std::stoull(name.substr(0, dot)) + 100) +
+            name.substr(dot);
+        const auto warm_it = warm.outputs.find(warm_name);
+        if (warm_it == warm.outputs.end() ||
+            warm_it->second != stream) {
+            std::fprintf(stderr,
+                         "FAIL: warm cache output %s differs from "
+                         "cache-off\n",
+                         warm_name.c_str());
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("byte-identity: cache-off == cold == warm over "
+                    "%zu outputs (%llu warm hits)\n",
+                    baseline.outputs.size(),
+                    static_cast<unsigned long long>(warm_hits));
+    return ok;
+}
+
+bool
+statsEqual(const cache::CacheStats &a, const cache::CacheStats &b)
+{
+    return a.lookups == b.lookups && a.hits == b.hits &&
+        a.misses == b.misses && a.inserts == b.inserts &&
+        a.admitted == b.admitted && a.rejected == b.rejected &&
+        a.evictions == b.evictions &&
+        a.resident_bytes == b.resident_bytes &&
+        a.storage_dollars == b.storage_dollars &&
+        a.compute_dollars == b.compute_dollars &&
+        a.saved_dollars == b.saved_dollars;
+}
+
+/**
+ * Gate for check.sh. The economics are pinned (skew 1.3, tau a sixth
+ * of the window, rent calibrated at half a re-encode per tau) so the
+ * comparison is the policy's to win: always_store drowns in tail
+ * rent, always_recompute re-pays the head, cost_aware must land
+ * strictly below both on Popular.
+ */
+int
+runSmoke(uint64_t seed)
+{
+    const double kWindowS = 12.0;
+    const double kTauS = 2.0;
+    const double kRentMultiple = 0.7;
+    const double kPopularS = 1.6;
+
+    const service::Corpus corpus =
+        service::buildCorpus(corpusSpecs(true), 8, 4);
+    size_t failures = 0;
+    const std::vector<ChainProfile> chains =
+        profileChains(corpus, &failures);
+    if (failures > 0) {
+        std::fprintf(stderr, "FAIL: %zu segments failed to profile\n",
+                     failures);
+        return 1;
+    }
+    const double price =
+        calibrateStoragePrice(chains, kTauS, kRentMultiple);
+    std::printf("profiled %zu chains; storage price $%.4f/GB-hour "
+                "(tau %.1fs, window %.1fs)\n",
+                chains.size(), price, kTauS, kWindowS);
+
+    bool ok = checkServiceByteIdentity(corpus);
+
+    const std::vector<ScenarioShape> shapes = smokeShapes(kPopularS);
+    // [scenario][policy]
+    std::vector<std::vector<cache::CacheStats>> table;
+    for (size_t s = 0; s < shapes.size(); ++s) {
+        const std::vector<Arrival> arrivals =
+            makeArrivals(shapes[s].requests, chains.size(),
+                         shapes[s].zipf_s, kWindowS, seed + 1000 * s);
+        std::vector<cache::CacheStats> row;
+        for (int p = 0; p < cache::kNumCachePolicies; ++p)
+            row.push_back(replay(
+                chains, arrivals, kWindowS,
+                policyConfig(static_cast<cache::CachePolicy>(p),
+                             64ull << 20, price, kTauS)));
+        std::printf("\n== %s (%zu requests, zipf s=%.1f) ==\n",
+                    kScenarioNames[s], shapes[s].requests,
+                    shapes[s].zipf_s);
+        printPolicyTable(row);
+
+        // Determinism: the same seed must reproduce cost_aware's
+        // stats bit for bit.
+        const cache::CacheStats again = replay(
+            chains, arrivals, kWindowS,
+            policyConfig(cache::CachePolicy::CostAware, 64ull << 20,
+                         price, kTauS));
+        if (!statsEqual(
+                again,
+                row[static_cast<size_t>(
+                    cache::CachePolicy::CostAware)])) {
+            std::fprintf(stderr, "FAIL: %s replay not deterministic\n",
+                         kScenarioNames[s]);
+            ok = false;
+        }
+        table.push_back(std::move(row));
+    }
+
+    const auto policyStat = [&](size_t s, cache::CachePolicy p)
+        -> const cache::CacheStats & {
+        return table[s][static_cast<size_t>(p)];
+    };
+    const cache::CacheStats &pop_aware =
+        policyStat(0, cache::CachePolicy::CostAware);
+    const cache::CacheStats &pop_store =
+        policyStat(0, cache::CachePolicy::AlwaysStore);
+    const cache::CacheStats &pop_rec =
+        policyStat(0, cache::CachePolicy::AlwaysRecompute);
+    if (pop_aware.hits == 0) {
+        std::fprintf(stderr, "FAIL: Popular cost_aware had no hits\n");
+        ok = false;
+    }
+    if (!(pop_aware.totalDollars() < pop_store.totalDollars() &&
+          pop_aware.totalDollars() < pop_rec.totalDollars())) {
+        std::fprintf(stderr,
+                     "FAIL: Popular cost_aware $%.7f not strictly "
+                     "below always_store $%.7f and always_recompute "
+                     "$%.7f\n",
+                     pop_aware.totalDollars(),
+                     pop_store.totalDollars(), pop_rec.totalDollars());
+        ok = false;
+    }
+    double sum_aware = 0, sum_store = 0, sum_rec = 0;
+    for (size_t s = 0; s < table.size(); ++s) {
+        sum_aware +=
+            policyStat(s, cache::CachePolicy::CostAware).totalDollars();
+        sum_store += policyStat(s, cache::CachePolicy::AlwaysStore)
+                         .totalDollars();
+        sum_rec += policyStat(s, cache::CachePolicy::AlwaysRecompute)
+                       .totalDollars();
+    }
+    if (sum_aware > sum_store || sum_aware > sum_rec) {
+        std::fprintf(stderr,
+                     "FAIL: overall cost_aware $%.7f above a naive "
+                     "baseline (store $%.7f, recompute $%.7f)\n",
+                     sum_aware, sum_store, sum_rec);
+        ok = false;
+    }
+    std::printf("\ncache smoke: %s (Popular cost_aware $%.7f vs "
+                "always_store $%.7f, always_recompute $%.7f; "
+                "overall $%.7f vs $%.7f / $%.7f)\n",
+                ok ? "ok" : "FAILED", pop_aware.totalDollars(),
+                pop_store.totalDollars(), pop_rec.totalDollars(),
+                sum_aware, sum_store, sum_rec);
+    return ok ? 0 : 1;
+}
+
+int
+writeJson(const std::string &path, uint64_t seed, double price,
+          double tau_s, double window_s,
+          const std::vector<double> &skews,
+          const std::vector<size_t> &capacities,
+          const std::vector<std::vector<std::vector<cache::CacheStats>>>
+              &sweep)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{%s\"seed\":%llu,\"storage_gb_hour\":%.6f,"
+                 "\"tau_s\":%.2f,\"window_s\":%.2f,\"sweeps\":[",
+                 bench::jsonMetaFields().c_str(),
+                 static_cast<unsigned long long>(seed), price, tau_s,
+                 window_s);
+    for (size_t z = 0; z < skews.size(); ++z) {
+        std::fprintf(f, "%s{\"zipf_s\":%.2f,\"capacities\":[",
+                     z ? "," : "", skews[z]);
+        for (size_t c = 0; c < capacities.size(); ++c) {
+            std::fprintf(f, "%s{\"bytes\":%zu,\"policies\":[",
+                         c ? "," : "", capacities[c]);
+            for (int p = 0; p < cache::kNumCachePolicies; ++p) {
+                const cache::CacheStats &s =
+                    sweep[z][c][static_cast<size_t>(p)];
+                std::fprintf(
+                    f,
+                    "%s{\"name\":\"%s\",\"lookups\":%llu,"
+                    "\"hits\":%llu,\"hit_rate\":%.4f,"
+                    "\"resident_bytes\":%llu,\"evictions\":%llu,"
+                    "\"storage_dollars\":%.8f,"
+                    "\"compute_dollars\":%.8f,"
+                    "\"saved_dollars\":%.8f,\"total_dollars\":%.8f}",
+                    p ? "," : "",
+                    cache::policyName(
+                        static_cast<cache::CachePolicy>(p)),
+                    static_cast<unsigned long long>(s.lookups),
+                    static_cast<unsigned long long>(s.hits),
+                    s.hitRate(),
+                    static_cast<unsigned long long>(s.resident_bytes),
+                    static_cast<unsigned long long>(s.evictions),
+                    s.storage_dollars, s.compute_dollars,
+                    s.saved_dollars, s.totalDollars());
+            }
+            std::fprintf(f, "]}");
+        }
+        std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+int
+runFull(const std::string &json_path, uint64_t seed)
+{
+    bench::printHeader(
+        "transcode output cache: store vs recompute economics",
+        "popular-content reuse: storage rent vs re-encode dollars "
+        "under Zipf demand");
+
+    const double kWindowS = 12.0;
+    const double kTauS = 2.0;
+    const core::RuntimeConfig &env = core::runtimeConfig();
+
+    const int segment_frames = service::segmentFramesFromEnv(4);
+    const service::Corpus corpus =
+        service::buildCorpus(corpusSpecs(false), 16, segment_frames);
+    size_t failures = 0;
+    const std::vector<ChainProfile> chains =
+        profileChains(corpus, &failures);
+    if (failures > 0)
+        std::fprintf(stderr, "warning: %zu segments failed to profile "
+                             "(skipped)\n",
+                     failures);
+    const double price = env.cache_gb_hour > 0
+        ? env.cache_gb_hour
+        : calibrateStoragePrice(chains, kTauS, 0.5);
+    std::printf("profiled %zu chains; storage price $%.4f/GB-hour%s "
+                "(tau %.1fs, window %.1fs)\n\n",
+                chains.size(), price,
+                env.cache_gb_hour > 0 ? " (VBENCH_CACHE_GB_HOUR)" : "",
+                kTauS, kWindowS);
+
+    const std::vector<double> skews = env.zipf_s > 0
+        ? std::vector<double>{env.zipf_s}
+        : std::vector<double>{0.6, 1.0, 1.4};
+    std::vector<size_t> capacities;
+    if (env.cache_mb > 0) {
+        capacities.push_back(
+            static_cast<size_t>(env.cache_mb * (1 << 20)));
+    } else {
+        // Small enough that eviction quality shows, plus an ample
+        // ceiling where only admission economics differ.
+        capacities = {32ull << 10, 256ull << 10, 64ull << 20};
+    }
+
+    std::vector<std::vector<std::vector<cache::CacheStats>>> sweep;
+    for (const double s : skews) {
+        const std::vector<Arrival> arrivals = makeArrivals(
+            60, chains.size(), s, kWindowS, seed);
+        std::vector<std::vector<cache::CacheStats>> by_capacity;
+        for (const size_t capacity : capacities) {
+            std::vector<cache::CacheStats> row;
+            for (int p = 0; p < cache::kNumCachePolicies; ++p)
+                row.push_back(replay(
+                    chains, arrivals, kWindowS,
+                    policyConfig(static_cast<cache::CachePolicy>(p),
+                                 capacity, price, kTauS)));
+            std::printf("== zipf s=%.2f, capacity %zu KB ==\n", s,
+                        capacity >> 10);
+            printPolicyTable(row);
+            std::printf("\n");
+            by_capacity.push_back(std::move(row));
+        }
+        sweep.push_back(std::move(by_capacity));
+    }
+    return writeJson(json_path, seed, price, kTauS, kWindowS, skews,
+                     capacities, sweep);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_cache.json";
+    uint64_t seed = 40;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            char *end = nullptr;
+            seed = std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "--seed wants an integer, got "
+                                     "%s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--seed N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    return smoke ? runSmoke(seed) : runFull(json_path, seed);
+}

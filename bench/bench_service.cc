@@ -7,12 +7,17 @@
  * rate — as a table and as BENCH_service.json.
  *
  * Environment knobs: VBENCH_ARRIVAL_RATE (requests/second),
- * VBENCH_SEGMENT_FRAMES (frames per segment), VBENCH_JOBS (workers).
+ * VBENCH_SEGMENT_FRAMES (frames per segment), VBENCH_ZIPF_S (workload
+ * popularity skew), VBENCH_JOBS (workers).
  * Setting VBENCH_FLEET routes every segment through the modeled
  * heterogeneous fleet (docs/FLEET.md): VBENCH_FLEET_POLICY picks the
  * placement policy, VBENCH_FLEET_CALIB names the perf-model cache
  * (empty keeps the stock model), and the SLA scorecard grows $/stream
  * columns plus the `service.fleet` run report.
+ * Setting VBENCH_CACHE_MB attaches the transcode output cache
+ * (docs/CACHE.md): VBENCH_CACHE_POLICY picks the store-vs-recompute
+ * policy, VBENCH_CACHE_GB_HOUR the storage price, and the scorecard
+ * grows a cache line plus the `service.cache` run report.
  *
  *   --seed N  workload base seed (default 40): the same seed replays
  *             the same arrival sequence, for reproducible runs
@@ -25,6 +30,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/cache.h"
 #include "core/runtime_config.h"
 #include "core/scenario.h"
 #include "fleet/calibrate.h"
@@ -153,6 +160,29 @@ fleetFromEnv(const core::RuntimeConfig &env)
     return setup;
 }
 
+/**
+ * Build the transcode output cache from the environment. Unset/zero
+ * VBENCH_CACHE_MB means no cache; the policy and storage price knobs
+ * were already validated by core::RuntimeConfig.
+ */
+std::unique_ptr<cache::TranscodeCache>
+cacheFromEnv(const core::RuntimeConfig &env)
+{
+    if (!(env.cache_mb > 0))
+        return nullptr;
+    cache::CacheConfig cc;
+    cc.capacity_bytes =
+        static_cast<size_t>(env.cache_mb * (1 << 20));
+    if (!env.cache_policy.empty())
+        cc.policy = *cache::parseCachePolicyName(env.cache_policy);
+    if (env.cache_gb_hour > 0)
+        cc.storage_dollars_per_gb_hour = env.cache_gb_hour;
+    std::printf("cache: %.1f MB, %s policy, $%.3f/GB-hour\n",
+                env.cache_mb, cache::policyName(cc.policy),
+                cc.storage_dollars_per_gb_hour);
+    return std::make_unique<cache::TranscodeCache>(cc);
+}
+
 void
 printScorecard(const service::SlaReport &sla)
 {
@@ -189,6 +219,18 @@ printScorecard(const service::SlaReport &sla)
                 sla.overall_goodput_mpix_s, sla.wall_seconds);
     if (sla.total_cost_dollars > 0)
         std::printf("fleet cost: $%.6f total\n", sla.total_cost_dollars);
+    if (sla.cache_enabled)
+        std::printf("cache: %.1f%% hit rate (%llu hits / %llu misses), "
+                    "%llu bytes resident, $%.6f storage + $%.6f "
+                    "compute = $%.6f total ($%.6f saved)\n",
+                    100.0 * sla.cache_hit_rate,
+                    static_cast<unsigned long long>(sla.cache_hits),
+                    static_cast<unsigned long long>(sla.cache_misses),
+                    static_cast<unsigned long long>(
+                        sla.cache_resident_bytes),
+                    sla.cache_storage_dollars,
+                    sla.cache_compute_dollars, sla.cache_total_dollars,
+                    sla.cache_saved_dollars);
 }
 
 int
@@ -224,7 +266,7 @@ writeJson(const std::string &path, const service::ServiceResult &result)
         "],\"overall\":{\"requests\":%llu,\"dropped\":%llu,"
         "\"segments\":%llu,\"hit_rate\":%.4f,\"goodput_mpix_s\":%.4f,"
         "\"stitched_rungs\":%llu,\"stitch_failures\":%llu,"
-        "\"cost_dollars\":%.8f}}\n",
+        "\"cost_dollars\":%.8f}",
         static_cast<unsigned long long>(sla.total_requests),
         static_cast<unsigned long long>(sla.total_dropped),
         static_cast<unsigned long long>(sla.total_segments),
@@ -232,6 +274,20 @@ writeJson(const std::string &path, const service::ServiceResult &result)
         static_cast<unsigned long long>(result.stitched_rungs),
         static_cast<unsigned long long>(result.stitch_failures),
         sla.total_cost_dollars);
+    if (sla.cache_enabled)
+        std::fprintf(
+            f,
+            ",\"cache\":{\"hits\":%llu,\"misses\":%llu,"
+            "\"hit_rate\":%.4f,\"resident_bytes\":%llu,"
+            "\"storage_dollars\":%.8f,\"compute_dollars\":%.8f,"
+            "\"saved_dollars\":%.8f,\"total_dollars\":%.8f}",
+            static_cast<unsigned long long>(sla.cache_hits),
+            static_cast<unsigned long long>(sla.cache_misses),
+            sla.cache_hit_rate,
+            static_cast<unsigned long long>(sla.cache_resident_bytes),
+            sla.cache_storage_dollars, sla.cache_compute_dollars,
+            sla.cache_saved_dollars, sla.cache_total_dollars);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return 0;
@@ -239,7 +295,8 @@ writeJson(const std::string &path, const service::ServiceResult &result)
 
 int
 runFull(const std::string &json_path, uint64_t seed,
-        const FleetSetup *fleet_setup)
+        const FleetSetup *fleet_setup,
+        cache::TranscodeCache *output_cache)
 {
     bench::printHeader(
         "transcoding service under open-loop load (split-and-stitch)",
@@ -269,6 +326,7 @@ runFull(const std::string &json_path, uint64_t seed,
         config.fleet = &fleet_setup->config;
         config.fleet_model = &fleet_setup->model;
     }
+    config.cache = output_cache;
     service::TranscodeService svc(config, corpus);
     const service::ServiceResult result = svc.run(workload);
 
@@ -301,10 +359,14 @@ checkObservability(const service::ServiceResult &result,
                    const obs::MetricsRegistry &metrics)
 {
     bool ok = true;
-    const std::vector<std::string> expected_gauges = {
+    std::vector<std::string> expected_gauges = {
         "service.queue_depth",       "service.inflight_jobs",
         "service.worker_utilization", "service.shed_requests",
         "service.frame_threads_clamped"};
+    if (result.sla.cache_enabled) {
+        expected_gauges.push_back("service.cache_hit_rate");
+        expected_gauges.push_back("service.cache_resident_bytes");
+    }
     for (const std::string &name : expected_gauges) {
         size_t points = 0;
         for (const obs::TelemetrySeries &s : result.telemetry)
@@ -370,7 +432,8 @@ checkObservability(const service::ServiceResult &result,
 
 /** Gate for check.sh: small run that must hit its generous SLAs. */
 int
-runSmoke(uint64_t seed, const FleetSetup *fleet_setup)
+runSmoke(uint64_t seed, const FleetSetup *fleet_setup,
+         cache::TranscodeCache *output_cache)
 {
     const double kMinHitRate = 0.9;
     const service::Corpus corpus =
@@ -387,6 +450,7 @@ runSmoke(uint64_t seed, const FleetSetup *fleet_setup)
         config.fleet = &fleet_setup->config;
         config.fleet_model = &fleet_setup->model;
     }
+    config.cache = output_cache;
     // Own sinks so the smoke can inspect what the run recorded; the
     // tracer merges into the process-wide one afterwards so a
     // VBENCH_TRACE file still carries the request trees.
@@ -467,6 +531,9 @@ main(int argc, char **argv)
         fleetFromEnv(core::runtimeConfig());
     const FleetSetup *fleet_ptr =
         fleet_setup ? &*fleet_setup : nullptr;
-    return smoke ? runSmoke(seed, fleet_ptr)
-                 : runFull(json_path, seed, fleet_ptr);
+    const std::unique_ptr<cache::TranscodeCache> output_cache =
+        cacheFromEnv(core::runtimeConfig());
+    return smoke ? runSmoke(seed, fleet_ptr, output_cache.get())
+                 : runFull(json_path, seed, fleet_ptr,
+                           output_cache.get());
 }

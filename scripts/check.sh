@@ -44,21 +44,33 @@ echo "== fleet smoke (bench_fleet --smoke) =="
 # strictly beating both baselines on the Popular ladder.
 "$build/bench/bench_fleet" --smoke
 
+echo "== cache smoke (bench_cache --smoke) =="
+# Asserts the replay is deterministic in the seed, delivered bytes are
+# identical with the cache off/cold/warm, Popular gets a non-zero hit
+# rate, and cost_aware strictly undercuts always_store AND
+# always_recompute on Popular dollars.
+"$build/bench/bench_cache" --smoke --seed 40
+
 echo "== observability schema gate (traced fleet smoke + obs_lint) =="
 obs_dir="$build/obs-gate"
 mkdir -p "$obs_dir"
 rm -f "$obs_dir/trace.json" "$obs_dir/reports.jsonl" "$obs_dir/prom.txt"
-# VBENCH_FLEET routes the smoke through the modeled fleet so the
-# reports include a service.fleet record for obs_lint's schema check.
+# VBENCH_FLEET routes the smoke through the modeled fleet and
+# VBENCH_CACHE_MB attaches the output cache, so the reports include
+# both a service.fleet and a service.cache record for obs_lint's
+# schema checks.
 VBENCH_TRACE="$obs_dir/trace.json" \
 VBENCH_METRICS_OUT="$obs_dir/reports.jsonl" \
 VBENCH_PROM_OUT="$obs_dir/prom.txt" \
 VBENCH_FLEET="scalar:4@0.40+sse2:2@0.90+avx2:2@1.60+hwenc:1@5.00" \
 VBENCH_FLEET_CALIB="$obs_dir/fleet-calib.txt" \
+VBENCH_CACHE_MB=64 \
+VBENCH_CACHE_POLICY=always_store \
     "$build/bench/bench_service" --smoke >/dev/null
 "$build/tools/obs_lint" \
     --trace "$obs_dir/trace.json" \
     --require-fleet \
+    --require-cache \
     --report "$obs_dir/reports.jsonl" \
     --prom "$obs_dir/prom.txt"
 

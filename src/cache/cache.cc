@@ -1,0 +1,354 @@
+#include "cache/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+namespace vbench::cache {
+
+std::string
+CacheKey::toString() const
+{
+    char buf[2 + 16 + 16 + 1];
+    std::snprintf(buf, sizeof buf, "k%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+KeyBuilder &
+KeyBuilder::f64(double v)
+{
+    // Canonicalize the one value with two bit patterns so +0.0 and
+    // -0.0 (numerically equal everywhere in the encoder) key alike.
+    if (v == 0.0)
+        v = 0.0;
+    return u64(std::bit_cast<uint64_t>(v));
+}
+
+KeyBuilder &
+KeyBuilder::str(std::string_view s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    for (const char c : s)
+        feed(static_cast<uint8_t>(c));
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::bytes(const codec::ByteBuffer &b)
+{
+    u32(static_cast<uint32_t>(b.size()));
+    for (const uint8_t byte : b)
+        feed(byte);
+    return *this;
+}
+
+uint64_t
+KeyBuilder::finalizeA() const
+{
+    // fmix64 avalanche so short inputs still spread over the lane.
+    uint64_t h = a_;
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ull;
+    h ^= h >> 33;
+    return h;
+}
+
+uint64_t
+KeyBuilder::finalizeB() const
+{
+    uint64_t h = b_;
+    h ^= h >> 31;
+    h *= 0x7FB5D329728EA185ull;
+    h ^= h >> 27;
+    h *= 0x81DADEF4BC2DD44Dull;
+    h ^= h >> 33;
+    return h;
+}
+
+const char *
+policyName(CachePolicy policy)
+{
+    switch (policy) {
+      case CachePolicy::Lru: return "lru";
+      case CachePolicy::AlwaysStore: return "always_store";
+      case CachePolicy::AlwaysRecompute: return "always_recompute";
+      case CachePolicy::CostAware: return "cost_aware";
+    }
+    return "unknown";
+}
+
+std::optional<CachePolicy>
+parseCachePolicyName(std::string_view name)
+{
+    if (name == "lru")
+        return CachePolicy::Lru;
+    if (name == "always_store")
+        return CachePolicy::AlwaysStore;
+    if (name == "always_recompute")
+        return CachePolicy::AlwaysRecompute;
+    if (name == "cost_aware")
+        return CachePolicy::CostAware;
+    return std::nullopt;
+}
+
+TranscodeCache::TranscodeCache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config_.popularity_tau_s <= 0)
+        config_.popularity_tau_s = 60.0;
+    if (config_.ghost_capacity == 0)
+        config_.ghost_capacity = 1;
+}
+
+double
+TranscodeCache::reencodeDollars(double encode_seconds) const
+{
+    // Measured native seconds -> scalar-tier work -> modeled seconds
+    // on the compute tier (no dispatch overhead: the re-encode is the
+    // marginal cost the cache avoids) -> dollars.
+    const double native_speed = config_.model.tier_speed[static_cast<
+        size_t>(config_.model.native_tier)];
+    const double work_scalar_s =
+        std::max(0.0, encode_seconds) * native_speed;
+    const double exec_s =
+        config_.model.execSeconds(config_.compute_tier, work_scalar_s,
+                                  /*overhead_ms=*/0.0);
+    return exec_s * config_.compute_price_per_hour / 3600.0;
+}
+
+double
+TranscodeCache::rentRatePerSecond(size_t bytes) const
+{
+    return static_cast<double>(bytes) / 1e9 *
+        config_.storage_dollars_per_gb_hour / 3600.0;
+}
+
+void
+TranscodeCache::accrueStorage(double now_s)
+{
+    // Monotonic high-water clock: a caller restarting its run clock
+    // (now < clock_s_) freezes accrual instead of rewinding it.
+    if (now_s > clock_s_) {
+        stats_.storage_dollars +=
+            rentRatePerSecond(stats_.resident_bytes) *
+            (now_s - clock_s_);
+        clock_s_ = now_s;
+    }
+}
+
+double
+TranscodeCache::decayedPopularity(double pop, double last_s,
+                                  double now_s) const
+{
+    const double dt = now_s - last_s;
+    if (dt <= 0)
+        return pop;
+    return pop * std::exp(-dt / config_.popularity_tau_s);
+}
+
+double
+TranscodeCache::netValueRate(const Entry &e, double now_s) const
+{
+    const double pop =
+        decayedPopularity(e.popularity, e.last_touch_s, now_s);
+    const double hit_rate_hz = pop / config_.popularity_tau_s;
+    return hit_rate_hz * e.reencode_dollars -
+        rentRatePerSecond(e.bytes);
+}
+
+std::optional<CachedSegment>
+TranscodeCache::lookup(const CacheKey &key, double now_s)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    accrueStorage(now_s);
+    ++stats_.lookups;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        Entry &e = it->second;
+        e.popularity =
+            decayedPopularity(e.popularity, e.last_touch_s, now_s) + 1.0;
+        e.last_touch_s = now_s;
+        e.use_seq = ++seq_;
+        ++stats_.hits;
+        stats_.saved_dollars += e.reencode_dollars;
+        return e.segment;
+    }
+    ++stats_.misses;
+    touchGhost(key, now_s);
+    return std::nullopt;
+}
+
+void
+TranscodeCache::insert(const CacheKey &key, CachedSegment segment,
+                       double now_s)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    accrueStorage(now_s);
+    ++stats_.inserts;
+    const double reencode = reencodeDollars(segment.encode_seconds);
+    // The miss that produced this insert just paid for an encode,
+    // whatever the policy decides about storing it.
+    stats_.compute_dollars += reencode;
+    if (entries_.find(key) != entries_.end())
+        return;  // already resident (concurrent identical misses)
+    if (config_.policy == CachePolicy::AlwaysRecompute) {
+        ++stats_.rejected;
+        return;
+    }
+    const size_t bytes = segment.stream.size();
+    if (bytes == 0 || bytes > config_.capacity_bytes) {
+        ++stats_.rejected;
+        return;
+    }
+
+    // The key's popularity record: this miss was already counted by
+    // lookup()'s ghost touch, so a first-touch key sits at ~1.
+    double pop = 1.0;
+    if (const auto g = ghosts_.find(key); g != ghosts_.end())
+        pop = decayedPopularity(g->second.popularity,
+                                g->second.last_touch_s, now_s);
+
+    if (config_.policy == CachePolicy::CostAware) {
+        const double savings_rate =
+            pop / config_.popularity_tau_s * reencode;
+        if (pop < config_.admit_min_popularity ||
+            savings_rate < rentRatePerSecond(bytes)) {
+            ++stats_.rejected;
+            return;
+        }
+    }
+
+    Entry e;
+    e.bytes = bytes;
+    e.reencode_dollars = reencode;
+    e.popularity = pop;
+    e.last_touch_s = now_s;
+    e.use_seq = ++seq_;
+    e.segment = std::move(segment);
+    ghosts_.erase(key);
+    stats_.resident_bytes += bytes;
+    ++stats_.resident_entries;
+    ++stats_.admitted;
+    entries_.emplace(key, std::move(e));
+    evictOver(now_s);
+}
+
+void
+TranscodeCache::sweep(double now_s)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    accrueStorage(now_s);
+    if (config_.policy != CachePolicy::CostAware)
+        return;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (netValueRate(it->second, now_s) < 0) {
+            ++stats_.evictions;
+            auto doomed = it++;
+            dropEntry(doomed);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+TranscodeCache::evictOver(double now_s)
+{
+    while (stats_.resident_bytes > config_.capacity_bytes &&
+           !entries_.empty()) {
+        // Victim: LRU-family policies evict the least recently used;
+        // CostAware evicts the lowest net dollar value per second
+        // (ties to the older entry so eviction stays deterministic).
+        auto victim = entries_.begin();
+        if (config_.policy == CachePolicy::CostAware) {
+            double worst = std::numeric_limits<double>::infinity();
+            for (auto it = entries_.begin(); it != entries_.end();
+                 ++it) {
+                const double v = netValueRate(it->second, now_s);
+                if (v < worst ||
+                    (v == worst &&
+                     it->second.use_seq < victim->second.use_seq)) {
+                    worst = v;
+                    victim = it;
+                }
+            }
+        } else {
+            for (auto it = entries_.begin(); it != entries_.end(); ++it)
+                if (it->second.use_seq < victim->second.use_seq)
+                    victim = it;
+        }
+        ++stats_.evictions;
+        dropEntry(victim);
+    }
+}
+
+void
+TranscodeCache::dropEntry(
+    std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it)
+{
+    // Keep the popularity memory: an evicted head key can re-admit on
+    // its next encounter without starting cold.
+    Ghost g;
+    g.popularity = it->second.popularity;
+    g.last_touch_s = it->second.last_touch_s;
+    g.use_seq = it->second.use_seq;
+    stats_.resident_bytes -= it->second.bytes;
+    --stats_.resident_entries;
+    ghosts_[it->first] = g;
+    entries_.erase(it);
+    trimGhosts();
+}
+
+void
+TranscodeCache::touchGhost(const CacheKey &key, double now_s)
+{
+    Ghost &g = ghosts_[key];
+    g.popularity =
+        decayedPopularity(g.popularity, g.last_touch_s, now_s) + 1.0;
+    g.last_touch_s = now_s;
+    g.use_seq = ++seq_;
+    trimGhosts();
+}
+
+void
+TranscodeCache::trimGhosts()
+{
+    while (ghosts_.size() > config_.ghost_capacity) {
+        auto oldest = ghosts_.begin();
+        for (auto it = ghosts_.begin(); it != ghosts_.end(); ++it)
+            if (it->second.use_seq < oldest->second.use_seq)
+                oldest = it;
+        ghosts_.erase(oldest);
+    }
+}
+
+CacheStats
+TranscodeCache::stats(double now_s)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    accrueStorage(now_s);
+    return stats_;
+}
+
+uint64_t
+TranscodeCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return stats_.resident_bytes;
+}
+
+double
+TranscodeCache::hitRate() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return stats_.hitRate();
+}
+
+} // namespace vbench::cache

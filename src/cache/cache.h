@@ -1,0 +1,290 @@
+#pragma once
+
+/**
+ * @file
+ * Transcode output cache with a store-vs-recompute dollar policy
+ * (docs/CACHE.md). Zipf popularity means the Popular scenario
+ * re-encodes the same head-of-distribution segments over and over; a
+ * bounded cache keyed on the *canonical transcode identity* — input
+ * bytes, segment index, encode parameters, and the rc_in carry — turns
+ * those repeats into byte-for-byte free hits. A hit returns the stored
+ * bitstream plus its RcSnapshot out-state, so a chained rung continues
+ * from a cached segment exactly as it would from a fresh encode and
+ * the service stays byte-identical with the cache on or off.
+ *
+ * Beyond plain LRU, the CostAware policy prices every decision: an
+ * entry is worth keeping only while its expected re-encode savings
+ * (EWMA-decayed popularity × the fleet::PerfModel re-encode dollars)
+ * exceed its storage rent (bytes × $/GB-hour). Admission uses the same
+ * arithmetic over "ghost" popularity records of non-resident keys, so
+ * one-off tail content is recomputed instead of paying rent — per
+ * entry, hence per rung of a ladder.
+ *
+ * All time-dependent operations take an explicit `now_s` so benches
+ * can drive the cache on simulated workload time (deterministic under
+ * a seed); the service passes its run clock. Thread-safe: one mutex,
+ * and the gauge accessors (hitRate, residentBytes) are safe to call
+ * from the telemetry sampler thread.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "codec/ratecontrol.h"
+#include "codec/types.h"
+#include "fleet/types.h"
+
+namespace vbench::cache {
+
+/**
+ * 128-bit content digest: two independently mixed 64-bit lanes over
+ * the same canonical byte stream (KeyBuilder). Collisions would
+ * silently alias transcodes, so the key is wide on purpose.
+ */
+struct CacheKey {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool operator==(const CacheKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const CacheKey &o) const { return !(*this == o); }
+
+    /** "k<hex hi><hex lo>" for logs and reports. */
+    std::string toString() const;
+};
+
+struct CacheKeyHash {
+    size_t operator()(const CacheKey &k) const
+    {
+        // hi and lo are already mixed; fold them.
+        return static_cast<size_t>(k.hi ^ (k.lo * 0x9E3779B97F4A7C15ull));
+    }
+};
+
+/**
+ * Incremental canonical digest. Typed appenders write a fixed-width
+ * little-endian encoding of each field into both lanes (lane A:
+ * FNV-1a; lane B: multiply-xor with a different odd constant), so the
+ * same logical fields always produce the same key regardless of caller
+ * and any field change flips it. Length-prefix blobs/strings to keep
+ * the encoding prefix-free.
+ */
+class KeyBuilder
+{
+  public:
+    KeyBuilder &u8(uint8_t v)
+    {
+        feed(v);
+        return *this;
+    }
+    KeyBuilder &u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            feed(static_cast<uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+    KeyBuilder &u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            feed(static_cast<uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+    KeyBuilder &i32(int32_t v) { return u32(static_cast<uint32_t>(v)); }
+    KeyBuilder &f64(double v);
+    KeyBuilder &boolean(bool v) { return u8(v ? 1 : 0); }
+    KeyBuilder &str(std::string_view s);
+    KeyBuilder &bytes(const codec::ByteBuffer &b);
+
+    CacheKey finish() const { return {finalizeA(), finalizeB()}; }
+
+  private:
+    void feed(uint8_t byte)
+    {
+        a_ = (a_ ^ byte) * 0x100000001B3ull;          // FNV-1a 64
+        b_ = (b_ ^ byte) * 0x9E3779B97F4A7C15ull;     // golden-ratio mix
+        b_ ^= b_ >> 29;
+    }
+    uint64_t finalizeA() const;
+    uint64_t finalizeB() const;
+
+    uint64_t a_ = 0xCBF29CE484222325ull;  // FNV offset basis
+    uint64_t b_ = 0x6C62272E07BB0142ull;
+};
+
+/** Store-vs-recompute strategies (VBENCH_CACHE_POLICY). */
+enum class CachePolicy {
+    Lru = 0,          ///< recency only, store everything that fits
+    AlwaysStore,      ///< baseline: store every output, pay all rent
+    AlwaysRecompute,  ///< baseline: never store, pay all compute
+    CostAware,        ///< keep an entry only while expected re-encode
+                      ///< savings exceed its storage rent
+};
+
+inline constexpr int kNumCachePolicies = 4;
+
+const char *policyName(CachePolicy policy);
+/** lru | always_store | always_recompute | cost_aware. */
+std::optional<CachePolicy> parseCachePolicyName(std::string_view name);
+
+/** One cached transcode output: the bytes plus the RC out-state. */
+struct CachedSegment {
+    codec::ByteBuffer stream;
+    /// Controller state after the segment — a chained rung's next
+    /// segment carries it as rc_in, identical to a fresh encode.
+    codec::RcSnapshot rc_out;
+    double psnr_db = 0;
+    double bitrate_bpps = 0;
+    double speed_mpix_s = 0;
+    /// Measured encode seconds on this host (the perf model's
+    /// native-tier bridge prices a re-encode from it).
+    double encode_seconds = 0;
+};
+
+/** Cache sizing, prices, and policy tuning. */
+struct CacheConfig {
+    size_t capacity_bytes = 64ull << 20;
+    CachePolicy policy = CachePolicy::CostAware;
+    /// Storage rent while an entry is resident (VBENCH_CACHE_GB_HOUR).
+    double storage_dollars_per_gb_hour = 0.10;
+    /// Prices a re-encode: measured native seconds -> scalar work ->
+    /// exec seconds on `compute_tier` at `compute_price_per_hour`.
+    fleet::PerfModel model;
+    fleet::Tier compute_tier = fleet::Tier::Avx2;
+    double compute_price_per_hour = 1.60;
+    /// EWMA popularity time constant, seconds: a touch decays to 1/e
+    /// weight after tau. Also the window the hit-intensity estimate
+    /// (pop / tau) is normalized over.
+    double popularity_tau_s = 60.0;
+    /// CostAware admission floor: decayed touch count a key needs
+    /// before storing pays (>1 means "seen again within ~tau").
+    double admit_min_popularity = 1.5;
+    /// Bound on ghost (non-resident) popularity records.
+    size_t ghost_capacity = 4096;
+};
+
+/** Counters and dollars; stats() snapshots them at a given now_s. */
+struct CacheStats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;    ///< insert() calls (one per encoded miss)
+    uint64_t admitted = 0;   ///< inserts the policy actually stored
+    uint64_t rejected = 0;   ///< inserts declined by policy/size
+    uint64_t evictions = 0;
+    uint64_t resident_entries = 0;
+    uint64_t resident_bytes = 0;
+    /// Rent integral: resident_bytes × $/GB-hour, accrued over time.
+    double storage_dollars = 0;
+    /// Modeled dollars for every encode the cache saw (all misses).
+    double compute_dollars = 0;
+    /// Modeled dollars hits avoided re-spending.
+    double saved_dollars = 0;
+
+    double hitRate() const
+    {
+        return lookups > 0
+            ? static_cast<double>(hits) / static_cast<double>(lookups)
+            : 0.0;
+    }
+    /// The number policies compete on: what this run actually paid.
+    double totalDollars() const
+    {
+        return storage_dollars + compute_dollars;
+    }
+};
+
+/**
+ * The bounded transcode output cache. lookup() before placing a
+ * segment; insert() after a missed segment encodes (every insert
+ * accounts the compute dollars just spent — whether the policy then
+ * stores the entry is its call).
+ */
+class TranscodeCache
+{
+  public:
+    explicit TranscodeCache(const CacheConfig &config);
+
+    /**
+     * Probe for a cached output. A hit refreshes the entry's
+     * popularity and returns a copy; a miss records ghost popularity
+     * so a CostAware re-encounter can admit. `now_s` must be
+     * non-decreasing per caller (a fresh service run restarting at 0
+     * is clamped, not an error).
+     */
+    std::optional<CachedSegment> lookup(const CacheKey &key, double now_s);
+
+    /**
+     * Offer a freshly encoded output. Always accounts the encode's
+     * modeled compute dollars (the miss already paid them); storage is
+     * policy-gated. Re-inserting a resident key refreshes nothing but
+     * the compute accounting (concurrent identical misses are benign).
+     */
+    void insert(const CacheKey &key, CachedSegment segment, double now_s);
+
+    /**
+     * CostAware retention pass: drop entries whose expected savings
+     * rate fell below their rent rate (popularity decayed). No-op for
+     * the other policies. insert() sweeps implicitly when evicting.
+     */
+    void sweep(double now_s);
+
+    /** Snapshot counters with storage rent accrued through now_s. */
+    CacheStats stats(double now_s);
+
+    /** Gauge accessors (thread-safe, no rent accrual). */
+    uint64_t residentBytes() const;
+    double hitRate() const;
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Modeled dollars to re-encode a segment measured at `encode_seconds`. */
+    double reencodeDollars(double encode_seconds) const;
+
+    /** Rent rate for an entry of `bytes`, dollars per second. */
+    double rentRatePerSecond(size_t bytes) const;
+
+  private:
+    struct Entry {
+        CachedSegment segment;
+        size_t bytes = 0;
+        double reencode_dollars = 0;
+        double popularity = 0;    ///< EWMA-decayed touch count
+        double last_touch_s = 0;
+        uint64_t use_seq = 0;     ///< LRU recency
+    };
+    struct Ghost {
+        double popularity = 0;
+        double last_touch_s = 0;
+        uint64_t use_seq = 0;
+    };
+
+    // All private helpers assume lock_ is held.
+    void accrueStorage(double now_s);
+    double decayedPopularity(double pop, double last_s,
+                             double now_s) const;
+    /// Expected savings rate minus rent rate, dollars/second.
+    double netValueRate(const Entry &e, double now_s) const;
+    void evictOver(double now_s);
+    void dropEntry(std::unordered_map<CacheKey, Entry,
+                                      CacheKeyHash>::iterator it);
+    void touchGhost(const CacheKey &key, double now_s);
+    void trimGhosts();
+
+    CacheConfig config_;
+    mutable std::mutex lock_;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+    std::unordered_map<CacheKey, Ghost, CacheKeyHash> ghosts_;
+    CacheStats stats_;
+    double clock_s_ = 0;   ///< high-water now_s for rent accrual
+    uint64_t seq_ = 0;
+};
+
+} // namespace vbench::cache

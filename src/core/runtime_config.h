@@ -11,6 +11,8 @@
  *   VBENCH_FRAME_THREADS   intra-frame wavefront width (positive int)
  *   VBENCH_SEGMENT_FRAMES  frames per service segment (positive int)
  *   VBENCH_ARRIVAL_RATE    workload arrivals/second (positive float)
+ *   VBENCH_ZIPF_S          workload Zipf popularity exponent
+ *                          (positive float; higher = more head-heavy)
  *   VBENCH_ISA             kernel ISA pin (scalar|sse2|avx2|native)
  *   VBENCH_TRACE           Chrome trace output path
  *   VBENCH_METRICS_OUT     run-report JSONL path ("-" for stdout)
@@ -18,6 +20,13 @@
  *   VBENCH_FLEET           fleet topology spec (fleet::parseFleetSpec)
  *   VBENCH_FLEET_POLICY    fleet placement policy name
  *   VBENCH_FLEET_CALIB     fleet perf-model calibration cache path
+ *   VBENCH_CACHE_MB        transcode output cache size, MB (positive
+ *                          float; unset/0 = no cache, docs/CACHE.md)
+ *   VBENCH_CACHE_POLICY    cache store-vs-recompute policy
+ *                          (lru|always_store|always_recompute|
+ *                          cost_aware)
+ *   VBENCH_CACHE_GB_HOUR   cache storage price, $/GB-hour (positive
+ *                          float; unset = the CacheConfig default)
  *
  * RuntimeConfig::fromEnv() parses and validates all of them in one
  * pass and reports every malformed value. The cached runtimeConfig()
@@ -59,6 +68,7 @@ struct RuntimeConfig {
     int frame_threads = 1;    ///< VBENCH_FRAME_THREADS; default serial
     int segment_frames = 0;   ///< VBENCH_SEGMENT_FRAMES; 0 = caller's
     double arrival_rate_hz = 0;  ///< VBENCH_ARRIVAL_RATE; 0 = caller's
+    double zipf_s = 0;        ///< VBENCH_ZIPF_S; 0 = caller's default
     std::string isa;          ///< VBENCH_ISA; empty = auto-detect
     std::string trace_path;   ///< VBENCH_TRACE; empty = tracing off
     std::string metrics_path; ///< VBENCH_METRICS_OUT; empty = off
@@ -66,6 +76,9 @@ struct RuntimeConfig {
     std::string fleet_spec;   ///< VBENCH_FLEET; empty = default fleet
     std::string fleet_policy; ///< VBENCH_FLEET_POLICY; empty = default
     std::string fleet_calib_path;  ///< VBENCH_FLEET_CALIB; empty = none
+    double cache_mb = 0;      ///< VBENCH_CACHE_MB; 0 = no cache
+    std::string cache_policy; ///< VBENCH_CACHE_POLICY; empty = default
+    double cache_gb_hour = 0; ///< VBENCH_CACHE_GB_HOUR; 0 = default
 
     static RuntimeConfig fromEnv(std::vector<std::string> *errors);
 };
@@ -136,6 +149,14 @@ knownFleetPolicyName(const std::string &value)
         value == "cost_aware";
 }
 
+/** Mirrors cache::parseCachePolicyName (no link edge to vbench_cache). */
+inline bool
+knownCachePolicyName(const std::string &value)
+{
+    return value == "lru" || value == "always_store" ||
+        value == "always_recompute" || value == "cost_aware";
+}
+
 inline const char *
 envOrEmpty(const char *name)
 {
@@ -170,6 +191,9 @@ RuntimeConfig::fromEnv(std::vector<std::string> *errors)
     if (const char *v = detail::envOrEmpty("VBENCH_ARRIVAL_RATE"); v[0])
         detail::parsePositiveDouble("VBENCH_ARRIVAL_RATE", v,
                                     &cfg.arrival_rate_hz, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_ZIPF_S"); v[0])
+        detail::parsePositiveDouble("VBENCH_ZIPF_S", v, &cfg.zipf_s,
+                                    errors);
     if (const char *v = detail::envOrEmpty("VBENCH_ISA"); v[0]) {
         cfg.isa = v;
         if (!detail::knownIsaName(cfg.isa))
@@ -193,6 +217,23 @@ RuntimeConfig::fromEnv(std::vector<std::string> *errors)
                     "cheapest|cost_aware");
     }
     cfg.fleet_calib_path = detail::envOrEmpty("VBENCH_FLEET_CALIB");
+    if (const char *v = detail::envOrEmpty("VBENCH_CACHE_MB"); v[0])
+        detail::parsePositiveDouble("VBENCH_CACHE_MB", v,
+                                    &cfg.cache_mb, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_CACHE_POLICY");
+        v[0]) {
+        cfg.cache_policy = v;
+        if (!detail::knownCachePolicyName(cfg.cache_policy))
+            detail::configError(
+                errors,
+                "VBENCH_CACHE_POLICY=" + cfg.cache_policy +
+                    " is not one of lru|always_store|"
+                    "always_recompute|cost_aware");
+    }
+    if (const char *v = detail::envOrEmpty("VBENCH_CACHE_GB_HOUR");
+        v[0])
+        detail::parsePositiveDouble("VBENCH_CACHE_GB_HOUR", v,
+                                    &cfg.cache_gb_hour, errors);
     return cfg;
 }
 

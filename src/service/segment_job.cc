@@ -232,6 +232,55 @@ SegmentJob::label() const
         std::to_string(segment_index);
 }
 
+cache::CacheKey
+SegmentJob::cacheKey() const
+{
+    cache::KeyBuilder kb;
+    kb.u32(0x76624B31u);  // "vbK1": key-schema version tag
+    kb.i32(segment_index);
+    kb.bytes(input);
+    kb.u8(static_cast<uint8_t>(params.kind));
+    kb.u8(static_cast<uint8_t>(params.rc.mode));
+    kb.i32(params.rc.qp);
+    kb.f64(params.rc.crf);
+    kb.f64(params.rc.bitrate_bps);
+    kb.f64(params.rc.fps);
+    kb.f64(params.rc.pixels_per_frame);
+    kb.i32(params.rc.min_qp);
+    kb.i32(params.rc.ip_qp_offset);
+    kb.i32(params.effort);
+    kb.i32(params.ngc_speed);
+    kb.i32(params.gop);
+    kb.i32(params.entropy_override);
+    kb.i32(params.deblock_override);
+    kb.boolean(params.tools_override.has_value());
+    if (params.tools_override) {
+        const codec::ToolPreset &t = *params.tools_override;
+        kb.u8(static_cast<uint8_t>(t.search));
+        kb.i32(t.range);
+        kb.boolean(t.subpel);
+        kb.i32(t.subpel_iters);
+        kb.boolean(t.inter8);
+        kb.i32(t.refs);
+        kb.i32(t.rdo);
+        kb.boolean(t.adaptive_quant);
+        kb.u8(static_cast<uint8_t>(t.entropy));
+        kb.boolean(t.deblock);
+        kb.i32(t.intra_modes);
+        kb.f64(t.early_skip_scale);
+        kb.boolean(t.scenecut);
+        kb.boolean(t.satd_subpel);
+    }
+    kb.i32(params.segment_frames);
+    kb.boolean(params.rc_in.has_value());
+    if (params.rc_in) {
+        kb.f64(params.rc_in->spent_bits);
+        kb.f64(params.rc_in->planned_bits);
+        kb.i32(params.rc_in->frames_done);
+    }
+    return kb.finish();
+}
+
 codec::ByteBuffer
 SegmentJob::serialize() const
 {

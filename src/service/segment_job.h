@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "cache/cache.h"
 #include "codec/types.h"
 #include "core/scenario.h"
 #include "core/transcoder.h"
@@ -61,6 +62,20 @@ struct SegmentJob {
 
     /** Scheduler/trace label: "svc.<id>.<rung>.s<k>". */
     std::string label() const;
+
+    /**
+     * Canonical transcode identity for the output cache
+     * (docs/CACHE.md): a digest over exactly the fields that determine
+     * the encoded bytes — the input stream, the segment index, the
+     * encode-parameter wire subset, and the rc_in carry. Identity
+     * fields that do NOT affect the output are excluded on purpose, so
+     * identical content hits across requests: request_id, rung display
+     * name, scenario, span ids, and frame_threads (streams are
+     * byte-identical at every wavefront width — tests/codec/
+     * test_frame_threads.cc). Host-local pass_one stats cannot be
+     * canonicalized; callers must not cache jobs that carry them.
+     */
+    cache::CacheKey cacheKey() const;
 
     codec::ByteBuffer serialize() const;
 

@@ -86,6 +86,11 @@ struct RungRun {
     /// Availability on the monotonic ns clock (the critical-path and
     /// latency origin, so components decompose without residue).
     std::vector<uint64_t> avail_ns;
+    /// Per-segment cache key, remembered at submit so the collect loop
+    /// can offer the encoded miss back (key_valid gates entries — a
+    /// segment that hit, or ran without a cache, has none).
+    std::vector<cache::CacheKey> keys;
+    std::vector<uint8_t> key_valid;
 };
 
 /** A request between admission and completion. */
@@ -216,6 +221,19 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                                            .value())
                                  : 0.0;
                          });
+        if (config_.cache) {
+            // Output-cache gauges (mutex-guarded accessors, safe from
+            // the sampler thread). Like every service gauge, the final
+            // synchronous stop() sample lands after the run drains, so
+            // the last point is the run's authoritative value.
+            cache::TranscodeCache *tc = config_.cache;
+            sampler.addGauge("service.cache_hit_rate", [tc] {
+                return tc->hitRate();
+            });
+            sampler.addGauge("service.cache_resident_bytes", [tc] {
+                return static_cast<double>(tc->residentBytes());
+            });
+        }
         if (fleet) {
             // Per-type modeled busy fraction, sampled on the fleet's
             // own clock (mutex-guarded, safe from the sampler thread).
@@ -328,6 +346,8 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                 rr.seg_spans.resize(static_cast<size_t>(ar.segments));
                 rr.tickets.resize(static_cast<size_t>(ar.segments));
                 rr.avail_ns.resize(static_cast<size_t>(ar.segments), 0);
+                rr.keys.resize(static_cast<size_t>(ar.segments));
+                rr.key_valid.resize(static_cast<size_t>(ar.segments), 0);
                 ar.rungs.push_back(std::move(rr));
             }
             active.emplace(req->id, std::move(ar));
@@ -391,6 +411,87 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                         sj.params.span;
                     rr.avail[static_cast<size_t>(k)] = avail;
                     rr.avail_ns[static_cast<size_t>(k)] = toNs(avail);
+                    // Output cache (docs/CACHE.md): probe the canonical
+                    // transcode identity before booking any compute. A
+                    // hit completes the segment right here — stream and
+                    // RC out-state byte-identical to a fresh encode —
+                    // so a chained rung's next segment can submit in
+                    // this same pass. pass_one stats are host-local and
+                    // uncacheable (never set on service jobs; guarded
+                    // anyway).
+                    if (config_.cache &&
+                        sj.params.pass_one == nullptr) {
+                        const size_t sk = static_cast<size_t>(k);
+                        const cache::CacheKey key = sj.cacheKey();
+                        std::optional<cache::CachedSegment> got =
+                            config_.cache->lookup(
+                                key, obs::nowSeconds() - t0);
+                        if (got) {
+                            const uint64_t seg_avail_ns =
+                                rr.avail_ns[sk];
+                            const uint64_t end_ns = obs::nowNs();
+                            const double done_at =
+                                static_cast<double>(end_ns - t0_ns) *
+                                1e-9;
+                            const double latency =
+                                end_ns > seg_avail_ns
+                                ? static_cast<double>(end_ns -
+                                                      seg_avail_ns) *
+                                    1e-9
+                                : 0.0;
+                            const bool hit = req.live_paced
+                                ? latency <= req.segment_deadline_s
+                                : done_at <= req.arrival_s +
+                                    req.request_deadline_s;
+                            // No queue, no encode: the whole latency
+                            // is pre-dispatch wait, so the critical
+                            // path stays a clean decomposition.
+                            obs::CriticalPath cp;
+                            cp.rc_chain_ms = latency * 1e3;
+                            scorer.recordSegment(
+                                req.scenario, latency, hit,
+                                segOriginal(clip, k)->totalPixels(),
+                                true, rr.seg_spans[sk].trace_id, cp,
+                                rr.labels[sk], 0.0, got->psnr_db,
+                                /*cache_hit=*/true);
+                            if (tracer && rr.seg_spans[sk].valid()) {
+                                const obs::SpanContext &seg =
+                                    rr.seg_spans[sk];
+                                const int32_t rtid =
+                                    obs::requestTid(req.id);
+                                const uint64_t dur_ns =
+                                    end_ns > seg_avail_ns
+                                    ? end_ns - seg_avail_ns
+                                    : 0;
+                                obs::ScopeEvent scope;
+                                scope.name = "segment " + rr.name +
+                                    ".s" + std::to_string(k);
+                                scope.span = seg;
+                                scope.tid = rtid;
+                                scope.start_ns = seg_avail_ns;
+                                scope.dur_ns = dur_ns;
+                                tracer->addScope(std::move(scope));
+                                obs::ScopeEvent hit_scope;
+                                hit_scope.name = "cache_hit " +
+                                    rr.name + ".s" +
+                                    std::to_string(k);
+                                hit_scope.span = seg.child();
+                                hit_scope.tid = rtid;
+                                hit_scope.start_ns = seg_avail_ns;
+                                hit_scope.dur_ns = dur_ns;
+                                tracer->addScope(
+                                    std::move(hit_scope));
+                            }
+                            rr.streams[sk] = std::move(got->stream);
+                            if (rr.chained)
+                                rr.carry = got->rc_out;
+                            ++rr.done;
+                            ++rr.next_submit;
+                            continue;
+                        }
+                        rr.keys[sk] = key;
+                        rr.key_valid[sk] = 1;
+                    }
                     if (fleet) {
                         fleet::JobMeta meta;
                         meta.pixels = static_cast<double>(
@@ -536,6 +637,20 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                             jr.outcome.stream;
                         if (rr.chained)
                             rr.carry = jr.outcome.rc_state;
+                        // Offer the encoded miss back; whether it is
+                        // stored is the cache policy's dollar call.
+                        if (config_.cache && rr.key_valid[sk]) {
+                            cache::CachedSegment cs;
+                            cs.stream = jr.outcome.stream;
+                            cs.rc_out = jr.outcome.rc_state;
+                            cs.psnr_db = jr.outcome.m.psnr_db;
+                            cs.bitrate_bpps = jr.outcome.m.bitrate_bpps;
+                            cs.speed_mpix_s = jr.outcome.m.speed_mpix_s;
+                            cs.encode_seconds = jr.seconds;
+                            config_.cache->insert(
+                                rr.keys[sk], std::move(cs),
+                                obs::nowSeconds() - t0);
+                        }
                     } else {
                         rr.failed = true;
                         // Unblock the chain: later segments start
@@ -627,8 +742,47 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
     sampler.stop();
     out.telemetry = sampler.snapshot();
     out.sla = scorer.report(out.wall_seconds);
+    if (config_.cache) {
+        // Snapshot with rent accrued through the end of the run; the
+        // SlaReport rollup mirrors the headline numbers so scorecards
+        // and benches read one struct.
+        out.cache_stats = config_.cache->stats(out.wall_seconds);
+        const cache::CacheStats &cs = out.cache_stats;
+        out.sla.cache_enabled = true;
+        out.sla.cache_hits = cs.hits;
+        out.sla.cache_misses = cs.misses;
+        out.sla.cache_hit_rate = cs.hitRate();
+        out.sla.cache_resident_bytes = cs.resident_bytes;
+        out.sla.cache_storage_dollars = cs.storage_dollars;
+        out.sla.cache_compute_dollars = cs.compute_dollars;
+        out.sla.cache_saved_dollars = cs.saved_dollars;
+        out.sla.cache_total_dollars = cs.totalDollars();
+    }
     if (gauge_metrics)
         scorer.exportMetrics(*gauge_metrics);
+    if (config_.cache && gauge_metrics) {
+        const cache::CacheStats &cs = out.cache_stats;
+        gauge_metrics->counter("service.cache.lookups").add(cs.lookups);
+        gauge_metrics->counter("service.cache.hits").add(cs.hits);
+        gauge_metrics->counter("service.cache.misses").add(cs.misses);
+        gauge_metrics->counter("service.cache.inserts").add(cs.inserts);
+        gauge_metrics->counter("service.cache.admitted")
+            .add(cs.admitted);
+        gauge_metrics->counter("service.cache.rejected")
+            .add(cs.rejected);
+        gauge_metrics->counter("service.cache.evictions")
+            .add(cs.evictions);
+        gauge_metrics->counter("service.cache.resident_bytes")
+            .add(cs.resident_bytes);
+        // Counters are integral; dollars export at micro-dollar
+        // resolution (same convention as service.cost_microdollars).
+        gauge_metrics->counter("service.cache.storage_microdollars")
+            .add(static_cast<uint64_t>(cs.storage_dollars * 1e6));
+        gauge_metrics->counter("service.cache.compute_microdollars")
+            .add(static_cast<uint64_t>(cs.compute_dollars * 1e6));
+        gauge_metrics->counter("service.cache.saved_microdollars")
+            .add(static_cast<uint64_t>(cs.saved_dollars * 1e6));
+    }
     scorer.emitRunReports(out.sla);
     if (fleet) {
         out.fleet_usage = fleet->typeUsage();
@@ -667,6 +821,44 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
             "policy", fleet::policyName(fleet->config().policy));
         fr.extra_str.emplace_back("model", fleet->model().source);
         core::emitRunReport(fr);
+    }
+    if (config_.cache) {
+        const cache::CacheStats &cs = out.cache_stats;
+        core::RunReport cr;
+        cr.label = "service.cache";
+        cr.backend = "service";
+        cr.seconds = out.wall_seconds;
+        cr.extra.emplace_back("lookups",
+                              static_cast<double>(cs.lookups));
+        cr.extra.emplace_back("hits", static_cast<double>(cs.hits));
+        cr.extra.emplace_back("misses",
+                              static_cast<double>(cs.misses));
+        cr.extra.emplace_back("hit_rate", cs.hitRate());
+        cr.extra.emplace_back("inserts",
+                              static_cast<double>(cs.inserts));
+        cr.extra.emplace_back("admitted",
+                              static_cast<double>(cs.admitted));
+        cr.extra.emplace_back("rejected",
+                              static_cast<double>(cs.rejected));
+        cr.extra.emplace_back("evictions",
+                              static_cast<double>(cs.evictions));
+        cr.extra.emplace_back(
+            "resident_entries",
+            static_cast<double>(cs.resident_entries));
+        cr.extra.emplace_back("resident_bytes",
+                              static_cast<double>(cs.resident_bytes));
+        cr.extra.emplace_back(
+            "capacity_bytes",
+            static_cast<double>(
+                config_.cache->config().capacity_bytes));
+        cr.extra.emplace_back("storage_dollars", cs.storage_dollars);
+        cr.extra.emplace_back("compute_dollars", cs.compute_dollars);
+        cr.extra.emplace_back("saved_dollars", cs.saved_dollars);
+        cr.extra.emplace_back("total_dollars", cs.totalDollars());
+        cr.extra_str.emplace_back(
+            "policy",
+            cache::policyName(config_.cache->config().policy));
+        core::emitRunReport(cr);
     }
     if (!out.telemetry.empty()) {
         core::RunReport tr;

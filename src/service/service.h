@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "codec/types.h"
 #include "fleet/fleet.h"
 #include "obs/metrics.h"
@@ -79,6 +80,17 @@ struct ServiceConfig {
     /// PerfModel defaults (see fleet::calibratePerfModel).
     const fleet::PerfModel *fleet_model = nullptr;
     /**
+     * Transcode output cache (docs/CACHE.md). When set, the dispatcher
+     * consults it — keyed on SegmentJob::cacheKey() — before placing a
+     * segment on the fleet/scheduler; a hit returns the stored stream
+     * and RcSnapshot out-state so chained rungs continue unchanged,
+     * and every miss's result is offered back under the cache's
+     * store-vs-recompute policy. Streams are byte-identical with the
+     * cache on or off. The cache outlives the run (the caller owns
+     * it), so a warm cache carries across runs. Null = no cache.
+     */
+    cache::TranscodeCache *cache = nullptr;
+    /**
      * Route every segment through the wire: serialize the SegmentJob
      * and execute the *deserialized* copy. Proves the message carries
      * everything a remote worker needs (tests assert the stitched
@@ -108,6 +120,9 @@ struct ServiceResult {
     std::vector<fleet::TypeUsage> fleet_usage;
     /// Total modeled fleet dollars (0 without a fleet).
     double fleet_cost_dollars = 0;
+    /// Output-cache snapshot at run end (all-zero without a cache);
+    /// the SlaReport cache_* rollup mirrors the headline numbers.
+    cache::CacheStats cache_stats;
     /// Stitched delivery streams when ServiceConfig::collect_outputs.
     std::map<std::string, codec::ByteBuffer> outputs;
 };

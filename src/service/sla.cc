@@ -36,10 +36,12 @@ SlaScorer::recordSegment(core::Scenario scenario, double latency_s,
                          bool hit, uint64_t pixels, bool ok,
                          uint64_t trace_id, const obs::CriticalPath &path,
                          const std::string &label, double cost_dollars,
-                         double psnr_db)
+                         double psnr_db, bool cache_hit)
 {
     PerScenario &s = scenarios_[static_cast<size_t>(scenario)];
     ++s.segments;
+    if (cache_hit)
+        ++s.cache_hits;
     s.cost_dollars += cost_dollars;
     s.latency_us.observe(toMicros(latency_s));
     s.queue_wait_us.observe(toMicros(path.queue_wait_ms * 1e-3));
@@ -105,6 +107,11 @@ SlaScorer::report(double wall_seconds) const
             ? static_cast<double>(s.dropped) /
                 static_cast<double>(s.requests)
             : 0.0;
+        score.cache_hits = s.cache_hits;
+        score.cache_hit_rate = s.segments > 0
+            ? static_cast<double>(s.cache_hits) /
+                static_cast<double>(s.segments)
+            : 0.0;
         // Slowest decile: everything retained at or above the p90 cut.
         // The log-bucketed histogram reports a bucket's high edge — up
         // to one sub-bucket (12.5%) above the true quantile — so take
@@ -158,6 +165,7 @@ SlaScorer::exportMetrics(obs::MetricsRegistry &metrics) const
         metrics.counter("service.segments." + name).add(s.segments);
         metrics.counter("service.segments_failed." + name).add(s.failed);
         metrics.counter("service.deadline_hits." + name).add(s.hits);
+        metrics.counter("service.cache_hits." + name).add(s.cache_hits);
         metrics.counter("service.stitches." + name).add(s.stitches);
         // Counters are integral; dollars export at micro-dollar
         // resolution so sub-cent segment costs survive.
@@ -199,6 +207,9 @@ SlaScorer::emitRunReports(const SlaReport &report) const
         run.extra.emplace_back("hit_rate", score.hit_rate);
         run.extra.emplace_back("goodput_mpix_s", score.goodput_mpix_s);
         run.extra.emplace_back("drop_rate", score.drop_rate);
+        run.extra.emplace_back("cache_hits",
+                               static_cast<double>(score.cache_hits));
+        run.extra.emplace_back("cache_hit_rate", score.cache_hit_rate);
         run.extra.emplace_back("cost_dollars", score.cost_dollars);
         run.extra.emplace_back("dollars_per_stream",
                                score.dollars_per_stream);

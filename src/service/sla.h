@@ -50,6 +50,11 @@ struct ScenarioScore {
     /// Dollars per delivered stream (stitched rung); 0 without
     /// streams or cost.
     double dollars_per_stream = 0;
+    /// Segments served from the transcode output cache (byte-for-byte
+    /// identical to a fresh encode, docs/CACHE.md).
+    uint64_t cache_hits = 0;
+    /// cache_hits / segments (0 when nothing completed).
+    double cache_hit_rate = 0;
     /// Mean segment PSNR, dB (successful segments).
     double mean_psnr_db = 0;
     /// Dollars per stream per dB of quality — the cost-efficiency
@@ -75,6 +80,20 @@ struct SlaReport {
     double overall_goodput_mpix_s = 0;
     /// Total modeled fleet dollars (0 when the run had no fleet).
     double total_cost_dollars = 0;
+    /// Transcode output cache rollup (docs/CACHE.md). Filled by the
+    /// service from TranscodeCache::stats when a cache is attached;
+    /// all-zero (enabled=false) otherwise.
+    bool cache_enabled = false;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    double cache_hit_rate = 0;
+    uint64_t cache_resident_bytes = 0;
+    double cache_storage_dollars = 0;
+    double cache_compute_dollars = 0;
+    double cache_saved_dollars = 0;
+    /// The store-vs-recompute bottom line: storage rent + compute
+    /// dollars actually paid (what the cache policies compete on).
+    double cache_total_dollars = 0;
 };
 
 /**
@@ -101,12 +120,14 @@ class SlaScorer
      * @param cost_dollars modeled fleet dollars charged for the
      *                  segment (0 = no fleet attached).
      * @param psnr_db   segment quality; <= 0 skips the quality mean.
+     * @param cache_hit the segment was served from the output cache.
      */
     void recordSegment(core::Scenario scenario, double latency_s, bool hit,
                        uint64_t pixels, bool ok, uint64_t trace_id = 0,
                        const obs::CriticalPath &path = obs::CriticalPath{},
                        const std::string &label = std::string(),
-                       double cost_dollars = 0, double psnr_db = 0);
+                       double cost_dollars = 0, double psnr_db = 0,
+                       bool cache_hit = false);
 
     /** One finished rung stitch (request-level critical-path tail). */
     void recordStitch(core::Scenario scenario, double stitch_ms);
@@ -135,6 +156,7 @@ class SlaScorer
         uint64_t segments = 0;
         uint64_t failed = 0;
         uint64_t hits = 0;
+        uint64_t cache_hits = 0;
         uint64_t stitches = 0;
         uint64_t ontime_pixels = 0;  ///< pixels of on-time ok segments
         double cost_dollars = 0;     ///< modeled fleet dollars

@@ -107,11 +107,14 @@ generateWorkload(const WorkloadConfig &config, const Corpus &corpus)
         : arrivalRateFromEnv(3.0);
 
     // Zipf popularity over corpus rank: weight 1 / (rank+1)^s.
+    const double zipf_s = config.zipf_exponent > 0
+        ? config.zipf_exponent
+        : zipfExponentFromEnv(1.0);
     std::vector<double> clip_cdf;
     double acc = 0;
     for (size_t rank = 0; rank < corpus.clips.size(); ++rank) {
         acc += 1.0 /
-            std::pow(static_cast<double>(rank + 1), config.zipf_exponent);
+            std::pow(static_cast<double>(rank + 1), zipf_s);
         clip_cdf.push_back(acc);
     }
     std::vector<double> mix_cdf;
@@ -178,6 +181,13 @@ double
 arrivalRateFromEnv(double fallback)
 {
     const double v = core::freshRuntimeConfig().arrival_rate_hz;
+    return v > 0 ? v : fallback;
+}
+
+double
+zipfExponentFromEnv(double fallback)
+{
+    const double v = core::freshRuntimeConfig().zipf_s;
     return v > 0 ? v : fallback;
 }
 

@@ -7,9 +7,10 @@
  * turns the five vbench scenarios (§2.3) into timed, deadline-carrying
  * service requests.
  *
- * Environment knobs (both read by the bench / defaults, explicit
- * config wins): VBENCH_ARRIVAL_RATE (requests/second, float) and
- * VBENCH_SEGMENT_FRAMES (frames per segment, int).
+ * Environment knobs (read by the bench / defaults, explicit config
+ * wins): VBENCH_ARRIVAL_RATE (requests/second, float),
+ * VBENCH_SEGMENT_FRAMES (frames per segment, int), and VBENCH_ZIPF_S
+ * (Zipf popularity exponent, float).
  */
 
 #include <array>
@@ -96,8 +97,9 @@ struct WorkloadConfig {
     /// Mean arrivals/second; <= 0 falls back to VBENCH_ARRIVAL_RATE,
     /// then to 3.0.
     double arrival_rate_hz = 0;
-    /// Zipf popularity exponent over corpus rank (clip order).
-    double zipf_exponent = 1.0;
+    /// Zipf popularity exponent over corpus rank (clip order);
+    /// <= 0 falls back to VBENCH_ZIPF_S, then to 1.0.
+    double zipf_exponent = 0;
     uint64_t seed = 1;
     /// Scenario mix weights, indexed by core::Scenario; normalized
     /// internally.
@@ -134,5 +136,8 @@ int segmentFramesFromEnv(int fallback);
 
 /** VBENCH_ARRIVAL_RATE when set, else `fallback`. Same contract. */
 double arrivalRateFromEnv(double fallback);
+
+/** VBENCH_ZIPF_S when set, else `fallback`. Same contract. */
+double zipfExponentFromEnv(double fallback);
 
 } // namespace vbench::service

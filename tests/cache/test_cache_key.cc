@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Cache-key canonicalization (docs/CACHE.md): the KeyBuilder digest is
+ * deterministic, prefix-free, and order-sensitive; and
+ * SegmentJob::cacheKey() keys exactly the fields that determine the
+ * encoded bytes — identity fields (request_id, rung name, scenario,
+ * span ids, frame_threads) leave the key unchanged, every keyed field
+ * flips it, and rc_in carries from different chain positions produce
+ * different keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.h"
+#include "codec/preset.h"
+#include "service/segment_job.h"
+
+namespace {
+
+using namespace vbench;
+
+TEST(KeyBuilder, SameFieldsSameKey)
+{
+    cache::KeyBuilder a;
+    a.u32(7).i32(-3).f64(1.5).str("rung").boolean(true);
+    cache::KeyBuilder b;
+    b.u32(7).i32(-3).f64(1.5).str("rung").boolean(true);
+    EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(KeyBuilder, AnyFieldChangeFlipsKey)
+{
+    cache::KeyBuilder base;
+    base.u32(7).i32(-3).f64(1.5);
+    cache::KeyBuilder changed;
+    changed.u32(7).i32(-3).f64(1.5000001);
+    EXPECT_NE(base.finish(), changed.finish());
+}
+
+TEST(KeyBuilder, FieldOrderMatters)
+{
+    cache::KeyBuilder ab;
+    ab.u8(1).u8(2);
+    cache::KeyBuilder ba;
+    ba.u8(2).u8(1);
+    EXPECT_NE(ab.finish(), ba.finish());
+}
+
+TEST(KeyBuilder, StringsArePrefixFree)
+{
+    // Without length prefixes "ab"+"c" and "a"+"bc" would collide.
+    cache::KeyBuilder left;
+    left.str("ab").str("c");
+    cache::KeyBuilder right;
+    right.str("a").str("bc");
+    EXPECT_NE(left.finish(), right.finish());
+}
+
+TEST(KeyBuilder, SignedZeroCanonicalizes)
+{
+    cache::KeyBuilder pos;
+    pos.f64(0.0);
+    cache::KeyBuilder neg;
+    neg.f64(-0.0);
+    EXPECT_EQ(pos.finish(), neg.finish());
+    cache::KeyBuilder one;
+    one.f64(1.0);
+    EXPECT_NE(pos.finish(), one.finish());
+}
+
+TEST(KeyBuilder, EmptyBuildersAgree)
+{
+    EXPECT_EQ(cache::KeyBuilder().finish(),
+              cache::KeyBuilder().finish());
+    EXPECT_NE(cache::KeyBuilder().finish().toString(), "");
+}
+
+service::SegmentJob
+baselineJob()
+{
+    service::SegmentJob sj;
+    sj.request_id = 42;
+    sj.rung = "r0";
+    sj.segment_index = 1;
+    sj.scenario = core::Scenario::Upload;
+    sj.input = {0x10, 0x20, 0x30, 0x40, 0x55};
+    sj.params.kind = core::EncoderKind::Vbc;
+    sj.params.rc.mode = codec::RcMode::Abr;
+    sj.params.rc.bitrate_bps = 300'000;
+    sj.params.effort = 3;
+    sj.params.gop = 30;
+    sj.params.segment_frames = 8;
+    codec::RcSnapshot carry;
+    carry.spent_bits = 12345;
+    carry.planned_bits = 15000;
+    carry.frames_done = 8;
+    sj.params.rc_in = carry;
+    return sj;
+}
+
+TEST(SegmentJobKey, Deterministic)
+{
+    EXPECT_EQ(baselineJob().cacheKey(), baselineJob().cacheKey());
+}
+
+TEST(SegmentJobKey, IdentityFieldsDoNotAffectKey)
+{
+    const cache::CacheKey base = baselineJob().cacheKey();
+
+    service::SegmentJob sj = baselineJob();
+    sj.request_id = 777;
+    EXPECT_EQ(base, sj.cacheKey());
+
+    sj = baselineJob();
+    sj.rung = "some_other_rung";
+    EXPECT_EQ(base, sj.cacheKey());
+
+    sj = baselineJob();
+    sj.scenario = core::Scenario::Popular;
+    EXPECT_EQ(base, sj.cacheKey());
+
+    // Span ids are per-request trace identity, not content.
+    sj = baselineJob();
+    sj.params.span = obs::SpanContext::newTrace();
+    EXPECT_EQ(base, sj.cacheKey());
+
+    // Streams are byte-identical at every wavefront width
+    // (tests/codec/test_frame_threads.cc), so the width is excluded.
+    sj = baselineJob();
+    sj.params.frame_threads = 4;
+    EXPECT_EQ(base, sj.cacheKey());
+}
+
+TEST(SegmentJobKey, KeyedFieldsFlipKey)
+{
+    const cache::CacheKey base = baselineJob().cacheKey();
+    std::vector<cache::CacheKey> keys;
+
+    service::SegmentJob sj = baselineJob();
+    sj.segment_index = 2;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.input.push_back(0x99);
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.input[0] ^= 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.kind = core::EncoderKind::NgcHevc;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.mode = codec::RcMode::TwoPass;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.qp = 31;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.crf = 24.0;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.bitrate_bps = 400'000;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.fps = 24.0;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.pixels_per_frame = 6144;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.min_qp += 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc.ip_qp_offset += 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.effort = 5;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.ngc_speed = 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.gop = 60;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.entropy_override = 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.deblock_override = 0;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.tools_override = codec::presetForEffort(3);
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.tools_override = codec::presetForEffort(3);
+    sj.params.tools_override->refs += 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.segment_frames = 4;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc_in.reset();
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc_in->spent_bits += 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc_in->planned_bits += 1;
+    keys.push_back(sj.cacheKey());
+
+    sj = baselineJob();
+    sj.params.rc_in->frames_done += 1;
+    keys.push_back(sj.cacheKey());
+
+    // Every variant differs from the baseline AND from each other (a
+    // pairwise collision would alias two distinct transcodes).
+    for (size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_NE(base, keys[i]) << "variant " << i;
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+    }
+}
+
+TEST(SegmentJobKey, ChainPositionsKeyDifferently)
+{
+    // The same rung's segment k with the carry from position k-1
+    // differs from the same segment keyed with a later chain state:
+    // rc_in is part of the transcode identity.
+    service::SegmentJob early = baselineJob();
+    early.params.rc_in->spent_bits = 1000;
+    early.params.rc_in->frames_done = 8;
+    service::SegmentJob late = baselineJob();
+    late.params.rc_in->spent_bits = 9000;
+    late.params.rc_in->frames_done = 16;
+    EXPECT_NE(early.cacheKey(), late.cacheKey());
+
+    // A fresh start (no carry) differs from a zeroed carry: "absent"
+    // and "present with default fields" are different encodes.
+    service::SegmentJob fresh = baselineJob();
+    fresh.params.rc_in.reset();
+    service::SegmentJob zeroed = baselineJob();
+    zeroed.params.rc_in = codec::RcSnapshot{};
+    EXPECT_NE(fresh.cacheKey(), zeroed.cacheKey());
+}
+
+} // namespace

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * TranscodeCache unit tests: hit/miss bookkeeping, the four
+ * store-vs-recompute policies, EWMA popularity decay, ghost records,
+ * capacity eviction, the retention sweep, and the dollar accounting
+ * (storage rent accrual, compute spend, hit savings) — all driven on
+ * an explicit simulated clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cache/cache.h"
+
+namespace {
+
+using namespace vbench;
+
+cache::CacheKey
+key(uint64_t n)
+{
+    cache::KeyBuilder kb;
+    kb.u64(n);
+    return kb.finish();
+}
+
+cache::CachedSegment
+segment(size_t bytes, double encode_seconds = 1.0)
+{
+    cache::CachedSegment s;
+    s.stream.assign(bytes, 0xAB);
+    s.rc_out.spent_bits = 100;
+    s.rc_out.frames_done = 8;
+    s.encode_seconds = encode_seconds;
+    s.psnr_db = 35.0;
+    return s;
+}
+
+cache::CacheConfig
+config(cache::CachePolicy policy, size_t capacity = 1 << 20)
+{
+    cache::CacheConfig c;
+    c.policy = policy;
+    c.capacity_bytes = capacity;
+    c.popularity_tau_s = 10.0;
+    return c;
+}
+
+TEST(CachePolicyNames, RoundTrip)
+{
+    for (int i = 0; i < cache::kNumCachePolicies; ++i) {
+        const auto policy = static_cast<cache::CachePolicy>(i);
+        const auto parsed =
+            cache::parseCachePolicyName(cache::policyName(policy));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, policy);
+    }
+    EXPECT_FALSE(cache::parseCachePolicyName("nope").has_value());
+}
+
+TEST(TranscodeCache, MissThenStoreThenHit)
+{
+    cache::TranscodeCache tc(config(cache::CachePolicy::AlwaysStore));
+    EXPECT_FALSE(tc.lookup(key(1), 0.0).has_value());
+    tc.insert(key(1), segment(100), 0.0);
+    const auto got = tc.lookup(key(1), 1.0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->stream, segment(100).stream);
+    EXPECT_EQ(got->rc_out.spent_bits, 100);
+    EXPECT_EQ(got->rc_out.frames_done, 8);
+
+    const cache::CacheStats s = tc.stats(1.0);
+    EXPECT_EQ(s.lookups, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.admitted, 1u);
+    EXPECT_EQ(s.resident_entries, 1u);
+    EXPECT_EQ(s.resident_bytes, 100u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+TEST(TranscodeCache, AlwaysRecomputeNeverStores)
+{
+    cache::TranscodeCache tc(
+        config(cache::CachePolicy::AlwaysRecompute));
+    tc.insert(key(1), segment(100), 0.0);
+    EXPECT_FALSE(tc.lookup(key(1), 0.5).has_value());
+    const cache::CacheStats s = tc.stats(1.0);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.resident_bytes, 0u);
+    // The insert still accounts the encode the miss already paid for.
+    EXPECT_GT(s.compute_dollars, 0);
+    EXPECT_DOUBLE_EQ(s.storage_dollars, 0);
+}
+
+TEST(TranscodeCache, OversizeAndEmptyEntriesAreRejected)
+{
+    cache::TranscodeCache tc(
+        config(cache::CachePolicy::AlwaysStore, /*capacity=*/500));
+    tc.insert(key(1), segment(501), 0.0);
+    tc.insert(key(2), segment(0), 0.0);
+    const cache::CacheStats s = tc.stats(0.0);
+    EXPECT_EQ(s.rejected, 2u);
+    EXPECT_EQ(s.resident_bytes, 0u);
+}
+
+TEST(TranscodeCache, LruEvictsLeastRecentlyUsed)
+{
+    cache::TranscodeCache tc(
+        config(cache::CachePolicy::Lru, /*capacity=*/250));
+    tc.insert(key(1), segment(100), 0.0);
+    tc.insert(key(2), segment(100), 1.0);
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_TRUE(tc.lookup(key(1), 2.0).has_value());
+    tc.insert(key(3), segment(100), 3.0);
+    EXPECT_TRUE(tc.lookup(key(1), 4.0).has_value());
+    EXPECT_FALSE(tc.lookup(key(2), 4.0).has_value());
+    EXPECT_TRUE(tc.lookup(key(3), 4.0).has_value());
+    EXPECT_EQ(tc.stats(4.0).evictions, 1u);
+}
+
+TEST(TranscodeCache, CostAwareRejectsSingleTouchKeys)
+{
+    cache::TranscodeCache tc(config(cache::CachePolicy::CostAware));
+    // One miss -> ghost popularity ~1 < admit_min_popularity (1.5).
+    EXPECT_FALSE(tc.lookup(key(1), 0.0).has_value());
+    tc.insert(key(1), segment(100), 0.0);
+    EXPECT_EQ(tc.stats(0.0).rejected, 1u);
+    EXPECT_EQ(tc.residentBytes(), 0u);
+
+    // A second encounter within ~tau pushes the ghost past the floor;
+    // the re-encode is expensive relative to rent, so it admits.
+    EXPECT_FALSE(tc.lookup(key(1), 1.0).has_value());
+    tc.insert(key(1), segment(100), 1.0);
+    EXPECT_EQ(tc.stats(1.0).admitted, 1u);
+    EXPECT_TRUE(tc.lookup(key(1), 2.0).has_value());
+}
+
+TEST(TranscodeCache, CostAwareRejectsWhenRentExceedsSavings)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::CostAware);
+    // Absurd storage price: even a popular entry cannot pay rent.
+    c.storage_dollars_per_gb_hour = 1e9;
+    cache::TranscodeCache tc(c);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(tc.lookup(key(1), i * 0.25).has_value());
+    tc.insert(key(1), segment(100), 1.0);
+    EXPECT_EQ(tc.stats(1.0).admitted, 0u);
+    EXPECT_EQ(tc.stats(1.0).rejected, 1u);
+}
+
+TEST(TranscodeCache, PopularityDecaysOverTau)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::CostAware);
+    c.popularity_tau_s = 1.0;
+    cache::TranscodeCache tc(c);
+    // Two touches far apart: by the second one the first has decayed
+    // to ~e^-20, so the ghost sits under the admission floor.
+    EXPECT_FALSE(tc.lookup(key(1), 0.0).has_value());
+    EXPECT_FALSE(tc.lookup(key(1), 20.0).has_value());
+    tc.insert(key(1), segment(100), 20.0);
+    EXPECT_EQ(tc.stats(20.0).admitted, 0u);
+}
+
+TEST(TranscodeCache, SweepDropsEntriesWhoseValueDecayed)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::CostAware);
+    c.popularity_tau_s = 1.0;
+    // Rent high enough that a decayed entry goes net-negative, low
+    // enough that a fresh two-touch entry is worth keeping:
+    // savings rate at admit ~= 2 * reencode$ / tau, rent must sit
+    // below that but above the near-zero decayed savings.
+    cache::TranscodeCache probe(c);
+    const double reencode = probe.reencodeDollars(1.0);
+    c.storage_dollars_per_gb_hour =
+        0.5 * reencode / (100.0 / 1e9) * 3600.0;
+    cache::TranscodeCache tc(c);
+
+    EXPECT_FALSE(tc.lookup(key(1), 0.0).has_value());
+    EXPECT_FALSE(tc.lookup(key(1), 0.1).has_value());
+    tc.insert(key(1), segment(100), 0.1);
+    ASSERT_EQ(tc.stats(0.1).admitted, 1u);
+
+    tc.sweep(0.2);
+    EXPECT_EQ(tc.residentBytes(), 100u);  // still worth the rent
+    tc.sweep(50.0);  // popularity ~0: rent now exceeds savings
+    EXPECT_EQ(tc.residentBytes(), 0u);
+    EXPECT_EQ(tc.stats(50.0).evictions, 1u);
+}
+
+TEST(TranscodeCache, GhostPopularitySurvivesEviction)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::CostAware,
+                                  /*capacity=*/150);
+    cache::TranscodeCache tc(c);
+    // Make key 1 popular and resident.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(tc.lookup(key(1), i * 0.1).has_value());
+    tc.insert(key(1), segment(100), 0.3);
+    ASSERT_EQ(tc.stats(0.3).admitted, 1u);
+    // Make key 2 even more popular; capacity forces one out.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_FALSE(tc.lookup(key(2), 0.3 + i * 0.1).has_value());
+    tc.insert(key(2), segment(100), 1.0);
+    EXPECT_EQ(tc.stats(1.0).evictions, 1u);
+    // The evicted key's popularity memory lets it re-admit on its
+    // next encounter instead of starting cold.
+    const uint64_t admitted_before = tc.stats(1.0).admitted;
+    EXPECT_FALSE(tc.lookup(key(1), 1.1).has_value());
+    tc.insert(key(1), segment(100), 1.1);
+    EXPECT_EQ(tc.stats(1.1).admitted, admitted_before + 1);
+}
+
+TEST(TranscodeCache, DollarAccounting)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::AlwaysStore);
+    c.storage_dollars_per_gb_hour = 3600.0;  // $1/GB-second
+    cache::TranscodeCache tc(c);
+    const double reencode = tc.reencodeDollars(2.0);
+    EXPECT_GT(reencode, 0);
+    EXPECT_DOUBLE_EQ(tc.reencodeDollars(4.0), 2.0 * reencode);
+
+    tc.insert(key(1), segment(1000, /*encode_seconds=*/2.0), 0.0);
+    // 10 seconds of rent on 1000 bytes at $1/GB-second.
+    const cache::CacheStats s = tc.stats(10.0);
+    EXPECT_NEAR(s.storage_dollars, 10.0 * 1000.0 / 1e9, 1e-12);
+    EXPECT_DOUBLE_EQ(s.compute_dollars, reencode);
+    EXPECT_DOUBLE_EQ(s.saved_dollars, 0);
+    EXPECT_DOUBLE_EQ(s.totalDollars(),
+                     s.storage_dollars + s.compute_dollars);
+
+    // A hit saves one re-encode.
+    ASSERT_TRUE(tc.lookup(key(1), 10.0).has_value());
+    EXPECT_DOUBLE_EQ(tc.stats(10.0).saved_dollars, reencode);
+}
+
+TEST(TranscodeCache, ClockNeverRewinds)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::AlwaysStore);
+    c.storage_dollars_per_gb_hour = 3600.0;
+    cache::TranscodeCache tc(c);
+    tc.insert(key(1), segment(1000), 0.0);
+    const double at_10 = tc.stats(10.0).storage_dollars;
+    // A caller restarting its run clock at 0 freezes accrual instead
+    // of rewinding or double-charging it.
+    EXPECT_DOUBLE_EQ(tc.stats(0.0).storage_dollars, at_10);
+    EXPECT_DOUBLE_EQ(tc.stats(5.0).storage_dollars, at_10);
+    EXPECT_GT(tc.stats(11.0).storage_dollars, at_10);
+}
+
+TEST(TranscodeCache, GaugeAccessors)
+{
+    cache::TranscodeCache tc(config(cache::CachePolicy::AlwaysStore));
+    EXPECT_EQ(tc.residentBytes(), 0u);
+    EXPECT_DOUBLE_EQ(tc.hitRate(), 0.0);
+    tc.insert(key(1), segment(100), 0.0);
+    EXPECT_EQ(tc.residentBytes(), 100u);
+    EXPECT_FALSE(tc.lookup(key(2), 0.5).has_value());
+    EXPECT_TRUE(tc.lookup(key(1), 1.0).has_value());
+    EXPECT_DOUBLE_EQ(tc.hitRate(), 0.5);
+}
+
+TEST(TranscodeCache, GhostTableStaysBounded)
+{
+    cache::CacheConfig c = config(cache::CachePolicy::CostAware);
+    c.ghost_capacity = 8;
+    cache::TranscodeCache tc(c);
+    for (uint64_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(tc.lookup(key(i), i * 0.01).has_value());
+    // No way to observe the ghost table directly; the bound is that
+    // old ghosts were dropped, so an early key starts cold again.
+    tc.insert(key(0), segment(100), 1.0);
+    EXPECT_EQ(tc.stats(1.0).admitted, 0u);
+    // A recent key's ghost is still warm.
+    EXPECT_FALSE(tc.lookup(key(99), 1.0).has_value());
+    tc.insert(key(99), segment(100), 1.0);
+    EXPECT_EQ(tc.stats(1.0).admitted, 1u);
+}
+
+} // namespace

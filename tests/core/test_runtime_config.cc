@@ -21,10 +21,12 @@ namespace {
 const char *const kKnobs[] = {
     "VBENCH_JOBS",         "VBENCH_FRAME_THREADS",
     "VBENCH_SEGMENT_FRAMES", "VBENCH_ARRIVAL_RATE",
-    "VBENCH_ISA",          "VBENCH_TRACE",
-    "VBENCH_METRICS_OUT",  "VBENCH_PROM_OUT",
-    "VBENCH_FLEET",        "VBENCH_FLEET_POLICY",
-    "VBENCH_FLEET_CALIB",
+    "VBENCH_ZIPF_S",       "VBENCH_ISA",
+    "VBENCH_TRACE",        "VBENCH_METRICS_OUT",
+    "VBENCH_PROM_OUT",     "VBENCH_FLEET",
+    "VBENCH_FLEET_POLICY", "VBENCH_FLEET_CALIB",
+    "VBENCH_CACHE_MB",     "VBENCH_CACHE_POLICY",
+    "VBENCH_CACHE_GB_HOUR",
 };
 
 /** Clears every knob before and after so tests compose in any order. */
@@ -55,6 +57,7 @@ TEST_F(RuntimeConfigTest, UnsetEnvironmentYieldsDefaults)
     EXPECT_EQ(cfg.frame_threads, 1);
     EXPECT_EQ(cfg.segment_frames, 0);
     EXPECT_DOUBLE_EQ(cfg.arrival_rate_hz, 0.0);
+    EXPECT_DOUBLE_EQ(cfg.zipf_s, 0.0);
     EXPECT_TRUE(cfg.isa.empty());
     EXPECT_TRUE(cfg.trace_path.empty());
     EXPECT_TRUE(cfg.metrics_path.empty());
@@ -62,6 +65,9 @@ TEST_F(RuntimeConfigTest, UnsetEnvironmentYieldsDefaults)
     EXPECT_TRUE(cfg.fleet_spec.empty());
     EXPECT_TRUE(cfg.fleet_policy.empty());
     EXPECT_TRUE(cfg.fleet_calib_path.empty());
+    EXPECT_DOUBLE_EQ(cfg.cache_mb, 0.0);
+    EXPECT_TRUE(cfg.cache_policy.empty());
+    EXPECT_DOUBLE_EQ(cfg.cache_gb_hour, 0.0);
 }
 
 TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
@@ -70,6 +76,10 @@ TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
     setenv("VBENCH_FRAME_THREADS", "4", 1);
     setenv("VBENCH_SEGMENT_FRAMES", "12", 1);
     setenv("VBENCH_ARRIVAL_RATE", "2.5", 1);
+    setenv("VBENCH_ZIPF_S", "1.2", 1);
+    setenv("VBENCH_CACHE_MB", "64", 1);
+    setenv("VBENCH_CACHE_POLICY", "cost_aware", 1);
+    setenv("VBENCH_CACHE_GB_HOUR", "0.05", 1);
     setenv("VBENCH_ISA", "sse2", 1);
     setenv("VBENCH_TRACE", "/tmp/trace.json", 1);
     setenv("VBENCH_METRICS_OUT", "-", 1);
@@ -85,6 +95,10 @@ TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
     EXPECT_EQ(cfg.frame_threads, 4);
     EXPECT_EQ(cfg.segment_frames, 12);
     EXPECT_DOUBLE_EQ(cfg.arrival_rate_hz, 2.5);
+    EXPECT_DOUBLE_EQ(cfg.zipf_s, 1.2);
+    EXPECT_DOUBLE_EQ(cfg.cache_mb, 64.0);
+    EXPECT_EQ(cfg.cache_policy, "cost_aware");
+    EXPECT_DOUBLE_EQ(cfg.cache_gb_hour, 0.05);
     EXPECT_EQ(cfg.isa, "sse2");
     EXPECT_EQ(cfg.trace_path, "/tmp/trace.json");
     EXPECT_EQ(cfg.metrics_path, "-");
@@ -129,6 +143,10 @@ TEST_F(RuntimeConfigTest, RejectsMalformedValues)
         {"VBENCH_ARRIVAL_RATE", "fast"},  {"VBENCH_ARRIVAL_RATE", "0"},
         {"VBENCH_ARRIVAL_RATE", "-2.5"},  {"VBENCH_ISA", "avx512"},
         {"VBENCH_FLEET_POLICY", "greedy"},
+        {"VBENCH_ZIPF_S", "-1"},          {"VBENCH_ZIPF_S", "steep"},
+        {"VBENCH_CACHE_MB", "-64"},       {"VBENCH_CACHE_MB", "big"},
+        {"VBENCH_CACHE_POLICY", "mru"},
+        {"VBENCH_CACHE_GB_HOUR", "0"},
     };
     for (const Case &c : cases) {
         clearAll();

@@ -12,7 +12,10 @@
  * grepped. `service.fleet` run reports (a fleet-routed run's cost
  * accounting, docs/FLEET.md) are schema-checked — worker/type counts,
  * total dollars, topology and policy provenance — and
- * `--require-fleet` (before --report) makes their absence an error. The trace check also verifies the distributed-tracing
+ * `--require-fleet` (before --report) makes their absence an error.
+ * `service.cache` run reports (the output cache's hit/dollar
+ * accounting, docs/CACHE.md) are likewise schema-checked, with
+ * `--require-cache` making their absence an error. The trace check also verifies the distributed-tracing
  * invariants: every `cat:"request"` slice carries trace/span/parent
  * ids, every trace id forms one connected tree with exactly one root,
  * and every flow-arrow end has a matching begin. Exit 0 when every
@@ -257,9 +260,75 @@ lintFleetReport(const std::string &path, size_t line_no, const Value &v)
     return ok;
 }
 
+/**
+ * The `service.cache` run report is the output cache's accounting
+ * record (docs/CACHE.md): lookup/hit/insert counters, the bytes
+ * resident against capacity, and the storage/compute/saved dollar
+ * totals in `extra`, the eviction policy name in `extra_str`.
+ */
+bool
+lintCacheReport(const std::string &path, size_t line_no, const Value &v)
+{
+    bool ok = true;
+    const auto complain = [&](const char *what) {
+        std::fprintf(stderr, "obs_lint: %s:%zu: service.cache %s\n",
+                     path.c_str(), line_no, what);
+        ok = false;
+    };
+    const Value *extra = v.find("extra");
+    if (!extra || !extra->isObject()) {
+        complain("report without extra object");
+        return false;
+    }
+    const Value *lookups = extra->find("lookups");
+    const Value *hits = extra->find("hits");
+    const Value *misses = extra->find("misses");
+    if (!isNumber(lookups) || lookups->number < 0)
+        complain("report without a lookups count");
+    if (!isNumber(hits) || hits->number < 0)
+        complain("report without a hits count");
+    if (!isNumber(misses) || misses->number < 0)
+        complain("report without a misses count");
+    if (isNumber(lookups) && isNumber(hits) && isNumber(misses) &&
+        hits->number + misses->number != lookups->number)
+        complain("report where hits + misses != lookups");
+    const Value *rate = extra->find("hit_rate");
+    if (!isNumber(rate) || rate->number < 0 || rate->number > 1)
+        complain("report without a hit_rate in [0,1]");
+    const Value *resident = extra->find("resident_bytes");
+    const Value *capacity = extra->find("capacity_bytes");
+    if (!isNumber(resident) || resident->number < 0)
+        complain("report without a resident_bytes count");
+    if (!isNumber(capacity) || capacity->number <= 0)
+        complain("report without a positive capacity_bytes");
+    if (isNumber(resident) && isNumber(capacity) &&
+        resident->number > capacity->number)
+        complain("report with resident_bytes above capacity");
+    for (const char *key : {"storage_dollars", "compute_dollars",
+                            "saved_dollars", "total_dollars"}) {
+        const Value *d = extra->find(key);
+        if (!isNumber(d) || d->number < 0) {
+            std::fprintf(stderr,
+                         "obs_lint: %s:%zu: service.cache report "
+                         "without a %s number\n",
+                         path.c_str(), line_no, key);
+            ok = false;
+        }
+    }
+    const Value *extra_str = v.find("extra_str");
+    if (!extra_str || !extra_str->isObject()) {
+        complain("report without extra_str object");
+        return false;
+    }
+    if (!isString(extra_str->find("policy")))
+        complain("report without a policy name");
+    return ok;
+}
+
 /** Run reports: one JSON object per line, label + seconds required. */
 bool
-lintReports(const std::string &path, bool require_fleet)
+lintReports(const std::string &path, bool require_fleet,
+            bool require_cache)
 {
     std::ifstream in(path);
     if (!in) {
@@ -267,7 +336,8 @@ lintReports(const std::string &path, bool require_fleet)
         return false;
     }
     bool ok = true;
-    size_t line_no = 0, reports = 0, fleet_reports = 0;
+    size_t line_no = 0, reports = 0, fleet_reports = 0,
+           cache_reports = 0;
     std::string line;
     while (std::getline(in, line)) {
         ++line_no;
@@ -287,9 +357,13 @@ lintReports(const std::string &path, bool require_fleet)
             ++fleet_reports;
             ok = lintFleetReport(path, line_no, *v) && ok;
         }
+        if (v->find("label")->string == "service.cache") {
+            ++cache_reports;
+            ok = lintCacheReport(path, line_no, *v) && ok;
+        }
     }
-    std::printf("obs_lint: %s: %zu run reports (%zu fleet)%s\n",
-                path.c_str(), reports, fleet_reports,
+    std::printf("obs_lint: %s: %zu run reports (%zu fleet, %zu cache)%s\n",
+                path.c_str(), reports, fleet_reports, cache_reports,
                 ok ? "" : " — INVALID");
     if (reports == 0) {
         std::fprintf(stderr, "obs_lint: %s: no run reports\n",
@@ -300,6 +374,13 @@ lintReports(const std::string &path, bool require_fleet)
         std::fprintf(stderr,
                      "obs_lint: %s: no service.fleet report (was the "
                      "run fleet-routed?)\n",
+                     path.c_str());
+        ok = false;
+    }
+    if (require_cache && cache_reports == 0) {
+        std::fprintf(stderr,
+                     "obs_lint: %s: no service.cache report (was the "
+                     "run cache-attached?)\n",
                      path.c_str());
         ok = false;
     }
@@ -333,11 +414,15 @@ main(int argc, char **argv)
     bool ok = true;
     bool any = false;
     bool require_fleet = false;
-    // --require-fleet must precede the --report it applies to.
+    bool require_cache = false;
+    // --require-fleet / --require-cache must precede the --report they
+    // apply to.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--require-fleet") {
             require_fleet = true;
+        } else if (arg == "--require-cache") {
+            require_cache = true;
         } else if ((arg == "--trace" || arg == "--report" ||
                     arg == "--prom") &&
                    i + 1 < argc) {
@@ -346,13 +431,14 @@ main(int argc, char **argv)
             if (arg == "--trace")
                 ok = lintTrace(path) && ok;
             else if (arg == "--report")
-                ok = lintReports(path, require_fleet) && ok;
+                ok = lintReports(path, require_fleet, require_cache) && ok;
             else
                 ok = lintProm(path) && ok;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace FILE] [--require-fleet] "
-                         "[--report FILE] [--prom FILE]\n",
+                         "[--require-cache] [--report FILE] "
+                         "[--prom FILE]\n",
                          argv[0]);
             return 2;
         }
