@@ -6,19 +6,42 @@
  * scenario whose real-time bound intra-frame parallelism exists to
  * serve (a single stream cannot hide behind job-level parallelism).
  *
- * Default mode sweeps thread widths 1..min(8, cores), prints the
- * scaling table, and writes BENCH_frame_threads.json. Every width's
- * stream is compared against the serial one — a mismatch is a hard
- * failure, because bit-exactness is the knob's contract.
+ * Default mode sweeps thread widths 1..min(8, cores) at entropy slice
+ * counts 1/2/4 (VBENCH_SLICES), prints the scaling tables, and writes
+ * BENCH_frame_threads.json. Within one slice count every width's
+ * stream is compared against that configuration's serial stream — a
+ * mismatch is a hard failure, because bit-exactness at every width is
+ * the frame-threads contract. Across slice counts the bench reports
+ * the bitrate overhead slices cost (reset contexts, length prefixes).
  *
- *   --smoke   quick 1-vs-N bit-exactness gate on a small clip for
- *             both codecs; exits nonzero on any mismatch. Wired into
- *             scripts/check.sh.
+ * The JSON also carries the Amdahl accounting that motivates slices:
+ * the measured serial fraction of the encode (the EntropyCoding leaf
+ * share of the encode phase at one thread, via an attached
+ * obs::Tracer), the projected ceiling 1/(s + (1-s)/T) that fraction
+ * imposes on single-slice scaling, and the measured speedups — both
+ * single-slice (which the ceiling binds) and slice-parallel (which
+ * breaks it).
+ *
+ *   --smoke   quick gate for scripts/check.sh: 1-vs-4-thread
+ *             bit-exactness at slice counts 1 and 4 for both codecs,
+ *             plus the perf assertion that the slice-parallel entropy
+ *             tail at 4 threads — the critical path, i.e. the longest
+ *             single EntropySlice span per frame — strictly beats the
+ *             serial EntropyCoding tail (slices=1), best of 3. The
+ *             critical path is measured from tracer spans rather than
+ *             4-thread wall clock so the gate holds on hosts with
+ *             fewer than 4 real cores (CI runners), where concurrent
+ *             threads timeshare and wall clock cannot show the win;
+ *             the bit-exactness legs prove the per-slice work is
+ *             thread-invariant, so the span measured at width 1 is
+ *             exactly the work one of the 4 workers retires at width
+ *             4. Exits nonzero on any mismatch or a non-win.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +52,7 @@
 #include "core/scenario.h"
 #include "core/transcoder.h"
 #include "obs/clock.h"
+#include "obs/trace.h"
 #include "sched/frame_threads.h"
 #include "video/synth.h"
 
@@ -45,9 +69,20 @@ struct ScalePoint {
     bool bit_exact = true;
 };
 
+/** One slice count's thread-scaling curve. */
+struct SliceCurve {
+    int slice_count = 1;
+    /// Stream size overhead vs the single-slice stream, percent.
+    double overhead_pct = 0;
+    std::vector<ScalePoint> points;
+};
+
 struct CodecCurve {
     std::string name;
-    std::vector<ScalePoint> points;
+    std::vector<SliceCurve> slices;
+    /// Measured serial fraction: EntropyCoding leaf seconds over the
+    /// encode phase at one thread, single slice.
+    double serial_fraction = 0;
 };
 
 core::TranscodeRequest
@@ -61,51 +96,88 @@ liveRequest(core::EncoderKind kind, int width, int height, double fps)
     return req;
 }
 
+/** Amdahl's law: the speedup ceiling a serial fraction s sets at T. */
+double
+amdahlProjected(double s, int threads)
+{
+    return 1.0 / (s + (1.0 - s) / std::max(1, threads));
+}
+
 CodecCurve
 sweep(core::EncoderKind kind, const bench::PreparedClip &clip, int width,
-      int height, double fps, const std::vector<int> &widths)
+      int height, double fps, const std::vector<int> &widths,
+      const std::vector<int> &slice_counts)
 {
     CodecCurve curve;
     curve.name = toString(kind);
-    codec::ByteBuffer serial_stream;
-    double serial_seconds = 0;
-    for (const int threads : widths) {
-        core::TranscodeRequest req =
-            liveRequest(kind, width, height, fps);
-        req.frame_threads = threads;
-        // The bench measures the *encoder's* scaling, so it registers
-        // the requested width as the pool budget — the same call a
-        // live scheduler makes. Without this, a small host's
-        // hardware-concurrency fallback clamps every width and the
-        // curve degenerates to one point.
-        sched::setFrameThreadBudget(threads);
-        const double start = obs::nowSeconds();
-        const core::TranscodeOutcome outcome =
-            core::transcode(clip.universal, clip.original, req);
-        const double seconds = obs::nowSeconds() - start;
-        if (!outcome.ok) {
-            std::fprintf(stderr, "%s transcode failed: %s\n",
-                         curve.name.c_str(), outcome.error.c_str());
-            std::exit(1);
-        }
-        if (threads == 1) {
-            serial_stream = outcome.stream;
-            serial_seconds = seconds;
-        }
-        ScalePoint p;
-        p.requested = threads;
-        p.effective = outcome.frame_threads;
-        p.seconds = seconds;
-        p.speedup = serial_seconds > 0 ? serial_seconds / seconds : 1;
-        p.efficiency = p.speedup / std::max(1, outcome.frame_threads);
-        p.bit_exact = outcome.stream == serial_stream;
-        curve.points.push_back(p);
+    size_t single_slice_bytes = 0;
+    for (const int slices : slice_counts) {
+        SliceCurve sc;
+        sc.slice_count = slices;
+        codec::ByteBuffer serial_stream;
+        double serial_seconds = 0;
+        for (const int threads : widths) {
+            core::TranscodeRequest req =
+                liveRequest(kind, width, height, fps);
+            req.frame_threads = threads;
+            req.slice_count = slices;
+            // The serial single-slice run carries a tracer so the
+            // EntropyCoding leaf share — the serial fraction the whole
+            // bench is about — comes out of the same encode that
+            // anchors the speedup baseline.
+            obs::Tracer tracer;
+            if (threads == 1 && slices == 1)
+                req.tracer = &tracer;
+            // The bench measures the *encoder's* scaling, so it
+            // registers the requested width as the pool budget — the
+            // same call a live scheduler makes. Without this, a small
+            // host's hardware-concurrency fallback clamps every width
+            // and the curve degenerates to one point.
+            sched::setFrameThreadBudget(threads);
+            const double start = obs::nowSeconds();
+            const core::TranscodeOutcome outcome =
+                core::transcode(clip.universal, clip.original, req);
+            const double seconds = obs::nowSeconds() - start;
+            if (!outcome.ok) {
+                std::fprintf(stderr, "%s transcode failed: %s\n",
+                             curve.name.c_str(), outcome.error.c_str());
+                std::exit(1);
+            }
+            if (threads == 1) {
+                serial_stream = outcome.stream;
+                serial_seconds = seconds;
+                if (slices == 1) {
+                    single_slice_bytes = outcome.stream.size();
+                    const double encode_s =
+                        outcome.stages.get(obs::Stage::Encode);
+                    const double entropy_s =
+                        outcome.stages.get(obs::Stage::EntropyCoding);
+                    if (encode_s > 0)
+                        curve.serial_fraction = std::clamp(
+                            entropy_s / encode_s, 0.0, 1.0);
+                }
+                if (single_slice_bytes > 0)
+                    sc.overhead_pct =
+                        (static_cast<double>(outcome.stream.size()) /
+                             static_cast<double>(single_slice_bytes) -
+                         1.0) * 100.0;
+            }
+            ScalePoint p;
+            p.requested = threads;
+            p.effective = outcome.frame_threads;
+            p.seconds = seconds;
+            p.speedup = serial_seconds > 0 ? serial_seconds / seconds : 1;
+            p.efficiency = p.speedup / std::max(1, outcome.frame_threads);
+            p.bit_exact = outcome.stream == serial_stream;
+            sc.points.push_back(p);
 
-        core::RunReport report =
-            core::makeRunReport("frame_threads_720p", req, outcome);
-        report.extra.emplace_back("requested_threads", threads);
-        report.extra.emplace_back("speedup_vs_serial", p.speedup);
-        core::emitRunReport(report);
+            core::RunReport report =
+                core::makeRunReport("frame_threads_720p", req, outcome);
+            report.extra.emplace_back("requested_threads", threads);
+            report.extra.emplace_back("speedup_vs_serial", p.speedup);
+            core::emitRunReport(report);
+        }
+        curve.slices.push_back(std::move(sc));
     }
     sched::setFrameThreadBudget(0);
     return curve;
@@ -115,7 +187,7 @@ int
 runSweep(const std::string &json_path)
 {
     bench::printHeader(
-        "frame-thread scaling (wavefront intra-frame parallelism)",
+        "frame-thread scaling (wavefront + slice-parallel entropy)",
         "extension of §4.2 Live: one stream, real-time bound");
 
     const int width = 1280, height = 720;
@@ -137,26 +209,33 @@ runSweep(const std::string &json_path)
     std::vector<int> widths = {1, 2, 4};
     for (int t = 8; t <= std::min(16, cores); t *= 2)
         widths.push_back(t);
+    const std::vector<int> slice_counts = {1, 2, 4};
 
     std::vector<CodecCurve> curves;
     for (const core::EncoderKind kind :
          {core::EncoderKind::Vbc, core::EncoderKind::NgcHevc})
         curves.push_back(
-            sweep(kind, clip, width, height, fps, widths));
+            sweep(kind, clip, width, height, fps, widths, slice_counts));
 
     bool all_exact = true;
     for (const CodecCurve &curve : curves) {
-        std::printf("%s, Live 720p\n", curve.name.c_str());
-        std::printf("%-10s %-10s %-10s %-9s %-11s %s\n", "requested",
-                    "effective", "seconds", "speedup", "efficiency",
-                    "bit-exact");
-        for (const ScalePoint &p : curve.points) {
-            std::printf("%-10d %-10d %-10.3f %-9.2f %-11.2f %s\n",
-                        p.requested, p.effective, p.seconds, p.speedup,
-                        p.efficiency, p.bit_exact ? "yes" : "NO");
-            all_exact = all_exact && p.bit_exact;
+        std::printf("%s, Live 720p: serial (entropy) fraction %.3f\n",
+                    curve.name.c_str(), curve.serial_fraction);
+        for (const SliceCurve &sc : curve.slices) {
+            std::printf("slices=%d (stream overhead %+.2f%%)\n",
+                        sc.slice_count, sc.overhead_pct);
+            std::printf("%-10s %-10s %-10s %-9s %-11s %s\n", "requested",
+                        "effective", "seconds", "speedup", "efficiency",
+                        "bit-exact");
+            for (const ScalePoint &p : sc.points) {
+                std::printf("%-10d %-10d %-10.3f %-9.2f %-11.2f %s\n",
+                            p.requested, p.effective, p.seconds,
+                            p.speedup, p.efficiency,
+                            p.bit_exact ? "yes" : "NO");
+                all_exact = all_exact && p.bit_exact;
+            }
+            std::printf("\n");
         }
-        std::printf("\n");
     }
 
     std::FILE *f = std::fopen(json_path.c_str(), "w");
@@ -167,17 +246,42 @@ runSweep(const std::string &json_path)
     std::fprintf(f, "{%s\"clip\":\"live720p\",\"codecs\":[",
                  bench::jsonMetaFields().c_str());
     for (size_t c = 0; c < curves.size(); ++c) {
-        std::fprintf(f, "%s{\"name\":\"%s\",\"points\":[", c ? "," : "",
-                     curves[c].name.c_str());
-        for (size_t i = 0; i < curves[c].points.size(); ++i) {
-            const ScalePoint &p = curves[c].points[i];
+        const CodecCurve &curve = curves[c];
+        std::fprintf(f, "%s{\"name\":\"%s\",\"serial_fraction\":%.4f,",
+                     c ? "," : "", curve.name.c_str(),
+                     curve.serial_fraction);
+        // Projected single-slice Amdahl ceiling vs what was measured,
+        // at every swept width — the motivation record for slices.
+        std::fprintf(f, "\"amdahl\":[");
+        const SliceCurve &single = curve.slices.front();
+        for (size_t i = 0; i < single.points.size(); ++i) {
+            const ScalePoint &p = single.points[i];
             std::fprintf(f,
-                         "%s{\"requested\":%d,\"effective\":%d,"
-                         "\"seconds\":%.4f,\"speedup\":%.3f,"
-                         "\"efficiency\":%.3f,\"bit_exact\":%s}",
-                         i ? "," : "", p.requested, p.effective,
-                         p.seconds, p.speedup, p.efficiency,
-                         p.bit_exact ? "true" : "false");
+                         "%s{\"threads\":%d,\"projected\":%.3f,"
+                         "\"measured\":%.3f}",
+                         i ? "," : "", p.requested,
+                         amdahlProjected(curve.serial_fraction,
+                                         p.requested),
+                         p.speedup);
+        }
+        std::fprintf(f, "],\"slices\":[");
+        for (size_t s = 0; s < curve.slices.size(); ++s) {
+            const SliceCurve &sc = curve.slices[s];
+            std::fprintf(f,
+                         "%s{\"slice_count\":%d,\"overhead_pct\":%.3f,"
+                         "\"points\":[",
+                         s ? "," : "", sc.slice_count, sc.overhead_pct);
+            for (size_t i = 0; i < sc.points.size(); ++i) {
+                const ScalePoint &p = sc.points[i];
+                std::fprintf(f,
+                             "%s{\"requested\":%d,\"effective\":%d,"
+                             "\"seconds\":%.4f,\"speedup\":%.3f,"
+                             "\"efficiency\":%.3f,\"bit_exact\":%s}",
+                             i ? "," : "", p.requested, p.effective,
+                             p.seconds, p.speedup, p.efficiency,
+                             p.bit_exact ? "true" : "false");
+            }
+            std::fprintf(f, "]}");
         }
         std::fprintf(f, "]}");
     }
@@ -193,7 +297,64 @@ runSweep(const std::string &json_path)
     return 0;
 }
 
-/** 1-vs-N gate for check.sh: small clip, both codecs, exact match. */
+/**
+ * Best-of-3 entropy-tail seconds for one slice count on the smoke
+ * clip. slices=1 measures the serial tail: the EntropyCoding leaf
+ * total from an attached tracer. slices>1 measures the slice-parallel
+ * tail: the critical path through the entropy pass — per frame, the
+ * longest single EntropySlice span, summed over frames — which is the
+ * wall time the pass costs once each slice has its own worker. Runs
+ * at width 1 so the spans measure pure per-slice work with no
+ * timeshare noise on small hosts; the smoke bit-exactness legs prove
+ * the per-slice work is identical at every width.
+ */
+double
+smokeEntropyTailSeconds(core::EncoderKind kind,
+                        const bench::PreparedClip &clip,
+                        const video::ClipSpec &spec, int slices)
+{
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        obs::Tracer tracer;
+        core::TranscodeRequest req =
+            liveRequest(kind, spec.width, spec.height, spec.fps);
+        req.frame_threads = 1;
+        req.slice_count = slices;
+        req.tracer = &tracer;
+        const core::TranscodeOutcome outcome =
+            core::transcode(clip.universal, clip.original, req);
+        if (!outcome.ok) {
+            std::fprintf(stderr, "%s: transcode failed: %s\n",
+                         toString(kind), outcome.error.c_str());
+            std::exit(1);
+        }
+        double tail = 0;
+        if (slices == 1) {
+            tail = tracer.stageTotals().get(obs::Stage::EntropyCoding);
+        } else {
+            std::map<int32_t, double> frame_max;
+            for (const obs::TraceEvent &ev : tracer.traceEvents()) {
+                if (ev.stage != obs::Stage::EntropySlice)
+                    continue;
+                double &m = frame_max[ev.frame];
+                m = std::max(m, static_cast<double>(ev.dur_ns) * 1e-9);
+            }
+            if (frame_max.empty()) {
+                std::fprintf(stderr,
+                             "%s: no EntropySlice spans at slices=%d\n",
+                             toString(kind), slices);
+                std::exit(1);
+            }
+            for (const auto &[frame, dur] : frame_max)
+                tail += dur;
+        }
+        if (rep == 0 || tail < best)
+            best = tail;
+    }
+    return best;
+}
+
+/** Bit-exactness + slice-perf gate for check.sh. */
 int
 runSmoke()
 {
@@ -209,41 +370,87 @@ runSmoke()
     bool ok = true;
     for (const core::EncoderKind kind :
          {core::EncoderKind::Vbc, core::EncoderKind::NgcHevc}) {
-        codec::ByteBuffer serial;
-        for (const int threads : {1, 4}) {
-            core::TranscodeRequest req =
-                liveRequest(kind, spec.width, spec.height, spec.fps);
-            req.frame_threads = threads;
-            // Honor the width even on a small host (see sweep()): the
-            // gate must actually run the wavefront 4-wide.
-            sched::setFrameThreadBudget(threads);
-            const core::TranscodeOutcome outcome =
-                core::transcode(clip.universal, clip.original, req);
-            sched::setFrameThreadBudget(0);
-            if (outcome.frame_threads != threads) {
-                std::fprintf(stderr,
-                             "%s: expected width %d, encoder ran %d\n",
-                             toString(kind), threads,
-                             outcome.frame_threads);
-                return 1;
+        // Bit-exactness across thread widths must hold at every slice
+        // count — slices change the bytes, threads never do.
+        for (const int slices : {1, 4}) {
+            codec::ByteBuffer serial;
+            for (const int threads : {1, 4}) {
+                core::TranscodeRequest req =
+                    liveRequest(kind, spec.width, spec.height, spec.fps);
+                req.frame_threads = threads;
+                req.slice_count = slices;
+                // Honor the width even on a small host (see sweep()):
+                // the gate must actually run the wavefront 4-wide.
+                sched::setFrameThreadBudget(threads);
+                const core::TranscodeOutcome outcome =
+                    core::transcode(clip.universal, clip.original, req);
+                sched::setFrameThreadBudget(0);
+                if (outcome.frame_threads != threads) {
+                    std::fprintf(
+                        stderr,
+                        "%s: expected width %d, encoder ran %d\n",
+                        toString(kind), threads, outcome.frame_threads);
+                    return 1;
+                }
+                if (outcome.slice_count != slices) {
+                    std::fprintf(
+                        stderr,
+                        "%s: expected %d slices, encoder ran %d\n",
+                        toString(kind), slices, outcome.slice_count);
+                    return 1;
+                }
+                if (!outcome.ok) {
+                    std::fprintf(stderr, "%s: transcode failed: %s\n",
+                                 toString(kind), outcome.error.c_str());
+                    return 1;
+                }
+                if (threads == 1) {
+                    serial = outcome.stream;
+                } else if (outcome.stream != serial) {
+                    std::fprintf(stderr,
+                                 "%s: slices=%d frame_threads=%d stream "
+                                 "differs from serial\n",
+                                 toString(kind), slices, threads);
+                    ok = false;
+                }
             }
-            if (!outcome.ok) {
-                std::fprintf(stderr, "%s: transcode failed: %s\n",
-                             toString(kind), outcome.error.c_str());
-                return 1;
-            }
-            if (threads == 1) {
-                serial = outcome.stream;
-            } else if (outcome.stream != serial) {
-                std::fprintf(
-                    stderr,
-                    "%s: frame_threads=%d stream differs from serial\n",
-                    toString(kind), threads);
-                ok = false;
-            }
+            std::printf("%-4s slices=%d 1-vs-4 threads: %s\n",
+                        toString(kind), slices,
+                        ok ? "byte-identical" : "MISMATCH");
         }
-        std::printf("%-4s 1-vs-4 threads: %s\n", toString(kind),
-                    ok ? "byte-identical" : "MISMATCH");
+    }
+
+    // The perf gate: with 4 slices and 4 workers the entropy pass's
+    // wall time is its critical path — the longest single slice. That
+    // critical path must strictly beat the serial entropy tail for
+    // both codecs, best of 3, on a clip tall enough (24 MB rows) for
+    // 4 bands of real work. Measured from tracer spans, not 4-thread
+    // wall clock, so the gate also holds on 1-core CI hosts (see the
+    // file header).
+    video::ClipSpec perf = spec;
+    perf.name = "smoke-perf";
+    perf.width = 640;
+    perf.height = 384;
+    const bench::PreparedClip perf_clip = bench::prepare(perf, 6);
+    for (const core::EncoderKind kind :
+         {core::EncoderKind::Vbc, core::EncoderKind::NgcHevc}) {
+        const double serial_tail =
+            smokeEntropyTailSeconds(kind, perf_clip, perf, 1);
+        const double sliced_tail =
+            smokeEntropyTailSeconds(kind, perf_clip, perf, 4);
+        const bool win = sliced_tail < serial_tail;
+        std::printf(
+            "%-4s entropy tail: serial %.4fs, slices=4 critical path "
+            "%.4fs (%s)\n",
+            toString(kind), serial_tail, sliced_tail,
+            win ? "slice-parallel wins" : "NO WIN");
+        if (!win) {
+            std::fprintf(stderr,
+                         "%s: slice-parallel entropy tail did not beat "
+                         "the serial entropy tail at 4 slices\n",
+                         toString(kind));
+            ok = false;
+        }
     }
     return ok ? 0 : 1;
 }

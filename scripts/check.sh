@@ -29,10 +29,21 @@ ctest --test-dir "$build" --output-on-failure -L sanitize -j "$jobs"
 echo "== thread-sanitizer tests (ctest -L thread) =="
 ctest --test-dir "$build" --output-on-failure -L thread -j "$jobs"
 
+echo "== thread-labeled tests under VBENCH_SLICES=2 =="
+# Same suite with multi-slice entropy coding switched on via the
+# environment: the determinism and TSan checks must hold when every
+# encode carries slice-parallel entropy.
+VBENCH_SLICES=2 \
+    ctest --test-dir "$build" --output-on-failure -L thread -j "$jobs"
+
 echo "== kernel smoke (bench_kernels --smoke) =="
 "$build/bench/bench_kernels" --smoke
 
-echo "== frame-thread bit-exactness (bench_frame_threads --smoke) =="
+echo "== frame-thread + slice gates (bench_frame_threads --smoke) =="
+# Asserts streams are bit-exact across thread widths at every slice
+# count AND that the 4-slice entropy critical path (longest single
+# slice per frame, from tracer spans) strictly beats the serial
+# entropy pass for both codecs — span-based so it holds on 1-core CI.
 "$build/bench/bench_frame_threads" --smoke
 
 echo "== service smoke (bench_service --smoke) =="

@@ -10,10 +10,17 @@
  *   header bits (BitWriter, byte-aligned at the end):
  *     version ue, width ue, height ue, fps_num ue, fps_den ue,
  *     frame_count ue, entropy bit, deblock bit, aq bit, num_refs ue
+ *     [version >= 2] slice_count ue
  *   per frame:
  *     payload length u32 little-endian (includes the 1-byte header)
  *     frame byte: bit 0 = type (0 I / 1 P), bits 2..7 = base QP
- *     entropy payload (VLC bits or range-coded blob)
+ *     slice_count == 1: entropy payload (VLC bits or range-coded blob)
+ *     slice_count  > 1: slice_count records of
+ *       slice length u32 little-endian + slice entropy payload
+ *
+ * Single-slice streams are written as version 1 — byte-identical to
+ * the pre-slice format — so slices are purely opt-in on the wire; a
+ * version-2 header only appears when there is a slice_count to carry.
  */
 
 #include <cstdint>
@@ -36,12 +43,22 @@ struct StreamHeader {
     bool deblock = true;
     bool adaptive_quant = false;
     uint32_t num_refs = 1;
+    /// Entropy slice bands per frame; 1 = the legacy single-segment
+    /// payload (written as a version-1 header, byte-identical to the
+    /// pre-slice format).
+    uint32_t slice_count = 1;
 
     double fps() const { return static_cast<double>(fps_num) / fps_den; }
 };
 
 inline constexpr char kMagic[4] = {'V', 'B', 'C', '1'};
 inline constexpr uint32_t kVersion = 1;
+/// Header version carrying a slice_count field (> 1 slices only).
+inline constexpr uint32_t kVersionSlices = 2;
+/// Upper bound on slice bands per frame; the encoder additionally
+/// clamps to the frame's MB/SB row count. A typo'd VBENCH_SLICES must
+/// not produce thousands of two-byte slices.
+inline constexpr uint32_t kMaxSlices = 64;
 
 /** Serialize the stream header onto a buffer. */
 inline void
@@ -49,7 +66,7 @@ writeStreamHeader(ByteBuffer &out, const StreamHeader &header)
 {
     out.insert(out.end(), kMagic, kMagic + 4);
     BitWriter bits(out);
-    bits.putUe(kVersion);
+    bits.putUe(header.slice_count > 1 ? kVersionSlices : kVersion);
     bits.putUe(static_cast<uint32_t>(header.width));
     bits.putUe(static_cast<uint32_t>(header.height));
     bits.putUe(header.fps_num);
@@ -59,6 +76,8 @@ writeStreamHeader(ByteBuffer &out, const StreamHeader &header)
     bits.putBit(header.deblock);
     bits.putBit(header.adaptive_quant);
     bits.putUe(header.num_refs);
+    if (header.slice_count > 1)
+        bits.putUe(header.slice_count);
     bits.align();
 }
 
@@ -75,7 +94,7 @@ parseStreamHeader(const uint8_t *data, size_t size, size_t &consumed)
     BitReader bits(data + 4, size - 4);
     StreamHeader header;
     const uint32_t version = bits.getUe();
-    if (version != kVersion)
+    if (version != kVersion && version != kVersionSlices)
         return std::nullopt;
     header.width = static_cast<int>(bits.getUe());
     header.height = static_cast<int>(bits.getUe());
@@ -86,13 +105,32 @@ parseStreamHeader(const uint8_t *data, size_t size, size_t &consumed)
     header.deblock = bits.getBit();
     header.adaptive_quant = bits.getBit();
     header.num_refs = bits.getUe();
+    if (version >= kVersionSlices)
+        header.slice_count = bits.getUe();
     if (bits.overflowed() || header.width <= 0 || header.height <= 0 ||
         header.fps_num == 0 || header.fps_den == 0 ||
-        header.num_refs == 0 || header.num_refs > 8) {
+        header.num_refs == 0 || header.num_refs > 8 ||
+        header.slice_count == 0 || header.slice_count > kMaxSlices ||
+        (version >= kVersionSlices && header.slice_count < 2)) {
         return std::nullopt;
     }
     consumed = 4 + (bits.bitPos() + 7) / 8;
     return header;
+}
+
+/**
+ * First MB/SB row of slice band `s` when `rows` rows split into
+ * `slices` horizontal bands of whole rows. Integer band math handles
+ * row counts the slice count does not divide; encoder and decoder
+ * derive the same bands from the same (rows, slices) pair. Band s
+ * covers [sliceRowStart(rows, slices, s), sliceRowStart(rows, slices,
+ * s + 1)).
+ */
+inline int
+sliceRowStart(int rows, int slices, int s)
+{
+    return static_cast<int>(
+        (static_cast<int64_t>(rows) * s) / slices);
 }
 
 /** Append a little-endian u32 (frame payload length). */

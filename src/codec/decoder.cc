@@ -45,39 +45,50 @@ class DecoderState
             return false;
         const FrameType type = frameTypeFromByte(payload[0]);
         const int frame_qp = frameQpFromByte(payload[0]);
+        // The header byte carries 6 QP bits (0..63); values past kMaxQp
+        // never come from an encoder and would overrun the QP-indexed
+        // deblock threshold tables.
+        if (frame_qp < kMinQp || frame_qp > kMaxQp)
+            return false;
         if (type == FrameType::I)
             refs_.clear();
         if (type == FrameType::P && refs_.empty())
             return false;
 
-        std::unique_ptr<SyntaxReader> reader;
-        if (header_.entropy == EntropyMode::Arith)
-            reader =
-                std::make_unique<ArithSyntaxReader>(payload + 1, size - 1);
-        else
-            reader =
-                std::make_unique<VlcSyntaxReader>(payload + 1, size - 1);
+        const int slices = static_cast<int>(header_.slice_count);
+        if (slices < 1 || slices > mb_rows_)
+            return false;
 
         recon_ = Frame(padded_w_, padded_h_);
         grid_ = MbGrid(mb_cols_, mb_rows_);
-        last_qp_ = frame_qp;
 
-        double bits_done = 0;
-        for (int mby = 0; mby < mb_rows_; ++mby) {
-            for (int mbx = 0; mbx < mb_cols_; ++mbx) {
-                if (!decodeMacroblock(*reader, type, frame_qp, mbx, mby))
+        // Each slice is a self-contained segment: fresh entropy
+        // contexts, fresh QP-delta chain, prediction bounded by the
+        // slice head. slice_count == 1 is the legacy layout — the
+        // whole payload after the frame byte is the one segment, with
+        // no length prefix.
+        size_t offset = 1;
+        for (int s = 0; s < slices; ++s) {
+            const uint8_t *seg = payload + offset;
+            size_t seg_size = size - offset;
+            if (slices > 1) {
+                if (size - offset < 4)
                     return false;
-                if (probe_) {
-                    const double bits = reader->bitsConsumed();
-                    probe_->record(
-                        KernelId::DecodeParse,
-                        std::max<uint64_t>(
-                            1, static_cast<uint64_t>(bits - bits_done)),
-                        parse_hash_, 64);
-                    bits_done = bits;
-                }
+                const uint32_t len = readU32(payload + offset);
+                offset += 4;
+                if (len == 0 || size - offset < len)
+                    return false;
+                seg = payload + offset;
+                seg_size = len;
+                offset += len;
             }
+            if (!decodeSlice(seg, seg_size, type, frame_qp,
+                             sliceRowStart(mb_rows_, slices, s),
+                             sliceRowStart(mb_rows_, slices, s + 1)))
+                return false;
         }
+        if (slices > 1 && offset != size)
+            return false;  // trailing garbage after the last slice
 
         if (header_.deblock)
             deblockFrame(recon_, grid_, probe_);
@@ -103,16 +114,49 @@ class DecoderState
         return out;
     }
 
+    /** Decode MB rows [row_begin, row_end) from one slice segment. */
+    bool
+    decodeSlice(const uint8_t *seg, size_t seg_size, FrameType type,
+                int frame_qp, int row_begin, int row_end)
+    {
+        std::unique_ptr<SyntaxReader> reader;
+        if (header_.entropy == EntropyMode::Arith)
+            reader = std::make_unique<ArithSyntaxReader>(seg, seg_size);
+        else
+            reader = std::make_unique<VlcSyntaxReader>(seg, seg_size);
+        last_qp_ = frame_qp;
+
+        double bits_done = 0;
+        for (int mby = row_begin; mby < row_end; ++mby) {
+            for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                if (!decodeMacroblock(*reader, type, frame_qp, mbx, mby,
+                                      row_begin))
+                    return false;
+                if (probe_) {
+                    const double bits = reader->bitsConsumed();
+                    probe_->record(
+                        KernelId::DecodeParse,
+                        std::max<uint64_t>(
+                            1, static_cast<uint64_t>(bits - bits_done)),
+                        parse_hash_, 64);
+                    bits_done = bits;
+                }
+            }
+        }
+        return true;
+    }
+
     bool
     decodeMacroblock(SyntaxReader &reader, FrameType type, int frame_qp,
-                     int mbx, int mby)
+                     int mbx, int mby, int slice_top)
     {
         const int x = mbx * kMbSize;
         const int y = mby * kMbSize;
         const int cx = mbx * 8;
         const int cy = mby * 8;
         MbInfo &info = grid_.at(mbx, mby);
-        const MotionVector pred_mv = mvPredictor(grid_, mbx, mby);
+        const MotionVector pred_mv = mvPredictor(grid_, mbx, mby,
+                                                 slice_top);
 
         if (probe_)
             probe_->record(KernelId::Dispatch, 1);
@@ -167,8 +211,10 @@ class DecoderState
             int cm = reader.bit(ctx::kIntraChroma);
             cm |= reader.bit(ctx::kIntraChroma + 1) << 1;
             chroma_mode = static_cast<IntraMode>(cm);
-            if (!intraModeAvailable(luma_mode, x, y) ||
-                !intraModeAvailable(chroma_mode, cx, cy)) {
+            if (!intraModeAvailable(luma_mode, x, y,
+                                    slice_top * kMbSize) ||
+                !intraModeAvailable(chroma_mode, cx, cy,
+                                    slice_top * 8)) {
                 return false;
             }
         } else {
@@ -211,9 +257,12 @@ class DecoderState
 
         // Predictions.
         if (mode == MbMode::Intra) {
-            intraPredict(luma_mode, recon_.y(), x, y, kMbSize, pred_y);
-            intraPredict(chroma_mode, recon_.u(), cx, cy, 8, pred_u);
-            intraPredict(chroma_mode, recon_.v(), cx, cy, 8, pred_v);
+            intraPredict(luma_mode, recon_.y(), x, y, kMbSize, pred_y,
+                         slice_top * kMbSize);
+            intraPredict(chroma_mode, recon_.u(), cx, cy, 8, pred_u,
+                         slice_top * 8);
+            intraPredict(chroma_mode, recon_.v(), cx, cy, 8, pred_v,
+                         slice_top * 8);
         } else if (mode == MbMode::Inter16) {
             motionCompensate(refs_[ref].y, x, y, mv[0], kMbSize, kMbSize,
                              pred_y);

@@ -16,6 +16,7 @@
 #include "codec/residual.h"
 #include "codec/syntax.h"
 #include "codec/transform.h"
+#include "core/runtime_config.h"
 #include "kernels/kernel_ops.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
@@ -156,10 +157,13 @@ mbVariance(const Plane &plane, int x, int y)
  *     dependency the analysis consumes (intra prediction reads the
  *     reconstructed top row and left column; the MV predictor reads
  *     the left, top, and top-right MbInfo).
- *  2. A serial entropy pass over the records in raster order. All
+ *  2. An entropy pass over the records in raster order. All
  *     order-dependent coder state (arithmetic contexts, QP deltas,
  *     the skip-MB deblock QP) lives only here, so the emitted stream
- *     is byte-identical at 1 and N threads.
+ *     is byte-identical at 1 and N threads. With slice_count > 1 the
+ *     frame is cut into horizontal bands whose coder state resets at
+ *     the band head, and the pass runs one band per worker — the
+ *     slice-parallel mode that removes the serial entropy tail.
  */
 class Sequencer
 {
@@ -192,6 +196,28 @@ class Sequencer
                 frame_threads_);
         if (tracer_)
             row_start_ns_.resize(static_cast<size_t>(mb_rows_), 0);
+
+        int slices = config.slice_count > 0
+            ? config.slice_count
+            : core::freshRuntimeConfig().slices;
+        // The fused probe path interleaves analysis with a single
+        // serial entropy writer; slices would change both the bytes
+        // and the kernel-record order the uarch models expect.
+        if (probe_)
+            slices = 1;
+        slice_count_ = std::clamp(
+            slices, 1,
+            std::min(static_cast<int>(kMaxSlices), std::max(1, mb_rows_)));
+        slice_row_start_.resize(static_cast<size_t>(slice_count_) + 1);
+        for (int s = 0; s <= slice_count_; ++s)
+            slice_row_start_[static_cast<size_t>(s)] =
+                sliceRowStart(mb_rows_, slice_count_, s);
+        slice_top_row_.resize(static_cast<size_t>(mb_rows_), 0);
+        for (int s = 0; s < slice_count_; ++s)
+            for (int r = slice_row_start_[static_cast<size_t>(s)];
+                 r < slice_row_start_[static_cast<size_t>(s) + 1]; ++r)
+                slice_top_row_[static_cast<size_t>(r)] =
+                    slice_row_start_[static_cast<size_t>(s)];
     }
 
     EncodeResult
@@ -207,6 +233,7 @@ class Sequencer
         header.deblock = tools_.deblock;
         header.adaptive_quant = tools_.adaptive_quant;
         header.num_refs = static_cast<uint32_t>(tools_.refs);
+        header.slice_count = static_cast<uint32_t>(slice_count_);
         writeStreamHeader(result.stream, header);
 
         for (int i = 0; i < source_.frameCount(); ++i) {
@@ -314,33 +341,41 @@ class Sequencer
                 writer = std::make_unique<VlcSyntaxWriter>(payload);
         }
 
-        last_qp_ = frame_qp;
-
         if (probe_) {
-            // Fused serial path (a probe forces frame_threads = 1):
-            // entropy emission interleaves with every macroblock, so
-            // the probe sees the exact kernel-record ordering the
-            // uarch models (I-cache pressure in particular) expect.
-            // The stream is identical to the two-phase path — analysis
-            // never reads writer state.
+            // Fused serial path (a probe forces frame_threads = 1 and
+            // slice_count = 1): entropy emission interleaves with
+            // every macroblock, so the probe sees the exact
+            // kernel-record ordering the uarch models (I-cache
+            // pressure in particular) expect. The stream is identical
+            // to the two-phase path — analysis never reads writer
+            // state.
             const KernelId entropy_kernel =
                 tools_.entropy == EntropyMode::Arith
                     ? KernelId::EntropyArith
                     : KernelId::EntropyVlc;
             double bits_done = 0;
+            int last_qp = frame_qp;
             for (int mby = 0; mby < mb_rows_; ++mby) {
                 for (int mbx = 0; mbx < mb_cols_; ++mbx) {
                     analyzeMacroblock(src, type, frame_qp, mbx, mby,
                                       wctx_[0]);
+                    const MbRecord &rec =
+                        records_[static_cast<size_t>(mby) * mb_cols_ +
+                                 mbx];
                     {
                         obs::ScopedStage ec(wctx_[0].acc,
                                             obs::Stage::EntropyCoding);
-                        writeMacroblock(
-                            records_[static_cast<size_t>(mby) *
-                                         mb_cols_ +
-                                     mbx],
-                            type, mbx, mby, *writer, stats);
+                        writeMacroblock(rec, type, mbx, mby, *writer,
+                                        stats, last_qp);
                     }
+                    // Mix real coefficient data into the entropy
+                    // decision hash (probe-only state; the two-phase
+                    // path never reads it). Skip MBs contribute no
+                    // coefficients, exactly as before.
+                    if (!rec.skip)
+                        entropy_hash_ =
+                            entropy_hash_ * 0x9E3779B97F4A7C15ull +
+                            static_cast<uint64_t>(rec.nonzero);
                     const double bits = writer->bitsWritten();
                     probe_->record(
                         entropy_kernel,
@@ -405,19 +440,103 @@ class Sequencer
             return payload;
         }
 
-        // ---- Phase 2: serial entropy pass in raster order. (A probe
-        // never reaches here; it takes the fused path above.) ----
-        {
-            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
-            for (int mby = 0; mby < mb_rows_; ++mby) {
-                for (int mbx = 0; mbx < mb_cols_; ++mbx) {
-                    writeMacroblock(
-                        records_[static_cast<size_t>(mby) * mb_cols_ +
-                                 mbx],
-                        type, mbx, mby, *writer, stats);
+        // ---- Phase 2: entropy pass. Single-slice emits straight into
+        // the frame payload in raster order (byte-identical to the
+        // pre-slice format); multi-slice emits each band into its own
+        // buffer — entropy contexts and the QP-delta chain restart at
+        // every slice head, so bands are independent and run on the
+        // wavefront worker set. (A probe never reaches here; it takes
+        // the fused path above.) ----
+        if (slice_count_ == 1) {
+            // Scope ends before finishFrame: deblock and reference
+            // bookkeeping must not count toward the entropy tail the
+            // slice bench compares against.
+            {
+                obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+                int last_qp = frame_qp;
+                for (int mby = 0; mby < mb_rows_; ++mby) {
+                    for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                        writeMacroblock(
+                            records_[static_cast<size_t>(mby) *
+                                         mb_cols_ +
+                                     mbx],
+                            type, mbx, mby, *writer, stats, last_qp);
+                    }
                 }
+                writer->finish();
             }
-            writer->finish();
+            finishFrame();
+            return payload;
+        }
+
+        writer.reset();  // the frame payload is built from slice buffers
+        std::vector<ByteBuffer> slice_bufs(
+            static_cast<size_t>(slice_count_));
+        std::vector<FrameStats> slice_stats(
+            static_cast<size_t>(slice_count_));
+        const auto write_slice = [&](int s, int slot) {
+            const uint64_t start_ns = tracer_ ? obs::nowNs() : 0;
+            WorkerCtx &wc = wctx_[static_cast<size_t>(slot)];
+            ByteBuffer &buf = slice_bufs[static_cast<size_t>(s)];
+            std::unique_ptr<SyntaxWriter> slice_writer;
+            if (tools_.entropy == EntropyMode::Arith)
+                slice_writer = std::make_unique<ArithSyntaxWriter>(buf);
+            else
+                slice_writer = std::make_unique<VlcSyntaxWriter>(buf);
+            int last_qp = frame_qp;
+            {
+                obs::ScopedStage ec(wc.acc, obs::Stage::EntropyCoding);
+                for (int mby = slice_row_start_[static_cast<size_t>(s)];
+                     mby < slice_row_start_[static_cast<size_t>(s) + 1];
+                     ++mby) {
+                    for (int mbx = 0; mbx < mb_cols_; ++mbx) {
+                        writeMacroblock(
+                            records_[static_cast<size_t>(mby) *
+                                         mb_cols_ +
+                                     mbx],
+                            type, mbx, mby, *slice_writer,
+                            slice_stats[static_cast<size_t>(s)],
+                            last_qp);
+                    }
+                }
+                slice_writer->finish();
+            }
+            if (tracer_)
+                tracer_->addSpan(config_.track, obs::Stage::EntropySlice,
+                                 frame_index, start_ns, obs::nowNs());
+        };
+        if (frame_threads_ > 1) {
+            // One "row" per slice, no cross-row dependencies.
+            complete = runner_->run(
+                slice_count_, 1, /*lag=*/0,
+                [&](int row, int, int slot) { write_slice(row, slot); },
+                cancel_);
+        } else {
+            for (int s = 0; s < slice_count_ && complete; ++s) {
+                if (cancelledNow()) {
+                    complete = false;
+                    break;
+                }
+                write_slice(s, 0);
+            }
+        }
+        if (acc_) {
+            for (WorkerCtx &wc : wctx_) {
+                accum_.addFrom(wc.accum);
+                wc.accum.reset();
+            }
+        }
+        if (!complete) {
+            cancelled_ = true;
+            return payload;
+        }
+        for (const FrameStats &ss : slice_stats) {
+            stats.intra_mbs += ss.intra_mbs;
+            stats.skip_mbs += ss.skip_mbs;
+        }
+        for (const ByteBuffer &buf : slice_bufs) {
+            appendU32(payload, static_cast<uint32_t>(buf.size()));
+            payload.insert(payload.end(), buf.begin(), buf.end());
         }
 
         finishFrame();
@@ -484,7 +603,28 @@ class Sequencer
         if (probe_)
             probe_->record(KernelId::Dispatch, 1);
 
-        const MotionVector pred_mv = mvPredictor(grid_, mbx, mby);
+        // Spatial prediction stops at the slice boundary: the MV
+        // predictor ignores neighbors above the slice head and intra
+        // treats the slice-top row like the frame edge, so every slice
+        // decodes (and its bits parse) with no cross-slice state.
+        const int slice_top = slice_top_row_[static_cast<size_t>(mby)];
+        const MotionVector pred_mv = mvPredictor(grid_, mbx, mby,
+                                                 slice_top);
+
+        // At a slice head the rate predictor must act as if the frame
+        // started, but the motion didn't: without help the pattern
+        // search walks from (0,0) on every boundary MB. Peek across
+        // the boundary for a search seed only — it never enters the
+        // bitstream, so decode semantics are untouched, and interior
+        // rows (all rows when slice_count == 1) get no seed, keeping
+        // the single-slice encode bit-identical.
+        MotionVector search_seed;
+        bool has_search_seed = false;
+        if (slice_top > 0 && mby == slice_top) {
+            search_seed = mvPredictor(grid_, mbx, mby, 0);
+            has_search_seed = search_seed.x != pred_mv.x ||
+                search_seed.y != pred_mv.y;
+        }
 
         // The MV any skip-flavored candidate may use: the predictor,
         // clamped into the legal compensation range for this block
@@ -561,6 +701,8 @@ class Sequencer
                 me.block_x = x;
                 me.block_y = y;
                 me.pred = pred_mv;
+                me.seed = search_seed;
+                me.has_seed = has_search_seed;
                 me.lambda = lambda;
                 me.kind = tools_.search;
                 me.range = tools_.range;
@@ -595,6 +737,8 @@ class Sequencer
                     me.block_w = 8;
                     me.block_h = 8;
                     me.pred = pred_mv;
+                    me.seed = search_seed;
+                    me.has_seed = has_search_seed;
                     me.lambda = lambda;
                     me.kind = tools_.search;
                     me.range = std::max(4, tools_.range / 2);
@@ -620,11 +764,13 @@ class Sequencer
             intra.mode = MbMode::Intra;
             uint8_t pred_buf[kMbSize * kMbSize];
             uint32_t tried = 0;
+            const int top_px = slice_top * kMbSize;
             for (int m = 0; m < tools_.intra_modes; ++m) {
                 const IntraMode mode = static_cast<IntraMode>(m);
-                if (!intraModeAvailable(mode, x, y))
+                if (!intraModeAvailable(mode, x, y, top_px))
                     continue;
-                intraPredict(mode, recon_.y(), x, y, kMbSize, pred_buf);
+                intraPredict(mode, recon_.y(), x, y, kMbSize, pred_buf,
+                             top_px);
                 ++tried;
                 const uint32_t sad = tools_.satd_subpel
                     ? satdBlock(src.y().row(y) + x, padded_w_, pred_buf,
@@ -760,7 +906,9 @@ class Sequencer
     {
         switch (cand.mode) {
           case MbMode::Intra:
-            intraPredict(cand.luma_mode, recon_.y(), x, y, kMbSize, pred);
+            intraPredict(cand.luma_mode, recon_.y(), x, y, kMbSize, pred,
+                         slice_top_row_[static_cast<size_t>(y / kMbSize)] *
+                             kMbSize);
             break;
           case MbMode::Skip:
           case MbMode::Inter16:
@@ -789,7 +937,8 @@ class Sequencer
     {
         if (cand.mode == MbMode::Intra) {
             const Plane &recon_plane = u_plane ? recon_.u() : recon_.v();
-            intraPredict(chroma_mode, recon_plane, cx, cy, 8, pred);
+            intraPredict(chroma_mode, recon_plane, cx, cy, 8, pred,
+                         slice_top_row_[static_cast<size_t>(cy / 8)] * 8);
             return;
         }
         const RefPlane &ref_plane =
@@ -903,12 +1052,13 @@ class Sequencer
                                          obs::Stage::IntraDecision);
             uint32_t best = UINT32_MAX;
             uint8_t pu[64], pv[64];
+            const int ctop = slice_top_row_[static_cast<size_t>(mby)] * 8;
             for (int m = 0; m < tools_.intra_modes; ++m) {
                 const IntraMode mode = static_cast<IntraMode>(m);
-                if (!intraModeAvailable(mode, cx, cy))
+                if (!intraModeAvailable(mode, cx, cy, ctop))
                     continue;
-                intraPredict(mode, recon_.u(), cx, cy, 8, pu);
-                intraPredict(mode, recon_.v(), cx, cy, 8, pv);
+                intraPredict(mode, recon_.u(), cx, cy, 8, pu, ctop);
+                intraPredict(mode, recon_.v(), cx, cy, 8, pv, ctop);
                 const uint32_t sad =
                     sadBlock(src.u().row(cy) + cx, padded_w_ / 2, pu, 8, 8,
                              8) +
@@ -996,23 +1146,25 @@ class Sequencer
         info.coded = coded;
     }
 
-    // ----- Serial entropy pass ---------------------------------------
+    // ----- Entropy pass ----------------------------------------------
 
     /**
-     * Emit one analyzed macroblock. This is the only place that
-     * touches raster-order coder state (contexts, last_qp_, the
-     * entropy hash), which is what makes the stream thread-count
-     * invariant.
+     * Emit one analyzed macroblock. All order-dependent coder state
+     * (contexts inside `writer`, the QP-delta chain in `last_qp`) is
+     * owned by the caller's slice, which is what makes the stream
+     * thread-count invariant and lets slices emit concurrently.
      */
     void
     writeMacroblock(const MbRecord &rec, FrameType type, int mbx, int mby,
-                    SyntaxWriter &writer, FrameStats &stats)
+                    SyntaxWriter &writer, FrameStats &stats, int &last_qp)
     {
         if (rec.skip) {
             writer.bit(1, ctx::kMbSkip);
             // The deblock filter reads the in-effect QP, which for a
-            // skip MB is the last coded one in raster order.
-            grid_.at(mbx, mby).qp = static_cast<uint8_t>(last_qp_);
+            // skip MB is the last coded one in slice raster order.
+            // Slices cover disjoint row bands, so these grid writes
+            // never race across slice workers.
+            grid_.at(mbx, mby).qp = static_cast<uint8_t>(last_qp);
             ++stats.skip_mbs;
             return;
         }
@@ -1051,8 +1203,8 @@ class Sequencer
         }
 
         if (tools_.adaptive_quant) {
-            writer.se(rec.qp - last_qp_, ctx::kQpDelta, 2);
-            last_qp_ = rec.qp;
+            writer.se(rec.qp - last_qp, ctx::kQpDelta, 2);
+            last_qp = rec.qp;
         }
 
         for (int b = 0; b < 16; ++b)
@@ -1061,10 +1213,6 @@ class Sequencer
             writeResidualBlock(writer, rec.levels_u + b * 16, false);
         for (int b = 0; b < 4; ++b)
             writeResidualBlock(writer, rec.levels_v + b * 16, false);
-
-        // Mix real coefficient data into the entropy decision hash.
-        entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
-            static_cast<uint64_t>(rec.nonzero);
     }
 
     const EncoderConfig &config_;
@@ -1088,11 +1236,17 @@ class Sequencer
     std::vector<uint64_t> row_start_ns_;
     bool cancelled_ = false;
 
+    int slice_count_ = 1;
+    /// Band boundaries: slice s spans MB rows [start[s], start[s+1]).
+    std::vector<int> slice_row_start_;
+    /// Per MB row, the first row of its slice (spatial prediction must
+    /// not read above it — slices decode independently).
+    std::vector<int> slice_top_row_;
+
     Frame recon_;
     MbGrid grid_;
     std::deque<RefFrame> refs_;
     std::vector<int8_t> aq_offsets_;
-    int last_qp_ = 26;
     uint64_t entropy_hash_ = 0;
 };
 

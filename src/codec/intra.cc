@@ -3,22 +3,22 @@
 namespace vbench::codec {
 
 bool
-intraModeAvailable(IntraMode mode, int x, int y)
+intraModeAvailable(IntraMode mode, int x, int y, int slice_top)
 {
     switch (mode) {
       case IntraMode::Dc: return true;
-      case IntraMode::Vertical: return y > 0;
+      case IntraMode::Vertical: return y > slice_top;
       case IntraMode::Horizontal: return x > 0;
-      case IntraMode::Planar: return x > 0 && y > 0;
+      case IntraMode::Planar: return x > 0 && y > slice_top;
     }
     return false;
 }
 
 void
 intraPredict(IntraMode mode, const video::Plane &recon, int x, int y,
-             int n, uint8_t *out)
+             int n, uint8_t *out, int slice_top)
 {
-    const bool has_top = y > 0;
+    const bool has_top = y > slice_top;
     const bool has_left = x > 0;
 
     switch (mode) {

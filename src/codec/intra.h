@@ -24,14 +24,20 @@ namespace vbench::codec {
  * @param x, y block position.
  * @param n block edge (16 luma, 8 chroma).
  * @param out destination buffer of n*n samples.
+ * @param slice_top first pixel row of the enclosing entropy slice;
+ *        rows above it are treated as outside the frame so slices
+ *        decode independently. 0 (the default) is the frame top —
+ *        identical to the pre-slice behavior.
  */
 void intraPredict(IntraMode mode, const video::Plane &recon, int x, int y,
-                  int n, uint8_t *out);
+                  int n, uint8_t *out, int slice_top = 0);
 
 /**
  * Which modes are usable at this position (Vertical needs a top
  * neighbor, Horizontal a left one, Planar both). DC always works.
+ * `slice_top` is the slice's first pixel row: blocks on it have no
+ * top neighbor, exactly like blocks on the frame top.
  */
-bool intraModeAvailable(IntraMode mode, int x, int y);
+bool intraModeAvailable(IntraMode mode, int x, int y, int slice_top = 0);
 
 } // namespace vbench::codec

@@ -57,12 +57,16 @@ class MbGrid
  * and top-right neighbors (top-left when top-right is outside),
  * substituting (0,0) for neighbors that are missing or intra. Encoder
  * and decoder must call this with identically-filled grids.
+ * `top_row` is the first MB row of the enclosing entropy slice: rows
+ * above it count as missing, so a slice's prediction never reaches
+ * across its boundary. 0 (the default) is the frame top.
  */
 inline MotionVector
-mvPredictor(const MbGrid &grid, int mbx, int mby)
+mvPredictor(const MbGrid &grid, int mbx, int mby, int top_row = 0)
 {
     auto neighbor = [&](int nx, int ny) -> MotionVector {
-        if (nx < 0 || ny < 0 || nx >= grid.cols() || ny >= grid.rows())
+        if (nx < 0 || ny < top_row || nx >= grid.cols() ||
+            ny >= grid.rows())
             return MotionVector{};
         const MbInfo &info = grid.at(nx, ny);
         if (info.mode == MbMode::Intra)

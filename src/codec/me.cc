@@ -196,9 +196,14 @@ motionSearch(const MeContext &ctx)
 {
     SearchState state(ctx);
 
-    // Seed candidates: zero MV and the predictor.
+    // Seed candidates: zero MV, the predictor, and (when the caller
+    // supplied one) the extra hint. The hint matters at slice heads,
+    // where the rate predictor resets to zero but real motion hasn't:
+    // without it the pattern search walks from (0,0) every time.
     state.tryFullPel(0, 0);
     state.tryFullPel((ctx.pred.x + 1) / 2, (ctx.pred.y + 1) / 2);
+    if (ctx.has_seed)
+        state.tryFullPel((ctx.seed.x + 1) / 2, (ctx.seed.y + 1) / 2);
 
     switch (ctx.kind) {
       case SearchKind::Diamond:

@@ -44,6 +44,13 @@ struct MeContext {
     int block_w = 16;
     int block_h = 16;
     MotionVector pred;                  ///< MV predictor (half-pel)
+    /// Extra full-pel-rounded search seed (half-pel units). Encoder-side
+    /// hint only — never enters the bitstream, so callers may seed from
+    /// state the decoder cannot see (e.g. the row above a slice head,
+    /// where `pred` must act as if the frame started). Ignored unless
+    /// has_seed is set.
+    MotionVector seed;
+    bool has_seed = false;
     double lambda = 1.0;                ///< SAD-domain rate weight
     SearchKind kind = SearchKind::Hex;
     int range = 16;                     ///< full-pel search radius

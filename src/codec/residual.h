@@ -63,6 +63,10 @@ readResidualBlock(SyntaxReader &reader, int16_t levels[16], bool luma)
     int pos = -1;
     for (uint32_t i = 0; i < count; ++i) {
         const uint32_t run = reader.ue(ctx::kRun, 3);
+        // Bound before the int cast: a corrupt run near UINT32_MAX
+        // would wrap `pos` negative and index below the zigzag table.
+        if (run > 15)
+            return -1;
         pos += static_cast<int>(run) + 1;
         if (pos > 15)
             return -1;

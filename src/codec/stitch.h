@@ -50,7 +50,8 @@ sameCodingTools(const StreamHeader &a, const StreamHeader &b)
     return a.width == b.width && a.height == b.height &&
         a.fps_num == b.fps_num && a.fps_den == b.fps_den &&
         a.entropy == b.entropy && a.deblock == b.deblock &&
-        a.adaptive_quant == b.adaptive_quant && a.num_refs == b.num_refs;
+        a.adaptive_quant == b.adaptive_quant &&
+        a.num_refs == b.num_refs && a.slice_count == b.slice_count;
 }
 
 } // namespace detail

@@ -42,6 +42,7 @@ class VbcBackend final : public EncoderBackend
         config_.probe = request.probe;
         config_.tracer = tracer;
         config_.frame_threads = request.frame_threads;
+        config_.slice_count = request.slice_count;
         config_.cancel = request.cancel;
         config_.segment_frames = request.segment_frames;
         config_.rc_in = request.rc_in;
@@ -90,6 +91,7 @@ class NgcBackend final : public EncoderBackend
         config_.probe = request.probe;
         config_.tracer = tracer;
         config_.frame_threads = request.frame_threads;
+        config_.slice_count = request.slice_count;
         config_.cancel = request.cancel;
         config_.segment_frames = request.segment_frames;
         config_.rc_in = request.rc_in;

@@ -9,6 +9,8 @@
  *
  *   VBENCH_JOBS            scheduler worker threads (positive int)
  *   VBENCH_FRAME_THREADS   intra-frame wavefront width (positive int)
+ *   VBENCH_SLICES          entropy slice bands per frame (positive
+ *                          int; 1 = legacy single-segment payloads)
  *   VBENCH_SEGMENT_FRAMES  frames per service segment (positive int)
  *   VBENCH_ARRIVAL_RATE    workload arrivals/second (positive float)
  *   VBENCH_ZIPF_S          workload Zipf popularity exponent
@@ -61,11 +63,14 @@ namespace vbench::core {
 inline constexpr int kMaxRuntimeJobs = 512;
 /** Upper bound on VBENCH_FRAME_THREADS, same rationale. */
 inline constexpr int kMaxRuntimeFrameThreads = 64;
+/** Upper bound on VBENCH_SLICES (mirrors codec::kMaxSlices). */
+inline constexpr int kMaxRuntimeSlices = 64;
 
 /** Every VBENCH_* knob, parsed and validated together. */
 struct RuntimeConfig {
     int jobs = 0;             ///< VBENCH_JOBS; 0 = auto (hardware)
     int frame_threads = 1;    ///< VBENCH_FRAME_THREADS; default serial
+    int slices = 1;           ///< VBENCH_SLICES; default single slice
     int segment_frames = 0;   ///< VBENCH_SEGMENT_FRAMES; 0 = caller's
     double arrival_rate_hz = 0;  ///< VBENCH_ARRIVAL_RATE; 0 = caller's
     double zipf_s = 0;        ///< VBENCH_ZIPF_S; 0 = caller's default
@@ -184,6 +189,9 @@ RuntimeConfig::fromEnv(std::vector<std::string> *errors)
         detail::parsePositiveInt("VBENCH_FRAME_THREADS", v,
                                  kMaxRuntimeFrameThreads,
                                  &cfg.frame_threads, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_SLICES"); v[0])
+        detail::parsePositiveInt("VBENCH_SLICES", v, kMaxRuntimeSlices,
+                                 &cfg.slices, errors);
     if (const char *v = detail::envOrEmpty("VBENCH_SEGMENT_FRAMES");
         v[0])
         detail::parsePositiveInt("VBENCH_SEGMENT_FRAMES", v,

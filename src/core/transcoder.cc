@@ -3,10 +3,12 @@
 #include <cassert>
 #include <sstream>
 
+#include "codec/bitstream.h"
 #include "codec/decoder.h"
 #include "codec/encoder.h"
 #include "codec/preset.h"
 #include "core/encoder_backend.h"
+#include "core/runtime_config.h"
 #include "kernels/kernel_ops.h"
 #include "obs/clock.h"
 #include "obs/obs.h"
@@ -72,6 +74,12 @@ TranscodeRequest::validate() const
     if (frame_threads < 0 || frame_threads > sched::kMaxFrameThreads) {
         err << "frame_threads " << frame_threads << " out of range [0, "
             << sched::kMaxFrameThreads << "] (0 = VBENCH_FRAME_THREADS)";
+        return err.str();
+    }
+    if (slice_count < 0 ||
+        slice_count > static_cast<int>(codec::kMaxSlices)) {
+        err << "slice_count " << slice_count << " out of range [0, "
+            << codec::kMaxSlices << "] (0 = VBENCH_SLICES)";
         return err.str();
     }
     // Rate-control sanity: the knob the selected mode reads must be in
@@ -190,6 +198,14 @@ transcode(const codec::ByteBuffer &input, const video::Video &original,
     outcome.frame_threads = ft_decision.threads;
     TranscodeRequest resolved = request;
     resolved.frame_threads = ft_decision.threads;
+    // Resolve the slice count the same way (0 = the env knob) so the
+    // outcome reports the effective value and the backends don't each
+    // re-read the environment. Per-frame clamping to the MB/SB row
+    // count still happens inside the encoders.
+    resolved.slice_count = request.slice_count > 0
+        ? request.slice_count
+        : freshRuntimeConfig().slices;
+    outcome.slice_count = resolved.slice_count;
 
     std::unique_ptr<EncoderBackend> backend =
         EncoderBackend::create(resolved, tracer);
@@ -327,6 +343,7 @@ makeRunReport(std::string label, const TranscodeRequest &request,
     report.stages = outcome.stages;
     report.frame_threads = outcome.frame_threads;
     report.extra.emplace_back("ok", outcome.ok ? 1.0 : 0.0);
+    report.extra.emplace_back("slice_count", outcome.slice_count);
     if (request.span.valid())
         report.extra_str.emplace_back(
             "trace_id", std::to_string(request.span.trace_id));

@@ -67,6 +67,18 @@ struct TranscodeRequest {
      * model backends ignore it.
      */
     int frame_threads = 0;
+    /**
+     * Entropy slice bands per frame for the software encoders (VBC and
+     * NGC). 0 resolves VBENCH_SLICES (core::RuntimeConfig); 1 is the
+     * legacy single-segment payload, byte-identical to pre-slice
+     * streams. Values above 1 cut each frame into that many
+     * independently coded horizontal bands so the entropy pass runs
+     * slice-parallel on the wavefront worker set — a small bitrate
+     * overhead (reset contexts, slice length prefixes) buys scaling
+     * past the Amdahl ceiling of the serial entropy tail. Clamped to
+     * the frame's MB/SB row count. Hardware model backends ignore it.
+     */
+    int slice_count = 0;
     /// Cooperative cancellation: when set and it becomes true, the
     /// transcode aborts at the next phase boundary with
     /// `error == "cancelled"`. The scheduler wires each job's handle
@@ -130,6 +142,9 @@ struct TranscodeOutcome {
     /// Effective intra-frame wavefront width the encode ran with,
     /// after the oversubscription guard (1 = serial analysis).
     int frame_threads = 1;
+    /// Effective entropy slice count the encode ran with (1 = legacy
+    /// single-segment payloads, serial entropy).
+    int slice_count = 1;
     /// Rate-controller state after the encode — feed into the next
     /// segment's TranscodeRequest::rc_in to chain a split-and-stitch
     /// transcode.

@@ -71,6 +71,9 @@ hwEncode(const HwEncoderSpec &spec, const video::Video &source,
     cfg.rc = rc;
     cfg.gop = spec.gop;
     cfg.tools_override = spec.tools;
+    // The bitstream layout is frozen in silicon: hardware models never
+    // emit entropy slices, whatever VBENCH_SLICES says.
+    cfg.slice_count = 1;
     cfg.tracer = tracer;
     cfg.track = obs::Track::HwEncode;
     codec::Encoder encoder(cfg);

@@ -29,18 +29,25 @@ struct NgcStreamHeader {
     NgcProfile profile = NgcProfile::HevcLike;
     uint32_t num_refs = 1;
     bool deblock = true;
+    /// Entropy slice bands per frame; 1 = the legacy single-segment
+    /// payload (written as a version-1 header, byte-identical to the
+    /// pre-slice format). Same wire rule as codec::StreamHeader.
+    uint32_t slice_count = 1;
 
     double fps() const { return static_cast<double>(fps_num) / fps_den; }
 };
 
 inline constexpr char kNgcMagic[4] = {'N', 'G', 'C', '1'};
+inline constexpr uint32_t kNgcVersion = 1;
+/// Header version carrying a slice_count field (> 1 slices only).
+inline constexpr uint32_t kNgcVersionSlices = 2;
 
 inline void
 writeNgcHeader(codec::ByteBuffer &out, const NgcStreamHeader &header)
 {
     out.insert(out.end(), kNgcMagic, kNgcMagic + 4);
     codec::BitWriter bits(out);
-    bits.putUe(1);  // version
+    bits.putUe(header.slice_count > 1 ? kNgcVersionSlices : kNgcVersion);
     bits.putUe(static_cast<uint32_t>(header.width));
     bits.putUe(static_cast<uint32_t>(header.height));
     bits.putUe(header.fps_num);
@@ -49,6 +56,8 @@ writeNgcHeader(codec::ByteBuffer &out, const NgcStreamHeader &header)
     bits.putBit(header.profile == NgcProfile::Vp9Like);
     bits.putBit(header.deblock);
     bits.putUe(header.num_refs);
+    if (header.slice_count > 1)
+        bits.putUe(header.slice_count);
     bits.align();
 }
 
@@ -59,7 +68,8 @@ parseNgcHeader(const uint8_t *data, size_t size, size_t &consumed)
         return std::nullopt;
     codec::BitReader bits(data + 4, size - 4);
     NgcStreamHeader header;
-    if (bits.getUe() != 1)
+    const uint32_t version = bits.getUe();
+    if (version != kNgcVersion && version != kNgcVersionSlices)
         return std::nullopt;
     header.width = static_cast<int>(bits.getUe());
     header.height = static_cast<int>(bits.getUe());
@@ -70,9 +80,14 @@ parseNgcHeader(const uint8_t *data, size_t size, size_t &consumed)
         bits.getBit() ? NgcProfile::Vp9Like : NgcProfile::HevcLike;
     header.deblock = bits.getBit();
     header.num_refs = bits.getUe();
+    if (version >= kNgcVersionSlices)
+        header.slice_count = bits.getUe();
     if (bits.overflowed() || header.width <= 0 || header.height <= 0 ||
         header.fps_num == 0 || header.fps_den == 0 ||
-        header.num_refs == 0 || header.num_refs > 8) {
+        header.num_refs == 0 || header.num_refs > 8 ||
+        header.slice_count == 0 ||
+        header.slice_count > codec::kMaxSlices ||
+        (version >= kNgcVersionSlices && header.slice_count < 2)) {
         return std::nullopt;
     }
     consumed = 4 + (bits.bitPos() + 7) / 8;
@@ -107,7 +122,8 @@ stitchNgcStreams(const std::vector<codec::ByteBuffer> &segments)
                    header->fps_den != merged.fps_den ||
                    header->profile != merged.profile ||
                    header->deblock != merged.deblock ||
-                   header->num_refs != merged.num_refs) {
+                   header->num_refs != merged.num_refs ||
+                   header->slice_count != merged.slice_count) {
             return std::nullopt;
         }
         if (header->frame_count > 0) {

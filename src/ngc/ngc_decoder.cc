@@ -50,34 +50,49 @@ class NgcDecoderState
             return false;
         const FrameType type = codec::frameTypeFromByte(payload[0]);
         qp_ = codec::frameQpFromByte(payload[0]);
+        // The header byte carries 6 QP bits (0..63); values past kMaxQp
+        // never come from an encoder and would overrun the QP-indexed
+        // deblock threshold tables.
+        if (qp_ < codec::kMinQp || qp_ > codec::kMaxQp)
+            return false;
         if (type == FrameType::I)
             refs_.clear();
         if (type == FrameType::P && refs_.empty())
             return false;
 
-        codec::ArithSyntaxReader reader(payload + 1, size - 1,
-                                        nctx::kNumContexts);
+        const int slices = static_cast<int>(header_.slice_count);
+        if (slices < 1 || slices > sb_rows_)
+            return false;
+
         recon_ = Frame(padded_w_, padded_h_);
         cells_ = CellGrid(padded_w_ / 8, padded_h_ / 8);
 
-        double bits_done = 0;
-        for (int sby = 0; sby < sb_rows_; ++sby) {
-            for (int sbx = 0; sbx < sb_cols_; ++sbx) {
-                if (!decodeTree(reader, sbx * kSbSize, sby * kSbSize,
-                                kSbSize, 0, type)) {
+        // Each slice is a self-contained segment with fresh arithmetic
+        // contexts; slice_count == 1 is the legacy layout — the whole
+        // payload after the frame byte, with no length prefix.
+        size_t offset = 1;
+        for (int s = 0; s < slices; ++s) {
+            const uint8_t *seg = payload + offset;
+            size_t seg_size = size - offset;
+            if (slices > 1) {
+                if (size - offset < 4)
                     return false;
-                }
-                if (probe_) {
-                    const double bits = reader.bitsConsumed();
-                    probe_->record(
-                        KernelId::DecodeParse,
-                        std::max<uint64_t>(
-                            1, static_cast<uint64_t>(bits - bits_done)),
-                        parse_hash_, 64);
-                    bits_done = bits;
-                }
+                const uint32_t len = codec::readU32(payload + offset);
+                offset += 4;
+                if (len == 0 || size - offset < len)
+                    return false;
+                seg = payload + offset;
+                seg_size = len;
+                offset += len;
             }
+            if (!decodeSlice(seg, seg_size, type,
+                             codec::sliceRowStart(sb_rows_, slices, s),
+                             codec::sliceRowStart(sb_rows_, slices,
+                                                  s + 1)))
+                return false;
         }
+        if (slices > 1 && offset != size)
+            return false;  // trailing garbage after the last slice
 
         if (header_.deblock)
             deblockMapped();
@@ -140,9 +155,38 @@ class NgcDecoderState
         codec::deblockFrame(recon_, grid, probe_);
     }
 
+    /** Decode SB rows [row_begin, row_end) from one slice segment. */
+    bool
+    decodeSlice(const uint8_t *seg, size_t seg_size, FrameType type,
+                int row_begin, int row_end)
+    {
+        codec::ArithSyntaxReader reader(seg, seg_size,
+                                        nctx::kNumContexts);
+        const int slice_top_px = row_begin * kSbSize;
+        double bits_done = 0;
+        for (int sby = row_begin; sby < row_end; ++sby) {
+            for (int sbx = 0; sbx < sb_cols_; ++sbx) {
+                if (!decodeTree(reader, sbx * kSbSize, sby * kSbSize,
+                                kSbSize, 0, type, slice_top_px)) {
+                    return false;
+                }
+                if (probe_) {
+                    const double bits = reader.bitsConsumed();
+                    probe_->record(
+                        KernelId::DecodeParse,
+                        std::max<uint64_t>(
+                            1, static_cast<uint64_t>(bits - bits_done)),
+                        parse_hash_, 64);
+                    bits_done = bits;
+                }
+            }
+        }
+        return true;
+    }
+
     bool
     decodeTree(SyntaxReader &reader, int x, int y, int size, int depth,
-               FrameType type)
+               FrameType type, int slice_top_px)
     {
         bool split = false;
         if (size > kMinCu)
@@ -152,23 +196,24 @@ class NgcDecoderState
             for (int q = 0; q < 4; ++q) {
                 if (!decodeTree(reader, x + (q & 1) * half,
                                 y + (q >> 1) * half, half, depth + 1,
-                                type)) {
+                                type, slice_top_px)) {
                     return false;
                 }
             }
             return true;
         }
-        return decodeLeaf(reader, x, y, size, type);
+        return decodeLeaf(reader, x, y, size, type, slice_top_px);
     }
 
     bool
     decodeLeaf(SyntaxReader &reader, int x, int y, int size,
-               FrameType type)
+               FrameType type, int slice_top_px)
     {
         if (probe_)
             probe_->record(KernelId::Dispatch, size * size / 256 + 1);
 
-        const MotionVector pred_mv = cellMvPredictor(cells_, x / 8, y / 8);
+        const MotionVector pred_mv =
+            cellMvPredictor(cells_, x / 8, y / 8, slice_top_px / 8);
         const int csize = size / 2;
         const int cx = x / 2;
         const int cy = y / 2;
@@ -217,7 +262,7 @@ class NgcDecoderState
             if (m >= kNgcIntraModes)
                 return false;
             intra_mode = static_cast<NgcIntraMode>(m);
-            if (!ngcIntraAvailable(intra_mode, x, y))
+            if (!ngcIntraAvailable(intra_mode, x, y, slice_top_px))
                 return false;
         }
 
@@ -232,12 +277,17 @@ class NgcDecoderState
             codec::motionCompensate(refs_[ref].v, cx, cy, cmv, csize,
                                     csize, pred_v);
         } else {
-            ngcIntraPredict(intra_mode, recon_.y(), x, y, size, pred_y);
+            const int ctop = slice_top_px / 2;
+            ngcIntraPredict(intra_mode, recon_.y(), x, y, size, pred_y,
+                            slice_top_px);
             const NgcIntraMode cmode =
-                ngcIntraAvailable(intra_mode, cx, cy) ? intra_mode
-                                                      : NgcIntraMode::Dc;
-            ngcIntraPredict(cmode, recon_.u(), cx, cy, csize, pred_u);
-            ngcIntraPredict(cmode, recon_.v(), cx, cy, csize, pred_v);
+                ngcIntraAvailable(intra_mode, cx, cy, ctop)
+                    ? intra_mode
+                    : NgcIntraMode::Dc;
+            ngcIntraPredict(cmode, recon_.u(), cx, cy, csize, pred_u,
+                            ctop);
+            ngcIntraPredict(cmode, recon_.v(), cx, cy, csize, pred_v,
+                            ctop);
         }
 
         int nonzero = 0;

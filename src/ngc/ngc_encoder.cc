@@ -11,6 +11,7 @@
 #include "codec/refplane.h"
 #include "codec/syntax.h"
 #include "codec/transform.h"
+#include "core/runtime_config.h"
 #include "kernels/kernel_ops.h"
 #include "ngc/ngc_bitstream.h"
 #include "ngc/ngc_intra.h"
@@ -185,6 +186,29 @@ class NgcSequencer
         if (tracer_)
             row_start_ns_.resize(static_cast<size_t>(sb_rows_), 0);
         sb_records_.resize(static_cast<size_t>(sb_cols_) * sb_rows_);
+
+        int slices = config.slice_count > 0
+            ? config.slice_count
+            : core::freshRuntimeConfig().slices;
+        // The fused probe path interleaves analysis with a single
+        // serial entropy writer; slices would change both the bytes
+        // and the kernel-record order the uarch models expect.
+        if (probe_)
+            slices = 1;
+        slice_count_ = std::clamp(
+            slices, 1,
+            std::min(static_cast<int>(codec::kMaxSlices),
+                     std::max(1, sb_rows_)));
+        slice_row_start_.resize(static_cast<size_t>(slice_count_) + 1);
+        for (int s = 0; s <= slice_count_; ++s)
+            slice_row_start_[static_cast<size_t>(s)] =
+                codec::sliceRowStart(sb_rows_, slice_count_, s);
+        slice_top_row_.resize(static_cast<size_t>(sb_rows_), 0);
+        for (int s = 0; s < slice_count_; ++s)
+            for (int r = slice_row_start_[static_cast<size_t>(s)];
+                 r < slice_row_start_[static_cast<size_t>(s) + 1]; ++r)
+                slice_top_row_[static_cast<size_t>(r)] =
+                    slice_row_start_[static_cast<size_t>(s)];
     }
 
     EncodeResult
@@ -198,6 +222,7 @@ class NgcSequencer
         header.frame_count = static_cast<uint32_t>(source_.frameCount());
         header.profile = config_.profile;
         header.num_refs = static_cast<uint32_t>(tools_.refs);
+        header.slice_count = static_cast<uint32_t>(slice_count_);
         writeNgcHeader(result.stream, header);
 
         for (int i = 0; i < source_.frameCount(); ++i) {
@@ -288,15 +313,16 @@ class NgcSequencer
         }
 
         ByteBuffer payload;
-        codec::ArithSyntaxWriter writer(payload, nctx::kNumContexts);
 
         if (probe_) {
-            // Fused serial path (a probe forces frame_threads = 1):
-            // entropy emission interleaves with every superblock, so
-            // the probe sees the exact kernel-record ordering the
-            // uarch models (I-cache pressure in particular) expect.
-            // The stream is identical to the two-phase path — analysis
-            // never reads writer state.
+            // Fused serial path (a probe forces frame_threads = 1 and
+            // slice_count = 1): entropy emission interleaves with
+            // every superblock, so the probe sees the exact
+            // kernel-record ordering the uarch models (I-cache
+            // pressure in particular) expect. The stream is identical
+            // to the two-phase path — analysis never reads writer
+            // state.
+            codec::ArithSyntaxWriter writer(payload, nctx::kNumContexts);
             double bits_done = 0;
             for (int sby = 0; sby < sb_rows_; ++sby) {
                 for (int sbx = 0; sbx < sb_cols_; ++sbx) {
@@ -376,20 +402,98 @@ class NgcSequencer
             return payload;
         }
 
-        // ---- Phase 2: serial entropy pass in raster order. (A probe
-        // never reaches here; it takes the fused path above.) ----
-        {
-            obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
-            for (int sby = 0; sby < sb_rows_; ++sby) {
-                for (int sbx = 0; sbx < sb_cols_; ++sbx) {
-                    SbCursor cur;
-                    writeTree(sb_records_[static_cast<size_t>(sby) *
-                                              sb_cols_ +
-                                          sbx],
-                              cur, kSbSize, 0, type, writer, stats);
+        // ---- Phase 2: entropy pass. Single-slice emits straight into
+        // the frame payload in raster order (byte-identical to the
+        // pre-slice format); multi-slice emits each band into its own
+        // buffer — the arithmetic contexts restart at every slice
+        // head, so bands are independent and run on the wavefront
+        // worker set. (A probe never reaches here; it takes the fused
+        // path above.) ----
+        if (slice_count_ == 1) {
+            codec::ArithSyntaxWriter writer(payload, nctx::kNumContexts);
+            // Scope ends before finishFrame: deblock and reference
+            // bookkeeping must not count toward the entropy tail the
+            // slice bench compares against.
+            {
+                obs::ScopedStage ec(acc_, obs::Stage::EntropyCoding);
+                for (int sby = 0; sby < sb_rows_; ++sby) {
+                    for (int sbx = 0; sbx < sb_cols_; ++sbx) {
+                        SbCursor cur;
+                        writeTree(sb_records_[static_cast<size_t>(sby) *
+                                                  sb_cols_ +
+                                              sbx],
+                                  cur, kSbSize, 0, type, writer, stats);
+                    }
                 }
+                writer.finish();
             }
-            writer.finish();
+            finishFrame();
+            return payload;
+        }
+
+        std::vector<ByteBuffer> slice_bufs(
+            static_cast<size_t>(slice_count_));
+        std::vector<FrameStats> slice_stats(
+            static_cast<size_t>(slice_count_));
+        const auto write_slice = [&](int s, int slot) {
+            const uint64_t start_ns = tracer_ ? obs::nowNs() : 0;
+            NgcWorkerCtx &wc = wctx_[static_cast<size_t>(slot)];
+            codec::ArithSyntaxWriter slice_writer(
+                slice_bufs[static_cast<size_t>(s)], nctx::kNumContexts);
+            {
+                obs::ScopedStage ec(wc.acc, obs::Stage::EntropyCoding);
+                for (int sby = slice_row_start_[static_cast<size_t>(s)];
+                     sby < slice_row_start_[static_cast<size_t>(s) + 1];
+                     ++sby) {
+                    for (int sbx = 0; sbx < sb_cols_; ++sbx) {
+                        SbCursor cur;
+                        writeTree(
+                            sb_records_[static_cast<size_t>(sby) *
+                                            sb_cols_ +
+                                        sbx],
+                            cur, kSbSize, 0, type, slice_writer,
+                            slice_stats[static_cast<size_t>(s)]);
+                    }
+                }
+                slice_writer.finish();
+            }
+            if (tracer_)
+                tracer_->addSpan(obs::Track::NgcEncode,
+                                 obs::Stage::EntropySlice, frame_index,
+                                 start_ns, obs::nowNs());
+        };
+        if (frame_threads_ > 1) {
+            // One "row" per slice, no cross-row dependencies.
+            complete = runner_->run(
+                slice_count_, 1, /*lag=*/0,
+                [&](int row, int, int slot) { write_slice(row, slot); },
+                cancel_);
+        } else {
+            for (int s = 0; s < slice_count_ && complete; ++s) {
+                if (cancelledNow()) {
+                    complete = false;
+                    break;
+                }
+                write_slice(s, 0);
+            }
+        }
+        if (acc_) {
+            for (NgcWorkerCtx &wc : wctx_) {
+                accum_.addFrom(wc.accum);
+                wc.accum.reset();
+            }
+        }
+        if (!complete) {
+            cancelled_ = true;
+            return payload;
+        }
+        for (const FrameStats &ss : slice_stats) {
+            stats.intra_mbs += ss.intra_mbs;
+            stats.skip_mbs += ss.skip_mbs;
+        }
+        for (const ByteBuffer &buf : slice_bufs) {
+            codec::appendU32(payload, static_cast<uint32_t>(buf.size()));
+            payload.insert(payload.end(), buf.begin(), buf.end());
         }
 
         finishFrame();
@@ -486,6 +590,12 @@ class NgcSequencer
         const int idx = static_cast<int>(arena.size());
         arena.emplace_back();
 
+        // Spatial prediction stops at the slice boundary: intra treats
+        // the slice-top row like the frame edge and the cell MV
+        // predictor ignores neighbors above it, so every slice decodes
+        // with no cross-slice state.
+        const int slice_top_px =
+            slice_top_row_[static_cast<size_t>(y / kSbSize)] * kSbSize;
         uint32_t intra_tried = 0;
         {
             // Intra estimate on the current reconstruction state.
@@ -493,9 +603,10 @@ class NgcSequencer
             CuPlan &node = arena[idx];
             for (int m = 0; m < kNgcIntraModes; ++m) {
                 const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
-                if (!ngcIntraAvailable(mode, x, y))
+                if (!ngcIntraAvailable(mode, x, y, slice_top_px))
                     continue;
-                ngcIntraPredict(mode, recon_.y(), x, y, size, pred);
+                ngcIntraPredict(mode, recon_.y(), x, y, size, pred,
+                                slice_top_px);
                 ++intra_tried;
                 const uint32_t sad = codec::satdBlock(
                     src_.y().row(y) + x, padded_w_, pred, size, size,
@@ -515,7 +626,19 @@ class NgcSequencer
 
         if (type == FrameType::P && !refs_.empty()) {
             const MotionVector pred_mv =
-                cellMvPredictor(cells_, x / 8, y / 8);
+                cellMvPredictor(cells_, x / 8, y / 8, slice_top_px / 8);
+            // CUs on a slice-head row lose their top neighbors for
+            // rate prediction; peek across the boundary for a search
+            // seed only (encoder-side, never in the bitstream). CUs
+            // below the head — and everything at slice_count == 1 —
+            // get no seed, so single-slice streams stay bit-identical.
+            MotionVector seed_mv;
+            bool has_seed = false;
+            if (slice_top_px > 0 && y == slice_top_px) {
+                seed_mv = cellMvPredictor(cells_, x / 8, y / 8, 0);
+                has_seed = seed_mv.x != pred_mv.x ||
+                    seed_mv.y != pred_mv.y;
+            }
             for (int r = 0;
                  r < static_cast<int>(refs_.size()) && r < tools_.refs;
                  ++r) {
@@ -527,6 +650,8 @@ class NgcSequencer
                 me.block_w = size;
                 me.block_h = size;
                 me.pred = pred_mv;
+                me.seed = seed_mv;
+                me.has_seed = has_seed;
                 me.lambda = lambda_sad_;
                 me.kind = tools_.search;
                 me.range = tools_.range;
@@ -605,7 +730,10 @@ class NgcSequencer
         if (probe_)
             probe_->record(KernelId::Dispatch, size * size / 256 + 1);
 
-        const MotionVector pred_mv = cellMvPredictor(cells_, x / 8, y / 8);
+        const int slice_top_px =
+            slice_top_row_[static_cast<size_t>(y / kSbSize)] * kSbSize;
+        const MotionVector pred_mv =
+            cellMvPredictor(cells_, x / 8, y / 8, slice_top_px / 8);
         const bool inter_valid =
             type == FrameType::P && node.inter_cost != UINT32_MAX;
 
@@ -619,9 +747,10 @@ class NgcSequencer
             uint8_t pred[kSbSize * kSbSize];
             for (int m = 0; m < kNgcIntraModes; ++m) {
                 const NgcIntraMode mode = static_cast<NgcIntraMode>(m);
-                if (!ngcIntraAvailable(mode, x, y))
+                if (!ngcIntraAvailable(mode, x, y, slice_top_px))
                     continue;
-                ngcIntraPredict(mode, recon_.y(), x, y, size, pred);
+                ngcIntraPredict(mode, recon_.y(), x, y, size, pred,
+                                slice_top_px);
                 const uint32_t sad = codec::satdBlock(
                     src_.y().row(y) + x, padded_w_, pred, size, size,
                     size);
@@ -678,12 +807,17 @@ class NgcSequencer
             codec::motionCompensate(refs_[ref].v, cx, cy, cmv, csize,
                                     csize, pred_v);
         } else {
-            ngcIntraPredict(intra_mode, recon_.y(), x, y, size, pred_y);
+            const int ctop = slice_top_px / 2;
+            ngcIntraPredict(intra_mode, recon_.y(), x, y, size, pred_y,
+                            slice_top_px);
             const NgcIntraMode cmode =
-                ngcIntraAvailable(intra_mode, cx, cy) ? intra_mode
-                                                      : NgcIntraMode::Dc;
-            ngcIntraPredict(cmode, recon_.u(), cx, cy, csize, pred_u);
-            ngcIntraPredict(cmode, recon_.v(), cx, cy, csize, pred_v);
+                ngcIntraAvailable(intra_mode, cx, cy, ctop)
+                    ? intra_mode
+                    : NgcIntraMode::Dc;
+            ngcIntraPredict(cmode, recon_.u(), cx, cy, csize, pred_u,
+                            ctop);
+            ngcIntraPredict(cmode, recon_.v(), cx, cy, csize, pred_v,
+                            ctop);
         }
 
         // Residuals.
@@ -885,8 +1019,12 @@ class NgcSequencer
         if (!leaf.use_inter)
             ++stats.intra_mbs;
 
-        entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
-            static_cast<uint64_t>(leaf.nonzero);
+        // Probe-only decision hash. Guarded because the probe path is
+        // the only reader and the only serial caller — slice-parallel
+        // replay must not share mutable state across workers.
+        if (probe_)
+            entropy_hash_ = entropy_hash_ * 0x9E3779B97F4A7C15ull +
+                static_cast<uint64_t>(leaf.nonzero);
     }
 
     void
@@ -999,6 +1137,13 @@ class NgcSequencer
     std::vector<SbRecord> sb_records_;
     std::vector<uint64_t> row_start_ns_;
     bool cancelled_ = false;
+
+    int slice_count_ = 1;
+    /// Band boundaries: slice s spans SB rows [start[s], start[s+1]).
+    std::vector<int> slice_row_start_;
+    /// Per SB row, the first row of its slice (spatial prediction must
+    /// not read above it — slices decode independently).
+    std::vector<int> slice_top_row_;
 
     Frame src_;
     Frame recon_;

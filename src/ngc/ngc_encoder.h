@@ -40,6 +40,19 @@ struct NgcConfig {
      * uarch probe is attached (probes assume serial recording).
      */
     int frame_threads = 0;
+    /**
+     * Entropy slice bands per frame. Each slice is a horizontal band of
+     * whole superblock rows with its own length-prefixed bitstream
+     * segment; entropy contexts and spatial prediction (intra
+     * neighbors, the cell MV predictor) reset at the slice head, so
+     * the entropy pass runs slice-parallel on the wavefront worker
+     * set. <= 0 resolves VBENCH_SLICES (core::RuntimeConfig); 1 is the
+     * legacy single-segment payload, byte-identical to pre-slice
+     * streams at every thread width. Clamped to the frame's SB row
+     * count and codec::kMaxSlices. Forced to 1 when a uarch probe is
+     * attached (probes take the fused serial path).
+     */
+    int slice_count = 0;
     /// Cooperative cancellation: checked between rows and frames; a
     /// cancelled encode returns a truncated (unusable) result quickly.
     const std::atomic<bool> *cancel = nullptr;

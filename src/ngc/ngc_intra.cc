@@ -7,28 +7,28 @@ namespace vbench::ngc {
 using codec::clampPixel;
 
 bool
-ngcIntraAvailable(NgcIntraMode mode, int x, int y)
+ngcIntraAvailable(NgcIntraMode mode, int x, int y, int slice_top)
 {
     switch (mode) {
       case NgcIntraMode::Dc:
         return true;
       case NgcIntraMode::Vertical:
       case NgcIntraMode::DiagDownLeft:
-        return y > 0;
+        return y > slice_top;
       case NgcIntraMode::Horizontal:
         return x > 0;
       case NgcIntraMode::TrueMotion:
       case NgcIntraMode::DiagDownRight:
-        return x > 0 && y > 0;
+        return x > 0 && y > slice_top;
     }
     return false;
 }
 
 void
 ngcIntraPredict(NgcIntraMode mode, const video::Plane &recon, int x, int y,
-                int n, uint8_t *out)
+                int n, uint8_t *out, int slice_top)
 {
-    const bool has_top = y > 0;
+    const bool has_top = y > slice_top;
     const bool has_left = x > 0;
 
     switch (mode) {

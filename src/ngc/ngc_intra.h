@@ -18,12 +18,21 @@ namespace vbench::ngc {
 /**
  * Generate an n x n prediction for the block at (x, y).
  *
- * @param mode predictor; must satisfy ngcIntraAvailable(mode, x, y).
+ * @param mode predictor; must satisfy ngcIntraAvailable(mode, x, y,
+ *        slice_top).
+ * @param slice_top first pixel row of the enclosing entropy slice;
+ *        rows above it are treated as outside the frame so slices
+ *        decode independently. 0 (the default) is the frame top.
  */
 void ngcIntraPredict(NgcIntraMode mode, const video::Plane &recon, int x,
-                     int y, int n, uint8_t *out);
+                     int y, int n, uint8_t *out, int slice_top = 0);
 
-/** Availability of a predictor at a block position. */
-bool ngcIntraAvailable(NgcIntraMode mode, int x, int y);
+/**
+ * Availability of a predictor at a block position. Blocks on the
+ * slice's first pixel row (`slice_top`) have no top neighbor, exactly
+ * like blocks on the frame top.
+ */
+bool ngcIntraAvailable(NgcIntraMode mode, int x, int y,
+                       int slice_top = 0);
 
 } // namespace vbench::ngc

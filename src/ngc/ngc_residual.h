@@ -55,7 +55,12 @@ readTu8(codec::SyntaxReader &reader, int16_t dc_levels[4],
         return -1;
     int pos = -1;
     for (uint32_t i = 0; i < count; ++i) {
-        pos += static_cast<int>(reader.ue(codec::ctx::kRun, 3)) + 1;
+        const uint32_t run = reader.ue(codec::ctx::kRun, 3);
+        // Bound before the int cast: a corrupt run near UINT32_MAX
+        // would wrap `pos` negative and index below the DC array.
+        if (run > 3)
+            return -1;
+        pos += static_cast<int>(run) + 1;
         if (pos > 3)
             return -1;
         const uint32_t mag = reader.ue(codec::ctx::kLevel, 4) + 1;

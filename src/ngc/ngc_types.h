@@ -113,13 +113,16 @@ class CellGrid
 /**
  * MV predictor for a CU whose top-left cell is (cx, cy): median of
  * the left, top, and top-left neighbor cells (inter cells only).
- * Shared by encoder and decoder.
+ * Shared by encoder and decoder. `top_row` is the first cell row of
+ * the enclosing entropy slice: cells above it count as missing so
+ * slices predict independently. 0 (the default) is the frame top.
  */
 inline codec::MotionVector
-cellMvPredictor(const CellGrid &grid, int cx, int cy)
+cellMvPredictor(const CellGrid &grid, int cx, int cy, int top_row = 0)
 {
     auto neighbor = [&](int nx, int ny) -> codec::MotionVector {
-        if (nx < 0 || ny < 0 || nx >= grid.cols() || ny >= grid.rows())
+        if (nx < 0 || ny < top_row || nx >= grid.cols() ||
+            ny >= grid.rows())
             return codec::MotionVector{};
         const CellInfo &cell = grid.at(nx, ny);
         if (cell.mode == CuMode::Intra)

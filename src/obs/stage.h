@@ -28,6 +28,12 @@ enum class Stage : uint8_t {
     /// rows overlap in time under frame threading, so they must not
     /// count toward the leaf totals that partition traced wall clock.
     WavefrontRow,
+    /// One entropy-slice emission span (the whole slice band, syntax
+    /// and residual bits). A phase stage for the same reason as
+    /// WavefrontRow: slices overlap in time under slice-parallel
+    /// entropy coding — the disjoint leaf share of the same work is
+    /// still accounted under EntropyCoding.
+    EntropySlice,
     // --- Leaf stages (tracer-measured, disjoint in time). ---
     FrameSetup,        ///< padding, AQ pre-pass, reference upkeep
     MotionEstimation,  ///< inter search incl. early-skip probing
@@ -56,6 +62,7 @@ toString(Stage stage)
       case Stage::Measure: return "measure";
       case Stage::HwPipeline: return "hw_pipeline";
       case Stage::WavefrontRow: return "wavefront_row";
+      case Stage::EntropySlice: return "entropy_slice";
       case Stage::FrameSetup: return "frame_setup";
       case Stage::MotionEstimation: return "motion_estimation";
       case Stage::IntraDecision: return "intra_decision";

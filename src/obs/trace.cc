@@ -133,6 +133,13 @@ Tracer::eventCount() const
     return events_.size() + scopes_.size() + flows_.size();
 }
 
+std::vector<TraceEvent>
+Tracer::traceEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
 std::vector<ScopeEvent>
 Tracer::scopeEvents() const
 {

@@ -158,6 +158,9 @@ class Tracer
 
     size_t eventCount() const;
 
+    /** Snapshot of the recorded raw spans (stage + timing). */
+    std::vector<TraceEvent> traceEvents() const;
+
     /** Snapshot of the recorded request-scoped spans. */
     std::vector<ScopeEvent> scopeEvents() const;
 

@@ -77,10 +77,13 @@ class WavefrontRunner
      * order: (r, c) starts only after (r, c-1) and row r-1's first
      * min(c + lag, cols) cells finished. lag = 2 covers left/top/
      * top-right dependencies; larger lags cover prediction that reads
-     * further right into the row above. Blocks until the whole grid is
-     * done (or until `cancel` became true, in which case remaining
-     * cells are skipped — started cells still complete) and returns
-     * false iff cancelled.
+     * further right into the row above. lag <= 0 declares the rows
+     * independent — no cross-row wait at all, each worker just runs
+     * its rows left to right (the entropy-slice shape: one row per
+     * slice, no dependencies between slices). Blocks until the whole
+     * grid is done (or until `cancel` became true, in which case
+     * remaining cells are skipped — started cells still complete) and
+     * returns false iff cancelled.
      */
     bool
     run(int rows, int cols, int lag, const CellFn &fn,
@@ -97,7 +100,7 @@ class WavefrontRunner
                 0, std::memory_order_relaxed);
         rows_ = rows;
         cols_ = cols;
-        lag_ = lag > 1 ? lag : 1;
+        lag_ = lag <= 0 ? 0 : (lag > 1 ? lag : 1);
         fn_ = &fn;
         cancel_ = cancel;
 
@@ -162,8 +165,9 @@ class WavefrontRunner
         const CellFn &fn = *fn_;
         for (int r = slot; r < rows_; r += threads_) {
             std::atomic<int> *above =
-                r > 0 ? &progress_[static_cast<size_t>(r - 1)].value
-                      : nullptr;
+                r > 0 && lag_ > 0
+                    ? &progress_[static_cast<size_t>(r - 1)].value
+                    : nullptr;
             std::atomic<int> &mine =
                 progress_[static_cast<size_t>(r)].value;
             for (int c = 0; c < cols_; ++c) {

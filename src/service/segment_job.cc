@@ -236,7 +236,7 @@ cache::CacheKey
 SegmentJob::cacheKey() const
 {
     cache::KeyBuilder kb;
-    kb.u32(0x76624B31u);  // "vbK1": key-schema version tag
+    kb.u32(0x76624B32u);  // "vbK2": key-schema version tag
     kb.i32(segment_index);
     kb.bytes(input);
     kb.u8(static_cast<uint8_t>(params.kind));
@@ -271,6 +271,7 @@ SegmentJob::cacheKey() const
         kb.boolean(t.scenecut);
         kb.boolean(t.satd_subpel);
     }
+    kb.i32(params.slice_count);
     kb.i32(params.segment_frames);
     kb.boolean(params.rc_in.has_value());
     if (params.rc_in) {
@@ -313,6 +314,7 @@ SegmentJob::serialize() const
     if (params.tools_override)
         putToolPreset(w, *params.tools_override);
     w.i32(params.frame_threads);
+    w.i32(params.slice_count);
     w.i32(params.segment_frames);
     w.u8(params.rc_in.has_value() ? 1 : 0);
     if (params.rc_in) {
@@ -378,6 +380,7 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
     if (r.u8() != 0)
         job.params.tools_override = getToolPreset(r);
     job.params.frame_threads = r.i32();
+    job.params.slice_count = r.i32();
     job.params.segment_frames = r.i32();
     if (r.u8() != 0) {
         codec::RcSnapshot rc;
@@ -420,6 +423,7 @@ SegmentResult::serialize() const
     w.f64(m.psnr_db);
     w.f64(seconds);
     w.i32(frame_threads);
+    w.i32(slice_count);
     return out;
 }
 
@@ -449,6 +453,7 @@ SegmentResult::deserialize(const codec::ByteBuffer &bytes,
     res.m.psnr_db = r.f64();
     res.seconds = r.f64();
     res.frame_threads = r.i32();
+    res.slice_count = r.i32();
     if (!checkTail(r, "SegmentResult", error))
         return std::nullopt;
     return res;
@@ -485,6 +490,7 @@ executeSegmentJob(const SegmentJob &job, const video::Video *original)
     res.m = outcome.m;
     res.seconds = outcome.seconds;
     res.frame_threads = outcome.frame_threads;
+    res.slice_count = outcome.slice_count;
     return res;
 }
 

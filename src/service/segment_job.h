@@ -42,7 +42,7 @@ namespace vbench::service {
 /** Wire magic "VBSJ" / "VBSR" (little-endian u32) and version. */
 inline constexpr uint32_t kSegmentJobMagic = 0x4A53'4256u;
 inline constexpr uint32_t kSegmentResultMagic = 0x5253'4256u;
-inline constexpr uint16_t kSegmentWireVersion = 1;
+inline constexpr uint16_t kSegmentWireVersion = 2;
 
 /**
  * One segment transcode, self-contained. The dispatcher builds one
@@ -72,8 +72,11 @@ struct SegmentJob {
      * identical content hits across requests: request_id, rung display
      * name, scenario, span ids, and frame_threads (streams are
      * byte-identical at every wavefront width — tests/codec/
-     * test_frame_threads.cc). Host-local pass_one stats cannot be
-     * canonicalized; callers must not cache jobs that carry them.
+     * test_frame_threads.cc). slice_count IS part of the key: entropy
+     * slices change the emitted bytes (reset contexts, length
+     * prefixes), so each slice configuration is a distinct transcode
+     * identity. Host-local pass_one stats cannot be canonicalized;
+     * callers must not cache jobs that carry them.
      */
     cache::CacheKey cacheKey() const;
 
@@ -103,6 +106,7 @@ struct SegmentResult {
     core::Measurement m;       ///< speed / bitrate / PSNR
     double seconds = 0;        ///< on-worker transcode wall clock
     int32_t frame_threads = 1; ///< effective wavefront width
+    int32_t slice_count = 1;   ///< effective entropy slice count
 
     codec::ByteBuffer serialize() const;
 

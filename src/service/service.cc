@@ -15,6 +15,7 @@
 #include <atomic>
 
 #include "codec/stitch.h"
+#include "core/runtime_config.h"
 #include "core/transcoder.h"
 #include "fleet/fleet.h"
 #include "ngc/ngc_bitstream.h"
@@ -338,6 +339,13 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                 rr.tmpl = spec.request;
                 rr.tmpl.segment_frames =
                     clip.segmentCount() > 0 ? corpus_.segment_frames : 0;
+                // Pin the entropy slice count into the job description
+                // now: slices change the encoded bytes, so the cache
+                // key and any remote worker must see the resolved
+                // value, never "read your own VBENCH_SLICES".
+                if (rr.tmpl.slice_count <= 0)
+                    rr.tmpl.slice_count =
+                        core::freshRuntimeConfig().slices;
                 rr.chained = isChained(rr.tmpl);
                 rr.streams.resize(static_cast<size_t>(ar.segments));
                 rr.handles.resize(static_cast<size_t>(ar.segments));

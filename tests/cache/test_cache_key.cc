@@ -215,6 +215,12 @@ TEST(SegmentJobKey, KeyedFieldsFlipKey)
     sj.params.tools_override->refs += 1;
     keys.push_back(sj.cacheKey());
 
+    // Entropy slices change the emitted bytes (reset contexts, length
+    // prefixes), so each slice configuration is a distinct identity.
+    sj = baselineJob();
+    sj.params.slice_count = 2;
+    keys.push_back(sj.cacheKey());
+
     sj = baselineJob();
     sj.params.segment_frames = 4;
     keys.push_back(sj.cacheKey());

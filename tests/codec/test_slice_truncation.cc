@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Slice wire-format robustness, both codecs: a multi-slice frame
+ * payload is a sequence of u32-length-prefixed slice records, and the
+ * decoders must survive every way that framing can be damaged —
+ * truncation at every byte offset (cutting inside slice headers and
+ * payloads alike), corrupted length prefixes (zero, short, huge), and
+ * trailing garbage after the last slice — by rejecting cleanly, never
+ * by reading out of bounds. The same sources are rebuilt under
+ * ASan+UBSan as sanitize.* (tests/CMakeLists.txt) so an out-of-bounds
+ * read is a hard failure, not luck.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/bitstream.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "ngc/ngc_bitstream.h"
+#include "ngc/ngc_decoder.h"
+#include "ngc/ngc_encoder.h"
+#include "video/rng.h"
+#include "video/synth.h"
+
+namespace vbench::codec {
+namespace {
+
+video::Video
+clip()
+{
+    // Unaligned height: the last slice band is shorter than the rest.
+    return video::synthesize(
+        video::presetFor(video::ContentClass::Gaming, 96, 80, 30.0, 4,
+                         4242),
+        "slices");
+}
+
+ByteBuffer
+vbcStream(int slices)
+{
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.effort = 4;
+    cfg.gop = 4;
+    cfg.slice_count = slices;
+    return Encoder(cfg).encode(clip()).stream;
+}
+
+ByteBuffer
+ngcStream(int slices)
+{
+    ngc::NgcConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.speed = 2;
+    cfg.gop = 4;
+    cfg.slice_count = slices;
+    return ngc::NgcEncoder(cfg).encode(clip()).stream;
+}
+
+TEST(SliceTruncation, EveryPrefixIsRejectedOrPartialVbc)
+{
+    const video::Video v = clip();
+    const ByteBuffer good = vbcStream(4);
+    ASSERT_TRUE(decode(good).has_value());
+    for (size_t keep = 0; keep < good.size(); ++keep) {
+        const ByteBuffer prefix(good.begin(),
+                                good.begin() + static_cast<long>(keep));
+        const auto decoded = decode(prefix);
+        // A cut inside a slice header or payload can never yield the
+        // full clip; whole-frame prefixes may decode the frames before
+        // the cut.
+        if (decoded)
+            EXPECT_LT(decoded->frameCount(), v.frameCount())
+                << "prefix " << keep;
+    }
+}
+
+TEST(SliceTruncation, EveryPrefixIsRejectedOrPartialNgc)
+{
+    const video::Video v = clip();
+    const ByteBuffer good = ngcStream(4);
+    ASSERT_TRUE(ngc::ngcDecode(good).has_value());
+    for (size_t keep = 0; keep < good.size(); ++keep) {
+        const ByteBuffer prefix(good.begin(),
+                                good.begin() + static_cast<long>(keep));
+        const auto decoded = ngc::ngcDecode(prefix);
+        if (decoded)
+            EXPECT_LT(decoded->frameCount(), v.frameCount())
+                << "prefix " << keep;
+    }
+}
+
+/**
+ * Flip bits across the stream — length prefixes included — and demand
+ * termination without UB. Length-prefix damage turns one slice's
+ * record into a short, huge, or misaligned claim, which the decoder
+ * must bound-check against the payload it actually has.
+ */
+void
+flipSweep(const ByteBuffer &good, uint64_t seed,
+          bool (*try_decode)(const ByteBuffer &))
+{
+    video::Rng rng(seed);
+    int decodable = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        ByteBuffer mutated = good;
+        const int flips = 1 + static_cast<int>(rng.below(8));
+        for (int i = 0; i < flips; ++i) {
+            const size_t pos = rng.below(mutated.size());
+            mutated[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+        }
+        if (try_decode(mutated))
+            ++decodable;
+    }
+    // Some mutations must break the slice framing and be rejected.
+    EXPECT_LT(decodable, 300);
+}
+
+TEST(SliceTruncation, BitFlippedSliceFramesNeverCrashVbc)
+{
+    flipSweep(vbcStream(4), 7, [](const ByteBuffer &b) {
+        return decode(b).has_value();
+    });
+}
+
+TEST(SliceTruncation, BitFlippedSliceFramesNeverCrashNgc)
+{
+    flipSweep(ngcStream(4), 9, [](const ByteBuffer &b) {
+        return ngc::ngcDecode(b).has_value();
+    });
+}
+
+/** Byte offset of the first frame's first slice length prefix. */
+size_t
+firstSlicePrefixOffset(const ByteBuffer &stream)
+{
+    size_t consumed = 0;
+    const auto header =
+        parseStreamHeader(stream.data(), stream.size(), consumed);
+    EXPECT_TRUE(header.has_value());
+    EXPECT_GT(header->slice_count, 1u);
+    // frame payload length u32, then the 1-byte frame header, then the
+    // first slice record's length prefix.
+    return consumed + 4 + 1;
+}
+
+/** Same, for the NGC container (own magic and header fields). */
+size_t
+firstNgcSlicePrefixOffset(const ByteBuffer &stream)
+{
+    size_t consumed = 0;
+    const auto header =
+        ngc::parseNgcHeader(stream.data(), stream.size(), consumed);
+    EXPECT_TRUE(header.has_value());
+    EXPECT_GT(header->slice_count, 1u);
+    return consumed + 4 + 1;
+}
+
+TEST(SliceTruncation, CorruptedSliceLengthPrefixIsRejectedVbc)
+{
+    const ByteBuffer good = vbcStream(4);
+    const size_t at = firstSlicePrefixOffset(good);
+    ASSERT_LE(at + 4, good.size());
+
+    // A zero-length slice record is meaningless and must be refused.
+    ByteBuffer zeroed = good;
+    for (int i = 0; i < 4; ++i)
+        zeroed[at + static_cast<size_t>(i)] = 0x00;
+    EXPECT_FALSE(decode(zeroed).has_value());
+
+    // A length claiming far past the payload end must be refused, not
+    // read.
+    ByteBuffer huge = good;
+    for (int i = 0; i < 4; ++i)
+        huge[at + static_cast<size_t>(i)] = 0xFF;
+    EXPECT_FALSE(decode(huge).has_value());
+}
+
+TEST(SliceTruncation, CorruptedSliceLengthPrefixIsRejectedNgc)
+{
+    const ByteBuffer good = ngcStream(4);
+    const size_t at = firstNgcSlicePrefixOffset(good);
+    ASSERT_LE(at + 4, good.size());
+
+    ByteBuffer zeroed = good;
+    for (int i = 0; i < 4; ++i)
+        zeroed[at + static_cast<size_t>(i)] = 0x00;
+    EXPECT_FALSE(ngc::ngcDecode(zeroed).has_value());
+
+    ByteBuffer huge = good;
+    for (int i = 0; i < 4; ++i)
+        huge[at + static_cast<size_t>(i)] = 0xFF;
+    EXPECT_FALSE(ngc::ngcDecode(huge).has_value());
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Entropy slice partitions, VBC: slice_count=1 must reproduce the
+ * legacy single-segment stream exactly, every multi-slice stream must
+ * round-trip through the decoder, the bytes must not depend on the
+ * wavefront width at any slice count (slices and threads are
+ * orthogonal knobs), and out-of-range requests must clamp to the
+ * frame's row count. Labeled into the `thread` suite so the
+ * VBENCH_SLICES=2 CI leg runs it alongside the frame-thread
+ * determinism checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "metrics/psnr.h"
+#include "video/synth.h"
+
+namespace vbench::codec {
+namespace {
+
+video::Video
+testClip(int w = 192, int h = 128, int frames = 5,
+         video::ContentClass content = video::ContentClass::Natural,
+         uint64_t seed = 19)
+{
+    return video::synthesize(
+        video::presetFor(content, w, h, 30.0, frames, seed), "clip");
+}
+
+EncoderConfig
+baseConfig(int effort = 5)
+{
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.effort = effort;
+    cfg.gop = 4;
+    cfg.slice_count = 1;
+    return cfg;
+}
+
+ByteBuffer
+encodeWith(const video::Video &clip, EncoderConfig cfg, int slices,
+           int threads = 1)
+{
+    cfg.slice_count = slices;
+    cfg.frame_threads = threads;
+    return Encoder(cfg).encode(clip).stream;
+}
+
+TEST(SlicesVbc, MultiSliceStreamsRoundTrip)
+{
+    const video::Video clip = testClip();
+    const ByteBuffer single = encodeWith(clip, baseConfig(), 1);
+    const auto single_dec = decode(single);
+    ASSERT_TRUE(single_dec.has_value());
+    const double single_psnr = metrics::videoPsnr(clip, *single_dec);
+
+    for (const int slices : {2, 3, 4}) {
+        const ByteBuffer stream = encodeWith(clip, baseConfig(), slices);
+        ASSERT_FALSE(stream.empty());
+        const auto decoded = decode(stream);
+        ASSERT_TRUE(decoded.has_value()) << "slices=" << slices;
+        ASSERT_EQ(decoded->frameCount(), clip.frameCount());
+        // Context resets cost bits, not meaningful quality: the sliced
+        // encode must land within a small band of the single-slice one.
+        EXPECT_GT(metrics::videoPsnr(clip, *decoded), single_psnr - 2.0)
+            << "slices=" << slices;
+    }
+}
+
+TEST(SlicesVbc, SlicesChangeTheBytesAndGrowTheStream)
+{
+    const video::Video clip = testClip();
+    const ByteBuffer single = encodeWith(clip, baseConfig(), 1);
+    const ByteBuffer sliced = encodeWith(clip, baseConfig(), 4);
+    EXPECT_NE(sliced, single);
+    // Reset contexts plus per-slice length prefixes cost bits; if the
+    // sliced stream is not larger something is not actually resetting.
+    EXPECT_GT(sliced.size(), single.size());
+}
+
+TEST(SlicesVbc, BitExactAcrossThreadWidthsAtEverySliceCount)
+{
+    const video::Video clip = testClip();
+    for (const int slices : {1, 2, 4}) {
+        const ByteBuffer serial = encodeWith(clip, baseConfig(), slices, 1);
+        for (const int threads : {2, 4, 7}) {
+            EXPECT_EQ(encodeWith(clip, baseConfig(), slices, threads),
+                      serial)
+                << "slices=" << slices << " threads=" << threads;
+        }
+    }
+}
+
+TEST(SlicesVbc, HighEffortArithAdaptiveQuantRoundTrips)
+{
+    // Effort 8: arithmetic coding, adaptive quant (the per-MB QP chain
+    // each slice must restart from the frame QP), scene cuts.
+    const video::Video clip = testClip();
+    const ByteBuffer stream = encodeWith(clip, baseConfig(8), 4);
+    const auto decoded = decode(stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->frameCount(), clip.frameCount());
+}
+
+TEST(SlicesVbc, UnalignedHeightRoundTrips)
+{
+    // 98 rows of pixels pad to 7 macroblock rows: 7 rows over 4 slices
+    // makes uneven bands (2/2/2/1) plus partial edge macroblocks.
+    const video::Video clip = testClip(150, 98, 4);
+    for (const int slices : {2, 4}) {
+        const ByteBuffer stream = encodeWith(clip, baseConfig(), slices);
+        const auto decoded = decode(stream);
+        ASSERT_TRUE(decoded.has_value()) << "slices=" << slices;
+        EXPECT_EQ(decoded->frameCount(), clip.frameCount());
+    }
+}
+
+TEST(SlicesVbc, SliceCountBeyondRowCountClampsToRows)
+{
+    // 64 pixel rows = 4 macroblock rows; a 64-slice request must clamp
+    // to 4 and produce the same bytes as asking for 4.
+    const video::Video clip = testClip(96, 64, 3);
+    EXPECT_EQ(encodeWith(clip, baseConfig(), 64),
+              encodeWith(clip, baseConfig(), 4));
+}
+
+TEST(SlicesVbc, AbrRateControlRoundTripsSliced)
+{
+    // ABR threads per-frame QP through the controller; slices must not
+    // perturb the per-frame decision sequence.
+    EncoderConfig cfg;
+    cfg.rc.mode = RcMode::Abr;
+    cfg.rc.bitrate_bps = 400e3;
+    cfg.effort = 5;
+    cfg.gop = 4;
+    const video::Video clip = testClip();
+    const ByteBuffer stream = encodeWith(clip, cfg, 4);
+    const auto decoded = decode(stream);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->frameCount(), clip.frameCount());
+}
+
+TEST(SlicesVbc, ZeroSliceCountResolvesVbenchSlices)
+{
+    // slice_count=0 defers to the environment knob, the same contract
+    // frame_threads has with VBENCH_FRAME_THREADS.
+    const video::Video clip = testClip(96, 64, 3);
+    setenv("VBENCH_SLICES", "2", 1);
+    const ByteBuffer resolved = encodeWith(clip, baseConfig(), 0);
+    unsetenv("VBENCH_SLICES");
+    EXPECT_EQ(resolved, encodeWith(clip, baseConfig(), 2));
+}
+
+} // namespace
+} // namespace vbench::codec

@@ -20,7 +20,8 @@ namespace {
 
 const char *const kKnobs[] = {
     "VBENCH_JOBS",         "VBENCH_FRAME_THREADS",
-    "VBENCH_SEGMENT_FRAMES", "VBENCH_ARRIVAL_RATE",
+    "VBENCH_SLICES",       "VBENCH_SEGMENT_FRAMES",
+    "VBENCH_ARRIVAL_RATE",
     "VBENCH_ZIPF_S",       "VBENCH_ISA",
     "VBENCH_TRACE",        "VBENCH_METRICS_OUT",
     "VBENCH_PROM_OUT",     "VBENCH_FLEET",
@@ -55,6 +56,7 @@ TEST_F(RuntimeConfigTest, UnsetEnvironmentYieldsDefaults)
     EXPECT_TRUE(errors.empty());
     EXPECT_EQ(cfg.jobs, 0);
     EXPECT_EQ(cfg.frame_threads, 1);
+    EXPECT_EQ(cfg.slices, 1);
     EXPECT_EQ(cfg.segment_frames, 0);
     EXPECT_DOUBLE_EQ(cfg.arrival_rate_hz, 0.0);
     EXPECT_DOUBLE_EQ(cfg.zipf_s, 0.0);
@@ -74,6 +76,7 @@ TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
 {
     setenv("VBENCH_JOBS", "6", 1);
     setenv("VBENCH_FRAME_THREADS", "4", 1);
+    setenv("VBENCH_SLICES", "4", 1);
     setenv("VBENCH_SEGMENT_FRAMES", "12", 1);
     setenv("VBENCH_ARRIVAL_RATE", "2.5", 1);
     setenv("VBENCH_ZIPF_S", "1.2", 1);
@@ -93,6 +96,7 @@ TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
     EXPECT_TRUE(errors.empty()) << errors.front();
     EXPECT_EQ(cfg.jobs, 6);
     EXPECT_EQ(cfg.frame_threads, 4);
+    EXPECT_EQ(cfg.slices, 4);
     EXPECT_EQ(cfg.segment_frames, 12);
     EXPECT_DOUBLE_EQ(cfg.arrival_rate_hz, 2.5);
     EXPECT_DOUBLE_EQ(cfg.zipf_s, 1.2);
@@ -112,11 +116,13 @@ TEST_F(RuntimeConfigTest, HugeWellFormedWidthsClampAtTheCaps)
 {
     setenv("VBENCH_JOBS", "999999", 1);
     setenv("VBENCH_FRAME_THREADS", "100000", 1);
+    setenv("VBENCH_SLICES", "100000", 1);
     std::vector<std::string> errors;
     const RuntimeConfig cfg = parse(&errors);
     EXPECT_TRUE(errors.empty());
     EXPECT_EQ(cfg.jobs, kMaxRuntimeJobs);
     EXPECT_EQ(cfg.frame_threads, kMaxRuntimeFrameThreads);
+    EXPECT_EQ(cfg.slices, kMaxRuntimeSlices);
 }
 
 TEST_F(RuntimeConfigTest, IsaNamesAreCaseInsensitive)
@@ -139,6 +145,8 @@ TEST_F(RuntimeConfigTest, RejectsMalformedValues)
         {"VBENCH_JOBS", "zero"},          {"VBENCH_JOBS", "0"},
         {"VBENCH_JOBS", "-4"},            {"VBENCH_JOBS", "4x"},
         {"VBENCH_FRAME_THREADS", "no"},   {"VBENCH_FRAME_THREADS", "0"},
+        {"VBENCH_SLICES", "none"},        {"VBENCH_SLICES", "0"},
+        {"VBENCH_SLICES", "-2"},
         {"VBENCH_SEGMENT_FRAMES", "-1"},  {"VBENCH_SEGMENT_FRAMES", "8f"},
         {"VBENCH_ARRIVAL_RATE", "fast"},  {"VBENCH_ARRIVAL_RATE", "0"},
         {"VBENCH_ARRIVAL_RATE", "-2.5"},  {"VBENCH_ISA", "avx512"},

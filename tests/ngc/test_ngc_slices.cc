@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Entropy slice partitions, NGC: multi-slice streams must round-trip
+ * for both profiles, the bytes must not depend on the wavefront width
+ * at any slice count, slice bands over superblock rows must clamp to
+ * the frame's row count, and slice_count=0 must defer to
+ * VBENCH_SLICES. Labeled into the `thread` suite so the
+ * VBENCH_SLICES=2 CI leg runs it alongside the frame-thread checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "metrics/psnr.h"
+#include "ngc/ngc_decoder.h"
+#include "ngc/ngc_encoder.h"
+#include "video/synth.h"
+
+namespace vbench::ngc {
+namespace {
+
+video::Video
+testClip(int w = 192, int h = 128, int frames = 5,
+         video::ContentClass content = video::ContentClass::Natural,
+         uint64_t seed = 29)
+{
+    return video::synthesize(
+        video::presetFor(content, w, h, 30.0, frames, seed), "clip");
+}
+
+NgcConfig
+baseConfig(NgcProfile profile = NgcProfile::HevcLike)
+{
+    NgcConfig cfg;
+    cfg.rc.mode = codec::RcMode::Cqp;
+    cfg.rc.qp = 28;
+    cfg.profile = profile;
+    cfg.gop = 4;
+    cfg.slice_count = 1;
+    return cfg;
+}
+
+codec::ByteBuffer
+encodeWith(const video::Video &clip, NgcConfig cfg, int slices,
+           int threads = 1)
+{
+    cfg.slice_count = slices;
+    cfg.frame_threads = threads;
+    return NgcEncoder(cfg).encode(clip).stream;
+}
+
+TEST(SlicesNgc, MultiSliceStreamsRoundTripBothProfiles)
+{
+    const video::Video clip = testClip();
+    for (const NgcProfile profile :
+         {NgcProfile::HevcLike, NgcProfile::Vp9Like}) {
+        const codec::ByteBuffer single =
+            encodeWith(clip, baseConfig(profile), 1);
+        const auto single_dec = ngcDecode(single);
+        ASSERT_TRUE(single_dec.has_value());
+        const double single_psnr =
+            metrics::videoPsnr(clip, *single_dec);
+        for (const int slices : {2, 4}) {
+            const codec::ByteBuffer stream =
+                encodeWith(clip, baseConfig(profile), slices);
+            ASSERT_FALSE(stream.empty());
+            EXPECT_NE(stream, single);
+            const auto decoded = ngcDecode(stream);
+            ASSERT_TRUE(decoded.has_value()) << "slices=" << slices;
+            ASSERT_EQ(decoded->frameCount(), clip.frameCount());
+            EXPECT_GT(metrics::videoPsnr(clip, *decoded),
+                      single_psnr - 2.0)
+                << "slices=" << slices;
+        }
+    }
+}
+
+TEST(SlicesNgc, BitExactAcrossThreadWidthsAtEverySliceCount)
+{
+    const video::Video clip = testClip();
+    for (const int slices : {1, 2, 4}) {
+        const codec::ByteBuffer serial =
+            encodeWith(clip, baseConfig(), slices, 1);
+        for (const int threads : {2, 4, 7}) {
+            EXPECT_EQ(encodeWith(clip, baseConfig(), slices, threads),
+                      serial)
+                << "slices=" << slices << " threads=" << threads;
+        }
+    }
+}
+
+TEST(SlicesNgc, UnalignedHeightRoundTrips)
+{
+    // 100 pixel rows pad to 4 superblock rows (32-pixel SBs): uneven
+    // slice bands, and the partial bottom row still codes.
+    const video::Video clip = testClip(150, 100, 4);
+    for (const int slices : {2, 4}) {
+        const codec::ByteBuffer stream =
+            encodeWith(clip, baseConfig(), slices);
+        const auto decoded = ngcDecode(stream);
+        ASSERT_TRUE(decoded.has_value()) << "slices=" << slices;
+        EXPECT_EQ(decoded->frameCount(), clip.frameCount());
+    }
+}
+
+TEST(SlicesNgc, SliceCountBeyondRowCountClampsToRows)
+{
+    // 128 pixel rows = 4 superblock rows (32-pixel SBs).
+    const video::Video clip = testClip(192, 128, 3);
+    EXPECT_EQ(encodeWith(clip, baseConfig(), 64),
+              encodeWith(clip, baseConfig(), 4));
+}
+
+TEST(SlicesNgc, ZeroSliceCountResolvesVbenchSlices)
+{
+    const video::Video clip = testClip(192, 128, 3);
+    setenv("VBENCH_SLICES", "2", 1);
+    const codec::ByteBuffer resolved =
+        encodeWith(clip, baseConfig(), 0);
+    unsetenv("VBENCH_SLICES");
+    EXPECT_EQ(resolved, encodeWith(clip, baseConfig(), 2));
+}
+
+} // namespace
+} // namespace vbench::ngc

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "core/runtime_config.h"
 #include "service/segment_job.h"
 #include "service/service.h"
 #include "service/workload.h"
@@ -218,6 +219,10 @@ TEST(ServiceCache, MidChainHitLeavesTailByteIdentical)
             sj.input = *corpus.clips[0].seg_universal[0];
             sj.params = rung.request;
             sj.params.segment_frames = corpus.segment_frames;
+            // The service pins the resolved entropy slice count into
+            // every job at admission; mirror it or the keys miss.
+            if (sj.params.slice_count <= 0)
+                sj.params.slice_count = core::freshRuntimeConfig().slices;
             const auto entry = full.lookup(sj.cacheKey(), 0.0);
             ASSERT_TRUE(entry.has_value()) << rung.name;
             partial.insert(sj.cacheKey(), *entry, 0.0);

@@ -54,6 +54,7 @@ sampleJob()
     tools.early_skip_scale = 1.25;
     job.params.tools_override = tools;
     job.params.frame_threads = 4;
+    job.params.slice_count = 2;
     job.params.segment_frames = 8;
     job.params.rc_in = codec::RcSnapshot{12345.0, 11000.0, 16};
     job.params.span.trace_id = 0xaaaa'bbbb'cccc'ddddull;
@@ -106,6 +107,7 @@ expectJobsEqual(const SegmentJob &a, const SegmentJob &b)
         EXPECT_EQ(tb.satd_subpel, ta.satd_subpel);
     }
     EXPECT_EQ(b.params.frame_threads, a.params.frame_threads);
+    EXPECT_EQ(b.params.slice_count, a.params.slice_count);
     EXPECT_EQ(b.params.segment_frames, a.params.segment_frames);
     ASSERT_EQ(b.params.rc_in.has_value(), a.params.rc_in.has_value());
     if (a.params.rc_in) {
@@ -249,6 +251,7 @@ TEST(SegmentResultWire, RoundTripsEveryField)
     res.m.psnr_db = 38.5;
     res.seconds = 0.012;
     res.frame_threads = 2;
+    res.slice_count = 4;
 
     std::string error;
     const auto back = SegmentResult::deserialize(res.serialize(), &error);
@@ -276,6 +279,7 @@ TEST(SegmentResultWire, RoundTripsEveryField)
     EXPECT_DOUBLE_EQ(back->m.psnr_db, res.m.psnr_db);
     EXPECT_DOUBLE_EQ(back->seconds, res.seconds);
     EXPECT_EQ(back->frame_threads, res.frame_threads);
+    EXPECT_EQ(back->slice_count, res.slice_count);
 }
 
 TEST(SegmentResultWire, RoundTripsAFailedResult)

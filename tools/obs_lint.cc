@@ -18,8 +18,12 @@
  * `--require-cache` making their absence an error. The trace check also verifies the distributed-tracing
  * invariants: every `cat:"request"` slice carries trace/span/parent
  * ids, every trace id forms one connected tree with exactly one root,
- * and every flow-arrow end has a matching begin. Exit 0 when every
- * requested artifact validates.
+ * and every flow-arrow end has a matching begin. Stage vocabulary is
+ * enforced against obs/stage.h: a `cat:"stage"` slice must be named
+ * after a leaf stage and a `cat:"phase"` slice after a phase stage
+ * (wavefront_row, entropy_slice, ...), so a renamed or misclassified
+ * span breaks the lint instead of silently orphaning dashboards. Exit
+ * 0 when every requested artifact validates.
  */
 
 #include <cstdint>
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "obs/json_parse.h"
+#include "obs/stage.h"
 #include "obs/telemetry.h"
 
 namespace {
@@ -61,6 +66,24 @@ bool
 isString(const Value *v)
 {
     return v && v->isString();
+}
+
+/**
+ * Is `name` the obs/stage.h name of a stage whose leaf-ness matches
+ * `leaf`? The trace writer derives both the slice name and its
+ * "stage"/"phase" category from the same Stage value, so a mismatch
+ * here means someone emitted a span outside the taxonomy.
+ */
+bool
+isStageName(const std::string &name, bool leaf)
+{
+    for (int i = 0; i < obs::kNumStages; ++i) {
+        const auto stage = static_cast<obs::Stage>(i);
+        if (obs::isLeafStage(stage) == leaf &&
+            name == obs::toString(stage))
+            return true;
+    }
+    return false;
 }
 
 /** One spanning pass over the traceEvents array. */
@@ -126,6 +149,13 @@ lintTrace(const std::string &path)
                 continue;
             }
             const Value *cat = e.find("cat");
+            if (cat && (cat->string == "stage" || cat->string == "phase")) {
+                if (!isStageName(e.find("name")->string,
+                                 cat->string == "stage"))
+                    complain(i, "slice name outside the stage taxonomy "
+                                "(obs/stage.h)");
+                continue;
+            }
             if (!cat || cat->string != "request")
                 continue;
             ++request_slices;
