@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Process-level worker runtime benchmark (docs/RPC.md): the same
+ * rate-control matrix workload played twice through the transcoding
+ * service — once on the in-process scheduler pool, once on an
+ * rpc::RemotePool of fork/exec'd vbench_worker children — comparing
+ * wall time and proving the delivered streams are byte-identical.
+ * Reports the supervision scorecard (dispatches, retries, respawns,
+ * hedges, degradations) and writes BENCH_rpc.json.
+ *
+ *   --seed N  corpus seed (default 61)
+ *   --smoke   gate wired into scripts/check.sh: 4 child workers, one
+ *             injected SIGKILL mid-run, an aggressive hedge threshold,
+ *             byte-identity against the in-process run, and >= 1 retry
+ *             plus >= 1 hedge asserted via the service.rpc.* counters.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "rpc/remote_pool.h"
+#include "service/executor.h"
+#include "service/service.h"
+#include "service/workload.h"
+
+namespace {
+
+using namespace vbench;
+
+service::Corpus
+rpcCorpus(uint64_t seed, bool smoke)
+{
+    video::ClipSpec spec;
+    spec.name = "rpc";
+    spec.width = smoke ? 96 : 192;
+    spec.height = smoke ? 64 : 128;
+    spec.fps = 30.0;
+    spec.content = video::ContentClass::Natural;
+    spec.seed = seed;
+    return service::buildCorpus({spec}, smoke ? 8 : 16, smoke ? 4 : 8);
+}
+
+/** One request per (encoder, rc mode): chained and unchained rungs. */
+std::vector<service::ServiceRequest>
+rcMatrixWorkload()
+{
+    std::vector<service::ServiceRequest> workload;
+    uint64_t id = 1;
+    for (const core::EncoderKind kind :
+         {core::EncoderKind::Vbc, core::EncoderKind::NgcHevc}) {
+        for (const codec::RcMode mode :
+             {codec::RcMode::Cqp, codec::RcMode::Crf, codec::RcMode::Abr,
+              codec::RcMode::TwoPass}) {
+            service::ServiceRequest req;
+            req.id = id++;
+            req.scenario = core::Scenario::Upload;
+            req.clip = 0;
+            req.arrival_s = 0.0;
+            service::RungSpec rung;
+            rung.request.kind = kind;
+            rung.request.effort = 3;
+            rung.request.ngc_speed = 1;
+            rung.request.rc.mode = mode;
+            rung.request.rc.qp = 30;
+            rung.request.rc.crf = 30.0;
+            rung.request.rc.bitrate_bps = 300'000.0;
+            rung.request.rc.fps = 30.0;
+            rung.request.rc.pixels_per_frame = 96.0 * 64.0;
+            switch (mode) {
+            case codec::RcMode::Cqp:
+                rung.name = "cqp";
+                break;
+            case codec::RcMode::Crf:
+                rung.name = "crf";
+                break;
+            case codec::RcMode::Abr:
+                rung.name = "abr";
+                break;
+            case codec::RcMode::TwoPass:
+                rung.name = "2p";
+                break;
+            }
+            rung.name +=
+                kind == core::EncoderKind::Vbc ? ".vbc" : ".ngc";
+            req.rungs.push_back(rung);
+            workload.push_back(req);
+        }
+    }
+    return workload;
+}
+
+service::ServiceResult
+runService(const service::Corpus &corpus,
+           const std::vector<service::ServiceRequest> &workload,
+           service::SegmentExecutor *executor,
+           obs::MetricsRegistry *metrics)
+{
+    service::ServiceConfig config;
+    config.workers = 4;
+    config.admission_capacity = 64;
+    config.collect_outputs = true;
+    config.executor = executor;
+    config.metrics = metrics;
+    service::TranscodeService svc(config, corpus);
+    return svc.run(workload);
+}
+
+bool
+sameOutputs(const service::ServiceResult &baseline,
+            const service::ServiceResult &result)
+{
+    if (result.outputs.size() != baseline.outputs.size()) {
+        std::fprintf(stderr, "FAIL: %zu outputs vs %zu in baseline\n",
+                     result.outputs.size(), baseline.outputs.size());
+        return false;
+    }
+    bool ok = true;
+    for (const auto &[name, stream] : baseline.outputs) {
+        const auto it = result.outputs.find(name);
+        if (it == result.outputs.end()) {
+            std::fprintf(stderr, "FAIL: output %s missing\n",
+                         name.c_str());
+            ok = false;
+        } else if (it->second != stream) {
+            std::fprintf(stderr,
+                         "FAIL: output %s differs (%zu vs %zu bytes)\n",
+                         name.c_str(), it->second.size(),
+                         stream.size());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+void
+printScorecard(const service::ExecutorStats &s)
+{
+    std::printf("rpc pool: %zu workers, %llu dispatched, %llu "
+                "completed\n",
+                s.workers.size(),
+                static_cast<unsigned long long>(s.dispatched),
+                static_cast<unsigned long long>(s.completed));
+    std::printf("  retries %llu, respawns %llu, worker deaths %llu, "
+                "timeouts %llu, protocol errors %llu\n",
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.respawns),
+                static_cast<unsigned long long>(s.worker_deaths),
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.protocol_errors));
+    std::printf("  hedges %llu (%llu wins, %llu losses), degraded "
+                "local %llu, kills injected %llu\n",
+                static_cast<unsigned long long>(s.hedges),
+                static_cast<unsigned long long>(s.hedge_wins),
+                static_cast<unsigned long long>(s.hedge_losses),
+                static_cast<unsigned long long>(s.degraded_local),
+                static_cast<unsigned long long>(s.kills_injected));
+    for (size_t i = 0; i < s.workers.size(); ++i)
+        std::printf("  worker #%zu: pid %lld (%s), %llu jobs, %llu "
+                    "respawns%s\n",
+                    i, static_cast<long long>(s.workers[i].pid),
+                    s.workers[i].tier.c_str(),
+                    static_cast<unsigned long long>(s.workers[i].jobs),
+                    static_cast<unsigned long long>(
+                        s.workers[i].respawns),
+                    s.workers[i].alive ? "" : " (dead)");
+}
+
+/**
+ * Gate for check.sh. The hedge knobs are deliberately aggressive
+ * (1st-percentile threshold, near-zero floor, one warmup sample) so a
+ * 16-segment run reliably exercises the straggler path; production
+ * defaults sit at p99. One SIGKILL is injected mid-run to force the
+ * retry + respawn path. Both fault paths must stay invisible in the
+ * delivered bytes.
+ */
+int
+runSmoke(uint64_t seed)
+{
+    const service::Corpus corpus = rpcCorpus(seed, true);
+    const std::vector<service::ServiceRequest> workload =
+        rcMatrixWorkload();
+
+    const service::ServiceResult baseline =
+        runService(corpus, workload, nullptr, nullptr);
+    if (baseline.completed != workload.size() ||
+        baseline.stitch_failures != 0) {
+        std::fprintf(stderr, "FAIL: in-process baseline incomplete\n");
+        return 1;
+    }
+
+    // The hedge path rides on real scheduling jitter, so a cold
+    // machine can occasionally finish every job before the 2 ms hedge
+    // tick fires; retry with a fresh pool rather than flaking.
+    const int kAttempts = 3;
+    for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+        rpc::RemotePoolConfig pool_config;
+        pool_config.workers = 4;
+        // Kill dispatch #0: with no latency samples yet the hedge
+        // loop cannot have duplicated it, so the failure is charged
+        // to a live job and the retry counter must move.
+        pool_config.inject_kill_at = 0;
+        pool_config.hedge = true;
+        pool_config.hedge_pct = 1.0;
+        pool_config.hedge_floor_ms = 0.05;
+        pool_config.hedge_min_samples = 1;
+        rpc::RemotePool pool(pool_config);
+        obs::MetricsRegistry metrics;
+
+        const service::ServiceResult result =
+            runService(corpus, workload, &pool, &metrics);
+        const service::ExecutorStats stats = pool.stats();
+        printScorecard(stats);
+
+        bool ok = true;
+        if (result.completed != workload.size() ||
+            result.failed_requests != 0 ||
+            result.stitch_failures != 0) {
+            std::fprintf(stderr,
+                         "FAIL: proc run incomplete (%llu/%zu, %llu "
+                         "failed, %llu stitch failures)\n",
+                         static_cast<unsigned long long>(
+                             result.completed),
+                         workload.size(),
+                         static_cast<unsigned long long>(
+                             result.failed_requests),
+                         static_cast<unsigned long long>(
+                             result.stitch_failures));
+            ok = false;
+        }
+        if (!sameOutputs(baseline, result))
+            ok = false;
+
+        // The run report's counters, read back from the metrics sink:
+        // the same numbers obs_lint --require-rpc schema-checks.
+        const uint64_t kills =
+            metrics.counter("service.rpc.kills_injected").value();
+        const uint64_t retries =
+            metrics.counter("service.rpc.retries").value();
+        const uint64_t hedges =
+            metrics.counter("service.rpc.hedges").value();
+        const uint64_t deaths =
+            metrics.counter("service.rpc.worker_deaths").value();
+        if (kills != 1) {
+            std::fprintf(stderr,
+                         "FAIL: expected exactly 1 injected kill, "
+                         "counter says %llu\n",
+                         static_cast<unsigned long long>(kills));
+            ok = false;
+        }
+        if (retries < 1) {
+            std::fprintf(stderr, "FAIL: SIGKILL produced no retry\n");
+            ok = false;
+        }
+        if (deaths < 1) {
+            std::fprintf(stderr,
+                         "FAIL: SIGKILL not booked as a worker "
+                         "death\n");
+            ok = false;
+        }
+        if (metrics.counter("service.rpc.degraded_local").value() >
+            0) {
+            std::fprintf(stderr,
+                         "FAIL: pool degraded to in-process during "
+                         "the smoke\n");
+            ok = false;
+        }
+        if (hedges < 1) {
+            if (!ok || attempt == kAttempts) {
+                std::fprintf(stderr,
+                             "FAIL: no hedged dispatch in %d "
+                             "attempts\n",
+                             attempt);
+                ok = false;
+            } else {
+                std::printf("no hedge fired this run; retrying "
+                            "(%d/%d)\n",
+                            attempt, kAttempts);
+                continue;
+            }
+        }
+        std::printf("rpc smoke: %s\n", ok ? "ok" : "FAILED");
+        return ok ? 0 : 1;
+    }
+    return 1;  // unreachable
+}
+
+int
+runFull(const std::string &json_path, uint64_t seed)
+{
+    bench::printHeader(
+        "process-level worker runtime (fork/exec + framed rpc)",
+        "supervised child workers vs the in-process pool");
+
+    const service::Corpus corpus = rpcCorpus(seed, false);
+    const std::vector<service::ServiceRequest> workload =
+        rcMatrixWorkload();
+    std::printf("workload: %zu requests, %zu-clip corpus\n",
+                workload.size(), corpus.clips.size());
+
+    const service::ServiceResult local =
+        runService(corpus, workload, nullptr, nullptr);
+    std::printf("in-process pool: %.3fs wall\n", local.wall_seconds);
+
+    rpc::RemotePoolConfig pool_config;
+    pool_config.workers = 4;
+    rpc::RemotePool pool(pool_config);
+    const service::ServiceResult remote =
+        runService(corpus, workload, &pool, nullptr);
+    const service::ExecutorStats stats = pool.stats();
+    std::printf("child-process pool: %.3fs wall (%.2fx the local "
+                "run)\n",
+                remote.wall_seconds,
+                local.wall_seconds > 0
+                    ? remote.wall_seconds / local.wall_seconds
+                    : 0.0);
+    printScorecard(stats);
+
+    const bool identical = sameOutputs(local, remote);
+    std::printf("byte-identity: %s\n", identical ? "ok" : "FAILED");
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{%s\"local_wall_s\":%.4f,\"proc_wall_s\":%.4f,"
+        "\"byte_identical\":%s,\"workers\":%zu,\"dispatched\":%llu,"
+        "\"completed\":%llu,\"retries\":%llu,\"respawns\":%llu,"
+        "\"worker_deaths\":%llu,\"timeouts\":%llu,"
+        "\"protocol_errors\":%llu,\"hedges\":%llu,"
+        "\"hedge_wins\":%llu,\"degraded_local\":%llu}\n",
+        bench::jsonMetaFields().c_str(), local.wall_seconds,
+        remote.wall_seconds, identical ? "true" : "false",
+        stats.workers.size(),
+        static_cast<unsigned long long>(stats.dispatched),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.retries),
+        static_cast<unsigned long long>(stats.respawns),
+        static_cast<unsigned long long>(stats.worker_deaths),
+        static_cast<unsigned long long>(stats.timeouts),
+        static_cast<unsigned long long>(stats.protocol_errors),
+        static_cast<unsigned long long>(stats.hedges),
+        static_cast<unsigned long long>(stats.hedge_wins),
+        static_cast<unsigned long long>(stats.degraded_local));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_rpc.json";
+    uint64_t seed = 61;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            char *end = nullptr;
+            seed = std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr,
+                             "--seed wants an integer, got %s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--seed N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    return smoke ? runSmoke(seed) : runFull(json_path, seed);
+}

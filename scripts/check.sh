@@ -62,14 +62,22 @@ echo "== cache smoke (bench_cache --smoke) =="
 # always_recompute on Popular dollars.
 "$build/bench/bench_cache" --smoke --seed 40
 
+echo "== rpc smoke (bench_rpc --smoke) =="
+# Four fork/exec'd child workers with one SIGKILL injected mid-run and
+# an aggressive hedge threshold: asserts the delivered bytes match the
+# in-process run exactly and that the service.rpc.* counters show >= 1
+# retry and >= 1 hedged dispatch.
+"$build/bench/bench_rpc" --smoke
+
 echo "== observability schema gate (traced fleet smoke + obs_lint) =="
 obs_dir="$build/obs-gate"
 mkdir -p "$obs_dir"
 rm -f "$obs_dir/trace.json" "$obs_dir/reports.jsonl" "$obs_dir/prom.txt"
-# VBENCH_FLEET routes the smoke through the modeled fleet and
-# VBENCH_CACHE_MB attaches the output cache, so the reports include
-# both a service.fleet and a service.cache record for obs_lint's
-# schema checks.
+# VBENCH_FLEET routes the smoke through the modeled fleet,
+# VBENCH_CACHE_MB attaches the output cache, and VBENCH_WORKERS=proc
+# swaps the scheduler pool for fork/exec'd child workers, so the
+# reports include a service.fleet, a service.cache, and a service.rpc
+# record for obs_lint's schema checks.
 VBENCH_TRACE="$obs_dir/trace.json" \
 VBENCH_METRICS_OUT="$obs_dir/reports.jsonl" \
 VBENCH_PROM_OUT="$obs_dir/prom.txt" \
@@ -77,11 +85,14 @@ VBENCH_FLEET="scalar:4@0.40+sse2:2@0.90+avx2:2@1.60+hwenc:1@5.00" \
 VBENCH_FLEET_CALIB="$obs_dir/fleet-calib.txt" \
 VBENCH_CACHE_MB=64 \
 VBENCH_CACHE_POLICY=always_store \
+VBENCH_WORKERS=proc \
+VBENCH_WORKER_BIN="$build/src/rpc/vbench_worker" \
     "$build/bench/bench_service" --smoke >/dev/null
 "$build/tools/obs_lint" \
     --trace "$obs_dir/trace.json" \
     --require-fleet \
     --require-cache \
+    --require-rpc \
     --report "$obs_dir/reports.jsonl" \
     --prom "$obs_dir/prom.txt"
 

@@ -29,6 +29,20 @@
  *                          cost_aware)
  *   VBENCH_CACHE_GB_HOUR   cache storage price, $/GB-hour (positive
  *                          float; unset = the CacheConfig default)
+ *   VBENCH_WORKERS         segment execution mode (local|proc):
+ *                          local = in-process scheduler pool, proc =
+ *                          fork/exec'd vbench_worker child processes
+ *                          behind rpc::RemotePool (docs/RPC.md)
+ *   VBENCH_RPC_TIMEOUT_MS  per-job deadline on a child worker
+ *                          (positive int, ms; unset = 30000)
+ *   VBENCH_RPC_RETRIES     re-dispatches after a worker death /
+ *                          timeout / protocol error before degrading
+ *                          to in-process (non-negative int; unset = 2)
+ *   VBENCH_HEDGE_PCT       straggler-hedging percentile over
+ *                          completed attempt latencies (float in
+ *                          (0, 100]; unset = 99)
+ *   VBENCH_WORKER_BIN      vbench_worker binary path override (path;
+ *                          existence is checked at spawn time)
  *
  * RuntimeConfig::fromEnv() parses and validates all of them in one
  * pass and reports every malformed value. The cached runtimeConfig()
@@ -84,6 +98,11 @@ struct RuntimeConfig {
     double cache_mb = 0;      ///< VBENCH_CACHE_MB; 0 = no cache
     std::string cache_policy; ///< VBENCH_CACHE_POLICY; empty = default
     double cache_gb_hour = 0; ///< VBENCH_CACHE_GB_HOUR; 0 = default
+    std::string workers_mode; ///< VBENCH_WORKERS; empty = local
+    int rpc_timeout_ms = 0;   ///< VBENCH_RPC_TIMEOUT_MS; 0 = default
+    int rpc_retries = -1;     ///< VBENCH_RPC_RETRIES; -1 = default
+    double hedge_pct = 0;     ///< VBENCH_HEDGE_PCT; 0 = default
+    std::string worker_bin;   ///< VBENCH_WORKER_BIN; empty = built-in
 
     static RuntimeConfig fromEnv(std::vector<std::string> *errors);
 };
@@ -112,6 +131,23 @@ parsePositiveInt(const char *name, const char *value, int max_value,
     }
     // Over-the-top widths clamp (documented cap), they don't error: a
     // huge-but-well-formed request means "as wide as allowed".
+    *out = static_cast<int>(parsed < max_value ? parsed : max_value);
+    return true;
+}
+
+/** Strict non-negative integer: whole string parses, value >= 0. */
+inline bool
+parseNonNegativeInt(const char *name, const char *value, int max_value,
+                    int *out, std::vector<std::string> *errors)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0) {
+        configError(errors,
+                    std::string(name) + "=" + value +
+                        " is not a non-negative integer");
+        return false;
+    }
     *out = static_cast<int>(parsed < max_value ? parsed : max_value);
     return true;
 }
@@ -160,6 +196,12 @@ knownCachePolicyName(const std::string &value)
 {
     return value == "lru" || value == "always_store" ||
         value == "always_recompute" || value == "cost_aware";
+}
+
+inline bool
+knownWorkersModeName(const std::string &value)
+{
+    return value == "local" || value == "proc";
 }
 
 inline const char *
@@ -242,6 +284,33 @@ RuntimeConfig::fromEnv(std::vector<std::string> *errors)
         v[0])
         detail::parsePositiveDouble("VBENCH_CACHE_GB_HOUR", v,
                                     &cfg.cache_gb_hour, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_WORKERS"); v[0]) {
+        cfg.workers_mode = v;
+        if (!detail::knownWorkersModeName(cfg.workers_mode))
+            detail::configError(errors,
+                                "VBENCH_WORKERS=" + cfg.workers_mode +
+                                    " is not one of local|proc");
+    }
+    if (const char *v = detail::envOrEmpty("VBENCH_RPC_TIMEOUT_MS");
+        v[0])
+        detail::parsePositiveInt("VBENCH_RPC_TIMEOUT_MS", v,
+                                 1 << 30, &cfg.rpc_timeout_ms, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_RPC_RETRIES"); v[0])
+        detail::parseNonNegativeInt("VBENCH_RPC_RETRIES", v, 1 << 20,
+                                    &cfg.rpc_retries, errors);
+    if (const char *v = detail::envOrEmpty("VBENCH_HEDGE_PCT"); v[0]) {
+        if (detail::parsePositiveDouble("VBENCH_HEDGE_PCT", v,
+                                        &cfg.hedge_pct, errors) &&
+            cfg.hedge_pct > 100) {
+            detail::configError(errors,
+                                "VBENCH_HEDGE_PCT=" +
+                                    std::string(v) +
+                                    " is not a percentile in "
+                                    "(0, 100]");
+            cfg.hedge_pct = 0;
+        }
+    }
+    cfg.worker_bin = detail::envOrEmpty("VBENCH_WORKER_BIN");
     return cfg;
 }
 

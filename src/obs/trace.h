@@ -71,6 +71,17 @@ fleetTid(int worker)
     return 600 + worker;
 }
 
+/**
+ * One row per rpc child-process worker slot (docs/RPC.md): the
+ * supervisor records each winning attempt's encode slice and the
+ * dispatch flow-arrow end here, named with the child's pid and tier.
+ */
+inline constexpr int32_t
+rpcTid(int worker)
+{
+    return 768 + worker;
+}
+
 inline constexpr int32_t
 requestTid(uint64_t request_id)
 {

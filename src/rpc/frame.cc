@@ -1,0 +1,148 @@
+#include "rpc/frame.h"
+
+namespace vbench::rpc {
+
+namespace {
+
+void
+putU32(codec::ByteBuffer &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+knownFrameType(uint8_t t)
+{
+    return t >= static_cast<uint8_t>(FrameType::Hello) &&
+        t <= static_cast<uint8_t>(FrameType::Shutdown);
+}
+
+} // namespace
+
+void
+appendFrame(codec::ByteBuffer &out, FrameType type,
+            const codec::ByteBuffer &payload)
+{
+    out.reserve(out.size() + kFrameHeaderSize + payload.size());
+    out.push_back(static_cast<uint8_t>(type));
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+codec::ByteBuffer
+encodeFrame(FrameType type, const codec::ByteBuffer &payload)
+{
+    codec::ByteBuffer out;
+    appendFrame(out, type, payload);
+    return out;
+}
+
+void
+FrameDecoder::feed(const uint8_t *data, size_t n)
+{
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame>
+FrameDecoder::next(std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = "frame stream poisoned by earlier violation";
+        return std::nullopt;
+    }
+    if (buf_.size() - pos_ < kFrameHeaderSize)
+        return std::nullopt;  // need more bytes, not an error
+    const uint8_t type = buf_[pos_];
+    if (!knownFrameType(type)) {
+        poisoned_ = true;
+        if (error)
+            *error = "unknown frame type " + std::to_string(type) +
+                " at stream byte " + std::to_string(offset_);
+        return std::nullopt;
+    }
+    const uint32_t len = getU32(&buf_[pos_ + 1]);
+    if (len > kMaxFramePayload) {
+        poisoned_ = true;
+        if (error)
+            *error = "frame length " + std::to_string(len) +
+                " exceeds max " + std::to_string(kMaxFramePayload) +
+                " (type " + std::to_string(type) + ", at stream byte " +
+                std::to_string(offset_ + 1) + ")";
+        return std::nullopt;
+    }
+    if (buf_.size() - pos_ - kFrameHeaderSize < len)
+        return std::nullopt;  // payload still in flight
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    const size_t begin = pos_ + kFrameHeaderSize;
+    frame.payload.assign(buf_.begin() + static_cast<long>(begin),
+                         buf_.begin() + static_cast<long>(begin + len));
+    pos_ += kFrameHeaderSize + len;
+    offset_ += kFrameHeaderSize + len;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // stream doesn't grow without bound.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+        pos_ = 0;
+    }
+    return frame;
+}
+
+codec::ByteBuffer
+Hello::serialize() const
+{
+    codec::ByteBuffer out;
+    out.push_back(static_cast<uint8_t>(protocol));
+    out.push_back(static_cast<uint8_t>(protocol >> 8));
+    putU32(out, static_cast<uint32_t>(pid));
+    putU32(out, static_cast<uint32_t>(tier.size()));
+    out.insert(out.end(), tier.begin(), tier.end());
+    return out;
+}
+
+std::optional<Hello>
+Hello::deserialize(const codec::ByteBuffer &bytes, std::string *error)
+{
+    if (bytes.size() < 10) {
+        if (error)
+            *error = "Hello: truncated at byte " +
+                std::to_string(bytes.size()) + " (want >= 10)";
+        return std::nullopt;
+    }
+    Hello h;
+    h.protocol =
+        static_cast<uint16_t>(bytes[0] | (bytes[1] << 8));
+    if (h.protocol != kRpcProtocolVersion) {
+        if (error)
+            *error = "Hello: protocol version mismatch: worker "
+                "advertised " + std::to_string(h.protocol) + " (want " +
+                std::to_string(kRpcProtocolVersion) + ")";
+        return std::nullopt;
+    }
+    h.pid = static_cast<int32_t>(getU32(&bytes[2]));
+    const uint32_t tier_len = getU32(&bytes[6]);
+    if (bytes.size() - 10 != tier_len) {
+        if (error)
+            *error = "Hello: tier length " + std::to_string(tier_len) +
+                " does not match payload (" +
+                std::to_string(bytes.size() - 10) + " bytes after "
+                "byte 10)";
+        return std::nullopt;
+    }
+    h.tier.assign(bytes.begin() + 10, bytes.end());
+    return h;
+}
+
+} // namespace vbench::rpc

@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * The rpc transport's frame layer (docs/RPC.md): every message between
+ * the dispatcher and a vbench_worker child is one length-prefixed
+ * frame on a byte stream —
+ *
+ *   u8 type | u32 payload_len (little-endian) | payload bytes
+ *
+ * The payload of a Job frame is a serialized service::SegmentJob, a
+ * Result frame a serialized service::SegmentResult (wire v2,
+ * service/segment_job.h); Hello is the worker's handshake (protocol
+ * version, pid, kernel ISA tier) and Shutdown is the supervisor's
+ * clean-exit request (no payload).
+ *
+ * FrameDecoder is the incremental parser: feed() arbitrary chunks as
+ * they arrive off a socket — one byte at a time is fine — and next()
+ * yields complete frames. Incomplete input is "need more bytes", never
+ * an error; an unknown type or an oversized length prefix poisons the
+ * stream with a structured error naming the byte offset, because on a
+ * framed stream a corrupt header means resynchronization is hopeless.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "codec/types.h"
+
+namespace vbench::rpc {
+
+/** Handshake/worker protocol version (independent of wire v2). */
+inline constexpr uint16_t kRpcProtocolVersion = 1;
+
+/**
+ * Frames larger than this are a protocol violation. Generous: the
+ * largest real payload is a SegmentJob carrying one segment's
+ * universal-format bytes (tens of MB for 4K inputs).
+ */
+inline constexpr uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
+/** Frame header: 1 type byte + 4 length bytes. */
+inline constexpr size_t kFrameHeaderSize = 5;
+
+enum class FrameType : uint8_t {
+    Hello = 1,     ///< worker -> supervisor, once, on spawn
+    Job = 2,       ///< supervisor -> worker: serialized SegmentJob
+    Result = 3,    ///< worker -> supervisor: serialized SegmentResult
+    Shutdown = 4,  ///< supervisor -> worker: drain and exit(0)
+};
+
+/** One complete frame off the stream. */
+struct Frame {
+    FrameType type = FrameType::Shutdown;
+    codec::ByteBuffer payload;
+};
+
+/** Append one encoded frame (header + payload) to `out`. */
+void appendFrame(codec::ByteBuffer &out, FrameType type,
+                 const codec::ByteBuffer &payload);
+
+/** Convenience: one frame as its own buffer. */
+codec::ByteBuffer encodeFrame(FrameType type,
+                              const codec::ByteBuffer &payload);
+
+/**
+ * Incremental frame parser over arbitrarily chunked input. Not
+ * thread-safe; each Transport owns one.
+ */
+class FrameDecoder
+{
+  public:
+    /** Buffer `n` more stream bytes. */
+    void feed(const uint8_t *data, size_t n);
+
+    /**
+     * Pop the next complete frame. nullopt with `error` untouched
+     * means "need more bytes"; nullopt with `error` set means the
+     * stream is corrupt (unknown type / oversized length, with the
+     * offending byte offset) and the decoder stays poisoned.
+     */
+    std::optional<Frame> next(std::string *error);
+
+    /** Bytes buffered but not yet consumed by next(). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    codec::ByteBuffer buf_;
+    size_t pos_ = 0;       ///< consumed prefix of buf_
+    uint64_t offset_ = 0;  ///< stream offset of buf_[pos_] (diagnostics)
+    bool poisoned_ = false;
+};
+
+/** The Hello frame's payload: who is on the other end of the pipe. */
+struct Hello {
+    uint16_t protocol = kRpcProtocolVersion;
+    int32_t pid = 0;
+    std::string tier;  ///< kernel ISA tier (kernels::isaName)
+
+    codec::ByteBuffer serialize() const;
+
+    /**
+     * Parse a Hello payload. A protocol version other than
+     * kRpcProtocolVersion is an error here — a worker speaking a
+     * different framing cannot be talked to at all, so the handshake
+     * is where the mismatch must surface.
+     */
+    static std::optional<Hello>
+    deserialize(const codec::ByteBuffer &bytes, std::string *error);
+};
+
+} // namespace vbench::rpc

@@ -1,0 +1,166 @@
+#include "rpc/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vbench::rpc {
+
+namespace {
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+bool
+makeSocketPair(int fds[2], std::string *error)
+{
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        if (error)
+            *error = errnoString("socketpair");
+        return false;
+    }
+    return true;
+}
+
+Transport &
+Transport::operator=(Transport &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        decoder_ = std::move(other.decoder_);
+    }
+    return *this;
+}
+
+void
+Transport::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Transport::sendFrame(FrameType type, const codec::ByteBuffer &payload,
+                     std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "transport closed";
+        return false;
+    }
+    const codec::ByteBuffer frame = encodeFrame(type, payload);
+    size_t sent = 0;
+    while (sent < frame.size()) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill
+        // the dispatcher with SIGPIPE.
+        const ssize_t n = ::send(fd_, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errno == EPIPE
+                    ? std::string("peer closed")
+                    : errnoString("send");
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+std::optional<Frame>
+Transport::recvFrame(int timeout_ms, std::string *error,
+                     bool *timed_out)
+{
+    if (timed_out)
+        *timed_out = false;
+    if (fd_ < 0) {
+        if (error)
+            *error = "transport closed";
+        return std::nullopt;
+    }
+    // A complete frame may already be buffered from an earlier read.
+    std::string decode_error;
+    if (std::optional<Frame> frame = decoder_.next(&decode_error))
+        return frame;
+    if (!decode_error.empty()) {
+        if (error)
+            *error = decode_error;
+        return std::nullopt;
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = timeout_ms >= 0
+        ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+        : Clock::time_point::max();
+    uint8_t chunk[64 * 1024];
+    for (;;) {
+        int wait_ms = -1;
+        if (timeout_ms >= 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (left <= 0) {
+                if (timed_out)
+                    *timed_out = true;
+                return std::nullopt;
+            }
+            wait_ms = static_cast<int>(left);
+        }
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int pr = ::poll(&pfd, 1, wait_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errnoString("poll");
+            return std::nullopt;
+        }
+        if (pr == 0) {
+            if (timed_out)
+                *timed_out = true;
+            return std::nullopt;
+        }
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errnoString("read");
+            return std::nullopt;
+        }
+        if (n == 0) {
+            if (error)
+                *error = "peer closed";
+            return std::nullopt;
+        }
+        decoder_.feed(chunk, static_cast<size_t>(n));
+        if (std::optional<Frame> frame = decoder_.next(&decode_error))
+            return frame;
+        if (!decode_error.empty()) {
+            if (error)
+                *error = decode_error;
+            return std::nullopt;
+        }
+    }
+}
+
+} // namespace vbench::rpc

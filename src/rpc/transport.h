@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Blocking frame transport over one end of a socketpair (or any
+ * stream fd). Owns the fd; sendFrame loops over partial writes (EINTR
+ * included, SIGPIPE suppressed via MSG_NOSIGNAL where the fd is a
+ * socket), recvFrame polls with a deadline and feeds whatever read()
+ * returns — however short — into the FrameDecoder. Peer death
+ * surfaces as a "peer closed" error, a missed deadline as timed_out;
+ * both are distinguishable from protocol violations so the supervisor
+ * can pick the right recovery (respawn vs. kill-and-log).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "codec/types.h"
+#include "rpc/frame.h"
+
+namespace vbench::rpc {
+
+/** Create a stream socketpair; false + errno message on failure. */
+bool makeSocketPair(int fds[2], std::string *error);
+
+class Transport
+{
+  public:
+    Transport() = default;
+    /** Takes ownership of `fd` (closed on destruction/close()). */
+    explicit Transport(int fd) : fd_(fd) {}
+    ~Transport() { close(); }
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+    Transport(Transport &&other) noexcept { *this = std::move(other); }
+    Transport &operator=(Transport &&other) noexcept;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    void close();
+
+    /**
+     * Write one frame, looping until every byte is on the stream.
+     * False (with `error`) on peer death or I/O error.
+     */
+    bool sendFrame(FrameType type, const codec::ByteBuffer &payload,
+                   std::string *error);
+
+    /**
+     * Read the next complete frame. `timeout_ms` < 0 blocks forever;
+     * on deadline expiry returns nullopt with *timed_out = true and no
+     * error. Any other nullopt is fatal for this connection: peer
+     * closed, I/O error, or a framing violation (the decoder's
+     * structured message, including the stream byte offset).
+     */
+    std::optional<Frame> recvFrame(int timeout_ms, std::string *error,
+                                   bool *timed_out);
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+};
+
+} // namespace vbench::rpc

@@ -1,0 +1,87 @@
+#include "rpc/worker.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+#include "kernels/kernel_ops.h"
+#include "rpc/frame.h"
+#include "rpc/transport.h"
+#include "service/segment_job.h"
+
+namespace vbench::rpc {
+
+int
+runWorkerLoop(int fd)
+{
+    Transport transport(fd);
+
+    Hello hello;
+    hello.protocol = kRpcProtocolVersion;
+    if (const char *fake = std::getenv("VBENCH_RPC_FAKE_PROTO");
+        fake && fake[0])
+        hello.protocol =
+            static_cast<uint16_t>(std::strtol(fake, nullptr, 10));
+    hello.pid = static_cast<int32_t>(::getpid());
+    hello.tier = kernels::isaName(kernels::activeIsa());
+    std::string error;
+    if (!transport.sendFrame(FrameType::Hello, hello.serialize(),
+                             &error)) {
+        std::fprintf(stderr, "vbench_worker: handshake send: %s\n",
+                     error.c_str());
+        return 2;
+    }
+
+    for (;;) {
+        bool timed_out = false;
+        error.clear();
+        std::optional<Frame> frame =
+            transport.recvFrame(-1, &error, &timed_out);
+        if (!frame) {
+            // EOF is the supervisor going away (its death or a kill of
+            // the whole tree): exit quietly. Anything else is framing
+            // corruption worth reporting.
+            if (error == "peer closed")
+                return 0;
+            std::fprintf(stderr, "vbench_worker: recv: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        switch (frame->type) {
+          case FrameType::Shutdown:
+            return 0;
+          case FrameType::Job: {
+            std::string wire_error;
+            const std::optional<service::SegmentJob> job =
+                service::SegmentJob::deserialize(frame->payload,
+                                                 &wire_error);
+            service::SegmentResult result;
+            if (job) {
+                result = service::executeSegmentJob(*job);
+            } else {
+                // Answer in-band: the supervisor logs the structured
+                // field/offset error and decides whether to retry.
+                result.ok = false;
+                result.error = "job deserialize: " + wire_error;
+            }
+            if (!transport.sendFrame(FrameType::Result,
+                                     result.serialize(), &error)) {
+                std::fprintf(stderr, "vbench_worker: result send: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            break;
+          }
+          default:
+            std::fprintf(stderr,
+                         "vbench_worker: unexpected frame type %d\n",
+                         static_cast<int>(frame->type));
+            return 2;
+        }
+    }
+}
+
+} // namespace vbench::rpc

@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * The vbench_worker child's side of the rpc protocol: send Hello, then
+ * serve Job frames one at a time — deserialize the SegmentJob, run
+ * executeSegmentJob (no pristine reference travels on the wire; the
+ * decoded input stands in, streams are byte-identical either way), and
+ * answer with a Result frame — until a Shutdown frame or peer EOF.
+ * Single-threaded by design: one worker process is one fleet slot, and
+ * the supervisor owns all concurrency.
+ */
+
+#include <string>
+
+namespace vbench::rpc {
+
+/**
+ * Serve the supervisor on `fd` until Shutdown/EOF. Returns the
+ * process exit code: 0 on clean shutdown (Shutdown frame or EOF), 2 on
+ * a framing violation (logged to stderr). A malformed SegmentJob
+ * payload answers with an ok=false Result carrying the structured
+ * deserialize error rather than dying, so the supervisor sees the
+ * protocol error in-band.
+ *
+ * Test hook: the VBENCH_RPC_FAKE_PROTO environment variable (an
+ * integer) overrides the advertised Hello protocol version, so the
+ * supervisor's handshake rejection path is reachable from a real
+ * child.
+ */
+int runWorkerLoop(int fd);
+
+} // namespace vbench::rpc

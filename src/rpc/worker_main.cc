@@ -1,0 +1,44 @@
+/**
+ * @file
+ * vbench_worker — the per-slot child process the RemotePool supervisor
+ * forks/execs (docs/RPC.md). Usage: vbench_worker --fd N, where N is
+ * the child end of the supervisor's socketpair. Everything else is
+ * runWorkerLoop().
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rpc/worker.h"
+
+int
+main(int argc, char **argv)
+{
+    // The child inherits the parent's environment, but observability
+    // outputs belong to the supervisor process: a worker writing the
+    // same VBENCH_TRACE / VBENCH_METRICS_OUT / VBENCH_PROM_OUT paths
+    // at exit would clobber the run's artifacts. Transcode-affecting
+    // knobs (VBENCH_ISA, VBENCH_FRAME_THREADS, ...) stay inherited on
+    // purpose.
+    ::unsetenv("VBENCH_TRACE");
+    ::unsetenv("VBENCH_METRICS_OUT");
+    ::unsetenv("VBENCH_PROM_OUT");
+    // A worker never supervises workers of its own.
+    ::unsetenv("VBENCH_WORKERS");
+
+    int fd = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
+            fd = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s --fd N\n", argv[0]);
+            return 2;
+        }
+    }
+    if (fd < 0) {
+        std::fprintf(stderr, "%s: missing --fd N\n", argv[0]);
+        return 2;
+    }
+    return vbench::rpc::runWorkerLoop(fd);
+}

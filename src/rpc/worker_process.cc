@@ -1,0 +1,214 @@
+#include "rpc/worker_process.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifndef VBENCH_WORKER_BIN_DEFAULT
+#define VBENCH_WORKER_BIN_DEFAULT ""
+#endif
+
+namespace vbench::rpc {
+
+std::string
+resolveWorkerBinary(const std::string &configured)
+{
+    if (!configured.empty())
+        return configured;
+    if (const char *env = std::getenv("VBENCH_WORKER_BIN");
+        env && env[0])
+        return env;
+    return VBENCH_WORKER_BIN_DEFAULT;
+}
+
+WorkerProcess::~WorkerProcess()
+{
+    stop();
+}
+
+bool
+WorkerProcess::start(std::string *error)
+{
+    kill();  // no-op when nothing is running
+
+    const std::string binary = resolveWorkerBinary(config_.binary);
+    if (binary.empty()) {
+        if (error)
+            *error = "no vbench_worker binary (set VBENCH_WORKER_BIN)";
+        return false;
+    }
+    if (::access(binary.c_str(), X_OK) != 0) {
+        if (error)
+            *error = "worker binary " + binary +
+                " not executable: " + std::strerror(errno);
+        return false;
+    }
+
+    int fds[2];
+    if (!makeSocketPair(fds, error))
+        return false;
+    // Only the parent end must survive exec-of-unrelated-binaries; the
+    // child end is passed by number, so it stays inheritable.
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+
+    // argv is prepared before fork: only async-signal-safe calls are
+    // legal between fork and exec in a multithreaded parent.
+    char fd_arg[16];
+    std::snprintf(fd_arg, sizeof(fd_arg), "%d", fds[1]);
+    const char *argv[] = {binary.c_str(), "--fd", fd_arg, nullptr};
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error)
+            *error = std::string("fork: ") + std::strerror(errno);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::execv(binary.c_str(), const_cast<char *const *>(argv));
+        // Still the forked child: report and die without running any
+        // parent-state destructors.
+        const char msg[] = "vbench: execv(vbench_worker) failed\n";
+        ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+        (void)ignored;
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+    transport_ = Transport(fds[0]);
+    pid_ = pid;
+
+    // Handshake: the worker speaks first.
+    bool timed_out = false;
+    std::string recv_error;
+    std::optional<Frame> frame = transport_.recvFrame(
+        config_.handshake_timeout_ms, &recv_error, &timed_out);
+    if (!frame) {
+        if (error)
+            *error = timed_out
+                ? "handshake timeout after " +
+                    std::to_string(config_.handshake_timeout_ms) + "ms"
+                : "handshake recv: " + recv_error;
+        kill();
+        return false;
+    }
+    if (frame->type != FrameType::Hello) {
+        if (error)
+            *error = "handshake: expected Hello, got frame type " +
+                std::to_string(static_cast<int>(frame->type));
+        kill();
+        return false;
+    }
+    std::string hello_error;
+    const std::optional<Hello> hello =
+        Hello::deserialize(frame->payload, &hello_error);
+    if (!hello) {
+        if (error)
+            *error = "handshake: " + hello_error;
+        kill();
+        return false;
+    }
+    tier_ = hello->tier;
+    return true;
+}
+
+bool
+WorkerProcess::sendJob(const service::SegmentJob &job,
+                       std::string *error)
+{
+    if (!running()) {
+        if (error)
+            *error = "worker not running";
+        return false;
+    }
+    return transport_.sendFrame(FrameType::Job, job.serialize(), error);
+}
+
+std::optional<service::SegmentResult>
+WorkerProcess::recvResult(int timeout_ms, std::string *error,
+                          bool *timed_out)
+{
+    if (timed_out)
+        *timed_out = false;
+    if (!running()) {
+        if (error)
+            *error = "worker not running";
+        return std::nullopt;
+    }
+    std::optional<Frame> frame =
+        transport_.recvFrame(timeout_ms, error, timed_out);
+    if (!frame)
+        return std::nullopt;
+    if (frame->type != FrameType::Result) {
+        if (error)
+            *error = "expected Result, got frame type " +
+                std::to_string(static_cast<int>(frame->type));
+        return std::nullopt;
+    }
+    std::string wire_error;
+    std::optional<service::SegmentResult> result =
+        service::SegmentResult::deserialize(frame->payload,
+                                            &wire_error);
+    if (!result && error)
+        *error = wire_error;
+    return result;
+}
+
+void
+WorkerProcess::kill()
+{
+    if (pid_ > 0) {
+        ::kill(pid_, SIGKILL);
+        reap(true);
+    }
+    transport_.close();
+    pid_ = -1;
+    tier_.clear();
+}
+
+void
+WorkerProcess::stop()
+{
+    if (pid_ <= 0) {
+        transport_.close();
+        return;
+    }
+    std::string ignored;
+    transport_.sendFrame(FrameType::Shutdown, {}, &ignored);
+    transport_.close();  // EOF backstop if the frame was lost
+    // Bounded grace period, then SIGKILL.
+    for (int i = 0; i < 100 && pid_ > 0; ++i) {
+        reap(false);
+        if (pid_ <= 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (pid_ > 0)
+        kill();
+    pid_ = -1;
+    tier_.clear();
+}
+
+void
+WorkerProcess::reap(bool block)
+{
+    if (pid_ <= 0)
+        return;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, block ? 0 : WNOHANG);
+    if (r == pid_ || (r < 0 && errno == ECHILD))
+        pid_ = -1;
+}
+
+} // namespace vbench::rpc

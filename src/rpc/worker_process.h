@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * WorkerProcess — one fork/exec'd vbench_worker child and the
+ * supervisor's handle on it: the socketpair transport, the handshake
+ * (protocol version, pid, kernel ISA tier), liveness via waitpid, and
+ * SIGKILL-based teardown. One WorkerProcess is one fleet worker slot;
+ * RemotePool owns N of them plus all the retry/hedging policy.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <sys/types.h>
+
+#include "rpc/transport.h"
+#include "service/segment_job.h"
+
+namespace vbench::rpc {
+
+/**
+ * Resolve the vbench_worker binary path: `configured` when non-empty,
+ * else $VBENCH_WORKER_BIN, else the build-time default baked into the
+ * library (the sibling vbench_worker target). Empty when none exists.
+ */
+std::string resolveWorkerBinary(const std::string &configured);
+
+struct WorkerProcessConfig {
+    std::string binary;        ///< resolveWorkerBinary() input
+    int handshake_timeout_ms = 10000;
+};
+
+class WorkerProcess
+{
+  public:
+    WorkerProcess() = default;
+    explicit WorkerProcess(WorkerProcessConfig config)
+        : config_(std::move(config))
+    {
+    }
+    /** stop()s a still-running child. */
+    ~WorkerProcess();
+
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+
+    /** Replace the spawn config; only valid before start(). */
+    void configure(WorkerProcessConfig config)
+    {
+        config_ = std::move(config);
+    }
+
+    /**
+     * fork/exec the worker and complete the handshake. False with a
+     * structured error on spawn failure, handshake timeout, or a
+     * protocol-version mismatch (the child is killed and reaped before
+     * returning false, so start() can be retried).
+     */
+    bool start(std::string *error);
+
+    /** Handshake done and the child not known to have exited. */
+    bool running() const { return pid_ > 0; }
+
+    pid_t pid() const { return pid_; }
+    const std::string &tier() const { return tier_; }
+
+    bool sendJob(const service::SegmentJob &job, std::string *error);
+
+    /**
+     * Await the next Result frame. Timeout reports through
+     * *timed_out; "peer closed" (the child died — SIGKILL, crash)
+     * and framing/deserialize violations report through *error. The
+     * caller decides the recovery; this object stays usable only via
+     * kill() + start().
+     */
+    std::optional<service::SegmentResult>
+    recvResult(int timeout_ms, std::string *error, bool *timed_out);
+
+    /** SIGKILL + reap. Safe to call in any state. */
+    void kill();
+
+    /** Shutdown frame, bounded wait, then kill() if still alive. */
+    void stop();
+
+  private:
+    void reap(bool block);
+
+    WorkerProcessConfig config_;
+    Transport transport_;
+    pid_t pid_ = -1;
+    std::string tier_;
+};
+
+} // namespace vbench::rpc

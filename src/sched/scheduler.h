@@ -116,6 +116,19 @@ class JobHandle
   public:
     JobHandle() = default;
 
+    /**
+     * Wrap an externally owned job slot. This is the execution seam's
+     * escape hatch: a pool that is not the Scheduler (rpc::RemotePool
+     * routing segments to child processes) allocates a JobState,
+     * completes it under its mutex with the same Done/Cancelled +
+     * notify_all protocol runJob() uses, and hands callers a handle
+     * indistinguishable from a scheduler-issued one.
+     */
+    static JobHandle adopt(std::shared_ptr<detail::JobState> state)
+    {
+        return JobHandle(std::move(state));
+    }
+
     bool valid() const { return state_ != nullptr; }
 
     JobStatus status() const;

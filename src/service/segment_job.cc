@@ -70,6 +70,24 @@ class Reader
     bool ok() const { return ok_; }
     bool atEnd() const { return pos_ == in_.size(); }
 
+    /**
+     * Name the wire field the next getters decode. On the first short
+     * read the reader freezes this name and the field's start offset,
+     * so a truncation error can say WHICH field died and WHERE — the
+     * rpc supervisor logs that line verbatim when a child's reply is
+     * cut off mid-stream.
+     */
+    void field(const char *name)
+    {
+        if (ok_) {
+            field_ = name;
+            field_pos_ = pos_;
+        }
+    }
+
+    const char *failField() const { return field_; }
+    size_t failOffset() const { return field_pos_; }
+
     uint8_t u8()
     {
         if (!need(1))
@@ -145,6 +163,8 @@ class Reader
     const codec::ByteBuffer &in_;
     size_t pos_ = 0;
     bool ok_ = true;
+    const char *field_ = "header";
+    size_t field_pos_ = 0;
 };
 
 void
@@ -212,7 +232,9 @@ checkTail(const Reader &r, const char *what, std::string *error)
 {
     if (!r.ok()) {
         if (error)
-            *error = std::string(what) + ": truncated message";
+            *error = std::string(what) + ": truncated message (field " +
+                r.failField() + ", at byte " +
+                std::to_string(r.failOffset()) + ")";
         return false;
     }
     if (!r.atEnd()) {
@@ -336,9 +358,13 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
     if (!checkHeader(r, kSegmentJobMagic, "SegmentJob", error))
         return std::nullopt;
     SegmentJob job;
+    r.field("request_id");
     job.request_id = r.u64();
+    r.field("rung");
     job.rung = r.str();
+    r.field("segment_index");
     job.segment_index = r.i32();
+    r.field("scenario");
     const uint8_t scenario = r.u8();
     if (r.ok() && scenario >= core::kNumScenarios) {
         if (error)
@@ -347,8 +373,10 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
         return std::nullopt;
     }
     job.scenario = static_cast<core::Scenario>(scenario);
+    r.field("input");
     job.input = r.bytes();
 
+    r.field("encoder_kind");
     const uint8_t kind = r.u8();
     if (r.ok() &&
         kind > static_cast<uint8_t>(core::EncoderKind::QsvLike)) {
@@ -358,6 +386,7 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
         return std::nullopt;
     }
     job.params.kind = static_cast<core::EncoderKind>(kind);
+    r.field("rc_mode");
     const uint8_t mode = r.u8();
     if (r.ok() && mode > static_cast<uint8_t>(codec::RcMode::TwoPass)) {
         if (error)
@@ -365,6 +394,7 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
         return std::nullopt;
     }
     job.params.rc.mode = static_cast<codec::RcMode>(mode);
+    r.field("rc_config");
     job.params.rc.qp = r.i32();
     job.params.rc.crf = r.f64();
     job.params.rc.bitrate_bps = r.f64();
@@ -372,16 +402,22 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
     job.params.rc.pixels_per_frame = r.f64();
     job.params.rc.min_qp = r.i32();
     job.params.rc.ip_qp_offset = r.i32();
+    r.field("encode_params");
     job.params.effort = r.i32();
     job.params.ngc_speed = r.i32();
     job.params.gop = r.i32();
     job.params.entropy_override = r.i32();
     job.params.deblock_override = r.i32();
+    r.field("tools_override");
     if (r.u8() != 0)
         job.params.tools_override = getToolPreset(r);
+    r.field("frame_threads");
     job.params.frame_threads = r.i32();
+    r.field("slice_count");
     job.params.slice_count = r.i32();
+    r.field("segment_frames");
     job.params.segment_frames = r.i32();
+    r.field("rc_in");
     if (r.u8() != 0) {
         codec::RcSnapshot rc;
         rc.spent_bits = r.f64();
@@ -389,6 +425,7 @@ SegmentJob::deserialize(const codec::ByteBuffer &bytes,
         rc.frames_done = r.i32();
         job.params.rc_in = rc;
     }
+    r.field("span");
     job.params.span.trace_id = r.u64();
     job.params.span.span_id = r.u64();
     job.params.span.parent_id = r.u64();
@@ -435,24 +472,36 @@ SegmentResult::deserialize(const codec::ByteBuffer &bytes,
     if (!checkHeader(r, kSegmentResultMagic, "SegmentResult", error))
         return std::nullopt;
     SegmentResult res;
+    r.field("request_id");
     res.request_id = r.u64();
+    r.field("rung");
     res.rung = r.str();
+    r.field("segment_index");
     res.segment_index = r.i32();
+    r.field("ok");
     res.ok = r.u8() != 0;
+    r.field("error");
     res.error = r.str();
+    r.field("stream");
     res.stream = r.bytes();
+    r.field("rc_state");
     res.rc_state.spent_bits = r.f64();
     res.rc_state.planned_bits = r.f64();
     res.rc_state.frames_done = r.i32();
+    r.field("critical_path");
     res.critical_path.queue_wait_ms = r.f64();
     res.critical_path.rc_chain_ms = r.f64();
     res.critical_path.encode_ms = r.f64();
     res.critical_path.stitch_ms = r.f64();
+    r.field("measurement");
     res.m.speed_mpix_s = r.f64();
     res.m.bitrate_bpps = r.f64();
     res.m.psnr_db = r.f64();
+    r.field("seconds");
     res.seconds = r.f64();
+    r.field("frame_threads");
     res.frame_threads = r.i32();
+    r.field("slice_count");
     res.slice_count = r.i32();
     if (!checkTail(r, "SegmentResult", error))
         return std::nullopt;

@@ -24,9 +24,11 @@
 #include "obs/span.h"
 #include "obs/telemetry.h"
 #include "core/report.h"
+#include "rpc/remote_pool.h"
 #include "sched/frame_threads.h"
 #include "sched/scheduler.h"
 #include "service/admission.h"
+#include "service/executor.h"
 #include "service/segment_job.h"
 #include "video/video.h"
 
@@ -66,6 +68,43 @@ stitchForKind(core::EncoderKind kind,
         return std::nullopt;
     }
 }
+
+/**
+ * The in-process side of the execution seam: the sched::Scheduler
+ * pool behind the SegmentExecutor interface. This is the default and
+ * the behavior every earlier PR shipped — VBENCH_WORKERS=proc swaps
+ * in rpc::RemotePool without the dispatcher noticing.
+ */
+class LocalExecutor final : public SegmentExecutor
+{
+  public:
+    explicit LocalExecutor(const sched::SchedulerConfig &config)
+        : scheduler_(config)
+    {
+    }
+
+    sched::JobHandle
+    submit(SegmentJob job,
+           std::shared_ptr<const video::Video> original) override
+    {
+        return scheduler_.submit(
+            toTranscodeJob(std::move(job), std::move(original)));
+    }
+
+    int workers() const override { return scheduler_.workers(); }
+    size_t queueCapacity() const override
+    {
+        return scheduler_.queueCapacity();
+    }
+    size_t activeJobs() const override
+    {
+        return sched::activeTranscodeJobs();
+    }
+    void drainObs() override { scheduler_.mergeObsShards(); }
+
+  private:
+    sched::Scheduler scheduler_;
+};
 
 /** One ladder rung's segment chain while the request is active. */
 struct RungRun {
@@ -137,20 +176,44 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
     obs::Tracer *tracer =
         config_.tracer ? config_.tracer : obs::globalTracer();
 
-    sched::SchedulerConfig sched_config;
-    sched_config.workers = config_.workers;
-    sched_config.queue_capacity = config_.queue_capacity;
-    sched_config.merge_metrics = config_.metrics;
-    sched_config.merge_tracer = config_.tracer;
-    sched::Scheduler scheduler(sched_config);
+    // The execution seam (service/executor.h, docs/RPC.md): the
+    // dispatcher submits SegmentJobs and collects JobHandles; WHERE a
+    // segment encodes is the executor's business. A caller-supplied
+    // executor wins; otherwise VBENCH_WORKERS picks the in-process
+    // scheduler pool (local, default) or a pool of fork/exec'd
+    // vbench_worker child processes (proc).
+    std::unique_ptr<SegmentExecutor> owned_exec;
+    SegmentExecutor *exec = config_.executor;
+    if (exec == nullptr) {
+        const core::RuntimeConfig rt = core::freshRuntimeConfig();
+        if (rt.workers_mode == "proc") {
+            rpc::RemotePoolConfig rpc_config;
+            rpc_config.workers = config_.workers;
+            rpc_config.worker_binary = rt.worker_bin;
+            rpc_config.timeout_ms = rt.rpc_timeout_ms;
+            rpc_config.retries = rt.rpc_retries;
+            rpc_config.hedge_pct = rt.hedge_pct;
+            rpc_config.tracer = tracer;
+            owned_exec =
+                std::make_unique<rpc::RemotePool>(std::move(rpc_config));
+        } else {
+            sched::SchedulerConfig sched_config;
+            sched_config.workers = config_.workers;
+            sched_config.queue_capacity = config_.queue_capacity;
+            sched_config.merge_metrics = config_.metrics;
+            sched_config.merge_tracer = config_.tracer;
+            owned_exec = std::make_unique<LocalExecutor>(sched_config);
+        }
+        exec = owned_exec.get();
+    }
 
     // Keep submitted-but-unfinished jobs under workers + queue slots so
-    // Scheduler::submit() never blocks the dispatcher.
-    const size_t inflight_cap = static_cast<size_t>(scheduler.workers()) +
-        scheduler.queueCapacity();
+    // submit() never blocks the dispatcher.
+    const size_t inflight_cap = static_cast<size_t>(exec->workers()) +
+        exec->queueCapacity();
     const size_t max_active = config_.max_active_requests > 0
         ? config_.max_active_requests
-        : static_cast<size_t>(scheduler.workers()) + 2;
+        : static_cast<size_t>(exec->workers()) + 2;
 
     // The modeled heterogeneous fleet (docs/FLEET.md): placements and
     // dollar accounting only — execution stays on the local pool.
@@ -201,11 +264,25 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
             return static_cast<double>(
                 inflight.load(std::memory_order_relaxed));
         });
-        const int workers = scheduler.workers();
-        sampler.addGauge("service.worker_utilization", [workers] {
-            return static_cast<double>(sched::activeTranscodeJobs()) /
+        const int workers = exec->workers();
+        sampler.addGauge("service.worker_utilization", [exec, workers] {
+            return static_cast<double>(exec->activeJobs()) /
                 static_cast<double>(workers > 0 ? workers : 1);
         });
+        if (exec->remote()) {
+            // Child-process pool health (stats() is a thread-safe
+            // snapshot; mutex-guarded like every other gauge source).
+            sampler.addGauge("service.rpc.workers_alive", [exec] {
+                const ExecutorStats s = exec->stats();
+                double alive = 0;
+                for (const ExecutorWorkerInfo &w : s.workers)
+                    alive += w.alive ? 1 : 0;
+                return alive;
+            });
+            sampler.addGauge("service.rpc.inflight", [exec] {
+                return static_cast<double>(exec->activeJobs());
+            });
+        }
         sampler.addGauge("service.shed_requests", [&admission] {
             return static_cast<double>(admission.shed());
         });
@@ -517,8 +594,8 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
                                          obs::nowSeconds() - t0);
                     }
                     rr.handles[static_cast<size_t>(k)] =
-                        scheduler.submit(toTranscodeJob(
-                            std::move(sj), segOriginal(clip, k)));
+                        exec->submit(std::move(sj),
+                                     segOriginal(clip, k));
                     ++inflight;
                     ++rr.next_submit;
                 }
@@ -746,7 +823,7 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
     // Merge worker shards before the sampler's final synchronous
     // sample so gauges fed by merged counters (frame-thread clamps)
     // end on the authoritative value.
-    scheduler.mergeObsShards();
+    exec->drainObs();
     sampler.stop();
     out.telemetry = sampler.snapshot();
     out.sla = scorer.report(out.wall_seconds);
@@ -829,6 +906,79 @@ TranscodeService::run(const std::vector<ServiceRequest> &workload)
             "policy", fleet::policyName(fleet->config().policy));
         fr.extra_str.emplace_back("model", fleet->model().source);
         core::emitRunReport(fr);
+    }
+    if (exec->remote()) {
+        // The rpc supervision scorecard (docs/RPC.md): counters into
+        // the metrics sink (service.rpc.* — the bench smoke gate and
+        // the prom snapshot read these) and a service.rpc run report
+        // with one pid/tier/jobs/respawns row per child worker slot
+        // (obs_lint --require-rpc schema-checks it).
+        const ExecutorStats rs = exec->stats();
+        if (gauge_metrics) {
+            obs::MetricsRegistry &m = *gauge_metrics;
+            m.counter("service.rpc.dispatched").add(rs.dispatched);
+            m.counter("service.rpc.completed").add(rs.completed);
+            m.counter("service.rpc.retries").add(rs.retries);
+            m.counter("service.rpc.respawns").add(rs.respawns);
+            m.counter("service.rpc.worker_deaths")
+                .add(rs.worker_deaths);
+            m.counter("service.rpc.timeouts").add(rs.timeouts);
+            m.counter("service.rpc.protocol_errors")
+                .add(rs.protocol_errors);
+            m.counter("service.rpc.hedges").add(rs.hedges);
+            m.counter("service.rpc.hedge_wins").add(rs.hedge_wins);
+            m.counter("service.rpc.hedge_losses")
+                .add(rs.hedge_losses);
+            m.counter("service.rpc.degraded_local")
+                .add(rs.degraded_local);
+            m.counter("service.rpc.kills_injected")
+                .add(rs.kills_injected);
+        }
+        core::RunReport rr;
+        rr.label = "service.rpc";
+        rr.backend = "service";
+        rr.seconds = out.wall_seconds;
+        rr.extra.emplace_back(
+            "workers", static_cast<double>(rs.workers.size()));
+        rr.extra.emplace_back("dispatched",
+                              static_cast<double>(rs.dispatched));
+        rr.extra.emplace_back("completed",
+                              static_cast<double>(rs.completed));
+        rr.extra.emplace_back("retries",
+                              static_cast<double>(rs.retries));
+        rr.extra.emplace_back("respawns",
+                              static_cast<double>(rs.respawns));
+        rr.extra.emplace_back(
+            "worker_deaths", static_cast<double>(rs.worker_deaths));
+        rr.extra.emplace_back("timeouts",
+                              static_cast<double>(rs.timeouts));
+        rr.extra.emplace_back(
+            "protocol_errors",
+            static_cast<double>(rs.protocol_errors));
+        rr.extra.emplace_back("hedges",
+                              static_cast<double>(rs.hedges));
+        rr.extra.emplace_back("hedge_wins",
+                              static_cast<double>(rs.hedge_wins));
+        rr.extra.emplace_back("hedge_losses",
+                              static_cast<double>(rs.hedge_losses));
+        rr.extra.emplace_back(
+            "degraded_local", static_cast<double>(rs.degraded_local));
+        rr.extra.emplace_back(
+            "kills_injected", static_cast<double>(rs.kills_injected));
+        for (size_t w = 0; w < rs.workers.size(); ++w) {
+            const ExecutorWorkerInfo &wi = rs.workers[w];
+            const std::string prefix = "w" + std::to_string(w);
+            rr.extra.emplace_back(prefix + ".pid",
+                                  static_cast<double>(wi.pid));
+            rr.extra.emplace_back(prefix + ".jobs",
+                                  static_cast<double>(wi.jobs));
+            rr.extra.emplace_back(prefix + ".respawns",
+                                  static_cast<double>(wi.respawns));
+            rr.extra.emplace_back(prefix + ".alive",
+                                  wi.alive ? 1.0 : 0.0);
+            rr.extra_str.emplace_back(prefix + ".tier", wi.tier);
+        }
+        core::emitRunReport(rr);
     }
     if (config_.cache) {
         const cache::CacheStats &cs = out.cache_stats;

@@ -36,6 +36,8 @@
 
 namespace vbench::service {
 
+class SegmentExecutor;
+
 /** Service sizing. Zeros mean "pick the sane default". */
 struct ServiceConfig {
     /// Scheduler worker threads; <= 0 uses the scheduler default
@@ -100,6 +102,16 @@ struct ServiceConfig {
     /// Keep each stitched delivery stream in ServiceResult::outputs
     /// (key "<request>.<rung>") for byte-identity tests.
     bool collect_outputs = false;
+    /**
+     * Execution seam override (service/executor.h). When set, every
+     * segment is submitted here instead of the built-in pool; the
+     * caller owns it and it must outlive run(). Null picks the
+     * built-in executor from VBENCH_WORKERS: the in-process scheduler
+     * pool (local, the default) or an rpc::RemotePool of fork/exec'd
+     * vbench_worker children (proc, docs/RPC.md). Streams are
+     * executor-invariant — byte-identical either way.
+     */
+    SegmentExecutor *executor = nullptr;
 };
 
 /** What a service run produced. */

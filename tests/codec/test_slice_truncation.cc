@@ -71,9 +71,10 @@ TEST(SliceTruncation, EveryPrefixIsRejectedOrPartialVbc)
         // A cut inside a slice header or payload can never yield the
         // full clip; whole-frame prefixes may decode the frames before
         // the cut.
-        if (decoded)
+        if (decoded) {
             EXPECT_LT(decoded->frameCount(), v.frameCount())
                 << "prefix " << keep;
+        }
     }
 }
 
@@ -86,9 +87,10 @@ TEST(SliceTruncation, EveryPrefixIsRejectedOrPartialNgc)
         const ByteBuffer prefix(good.begin(),
                                 good.begin() + static_cast<long>(keep));
         const auto decoded = ngc::ngcDecode(prefix);
-        if (decoded)
+        if (decoded) {
             EXPECT_LT(decoded->frameCount(), v.frameCount())
                 << "prefix " << keep;
+        }
     }
 }
 

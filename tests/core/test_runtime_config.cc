@@ -28,6 +28,9 @@ const char *const kKnobs[] = {
     "VBENCH_FLEET_POLICY", "VBENCH_FLEET_CALIB",
     "VBENCH_CACHE_MB",     "VBENCH_CACHE_POLICY",
     "VBENCH_CACHE_GB_HOUR",
+    "VBENCH_WORKERS",      "VBENCH_RPC_TIMEOUT_MS",
+    "VBENCH_RPC_RETRIES",  "VBENCH_HEDGE_PCT",
+    "VBENCH_WORKER_BIN",
 };
 
 /** Clears every knob before and after so tests compose in any order. */
@@ -70,6 +73,11 @@ TEST_F(RuntimeConfigTest, UnsetEnvironmentYieldsDefaults)
     EXPECT_DOUBLE_EQ(cfg.cache_mb, 0.0);
     EXPECT_TRUE(cfg.cache_policy.empty());
     EXPECT_DOUBLE_EQ(cfg.cache_gb_hour, 0.0);
+    EXPECT_TRUE(cfg.workers_mode.empty());
+    EXPECT_EQ(cfg.rpc_timeout_ms, 0);
+    EXPECT_EQ(cfg.rpc_retries, -1);
+    EXPECT_DOUBLE_EQ(cfg.hedge_pct, 0.0);
+    EXPECT_TRUE(cfg.worker_bin.empty());
 }
 
 TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
@@ -90,6 +98,11 @@ TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
     setenv("VBENCH_FLEET", "scalar:2+avx2:1", 1);
     setenv("VBENCH_FLEET_POLICY", "cost_aware", 1);
     setenv("VBENCH_FLEET_CALIB", "/tmp/calib.txt", 1);
+    setenv("VBENCH_WORKERS", "proc", 1);
+    setenv("VBENCH_RPC_TIMEOUT_MS", "5000", 1);
+    setenv("VBENCH_RPC_RETRIES", "0", 1);
+    setenv("VBENCH_HEDGE_PCT", "95", 1);
+    setenv("VBENCH_WORKER_BIN", "/tmp/vbench_worker", 1);
 
     std::vector<std::string> errors;
     const RuntimeConfig cfg = parse(&errors);
@@ -110,6 +123,11 @@ TEST_F(RuntimeConfigTest, ValidValuesParseIntoTheRightFields)
     EXPECT_EQ(cfg.fleet_spec, "scalar:2+avx2:1");
     EXPECT_EQ(cfg.fleet_policy, "cost_aware");
     EXPECT_EQ(cfg.fleet_calib_path, "/tmp/calib.txt");
+    EXPECT_EQ(cfg.workers_mode, "proc");
+    EXPECT_EQ(cfg.rpc_timeout_ms, 5000);
+    EXPECT_EQ(cfg.rpc_retries, 0);  // 0 retries is a valid choice
+    EXPECT_DOUBLE_EQ(cfg.hedge_pct, 95.0);
+    EXPECT_EQ(cfg.worker_bin, "/tmp/vbench_worker");
 }
 
 TEST_F(RuntimeConfigTest, HugeWellFormedWidthsClampAtTheCaps)
@@ -155,6 +173,15 @@ TEST_F(RuntimeConfigTest, RejectsMalformedValues)
         {"VBENCH_CACHE_MB", "-64"},       {"VBENCH_CACHE_MB", "big"},
         {"VBENCH_CACHE_POLICY", "mru"},
         {"VBENCH_CACHE_GB_HOUR", "0"},
+        {"VBENCH_WORKERS", "thread"},
+        {"VBENCH_RPC_TIMEOUT_MS", "0"},
+        {"VBENCH_RPC_TIMEOUT_MS", "-5"},
+        {"VBENCH_RPC_TIMEOUT_MS", "soon"},
+        {"VBENCH_RPC_RETRIES", "-1"},
+        {"VBENCH_RPC_RETRIES", "two"},
+        {"VBENCH_HEDGE_PCT", "0"},
+        {"VBENCH_HEDGE_PCT", "101"},
+        {"VBENCH_HEDGE_PCT", "p99"},
     };
     for (const Case &c : cases) {
         clearAll();

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The rpc frame layer (src/rpc/frame.h): encode/decode round-trips
+ * over every chunking of the stream, truncation at every prefix ("need
+ * more bytes", never an error), poisoning on unknown frame types and
+ * oversized length prefixes (structured errors naming the stream byte
+ * offset), and the Hello handshake's protocol-version gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "rpc/frame.h"
+
+namespace vbench::rpc {
+namespace {
+
+codec::ByteBuffer
+payloadOf(std::initializer_list<uint8_t> bytes)
+{
+    return codec::ByteBuffer(bytes);
+}
+
+TEST(RpcFrame, EncodeProducesHeaderPlusPayload)
+{
+    const codec::ByteBuffer payload = payloadOf({0xAA, 0xBB, 0xCC});
+    const codec::ByteBuffer wire = encodeFrame(FrameType::Job, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+    EXPECT_EQ(wire[0], static_cast<uint8_t>(FrameType::Job));
+    // Little-endian u32 length.
+    EXPECT_EQ(wire[1], 3u);
+    EXPECT_EQ(wire[2], 0u);
+    EXPECT_EQ(wire[3], 0u);
+    EXPECT_EQ(wire[4], 0u);
+    EXPECT_EQ(wire[5], 0xAA);
+}
+
+TEST(RpcFrame, DecoderRoundTripsWholeFrame)
+{
+    const codec::ByteBuffer payload = payloadOf({1, 2, 3, 4, 5});
+    const codec::ByteBuffer wire =
+        encodeFrame(FrameType::Result, payload);
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    std::string error;
+    const std::optional<Frame> frame = dec.next(&error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    EXPECT_EQ(frame->type, FrameType::Result);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_EQ(dec.buffered(), 0u);
+    EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(RpcFrame, EveryPrefixTruncationIsNeedMoreBytesNotError)
+{
+    const codec::ByteBuffer payload =
+        payloadOf({9, 8, 7, 6, 5, 4, 3, 2, 1});
+    const codec::ByteBuffer wire = encodeFrame(FrameType::Job, payload);
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+        FrameDecoder dec;
+        dec.feed(wire.data(), cut);
+        std::string error = "untouched";
+        const std::optional<Frame> frame = dec.next(&error);
+        EXPECT_FALSE(frame.has_value()) << "prefix " << cut;
+        // Incomplete input must never poison or set an error.
+        EXPECT_EQ(error, "untouched") << "prefix " << cut;
+        EXPECT_FALSE(dec.poisoned()) << "prefix " << cut;
+    }
+}
+
+TEST(RpcFrame, OneByteAtATimeInterleavedFeedAndNext)
+{
+    // Two frames delivered one byte per feed(), with next() called
+    // between every byte — the decoder must yield exactly the two
+    // frames, in order, at the right moments.
+    const codec::ByteBuffer p1 = payloadOf({0x11, 0x22});
+    const codec::ByteBuffer p2 = payloadOf({0x33});
+    codec::ByteBuffer wire = encodeFrame(FrameType::Job, p1);
+    const codec::ByteBuffer f2 = encodeFrame(FrameType::Result, p2);
+    wire.insert(wire.end(), f2.begin(), f2.end());
+
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    std::string error;
+    for (const uint8_t byte : wire) {
+        dec.feed(&byte, 1);
+        while (true) {
+            std::optional<Frame> frame = dec.next(&error);
+            ASSERT_TRUE(error.empty()) << error;
+            if (!frame)
+                break;
+            got.push_back(std::move(*frame));
+        }
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].type, FrameType::Job);
+    EXPECT_EQ(got[0].payload, p1);
+    EXPECT_EQ(got[1].type, FrameType::Result);
+    EXPECT_EQ(got[1].payload, p2);
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(RpcFrame, ShutdownFrameHasEmptyPayload)
+{
+    const codec::ByteBuffer wire = encodeFrame(FrameType::Shutdown, {});
+    ASSERT_EQ(wire.size(), kFrameHeaderSize);
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    std::string error;
+    const std::optional<Frame> frame = dec.next(&error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    EXPECT_EQ(frame->type, FrameType::Shutdown);
+    EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(RpcFrame, UnknownTypePoisonsWithByteOffset)
+{
+    // A valid frame first, so the poisoning offset is non-zero and
+    // provably a *stream* offset, not a buffer offset.
+    codec::ByteBuffer wire = encodeFrame(FrameType::Job, payloadOf({7}));
+    const size_t bad_at = wire.size();
+    wire.push_back(0x99);  // no such FrameType
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(0);  // full header: type checks fire then
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    std::string error;
+    ASSERT_TRUE(dec.next(&error).has_value());
+    ASSERT_TRUE(error.empty());
+    const std::optional<Frame> bad = dec.next(&error);
+    EXPECT_FALSE(bad.has_value());
+    EXPECT_TRUE(dec.poisoned());
+    EXPECT_NE(error.find("unknown frame type"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find(std::to_string(bad_at)), std::string::npos)
+        << error;
+
+    // Poisoned stays poisoned: more input changes nothing.
+    const uint8_t more = 0;
+    dec.feed(&more, 1);
+    std::string error2;
+    EXPECT_FALSE(dec.next(&error2).has_value());
+    EXPECT_FALSE(error2.empty());
+}
+
+TEST(RpcFrame, OversizedLengthPoisonsWithByteOffset)
+{
+    codec::ByteBuffer wire;
+    wire.push_back(static_cast<uint8_t>(FrameType::Job));
+    const uint32_t huge = kMaxFramePayload + 1;
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<uint8_t>(huge >> (8 * i)));
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    std::string error;
+    EXPECT_FALSE(dec.next(&error).has_value());
+    EXPECT_TRUE(dec.poisoned());
+    EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+    // The offset names the length field (header byte 1 of the stream).
+    EXPECT_NE(error.find("stream byte 1"), std::string::npos) << error;
+}
+
+TEST(RpcHello, RoundTrips)
+{
+    Hello hello;
+    hello.pid = 4242;
+    hello.tier = "avx2";
+    std::string error;
+    const std::optional<Hello> back =
+        Hello::deserialize(hello.serialize(), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->protocol, kRpcProtocolVersion);
+    EXPECT_EQ(back->pid, 4242);
+    EXPECT_EQ(back->tier, "avx2");
+}
+
+TEST(RpcHello, ProtocolVersionMismatchIsRejected)
+{
+    Hello hello;
+    hello.protocol = kRpcProtocolVersion + 1;
+    hello.pid = 7;
+    hello.tier = "scalar";
+    std::string error;
+    const std::optional<Hello> back =
+        Hello::deserialize(hello.serialize(), &error);
+    EXPECT_FALSE(back.has_value());
+    EXPECT_NE(error.find("protocol version mismatch"),
+              std::string::npos)
+        << error;
+    // The message names both sides of the disagreement.
+    EXPECT_NE(error.find(std::to_string(kRpcProtocolVersion + 1)),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find(std::to_string(kRpcProtocolVersion)),
+              std::string::npos)
+        << error;
+}
+
+TEST(RpcHello, TruncatedPayloadIsRejected)
+{
+    Hello hello;
+    hello.pid = 1;
+    hello.tier = "sse2";
+    codec::ByteBuffer wire = hello.serialize();
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+        const codec::ByteBuffer prefix(wire.begin(),
+                                       wire.begin() +
+                                           static_cast<long>(cut));
+        std::string error;
+        EXPECT_FALSE(Hello::deserialize(prefix, &error).has_value())
+            << "prefix " << cut;
+        EXPECT_FALSE(error.empty()) << "prefix " << cut;
+    }
+}
+
+} // namespace
+} // namespace vbench::rpc

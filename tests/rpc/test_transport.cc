@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The blocking frame transport over a socketpair (src/rpc/transport.h):
+ * send/recv round-trips (large payloads crossing the kernel buffer, so
+ * partial reads and writes both happen), recv deadlines, peer-close
+ * detection, and framing violations surfacing through recvFrame.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "rpc/transport.h"
+
+namespace vbench::rpc {
+namespace {
+
+TEST(RpcTransport, RoundTripsSmallFrame)
+{
+    int fds[2];
+    std::string error;
+    ASSERT_TRUE(makeSocketPair(fds, &error)) << error;
+    Transport a(fds[0]);
+    Transport b(fds[1]);
+
+    const codec::ByteBuffer payload = {1, 2, 3};
+    ASSERT_TRUE(a.sendFrame(FrameType::Job, payload, &error)) << error;
+    bool timed_out = false;
+    const std::optional<Frame> frame =
+        b.recvFrame(1000, &error, &timed_out);
+    ASSERT_TRUE(frame.has_value()) << error;
+    EXPECT_FALSE(timed_out);
+    EXPECT_EQ(frame->type, FrameType::Job);
+    EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(RpcTransport, LargePayloadSurvivesPartialReadsAndWrites)
+{
+    // Megabytes through a socketpair: far beyond the kernel socket
+    // buffer, so the send loop must handle short writes and the recv
+    // loop short reads. A second thread drains while the first sends.
+    int fds[2];
+    std::string error;
+    ASSERT_TRUE(makeSocketPair(fds, &error)) << error;
+    Transport a(fds[0]);
+    Transport b(fds[1]);
+
+    codec::ByteBuffer payload(3 * 1024 * 1024);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i * 2654435761u >> 16);
+
+    std::optional<Frame> frame;
+    std::string recv_error;
+    bool timed_out = false;
+    std::thread receiver([&] {
+        frame = b.recvFrame(10000, &recv_error, &timed_out);
+    });
+    std::string send_error;
+    const bool sent =
+        a.sendFrame(FrameType::Result, payload, &send_error);
+    receiver.join();
+    ASSERT_TRUE(sent) << send_error;
+    ASSERT_TRUE(frame.has_value()) << recv_error;
+    EXPECT_FALSE(timed_out);
+    EXPECT_EQ(frame->type, FrameType::Result);
+    EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(RpcTransport, RecvDeadlineExpiresAsTimeoutNotError)
+{
+    int fds[2];
+    std::string error;
+    ASSERT_TRUE(makeSocketPair(fds, &error)) << error;
+    Transport a(fds[0]);
+    Transport b(fds[1]);
+
+    bool timed_out = false;
+    std::string recv_error;
+    const std::optional<Frame> frame =
+        b.recvFrame(30, &recv_error, &timed_out);
+    EXPECT_FALSE(frame.has_value());
+    EXPECT_TRUE(timed_out);
+    EXPECT_TRUE(recv_error.empty()) << recv_error;
+}
+
+TEST(RpcTransport, PeerCloseSurfacesAsError)
+{
+    int fds[2];
+    std::string error;
+    ASSERT_TRUE(makeSocketPair(fds, &error)) << error;
+    Transport b(fds[1]);
+    {
+        Transport a(fds[0]);
+        // a closes on scope exit — the peer is gone mid-wait.
+    }
+    bool timed_out = false;
+    std::string recv_error;
+    const std::optional<Frame> frame =
+        b.recvFrame(1000, &recv_error, &timed_out);
+    EXPECT_FALSE(frame.has_value());
+    EXPECT_FALSE(timed_out);
+    EXPECT_NE(recv_error.find("peer closed"), std::string::npos)
+        << recv_error;
+}
+
+TEST(RpcTransport, GarbageOnTheWireIsAFramingViolation)
+{
+    int fds[2];
+    std::string error;
+    ASSERT_TRUE(makeSocketPair(fds, &error)) << error;
+    Transport b(fds[1]);
+
+    const uint8_t garbage[6] = {0xFF, 1, 2, 3, 4, 5};
+    ASSERT_EQ(::write(fds[0], garbage, sizeof garbage),
+              static_cast<ssize_t>(sizeof garbage));
+    bool timed_out = false;
+    std::string recv_error;
+    const std::optional<Frame> frame =
+        b.recvFrame(1000, &recv_error, &timed_out);
+    EXPECT_FALSE(frame.has_value());
+    EXPECT_FALSE(timed_out);
+    EXPECT_NE(recv_error.find("unknown frame type"), std::string::npos)
+        << recv_error;
+    ::close(fds[0]);
+}
+
+TEST(RpcTransport, InterleavedFramesArriveInOrder)
+{
+    int fds[2];
+    std::string error;
+    ASSERT_TRUE(makeSocketPair(fds, &error)) << error;
+    Transport a(fds[0]);
+    Transport b(fds[1]);
+
+    for (uint8_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(a.sendFrame(FrameType::Job, {i, i, i}, &error))
+            << error;
+    for (uint8_t i = 0; i < 5; ++i) {
+        bool timed_out = false;
+        const std::optional<Frame> frame =
+            b.recvFrame(1000, &error, &timed_out);
+        ASSERT_TRUE(frame.has_value()) << error;
+        const codec::ByteBuffer want = {i, i, i};
+        EXPECT_EQ(frame->payload, want);
+    }
+}
+
+} // namespace
+} // namespace vbench::rpc

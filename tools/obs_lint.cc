@@ -15,7 +15,11 @@
  * `--require-fleet` (before --report) makes their absence an error.
  * `service.cache` run reports (the output cache's hit/dollar
  * accounting, docs/CACHE.md) are likewise schema-checked, with
- * `--require-cache` making their absence an error. The trace check also verifies the distributed-tracing
+ * `--require-cache` making their absence an error. `service.rpc` run
+ * reports (the process-level worker runtime's supervision scorecard,
+ * docs/RPC.md) are schema-checked too — counters plus one
+ * pid/tier/jobs row per child worker slot — with `--require-rpc`
+ * making their absence an error. The trace check also verifies the distributed-tracing
  * invariants: every `cat:"request"` slice carries trace/span/parent
  * ids, every trace id forms one connected tree with exactly one root,
  * and every flow-arrow end has a matching begin. Stage vocabulary is
@@ -355,10 +359,85 @@ lintCacheReport(const std::string &path, size_t line_no, const Value &v)
     return ok;
 }
 
+/**
+ * The `service.rpc` run report is the process-level worker runtime's
+ * supervision scorecard (docs/RPC.md): dispatch/retry/respawn/hedge
+ * counters in `extra` plus one pid/jobs/respawns/alive row per child
+ * worker slot (`w<i>.*`), with the slot's kernel ISA tier in
+ * `extra_str`. A proc-mode run that emits a malformed one fails the
+ * lint.
+ */
+bool
+lintRpcReport(const std::string &path, size_t line_no, const Value &v)
+{
+    bool ok = true;
+    const auto complain = [&](const std::string &what) {
+        std::fprintf(stderr, "obs_lint: %s:%zu: service.rpc %s\n",
+                     path.c_str(), line_no, what.c_str());
+        ok = false;
+    };
+    const Value *extra = v.find("extra");
+    if (!extra || !extra->isObject()) {
+        complain("report without extra object");
+        return false;
+    }
+    const Value *workers = extra->find("workers");
+    if (!isNumber(workers) || workers->number <= 0) {
+        complain("report without a positive workers count");
+        return false;
+    }
+    for (const char *key :
+         {"dispatched", "completed", "retries", "respawns",
+          "worker_deaths", "timeouts", "protocol_errors", "hedges",
+          "hedge_wins", "hedge_losses", "degraded_local",
+          "kills_injected"}) {
+        const Value *c = extra->find(key);
+        if (!isNumber(c) || c->number < 0)
+            complain(std::string("report without a ") + key +
+                     " counter");
+    }
+    // Every completion ran somewhere: through a child dispatch or the
+    // in-process degradation ladder.
+    const Value *dispatched = extra->find("dispatched");
+    const Value *completed = extra->find("completed");
+    const Value *degraded = extra->find("degraded_local");
+    if (isNumber(dispatched) && isNumber(completed) &&
+        isNumber(degraded) &&
+        completed->number > dispatched->number + degraded->number)
+        complain("report where completed > dispatched + "
+                 "degraded_local");
+    const Value *extra_str = v.find("extra_str");
+    if (!extra_str || !extra_str->isObject()) {
+        complain("report without extra_str object");
+        return false;
+    }
+    // One row per worker slot, keyed w<i>.*; a slot that never spawned
+    // reports pid 0, so pid only has to be a number.
+    const size_t n = static_cast<size_t>(workers->number);
+    for (size_t w = 0; w < n; ++w) {
+        const std::string prefix = "w" + std::to_string(w);
+        for (const char *field : {".pid", ".jobs", ".respawns",
+                                  ".alive"}) {
+            const Value *c = extra->find(prefix + field);
+            if (!isNumber(c) || c->number < 0)
+                complain("report without a " + prefix + field +
+                         " number");
+        }
+        const Value *alive = extra->find(prefix + ".alive");
+        if (isNumber(alive) && alive->number != 0 &&
+            alive->number != 1)
+            complain("report where " + prefix +
+                     ".alive is not 0 or 1");
+        if (!isString(extra_str->find(prefix + ".tier")))
+            complain("report without a " + prefix + ".tier string");
+    }
+    return ok;
+}
+
 /** Run reports: one JSON object per line, label + seconds required. */
 bool
 lintReports(const std::string &path, bool require_fleet,
-            bool require_cache)
+            bool require_cache, bool require_rpc)
 {
     std::ifstream in(path);
     if (!in) {
@@ -367,7 +446,7 @@ lintReports(const std::string &path, bool require_fleet,
     }
     bool ok = true;
     size_t line_no = 0, reports = 0, fleet_reports = 0,
-           cache_reports = 0;
+           cache_reports = 0, rpc_reports = 0;
     std::string line;
     while (std::getline(in, line)) {
         ++line_no;
@@ -391,10 +470,15 @@ lintReports(const std::string &path, bool require_fleet,
             ++cache_reports;
             ok = lintCacheReport(path, line_no, *v) && ok;
         }
+        if (v->find("label")->string == "service.rpc") {
+            ++rpc_reports;
+            ok = lintRpcReport(path, line_no, *v) && ok;
+        }
     }
-    std::printf("obs_lint: %s: %zu run reports (%zu fleet, %zu cache)%s\n",
+    std::printf("obs_lint: %s: %zu run reports (%zu fleet, %zu cache, "
+                "%zu rpc)%s\n",
                 path.c_str(), reports, fleet_reports, cache_reports,
-                ok ? "" : " — INVALID");
+                rpc_reports, ok ? "" : " — INVALID");
     if (reports == 0) {
         std::fprintf(stderr, "obs_lint: %s: no run reports\n",
                      path.c_str());
@@ -411,6 +495,13 @@ lintReports(const std::string &path, bool require_fleet,
         std::fprintf(stderr,
                      "obs_lint: %s: no service.cache report (was the "
                      "run cache-attached?)\n",
+                     path.c_str());
+        ok = false;
+    }
+    if (require_rpc && rpc_reports == 0) {
+        std::fprintf(stderr,
+                     "obs_lint: %s: no service.rpc report (did the "
+                     "run use VBENCH_WORKERS=proc?)\n",
                      path.c_str());
         ok = false;
     }
@@ -445,14 +536,17 @@ main(int argc, char **argv)
     bool any = false;
     bool require_fleet = false;
     bool require_cache = false;
-    // --require-fleet / --require-cache must precede the --report they
-    // apply to.
+    bool require_rpc = false;
+    // --require-fleet / --require-cache / --require-rpc must precede
+    // the --report they apply to.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--require-fleet") {
             require_fleet = true;
         } else if (arg == "--require-cache") {
             require_cache = true;
+        } else if (arg == "--require-rpc") {
+            require_rpc = true;
         } else if ((arg == "--trace" || arg == "--report" ||
                     arg == "--prom") &&
                    i + 1 < argc) {
@@ -461,14 +555,16 @@ main(int argc, char **argv)
             if (arg == "--trace")
                 ok = lintTrace(path) && ok;
             else if (arg == "--report")
-                ok = lintReports(path, require_fleet, require_cache) && ok;
+                ok = lintReports(path, require_fleet, require_cache,
+                                 require_rpc) &&
+                    ok;
             else
                 ok = lintProm(path) && ok;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace FILE] [--require-fleet] "
-                         "[--require-cache] [--report FILE] "
-                         "[--prom FILE]\n",
+                         "[--require-cache] [--require-rpc] "
+                         "[--report FILE] [--prom FILE]\n",
                          argv[0]);
             return 2;
         }
